@@ -1,0 +1,116 @@
+"""E7 — microinstruction composition algorithms (survey §2.1.4).
+
+"Several algorithms have been developed to compose a minimal or, using
+heuristic methods, a near minimal sequence of microinstructions from a
+sequence of microoperations" [18, 22, 3, 21].  This harness sweeps
+random straight-line blocks at several dependence densities plus the
+real corpus, and reports microinstruction counts per algorithm along
+with the resource-blind maximal parallelism of Dasgupta–Tartar.
+
+Expected shape: sequential >= linear >= list >= branch-and-bound, and
+the gap between data parallelism and achieved parallelism shows the
+resource constraints at work.
+"""
+
+from __future__ import annotations
+
+from repro.bench import CORPUS, compile_program, random_block, render_table
+from repro.compose import (
+    BranchBoundComposer,
+    LevelComposer,
+    LinearComposer,
+    ListScheduler,
+    SequentialComposer,
+    data_parallelism,
+)
+
+COMPOSERS = [
+    SequentialComposer(),
+    LinearComposer(),
+    LevelComposer(),
+    ListScheduler(),
+    BranchBoundComposer(node_budget=50_000),
+]
+
+
+def sweep_random(machine, n_blocks=8, n_ops=12):
+    rows = []
+    for reuse in (0.1, 0.5, 0.9):
+        totals = {c.name: 0 for c in COMPOSERS}
+        parallelism = 0.0
+        for seed in range(n_blocks):
+            block = random_block(machine, n_ops, seed=seed, reuse=reuse)
+            parallelism += data_parallelism(block, machine)
+            for composer in COMPOSERS:
+                totals[composer.name] += len(
+                    composer.compose_block(block, machine)
+                )
+        row = [f"random reuse={reuse}", n_blocks * n_ops]
+        row.extend(totals[c.name] for c in COMPOSERS)
+        row.append(f"{parallelism / n_blocks:.2f}")
+        rows.append(row)
+    return rows
+
+
+def sweep_corpus(machine):
+    rows = []
+    for name in CORPUS:
+        counts = []
+        n_ops = None
+        for composer in COMPOSERS:
+            result = compile_program(name, machine, optimize=True)
+            # Recompose the already-allocated MIR with this algorithm.
+            from repro.compose import compose_program
+
+            composed = compose_program(result.mir, machine, composer)
+            counts.append(composed.n_instructions())
+            n_ops = composed.n_ops()
+        rows.append([name, n_ops, *counts, "-"])
+    return rows
+
+
+def test_e7_composition_comparison(benchmark, report, hm1):
+    random_rows = benchmark(sweep_random, hm1)
+    corpus_rows = sweep_corpus(hm1)
+    headers = ["workload", "ops", *(c.name for c in COMPOSERS),
+               "data-parallelism"]
+    report(render_table(
+        headers, random_rows + corpus_rows,
+        title="E7: microinstruction counts per composition algorithm "
+              "(HM1; survey 2.1.4, refs [18,22,3,21])",
+    ))
+    for row in random_rows + corpus_rows:
+        sequential, linear, level, list_sched, bb = row[2:7]
+        assert bb <= list_sched <= sequential
+        assert linear <= sequential
+        assert bb <= linear
+
+
+def test_e7_optimality_gap_small_blocks(benchmark, report, hm1):
+    """On small blocks branch-and-bound is provably minimal; the table
+    reports how close the heuristics get."""
+
+    def sweep():
+        gaps = {c.name: 0 for c in COMPOSERS[1:-1]}
+        optimal_total = 0
+        for seed in range(20):
+            block = random_block(hm1, 8, seed=seed, reuse=0.4)
+            optimal = len(BranchBoundComposer().compose_block(block, hm1))
+            optimal_total += optimal
+            for composer in COMPOSERS[1:-1]:
+                gaps[composer.name] += len(
+                    composer.compose_block(block, hm1)
+                ) - optimal
+        return gaps, optimal_total
+
+    gaps, optimal_total = benchmark(sweep)
+    rows = [
+        [name, extra, f"{extra / optimal_total:.1%}"]
+        for name, extra in gaps.items()
+    ]
+    report(render_table(
+        ["heuristic", "extra MIs vs optimal", "relative gap"],
+        rows,
+        title="E7b: heuristic optimality gap over 20 random 8-op blocks",
+    ))
+    assert gaps["list"] <= gaps["linear"] + 5  # list scheduling competitive

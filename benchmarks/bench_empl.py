@@ -1,0 +1,152 @@
+"""E2 — EMPL extension types and operator inlining (survey §2.2.2).
+
+Two of the survey's claims about DeWitt's design:
+
+* the MICROOP escape lets one source use a hardware micro-operation
+  where it exists and fall back to the operator body elsewhere;
+* textual inlining of non-hardware operators "will lead to an increase
+  in the size of the produced code".
+
+The harness compiles a stack-workout program (the survey's own TYPE
+STACK) plus a multiply-operator program against all machines and
+reports words/cycles/inline counts; a second sweep shows code size
+growing linearly with the number of inlined invocations.
+"""
+
+from __future__ import annotations
+
+from repro.asm import ControlStore
+from repro.bench import render_table
+from repro.lang.empl import compile_empl
+from repro.machine.machines import get_machine
+from repro.sim import Simulator
+
+STACK_PROGRAM = """
+TYPE STACK
+     DECLARE STK(16) FIXED;
+     DECLARE STKPTR FIXED;
+     DECLARE VALUE FIXED;
+     INITIALLY DO; STKPTR = 0; END;
+     PUSH: OPERATION ACCEPTS (VALUE)
+           MICROOP: PUSH 3 0;
+           IF STKPTR = 16 THEN ERROR;
+           ELSE DO; STKPTR = STKPTR + 1; STK(STKPTR) = VALUE; END
+           END.
+     POP:  OPERATION RETURNS (VALUE)
+           MICROOP: POP 3 0;
+           IF STKPTR = 0 THEN ERROR;
+           ELSE DO; VALUE = STK(STKPTR); STKPTR = STKPTR - 1; END
+           END.
+ENDTYPE;
+DECLARE S STACK;
+DECLARE X FIXED;
+DECLARE T FIXED;
+X = 1;
+PUSH(S, X);
+X = 2;
+PUSH(S, X);
+X = 3;
+PUSH(S, X);
+T = POP(S);
+X = POP(S);
+T = T + X;
+X = POP(S);
+T = T + X;
+"""
+
+MUL_PROGRAM = """
+MULT: OPERATION ACCEPTS (A, B) RETURNS (C)
+    MICROOP: MUL 2 1;
+    DECLARE N FIXED;
+    C = 0;
+    N = B;
+L:  IF N = 0 THEN GOTO DONE;
+    C = C + A;
+    N = N - 1;
+    GOTO L;
+DONE: RETURN;
+END.
+DECLARE X FIXED;
+DECLARE R FIXED;
+X = 9;
+R = MULT(X, 11);
+"""
+
+
+def run_on(source, machine_name, expect, variable):
+    machine = get_machine(machine_name)
+    result = compile_empl(source, machine, name="bench")
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store)
+    outcome = simulator.run("bench")
+    mapping = result.allocation.mapping
+    key = f"g_{variable}"
+    if key in mapping:
+        value = simulator.state.read_reg(mapping[key])
+    else:
+        value = simulator.state.scratchpad.read(
+            result.allocation.spilled_slots[key]
+        )
+    assert value == expect, (machine_name, value)
+    return result, outcome
+
+
+def test_e2_empl_portability_and_microop(benchmark, report):
+    rows = []
+    for machine_name in ("HM1", "HP300m", "VAXm", "VM1"):
+        stack_result, stack_run = run_on(STACK_PROGRAM, machine_name, 6, "T")
+        mul_result, mul_run = run_on(MUL_PROGRAM, machine_name, 99, "R")
+        rows.append([
+            machine_name,
+            len(stack_result.loaded), stack_run.cycles,
+            len(mul_result.loaded), mul_run.cycles,
+            "hw mul" if mul_result.hardware_ops else "inlined",
+        ])
+    benchmark(run_on, STACK_PROGRAM, "HM1", 6, "T")
+    report(render_table(
+        ["machine", "stack words", "stack cycles", "mul words",
+         "mul cycles", "MULT realized as"],
+        rows,
+        title="E2: one EMPL source on four machines (survey 2.2.2 — "
+              "MICROOP escape on HP300m, inlining elsewhere)",
+    ))
+    by_machine = {row[0]: row for row in rows}
+    assert by_machine["HP300m"][5] == "hw mul"
+    assert by_machine["HM1"][5] == "inlined"
+    # The hardware multiply is both smaller and faster.
+    assert by_machine["HP300m"][3] < by_machine["HM1"][3]
+    assert by_machine["HP300m"][4] < by_machine["HM1"][4]
+
+
+def test_e2_inlining_grows_code(benchmark, report, hm1):
+    def source(n_calls):
+        body = "\n".join("R = TRIPLE(R);" for _ in range(n_calls))
+        return f"""
+            TRIPLE: OPERATION ACCEPTS (A) RETURNS (B)
+                DECLARE T2 FIXED;
+                T2 = A + A;
+                B = T2 + A;
+            END.
+            DECLARE R FIXED;
+            R = 1;
+            {body}
+        """
+
+    def sweep():
+        return [
+            (n, compile_empl(source(n), hm1, name="grow").n_ops)
+            for n in (1, 2, 4, 8)
+        ]
+
+    points = benchmark(sweep)
+    report(render_table(
+        ["invocations", "micro-operations"],
+        [list(p) for p in points],
+        title="E2b: textual inlining code growth (survey 2.2.2 — 'this "
+              "will lead to an increase in the size of the produced code')",
+    ))
+    ops = dict(points)
+    assert ops[8] > ops[4] > ops[2] > ops[1]
+    # Growth is linear in invocations (each call replicates the body).
+    assert ops[8] - ops[4] >= 3 * 4 - 2

@@ -1,0 +1,66 @@
+"""E11 — horizontal vs vertical encoding (survey §1, ref [5]).
+
+"Most of the parallelism is hidden from the microprogrammer when a
+vertical encoding scheme is employed, but this usually implies a loss
+of flexibility and speed."
+
+The same corpus compiled for HM1 (horizontal, 137-bit words, 3 phases)
+and VM1 (vertical, 60-bit words, one op per word).  Expected shape:
+the vertical machine executes more, narrower words — slower per
+program but cheaper per control-store bit, the classic trade.
+"""
+
+from __future__ import annotations
+
+from repro.bench import CORPUS, render_table, run_program
+
+INPUTS = {
+    "translit": ({"str": 100, "tbl": 200},
+                 {**{100 + i: v for i, v in enumerate([1, 2, 3, 0])},
+                  **{200 + v: v + 10 for v in range(16)}}),
+    "memcpy": ({"src": 300, "dst": 400, "n": 8},
+               {300 + i: i for i in range(8)}),
+    "checksum": ({"base": 500, "n": 8}, {500 + i: i * 5 for i in range(8)}),
+    "bitcount": ({"x": 0x7E3C}, {}),
+    "strcmp": ({"a": 600, "b": 700}, {600: 1, 601: 0, 700: 1, 701: 0}),
+    "fib": ({"n": 10}, {}),
+}
+
+
+def sweep(horizontal, vertical):
+    rows = []
+    totals = [0, 0, 0, 0]
+    for name in CORPUS:
+        inputs, memory = INPUTS[name]
+        h = run_program(name, horizontal, dict(inputs), memory=dict(memory))
+        v = run_program(name, vertical, dict(inputs), memory=dict(memory))
+        h_cycles, v_cycles = h.run_result.cycles, v.run_result.cycles
+        h_words, v_words = len(h.compile_result.loaded), len(v.compile_result.loaded)
+        rows.append([name, h_words, v_words, h_cycles, v_cycles,
+                     f"{v_cycles / h_cycles:.2f}"])
+        totals[0] += h_words
+        totals[1] += v_words
+        totals[2] += h_cycles
+        totals[3] += v_cycles
+    return rows, totals
+
+
+def test_e11_vertical_is_slower(benchmark, report, hm1, vm1):
+    rows, totals = benchmark(sweep, hm1, vm1)
+    h_bits = totals[0] * hm1.control.width
+    v_bits = totals[1] * vm1.control.width
+    rows.append(["TOTAL", totals[0], totals[1], totals[2], totals[3],
+                 f"{totals[3] / totals[2]:.2f}"])
+    report(render_table(
+        ["program", "HM1 words", "VM1 words", "HM1 cycles", "VM1 cycles",
+         "slowdown"],
+        rows,
+        title=f"E11: horizontal vs vertical encoding (survey 1, [5]).  "
+              f"Control store: HM1 {h_bits} bits vs VM1 {v_bits} bits",
+    ))
+    # Shape: vertical costs cycles on every program...
+    for row in rows[:-1]:
+        assert row[4] >= row[3], row[0]
+    assert totals[3] > totals[2]
+    # ...but the narrow words keep its control store smaller.
+    assert v_bits < h_bits

@@ -1,0 +1,109 @@
+"""E13 — language primitives vs hardware features (survey §2.1.2).
+
+The survey's Interdata 3200 example: register-bank switching ("a block
+can be made to contain the current activation record") overlaps with a
+hardware push-stack primitive, and a compiler that only knows "push"
+will miss the cheaper "new-block" realization.
+
+The harness runs the same nested-activation workload on ID3200m two
+ways: saving/restoring the four live locals through a memory stack
+(the ``push`` reading) versus switching register banks with ``setblk``
+(the ``new-block`` reading).  Expected shape: bank switching wins by a
+wide margin — the survey's argument for why fixed primitive sets
+sacrifice machine features.
+"""
+
+from __future__ import annotations
+
+from repro.asm import ControlStore, assemble
+from repro.bench import render_table
+from repro.compose import ListScheduler, compose_program
+from repro.mir import Imm, Jump, ProgramBuilder, mop, preg
+from repro.sim import Simulator
+
+DEPTH = 6
+LOCALS = [f"G{i}" for i in range(4)]
+STACK_BASE = 0x500
+
+
+def _body(builder, level):
+    """The per-activation work: fill locals, fold them into S0."""
+    for index, local in enumerate(LOCALS):
+        builder.emit(mop("movi", preg(local), Imm(level * 10 + index)))
+    for local in LOCALS:
+        builder.emit(mop("add", preg("S0"), preg("S0"), preg(local)))
+
+
+def memory_stack_program(machine):
+    """Locals saved/restored through a main-memory stack (push view)."""
+    builder = ProgramBuilder("stackver", machine)
+    builder.start_block("entry")
+    builder.emit(mop("movi", preg("S0"), Imm(0)))
+    builder.emit(mop("movi", preg("S1"), Imm(STACK_BASE)))  # stack pointer
+    for level in range(DEPTH):
+        # Prologue: push the caller's locals.
+        for local in LOCALS:
+            builder.emit(mop("mov", preg("MAR"), preg("S1")))
+            builder.emit(mop("mov", preg("MBR"), preg(local)))
+            builder.emit(mop("write", None, preg("MAR"), preg("MBR")))
+            builder.emit(mop("inc", preg("S1"), preg("S1")))
+        _body(builder, level)
+    for _level in range(DEPTH):
+        # Epilogue: pop the locals back.
+        for local in reversed(LOCALS):
+            builder.emit(mop("dec", preg("S1"), preg("S1")))
+            builder.emit(mop("mov", preg("MAR"), preg("S1")))
+            builder.emit(mop("read", preg("MBR"), preg("MAR")))
+            builder.emit(mop("mov", preg(local), preg("MBR")))
+    builder.exit(preg("S0"))
+    return builder.finish()
+
+
+def bank_switch_program(machine):
+    """Each activation gets a fresh register bank (new-block view)."""
+    builder = ProgramBuilder("bankver", machine)
+    builder.start_block("entry")
+    builder.emit(mop("movi", preg("S0"), Imm(0)))
+    for level in range(DEPTH):
+        builder.emit(mop("setblk", None, Imm(level + 1)))
+        _body(builder, level)
+    for level in reversed(range(DEPTH)):
+        builder.emit(mop("setblk", None, Imm(level + 1)))
+    builder.emit(mop("setblk", None, Imm(0)))
+    builder.exit(preg("S0"))
+    return builder.finish()
+
+
+def run(program, machine):
+    composed = compose_program(program, machine, ListScheduler())
+    loaded = assemble(composed, machine)
+    store = ControlStore(machine)
+    store.load(loaded)
+    simulator = Simulator(machine, store)
+    result = simulator.run(program.name)
+    return len(loaded), result.cycles, result.exit_value
+
+
+def test_e13_new_block_vs_push(benchmark, report, id3200):
+    stack_words, stack_cycles, stack_value = benchmark(
+        run, memory_stack_program(id3200), id3200
+    )
+    bank_words, bank_cycles, bank_value = run(
+        bank_switch_program(id3200), id3200
+    )
+    assert stack_value == bank_value  # identical computation
+
+    report(render_table(
+        ["realization", "words", "cycles", "speedup"],
+        [
+            ["memory stack ('push' primitive)", stack_words, stack_cycles,
+             "1.0"],
+            ["register banks ('new-block')", bank_words, bank_cycles,
+             f"{stack_cycles / bank_cycles:.1f}"],
+        ],
+        title=f"E13: activation records on ID3200m, {DEPTH} levels deep "
+              "(survey 2.1.2 — the Interdata new-block example)",
+    ))
+    assert bank_cycles < stack_cycles
+    assert bank_words < stack_words
+    assert stack_cycles / bank_cycles >= 1.5

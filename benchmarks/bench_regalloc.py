@@ -1,0 +1,95 @@
+"""E8 — register allocation across register-file sizes (survey §2.1.3).
+
+"The number of registers exclusively accessible to the microprogram is
+limited.  It may vary from 16 (e.g. on the DEC VAX-11) to 256 (e.g. on
+the Control Data 480).  Temporarily storing variables in a reserved
+area of main memory will sometimes be unavoidable, but should be done
+in such a way that the number of fetches and stores is minimized."
+
+This harness sweeps the pool size available to the allocators on a
+high-pressure symbolic workload and reports spills and inserted
+fetch/store traffic.  Expected shape: traffic falls monotonically as
+registers grow and reaches zero once the file covers the pressure;
+graph colouring never needs more traffic than linear scan's coarse
+intervals.
+"""
+
+from __future__ import annotations
+
+from repro.bench import random_program, render_table
+from repro.regalloc import GraphColorAllocator, LinearScanAllocator
+
+LIMITS = [3, 4, 5, 6, 8]
+N_VARIABLES = 8
+
+
+def sweep(machine):
+    rows = []
+    for limit in LIMITS:
+        cells = [limit]
+        for maker in (
+            lambda l: LinearScanAllocator(register_limit=l),
+            lambda l: GraphColorAllocator(register_limit=l),
+        ):
+            program = random_program(
+                machine, n_blocks=3, ops_per_block=8, seed=7,
+                n_variables=N_VARIABLES,
+            )
+            result = maker(limit).allocate(program, machine)
+            cells.extend([
+                result.n_spilled,
+                result.loads_inserted + result.stores_inserted,
+            ])
+        rows.append(cells)
+    return rows
+
+
+def test_e8_register_pressure_sweep(benchmark, report, hm1):
+    rows = benchmark(sweep, hm1)
+    report(render_table(
+        ["registers", "LS spilled", "LS ld+st", "GC spilled", "GC ld+st"],
+        rows,
+        title=f"E8: spill traffic vs register-file size "
+              f"({N_VARIABLES} live variables; survey 2.1.3 — 16 on the "
+              f"VAX-11 … 256 on the CDC 480)",
+    ))
+    # Monotone: more registers never means more traffic.
+    for column in (2, 4):
+        traffic = [row[column] for row in rows]
+        assert all(a >= b for a, b in zip(traffic, traffic[1:])), traffic
+    # Enough registers -> no spills at all.
+    assert rows[-1][1] == 0 and rows[-1][3] == 0
+    # Pressure above the pool forces spills.
+    assert rows[0][1] > 0 and rows[0][3] > 0
+
+
+def test_e8_precise_liveness_spills_less(benchmark, report, hm1):
+    """Graph colouring's precise interference needs no more spills
+    than linear scan's coarse single-range intervals."""
+
+    def compare():
+        results = []
+        for seed in range(6):
+            scan_program = random_program(
+                hm1, n_blocks=3, ops_per_block=8, seed=seed, n_variables=8
+            )
+            scan = LinearScanAllocator(register_limit=4).allocate(
+                scan_program, hm1
+            )
+            colour_program = random_program(
+                hm1, n_blocks=3, ops_per_block=8, seed=seed, n_variables=8
+            )
+            colour = GraphColorAllocator(register_limit=4).allocate(
+                colour_program, hm1
+            )
+            results.append((seed, scan.n_spilled, colour.n_spilled))
+        return results
+
+    results = benchmark(compare)
+    report(render_table(
+        ["seed", "linear-scan spills", "graph-colour spills"],
+        [list(r) for r in results],
+        title="E8b: allocator quality at 4 registers (Kim & Tan's [12] "
+              "register assignment problem)",
+    ))
+    assert sum(r[2] for r in results) <= sum(r[1] for r in results)

@@ -1,0 +1,37 @@
+"""E12 — the survey's comparison matrix and §3 conclusion counts.
+
+The survey's own evaluation artifact: ten languages against the §2.1
+design issues, plus the quantitative claims of the conclusions
+("eight allow complete sequential specification while only two leave
+composition … to the programmer", "only two or three allow … symbolic
+variables", "no language allows the passing of parameters", interrupt
+handling "completely neglected").  All regenerated from data.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_table
+from repro.survey import (
+    LANGUAGES,
+    render_conclusions,
+    render_matrix,
+    survey_counts,
+)
+
+
+def test_e12_language_matrix(benchmark, report):
+    matrix = benchmark(render_matrix)
+    report("E12: the survey's language x design-issue matrix\n" + matrix)
+    report("E12b: conclusions (survey section 3), regenerated:\n"
+           + render_conclusions())
+
+    counts = survey_counts()
+    assert counts["languages"] == 10
+    assert counts["sequential_specification"] == 8
+    assert counts["explicit_composition"] == 2
+    assert 3 <= counts["symbolic_variables"] <= 4
+    assert counts["parameter_passing"] == 0
+    assert counts["interrupt_handling"] == 0
+    assert counts["implemented_in_toolkit"] == 5
+    for record in LANGUAGES:
+        assert record.name in matrix

@@ -1,0 +1,132 @@
+"""E9 — microtraps and restart safety (survey §2.1.5).
+
+The survey's ``incread`` scenario: increment a macro-visible register,
+then use it as a memory address; a pagefault restarts the microprogram
+and the increment replays.  The harness measures the naive program
+(bug reproduced), the restart-safe compilation (bug fixed, small code
+cost), and the interrupt-polling latency trade-off the same section
+raises.
+"""
+
+from __future__ import annotations
+
+from repro.asm import ControlStore, assemble
+from repro.bench import render_table
+from repro.compose import SequentialComposer, compose_program
+from repro.lang.common.restart import make_restart_safe
+from repro.mir import Branch, Imm, Jump, ProgramBuilder, mop, preg
+from repro.regalloc import LinearScanAllocator
+from repro.sim import Simulator
+
+
+def incread(vax):
+    builder = ProgramBuilder("incread", vax)
+    builder.start_block("entry")
+    builder.emit(mop("add", preg("T0"), preg("R1"), preg("ONE")))
+    builder.emit(mop("mov", preg("R1"), preg("T0")))
+    builder.emit(mop("mov", preg("MAR"), preg("R1")))
+    builder.emit(mop("read", preg("MBR"), preg("MAR")))
+    builder.exit(preg("MBR"))
+    return builder.finish()
+
+
+def paging_service(state, trap):
+    address = int(trap.detail.split("address ")[1].rstrip(")"))
+    state.memory.map_address(address)
+
+
+def run_faulting(program, vax):
+    composed = compose_program(program, vax, SequentialComposer())
+    store = ControlStore(vax)
+    store.load(assemble(composed, vax))
+    simulator = Simulator(vax, store, trap_service=paging_service)
+    simulator.state.memory.paging_enabled = True
+    simulator.state.memory.load_words(101, [0xCAFE])
+    simulator.state.write_reg("R1", 100)
+    result = simulator.run("incread")
+    return result, simulator.state.read_reg("R1"), composed.n_instructions()
+
+
+def test_e9_incread_bug_and_fix(benchmark, report, vax):
+    naive_result, naive_r1, naive_words = benchmark(run_faulting, incread(vax), vax)
+
+    safe = incread(vax)
+    remaining = make_restart_safe(safe, vax)
+    assert remaining == []
+    LinearScanAllocator().allocate(safe, vax)
+    safe_result, safe_r1, safe_words = run_faulting(safe, vax)
+
+    report(render_table(
+        ["compilation", "words", "traps", "final reg[n]", "fetched value"],
+        [
+            ["naive", naive_words, naive_result.traps, naive_r1,
+             f"{naive_result.exit_value:#x}"],
+            ["restart-safe", safe_words, safe_result.traps, safe_r1,
+             f"{safe_result.exit_value:#x}"],
+        ],
+        title="E9: the survey's 2.1.5 incread pagefault scenario on "
+              "VAXm (reg[n]=100; correct outcome: reg[n]=101, "
+              "value 0xcafe)",
+    ))
+    assert naive_r1 == 102          # the double increment, reproduced
+    assert naive_result.exit_value != 0xCAFE
+    assert safe_r1 == 101           # the idempotence transform fixes it
+    assert safe_result.exit_value == 0xCAFE
+    assert safe_words <= naive_words + 2  # fix costs at most a commit move
+
+
+def poller(hm1, every):
+    builder = ProgramBuilder("poll", hm1)
+    builder.start_block("entry")
+    builder.emit(mop("movi", preg("R1"), Imm(120)))
+    builder.terminate(Jump("loop"))
+    builder.start_block("loop")
+    builder.emit(mop("poll"))
+    builder.terminate(Jump("body"))
+    builder.start_block("body")
+    for _ in range(every - 1):
+        builder.emit(mop("dec", preg("R1"), preg("R1")))
+    builder.emit(mop("dec", preg("R1"), preg("R1")))
+    builder.emit(mop("cmp", None, preg("R1"), preg("R0")))
+    builder.terminate(Branch("Z", "done", "loop"))
+    builder.start_block("done")
+    builder.exit()
+    return builder.finish()
+
+
+def test_e9_poll_frequency_tradeoff(benchmark, report, hm1):
+    """§2.1.5: a long-running microprogram 'must periodically check
+    whether any interrupts are pending'.  Poll density trades
+    throughput against interrupt latency."""
+
+    def run(every):
+        program = poller(hm1, every)
+        composed = compose_program(program, hm1, SequentialComposer())
+        store = ControlStore(hm1)
+        store.load(assemble(composed, hm1))
+        simulator = Simulator(
+            hm1, store,
+            interrupt_every=15,
+            interrupt_handler=lambda state: None,
+        )
+        result = simulator.run("poll")
+        waits = (
+            result.interrupt_wait_cycles / result.interrupts_serviced
+            if result.interrupts_serviced else float("inf")
+        )
+        return result.cycles, result.interrupts_serviced, waits
+
+    rows = []
+    for every in (1, 4, 12, 40):
+        cycles, serviced, wait = run(every)
+        rows.append([f"poll every {every} ops", cycles, serviced,
+                     f"{wait:.1f}"])
+    benchmark(run, 4)
+    report(render_table(
+        ["polling density", "total cycles", "interrupts serviced",
+         "mean wait (cycles)"],
+        rows,
+        title="E9b: interrupt poll density vs latency (survey 2.1.5)",
+    ))
+    waits = [float(row[3]) for row in rows]
+    assert waits[0] <= waits[-1]  # denser polling -> lower latency

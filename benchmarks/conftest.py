@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+Every benchmark prints the table the corresponding survey claim needs
+(through ``report``, which bypasses pytest's capture so the rows land
+in ``bench_output.txt``) and times a representative unit of work with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.machines import (
+    build_hm1,
+    build_hp300,
+    build_id3200,
+    build_vax,
+    build_vm1,
+)
+
+
+@pytest.fixture
+def report(capsys):
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def hm1():
+    return build_hm1()
+
+
+@pytest.fixture(scope="session")
+def hp300():
+    return build_hp300()
+
+
+@pytest.fixture(scope="session")
+def vax():
+    return build_vax()
+
+
+@pytest.fixture(scope="session")
+def vm1():
+    return build_vm1()
+
+
+@pytest.fixture(scope="session")
+def id3200():
+    return build_id3200()

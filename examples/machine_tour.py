@@ -1,0 +1,70 @@
+"""A tour of the five machine descriptions and the composition gap.
+
+Prints each machine's control-word layout summary, then composes one
+straight-line block with every algorithm on every machine — making the
+survey's central tension visible: the same micro-operations pack into
+very different numbers of words depending on the hardware's fields,
+phases and units (§2.1.4).
+
+Run:  python examples/machine_tour.py
+"""
+
+from repro import get_machine, machine_names
+from repro.bench import render_table
+from repro.compose import (
+    BranchBoundComposer,
+    LinearComposer,
+    ListScheduler,
+    SequentialComposer,
+    data_parallelism,
+)
+from repro.mir import BasicBlock, Imm, Jump, mop, preg
+
+COMPOSERS = [SequentialComposer(), LinearComposer(), ListScheduler(),
+             BranchBoundComposer()]
+
+
+def sample_block(machine):
+    """Seven ops using moves, the ALU, the shifter and a literal."""
+    allocatable = [r.name for r in machine.registers.allocatable()]
+    a, b, c, d = allocatable[:4]
+    block = BasicBlock("sample", ops=[
+        mop("movi", preg(a), Imm(3)),
+        mop("mov", preg(b), preg(a)),
+        mop("shl", preg(c), preg(a), Imm(2)),
+        mop("add", preg(d), preg(b), preg(c)),
+        mop("mov", preg(a), preg(d)),
+        mop("xor", preg(b), preg(d), preg(c)),
+        mop("shr", preg(c), preg(b), Imm(1)),
+    ])
+    block.terminate(Jump("sample"))
+    return block
+
+
+def main() -> None:
+    for name in machine_names():
+        print(get_machine(name).summary())
+    print()
+
+    rows = []
+    for name in machine_names():
+        machine = get_machine(name)
+        block = sample_block(machine)
+        row = [name, machine.control.width]
+        for composer in COMPOSERS:
+            try:
+                row.append(len(composer.compose_block(block, machine)))
+            except Exception:
+                row.append("-")
+        row.append(f"{data_parallelism(block, machine):.2f}")
+        rows.append(row)
+    print(render_table(
+        ["machine", "word bits", *(c.name for c in COMPOSERS),
+         "data parallelism"],
+        rows,
+        title="Seven micro-operations composed on five machines",
+    ))
+
+
+if __name__ == "__main__":
+    main()

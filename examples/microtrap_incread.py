@@ -1,0 +1,75 @@
+"""The survey's §2.1.5 ``incread`` microtrap bug, live.
+
+    program incread(n)
+    begin reg[n] := reg[n]+1; mbr := readmem(reg[n]) end
+
+On a machine whose reg[n] is part of the macroarchitecture (VAXm's
+R0–R3), a pagefault in the memory fetch restarts the microprogram
+with the incremented value preserved — and the restart increments it
+again.  This script reproduces the bug, then applies the compiler's
+restart-safety transform and shows the fix.
+
+Run:  python examples/microtrap_incread.py
+"""
+
+from repro import ControlStore, Simulator, get_machine
+from repro.asm import assemble
+from repro.compose import SequentialComposer, compose_program
+from repro.lang.common.restart import analyze_restart_hazards, make_restart_safe
+from repro.mir import ProgramBuilder, mop, preg
+from repro.regalloc import LinearScanAllocator
+
+
+def incread_program(machine):
+    builder = ProgramBuilder("incread", machine)
+    builder.start_block("entry")
+    builder.emit(mop("add", preg("T0"), preg("R1"), preg("ONE")))
+    builder.emit(mop("mov", preg("R1"), preg("T0")))   # reg[n] := reg[n]+1
+    builder.emit(mop("mov", preg("MAR"), preg("R1")))
+    builder.emit(mop("read", preg("MBR"), preg("MAR")))  # may pagefault
+    builder.exit(preg("MBR"))
+    return builder.finish()
+
+
+def execute(program, machine):
+    composed = compose_program(program, machine, SequentialComposer())
+    store = ControlStore(machine)
+    store.load(assemble(composed, machine))
+
+    def service(state, trap):
+        address = int(trap.detail.split("address ")[1].rstrip(")"))
+        print(f"  -> {trap}")
+        state.memory.map_address(address)
+
+    simulator = Simulator(machine, store, trap_service=service)
+    simulator.state.memory.paging_enabled = True
+    simulator.state.memory.load_words(101, [0xCAFE])
+    simulator.state.write_reg("R1", 100)
+    outcome = simulator.run("incread")
+    return simulator.state.read_reg("R1"), outcome
+
+
+def main() -> None:
+    machine = get_machine("VAXm")
+
+    print("Naive compilation (reg[n] starts at 100; M[101] = 0xcafe):")
+    naive = incread_program(machine)
+    for hazard in analyze_restart_hazards(naive, machine):
+        print(f"  hazard: {hazard}")
+    final, outcome = execute(naive, machine)
+    print(f"  reg[n] after run: {final}   (BUG: incremented twice)")
+    print(f"  value fetched:    {outcome.exit_value:#x}   (wrong address)")
+    print()
+
+    print("Restart-safe compilation (idempotence transform):")
+    safe = incread_program(machine)
+    remaining = make_restart_safe(safe, machine)
+    assert not remaining
+    LinearScanAllocator().allocate(safe, machine)
+    final, outcome = execute(safe, machine)
+    print(f"  reg[n] after run: {final}   (incremented exactly once)")
+    print(f"  value fetched:    {outcome.exit_value:#x}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: compile the survey's transliteration program and run it.
+
+The survey's §2.2.4 YALLL example — transliterate a string through a
+table — compiled for the HP300m machine description, loaded into the
+control store and executed on the simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ControlStore, Simulator, compile_yalll, get_machine
+
+SOURCE = """
+; transliterate the string at 'str' through the table at 'tbl'
+reg str = db
+reg tbl = sb
+reg char = mbr
+
+loop:
+    load char,str
+    jump out if char = 0
+    add  mar,char,tbl
+    load char,mar
+    stor char,str
+    add  str,str,1
+    jump loop
+out: exit
+"""
+
+
+def main() -> None:
+    machine = get_machine("HP300m")
+    print(machine.summary())
+    print()
+
+    result = compile_yalll(SOURCE, machine, name="translit")
+    print(result.loaded.listing(machine))
+    print()
+
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store)
+
+    # A little string "abc" (1,2,3) and a table mapping v -> v + 10.
+    simulator.state.memory.load_words(100, [1, 2, 3, 0])
+    for value in range(16):
+        simulator.state.memory.load_words(200 + value, [value + 10])
+    simulator.state.write_reg("db", 100)
+    simulator.state.write_reg("sb", 200)
+
+    outcome = simulator.run("translit")
+    print(f"run: {outcome}")
+    print(f"string before: [1, 2, 3, 0]")
+    print(f"string after:  {simulator.state.memory.dump_words(100, 4)}")
+
+
+if __name__ == "__main__":
+    main()

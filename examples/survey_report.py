@@ -1,0 +1,36 @@
+"""Regenerate the survey's own evaluation artifact.
+
+Prints the language × design-issue comparison matrix and the §3
+conclusion counts — all derived from `repro.survey`'s data records,
+then cross-checked against what this toolkit actually implements.
+
+Run:  python examples/survey_report.py
+"""
+
+from repro.survey import (
+    LANGUAGES,
+    render_conclusions,
+    render_matrix,
+    survey_counts,
+)
+
+
+def main() -> None:
+    print(render_matrix())
+    print()
+    print("Conclusions (survey section 3), regenerated from the records:")
+    print(render_conclusions())
+    print()
+
+    counts = survey_counts()
+    implemented = [r.name for r in LANGUAGES if r.in_toolkit]
+    print(f"This toolkit implements {counts['implemented_in_toolkit']} of "
+          f"the {counts['languages']} surveyed languages end to end: "
+          f"{', '.join(implemented)}.")
+    print("Each compiles through the shared substrate "
+          "(machine descriptions -> micro-IR -> legalization -> "
+          "allocation -> composition -> assembler -> simulator).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup shim: enables legacy editable installs where the `wheel`
+package is unavailable (pip falls back to `setup.py develop`)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Microprogramming language toolkit reproducing Sint (1980), "
+        "'A survey of high level microprogramming languages'"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

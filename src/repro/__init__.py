@@ -1,0 +1,81 @@
+"""repro — a microprogramming-language toolkit.
+
+A working reproduction of H.J. Sint, *A survey of high level
+microprogramming languages* (Mathematisch Centrum IW 138/80, 1980):
+the four languages the survey treats in detail — SIMPL, EMPL, S* and
+YALLL — implemented end to end over a shared substrate of machine
+descriptions, microinstruction composition, register allocation, a
+microassembler and a phase-accurate simulator, plus the verification
+subsystem and the survey's comparison matrix as data.
+
+Quickstart::
+
+    from repro import compile_yalll, get_machine, ControlStore, Simulator
+
+    machine = get_machine("HP300m")
+    result = compile_yalll(SOURCE, machine, name="demo")
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    sim = Simulator(machine, store)
+    outcome = sim.run("demo")
+"""
+
+from repro.asm import ControlStore, LoadedProgram, assemble
+from repro.compose import (
+    ALL_COMPOSERS,
+    BranchBoundComposer,
+    LevelComposer,
+    LinearComposer,
+    ListScheduler,
+    SequentialComposer,
+    compose_program,
+)
+from repro.errors import ReproError
+from repro.lang import (
+    compile_empl,
+    compile_mpl,
+    compile_simpl,
+    compile_sstar,
+    compile_yalll,
+    verify_sstar,
+)
+from repro.machine import MicroArchitecture
+from repro.machine.machines import get_machine, machine_names
+from repro.regalloc import (
+    BindingAllocator,
+    GraphColorAllocator,
+    LinearScanAllocator,
+)
+from repro.sim import MachineState, RunResult, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_COMPOSERS",
+    "BindingAllocator",
+    "BranchBoundComposer",
+    "ControlStore",
+    "GraphColorAllocator",
+    "LevelComposer",
+    "LinearComposer",
+    "LinearScanAllocator",
+    "ListScheduler",
+    "LoadedProgram",
+    "MachineState",
+    "MicroArchitecture",
+    "ReproError",
+    "RunResult",
+    "SequentialComposer",
+    "Simulator",
+    "__version__",
+    "assemble",
+    "compile_empl",
+    "compile_mpl",
+    "compile_simpl",
+    "compile_sstar",
+    "compile_yalll",
+    "compose_program",
+    "get_machine",
+    "machine_names",
+    "verify_sstar",
+]

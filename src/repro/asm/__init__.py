@@ -1,0 +1,12 @@
+"""Microassembler and control-store loader (survey substrate S6)."""
+
+from repro.asm.assembler import LoadedProgram, LoadedWord, assemble
+from repro.asm.loader import ControlStore, ResidentProgram
+
+__all__ = [
+    "ControlStore",
+    "LoadedProgram",
+    "LoadedWord",
+    "ResidentProgram",
+    "assemble",
+]

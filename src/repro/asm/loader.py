@@ -1,0 +1,82 @@
+"""Control store and program loading.
+
+A :class:`ControlStore` holds one or more assembled microprograms at
+disjoint address ranges — the situation the survey describes where user
+microprograms "coexist with a set of unalterable, manufacturer supplied
+microprograms" (§2.1.5).  Loading relocates a program to its base
+address and records its constant-ROM pokes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.assembler import LoadedProgram, LoadedWord
+from repro.errors import AssemblerError
+from repro.machine.machine import MicroArchitecture
+
+
+@dataclass
+class ResidentProgram:
+    """A program resident in the control store at some base address."""
+
+    program: LoadedProgram
+    base: int
+
+    @property
+    def entry(self) -> int:
+        return self.base + self.program.entry
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + len(self.program)
+
+
+@dataclass
+class ControlStore:
+    """The machine's writable control store."""
+
+    machine: MicroArchitecture
+    residents: list[ResidentProgram] = field(default_factory=list)
+    _cursor: int = 0
+
+    def load(self, program: LoadedProgram, base: int | None = None) -> ResidentProgram:
+        """Load a program at ``base`` (default: first free address)."""
+        if program.machine_name != self.machine.name:
+            raise AssemblerError(
+                f"program {program.name!r} was assembled for "
+                f"{program.machine_name}, not {self.machine.name}"
+            )
+        if base is None:
+            base = self._cursor
+        end = base + len(program)
+        if end > self.machine.control_store_size:
+            raise AssemblerError(
+                f"program {program.name!r} does not fit: needs up to "
+                f"address {end}, store has {self.machine.control_store_size}"
+            )
+        for resident in self.residents:
+            if base < resident.base + len(resident.program) and resident.base < end:
+                raise AssemblerError(
+                    f"program {program.name!r} overlaps {resident.program.name!r}"
+                )
+        resident = ResidentProgram(program, base)
+        self.residents.append(resident)
+        self._cursor = max(self._cursor, end)
+        return resident
+
+    def resident_at(self, address: int) -> ResidentProgram:
+        for resident in self.residents:
+            if resident.contains(address):
+                return resident
+        raise AssemblerError(f"no program resident at address {address}")
+
+    def fetch(self, address: int) -> LoadedWord:
+        """Fetch the word at an absolute control-store address."""
+        resident = self.resident_at(address)
+        return resident.program.word_at(address - resident.base)
+
+    def find(self, name: str) -> ResidentProgram:
+        for resident in self.residents:
+            if resident.program.name == name:
+                return resident
+        raise AssemblerError(f"no resident program named {name!r}")

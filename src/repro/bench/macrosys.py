@@ -1,0 +1,188 @@
+"""A macroarchitecture realized in microcode (experiment E10).
+
+"Traditionally, microprogramming has been used for the realization of
+macroarchitectures" (§1) — and the survey's conclusion weighs a user's
+5× speedup from compiled microcode against an expert's 10×, both over
+*interpreted macrocode*.  This module supplies the macro side of that
+comparison:
+
+* **M1**, a 16-bit accumulator macro-ISA (LDA/STA/LDI/ADD/SUB/AND/JMP/
+  JZ/HALT), with a tiny assembler;
+* a **microcoded M1 interpreter written in YALLL** (the fetch–decode–
+  execute loop dispatching through the multiway mask branch), compiled
+  like any other user microprogram and loaded into the control store.
+
+Running an M1 program through the interpreter, against running the
+equivalent algorithm as compiled or hand-written microcode, yields the
+survey's three-way comparison on identical simulated hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.loader import ControlStore
+from repro.errors import ReproError
+from repro.lang.yalll.compiler import CompileResult, compile_yalll
+from repro.machine.machine import MicroArchitecture
+from repro.sim.simulator import RunResult, Simulator
+
+#: M1 opcodes (4 bits) — operand in the low 12 bits.
+OPCODES = {
+    "HALT": 0x0,
+    "LDA": 0x1,   # acc := M[addr]
+    "STA": 0x2,   # M[addr] := acc
+    "LDI": 0x3,   # acc := imm
+    "ADD": 0x4,   # acc += M[addr]
+    "SUB": 0x5,   # acc -= M[addr]
+    "AND": 0x6,   # acc &= M[addr]
+    "JMP": 0x7,   # pc := addr
+    "JZ": 0x8,    # if acc = 0 then pc := addr
+}
+
+
+def assemble_macro(
+    source: str, base: int = 0
+) -> tuple[list[int], dict[str, int]]:
+    """Assemble M1 assembly into memory words loaded at ``base``.
+
+    Two passes over ``label:``-prefixed lines; ``.word n`` emits data.
+    Symbolic operands resolve to absolute addresses (``base`` applied).
+    Returns (words, absolute symbol table).
+    """
+    lines = []
+    for raw in source.splitlines():
+        line = raw.split(";")[0].strip()
+        if line:
+            lines.append(line)
+    symbols: dict[str, int] = {}
+    address = 0
+    for line in lines:
+        while ":" in line:
+            label, line = line.split(":", 1)
+            symbols[label.strip()] = address
+            line = line.strip()
+        if line:
+            address += 1
+    words: list[int] = []
+    for line in lines:
+        while ":" in line:
+            _, line = line.split(":", 1)
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        mnemonic = parts[0].upper()
+        if mnemonic == ".WORD":
+            words.append(int(parts[1], 0) & 0xFFFF)
+            continue
+        if mnemonic not in OPCODES:
+            raise ReproError(f"unknown M1 mnemonic {mnemonic!r}")
+        operand = 0
+        if len(parts) > 1:
+            token = parts[1]
+            if token in symbols:
+                operand = base + symbols[token]
+            else:
+                operand = int(token, 0)
+        words.append((OPCODES[mnemonic] << 12) | (operand & 0xFFF))
+    return words, symbols
+
+
+#: The microcoded M1 interpreter, in YALLL.  ``pc`` starts at the
+#: program's load address; ``acc`` is the macro accumulator.
+INTERPRETER = """
+; M1 macro-ISA interpreter (fetch - decode - execute)
+fetch:
+    load inst,pc
+    add  pc,pc,1
+    shr  op,inst,12
+    and  arg,inst,0x0FFF
+    mjump op (0000 -> halt, 0001 -> lda, 0010 -> sta, 0011 -> ldi,
+              0100 -> addm, 0101 -> subm, 0110 -> andm, 0111 -> jmp,
+              1000 -> jz, default -> halt)
+lda:
+    load acc,arg
+    jump fetch
+sta:
+    stor acc,arg
+    jump fetch
+ldi:
+    move acc,arg
+    jump fetch
+addm:
+    load w,arg
+    add  acc,acc,w
+    jump fetch
+subm:
+    load w,arg
+    sub  acc,acc,w
+    jump fetch
+andm:
+    load w,arg
+    and  acc,acc,w
+    jump fetch
+jmp:
+    move pc,arg
+    jump fetch
+jz:
+    jump fetch if acc # 0
+    move pc,arg
+    jump fetch
+halt:
+    exit acc
+"""
+
+
+@dataclass
+class MacroSystem:
+    """A machine with the M1 interpreter resident in its control store."""
+
+    machine: MicroArchitecture
+    interpreter: CompileResult
+    simulator: Simulator
+
+    def load_macro(self, source: str, base: int = 0x100) -> dict[str, int]:
+        """Assemble and load an M1 program at ``base``."""
+        words, symbols = assemble_macro(source, base)
+        self.simulator.state.memory.load_words(base, words)
+        return {name: base + offset for name, offset in symbols.items()}
+
+    def _register(self, variable: str) -> str:
+        """Physical register of an interpreter variable.
+
+        Variables whose names coincide with machine registers (e.g.
+        ``acc`` on HM1) resolve directly and never reach the allocator.
+        """
+        mapping = self.interpreter.allocation.mapping
+        if variable in mapping:
+            return mapping[variable]
+        for name in self.machine.registers.names():
+            if name.lower() == variable.lower():
+                return name
+        raise ReproError(f"interpreter variable {variable!r} not found")
+
+    def run_macro(
+        self, entry: int, max_cycles: int = 2_000_000
+    ) -> RunResult:
+        """Interpret the macro program starting at ``entry``."""
+        self.simulator.state.write_reg(self._register("pc"), entry)
+        self.simulator.state.write_reg(self._register("acc"), 0)
+        return self.simulator.run("m1-interp", max_cycles=max_cycles)
+
+    @property
+    def accumulator(self) -> int:
+        return self.simulator.state.read_reg(self._register("acc"))
+
+
+def build_macro_system(machine: MicroArchitecture) -> MacroSystem:
+    """Compile the interpreter and install it on a machine.
+
+    Requires a machine with a hardware multiway branch (HM1, HP300m) —
+    exactly the feature YALLL's mask branch was designed for.
+    """
+    result = compile_yalll(INTERPRETER, machine, name="m1-interp")
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store)
+    return MacroSystem(machine, result, simulator)

@@ -1,0 +1,172 @@
+"""The benchmark program corpus, written in YALLL.
+
+Six small programs of the kind the survey's evaluation era used
+(string transliteration is §2.2.4's own example).  Variables are
+symbolic — the allocator binds them per machine — so one source runs
+on every machine description; helper functions compile, load and run a
+program and fetch results through the allocation map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.loader import ControlStore
+from repro.lang.yalll.compiler import CompileResult, compile_yalll
+from repro.machine.machine import MicroArchitecture
+from repro.sim.simulator import RunResult, Simulator
+
+#: §2.2.4's transliteration program, with symbolic registers.
+TRANSLIT = """
+; transliterate the string at 'str' through the table at 'tbl'
+loop:
+    load char,str
+    jump out if char = 0
+    add  mar,char,tbl
+    load char,mar
+    stor char,str
+    add  str,str,1
+    jump loop
+out: exit
+"""
+
+#: Copy n words from src to dst.
+MEMCPY = """
+loop:
+    jump out if n = 0
+    load w,src
+    stor w,dst
+    add  src,src,1
+    add  dst,dst,1
+    sub  n,n,1
+    jump loop
+out: exit
+"""
+
+#: XOR checksum of n words at base.
+CHECKSUM = """
+    put  sum,0
+loop:
+    jump out if n = 0
+    load w,base
+    xor  sum,sum,w
+    add  base,base,1
+    sub  n,n,1
+    jump loop
+out: exit sum
+"""
+
+#: Population count of the value in x.
+BITCOUNT = """
+    put count,0
+loop:
+    jump out if x = 0
+    and  bit,x,1
+    add  count,count,bit
+    shr  x,x,1
+    jump loop
+out: exit count
+"""
+
+#: Compare zero-terminated strings at a and b; exits 0 if equal, 1 if not.
+STRCMP = """
+loop:
+    load ca,a
+    load cb,b
+    sub  d,ca,cb
+    jump notequal if d # 0
+    jump equal if ca = 0
+    add  a,a,1
+    add  b,b,1
+    jump loop
+equal:
+    put res,0
+    exit res
+notequal:
+    put res,1
+    exit res
+"""
+
+#: Iterative Fibonacci of n (n small).
+FIB = """
+    put a,0
+    put b,1
+loop:
+    jump out if n = 0
+    add t,a,b
+    move a,b
+    move b,t
+    sub n,n,1
+    jump loop
+out: exit a
+"""
+
+#: name -> (source, input variable names, memory-touching?)
+CORPUS: dict[str, tuple[str, tuple[str, ...]]] = {
+    "translit": (TRANSLIT, ("str", "tbl")),
+    "memcpy": (MEMCPY, ("src", "dst", "n")),
+    "checksum": (CHECKSUM, ("base", "n")),
+    "bitcount": (BITCOUNT, ("x",)),
+    "strcmp": (STRCMP, ("a", "b")),
+    "fib": (FIB, ("n",)),
+}
+
+
+@dataclass
+class ProgramRun:
+    """A compiled-and-executed corpus program."""
+
+    compile_result: CompileResult
+    run_result: RunResult
+    simulator: Simulator
+
+    def variable(self, name: str) -> int:
+        """Read a symbolic variable's final value."""
+        mapping = self.compile_result.allocation.mapping
+        if name in mapping:
+            return self.simulator.state.read_reg(mapping[name])
+        slots = self.compile_result.allocation.spilled_slots
+        if name in slots:
+            return self.simulator.state.scratchpad.read(slots[name])
+        return self.simulator.state.read_reg(name)
+
+
+def compile_program(
+    name: str,
+    machine: MicroArchitecture,
+    *,
+    optimize: bool = True,
+) -> CompileResult:
+    """Compile a corpus program by name."""
+    source, _inputs = CORPUS[name]
+    return compile_yalll(source, machine, name=name, optimize=optimize)
+
+
+def run_program(
+    name: str,
+    machine: MicroArchitecture,
+    inputs: dict[str, int],
+    *,
+    optimize: bool = True,
+    memory: dict[int, int] | None = None,
+    max_cycles: int = 1_000_000,
+    compiled: CompileResult | None = None,
+) -> ProgramRun:
+    """Compile, load and run a corpus program."""
+    result = compiled or compile_program(name, machine, optimize=optimize)
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store)
+    for address, value in (memory or {}).items():
+        simulator.state.memory.load_words(address, [value])
+    mapping = result.allocation.mapping
+    slots = result.allocation.spilled_slots
+    for variable, value in inputs.items():
+        if variable in mapping:
+            simulator.state.write_reg(mapping[variable], value)
+        elif variable in slots:
+            simulator.state.scratchpad.write(slots[variable], value)
+        else:
+            simulator.state.write_reg(variable, value)
+    run = simulator.run(name, max_cycles=max_cycles)
+    return ProgramRun(result, run, simulator)

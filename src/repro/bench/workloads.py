@@ -1,0 +1,118 @@
+"""Synthetic workload generation for the benchmark harnesses.
+
+``random_block`` produces straight-line micro-operation sequences with
+controllable dependence density — the workload family over which the
+composition-algorithm comparison (E7) and the allocation/composition
+interaction study (E14) sweep.  Generation is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.machine.machine import MicroArchitecture
+from repro.machine.registers import GPR
+from repro.mir.block import BasicBlock, Jump
+from repro.mir.operands import Imm, Reg, preg, vreg
+from repro.mir.ops import MicroOp, mop
+from repro.mir.program import MicroProgram, ProgramBuilder
+
+#: Op mix used by the generators: (name, n_reg_srcs, has_imm_count).
+_OP_MIX = [
+    ("add", 2, False), ("sub", 2, False), ("and", 2, False),
+    ("or", 2, False), ("xor", 2, False), ("mov", 1, False),
+    ("inc", 1, False), ("dec", 1, False), ("not", 1, False),
+    ("shl", 1, True), ("shr", 1, True),
+]
+
+
+def random_block(
+    machine: MicroArchitecture,
+    n_ops: int,
+    seed: int = 0,
+    reuse: float = 0.5,
+    registers: list[str] | None = None,
+    virtual: bool = False,
+    label: str = "blk",
+) -> BasicBlock:
+    """A random straight-line block.
+
+    ``reuse`` in [0, 1] controls dependence density: the probability a
+    source operand picks an already-written register rather than a
+    fresh/random one.  Higher reuse → longer dependence chains → less
+    exploitable parallelism.
+    """
+    rng = random.Random(seed)
+    if registers is None:
+        if virtual:
+            registers = [f"v{i}" for i in range(max(8, n_ops // 2))]
+        else:
+            registers = [r.name for r in machine.registers.allocatable(GPR)]
+    make = (lambda n: vreg(n)) if virtual else (lambda n: preg(n))
+    ops_supported = [
+        entry for entry in _OP_MIX if machine.has_op(entry[0])
+    ]
+    block = BasicBlock(label)
+    written: list[str] = []
+    for _ in range(n_ops):
+        name, n_srcs, has_count = rng.choice(ops_supported)
+        srcs: list = []
+        for _ in range(n_srcs):
+            if written and rng.random() < reuse:
+                srcs.append(make(rng.choice(written[-4:])))
+            else:
+                srcs.append(make(rng.choice(registers)))
+        if has_count:
+            srcs.append(Imm(rng.randint(1, 3)))
+        dest = make(rng.choice(registers))
+        block.ops.append(MicroOp(name, dest, tuple(srcs)))
+        written.append(dest.name)
+    block.terminate(Jump(label))
+    return block
+
+
+def random_program(
+    machine: MicroArchitecture,
+    n_blocks: int,
+    ops_per_block: int,
+    seed: int = 0,
+    reuse: float = 0.5,
+    virtual: bool = True,
+    n_variables: int | None = None,
+) -> MicroProgram:
+    """A random multi-block program over symbolic variables.
+
+    Used by the register-pressure sweep (E8): ``n_variables`` controls
+    pressure directly.
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder(f"rand{seed}", machine)
+    names = [f"v{i}" for i in range(n_variables or ops_per_block)]
+    make = (lambda n: vreg(n)) if virtual else (lambda n: preg(n))
+    ops_supported = [entry for entry in _OP_MIX if machine.has_op(entry[0])]
+
+    builder.start_block("entry")
+    # Give every variable an initial value so liveness is total.
+    for name in names:
+        builder.emit(mop("movi", make(name), Imm(rng.randint(0, 255))))
+    for index in range(n_blocks):
+        builder.start_block(f"b{index}")
+        written: list[str] = []
+        for _ in range(ops_per_block):
+            op_name, n_srcs, has_count = rng.choice(ops_supported)
+            srcs: list = []
+            for _ in range(n_srcs):
+                pool = written[-4:] if written and rng.random() < reuse else names
+                srcs.append(make(rng.choice(pool)))
+            if has_count:
+                srcs.append(Imm(rng.randint(1, 3)))
+            dest_name = rng.choice(names)
+            builder.emit(MicroOp(op_name, make(dest_name), tuple(srcs)))
+            written.append(dest_name)
+    # Fold everything into one live result so nothing is dead.
+    builder.start_block("fold")
+    accumulator = make(names[0])
+    for name in names[1:]:
+        builder.emit(mop("xor", accumulator, accumulator, make(name)))
+    builder.exit(accumulator)
+    return builder.finish()

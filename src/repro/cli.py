@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile`` — compile a source file for a machine, print the
+  control-store listing and statistics.
+* ``run`` — compile and execute, with register/memory initialization
+  and final-state reporting.
+* ``machines`` — describe the shipped machine descriptions.
+* ``survey`` — print the survey's language comparison matrix.
+* ``verify`` — run the verification subsystem over an S* program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.asm.loader import ControlStore
+from repro.errors import ReproError
+from repro.lang.empl import compile_empl
+from repro.lang.mpl import compile_mpl
+from repro.lang.simpl import compile_simpl
+from repro.lang.sstar import compile_sstar, parse_sstar, verify_sstar
+from repro.lang.yalll import compile_yalll
+from repro.machine.machines import get_machine, machine_names
+from repro.sim.simulator import Simulator
+
+#: language name -> compile function (source, machine, **kwargs).
+COMPILERS = {
+    "simpl": lambda src, machine: compile_simpl(src, machine),
+    "empl": lambda src, machine: compile_empl(src, machine),
+    "sstar": lambda src, machine: compile_sstar(src, machine),
+    "yalll": lambda src, machine: compile_yalll(src, machine),
+    "mpl": lambda src, machine: compile_mpl(src, machine),
+}
+
+
+def _parse_assignments(pairs: list[str]) -> dict[str, int]:
+    values: dict[str, int] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise ReproError(f"bad assignment {pair!r}; expected name=value")
+        values[name] = int(value, 0)
+    return values
+
+
+def _compile(args) -> tuple:
+    source = Path(args.file).read_text()
+    machine = get_machine(args.machine)
+    result = COMPILERS[args.lang](source, machine)
+    return machine, result
+
+
+def cmd_compile(args) -> int:
+    machine, result = _compile(args)
+    print(result.loaded.listing(machine))
+    print()
+    print(f"{len(result.loaded)} control words "
+          f"({len(result.loaded) * machine.control.width} bits), "
+          f"{result.composed.n_ops()} micro-operations, "
+          f"compaction {result.composed.compaction_ratio():.2f} ops/word")
+    if result.legalize_stats.expansions:
+        print(f"legalization: {result.legalize_stats.expansions}")
+    if result.allocation.mapping:
+        print(f"allocation: {result.allocation.mapping}"
+              + (f", spilled {result.allocation.spilled_slots}"
+                 if result.allocation.spilled_slots else ""))
+    return 0
+
+
+def cmd_run(args) -> int:
+    machine, result = _compile(args)
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store)
+    mapping = result.allocation.mapping
+    for name, value in _parse_assignments(args.set or []).items():
+        simulator.state.write_reg(mapping.get(name, name), value)
+    for address, value in _parse_assignments(args.mem or []).items():
+        simulator.state.memory.load_words(int(address, 0), [value])
+    outcome = simulator.run(result.loaded.name, max_cycles=args.max_cycles)
+    print(outcome)
+    if outcome.exit_value is not None:
+        print(f"exit value: {outcome.exit_value} ({outcome.exit_value:#x})")
+    if args.show:
+        for name in args.show:
+            register = mapping.get(name, name)
+            print(f"{name} = {simulator.state.read_reg(register)}")
+    return 0
+
+
+def cmd_machines(args) -> int:
+    for name in machine_names():
+        machine = get_machine(name)
+        print(machine.summary())
+        if args.verbose:
+            print(machine.control.describe())
+            print()
+    return 0
+
+
+def cmd_survey(_args) -> int:
+    from repro.survey import render_conclusions, render_matrix
+
+    print(render_matrix())
+    print()
+    print(render_conclusions())
+    return 0
+
+
+def cmd_verify(args) -> int:
+    machine = get_machine(args.machine)
+    program = parse_sstar(Path(args.file).read_text())
+    report = verify_sstar(program, machine)
+    print(report)
+    return 0 if report.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Microprogramming-language toolkit (Sint 1980 survey)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser("compile", help="compile to microcode")
+    compile_parser.add_argument("file")
+    compile_parser.add_argument("--lang", choices=sorted(COMPILERS),
+                                required=True)
+    compile_parser.add_argument("--machine", choices=machine_names(),
+                                default="HM1")
+    compile_parser.set_defaults(handler=cmd_compile)
+
+    run_parser = sub.add_parser("run", help="compile and simulate")
+    run_parser.add_argument("file")
+    run_parser.add_argument("--lang", choices=sorted(COMPILERS),
+                            required=True)
+    run_parser.add_argument("--machine", choices=machine_names(),
+                            default="HM1")
+    run_parser.add_argument("--set", action="append", metavar="VAR=VALUE",
+                            help="initialize a variable or register")
+    run_parser.add_argument("--mem", action="append", metavar="ADDR=VALUE",
+                            help="initialize a memory word")
+    run_parser.add_argument("--show", action="append", metavar="VAR",
+                            help="print a variable's final value")
+    run_parser.add_argument("--max-cycles", type=int, default=1_000_000)
+    run_parser.set_defaults(handler=cmd_run)
+
+    machines_parser = sub.add_parser("machines", help="list machines")
+    machines_parser.add_argument("-v", "--verbose", action="store_true")
+    machines_parser.set_defaults(handler=cmd_machines)
+
+    survey_parser = sub.add_parser("survey", help="print the survey matrix")
+    survey_parser.set_defaults(handler=cmd_survey)
+
+    verify_parser = sub.add_parser("verify", help="verify an S* program")
+    verify_parser.add_argument("file")
+    verify_parser.add_argument("--machine", choices=machine_names(),
+                               default="HM1")
+    verify_parser.set_defaults(handler=cmd_verify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Microinstruction composition — "compaction" (survey substrate S4).
+
+Four algorithms over one conflict model:
+
+* :class:`SequentialComposer` — one op per word (baseline / unoptimized)
+* :class:`LinearComposer` — first-come-first-served packing [18]
+* :class:`ListScheduler` — critical-path list scheduling [22]
+* :class:`LevelComposer` / :func:`maximal_parallel_sets` — maximal
+  parallelism analysis [3]
+* :class:`BranchBoundComposer` — minimal composition by search [21]
+"""
+
+from repro.compose.base import (
+    ComposedBlock,
+    ComposedProgram,
+    Composer,
+    MicroInstruction,
+    PlacedOp,
+    compose_program,
+)
+from repro.compose.branch_bound import BranchBoundComposer
+from repro.compose.conflicts import ConflictModel
+from repro.compose.dasgupta_tartar import (
+    LevelComposer,
+    data_parallelism,
+    maximal_parallel_sets,
+)
+from repro.compose.linear import LinearComposer, SequentialComposer
+from repro.compose.list_schedule import ListScheduler
+from repro.compose.metrics import (
+    CompactionStats,
+    block_stats,
+    compare_composers,
+    estimate_cycles,
+    program_stats,
+)
+
+#: All composers, in roughly increasing quality order.
+ALL_COMPOSERS = [
+    SequentialComposer,
+    LinearComposer,
+    LevelComposer,
+    ListScheduler,
+    BranchBoundComposer,
+]
+
+__all__ = [
+    "ALL_COMPOSERS",
+    "BranchBoundComposer",
+    "CompactionStats",
+    "ComposedBlock",
+    "ComposedProgram",
+    "Composer",
+    "ConflictModel",
+    "LevelComposer",
+    "LinearComposer",
+    "ListScheduler",
+    "MicroInstruction",
+    "PlacedOp",
+    "SequentialComposer",
+    "block_stats",
+    "compare_composers",
+    "compose_program",
+    "data_parallelism",
+    "estimate_cycles",
+    "maximal_parallel_sets",
+    "program_stats",
+]

@@ -1,0 +1,168 @@
+"""Composition core: placed ops, microinstructions, composed programs.
+
+Composition ("compaction") turns a sequential list of micro-operations
+into horizontal microinstructions — the problem the survey calls
+"far from trivial" and credits to [18, 22, 3, 21].  All algorithms in
+this package produce the same output type so they can be compared
+directly (experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import CompositionError
+from repro.machine.machine import MicroArchitecture
+from repro.machine.opspec import OpSpec
+from repro.mir.block import BasicBlock, Terminator
+from repro.mir.operands import Imm, Reg
+from repro.mir.ops import MicroOp
+from repro.mir.program import MicroProgram, Procedure
+
+
+@dataclass(frozen=True)
+class PlacedOp:
+    """A micro-operation bound to a concrete machine variant."""
+
+    op: MicroOp
+    spec: OpSpec
+
+    def settings(self, machine: MicroArchitecture) -> dict[str, str | int]:
+        """Resolved control-word settings of this placement."""
+        dest = self.op.dest.name if self.op.dest is not None else None
+        srcs = tuple(
+            s.name if isinstance(s, Reg) else s.value for s in self.op.srcs
+        )
+        return machine.resolve_settings(self.spec, dest, srcs)
+
+    def phase(self, machine: MicroArchitecture) -> int:
+        return machine.phase_of(self.spec)
+
+    def __str__(self) -> str:
+        return f"{self.op} [{self.spec.key}]"
+
+
+@dataclass
+class MicroInstruction:
+    """One horizontal microinstruction: parallel placed ops + sequencing."""
+
+    placed: list[PlacedOp] = field(default_factory=list)
+    terminator: Terminator | None = None
+
+    def ops(self) -> list[MicroOp]:
+        return [p.op for p in self.placed]
+
+    def settings(self, machine: MicroArchitecture) -> dict[str, str | int]:
+        """Merged control-word settings of all placed ops.
+
+        Raises :class:`CompositionError` if two ops disagree on a field
+        — callers normally prevent this via the conflict model, so a
+        failure here indicates a composer bug.
+        """
+        merged: dict[str, str | int] = {}
+        for placed in self.placed:
+            for name, value in placed.settings(machine).items():
+                if name in merged and merged[name] != value:
+                    raise CompositionError(
+                        f"field {name!r} set to both {merged[name]!r} and "
+                        f"{value!r} in one microinstruction"
+                    )
+                merged[name] = value
+        return merged
+
+    def cycles(self, machine: MicroArchitecture) -> int:
+        """Cycles this microinstruction occupies (max op latency)."""
+        if not self.placed:
+            return 1
+        return max(machine.latency_of(p.spec) for p in self.placed)
+
+    def __str__(self) -> str:
+        body = " || ".join(str(p.op) for p in self.placed) or "nop"
+        if self.terminator is not None:
+            body += f" ; {self.terminator}"
+        return body
+
+
+@dataclass
+class ComposedBlock:
+    """A basic block after composition."""
+
+    label: str
+    instructions: list[MicroInstruction] = field(default_factory=list)
+
+    def n_ops(self) -> int:
+        return sum(len(mi.placed) for mi in self.instructions)
+
+
+@dataclass
+class ComposedProgram:
+    """A whole program after composition, ready for assembly."""
+
+    name: str
+    blocks: dict[str, ComposedBlock] = field(default_factory=dict)
+    entry: str = ""
+    procedures: dict[str, Procedure] = field(default_factory=dict)
+    constants: dict[str, int] = field(default_factory=dict)
+
+    def n_instructions(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks.values())
+
+    def n_ops(self) -> int:
+        return sum(b.n_ops() for b in self.blocks.values())
+
+    def compaction_ratio(self) -> float:
+        """Ops per microinstruction (1.0 = fully sequential)."""
+        instructions = self.n_instructions()
+        return self.n_ops() / instructions if instructions else 0.0
+
+    def __str__(self) -> str:
+        lines = [f"composed {self.name} (entry {self.entry})"]
+        for block in self.blocks.values():
+            lines.append(f"{block.label}:")
+            lines.extend(f"    {mi}" for mi in block.instructions)
+        return "\n".join(lines)
+
+
+class Composer(Protocol):
+    """A composition algorithm over one basic block."""
+
+    #: Short identifier used in benchmark tables.
+    name: str
+
+    def compose_block(
+        self, block: BasicBlock, machine: MicroArchitecture
+    ) -> list[MicroInstruction]:
+        """Compose the block's ops into microinstructions (no terminator)."""
+        ...  # pragma: no cover
+
+
+def compose_program(
+    program: MicroProgram,
+    machine: MicroArchitecture,
+    composer: Composer,
+) -> ComposedProgram:
+    """Compose every block of a program with the given algorithm.
+
+    The block's terminator is attached to its final microinstruction
+    (an empty one is appended for blocks with no ops, so every label
+    maps to at least one control-store word).
+    """
+    program.validate()
+    composed = ComposedProgram(
+        name=program.name,
+        entry=program.entry,
+        procedures=dict(program.procedures),
+        constants=dict(program.constants),
+    )
+    for label, block in program.blocks.items():
+        instructions = composer.compose_block(block, machine)
+        if not instructions:
+            instructions = [MicroInstruction()]
+        if instructions[-1].terminator is not None:
+            raise CompositionError(
+                f"composer {composer.name!r} set a terminator itself"
+            )
+        instructions[-1].terminator = block.terminator
+        composed.blocks[label] = ComposedBlock(label, instructions)
+    return composed

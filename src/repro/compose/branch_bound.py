@@ -1,0 +1,131 @@
+"""Branch-and-bound minimal composition (Tokoro et al. [21] flavour).
+
+Searches over assignments of ops (in program order, which is a
+topological order of the dependence DAG) to microinstruction indices,
+pruning with the incumbent solution and a critical-path lower bound.
+The list scheduler seeds the incumbent, so even when the node budget is
+exhausted the result is never worse than list scheduling — on small
+blocks the result is provably minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compose.base import MicroInstruction, PlacedOp
+from repro.compose.common import edge_kinds, relations_for
+from repro.compose.conflicts import ConflictModel
+from repro.compose.list_schedule import ListScheduler
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import BasicBlock
+from repro.mir.deps import OUTPUT, build_dependence_graph
+
+
+@dataclass
+class BranchBoundComposer:
+    """Exhaustive minimal packing with pruning.
+
+    Attributes:
+        node_budget: Maximum search nodes before falling back to the
+            best solution found so far.
+    """
+
+    node_budget: int = 200_000
+    name: str = "branch-bound"
+
+    def compose_block(
+        self, block: BasicBlock, machine: MicroArchitecture
+    ) -> list[MicroInstruction]:
+        seed = ListScheduler().compose_block(block, machine)
+        n = len(block.ops)
+        if n == 0:
+            return []
+        model = ConflictModel(machine)
+        graph = build_dependence_graph(block, machine)
+        kinds = edge_kinds(graph)
+        heights = graph.heights()
+        # Heights are in cycles (latency-weighted); for MI-count bounding
+        # use unit-weight chain lengths instead.
+        chain = self._chain_lengths(graph)
+
+        best: list[list[PlacedOp]] = [list(mi.placed) for mi in seed]
+        best_length = len(seed)
+        state: list[MicroInstruction] = []
+        location: dict[int, tuple[int, int]] = {}
+        nodes_left = self.node_budget
+
+        def lower_bound(next_op: int, current_length: int) -> int:
+            bound = current_length
+            for j in range(next_op, n):
+                earliest = 0
+                for pred in graph.predecessors(j):
+                    if pred < n and pred in location:
+                        pred_mi, _ = location[pred]
+                        pair = kinds[(pred, j)]
+                        earliest = max(
+                            earliest,
+                            pred_mi + 1 if OUTPUT in pair else pred_mi,
+                        )
+                bound = max(bound, earliest + chain[j])
+            return bound
+
+        def search(op_index: int) -> None:
+            nonlocal best, best_length, nodes_left
+            if nodes_left <= 0:
+                return
+            nodes_left -= 1
+            if op_index == n:
+                if len(state) < best_length:
+                    best_length = len(state)
+                    best = [list(mi.placed) for mi in state]
+                return
+            if lower_bound(op_index, len(state)) >= best_length:
+                return
+            op = block.ops[op_index]
+            lower = 0
+            for pred in graph.predecessors(op_index):
+                if pred >= n:
+                    continue
+                pred_mi, _ = location[pred]
+                pair = kinds[(pred, op_index)]
+                lower = max(lower, pred_mi + 1 if OUTPUT in pair else pred_mi)
+            # Try existing instructions first (cheapest), then a new one.
+            upper = min(len(state), best_length - 1)
+            for mi_index in range(lower, upper + 1):
+                if mi_index == len(state):
+                    state.append(MicroInstruction())
+                instruction = state[mi_index]
+                positions = {
+                    i: pos for i, (mi, pos) in location.items() if mi == mi_index
+                }
+                relations = relations_for(op_index, positions, kinds)
+                for placed in model.placements(op):
+                    if model.can_add(instruction, placed, relations):
+                        instruction.placed.append(placed)
+                        location[op_index] = (
+                            mi_index,
+                            len(instruction.placed) - 1,
+                        )
+                        search(op_index + 1)
+                        del location[op_index]
+                        instruction.placed.pop()
+                if mi_index == len(state) - 1 and not state[-1].placed:
+                    state.pop()
+
+        search(0)
+        result = [MicroInstruction(placed=placed) for placed in best]
+        return result
+
+    @staticmethod
+    def _chain_lengths(graph) -> list[int]:
+        """Unit-weight critical-path lengths (in microinstructions)."""
+        n = graph.n_ops
+        lengths = [1] * n
+        for node in range(n - 1, -1, -1):
+            below = [
+                lengths[successor]
+                for successor in graph.successors(node)
+                if successor < n
+            ]
+            lengths[node] = 1 + (max(below) if below else 0)
+        return lengths

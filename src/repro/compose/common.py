@@ -1,0 +1,52 @@
+"""Shared helpers for composition algorithms."""
+
+from __future__ import annotations
+
+from repro.compose.base import MicroInstruction, PlacedOp
+from repro.compose.conflicts import ConflictModel, Relations
+from repro.mir.deps import DependenceGraph
+from repro.mir.ops import MicroOp
+
+
+def edge_kinds(graph: DependenceGraph) -> dict[tuple[int, int], set[str]]:
+    """Collect dependence kinds per (src, dst) op pair."""
+    kinds: dict[tuple[int, int], set[str]] = {}
+    for edge in graph.edges:
+        if edge.dst < graph.n_ops:
+            kinds.setdefault((edge.src, edge.dst), set()).add(edge.kind)
+    return kinds
+
+
+def relations_for(
+    op_index: int,
+    instruction_positions: dict[int, int],
+    kinds: dict[tuple[int, int], set[str]],
+) -> Relations:
+    """Relations of ops already in a microinstruction to a candidate.
+
+    ``instruction_positions`` maps op index -> position inside the
+    instruction under construction.
+    """
+    relations: Relations = {}
+    for placed_index, position in instruction_positions.items():
+        pair = kinds.get((placed_index, op_index))
+        if pair:
+            relations[position] = pair
+    return relations
+
+
+def try_place(
+    model: ConflictModel,
+    instruction: MicroInstruction,
+    op: MicroOp,
+    relations: Relations,
+) -> PlacedOp | None:
+    """Try every machine variant of an op; add the first that fits.
+
+    Returns the successful placement, or None if no variant fits.
+    """
+    for placed in model.placements(op):
+        if model.can_add(instruction, placed, relations):
+            instruction.placed.append(placed)
+            return placed
+    return None

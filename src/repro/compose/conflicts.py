@@ -1,0 +1,165 @@
+"""Resource-conflict model (DeWitt's control-word model [7]).
+
+Decides whether a candidate micro-operation may join a partially built
+microinstruction.  Three rule families:
+
+1. **Field conflicts** — two ops needing the same control-word field at
+   different values cannot coexist (the essence of horizontal
+   encoding).
+2. **Unit capacity** — at most ``unit.count`` ops per functional unit.
+3. **Dependence/phase legality** — a flow-dependent pair may share one
+   microinstruction only on machines with phase chaining, with the
+   consumer in a strictly later phase and a single-cycle producer; an
+   anti-dependent pair is legal when the writer's phase is not earlier
+   than the reader's; output-dependent pairs never share.
+
+The model is machine-generic: everything it needs comes from the
+:class:`~repro.machine.machine.MicroArchitecture` description, so every
+composition algorithm works on every machine (survey §2.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConflictError, EncodingError
+from repro.machine.machine import MicroArchitecture
+from repro.machine.opspec import OpSpec
+from repro.mir.deps import ANTI, FLOW, OUTPUT
+from repro.mir.ops import MicroOp
+from repro.compose.base import MicroInstruction, PlacedOp
+
+#: Relation of an already-placed op to the candidate being added.
+#: ``(kind)`` means: placed-op --kind--> candidate.
+Relations = dict[int, set[str]]
+
+
+@dataclass
+class ConflictModel:
+    """Stateless conflict oracle for one machine."""
+
+    machine: MicroArchitecture
+    _settings_cache: dict[PlacedOp, dict[str, str | int]] = field(default_factory=dict)
+
+    def settings_of(self, placed: PlacedOp) -> dict[str, str | int]:
+        cached = self._settings_cache.get(placed)
+        if cached is None:
+            cached = placed.settings(self.machine)
+            self._settings_cache[placed] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def fields_conflict(self, a: PlacedOp, b: PlacedOp) -> bool:
+        """Whether two placements disagree on any control-word field."""
+        settings_a = self.settings_of(a)
+        settings_b = self.settings_of(b)
+        common = settings_a.keys() & settings_b.keys()
+        return any(settings_a[name] != settings_b[name] for name in common)
+
+    def unit_overflow(
+        self, instruction: MicroInstruction, candidate: PlacedOp
+    ) -> bool:
+        """Whether adding the candidate exceeds a unit's instance count."""
+        unit = self.machine.unit(candidate.spec.unit)
+        used = sum(
+            1 for p in instruction.placed if p.spec.unit == candidate.spec.unit
+        )
+        return used + 1 > unit.count
+
+    def dependence_legal(
+        self,
+        placed: PlacedOp,
+        candidate: PlacedOp,
+        kinds: set[str],
+    ) -> bool:
+        """Whether placed --kinds--> candidate may share one instruction."""
+        if OUTPUT in kinds:
+            return False
+        placed_phase = placed.phase(self.machine)
+        candidate_phase = candidate.phase(self.machine)
+        if FLOW in kinds:
+            if not self.machine.allows_phase_chaining:
+                return False
+            if candidate_phase <= placed_phase:
+                return False
+            if self.machine.latency_of(placed.spec) > 1:
+                return False
+        if ANTI in kinds and candidate_phase < placed_phase:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def can_add(
+        self,
+        instruction: MicroInstruction,
+        candidate: PlacedOp,
+        relations: Relations | None = None,
+    ) -> bool:
+        """Whether the candidate may join the instruction.
+
+        ``relations`` maps positions in ``instruction.placed`` to the
+        dependence kinds running from that op to the candidate (empty /
+        missing = independent).
+        """
+        if self.unit_overflow(instruction, candidate):
+            return False
+        for position, placed in enumerate(instruction.placed):
+            if self.fields_conflict(placed, candidate):
+                return False
+            kinds = (relations or {}).get(position, set())
+            if kinds and not self.dependence_legal(placed, candidate, kinds):
+                return False
+        return True
+
+    def placements(self, op: MicroOp) -> list[PlacedOp]:
+        """All machine variants of an op as candidate placements.
+
+        Variants whose field settings cannot encode the op's operands
+        (e.g. a register missing from that variant's selector) are
+        filtered out.
+        """
+        placements: list[PlacedOp] = []
+        for spec in self.machine.op_variants(op.op):
+            placed = PlacedOp(op, spec)
+            try:
+                resolved = self.settings_of(placed)
+            except EncodingError:
+                continue
+            if self._encodable(resolved):
+                placements.append(placed)
+        if not placements:
+            raise ConflictError(
+                f"{self.machine.name}: no variant of {op} is encodable"
+            )
+        return placements
+
+    def _encodable(self, resolved: dict[str, str | int]) -> bool:
+        for name, value in resolved.items():
+            fld = self.machine.control[name]
+            if fld.is_immediate:
+                if not isinstance(value, int):
+                    return False
+                if not 0 <= value <= fld.mask:
+                    return False
+            elif isinstance(value, str) and value not in fld.encodings:
+                return False
+        return True
+
+    def check_instruction(self, instruction: MicroInstruction) -> None:
+        """Validate a fully built instruction (S* programmer-composed
+        microinstructions are checked with this, survey §2.2.3).
+
+        Raises :class:`ConflictError` naming the offending pair.
+        """
+        for index, candidate in enumerate(instruction.placed):
+            partial = MicroInstruction(placed=list(instruction.placed[:index]))
+            if self.unit_overflow(partial, candidate):
+                raise ConflictError(
+                    f"unit {candidate.spec.unit!r} over capacity with {candidate.op}"
+                )
+            for placed in partial.placed:
+                if self.fields_conflict(placed, candidate):
+                    raise ConflictError(
+                        f"{placed.op} and {candidate.op} conflict on a "
+                        f"control-word field"
+                    )

@@ -1,0 +1,87 @@
+"""Maximal-parallelism identification (Dasgupta & Tartar [3]).
+
+For straight-line microcode, the maximal parallelism available under
+unlimited resources is given by the dependence levels of the ops: two
+operations can execute simultaneously iff no dependence path connects
+them, and the ASAP level partition groups each op with the earliest
+set it can join.  ``maximal_parallel_sets`` exposes that analysis;
+:class:`LevelComposer` turns it into a composition algorithm by packing
+each level greedily and splitting on resource conflicts — which makes
+the *gap* between data parallelism and machine parallelism measurable
+(experiment E7 reports both).
+"""
+
+from __future__ import annotations
+
+from repro.compose.base import MicroInstruction
+from repro.compose.common import edge_kinds, relations_for, try_place
+from repro.compose.conflicts import ConflictModel
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import BasicBlock
+from repro.mir.deps import DependenceGraph, build_dependence_graph
+from repro.mir.ops import MicroOp
+
+
+def maximal_parallel_sets(
+    block: BasicBlock, machine: MicroArchitecture
+) -> list[list[int]]:
+    """Partition op indices into maximal simultaneously-executable sets.
+
+    Ops sharing an ASAP level have no dependence path between them (any
+    dependence strictly increases the level), so each level is a set of
+    mutually parallel operations; the partition as a whole is the
+    "maximal parallelism" of the straight-line program in the sense of
+    Dasgupta & Tartar [3].
+    """
+    graph = build_dependence_graph(block, machine)
+    return _levels_to_sets(graph)
+
+
+def _levels_to_sets(graph: DependenceGraph) -> list[list[int]]:
+    levels = graph.asap_levels()
+    if not levels:
+        return []
+    sets: list[list[int]] = [[] for _ in range(max(levels) + 1)]
+    for op_index, level in enumerate(levels):
+        sets[level].append(op_index)
+    return sets
+
+
+def data_parallelism(block: BasicBlock, machine: MicroArchitecture) -> float:
+    """Average ops per maximal parallel set (resource-blind parallelism)."""
+    sets = maximal_parallel_sets(block, machine)
+    if not sets:
+        return 0.0
+    return sum(len(s) for s in sets) / len(sets)
+
+
+class LevelComposer:
+    """Pack ASAP levels greedily, splitting on resource conflicts."""
+
+    name = "asap-level"
+
+    def compose_block(
+        self, block: BasicBlock, machine: MicroArchitecture
+    ) -> list[MicroInstruction]:
+        model = ConflictModel(machine)
+        graph = build_dependence_graph(block, machine)
+        kinds = edge_kinds(graph)
+        instructions: list[MicroInstruction] = []
+        for level in _levels_to_sets(graph):
+            pending: list[int] = list(level)
+            while pending:
+                instruction = MicroInstruction()
+                positions: dict[int, int] = {}
+                still_pending: list[int] = []
+                for op_index in pending:
+                    relations = relations_for(op_index, positions, kinds)
+                    placement = try_place(
+                        model, instruction, block.ops[op_index], relations
+                    )
+                    if placement is None:
+                        still_pending.append(op_index)
+                    else:
+                        positions[op_index] = len(instruction.placed) - 1
+                instructions.append(instruction)
+                pending = still_pending
+        return instructions

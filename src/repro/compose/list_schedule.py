@@ -1,0 +1,80 @@
+"""Critical-path list scheduling (Tsuchiya & Gonzalez [22] flavour).
+
+Microinstructions are built one at a time.  At each step the *ready*
+operations (all dependence predecessors already scheduled) are tried in
+order of decreasing critical-path height — urgent chains first — and
+greedily packed until nothing more fits.  Unlike first-come-first-
+served packing this reorders independent operations, which typically
+buys a few extra percent of compaction on wide machines.
+"""
+
+from __future__ import annotations
+
+from repro.compose.base import MicroInstruction
+from repro.compose.common import edge_kinds, relations_for, try_place
+from repro.compose.conflicts import ConflictModel
+from repro.errors import CompositionError
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import BasicBlock
+from repro.mir.deps import build_dependence_graph
+
+
+class ListScheduler:
+    """Height-priority greedy packing."""
+
+    name = "list"
+
+    def compose_block(
+        self, block: BasicBlock, machine: MicroArchitecture
+    ) -> list[MicroInstruction]:
+        model = ConflictModel(machine)
+        graph = build_dependence_graph(block, machine)
+        kinds = edge_kinds(graph)
+        heights = graph.heights()
+        n = graph.n_ops
+
+        unscheduled = set(range(n))
+        #: op index -> (instruction index, position)
+        location: dict[int, tuple[int, int]] = {}
+        instructions: list[MicroInstruction] = []
+
+        while unscheduled:
+            mi_index = len(instructions)
+            instruction = MicroInstruction()
+            instructions.append(instruction)
+            current_positions: dict[int, int] = {}
+            packed_any = True
+            while packed_any:
+                packed_any = False
+                ready = sorted(
+                    (
+                        j
+                        for j in unscheduled
+                        if all(
+                            pred in location
+                            for pred in graph.predecessors(j)
+                            if pred < n
+                        )
+                    ),
+                    key=lambda j: (-heights[j], j),
+                )
+                for op_index in ready:
+                    relations = relations_for(op_index, current_positions, kinds)
+                    # Predecessors placed in *this* instruction must be
+                    # represented in relations so phase rules apply; any
+                    # predecessor in an earlier instruction is already
+                    # satisfied by sequencing.
+                    placement = try_place(
+                        model, instruction, block.ops[op_index], relations
+                    )
+                    if placement is not None:
+                        position = len(instruction.placed) - 1
+                        location[op_index] = (mi_index, position)
+                        current_positions[op_index] = position
+                        unscheduled.discard(op_index)
+                        packed_any = True
+            if not instruction.placed:  # pragma: no cover - defensive
+                raise CompositionError(
+                    f"{machine.name}: list scheduler made no progress"
+                )
+        return instructions

@@ -1,0 +1,71 @@
+"""Composition quality metrics (experiment E7's measurements)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compose.base import ComposedProgram, Composer, MicroInstruction, compose_program
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import BasicBlock
+from repro.mir.program import MicroProgram
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """Result of composing one block/program with one algorithm."""
+
+    composer: str
+    n_ops: int
+    n_instructions: int
+    est_cycles: int
+
+    @property
+    def ratio(self) -> float:
+        """Ops per microinstruction (higher = tighter packing)."""
+        return self.n_ops / self.n_instructions if self.n_instructions else 0.0
+
+
+def block_stats(
+    composer: Composer, block: BasicBlock, machine: MicroArchitecture
+) -> CompactionStats:
+    """Compose a single block and measure it."""
+    instructions = composer.compose_block(block, machine)
+    return CompactionStats(
+        composer=composer.name,
+        n_ops=len(block.ops),
+        n_instructions=len(instructions),
+        est_cycles=estimate_cycles(instructions, machine),
+    )
+
+
+def program_stats(
+    composer: Composer, program: MicroProgram, machine: MicroArchitecture
+) -> CompactionStats:
+    """Compose a whole program and measure it."""
+    composed = compose_program(program, machine, composer)
+    cycles = sum(
+        estimate_cycles(block.instructions, machine)
+        for block in composed.blocks.values()
+    )
+    return CompactionStats(
+        composer=composer.name,
+        n_ops=composed.n_ops(),
+        n_instructions=composed.n_instructions(),
+        est_cycles=cycles,
+    )
+
+
+def estimate_cycles(
+    instructions: list[MicroInstruction], machine: MicroArchitecture
+) -> int:
+    """Static single-pass cycle estimate (each MI = max op latency)."""
+    return sum(mi.cycles(machine) for mi in instructions)
+
+
+def compare_composers(
+    composers: list[Composer],
+    program: MicroProgram,
+    machine: MicroArchitecture,
+) -> list[CompactionStats]:
+    """Run several algorithms over the same program."""
+    return [program_stats(composer, program, machine) for composer in composers]

@@ -1,0 +1,17 @@
+"""The four surveyed language front ends (S8–S11, plus MPL) plus shared
+infrastructure (lexing, legalization, restart safety)."""
+
+from repro.lang.empl import compile_empl
+from repro.lang.mpl import compile_mpl
+from repro.lang.simpl import compile_simpl
+from repro.lang.sstar import compile_sstar, verify_sstar
+from repro.lang.yalll import compile_yalll
+
+__all__ = [
+    "compile_empl",
+    "compile_mpl",
+    "compile_simpl",
+    "compile_sstar",
+    "compile_yalll",
+    "verify_sstar",
+]

@@ -1,0 +1,23 @@
+"""Shared front-end infrastructure: lexing and machine legalization."""
+
+from repro.lang.common.legalize import LegalizeStats, Legalizer, legalize
+from repro.lang.common.lexer import (
+    EOF,
+    NEWLINE,
+    Lexer,
+    LexerSpec,
+    Token,
+    TokenStream,
+)
+
+__all__ = [
+    "EOF",
+    "LegalizeStats",
+    "Legalizer",
+    "Lexer",
+    "LexerSpec",
+    "NEWLINE",
+    "Token",
+    "TokenStream",
+    "legalize",
+]

@@ -1,0 +1,394 @@
+"""Machine legalization: make a micro-program expressible on a target.
+
+Code generators emit *semantic* micro-operations; real machines are
+messier (survey §2.1.2: "the beautiful features that are available are
+of no use, and the ones needed are not provided").  This pass rewrites
+a program until every op exists on the target and every operand is
+encodable:
+
+* missing ops are expanded (``inc`` → ``add ONE``, ``nand`` → ``and`` +
+  ``not``, ``rol`` → shift/or combination, …);
+* shifts on machines that only shift one bit per word are unrolled;
+* literals wider than the machine's immediate field are placed in
+  constant-ROM slots, or synthesized with shift/or sequences when the
+  ROM is full;
+* operands violating register-class constraints (e.g. VAXm's
+  "ALU results land in T0–T3 only") get copies through fresh virtual
+  registers;
+* multiway branches are lowered to compare/branch chains on machines
+  without a hardware mask-table dispatch.
+
+The op-count growth this pass causes on irregular machines is exactly
+the code-quality penalty the survey reports for YALLL's VAX-11 back
+end (experiment E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EncodingError, MIRError
+from repro.machine.machine import MicroArchitecture
+from repro.machine.opspec import OpSpec
+from repro.machine.registers import CONST
+from repro.mir.block import Branch, Fallthrough, Jump, Multiway, BasicBlock
+from repro.mir.operands import Imm, Operand, Reg, preg, vreg
+from repro.mir.ops import MicroOp, mop
+from repro.mir.program import MicroProgram
+
+
+@dataclass
+class LegalizeStats:
+    """What legalization had to do (reported by experiment E4)."""
+
+    ops_before: int = 0
+    ops_after: int = 0
+    expansions: dict[str, int] = field(default_factory=dict)
+    multiway_lowered: int = 0
+
+    def note(self, kind: str) -> None:
+        self.expansions[kind] = self.expansions.get(kind, 0) + 1
+
+    @property
+    def growth(self) -> float:
+        """Op-count growth factor caused by legalization."""
+        return self.ops_after / self.ops_before if self.ops_before else 1.0
+
+
+class Legalizer:
+    """One legalization run over one program/machine pair."""
+
+    def __init__(self, program: MicroProgram, machine: MicroArchitecture):
+        self.program = program
+        self.machine = machine
+        self.stats = LegalizeStats(ops_before=program.n_ops())
+        self._temp_counter = 0
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> LegalizeStats:
+        for block in list(self.program.blocks.values()):
+            block.ops = self._expand_ops(block.ops)
+        self._enforce_dest_classes()
+        if not self.machine.has_multiway_branch:
+            self._lower_multiway()
+        self.stats.ops_after = self.program.n_ops()
+        return self.stats
+
+    # -- helpers -----------------------------------------------------------
+    def _temp(self, hint: str = "lg") -> Reg:
+        self._temp_counter += 1
+        return vreg(f"_{hint}{self._temp_counter}")
+
+    def _label(self, hint: str = "_mw") -> str:
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    def _special_const(self, value: int) -> Reg | None:
+        mask = self.machine.mask()
+        table = {0: ("ZERO", "R0"), 1: ("ONE",), mask: ("MINUS1",)}
+        for name in table.get(value & mask, ()):
+            if name in self.machine.registers:
+                return preg(name)
+        return None
+
+    def _const_reg(self, value: int) -> Reg | None:
+        """A register already holding (or assignable to hold) ``value``."""
+        value &= self.machine.mask()
+        special = self._special_const(value)
+        if special is not None:
+            return special
+        for slot, held in self.program.constants.items():
+            if held == value:
+                return preg(slot)
+        used = set(self.program.constants)
+        for register in self.machine.registers.in_class(CONST):
+            if register.name.startswith("C") and register.name not in used:
+                self.program.constants[register.name] = value
+                return preg(register.name)
+        return None
+
+    def materialize(self, value: int, out: list[MicroOp]) -> Reg:
+        """A register holding ``value``, emitting setup ops into ``out``."""
+        register = self._const_reg(value)
+        if register is not None:
+            return register
+        temp = self._temp("c")
+        for op in self._expand_one(mop("movi", temp, Imm(value))) or [
+            mop("movi", temp, Imm(value))
+        ]:
+            out.append(op)
+        return temp
+
+    # -- op expansion ---------------------------------------------------------
+    def _expand_ops(self, ops: list[MicroOp]) -> list[MicroOp]:
+        result: list[MicroOp] = []
+        work = list(ops)
+        guard = 0
+        while work:
+            guard += 1
+            if guard > 100_000:
+                raise MIRError("legalization did not converge")
+            op = work.pop(0)
+            expansion = self._expand_one(op)
+            if expansion is None:
+                result.append(op)
+            else:
+                work = expansion + work
+        return result
+
+    def _encodable(self, op: MicroOp) -> bool:
+        """Whether some machine variant can encode this op's operands.
+
+        Virtual-register operands are always considered encodable: the
+        allocator assigns them physical registers that every selector
+        field can name.
+        """
+        for spec in self.machine.op_variants(op.op):
+            if self._variant_fits(spec, op):
+                return True
+        return False
+
+    def _variant_fits(self, spec: OpSpec, op: MicroOp) -> bool:
+        if len(op.srcs) != spec.n_srcs or (op.dest is None) == spec.has_dest:
+            return False
+        for field_name, value in spec.settings:
+            fld = self.machine.control[field_name]
+            if value == "$dest":
+                operand: object = op.dest
+            elif value.startswith("$src") or value.startswith("$imm"):
+                index = int(value[4:])
+                operand = op.srcs[index]
+            else:
+                if not fld.is_immediate and value not in fld.encodings:
+                    return False
+                continue
+            if isinstance(operand, Reg):
+                if fld.is_immediate:
+                    return False
+                if not operand.virtual and operand.name not in fld.encodings:
+                    return False
+            elif isinstance(operand, Imm):
+                if not fld.is_immediate:
+                    return False
+                if not 0 <= operand.value <= fld.mask:
+                    return False
+        return True
+
+    def _shift_by_one_only(self, name: str) -> bool:
+        """Machine shifts a single bit per word (no count field)."""
+        return all(
+            "$imm1" not in dict(spec.settings).values()
+            for spec in self.machine.op_variants(name)
+        )
+
+    def _expand_one(self, op: MicroOp) -> list[MicroOp] | None:
+        """Expansion of one op, or None when it is fine as is."""
+        machine = self.machine
+        name = op.op
+
+        # CHAMIL's datapath abstraction (§2.2.5): an indirect move is
+        # routed through the machine's bus latches, hop by hop.
+        if (
+            name == "mov"
+            and machine.datapath is not None
+            and isinstance(op.srcs[0], Reg)
+            and not op.srcs[0].virtual
+            and op.dest is not None
+            and not op.dest.virtual
+            and not machine.datapath.is_direct(op.srcs[0].name, op.dest.name)
+        ):
+            route = machine.datapath.route(op.srcs[0].name, op.dest.name)
+            if route is None:
+                raise MIRError(
+                    f"{machine.name}: no datapath from {op.srcs[0].name} "
+                    f"to {op.dest.name}"
+                )
+            self.stats.note("datapath-route")
+            return [
+                mop("mov", preg(hop_dst), preg(hop_src), line=op.line)
+                for hop_src, hop_dst in route
+            ]
+
+        if machine.has_op(name):
+            if name in ("shl", "shr", "sar", "rol", "ror"):
+                count = op.srcs[1].value if isinstance(op.srcs[1], Imm) else 1
+                if count > 1 and self._shift_by_one_only(name):
+                    self.stats.note(f"{name}-unroll")
+                    first = op.with_operands(op.dest, (op.srcs[0], Imm(1)))
+                    rest = [
+                        op.with_operands(op.dest, (op.dest, Imm(1)))
+                        for _ in range(count - 1)
+                    ]
+                    return [first, *rest]
+                return None
+            if name == "movi" and not self._encodable(op):
+                return self._expand_wide_literal(op)
+            return None
+
+        # Missing op: synthesize from what the machine has.
+        setup: list[MicroOp] = []
+        if name == "inc" and machine.has_op("add"):
+            self.stats.note("inc")
+            one = self.materialize(1, setup)
+            return [*setup, mop("add", op.dest, op.srcs[0], one, line=op.line)]
+        if name == "dec" and machine.has_op("sub"):
+            self.stats.note("dec")
+            one = self.materialize(1, setup)
+            return [*setup, mop("sub", op.dest, op.srcs[0], one, line=op.line)]
+        if name == "neg" and machine.has_op("not"):
+            self.stats.note("neg")
+            temp = self._temp()
+            one = self.materialize(1, setup)
+            return [
+                *setup,
+                mop("not", temp, op.srcs[0], line=op.line),
+                mop("add", op.dest, temp, one, line=op.line),
+            ]
+        if name in ("nand", "nor") and machine.has_op("not"):
+            self.stats.note(name)
+            base = "and" if name == "nand" else "or"
+            temp = self._temp()
+            return [
+                mop(base, temp, op.srcs[0], op.srcs[1], line=op.line),
+                mop("not", op.dest, temp, line=op.line),
+            ]
+        if name in ("rol", "ror") and machine.has_op("shl") and machine.has_op("shr"):
+            self.stats.note(name)
+            count = op.srcs[1].value if isinstance(op.srcs[1], Imm) else 1
+            count %= machine.word_size
+            if count == 0:
+                return [mop("mov", op.dest, op.srcs[0], line=op.line)]
+            left = count if name == "rol" else machine.word_size - count
+            right = machine.word_size - left
+            high = self._temp()
+            low = self._temp()
+            return [
+                mop("shl", high, op.srcs[0], Imm(left), line=op.line),
+                mop("shr", low, op.srcs[0], Imm(right), line=op.line),
+                mop("or", op.dest, high, low, line=op.line),
+            ]
+        if name == "adc" and machine.has_op("add"):
+            raise MIRError(
+                f"{machine.name}: cannot synthesize add-with-carry"
+            )
+        raise MIRError(f"{machine.name}: no expansion for op {name!r}")
+
+    def _expand_wide_literal(self, op: MicroOp) -> list[MicroOp]:
+        """A literal wider than the machine's immediate field."""
+        assert isinstance(op.srcs[0], Imm)
+        value = op.srcs[0].value & self.machine.mask()
+        setup: list[MicroOp] = []
+        register = self._const_reg(value)
+        if register is not None:
+            self.stats.note("const-rom")
+            return [mop("mov", op.dest, register, line=op.line)]
+        self.stats.note("wide-literal")
+        lit_width = self._literal_width()
+        low = value & ((1 << lit_width) - 1)
+        high = value >> lit_width
+        high_reg = self._temp()
+        low_reg = self._temp()
+        return [
+            *setup,
+            mop("movi", high_reg, Imm(high), line=op.line),
+            mop("shl", high_reg, high_reg, Imm(lit_width), line=op.line),
+            mop("movi", low_reg, Imm(low), line=op.line),
+            mop("or", op.dest, high_reg, low_reg, line=op.line),
+        ]
+
+    def _literal_width(self) -> int:
+        for spec in self.machine.op_variants("movi"):
+            for field_name, value in spec.settings:
+                if value == "$imm0":
+                    return self.machine.control[field_name].width
+        raise MIRError(f"{self.machine.name}: movi has no literal field")
+
+    # -- class enforcement ---------------------------------------------------
+    def _enforce_dest_classes(self) -> None:
+        """Copy through a temp when a physical dest violates its class."""
+        for block in self.program.blocks.values():
+            new_ops: list[MicroOp] = []
+            for op in block.ops:
+                spec = self._class_violation(op)
+                if spec is None:
+                    new_ops.append(op)
+                    continue
+                self.stats.note("dest-class-copy")
+                temp = self._temp("cc")
+                new_ops.append(op.with_operands(temp, op.srcs))
+                new_ops.append(mop("mov", op.dest, temp, line=op.line))
+            block.ops = new_ops
+
+    def _class_violation(self, op: MicroOp) -> OpSpec | None:
+        """The spec whose dest class the op's physical dest violates.
+
+        Returns None when some variant accepts the operands as they
+        are, or when the destination is virtual (the allocator will
+        honour the constraint).
+        """
+        if op.dest is None or op.dest.virtual:
+            return None
+        violating = None
+        for spec in self.machine.op_variants(op.op):
+            if spec.dest_class is None:
+                return None
+            register = self.machine.registers[op.dest.name]
+            if register.is_in(spec.dest_class):
+                return None
+            violating = spec
+        return violating
+
+    # -- multiway lowering ---------------------------------------------------
+    def _lower_multiway(self) -> None:
+        """Rewrite Multiway terminators into compare/branch chains."""
+        for label in list(self.program.blocks):
+            block = self.program.blocks[label]
+            terminator = block.terminator
+            if not isinstance(terminator, Multiway):
+                continue
+            self.stats.multiway_lowered += 1
+            chain_label = self._chain(terminator)
+            block.terminator = Fallthrough(chain_label)
+
+    def _chain(self, terminator: Multiway) -> str:
+        """Build the compare/branch chain blocks; returns its entry."""
+        width = self.machine.word_size
+        # Plan every test first: (label, ops, match_target) triples.
+        plan: list[tuple[str, list[MicroOp], str]] = []
+        always_match: str | None = None
+        for case in terminator.cases:
+            care = 0
+            value = 0
+            for position, bit in enumerate(reversed(case.mask)):
+                if bit != "x":
+                    care |= 1 << position
+                    if bit == "1":
+                        value |= 1 << position
+            if care == 0:
+                always_match = case.target
+                break  # later cases are unreachable
+            ops: list[MicroOp] = []
+            if care == (1 << width) - 1:
+                subject: Reg = terminator.reg
+            else:
+                subject = self._temp("mw")
+                care_reg = self.materialize(care, ops)
+                ops.append(mop("and", subject, terminator.reg, care_reg))
+            value_reg = self.materialize(value, ops)
+            ops.append(mop("cmp", None, subject, value_reg))
+            plan.append((self._label(), self._expand_ops(ops), case.target))
+        fallthrough = always_match or terminator.default
+        if not plan:
+            return fallthrough
+        for index, (label, ops, match_target) in enumerate(plan):
+            miss_target = plan[index + 1][0] if index + 1 < len(plan) else fallthrough
+            chain = BasicBlock(label, ops=ops)
+            chain.terminate(Branch("Z", match_target, miss_target))
+            self.program.add_block(chain)
+        return plan[0][0]
+
+
+def legalize(program: MicroProgram, machine: MicroArchitecture) -> LegalizeStats:
+    """Legalize a program for a machine (in place); returns stats."""
+    return Legalizer(program, machine).run()

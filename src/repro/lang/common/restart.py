@@ -1,0 +1,164 @@
+"""Microtrap restart safety (survey §2.1.5).
+
+Under the survey's trap model a faulting microprogram is *restarted
+from the beginning* after service, with macro-visible registers saved
+and restored (they keep their values) while microregisters revert to
+their entry values.  The survey's ``incread`` example::
+
+    program incread(n)
+    begin reg[n] := reg[n]+1; mbr := readmem(reg[n]) end
+
+double-increments ``reg[n]`` when the memory fetch pagefaults, because
+the increment to a macro-visible register survives the restart.
+
+``analyze_restart_hazards`` finds writes to persistent state that can
+be followed by a trap point; ``make_restart_safe`` applies the
+classical idempotence transform within basic blocks — compute into a
+microregister temporary, commit to the macro-visible register only
+after the last trap point of the block.  Hazards spanning blocks are
+reported, not silently fixed (the survey notes the general problem
+"requires a too detailed analysis").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.machine import MicroArchitecture
+from repro.mir.liveness import program_successors
+from repro.mir.operands import Reg, vreg
+from repro.mir.ops import MicroOp, mop
+from repro.mir.program import MicroProgram
+
+#: Operations that may raise a microtrap (pagefault on main memory).
+TRAP_OPS = frozenset({"read", "write"})
+
+#: Virtual-register prefix that allocators must keep out of
+#: macro-visible registers (see repro.regalloc.constraints).
+RESTART_TEMP_PREFIX = "_rs"
+
+
+@dataclass(frozen=True)
+class RestartHazard:
+    """A write to persistent state that a later trap can replay."""
+
+    block: str
+    op_index: int
+    register: str
+    kind: str  # "intra-block" | "cross-block"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.block}[{self.op_index}]: write to macro-visible "
+            f"{self.register} may replay after a microtrap ({self.kind})"
+        )
+
+
+def _macro_visible_names(machine: MicroArchitecture) -> set[str]:
+    return {register.name for register in machine.registers.macro_visible()}
+
+
+def _blocks_reaching_traps(program: MicroProgram) -> set[str]:
+    """Labels of blocks from which a trap-capable op is reachable
+    *without counting their own ops* (successor-reachability)."""
+    has_trap = {
+        label: any(op.op in TRAP_OPS for op in block.ops)
+        for label, block in program.blocks.items()
+    }
+    successors = program_successors(program)
+    reaches: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for label in program.blocks:
+            if label in reaches:
+                continue
+            if any(
+                has_trap[successor] or successor in reaches
+                for successor in successors[label]
+            ):
+                reaches.add(label)
+                changed = True
+    return reaches
+
+
+def analyze_restart_hazards(
+    program: MicroProgram, machine: MicroArchitecture
+) -> list[RestartHazard]:
+    """All writes to macro-visible registers a later trap can replay."""
+    persistent = _macro_visible_names(machine)
+    if not persistent:
+        return []
+    hazards: list[RestartHazard] = []
+    reaches_trap = _blocks_reaching_traps(program)
+    for label, block in program.blocks.items():
+        trap_indices = [
+            index for index, op in enumerate(block.ops) if op.op in TRAP_OPS
+        ]
+        last_trap = trap_indices[-1] if trap_indices else -1
+        for index, op in enumerate(block.ops):
+            if op.dest is None or op.dest.virtual:
+                continue
+            if op.dest.name not in persistent:
+                continue
+            if index < last_trap:
+                hazards.append(
+                    RestartHazard(label, index, op.dest.name, "intra-block")
+                )
+            elif label in reaches_trap:
+                hazards.append(
+                    RestartHazard(label, index, op.dest.name, "cross-block")
+                )
+    return hazards
+
+
+def make_restart_safe(
+    program: MicroProgram, machine: MicroArchitecture
+) -> list[RestartHazard]:
+    """Apply the intra-block idempotence transform in place.
+
+    Every macro-visible write that precedes a trap point in its block
+    is redirected to a fresh microregister temporary; later reads in
+    the block use the temporary, and a single commit move lands after
+    the block's last trap point.  Returns the hazards that remain
+    (cross-block), which callers should surface to the programmer.
+    """
+    persistent = _macro_visible_names(machine)
+    counter = 0
+    for block in program.blocks.values():
+        trap_indices = [
+            index for index, op in enumerate(block.ops) if op.op in TRAP_OPS
+        ]
+        if not trap_indices:
+            continue
+        last_trap = trap_indices[-1]
+        renames: dict[Reg, Reg] = {}
+        #: original register -> pending commit move (ordered dict).
+        commits: dict[Reg, MicroOp] = {}
+        new_ops: list[MicroOp] = []
+        for index, op in enumerate(block.ops):
+            op = op.rename(renames)
+            writes_persistent = (
+                op.dest is not None
+                and not op.dest.virtual
+                and op.dest.name in persistent
+            )
+            if writes_persistent and index < last_trap:
+                counter += 1
+                temp = vreg(f"{RESTART_TEMP_PREFIX}{counter}")
+                original = op.dest
+                op = op.with_operands(temp, op.srcs)
+                renames[original] = temp
+                commits[original] = mop(
+                    "mov", original, temp, comment="restart commit"
+                )
+            elif writes_persistent:
+                # A direct write past the last trap point supersedes any
+                # staged value: cancel its commit, reads see the new value.
+                renames.pop(op.dest, None)
+                commits.pop(op.dest, None)
+            new_ops.append(op)
+        # Commit staged values after the block's last trap point (which
+        # is also after every op here, since commits go to the tail).
+        block.ops = new_ops + list(commits.values())
+    return analyze_restart_hazards(program, machine)

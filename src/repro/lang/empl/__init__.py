@@ -1,0 +1,15 @@
+"""EMPL — Extensible MicroProgramming Language (§2.2.2, [8])."""
+
+from repro.lang.empl.ast import EmplProgram
+from repro.lang.empl.codegen import EmplCodegen, generate
+from repro.lang.empl.compiler import EmplCompileResult, compile_empl
+from repro.lang.empl.parser import parse_empl
+
+__all__ = [
+    "EmplCodegen",
+    "EmplCompileResult",
+    "EmplProgram",
+    "compile_empl",
+    "generate",
+    "parse_empl",
+]

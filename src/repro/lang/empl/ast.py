@@ -1,0 +1,204 @@
+"""EMPL abstract syntax (survey §2.2.2, DeWitt [8]).
+
+EMPL is the survey's closest approximation to a conventional high level
+language: symbolic global variables (not registers), PL/I-flavoured
+statements, *extensible operators* carrying an optional ``MICROOP``
+escape, and SIMULA-class-like extension types (``TYPE … ENDTYPE``)
+bundling fields, an ``INITIALLY`` block and operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- operands and expressions -------------------------------------------------
+@dataclass(frozen=True)
+class NameRef:
+    ident: str
+
+
+@dataclass(frozen=True)
+class Number:
+    value: int
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """``arr(index)`` — EMPL arrays are 1-based, as in the example."""
+
+    name: str
+    index: "SimpleOperand"
+
+
+SimpleOperand = NameRef | Number
+Operand = NameRef | Number | ArrayRef
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    """``A op B`` — one operator per expression (§2.2.2)."""
+
+    op: str  # + - * / & | xor shl shr
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True)
+class UnaryExpr:
+    op: str  # "-" | "~" | "" (plain operand)
+    operand: Operand
+
+
+@dataclass(frozen=True)
+class OpCall:
+    """Invocation of a declared operator: ``PUSH(stk, x)``."""
+
+    name: str
+    args: tuple[SimpleOperand, ...]
+
+
+Expr = BinaryExpr | UnaryExpr | OpCall
+
+
+# -- statements ---------------------------------------------------------------
+@dataclass(frozen=True)
+class Condition:
+    left: Operand
+    relop: str
+    right: Operand
+
+
+@dataclass
+class Assign:
+    target: Operand  # NameRef or ArrayRef
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class IfStmt:
+    condition: Condition
+    then_body: "Stmt"
+    else_body: "Stmt | None" = None
+    line: int = 0
+
+
+@dataclass
+class WhileStmt:
+    condition: Condition
+    body: "Stmt" = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class DoGroup:
+    body: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class GotoStmt:
+    label: str
+    line: int = 0
+
+
+@dataclass
+class LabeledStmt:
+    label: str
+    statement: "Stmt" = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class CallStmt:
+    """``CALL proc;`` or an operator used as a statement."""
+
+    name: str
+    args: tuple[SimpleOperand, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class ReturnStmt:
+    line: int = 0
+
+
+@dataclass
+class ErrorStmt:
+    """``ERROR;`` — abort the microprogram with the error marker."""
+
+    line: int = 0
+
+
+Stmt = (
+    Assign | IfStmt | WhileStmt | DoGroup | GotoStmt | LabeledStmt
+    | CallStmt | ReturnStmt | ErrorStmt
+)
+
+
+# -- declarations ----------------------------------------------------------------
+@dataclass
+class VarDecl:
+    """``DECLARE name FIXED;`` / ``DECLARE name(n) FIXED;`` /
+    ``DECLARE name sometype;`` (extension-type instantiation)."""
+
+    name: str
+    type_name: str = "FIXED"
+    array_size: int | None = None
+    line: int = 0
+
+
+@dataclass
+class MicroOpSpecifier:
+    """``MICROOP: name a b;`` — tells the compiler the machine may have
+    a microoperation implementing this operator directly (§2.2.2)."""
+
+    name: str
+    params: tuple[int, ...] = ()
+
+
+@dataclass
+class OperationDecl:
+    """``name: OPERATION ACCEPTS (a, b) RETURNS (r); … END.``"""
+
+    name: str
+    accepts: tuple[str, ...] = ()
+    returns: str | None = None
+    microop: MicroOpSpecifier | None = None
+    body: Stmt | None = None
+    #: DECLAREs inside the body — EMPL has only global variables, so
+    #: these become globals name-mangled per operation.
+    declares: list[VarDecl] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class TypeDecl:
+    """``TYPE name … ENDTYPE;`` — the SIMULA-class-like extension."""
+
+    name: str
+    fields: list[VarDecl] = field(default_factory=list)
+    initially: Stmt | None = None
+    operations: dict[str, OperationDecl] = field(default_factory=dict)
+    line: int = 0
+
+
+@dataclass
+class ProcedureDecl:
+    """``name: PROCEDURE; … END;`` — parameterless (§2.2.2)."""
+
+    name: str
+    body: Stmt = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class EmplProgram:
+    """A parsed EMPL translation unit."""
+
+    types: dict[str, TypeDecl] = field(default_factory=dict)
+    operations: dict[str, OperationDecl] = field(default_factory=dict)
+    variables: list[VarDecl] = field(default_factory=list)
+    procedures: dict[str, ProcedureDecl] = field(default_factory=dict)
+    body: list[Stmt] = field(default_factory=list)

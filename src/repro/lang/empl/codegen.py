@@ -1,0 +1,594 @@
+"""EMPL code generation: AST → micro-IR.
+
+Faithful to the survey's account of DeWitt's implementation sketch
+(§2.2.2):
+
+* variables are symbolic globals — virtual registers for the allocator,
+  *not* machine registers;
+* arrays live in a main-memory data segment (EMPL "makes no difference
+  between variables residing in registers and variables residing in
+  main memory");
+* operator invocations are **textually inlined** ("a call to an
+  operator which is not hardware supported is textually replaced by
+  the statements that form its body … this will lead to an increase in
+  the size of the produced code") unless the operator's ``MICROOP``
+  escape names an operation the target machine actually has;
+* extension-type instances mangle their fields per object and run
+  their ``INITIALLY`` block at program start;
+* ``*`` and ``/`` are language primitives with no hardware on most
+  machines — they inline shift-add / repeated-subtraction loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.lang.empl.ast import (
+    ArrayRef,
+    Assign,
+    BinaryExpr,
+    CallStmt,
+    Condition,
+    DoGroup,
+    EmplProgram,
+    ErrorStmt,
+    Expr,
+    GotoStmt,
+    IfStmt,
+    LabeledStmt,
+    NameRef,
+    Number,
+    OpCall,
+    Operand,
+    OperationDecl,
+    ReturnStmt,
+    SimpleOperand,
+    UnaryExpr,
+    VarDecl,
+    WhileStmt,
+)
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import Branch, Jump
+from repro.mir.operands import Imm, Reg, preg, vreg
+from repro.mir.ops import mop
+from repro.mir.program import MicroProgram, ProgramBuilder
+
+_BINOP_TO_MIR = {"+": "add", "-": "sub", "&": "and", "|": "or", "xor": "xor"}
+_RELOP_TO_COND = {"=": "Z", "#": "NZ", "<": "N", ">=": "NN"}
+
+#: Maximum operator-inlining depth (recursion guard).
+MAX_INLINE_DEPTH = 16
+
+#: Exit value of the ERROR statement.
+ERROR_MARKER = 0xFFFF
+
+
+@dataclass
+class _Array:
+    base: int
+    size: int
+
+
+@dataclass
+class _InlineContext:
+    """Environment while inlining an operator body."""
+
+    env: dict[str, Operand]
+    end_label: str
+
+
+class EmplCodegen:
+    """Generates micro-IR from a parsed EMPL program."""
+
+    def __init__(
+        self,
+        program: EmplProgram,
+        machine: MicroArchitecture,
+        name: str = "empl",
+        data_base: int = 0x6000,
+    ):
+        self.ast = program
+        self.machine = machine
+        self.builder = ProgramBuilder(name, machine)
+        self.scalars: dict[str, Reg] = {}
+        self.arrays: dict[str, _Array] = {}
+        #: object name -> type name, for operator dispatch.
+        self.objects: dict[str, str] = {}
+        self._data_cursor = data_base
+        self._inline_stack: list[_InlineContext] = []
+        self._inline_names: list[str] = []
+        #: (INITIALLY statement, field environment) per instance.
+        self._initializers: list = []
+        self.inlined_ops = 0
+        self.hardware_ops = 0
+
+    # -- declarations ---------------------------------------------------------
+    def _declare_variable(self, decl: VarDecl, prefix: str = "") -> None:
+        name = (prefix + decl.name).upper()
+        if name in self.scalars or name in self.arrays:
+            raise SemanticError(f"duplicate variable {decl.name!r}", decl.line)
+        type_name = decl.type_name.upper()
+        if type_name == "FIXED":
+            if decl.array_size is not None:
+                self.arrays[name] = _Array(self._data_cursor, decl.array_size)
+                self._data_cursor += decl.array_size + 1  # 1-based indexing
+            else:
+                self.scalars[name] = vreg(f"g_{name}")
+            return
+        # Extension-type instantiation.
+        type_decl = self.ast.types.get(type_name)
+        if type_decl is None:
+            raise SemanticError(
+                f"unknown type {decl.type_name!r} for {decl.name!r}", decl.line
+            )
+        if decl.array_size is not None:
+            raise SemanticError(
+                f"arrays of extension types are not supported", decl.line
+            )
+        self.objects[name] = type_name
+        for field_decl in type_decl.fields:
+            self._declare_variable(field_decl, prefix=f"{name}$")
+        if type_decl.initially is not None:
+            env = self._field_env(name, type_decl)
+            self._initializers.append((type_decl.initially, env))
+
+    def _field_env(self, obj: str, type_decl) -> dict[str, Operand]:
+        return {
+            f.name.upper(): NameRef(f"{obj}${f.name.upper()}")
+            for f in type_decl.fields
+        }
+
+    # -- name resolution ---------------------------------------------------
+    def _substitute(self, ident: str) -> Operand | None:
+        for context in reversed(self._inline_stack):
+            if ident.upper() in context.env:
+                return context.env[ident.upper()]
+        return None
+
+    def _resolve_simple(self, operand: SimpleOperand, line: int) -> Operand:
+        """Resolve through inline environments (no code emitted)."""
+        if isinstance(operand, Number):
+            return operand
+        substituted = self._substitute(operand.ident)
+        if substituted is not None:
+            return substituted
+        return NameRef(operand.ident.upper())
+
+    def value_of(self, operand: Operand, line: int) -> Reg:
+        """Materialize an operand's value into a register."""
+        if isinstance(operand, Number):
+            return self._const(operand.value, line)
+        if isinstance(operand, ArrayRef):
+            return self._load_array(operand, line)
+        resolved = self._resolve_simple(operand, line)
+        if isinstance(resolved, Number):
+            return self._const(resolved.value, line)
+        if isinstance(resolved, ArrayRef):
+            return self._load_array(resolved, line)
+        name = resolved.ident.upper()
+        if name in self.scalars:
+            return self.scalars[name]
+        if name in self.arrays:
+            raise SemanticError(f"array {name!r} used without index", line)
+        raise SemanticError(f"undeclared variable {name!r}", line)
+
+    def _const(self, value: int, line: int) -> Reg:
+        resolved = self.builder.constant(value)
+        if isinstance(resolved, Reg):
+            return resolved
+        temp = self.builder.fresh_vreg("k")
+        self.builder.emit(mop("movi", temp, Imm(value), line=line))
+        return temp
+
+    # -- arrays ------------------------------------------------------------
+    def _array_address(self, ref: ArrayRef, line: int) -> Reg:
+        name_op = self._substitute(ref.name)
+        array_name = ref.name.upper()
+        if isinstance(name_op, NameRef):
+            array_name = name_op.ident.upper()
+        array = self.arrays.get(array_name)
+        if array is None:
+            raise SemanticError(f"undeclared array {ref.name!r}", line)
+        index = ref.index
+        if isinstance(index, NameRef):
+            index = self._resolve_simple(index, line)
+        if isinstance(index, Number):
+            if not 0 <= index.value <= array.size:
+                raise SemanticError(
+                    f"index {index.value} out of bounds for {ref.name!r}", line
+                )
+            return self._const(array.base + index.value, line)
+        base = self._const(array.base, line)
+        index_reg = self.value_of(index, line)
+        address = self.builder.fresh_vreg("a")
+        self.builder.emit(mop("add", address, base, index_reg, line=line))
+        return address
+
+    def _load_array(self, ref: ArrayRef, line: int) -> Reg:
+        address = self._array_address(ref, line)
+        mar, mbr = preg("MAR"), preg("MBR")
+        self.builder.emit(mop("mov", mar, address, line=line))
+        self.builder.emit(mop("read", mbr, mar, line=line))
+        temp = self.builder.fresh_vreg("e")
+        self.builder.emit(mop("mov", temp, mbr, line=line))
+        return temp
+
+    def _store_array(self, ref: ArrayRef, value: Reg, line: int) -> None:
+        address = self._array_address(ref, line)
+        mar, mbr = preg("MAR"), preg("MBR")
+        self.builder.emit(mop("mov", mar, address, line=line))
+        self.builder.emit(mop("mov", mbr, value, line=line))
+        self.builder.emit(mop("write", None, mar, mbr, line=line))
+
+    # -- driver ------------------------------------------------------------
+    def generate(self) -> MicroProgram:
+        for decl in self.ast.variables:
+            self._declare_variable(decl)
+        builder = self.builder
+        builder.start_block("main")
+        for statement, env in self._initializers:
+            self._inline_stack.append(_InlineContext(env, ""))
+            self._statement(statement)
+            self._inline_stack.pop()
+        for statement in self.ast.body:
+            self._statement(statement)
+        if not builder.current.terminated:
+            builder.exit()
+        for procedure in self.ast.procedures.values():
+            entry = f"proc_{procedure.name.upper()}"
+            builder.start_block(entry)
+            builder.declare_procedure(procedure.name.upper(), entry)
+            self._statement(procedure.body)
+            if builder.has_open_block:
+                builder.ret()
+        # EMPL variables are global, observable state: they must still
+        # hold their values when the microprogram exits (§2.2.2).
+        builder.program.live_at_exit = {
+            str(register)
+            for name, register in self.scalars.items()
+            if not name.startswith("$")
+        }
+        return builder.finish()
+
+    # -- statements ------------------------------------------------------------
+    def _statement(self, statement) -> None:
+        builder = self.builder
+        if isinstance(statement, DoGroup):
+            for child in statement.body:
+                self._statement(child)
+        elif isinstance(statement, Assign):
+            self._assign(statement)
+        elif isinstance(statement, IfStmt):
+            then_label = builder.fresh_label("then")
+            other = builder.fresh_label("else")
+            done = builder.fresh_label("fi")
+            self._branch(statement.condition, then_label,
+                         other if statement.else_body else done,
+                         statement.line)
+            builder.start_block(then_label)
+            self._statement(statement.then_body)
+            if not builder.current.terminated:
+                builder.terminate(Jump(done))
+            if statement.else_body is not None:
+                builder.start_block(other)
+                self._statement(statement.else_body)
+            builder.start_block(done)
+        elif isinstance(statement, WhileStmt):
+            head = builder.fresh_label("wh")
+            body = builder.fresh_label("do")
+            done = builder.fresh_label("od")
+            builder.terminate(Jump(head))
+            builder.start_block(head)
+            self._branch(statement.condition, body, done, statement.line)
+            builder.start_block(body)
+            self._statement(statement.body)
+            if not builder.current.terminated:
+                builder.terminate(Jump(head))
+            builder.start_block(done)
+        elif isinstance(statement, GotoStmt):
+            builder.terminate(Jump(f"u_{statement.label.upper()}"))
+        elif isinstance(statement, LabeledStmt):
+            builder.start_block(f"u_{statement.label.upper()}")
+            self._statement(statement.statement)
+        elif isinstance(statement, CallStmt):
+            self._call_statement(statement)
+        elif isinstance(statement, ReturnStmt):
+            if self._inline_stack and self._inline_stack[-1].end_label:
+                builder.terminate(Jump(self._inline_stack[-1].end_label))
+                builder.start_block()
+            else:
+                builder.ret()
+                builder.start_block()
+        elif isinstance(statement, ErrorStmt):
+            marker = self._const(ERROR_MARKER, statement.line)
+            builder.exit(marker)
+            builder.start_block()
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown statement {statement!r}")
+
+    def _assign(self, statement: Assign) -> None:
+        value = self._expression(statement.expr, statement.line)
+        target = statement.target
+        if isinstance(target, NameRef):
+            resolved = self._resolve_simple(target, statement.line)
+            if isinstance(resolved, ArrayRef):
+                self._store_array(resolved, value, statement.line)
+                return
+            if isinstance(resolved, Number):
+                raise SemanticError("assignment to a constant", statement.line)
+            target = resolved
+            name = target.ident.upper()
+            if name in self.arrays:
+                raise SemanticError(
+                    f"array {name!r} assigned without index", statement.line
+                )
+            dest = self.scalars.get(name)
+            if dest is None:
+                raise SemanticError(f"undeclared variable {name!r}", statement.line)
+            self.builder.emit(mop("mov", dest, value, line=statement.line))
+        elif isinstance(target, ArrayRef):
+            self._store_array(target, value, statement.line)
+        else:  # pragma: no cover
+            raise SemanticError("bad assignment target", statement.line)
+
+    def _call_statement(self, statement: CallStmt) -> None:
+        name = statement.name.upper()
+        if name in self.ast.procedures and not statement.args:
+            self.builder.call(name)
+            return
+        self._invoke_operation(
+            name, tuple(statement.args), statement.line, want_result=False
+        )
+
+    # -- conditions ---------------------------------------------------------
+    def _branch(
+        self, condition: Condition, true_label: str, false_label: str, line: int
+    ) -> None:
+        builder = self.builder
+        left = self.value_of(condition.left, line)
+        right = self.value_of(condition.right, line)
+        builder.emit(mop("cmp", None, left, right, line=line))
+        relop = condition.relop
+        if relop in _RELOP_TO_COND:
+            builder.terminate(Branch(_RELOP_TO_COND[relop], true_label, false_label))
+        elif relop == "<=":
+            middle = builder.fresh_label("le")
+            builder.terminate(Branch("Z", true_label, middle))
+            builder.start_block(middle)
+            builder.terminate(Branch("N", true_label, false_label))
+        elif relop == ">":
+            middle = builder.fresh_label("gt")
+            builder.terminate(Branch("Z", false_label, middle))
+            builder.start_block(middle)
+            builder.terminate(Branch("NN", true_label, false_label))
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown relop {relop!r}", line)
+
+    # -- expressions ---------------------------------------------------------
+    def _expression(self, expr: Expr, line: int) -> Reg:
+        builder = self.builder
+        if isinstance(expr, UnaryExpr):
+            if expr.op == "":
+                return self.value_of(expr.operand, line)
+            source = self.value_of(expr.operand, line)
+            temp = builder.fresh_vreg("t")
+            builder.emit(
+                mop("neg" if expr.op == "-" else "not", temp, source, line=line)
+            )
+            return temp
+        if isinstance(expr, BinaryExpr):
+            return self._binary(expr, line)
+        if isinstance(expr, OpCall):
+            # ``STK(I)`` is lexically identical to an operator call;
+            # names resolving to arrays mean indexing, not invocation.
+            array_name = expr.name.upper()
+            substituted = self._substitute(expr.name)
+            if isinstance(substituted, NameRef):
+                array_name = substituted.ident.upper()
+            if array_name in self.arrays and len(expr.args) == 1:
+                return self._load_array(ArrayRef(array_name, expr.args[0]), line)
+            result = self._invoke_operation(
+                expr.name.upper(), expr.args, line, want_result=True
+            )
+            assert result is not None
+            return result
+        raise SemanticError(f"unknown expression {expr!r}", line)  # pragma: no cover
+
+    def _binary(self, expr: BinaryExpr, line: int) -> Reg:
+        builder = self.builder
+        if expr.op in ("shl", "shr"):
+            if not isinstance(expr.right, Number):
+                raise SemanticError("shift count must be a literal", line)
+            left = self.value_of(expr.left, line)
+            temp = builder.fresh_vreg("t")
+            builder.emit(mop(expr.op, temp, left, Imm(expr.right.value), line=line))
+            return temp
+        left = self.value_of(expr.left, line)
+        right = self.value_of(expr.right, line)
+        if expr.op in _BINOP_TO_MIR:
+            temp = builder.fresh_vreg("t")
+            builder.emit(mop(_BINOP_TO_MIR[expr.op], temp, left, right, line=line))
+            return temp
+        if expr.op == "*":
+            return self._multiply(left, right, line)
+        if expr.op == "/":
+            return self._divide(left, right, line)
+        raise SemanticError(f"unknown operator {expr.op!r}", line)  # pragma: no cover
+
+    def _multiply(self, left: Reg, right: Reg, line: int) -> Reg:
+        builder = self.builder
+        result = builder.fresh_vreg("t")
+        if self.machine.has_op("mul"):
+            self.hardware_ops += 1
+            builder.emit(mop("mul", result, left, right, line=line))
+            return result
+        # Inline shift-add multiplication (code growth, as §2.2.2 warns).
+        self.inlined_ops += 1
+        m = builder.fresh_vreg("m")
+        n = builder.fresh_vreg("n")
+        bit = builder.fresh_vreg("b")
+        builder.emit(mop("mov", m, left, line=line))
+        builder.emit(mop("mov", n, right, line=line))
+        builder.emit(mop("movi", result, Imm(0), line=line))
+        head = builder.fresh_label("mul")
+        body = builder.fresh_label("mb")
+        skip = builder.fresh_label("ms")
+        done = builder.fresh_label("md")
+        builder.terminate(Jump(head))
+        builder.start_block(head)
+        zero = self._const(0, line)
+        builder.emit(mop("cmp", None, n, zero, line=line))
+        builder.terminate(Branch("Z", done, body))
+        builder.start_block(body)
+        one = self._const(1, line)
+        builder.emit(mop("and", bit, n, one, line=line))
+        builder.terminate(Branch("Z", skip, f"{skip}_add"))
+        builder.start_block(f"{skip}_add")
+        builder.emit(mop("add", result, result, m, line=line))
+        builder.terminate(Jump(skip))
+        builder.start_block(skip)
+        builder.emit(mop("shl", m, m, Imm(1), line=line))
+        builder.emit(mop("shr", n, n, Imm(1), line=line))
+        builder.terminate(Jump(head))
+        builder.start_block(done)
+        return result
+
+    def _divide(self, left: Reg, right: Reg, line: int) -> Reg:
+        """Unsigned division by repeated subtraction."""
+        builder = self.builder
+        self.inlined_ops += 1
+        quotient = builder.fresh_vreg("q")
+        remainder = builder.fresh_vreg("r")
+        builder.emit(mop("movi", quotient, Imm(0), line=line))
+        builder.emit(mop("mov", remainder, left, line=line))
+        head = builder.fresh_label("div")
+        body = builder.fresh_label("db")
+        done = builder.fresh_label("dd")
+        builder.terminate(Jump(head))
+        builder.start_block(head)
+        builder.emit(mop("cmp", None, remainder, right, line=line))
+        builder.terminate(Branch("N", done, body))
+        builder.start_block(body)
+        builder.emit(mop("sub", remainder, remainder, right, line=line))
+        builder.emit(mop("inc", quotient, quotient, line=line))
+        builder.terminate(Jump(head))
+        builder.start_block(done)
+        return quotient
+
+    # -- operator invocation ---------------------------------------------------
+    def _find_operation(
+        self, name: str, args: tuple[SimpleOperand, ...], line: int
+    ) -> tuple[OperationDecl, dict[str, Operand], tuple[SimpleOperand, ...]]:
+        """Resolve an operator name to its declaration and base env.
+
+        Object-qualified invocations (``PUSH(stack_obj, x)``) dispatch
+        on the type of the first argument.
+        """
+        if args:
+            first = args[0]
+            if isinstance(first, NameRef):
+                resolved = self._resolve_simple(first, line)
+                if isinstance(resolved, NameRef):
+                    obj = resolved.ident.upper()
+                    type_name = self.objects.get(obj)
+                    if type_name is not None:
+                        type_decl = self.ast.types[type_name]
+                        operation = type_decl.operations.get(name)
+                        if operation is None:
+                            raise SemanticError(
+                                f"type {type_name} has no operation {name!r}",
+                                line,
+                            )
+                        return operation, self._field_env(obj, type_decl), args[1:]
+        operation = self.ast.operations.get(name)
+        if operation is None:
+            raise SemanticError(f"unknown operation {name!r}", line)
+        return operation, {}, args
+
+    def _invoke_operation(
+        self,
+        name: str,
+        args: tuple[SimpleOperand, ...],
+        line: int,
+        want_result: bool,
+    ) -> Reg | None:
+        operation, env, rest = self._find_operation(name, args, line)
+        if len(rest) != len(operation.accepts):
+            raise SemanticError(
+                f"operation {name!r} takes {len(operation.accepts)} "
+                f"arguments, got {len(rest)}",
+                line,
+            )
+        # Bind formals to actuals (substitution — no parameter passing,
+        # consistent with §3's observation that no surveyed language
+        # passes parameters to subroutines).
+        for formal, actual in zip(operation.accepts, rest):
+            env[formal.upper()] = self._resolve_simple(actual, line)
+        # Operator-local DECLAREs become name-mangled globals (EMPL has
+        # only global variables) visible through the inline environment.
+        for decl in operation.declares:
+            mangled = f"${name}${decl.name.upper()}"
+            if mangled not in self.scalars and mangled not in self.arrays:
+                self._declare_variable(
+                    VarDecl(mangled, decl.type_name, decl.array_size, decl.line)
+                )
+            env.setdefault(decl.name.upper(), NameRef(mangled))
+
+        result_reg: Reg | None = None
+        if operation.returns is not None:
+            returns = operation.returns.upper()
+            if returns not in env:
+                holder = f"$RET${name}"
+                if holder not in self.scalars:
+                    self.scalars[holder] = self.builder.fresh_vreg(f"ret_{name}")
+                env[returns] = NameRef(holder)
+
+        # Hardware escape: MICROOP names an op this machine provides.
+        micro = operation.microop
+        if micro is not None and self.machine.has_op(micro.name.lower()):
+            self.hardware_ops += 1
+            sources = [
+                self.value_of(env[formal.upper()], line)
+                for formal in operation.accepts
+            ]
+            dest = None
+            if operation.returns is not None:
+                dest = self.value_of(env[operation.returns.upper()], line)
+            self.builder.emit(
+                mop(micro.name.lower(), dest, *sources, line=line)
+            )
+            return dest if want_result else None
+
+        # Textual inlining.
+        if name in self._inline_names:
+            raise SemanticError(f"recursive operator {name!r}", line)
+        if len(self._inline_stack) >= MAX_INLINE_DEPTH:
+            raise SemanticError("operator inlining too deep", line)
+        self.inlined_ops += 1
+        end_label = self.builder.fresh_label(f"end_{name}")
+        self._inline_stack.append(_InlineContext(env, end_label))
+        self._inline_names.append(name)
+        if operation.body is not None:
+            self._statement(operation.body)
+        self._inline_names.pop()
+        context = self._inline_stack.pop()
+        if not self.builder.current.terminated:
+            self.builder.terminate(Jump(end_label))
+        self.builder.start_block(end_label)
+        if want_result:
+            if operation.returns is None:
+                raise SemanticError(
+                    f"operation {name!r} returns no value", line
+                )
+            self._inline_stack.append(context)
+            result_reg = self.value_of(env[operation.returns.upper()], line)
+            self._inline_stack.pop()
+        return result_reg
+
+
+def generate(
+    ast: EmplProgram, machine: MicroArchitecture, name: str = "empl"
+) -> MicroProgram:
+    """Convenience wrapper: AST → micro-IR."""
+    return EmplCodegen(ast, machine, name).generate()

@@ -1,0 +1,57 @@
+"""EMPL compiler driver (survey §2.2.2).
+
+Pipeline: parse → code generation (with operator inlining and MICROOP
+hardware escapes) → legalization → register allocation (EMPL variables
+are symbolic, so allocation is mandatory — the feature the survey
+notes only "two or three" languages offered) → composition → assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.assembler import assemble
+from repro.compose.base import Composer, compose_program
+from repro.compose.list_schedule import ListScheduler
+from repro.lang.common.legalize import legalize
+from repro.lang.empl.codegen import EmplCodegen
+from repro.lang.empl.parser import parse_empl
+from repro.lang.yalll.compiler import CompileResult
+from repro.machine.machine import MicroArchitecture
+from repro.regalloc.linear_scan import LinearScanAllocator
+
+
+@dataclass
+class EmplCompileResult(CompileResult):
+    """CompileResult plus EMPL-specific inlining counters."""
+
+    inlined_ops: int = 0
+    hardware_ops: int = 0
+
+
+def compile_empl(
+    source: str,
+    machine: MicroArchitecture,
+    *,
+    name: str = "empl",
+    composer: Composer | None = None,
+    allocator: LinearScanAllocator | None = None,
+    data_base: int = 0x6000,
+) -> EmplCompileResult:
+    """Compile EMPL source for a machine."""
+    ast = parse_empl(source)
+    codegen = EmplCodegen(ast, machine, name, data_base=data_base)
+    mir = codegen.generate()
+    stats = legalize(mir, machine)
+    allocation = (allocator or LinearScanAllocator()).allocate(mir, machine)
+    composed = compose_program(mir, machine, composer or ListScheduler())
+    loaded = assemble(composed, machine)
+    return EmplCompileResult(
+        mir=mir,
+        composed=composed,
+        loaded=loaded,
+        legalize_stats=stats,
+        allocation=allocation,
+        inlined_ops=codegen.inlined_ops,
+        hardware_ops=codegen.hardware_ops,
+    )

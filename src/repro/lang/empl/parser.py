@@ -1,0 +1,343 @@
+"""EMPL parser (PL/I-flavoured, per the survey's §2.2.2 example).
+
+A program is a sequence of declarations (``TYPE``, ``DECLARE``,
+operator and procedure declarations) followed by executable statements.
+``/* … */`` comments.  Example accepted verbatim (modulo identifier
+spelling) from the survey::
+
+    TYPE STACK
+         DECLARE STK(16) FIXED;
+         DECLARE STKPTR FIXED;
+         DECLARE VALUE FIXED;
+         INITIALLY DO; STKPTR = 0; END;
+         PUSH: OPERATION ACCEPTS (VALUE)
+               MICROOP: PUSH 3 0;
+               IF STKPTR = 16
+               THEN ERROR;
+               ELSE DO; STKPTR = STKPTR + 1; STK(STKPTR) = VALUE; END
+               END.
+         POP: OPERATION RETURNS (VALUE)
+               ...
+               END.
+    ENDTYPE;
+    DECLARE ADDRESS_STK STACK;
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.common.lexer import Lexer, LexerSpec, TokenStream
+from repro.lang.empl.ast import (
+    ArrayRef,
+    Assign,
+    BinaryExpr,
+    CallStmt,
+    Condition,
+    DoGroup,
+    EmplProgram,
+    ErrorStmt,
+    Expr,
+    GotoStmt,
+    IfStmt,
+    LabeledStmt,
+    MicroOpSpecifier,
+    NameRef,
+    Number,
+    OpCall,
+    Operand,
+    OperationDecl,
+    ProcedureDecl,
+    ReturnStmt,
+    SimpleOperand,
+    TypeDecl,
+    UnaryExpr,
+    VarDecl,
+    WhileStmt,
+)
+
+_KEYWORDS = {
+    "declare", "fixed", "type", "endtype", "initially", "operation",
+    "accepts", "returns", "microop", "procedure", "if", "then", "else",
+    "do", "end", "while", "goto", "call", "return", "error", "xor",
+    "shl", "shr",
+}
+
+_SPEC = LexerSpec(
+    patterns=[
+        (None, r"\s+"),
+        ("NUMBER", r"0x[0-9a-fA-F]+|0b[01]+|[0-9]+"),
+        ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+        ("LE", r"<="), ("GE", r">="),
+        ("NEQ", r"#|\^="), ("EQUALS", r"="),
+        ("LT", r"<"), ("GT", r">"),
+        ("PLUS", r"\+"), ("MINUS", r"-"),
+        ("STAR", r"\*"), ("SLASH", r"/"),
+        ("AMP", r"&"), ("PIPE", r"\|"), ("TILDE", r"~"),
+        ("LPAREN", r"\("), ("RPAREN", r"\)"),
+        ("SEMI", r";"), ("COLON", r":"), ("COMMA", r","),
+        ("DOT", r"\."),
+    ],
+    keywords=_KEYWORDS,
+    keywords_case_insensitive=True,
+    block_comment=("/*", "*/"),
+)
+
+_LEXER = Lexer(_SPEC)
+
+_BINOPS = {
+    "PLUS": "+", "MINUS": "-", "STAR": "*", "SLASH": "/",
+    "AMP": "&", "PIPE": "|", "XOR": "xor", "SHL": "shl", "SHR": "shr",
+}
+_RELOPS = {
+    "EQUALS": "=", "NEQ": "#", "LT": "<", "LE": "<=", "GT": ">", "GE": ">=",
+}
+
+
+def parse_empl(source: str) -> EmplProgram:
+    """Parse EMPL source text."""
+    tokens = _LEXER.tokenize(source)
+    program = EmplProgram()
+    while not tokens.at_end():
+        if tokens.at("TYPE"):
+            decl = _type_decl(tokens)
+            program.types[decl.name.upper()] = decl
+        elif tokens.at("DECLARE"):
+            program.variables.extend(_declare(tokens))
+        elif tokens.at("IDENT") and tokens.peek(1).type == "COLON" and (
+            tokens.peek(2).type in ("OPERATION", "PROCEDURE")
+        ):
+            name = tokens.advance().value
+            tokens.advance()  # colon
+            if tokens.at("OPERATION"):
+                operation = _operation(tokens, name)
+                program.operations[name.upper()] = operation
+            else:
+                procedure = _procedure(tokens, name)
+                program.procedures[name.upper()] = procedure
+        else:
+            program.body.append(_statement(tokens))
+    return program
+
+
+def _declare(tokens: TokenStream) -> list[VarDecl]:
+    line = tokens.expect("DECLARE").line
+    declarations: list[VarDecl] = []
+    while True:
+        name = tokens.expect("IDENT").value
+        size = None
+        if tokens.accept("LPAREN"):
+            size = int(tokens.expect("NUMBER").value, 0)
+            tokens.expect("RPAREN")
+        if tokens.accept("FIXED"):
+            type_name = "FIXED"
+        elif tokens.at("IDENT"):
+            type_name = tokens.advance().value
+        else:
+            type_name = "FIXED"
+        declarations.append(VarDecl(name, type_name, size, line))
+        if not tokens.accept("COMMA"):
+            break
+    tokens.expect("SEMI")
+    return declarations
+
+
+def _type_decl(tokens: TokenStream) -> TypeDecl:
+    line = tokens.expect("TYPE").line
+    decl = TypeDecl(tokens.expect("IDENT").value, line=line)
+    while not tokens.at("ENDTYPE"):
+        if tokens.at("DECLARE"):
+            decl.fields.extend(_declare(tokens))
+        elif tokens.accept("INITIALLY"):
+            decl.initially = _statement(tokens)
+        elif tokens.at("IDENT") and tokens.peek(1).type == "COLON":
+            name = tokens.advance().value
+            tokens.advance()
+            operation = _operation(tokens, name)
+            decl.operations[name.upper()] = operation
+        else:
+            raise ParseError(
+                f"unexpected {tokens.current.type} in TYPE body",
+                tokens.current.line,
+                tokens.current.column,
+            )
+    tokens.expect("ENDTYPE")
+    tokens.accept("SEMI")
+    return decl
+
+
+def _operation(tokens: TokenStream, name: str) -> OperationDecl:
+    line = tokens.expect("OPERATION").line
+    operation = OperationDecl(name, line=line)
+    if tokens.accept("ACCEPTS"):
+        tokens.expect("LPAREN")
+        params = [tokens.expect("IDENT").value]
+        while tokens.accept("COMMA"):
+            params.append(tokens.expect("IDENT").value)
+        tokens.expect("RPAREN")
+        operation.accepts = tuple(params)
+    if tokens.accept("RETURNS"):
+        tokens.expect("LPAREN")
+        operation.returns = tokens.expect("IDENT").value
+        tokens.expect("RPAREN")
+    if tokens.accept("MICROOP"):
+        tokens.expect("COLON")
+        micro_name = tokens.expect("IDENT").value
+        params = []
+        while tokens.at("NUMBER"):
+            params.append(int(tokens.advance().value, 0))
+        tokens.expect("SEMI")
+        operation.microop = MicroOpSpecifier(micro_name, tuple(params))
+    body: list = []
+    while not tokens.at("END"):
+        if tokens.at("DECLARE"):
+            operation.declares.extend(_declare(tokens))
+        else:
+            body.append(_statement(tokens))
+    tokens.expect("END")
+    tokens.expect("DOT")
+    operation.body = DoGroup(body) if len(body) != 1 else body[0]
+    return operation
+
+
+def _procedure(tokens: TokenStream, name: str) -> ProcedureDecl:
+    line = tokens.expect("PROCEDURE").line
+    tokens.expect("SEMI")
+    body: list = []
+    while not tokens.at("END"):
+        body.append(_statement(tokens))
+    tokens.expect("END")
+    tokens.accept("SEMI") or tokens.accept("DOT")
+    return ProcedureDecl(name, DoGroup(body), line)
+
+
+def _operand(tokens: TokenStream) -> Operand:
+    if tokens.at("NUMBER"):
+        return Number(int(tokens.advance().value, 0))
+    name = tokens.expect("IDENT").value
+    if tokens.accept("LPAREN"):
+        index = _simple_operand(tokens)
+        tokens.expect("RPAREN")
+        return ArrayRef(name, index)
+    return NameRef(name)
+
+
+def _simple_operand(tokens: TokenStream) -> SimpleOperand:
+    if tokens.at("NUMBER"):
+        return Number(int(tokens.advance().value, 0))
+    return NameRef(tokens.expect("IDENT").value)
+
+
+def _condition(tokens: TokenStream) -> Condition:
+    left = _operand(tokens)
+    relop = tokens.expect(*_RELOPS)
+    right = _operand(tokens)
+    return Condition(left, _RELOPS[relop.type], right)
+
+
+def _expression(tokens: TokenStream) -> Expr:
+    if tokens.accept("MINUS"):
+        return UnaryExpr("-", _operand(tokens))
+    if tokens.accept("TILDE"):
+        return UnaryExpr("~", _operand(tokens))
+    # ``name(args)`` is lexically ambiguous: operator invocation or
+    # array element.  Multiple arguments or no trailing operator mean a
+    # call (codegen still falls back to array semantics for declared
+    # arrays); a trailing binary operator forces the array reading,
+    # since EMPL's one-operator rule forbids calls inside expressions.
+    if tokens.at("IDENT") and tokens.peek(1).type == "LPAREN":
+        name = tokens.advance().value
+        tokens.advance()
+        args: list[SimpleOperand] = []
+        if not tokens.at("RPAREN"):
+            args.append(_simple_operand(tokens))
+            while tokens.accept("COMMA"):
+                args.append(_simple_operand(tokens))
+        tokens.expect("RPAREN")
+        if len(args) == 1 and tokens.current.type in _BINOPS:
+            left: Operand = ArrayRef(name, args[0])
+            op = _BINOPS[tokens.advance().type]
+            return BinaryExpr(op, left, _operand(tokens))
+        return OpCall(name, tuple(args))
+    left = _operand(tokens)
+    if tokens.current.type in _BINOPS:
+        op = _BINOPS[tokens.advance().type]
+        right = _operand(tokens)
+        return BinaryExpr(op, left, right)
+    return UnaryExpr("", left)
+
+
+def _statement(tokens: TokenStream):
+    token = tokens.current
+    if token.type == "IDENT" and tokens.peek(1).type == "COLON":
+        label = tokens.advance().value
+        tokens.advance()
+        return LabeledStmt(label, _statement(tokens), token.line)
+    if tokens.accept("IF"):
+        condition = _condition(tokens)
+        tokens.expect("THEN")
+        then_body = _statement(tokens)
+        else_body = _statement(tokens) if tokens.accept("ELSE") else None
+        return IfStmt(condition, then_body, else_body, token.line)
+    if tokens.accept("WHILE"):
+        condition = _condition(tokens)
+        tokens.expect("DO")
+        tokens.accept("SEMI")
+        body: list = []
+        while not tokens.at("END"):
+            body.append(_statement(tokens))
+        tokens.expect("END")
+        tokens.accept("SEMI")
+        return WhileStmt(condition, DoGroup(body), token.line)
+    if tokens.accept("DO"):
+        tokens.accept("SEMI")
+        body = []
+        while not tokens.at("END"):
+            body.append(_statement(tokens))
+        tokens.expect("END")
+        tokens.accept("SEMI")
+        return DoGroup(body, token.line)
+    if tokens.accept("GOTO"):
+        label = tokens.expect("IDENT").value
+        tokens.expect("SEMI")
+        return GotoStmt(label, token.line)
+    if tokens.accept("CALL"):
+        name = tokens.expect("IDENT").value
+        args: tuple[SimpleOperand, ...] = ()
+        if tokens.accept("LPAREN"):
+            collected = [_simple_operand(tokens)]
+            while tokens.accept("COMMA"):
+                collected.append(_simple_operand(tokens))
+            tokens.expect("RPAREN")
+            args = tuple(collected)
+        tokens.expect("SEMI")
+        return CallStmt(name, args, token.line)
+    if tokens.accept("RETURN"):
+        tokens.expect("SEMI")
+        return ReturnStmt(token.line)
+    if tokens.accept("ERROR"):
+        tokens.expect("SEMI")
+        return ErrorStmt(token.line)
+    # Assignment or bare operator invocation.
+    if token.type == "IDENT" and tokens.peek(1).type == "LPAREN":
+        # Could be ``arr(i) = e;`` or ``PUSH(stk, x);``
+        checkpoint_name = tokens.advance().value
+        tokens.advance()
+        args = [_simple_operand(tokens)]
+        while tokens.accept("COMMA"):
+            args.append(_simple_operand(tokens))
+        tokens.expect("RPAREN")
+        if tokens.accept("SEMI"):
+            return CallStmt(checkpoint_name, tuple(args), token.line)
+        tokens.expect("EQUALS")
+        if len(args) != 1:
+            raise ParseError(
+                "array target takes one index", token.line, token.column
+            )
+        expr = _expression(tokens)
+        tokens.expect("SEMI")
+        return Assign(ArrayRef(checkpoint_name, args[0]), expr, token.line)
+    target = _operand(tokens)
+    tokens.expect("EQUALS")
+    expr = _expression(tokens)
+    tokens.expect("SEMI")
+    return Assign(target, expr, token.line)

@@ -1,0 +1,16 @@
+"""MPL — the earliest high level microprogramming language
+(§2.2.5, Eckhouse [10]): SIMPL-like structure plus one-dimensional
+arrays and virtual registers built by concatenating physical ones."""
+
+from repro.lang.mpl.ast import MplProgram
+from repro.lang.mpl.codegen import MplCodegen, generate
+from repro.lang.mpl.compiler import compile_mpl
+from repro.lang.mpl.parser import parse_mpl
+
+__all__ = [
+    "MplCodegen",
+    "MplProgram",
+    "compile_mpl",
+    "generate",
+    "parse_mpl",
+]

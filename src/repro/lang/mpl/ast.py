@@ -1,0 +1,127 @@
+"""MPL abstract syntax (survey §2.2.5, Eckhouse [10]).
+
+MPL is "the earliest effort to design and implement a high level
+microprogramming language"; its structure "is comparable to that of
+SIMPL, but it offers somewhat better data-structuring facilities: …
+one-dimensional arrays and virtual registers consisting of the
+concatenation of physical ones."
+
+Those two features are what this front end adds over SIMPL:
+
+* ``virtual D = R1 : R2;`` — a 32-bit quantity whose high half lives
+  in R1 and low half in R2; arithmetic on it compiles to carry-chained
+  multi-precision micro-operations;
+* ``array A[8];`` — a one-dimensional main-memory array, indexable by
+  constants or registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    value: int
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """``A[i]`` with a constant or register index."""
+
+    array: str
+    index: "Operand"
+
+
+Operand = Name | NumberLit | ArrayRef
+
+
+@dataclass(frozen=True)
+class UnaryExpr:
+    op: str  # "~" or "" (plain operand)
+    operand: Operand
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    """One operator per expression, as in SIMPL."""
+
+    op: str  # + - & | xor ^
+    left: Operand
+    right: Operand
+
+
+Expr = UnaryExpr | BinaryExpr
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``expr -> dest;`` where dest is a register, virtual or element."""
+
+    expr: Expr
+    dest: Operand
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Condition:
+    left: Operand
+    relop: str  # = # < <= > >=
+    right: Operand
+    line: int = 0
+
+
+@dataclass
+class Block:
+    body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt:
+    condition: Condition
+    then_body: "Stmt"
+    else_body: "Stmt | None" = None
+    line: int = 0
+
+
+@dataclass
+class WhileStmt:
+    condition: Condition
+    body: "Stmt" = None  # type: ignore[assignment]
+    line: int = 0
+
+
+Stmt = Assign | Block | IfStmt | WhileStmt
+
+
+@dataclass(frozen=True)
+class VirtualDecl:
+    """``virtual D = HI : LO;`` — register concatenation."""
+
+    name: str
+    high: str
+    low: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """``array A[n];`` — a main-memory array of n words."""
+
+    name: str
+    size: int
+    line: int = 0
+
+
+@dataclass
+class MplProgram:
+    name: str
+    constants: dict[str, int] = field(default_factory=dict)
+    virtuals: dict[str, VirtualDecl] = field(default_factory=dict)
+    arrays: dict[str, ArrayDecl] = field(default_factory=dict)
+    body: Block = field(default_factory=Block)

@@ -1,0 +1,388 @@
+"""MPL code generation: AST → micro-IR.
+
+The distinctive lowerings (survey §2.2.5):
+
+* **virtual registers** — a virtual ``D = HI : LO`` compiles to
+  carry-chained multi-precision sequences: ``V + W`` becomes
+  ``add lo`` then ``adc hi`` (the add-with-carry micro-operation the
+  survey-era vertical machines provided for exactly this purpose);
+  subtraction chains the borrow through ``adc`` with a complemented
+  high half; logical operations act per half;
+* **arrays** — one-dimensional main-memory regions addressed by
+  constant or register index through MAR/MBR.
+
+Scalar statements follow SIMPL's registers-as-variables model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SemanticError
+from repro.lang.mpl.ast import (
+    ArrayRef,
+    Assign,
+    BinaryExpr,
+    Block,
+    Condition,
+    IfStmt,
+    MplProgram,
+    Name,
+    NumberLit,
+    Operand,
+    UnaryExpr,
+    WhileStmt,
+)
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import Branch, Jump
+from repro.mir.operands import Imm, Reg, preg
+from repro.mir.ops import mop
+from repro.mir.program import MicroProgram, ProgramBuilder
+
+_RELOP_TO_COND = {"=": "Z", "#": "NZ", "<": "N", ">=": "NN"}
+_SCALAR_BINOPS = {"+": "add", "-": "sub", "&": "and", "|": "or", "xor": "xor"}
+_HALF_BINOPS = {"&": "and", "|": "or", "xor": "xor"}
+
+
+@dataclass(frozen=True)
+class _Virtual:
+    """A resolved virtual register: high and low physical halves."""
+
+    high: Reg
+    low: Reg
+
+
+@dataclass(frozen=True)
+class _Element:
+    """A resolved array element: base address plus index operand."""
+
+    base: int
+    index: object  # Reg | int
+
+
+class MplCodegen:
+    """Generates micro-IR from a parsed MPL program."""
+
+    def __init__(
+        self,
+        program: MplProgram,
+        machine: MicroArchitecture,
+        data_base: int = 0x6800,
+    ):
+        self.ast = program
+        self.machine = machine
+        self.builder = ProgramBuilder(program.name, machine)
+        self._machine_regs = {
+            name.lower(): name for name in machine.registers.names()
+        }
+        self.array_bases: dict[str, int] = {}
+        cursor = data_base
+        for decl in program.arrays.values():
+            self.array_bases[decl.name] = cursor
+            cursor += decl.size
+        self._check_virtuals()
+
+    def _check_virtuals(self) -> None:
+        for decl in self.ast.virtuals.values():
+            for half in (decl.high, decl.low):
+                if half.lower() not in self._machine_regs:
+                    raise SemanticError(
+                        f"virtual {decl.name!r}: {half!r} is not a register "
+                        f"of {self.machine.name}",
+                        decl.line,
+                    )
+
+    # -- resolution ---------------------------------------------------------
+    def resolve(self, operand: Operand, line: int):
+        """Operand → Reg | _Virtual | _Element | int (constant)."""
+        if isinstance(operand, NumberLit):
+            return operand.value
+        if isinstance(operand, ArrayRef):
+            decl = self.ast.arrays.get(operand.array)
+            if decl is None:
+                raise SemanticError(f"undeclared array {operand.array!r}", line)
+            index = self.resolve(operand.index, line)
+            if isinstance(index, int) and not 0 <= index < decl.size:
+                raise SemanticError(
+                    f"index {index} out of bounds for {operand.array!r}", line
+                )
+            if isinstance(index, (_Virtual, _Element)):
+                raise SemanticError("array index must be scalar", line)
+            return _Element(self.array_bases[operand.array], index)
+        name = operand.ident
+        if name in self.ast.virtuals:
+            decl = self.ast.virtuals[name]
+            return _Virtual(
+                preg(self._machine_regs[decl.high.lower()]),
+                preg(self._machine_regs[decl.low.lower()]),
+            )
+        if name in self.ast.constants:
+            return self.ast.constants[name]
+        register = self._machine_regs.get(name.lower())
+        if register is None:
+            raise SemanticError(
+                f"{name!r} is not a register, virtual, array or constant "
+                f"of this MPL program",
+                line,
+            )
+        return preg(register)
+
+    # -- helpers ------------------------------------------------------------
+    def _zero(self) -> Reg:
+        for name in ("R0", "ZERO"):
+            if name in self.machine.registers:
+                return preg(name)
+        raise SemanticError("machine has no zero register")
+
+    def _const_reg(self, value: int, line: int) -> Reg:
+        resolved = self.builder.constant(value & self.machine.mask())
+        if isinstance(resolved, Reg):
+            return resolved
+        temp = self.builder.fresh_vreg("k")
+        self.builder.emit(mop("movi", temp, Imm(value & self.machine.mask()),
+                              line=line))
+        return temp
+
+    def _scalar_value(self, resolved, line: int) -> Reg:
+        """Materialize a scalar operand into a register."""
+        if isinstance(resolved, Reg):
+            return resolved
+        if isinstance(resolved, int):
+            return self._const_reg(resolved, line)
+        if isinstance(resolved, _Element):
+            return self._load_element(resolved, line)
+        raise SemanticError(
+            "a 32-bit virtual cannot appear in a scalar context", line
+        )
+
+    def _address_of(self, element: _Element, line: int) -> Reg:
+        if isinstance(element.index, int):
+            return self._const_reg(element.base + element.index, line)
+        base = self._const_reg(element.base, line)
+        address = self.builder.fresh_vreg("a")
+        self.builder.emit(mop("add", address, base, element.index, line=line))
+        return address
+
+    def _load_element(self, element: _Element, line: int) -> Reg:
+        mar, mbr = preg("MAR"), preg("MBR")
+        self.builder.emit(mop("mov", mar, self._address_of(element, line),
+                              line=line))
+        self.builder.emit(mop("read", mbr, mar, line=line))
+        temp = self.builder.fresh_vreg("e")
+        self.builder.emit(mop("mov", temp, mbr, line=line))
+        return temp
+
+    def _store_element(self, element: _Element, value: Reg, line: int) -> None:
+        mar, mbr = preg("MAR"), preg("MBR")
+        self.builder.emit(mop("mov", mar, self._address_of(element, line),
+                              line=line))
+        self.builder.emit(mop("mov", mbr, value, line=line))
+        self.builder.emit(mop("write", None, mar, mbr, line=line))
+
+    def _virtual_halves(self, resolved, line: int) -> tuple[Reg, Reg]:
+        """(high, low) register pair for a virtual-context operand."""
+        if isinstance(resolved, _Virtual):
+            return resolved.high, resolved.low
+        if isinstance(resolved, Reg):
+            return self._zero(), resolved  # zero-extended scalar
+        if isinstance(resolved, int):
+            low = self._const_reg(resolved & self.machine.mask(), line)
+            high = self._const_reg(
+                (resolved >> self.machine.word_size) & self.machine.mask(),
+                line,
+            )
+            return high, low
+        raise SemanticError(
+            "array elements cannot appear in 32-bit expressions", line
+        )
+
+    # -- driver ------------------------------------------------------------
+    def generate(self) -> MicroProgram:
+        builder = self.builder
+        builder.start_block("main")
+        self._statement(self.ast.body)
+        if builder.has_open_block:
+            builder.exit()
+        return builder.finish()
+
+    # -- statements ------------------------------------------------------------
+    def _statement(self, statement) -> None:
+        builder = self.builder
+        if isinstance(statement, Block):
+            for child in statement.body:
+                self._statement(child)
+        elif isinstance(statement, Assign):
+            self._assign(statement)
+        elif isinstance(statement, IfStmt):
+            then_label = builder.fresh_label("then")
+            other = builder.fresh_label("else")
+            done = builder.fresh_label("fi")
+            self._branch(statement.condition, then_label,
+                         other if statement.else_body else done)
+            builder.start_block(then_label)
+            self._statement(statement.then_body)
+            if builder.has_open_block:
+                builder.terminate(Jump(done))
+            if statement.else_body is not None:
+                builder.start_block(other)
+                self._statement(statement.else_body)
+            builder.start_block(done)
+        elif isinstance(statement, WhileStmt):
+            head = builder.fresh_label("wh")
+            body = builder.fresh_label("do")
+            done = builder.fresh_label("od")
+            builder.terminate(Jump(head))
+            builder.start_block(head)
+            self._branch(statement.condition, body, done)
+            builder.start_block(body)
+            self._statement(statement.body)
+            if builder.has_open_block:
+                builder.terminate(Jump(head))
+            builder.start_block(done)
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown statement {statement!r}")
+
+    # -- assignment ---------------------------------------------------------
+    def _assign(self, statement: Assign) -> None:
+        line = statement.line
+        dest = self.resolve(statement.dest, line)
+        if isinstance(dest, _Virtual):
+            self._assign_virtual(dest, statement.expr, line)
+            return
+        if isinstance(dest, _Element):
+            value = self._scalar_expr(statement.expr, line)
+            self._store_element(dest, value, line)
+            return
+        if isinstance(dest, int):
+            raise SemanticError("assignment to a constant", line)
+        assert isinstance(dest, Reg)
+        value = self._scalar_expr(statement.expr, line, into=dest)
+        if value != dest:
+            self.builder.emit(mop("mov", dest, value, line=line))
+
+    def _scalar_expr(self, expr, line: int, into: Reg | None = None) -> Reg:
+        """Evaluate a scalar expression; writes ``into`` when possible."""
+        builder = self.builder
+        if isinstance(expr, UnaryExpr):
+            source = self._scalar_value(self.resolve(expr.operand, line), line)
+            if expr.op == "":
+                return source
+            dest = into or builder.fresh_vreg("t")
+            builder.emit(mop("not", dest, source, line=line))
+            return dest
+        assert isinstance(expr, BinaryExpr)
+        if expr.op == "^":
+            right = self.resolve(expr.right, line)
+            if not isinstance(right, int):
+                raise SemanticError("shift count must be a constant", line)
+            source = self._scalar_value(self.resolve(expr.left, line), line)
+            dest = into or builder.fresh_vreg("t")
+            op = "shl" if right >= 0 else "shr"
+            builder.emit(mop(op, dest, source, Imm(abs(right)), line=line))
+            return dest
+        left = self._scalar_value(self.resolve(expr.left, line), line)
+        right = self._scalar_value(self.resolve(expr.right, line), line)
+        dest = into or builder.fresh_vreg("t")
+        builder.emit(mop(_SCALAR_BINOPS[expr.op], dest, left, right, line=line))
+        return dest
+
+    def _assign_virtual(self, dest: _Virtual, expr, line: int) -> None:
+        """Multi-precision assignment into a register pair."""
+        builder = self.builder
+        if isinstance(expr, UnaryExpr):
+            high, low = self._virtual_halves(
+                self.resolve(expr.operand, line), line
+            )
+            if expr.op == "~":
+                builder.emit(mop("not", dest.low, low, line=line))
+                builder.emit(mop("not", dest.high, high, line=line))
+            else:
+                builder.emit(mop("mov", dest.low, low, line=line))
+                builder.emit(mop("mov", dest.high, high, line=line))
+            return
+        assert isinstance(expr, BinaryExpr)
+        if expr.op == "^":
+            raise SemanticError(
+                "shifts on virtual registers are not supported by MPL",
+                line,
+            )
+        left_high, left_low = self._virtual_halves(
+            self.resolve(expr.left, line), line
+        )
+        right_high, right_low = self._virtual_halves(
+            self.resolve(expr.right, line), line
+        )
+        if expr.op == "+":
+            # The carry chain: low add sets C, high adc consumes it.
+            builder.emit(mop("add", dest.low, left_low, right_low, line=line))
+            builder.emit(mop("adc", dest.high, left_high, right_high, line=line))
+        elif expr.op == "-":
+            # Borrow chain: sub sets C = no-borrow; the high half adds
+            # the complement with carry (classic multi-precision sbc).
+            complement = builder.fresh_vreg("t")
+            builder.emit(mop("sub", dest.low, left_low, right_low, line=line))
+            builder.emit(mop("not", complement, right_high, line=line))
+            builder.emit(mop("adc", dest.high, left_high, complement, line=line))
+        elif expr.op in _HALF_BINOPS:
+            name = _HALF_BINOPS[expr.op]
+            builder.emit(mop(name, dest.low, left_low, right_low, line=line))
+            builder.emit(mop(name, dest.high, left_high, right_high, line=line))
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown operator {expr.op!r}", line)
+
+    # -- conditions ---------------------------------------------------------
+    def _branch(self, condition: Condition, true_label: str,
+                false_label: str) -> None:
+        builder = self.builder
+        left = self.resolve(condition.left, condition.line)
+        right = self.resolve(condition.right, condition.line)
+        if isinstance(left, _Virtual) or isinstance(right, _Virtual):
+            if condition.relop not in ("=", "#"):
+                raise SemanticError(
+                    "virtual registers only compare with = and #",
+                    condition.line,
+                )
+            self._virtual_compare(left, right, condition.line)
+            cond = "Z" if condition.relop == "=" else "NZ"
+            builder.terminate(Branch(cond, true_label, false_label))
+            return
+        left_reg = self._scalar_value(left, condition.line)
+        right_reg = self._scalar_value(right, condition.line)
+        builder.emit(mop("cmp", None, left_reg, right_reg, line=condition.line))
+        relop = condition.relop
+        if relop in _RELOP_TO_COND:
+            builder.terminate(
+                Branch(_RELOP_TO_COND[relop], true_label, false_label)
+            )
+        elif relop == "<=":
+            middle = builder.fresh_label("le")
+            builder.terminate(Branch("Z", true_label, middle))
+            builder.start_block(middle)
+            builder.terminate(Branch("N", true_label, false_label))
+        elif relop == ">":
+            middle = builder.fresh_label("gt")
+            builder.terminate(Branch("Z", false_label, middle))
+            builder.start_block(middle)
+            builder.terminate(Branch("NN", true_label, false_label))
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown relop {relop!r}", condition.line)
+
+    def _virtual_compare(self, left, right, line: int) -> None:
+        """Set Z iff the two 32-bit quantities are equal."""
+        builder = self.builder
+        left_high, left_low = self._virtual_halves(left, line)
+        right_high, right_low = self._virtual_halves(right, line)
+        low_diff = builder.fresh_vreg("t")
+        high_diff = builder.fresh_vreg("t")
+        combined = builder.fresh_vreg("t")
+        builder.emit(mop("xor", low_diff, left_low, right_low, line=line))
+        builder.emit(mop("xor", high_diff, left_high, right_high, line=line))
+        builder.emit(mop("or", combined, low_diff, high_diff, line=line))
+        builder.emit(mop("cmp", None, combined, self._zero(), line=line))
+
+
+def generate(
+    ast: MplProgram, machine: MicroArchitecture, data_base: int = 0x6800
+) -> MicroProgram:
+    """Convenience wrapper: AST → micro-IR."""
+    return MplCodegen(ast, machine, data_base).generate()

@@ -1,0 +1,45 @@
+"""MPL compiler driver (survey §2.2.5).
+
+Historically MPL targeted a *vertical* machine, so the default
+composer is sequential (one micro-operation per word, which is all a
+vertical target can hold anyway); pass a different composer to pack
+for horizontal machines.
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import assemble
+from repro.compose.base import Composer, compose_program
+from repro.compose.linear import SequentialComposer
+from repro.lang.common.legalize import legalize
+from repro.lang.mpl.codegen import generate
+from repro.lang.mpl.parser import parse_mpl
+from repro.lang.yalll.compiler import CompileResult
+from repro.machine.machine import MicroArchitecture
+from repro.regalloc.linear_scan import AllocationResult, LinearScanAllocator
+
+
+def compile_mpl(
+    source: str,
+    machine: MicroArchitecture,
+    *,
+    composer: Composer | None = None,
+    data_base: int = 0x6800,
+) -> CompileResult:
+    """Compile MPL source for a machine."""
+    ast = parse_mpl(source)
+    mir = generate(ast, machine, data_base)
+    stats = legalize(mir, machine)
+    if mir.virtual_regs():
+        allocation = LinearScanAllocator().allocate(mir, machine)
+    else:
+        allocation = AllocationResult(allocator="none")
+    composed = compose_program(mir, machine, composer or SequentialComposer())
+    loaded = assemble(composed, machine)
+    return CompileResult(
+        mir=mir,
+        composed=composed,
+        loaded=loaded,
+        legalize_stats=stats,
+        allocation=allocation,
+    )

@@ -1,0 +1,191 @@
+"""MPL parser — SIMPL's grammar plus virtuals and arrays.
+
+::
+
+    program sum64;
+    virtual ACCV = R1 : R2;
+    virtual STEP = R3 : R4;
+    array TBL[8];
+    const K = 0x10;
+    begin
+        comment 32-bit accumulation on a 16-bit machine;
+        ACCV + STEP -> ACCV;
+        TBL[R5] -> R6;
+        R6 -> TBL[0];
+        while R5 # 0 do
+        begin
+            R5 - ONE -> R5;
+        end;
+    end
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.common.lexer import Lexer, LexerSpec, TokenStream
+from repro.lang.mpl.ast import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinaryExpr,
+    Block,
+    Condition,
+    MplProgram,
+    Name,
+    NumberLit,
+    Operand,
+    UnaryExpr,
+    VirtualDecl,
+    WhileStmt,
+    IfStmt,
+)
+
+_KEYWORDS = {
+    "program", "begin", "end", "if", "then", "else", "while", "do",
+    "const", "virtual", "array", "xor",
+}
+
+_SPEC = LexerSpec(
+    patterns=[
+        (None, r"\s+"),
+        ("NUMBER", r"-?(0x[0-9a-fA-F]+|0b[01]+|[0-9]+)"),
+        ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+        ("ARROW", r"->"),
+        ("LE", r"<="), ("GE", r">="),
+        ("NEQ", r"#"), ("EQUALS", r"="),
+        ("LT", r"<"), ("GT", r">"),
+        ("PLUS", r"\+"), ("MINUS", r"-"),
+        ("AMP", r"&"), ("PIPE", r"\|"), ("CARET", r"\^"),
+        ("TILDE", r"~"),
+        ("LBRACK", r"\["), ("RBRACK", r"\]"),
+        ("SEMI", r";"), ("COLON", r":"),
+    ],
+    keywords=_KEYWORDS,
+    keywords_case_insensitive=True,
+)
+
+_LEXER = Lexer(_SPEC)
+
+_BINOPS = {"PLUS": "+", "MINUS": "-", "AMP": "&", "PIPE": "|",
+           "XOR": "xor", "CARET": "^"}
+_RELOPS = {"EQUALS": "=", "NEQ": "#", "LT": "<", "LE": "<=",
+           "GT": ">", "GE": ">="}
+
+
+def _strip_comments(source: str) -> str:
+    out: list[str] = []
+    index = 0
+    lowered = source.lower()
+    while index < len(source):
+        if lowered.startswith("comment", index) and (
+            index == 0
+            or not (source[index - 1].isalnum() or source[index - 1] == "_")
+        ):
+            end = source.find(";", index)
+            if end < 0:
+                raise ParseError("unterminated comment")
+            out.append("\n" * source.count("\n", index, end + 1))
+            index = end + 1
+        else:
+            out.append(source[index])
+            index += 1
+    return "".join(out)
+
+
+def parse_mpl(source: str) -> MplProgram:
+    """Parse MPL source text."""
+    tokens = _LEXER.tokenize(_strip_comments(source))
+    tokens.expect("PROGRAM")
+    program = MplProgram(tokens.expect("IDENT").value)
+    tokens.expect("SEMI")
+    while True:
+        token = tokens.current
+        if tokens.accept("CONST"):
+            name = tokens.expect("IDENT").value
+            tokens.expect("EQUALS")
+            program.constants[name] = int(tokens.expect("NUMBER").value, 0)
+            tokens.expect("SEMI")
+        elif tokens.accept("VIRTUAL"):
+            name = tokens.expect("IDENT").value
+            tokens.expect("EQUALS")
+            high = tokens.expect("IDENT").value
+            tokens.expect("COLON")
+            low = tokens.expect("IDENT").value
+            tokens.expect("SEMI")
+            if name in program.virtuals:
+                raise ParseError(f"duplicate virtual {name!r}", token.line)
+            program.virtuals[name] = VirtualDecl(name, high, low, token.line)
+        elif tokens.accept("ARRAY"):
+            name = tokens.expect("IDENT").value
+            tokens.expect("LBRACK")
+            size = int(tokens.expect("NUMBER").value, 0)
+            tokens.expect("RBRACK")
+            tokens.expect("SEMI")
+            if name in program.arrays:
+                raise ParseError(f"duplicate array {name!r}", token.line)
+            program.arrays[name] = ArrayDecl(name, size, token.line)
+        else:
+            break
+    program.body = _block(tokens)
+    return program
+
+
+def _block(tokens: TokenStream) -> Block:
+    tokens.expect("BEGIN")
+    block = Block()
+    while not tokens.at("END"):
+        block.body.append(_statement(tokens))
+    tokens.expect("END")
+    tokens.accept("SEMI")
+    return block
+
+
+def _operand(tokens: TokenStream) -> Operand:
+    if tokens.at("NUMBER"):
+        return NumberLit(int(tokens.advance().value, 0))
+    name = tokens.expect("IDENT").value
+    if tokens.accept("LBRACK"):
+        index = _operand(tokens)
+        tokens.expect("RBRACK")
+        return ArrayRef(name, index)
+    return Name(name)
+
+
+def _condition(tokens: TokenStream) -> Condition:
+    line = tokens.current.line
+    left = _operand(tokens)
+    relop = tokens.expect(*_RELOPS)
+    right = _operand(tokens)
+    return Condition(left, _RELOPS[relop.type], right, line)
+
+
+def _statement(tokens: TokenStream):
+    token = tokens.current
+    if token.type == "BEGIN":
+        return _block(tokens)
+    if tokens.accept("IF"):
+        condition = _condition(tokens)
+        tokens.expect("THEN")
+        then_body = _statement(tokens)
+        else_body = _statement(tokens) if tokens.accept("ELSE") else None
+        return IfStmt(condition, then_body, else_body, token.line)
+    if tokens.accept("WHILE"):
+        condition = _condition(tokens)
+        tokens.expect("DO")
+        return WhileStmt(condition, _statement(tokens), token.line)
+    expr = _expression(tokens)
+    tokens.expect("ARROW")
+    dest = _operand(tokens)
+    tokens.expect("SEMI")
+    return Assign(expr, dest, token.line)
+
+
+def _expression(tokens: TokenStream):
+    if tokens.accept("TILDE"):
+        return UnaryExpr("~", _operand(tokens))
+    left = _operand(tokens)
+    if tokens.current.type in _BINOPS:
+        op = _BINOPS[tokens.advance().type]
+        right = _operand(tokens)
+        return BinaryExpr(op, left, right)
+    return UnaryExpr("", left)

@@ -1,0 +1,22 @@
+"""SIMPL — Single Identity Micro Programming Language (§2.2.1, [18])."""
+
+from repro.lang.simpl.ast import SimplProgram
+from repro.lang.simpl.codegen import SimplCodegen, generate
+from repro.lang.simpl.compiler import compile_simpl
+from repro.lang.simpl.parser import parse_simpl
+from repro.lang.simpl.sema import (
+    check_program,
+    parallel_pairs,
+    single_identity_order,
+)
+
+__all__ = [
+    "SimplCodegen",
+    "SimplProgram",
+    "check_program",
+    "compile_simpl",
+    "generate",
+    "parallel_pairs",
+    "parse_simpl",
+    "single_identity_order",
+]

@@ -1,0 +1,154 @@
+"""SIMPL abstract syntax (survey §2.2.1, Ramamoorthy & Tsuchiya [18]).
+
+SIMPL statements assign single-operator expressions to registers
+(``R1 & M3 -> ACC;``); variables *are* machine registers, optionally
+renamed through equivalence statements.  Control structure is
+ALGOL-like (begin/end, if, while, for, case) without gotos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Name:
+    """A register or constant reference."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    value: int
+
+
+Operand = Name | NumberLit
+
+
+@dataclass(frozen=True)
+class UnaryExpr:
+    """``~A`` (negation) or a bare operand."""
+
+    op: str  # "~" or "" for a plain operand
+    operand: Operand
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    """``A op B`` — SIMPL expressions contain exactly one operator."""
+
+    op: str  # + - & | xor ^
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True)
+class ReadExpr:
+    """``read(A)`` — explicit main-memory fetch."""
+
+    address: Operand
+
+
+Expr = UnaryExpr | BinaryExpr | ReadExpr
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``expr -> dest;`` — the single SIMPL computation form."""
+
+    expr: Expr
+    dest: Name
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class WriteStmt:
+    """``write(addr, value);`` — explicit main-memory store."""
+
+    address: Operand
+    value: Operand
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``A relop B`` over registers, constants and flags (UF)."""
+
+    left: Operand
+    relop: str  # = # < <= > >=
+    right: Operand
+    line: int = 0
+
+
+@dataclass
+class Block:
+    body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt:
+    condition: Condition
+    then_body: "Stmt"
+    else_body: "Stmt | None" = None
+    line: int = 0
+
+
+@dataclass
+class WhileStmt:
+    condition: Condition
+    body: "Stmt" = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class ForStmt:
+    """``for R = a to b do S`` (ascending, inclusive)."""
+
+    var: Name
+    start: Operand
+    stop: Operand
+    body: "Stmt" = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class CaseArm:
+    value: int
+    body: "Stmt" = None  # type: ignore[assignment]
+
+
+@dataclass
+class CaseStmt:
+    """``case R of 0: S0; 1: S1; else Sd esac`` — multiway branch."""
+
+    subject: Name
+    arms: list[CaseArm] = field(default_factory=list)
+    default: "Stmt | None" = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CallStmt:
+    proc: str
+    line: int = 0
+
+
+Stmt = Assign | WriteStmt | Block | IfStmt | WhileStmt | ForStmt | CaseStmt | CallStmt
+
+
+@dataclass
+class ProcDecl:
+    name: str
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class SimplProgram:
+    """A parsed SIMPL program."""
+
+    name: str
+    constants: dict[str, int] = field(default_factory=dict)
+    equivalences: dict[str, str] = field(default_factory=dict)
+    procedures: list[ProcDecl] = field(default_factory=list)
+    body: Block = field(default_factory=Block)

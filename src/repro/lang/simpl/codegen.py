@@ -1,0 +1,273 @@
+"""SIMPL code generation: AST → micro-IR.
+
+Variables map straight to machine registers (resolving equivalence
+aliases); declared constants go to the constant ROM; the ``^`` shift
+operator turns into ``shl``/``shr`` with the absolute count; the UF
+condition reads the shifter's underflow flag (survey §2.2.1's
+multiplication example relies on all three).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.lang.simpl.ast import (
+    Assign,
+    BinaryExpr,
+    Block,
+    CallStmt,
+    CaseStmt,
+    Condition,
+    ForStmt,
+    IfStmt,
+    Name,
+    NumberLit,
+    Operand,
+    ReadExpr,
+    SimplProgram,
+    UnaryExpr,
+    WhileStmt,
+    WriteStmt,
+)
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import Branch, Jump, MaskCase, Multiway
+from repro.mir.operands import Imm, Reg, preg
+from repro.mir.ops import mop
+from repro.mir.program import MicroProgram, ProgramBuilder
+
+_BINOP_TO_MIR = {"+": "add", "-": "sub", "&": "and", "|": "or", "xor": "xor"}
+
+_RELOP_TO_COND = {"=": "Z", "#": "NZ", "<": "N", ">=": "NN"}
+
+
+class SimplCodegen:
+    """Generates micro-IR from a checked SIMPL program."""
+
+    def __init__(self, program: SimplProgram, machine: MicroArchitecture):
+        self.ast = program
+        self.machine = machine
+        self.builder = ProgramBuilder(program.name, machine)
+        self._machine_regs = {
+            name.lower(): name for name in machine.registers.names()
+        }
+        for window in machine.registers.windows:
+            self._machine_regs[window.lower()] = window
+        self._flags = {flag.lower() for flag in machine.flags}
+
+    # -- name resolution ---------------------------------------------------
+    def resolve(self, operand: Operand, line: int = 0) -> Reg:
+        if isinstance(operand, NumberLit):
+            return self._constant(operand.value, line)
+        ident = operand.ident
+        seen = set()
+        while ident in self.ast.equivalences:
+            if ident in seen:
+                raise SemanticError(f"circular equivalence via {ident!r}", line)
+            seen.add(ident)
+            ident = self.ast.equivalences[ident]
+        if ident in self.ast.constants:
+            return self._constant(self.ast.constants[ident], line)
+        resolved = self._machine_regs.get(ident.lower())
+        if resolved is None:
+            raise SemanticError(
+                f"{ident!r} is not a register of {self.machine.name}", line
+            )
+        return preg(resolved)
+
+    def _constant(self, value: int, line: int) -> Reg:
+        resolved = self.builder.constant(value)
+        if isinstance(resolved, Reg):
+            return resolved
+        raise SemanticError(
+            f"constant {value:#x} exceeds {self.machine.name}'s constant "
+            f"store; SIMPL has no synthesis path for wide literals",
+            line,
+        )
+
+    # -- driver ------------------------------------------------------------
+    def generate(self) -> MicroProgram:
+        builder = self.builder
+        builder.start_block("main")
+        self._statement(self.ast.body)
+        if not builder.current.terminated:
+            builder.exit()
+        for procedure in self.ast.procedures:
+            builder.start_block(f"proc_{procedure.name}")
+            builder.declare_procedure(procedure.name, f"proc_{procedure.name}")
+            self._statement(procedure.body)
+            if not builder.current.terminated:
+                builder.ret()
+        return builder.finish()
+
+    # -- statements ------------------------------------------------------------
+    def _statement(self, statement) -> None:
+        builder = self.builder
+        if isinstance(statement, Block):
+            for child in statement.body:
+                self._statement(child)
+        elif isinstance(statement, Assign):
+            self._assign(statement)
+        elif isinstance(statement, WriteStmt):
+            mar, mbr = preg("MAR"), preg("MBR")
+            builder.emit(mop("mov", mar, self.resolve(statement.address, statement.line)))
+            builder.emit(mop("mov", mbr, self.resolve(statement.value, statement.line)))
+            builder.emit(mop("write", None, mar, mbr, line=statement.line))
+        elif isinstance(statement, IfStmt):
+            then_label = builder.fresh_label("then")
+            else_label = builder.fresh_label("else")
+            done_label = builder.fresh_label("fi")
+            self._branch(statement.condition, then_label,
+                         else_label if statement.else_body else done_label)
+            builder.start_block(then_label)
+            self._statement(statement.then_body)
+            if not builder.current.terminated:
+                builder.terminate(Jump(done_label))
+            if statement.else_body is not None:
+                builder.start_block(else_label)
+                self._statement(statement.else_body)
+            builder.start_block(done_label)
+        elif isinstance(statement, WhileStmt):
+            head = builder.fresh_label("wh")
+            body = builder.fresh_label("do")
+            done = builder.fresh_label("od")
+            builder.terminate(Jump(head))
+            builder.start_block(head)
+            self._branch(statement.condition, body, done)
+            builder.start_block(body)
+            self._statement(statement.body)
+            if not builder.current.terminated:
+                builder.terminate(Jump(head))
+            builder.start_block(done)
+        elif isinstance(statement, ForStmt):
+            var = self.resolve(statement.var, statement.line)
+            builder.emit(mop("mov", var, self.resolve(statement.start, statement.line)))
+            head = builder.fresh_label("for")
+            body = builder.fresh_label("do")
+            done = builder.fresh_label("od")
+            builder.terminate(Jump(head))
+            builder.start_block(head)
+            stop = self.resolve(statement.stop, statement.line)
+            builder.emit(mop("cmp", None, stop, var, line=statement.line))
+            # stop - var < 0  <=>  var > stop  => done
+            builder.terminate(Branch("N", done, body))
+            builder.start_block(body)
+            self._statement(statement.body)
+            if not builder.current.terminated:
+                builder.emit(mop("inc", var, var, line=statement.line))
+                builder.terminate(Jump(head))
+            builder.start_block(done)
+        elif isinstance(statement, CaseStmt):
+            subject = self.resolve(statement.subject, statement.line)
+            done = builder.fresh_label("esac")
+            arm_labels = [builder.fresh_label("arm") for _ in statement.arms]
+            default = builder.fresh_label("dflt") if statement.default else done
+            width = self.machine.word_size
+            cases = tuple(
+                MaskCase(format(arm.value, f"0{width}b"), label)
+                for arm, label in zip(statement.arms, arm_labels)
+            )
+            builder.terminate(Multiway(subject, cases, default))
+            for arm, label in zip(statement.arms, arm_labels):
+                builder.start_block(label)
+                self._statement(arm.body)
+                if not builder.current.terminated:
+                    builder.terminate(Jump(done))
+            if statement.default is not None:
+                builder.start_block(default)
+                self._statement(statement.default)
+            builder.start_block(done)
+        elif isinstance(statement, CallStmt):
+            builder.call(statement.proc)
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown statement {statement!r}")
+
+    # -- expressions ---------------------------------------------------------
+    def _assign(self, statement: Assign) -> None:
+        builder = self.builder
+        dest = self.resolve(statement.dest, statement.line)
+        expr = statement.expr
+        if isinstance(expr, UnaryExpr):
+            source = self.resolve(expr.operand, statement.line)
+            op = "not" if expr.op == "~" else "mov"
+            builder.emit(mop(op, dest, source, line=statement.line))
+        elif isinstance(expr, ReadExpr):
+            mar, mbr = preg("MAR"), preg("MBR")
+            builder.emit(mop("mov", mar, self.resolve(expr.address, statement.line)))
+            builder.emit(mop("read", mbr, mar, line=statement.line))
+            if dest != mbr:
+                builder.emit(mop("mov", dest, mbr, line=statement.line))
+        elif isinstance(expr, BinaryExpr):
+            if expr.op == "^":
+                if not isinstance(expr.right, NumberLit):
+                    raise SemanticError(
+                        "shift count must be a literal", statement.line
+                    )
+                count = expr.right.value
+                op = "shl" if count >= 0 else "shr"
+                builder.emit(
+                    mop(op, dest, self.resolve(expr.left, statement.line),
+                        Imm(abs(count)), line=statement.line)
+                )
+                return
+            mir_op = _BINOP_TO_MIR[expr.op]
+            builder.emit(
+                mop(
+                    mir_op,
+                    dest,
+                    self.resolve(expr.left, statement.line),
+                    self.resolve(expr.right, statement.line),
+                    line=statement.line,
+                )
+            )
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown expression {expr!r}", statement.line)
+
+    # -- conditions ---------------------------------------------------------
+    def _branch(self, condition: Condition, true_label: str, false_label: str) -> None:
+        builder = self.builder
+        flag = self._flag_condition(condition)
+        if flag is not None:
+            builder.terminate(Branch(flag, true_label, false_label))
+            return
+        left = self.resolve(condition.left, condition.line)
+        right = self.resolve(condition.right, condition.line)
+        builder.emit(mop("cmp", None, left, right, line=condition.line))
+        relop = condition.relop
+        if relop in _RELOP_TO_COND:
+            builder.terminate(Branch(_RELOP_TO_COND[relop], true_label, false_label))
+        elif relop == "<=":
+            middle = builder.fresh_label("le")
+            builder.terminate(Branch("Z", true_label, middle))
+            builder.start_block(middle)
+            builder.terminate(Branch("N", true_label, false_label))
+        elif relop == ">":
+            middle = builder.fresh_label("gt")
+            builder.terminate(Branch("Z", false_label, middle))
+            builder.start_block(middle)
+            builder.terminate(Branch("NN", true_label, false_label))
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown relop {relop!r}", condition.line)
+
+    def _flag_condition(self, condition: Condition) -> str | None:
+        """``UF = 1`` style conditions over hardware flags."""
+        if not isinstance(condition.left, Name):
+            return None
+        flag = condition.left.ident.upper()
+        if flag.lower() not in self._flags:
+            return None
+        if not isinstance(condition.right, NumberLit) or condition.right.value not in (0, 1):
+            raise SemanticError(
+                f"flag {flag} can only be compared with 0 or 1", condition.line
+            )
+        want_set = condition.right.value == 1
+        if condition.relop == "#":
+            want_set = not want_set
+        elif condition.relop != "=":
+            raise SemanticError(
+                f"flag {flag} only supports = and #", condition.line
+            )
+        return flag if want_set else f"N{flag}"
+
+
+def generate(ast: SimplProgram, machine: MicroArchitecture) -> MicroProgram:
+    """Convenience wrapper: checked AST → micro-IR."""
+    return SimplCodegen(ast, machine).generate()

@@ -1,0 +1,50 @@
+"""SIMPL compiler driver (survey §2.2.1).
+
+Pipeline: parse → semantic checks (variables must be machine
+registers) → code generation → legalization → composition (linear
+first-come-first-served by default, matching the historical SIMPL
+compiler's approach) → assembly.  No register allocation runs because
+SIMPL identifies variables with machine registers.
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import assemble
+from repro.compose.base import Composer, compose_program
+from repro.compose.linear import LinearComposer
+from repro.lang.common.legalize import legalize
+from repro.lang.simpl.codegen import generate
+from repro.lang.simpl.parser import parse_simpl
+from repro.lang.simpl.sema import check_program
+from repro.lang.yalll.compiler import CompileResult
+from repro.machine.machine import MicroArchitecture
+from repro.regalloc.linear_scan import AllocationResult, LinearScanAllocator
+
+
+def compile_simpl(
+    source: str,
+    machine: MicroArchitecture,
+    *,
+    composer: Composer | None = None,
+) -> CompileResult:
+    """Compile SIMPL source for a machine."""
+    ast = parse_simpl(source)
+    names = set(machine.registers.names()) | set(machine.registers.windows)
+    check_program(ast, names)
+    mir = generate(ast, machine)
+    stats = legalize(mir, machine)
+    # Legalization may introduce temporaries even though the programmer
+    # bound everything; allocate whatever virtuals remain.
+    if mir.virtual_regs():
+        allocation = LinearScanAllocator().allocate(mir, machine)
+    else:
+        allocation = AllocationResult(allocator="none")
+    composed = compose_program(mir, machine, composer or LinearComposer())
+    loaded = assemble(composed, machine)
+    return CompileResult(
+        mir=mir,
+        composed=composed,
+        loaded=loaded,
+        legalize_stats=stats,
+        allocation=allocation,
+    )

@@ -1,0 +1,236 @@
+"""SIMPL parser.
+
+Grammar (ASCII rendering of the survey's notation; ``comment … ;`` is
+the ALGOL-style comment, ``#`` is ≠, ``^`` is the shift operator with
+negative counts shifting right)::
+
+    program   ::= 'program' IDENT ';' decl* main
+    decl      ::= 'const' IDENT '=' number ';'
+                | 'equiv' IDENT '=' IDENT ';'
+                | 'procedure' IDENT ';' stmt
+    main      ::= block
+    block     ::= 'begin' stmt* 'end' ';'?
+    stmt      ::= expr '->' IDENT ';'
+                | 'write' '(' operand ',' operand ')' ';'
+                | 'if' cond 'then' stmt ('else' stmt)?
+                | 'while' cond 'do' stmt
+                | 'for' IDENT '=' operand 'to' operand 'do' stmt
+                | 'case' IDENT 'of' (number ':' stmt)* ('else' stmt)? 'esac' ';'?
+                | 'call' IDENT ';'
+                | block
+    expr      ::= '~' operand
+                | 'read' '(' operand ')'
+                | operand (binop operand)?
+    binop     ::= '+' | '-' | '&' | '|' | 'xor' | '^'
+    cond      ::= operand relop operand
+    relop     ::= '=' | '#' | '<' | '<=' | '>' | '>='
+
+The one-operator-per-expression rule (§2.2.1) is enforced by the
+grammar itself: there is no way to write a nested expression.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.common.lexer import Lexer, LexerSpec, TokenStream
+from repro.lang.simpl.ast import (
+    Assign,
+    BinaryExpr,
+    Block,
+    CallStmt,
+    CaseArm,
+    CaseStmt,
+    Condition,
+    Expr,
+    ForStmt,
+    IfStmt,
+    Name,
+    NumberLit,
+    Operand,
+    ProcDecl,
+    ReadExpr,
+    SimplProgram,
+    UnaryExpr,
+    WhileStmt,
+    WriteStmt,
+)
+
+_KEYWORDS = {
+    "program", "begin", "end", "if", "then", "else", "while", "do",
+    "for", "to", "case", "of", "esac", "const", "equiv", "procedure",
+    "call", "read", "write", "xor",
+}
+
+_SPEC = LexerSpec(
+    patterns=[
+        (None, r"\s+"),
+        ("NUMBER", r"-?(0x[0-9a-fA-F]+|0b[01]+|[0-9]+)"),
+        ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+        ("ARROW", r"->"),
+        ("LE", r"<="), ("GE", r">="),
+        ("NEQ", r"#"), ("EQUALS", r"="),
+        ("LT", r"<"), ("GT", r">"),
+        ("PLUS", r"\+"), ("MINUS", r"-"),
+        ("AMP", r"&"), ("PIPE", r"\|"), ("CARET", r"\^"),
+        ("TILDE", r"~"),
+        ("LPAREN", r"\("), ("RPAREN", r"\)"),
+        ("SEMI", r";"), ("COLON", r":"), ("COMMA", r","),
+    ],
+    keywords=_KEYWORDS,
+    keywords_case_insensitive=True,
+)
+
+_LEXER = Lexer(_SPEC)
+
+_BINOPS = {
+    "PLUS": "+", "MINUS": "-", "AMP": "&", "PIPE": "|",
+    "XOR": "xor", "CARET": "^",
+}
+_RELOPS = {
+    "EQUALS": "=", "NEQ": "#", "LT": "<", "LE": "<=", "GT": ">", "GE": ">=",
+}
+
+
+def _strip_comments(source: str) -> str:
+    """Remove ALGOL-style ``comment … ;`` comments, keeping newlines."""
+    out: list[str] = []
+    index = 0
+    lowered = source.lower()
+    while index < len(source):
+        if lowered.startswith("comment", index) and (
+            index == 0 or not (source[index - 1].isalnum() or source[index - 1] == "_")
+        ):
+            end = source.find(";", index)
+            if end < 0:
+                raise ParseError("unterminated comment")
+            out.append("\n" * source.count("\n", index, end + 1))
+            index = end + 1
+        else:
+            out.append(source[index])
+            index += 1
+    return "".join(out)
+
+
+def parse_simpl(source: str) -> SimplProgram:
+    """Parse SIMPL source text."""
+    tokens = _LEXER.tokenize(_strip_comments(source))
+    tokens.expect("PROGRAM")
+    name = tokens.expect("IDENT").value
+    tokens.expect("SEMI")
+    program = SimplProgram(name)
+    while True:
+        if tokens.accept("CONST"):
+            const_name = tokens.expect("IDENT").value
+            tokens.expect("EQUALS")
+            value = int(tokens.expect("NUMBER").value, 0)
+            tokens.expect("SEMI")
+            program.constants[const_name] = value
+        elif tokens.accept("EQUIV"):
+            alias = tokens.expect("IDENT").value
+            tokens.expect("EQUALS")
+            target = tokens.expect("IDENT").value
+            tokens.expect("SEMI")
+            program.equivalences[alias] = target
+        elif tokens.accept("PROCEDURE"):
+            proc_name = tokens.expect("IDENT").value
+            tokens.expect("SEMI")
+            program.procedures.append(ProcDecl(proc_name, _statement(tokens)))
+        else:
+            break
+    program.body = _block(tokens)
+    return program
+
+
+def _block(tokens: TokenStream) -> Block:
+    tokens.expect("BEGIN")
+    block = Block()
+    while not tokens.at("END"):
+        block.body.append(_statement(tokens))
+    tokens.expect("END")
+    tokens.accept("SEMI")
+    return block
+
+
+def _operand(tokens: TokenStream) -> Operand:
+    if tokens.at("NUMBER"):
+        return NumberLit(int(tokens.advance().value, 0))
+    return Name(tokens.expect("IDENT").value)
+
+
+def _condition(tokens: TokenStream) -> Condition:
+    line = tokens.current.line
+    left = _operand(tokens)
+    relop_token = tokens.expect(*_RELOPS)
+    right = _operand(tokens)
+    return Condition(left, _RELOPS[relop_token.type], right, line)
+
+
+def _statement(tokens: TokenStream):
+    token = tokens.current
+    if token.type == "BEGIN":
+        return _block(tokens)
+    if tokens.accept("IF"):
+        condition = _condition(tokens)
+        tokens.expect("THEN")
+        then_body = _statement(tokens)
+        else_body = _statement(tokens) if tokens.accept("ELSE") else None
+        return IfStmt(condition, then_body, else_body, token.line)
+    if tokens.accept("WHILE"):
+        condition = _condition(tokens)
+        tokens.expect("DO")
+        return WhileStmt(condition, _statement(tokens), token.line)
+    if tokens.accept("FOR"):
+        var = Name(tokens.expect("IDENT").value)
+        tokens.expect("EQUALS")
+        start = _operand(tokens)
+        tokens.expect("TO")
+        stop = _operand(tokens)
+        tokens.expect("DO")
+        return ForStmt(var, start, stop, _statement(tokens), token.line)
+    if tokens.accept("CASE"):
+        subject = Name(tokens.expect("IDENT").value)
+        tokens.expect("OF")
+        statement = CaseStmt(subject, line=token.line)
+        while tokens.at("NUMBER"):
+            value = int(tokens.advance().value, 0)
+            tokens.expect("COLON")
+            statement.arms.append(CaseArm(value, _statement(tokens)))
+        if tokens.accept("ELSE"):
+            statement.default = _statement(tokens)
+        tokens.expect("ESAC")
+        tokens.accept("SEMI")
+        return statement
+    if tokens.accept("CALL"):
+        name = tokens.expect("IDENT").value
+        tokens.expect("SEMI")
+        return CallStmt(name, token.line)
+    if tokens.accept("WRITE"):
+        tokens.expect("LPAREN")
+        address = _operand(tokens)
+        tokens.expect("COMMA")
+        value = _operand(tokens)
+        tokens.expect("RPAREN")
+        tokens.expect("SEMI")
+        return WriteStmt(address, value, token.line)
+    # Assignment: expr -> dest ;
+    expr = _expression(tokens)
+    tokens.expect("ARROW")
+    dest = Name(tokens.expect("IDENT").value)
+    tokens.expect("SEMI")
+    return Assign(expr, dest, token.line)
+
+
+def _expression(tokens: TokenStream) -> Expr:
+    if tokens.accept("TILDE"):
+        return UnaryExpr("~", _operand(tokens))
+    if tokens.accept("READ"):
+        tokens.expect("LPAREN")
+        address = _operand(tokens)
+        tokens.expect("RPAREN")
+        return ReadExpr(address)
+    left = _operand(tokens)
+    if tokens.current.type in _BINOPS:
+        op_token = tokens.advance()
+        right = _operand(tokens)
+        return BinaryExpr(_BINOPS[op_token.type], left, right)
+    return UnaryExpr("", left)

@@ -1,0 +1,189 @@
+"""SIMPL semantic analysis: the single identity principle.
+
+SIMPL marries the single-assignment rule of dataflow languages with the
+register view of variables (survey §2.2.1): the textual order of
+statements distinguishes the successive values a register holds, and
+precedence constraints follow:
+
+* the statement assigning value *k* of ``x`` precedes every statement
+  using that value;
+* every user of value *k* precedes the statement assigning value *k+1*.
+
+``single_identity_order`` computes exactly that partial order for a
+straight-line statement list; statements unrelated in the order may
+execute in parallel.  (The dependence graphs in ``repro.mir.deps``
+subsume this analysis once code is generated — this module exists to
+make the survey's historical algorithm inspectable on SIMPL source.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.lang.simpl.ast import (
+    Assign,
+    BinaryExpr,
+    Name,
+    NumberLit,
+    ReadExpr,
+    SimplProgram,
+    Stmt,
+    UnaryExpr,
+    WriteStmt,
+)
+
+
+def _expr_names(expr) -> list[str]:
+    if isinstance(expr, UnaryExpr):
+        return [expr.operand.ident] if isinstance(expr.operand, Name) else []
+    if isinstance(expr, BinaryExpr):
+        return [
+            operand.ident
+            for operand in (expr.left, expr.right)
+            if isinstance(operand, Name)
+        ]
+    if isinstance(expr, ReadExpr):
+        return [expr.address.ident] if isinstance(expr.address, Name) else []
+    return []
+
+
+def statement_uses(statement: Stmt) -> set[str]:
+    """Names a straight-line statement reads."""
+    if isinstance(statement, Assign):
+        return set(_expr_names(statement.expr))
+    if isinstance(statement, WriteStmt):
+        return {
+            operand.ident
+            for operand in (statement.address, statement.value)
+            if isinstance(operand, Name)
+        }
+    raise SemanticError("single identity analysis needs straight-line code")
+
+
+def statement_defs(statement: Stmt) -> set[str]:
+    """Names a straight-line statement writes."""
+    if isinstance(statement, Assign):
+        return {statement.dest.ident}
+    if isinstance(statement, WriteStmt):
+        return set()
+    raise SemanticError("single identity analysis needs straight-line code")
+
+
+def single_identity_order(
+    statements: list[Stmt],
+) -> set[tuple[int, int]]:
+    """Precedence pairs ``(i, j)`` meaning statement i must precede j."""
+    order: set[tuple[int, int]] = set()
+    for j, later in enumerate(statements):
+        uses_j = statement_uses(later)
+        defs_j = statement_defs(later)
+        for i in range(j):
+            earlier = statements[i]
+            defs_i = statement_defs(earlier)
+            uses_i = statement_uses(earlier)
+            if defs_i & uses_j:  # value k flows i -> j
+                order.add((i, j))
+            if uses_i & defs_j:  # j assigns value k+1 after i used value k
+                order.add((i, j))
+            if defs_i & defs_j:  # successive values of the same register
+                order.add((i, j))
+    return order
+
+
+def parallel_pairs(statements: list[Stmt]) -> list[tuple[int, int]]:
+    """Statement pairs with no precedence path — SIMPL's "detected
+    parallelism" for a straight-line program."""
+    order = single_identity_order(statements)
+    reach: dict[int, set[int]] = {i: set() for i in range(len(statements))}
+    for i, j in sorted(order):
+        reach[i].add(j)
+    # Transitive closure (small n).
+    changed = True
+    while changed:
+        changed = False
+        for i in reach:
+            extra = set()
+            for j in reach[i]:
+                extra |= reach[j] - reach[i]
+            if extra:
+                reach[i] |= extra
+                changed = True
+    pairs = []
+    for i in range(len(statements)):
+        for j in range(i + 1, len(statements)):
+            if j not in reach[i] and i not in reach[j]:
+                pairs.append((i, j))
+    return pairs
+
+
+def check_program(program: SimplProgram, register_names: set[str]) -> None:
+    """Static checks: every name resolves, destinations are writable.
+
+    ``register_names`` comes from the target machine (SIMPL variables
+    are machine registers, §2.2.1).
+    """
+    known = {name.lower() for name in register_names}
+    known |= {name.lower() for name in program.constants}
+    known |= {name.lower() for name in program.equivalences}
+    flags = {"uf", "z", "n", "c"}
+
+    def check_operand(operand, line: int = 0) -> None:
+        if isinstance(operand, Name) and operand.ident.lower() not in known | flags:
+            raise SemanticError(
+                f"unknown name {operand.ident!r} (SIMPL variables must be "
+                f"machine registers, declared constants or equivalences)",
+                line,
+            )
+
+    def walk(statement) -> None:
+        from repro.lang.simpl.ast import (
+            Block, CallStmt, CaseStmt, ForStmt, IfStmt, WhileStmt,
+        )
+
+        if isinstance(statement, Assign):
+            for name in _expr_names(statement.expr):
+                check_operand(Name(name), statement.line)
+            check_operand(statement.dest, statement.line)
+            if statement.dest.ident.lower() in {
+                name.lower() for name in program.constants
+            }:
+                raise SemanticError(
+                    f"assignment to constant {statement.dest.ident!r}",
+                    statement.line,
+                )
+        elif isinstance(statement, WriteStmt):
+            check_operand(statement.address, statement.line)
+            check_operand(statement.value, statement.line)
+        elif isinstance(statement, Block):
+            for child in statement.body:
+                walk(child)
+        elif isinstance(statement, IfStmt):
+            check_operand(statement.condition.left, statement.line)
+            check_operand(statement.condition.right, statement.line)
+            walk(statement.then_body)
+            if statement.else_body is not None:
+                walk(statement.else_body)
+        elif isinstance(statement, WhileStmt):
+            check_operand(statement.condition.left, statement.line)
+            check_operand(statement.condition.right, statement.line)
+            walk(statement.body)
+        elif isinstance(statement, ForStmt):
+            check_operand(statement.var, statement.line)
+            check_operand(statement.start, statement.line)
+            check_operand(statement.stop, statement.line)
+            walk(statement.body)
+        elif isinstance(statement, CaseStmt):
+            check_operand(statement.subject, statement.line)
+            for arm in statement.arms:
+                walk(arm.body)
+            if statement.default is not None:
+                walk(statement.default)
+        elif isinstance(statement, CallStmt):
+            if statement.proc not in {p.name for p in program.procedures}:
+                raise SemanticError(
+                    f"call to unknown procedure {statement.proc!r}",
+                    statement.line,
+                )
+
+    for procedure in program.procedures:
+        walk(procedure.body)
+    walk(program.body)

@@ -1,0 +1,20 @@
+"""S* — a microprogramming language schema (§2.2.3, [4]) and its
+instantiations S(M) against the toolkit's machine descriptions."""
+
+from repro.lang.sstar.ast import SStarProgram
+from repro.lang.sstar.codegen import SStarCodegen, generate
+from repro.lang.sstar.compiler import compile_sstar
+from repro.lang.sstar.composer import SStarComposer
+from repro.lang.sstar.parser import parse_sstar
+from repro.lang.sstar.verify_bridge import SStarVerifier, verify_sstar
+
+__all__ = [
+    "SStarCodegen",
+    "SStarComposer",
+    "SStarProgram",
+    "SStarVerifier",
+    "compile_sstar",
+    "generate",
+    "parse_sstar",
+    "verify_sstar",
+]

@@ -1,0 +1,346 @@
+"""S* abstract syntax (survey §2.2.3, Dasgupta [4]).
+
+S* is a *language schema*: the compound statements and declaration
+structure below are fixed, while the elementary statements of an
+instantiation S(M) are whatever micro-operations machine M provides.
+Variables are meaningless until bound to machine storage — every
+``var`` carries a ``bind`` clause (registers, scratchpad slots, memory
+regions), and ``syn`` introduces synonyms (the paper's renaming of
+``localstore`` elements to ``mpr``/``mpnd``/``product``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- types ---------------------------------------------------------------
+@dataclass(frozen=True)
+class SeqType:
+    """``seq [hi..lo] bit`` — a bitstring."""
+
+    hi: int
+    lo: int
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """``array [lo..hi] of seq…``."""
+
+    lo: int
+    hi: int
+    element: SeqType
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass(frozen=True)
+class TupleField:
+    name: str
+    type: SeqType
+
+
+@dataclass(frozen=True)
+class TupleType:
+    """``tuple f1: seq…; …; fn: seq… end`` — fields high to low.
+
+    A reference to the whole tuple denotes the concatenation of all
+    fields (the paper's IR / IR.opcode convenience).
+    """
+
+    fields: tuple[TupleField, ...]
+
+    @property
+    def width(self) -> int:
+        return sum(f.type.width for f in self.fields)
+
+    def layout(self) -> dict[str, tuple[int, int]]:
+        """Field name -> (bit position of LSB, width), high-to-low."""
+        result: dict[str, tuple[int, int]] = {}
+        position = self.width
+        for fld in self.fields:
+            position -= fld.type.width
+            result[fld.name] = (position, fld.type.width)
+        return result
+
+
+@dataclass(frozen=True)
+class StackType:
+    """``stack [n] of seq… with push, pop``."""
+
+    depth: int
+    element: SeqType
+
+
+SType = SeqType | ArrayType | TupleType | StackType
+
+
+# -- bindings ---------------------------------------------------------------
+@dataclass(frozen=True)
+class RegBinding:
+    """Bound to one machine register."""
+
+    register: str
+
+
+@dataclass(frozen=True)
+class RegListBinding:
+    """Array bound to an explicit register list."""
+
+    registers: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ScratchBinding:
+    """Array bound to consecutive scratchpad slots starting at base."""
+
+    base: int
+
+
+@dataclass(frozen=True)
+class MemBinding:
+    """Stack bound to a main-memory region with a pointer register."""
+
+    base: int
+    pointer: str
+
+
+Binding = RegBinding | RegListBinding | ScratchBinding | MemBinding
+
+
+@dataclass
+class VarDecl:
+    name: str
+    type: SType
+    binding: Binding
+    line: int = 0
+
+
+@dataclass
+class ConstDecl:
+    name: str
+    value: int
+    line: int = 0
+
+
+@dataclass
+class SynDecl:
+    """``syn new = old`` or ``syn new = arr[k]``."""
+
+    name: str
+    target: str
+    index: int | None = None
+    line: int = 0
+
+
+# -- operands / elementary statements -------------------------------------------
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """``t.field`` on a tuple-typed variable."""
+
+    base: str
+    field: str
+
+
+@dataclass(frozen=True)
+class IndexRef:
+    """``arr[k]`` with a constant index."""
+
+    base: str
+    index: int
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    value: int
+
+
+Ref = VarRef | FieldRef | IndexRef
+Operand = VarRef | FieldRef | IndexRef | ConstRef
+
+
+@dataclass(frozen=True)
+class AssignStmt:
+    """``dst := src`` / ``dst := a op b`` / ``dst := op a`` —
+    an elementary statement of S(M)."""
+
+    dest: Ref
+    op: str  # "mov", "add", "sub", "and", "or", "xor", "not", "neg",
+             # "shl", "shr", "inc", "dec"
+    operands: tuple[Operand, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ReadStmt:
+    """``x := read(addr)`` — main memory fetch through MAR/MBR."""
+
+    dest: Ref
+    address: Operand
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class WriteStmt:
+    """``write(addr, value)``."""
+
+    address: Operand
+    value: Operand
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PushStmt:
+    stack: str
+    value: Operand
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PopStmt:
+    dest: Ref
+    stack: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class AssertStmt:
+    """``assert "condition";`` — a proof annotation."""
+
+    text: str
+    line: int = 0
+
+
+# -- tests ------------------------------------------------------------------
+@dataclass(frozen=True)
+class Test:
+    """A hardware-testable condition of M: ``x = 0``, ``x < y``, flags."""
+
+    left: Operand | None
+    relop: str | None
+    right: Operand | None
+    flag: str | None = None
+    line: int = 0
+
+
+# -- compound statements ----------------------------------------------------
+@dataclass
+class Cobegin:
+    """All members execute in the same microcycle (one MI, one phase)."""
+
+    body: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Cocycle:
+    """Members occupy successive phases of one microinstruction."""
+
+    body: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Dur:
+    """``dur S0 do S1; …; Sn end`` — S0 overlaps the sequence."""
+
+    overlapped: "Stmt" = None  # type: ignore[assignment]
+    body: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Region:
+    """Hand-optimized section: the compiler must not reorder it."""
+
+    body: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Seq:
+    """``begin S1; …; Sn end``."""
+
+    body: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class IfStmt:
+    """``if t1 then S1 elif t2 then S2 … else Sn fi``."""
+
+    arms: list[tuple[Test, "Stmt"]] = field(default_factory=list)
+    otherwise: "Stmt | None" = None
+    line: int = 0
+
+
+@dataclass
+class WhileStmt:
+    test: Test = None  # type: ignore[assignment]
+    body: "Stmt" = None  # type: ignore[assignment]
+    invariant: str | None = None
+    line: int = 0
+
+
+@dataclass
+class RepeatStmt:
+    """``repeat S1; …; Sn until t``."""
+
+    body: list["Stmt"] = field(default_factory=list)
+    test: Test = None  # type: ignore[assignment]
+    invariant: str | None = None
+    line: int = 0
+
+
+@dataclass
+class CallStmt:
+    proc: str
+    line: int = 0
+
+
+@dataclass
+class ReturnStmt:
+    line: int = 0
+
+
+Stmt = (
+    AssignStmt | ReadStmt | WriteStmt | PushStmt | PopStmt | AssertStmt
+    | Cobegin | Cocycle | Dur | Region | Seq | IfStmt | WhileStmt
+    | RepeatStmt | CallStmt | ReturnStmt
+)
+
+
+@dataclass
+class ProcDecl:
+    """``proc name (uses v1, v2); S end`` — parameterless, with the
+    paper's parenthesized list of variables used in the body."""
+
+    name: str
+    uses: tuple[str, ...] = ()
+    body: Stmt = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class SStarProgram:
+    """A parsed S(M) program."""
+
+    name: str
+    pre: str | None = None
+    post: str | None = None
+    variables: dict[str, VarDecl] = field(default_factory=dict)
+    constants: dict[str, ConstDecl] = field(default_factory=dict)
+    synonyms: dict[str, SynDecl] = field(default_factory=dict)
+    procedures: dict[str, ProcDecl] = field(default_factory=dict)
+    body: Seq = field(default_factory=Seq)

@@ -1,0 +1,708 @@
+"""S(M) code generation: AST → micro-IR with programmer-composed MIs.
+
+The defining property of S* (survey §2.2.3): **parallelism is
+explicit** — the programmer composes microinstructions with
+``cobegin``/``cocycle``/``dur``, and the compiler merely *checks* that
+the composition is legal on M (field conflicts, unit capacities, phase
+chaining) instead of discovering parallelism itself.  Accordingly,
+every elementary statement must map to exactly one micro-operation of
+M; a statement that would need several is rejected inside parallel
+constructs.
+
+``read``/``write``/``push``/``pop`` are *access-path sugar* that may
+expand to short sequences in sequential context (moving through
+MAR/MBR, adjusting the stack pointer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.lang.sstar.ast import (
+    ArrayType,
+    AssertStmt,
+    AssignStmt,
+    Cobegin,
+    Cocycle,
+    ConstRef,
+    Dur,
+    FieldRef,
+    IfStmt,
+    IndexRef,
+    MemBinding,
+    Operand,
+    PopStmt,
+    PushStmt,
+    ReadStmt,
+    Ref,
+    Region,
+    RegBinding,
+    RegListBinding,
+    RepeatStmt,
+    ReturnStmt,
+    CallStmt,
+    ScratchBinding,
+    Seq,
+    SeqType,
+    SStarProgram,
+    StackType,
+    SynDecl,
+    Test,
+    TupleType,
+    VarDecl,
+    VarRef,
+    WhileStmt,
+    WriteStmt,
+)
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import Branch, Jump
+from repro.mir.operands import Imm, Reg, preg
+from repro.mir.ops import MicroOp, mop
+from repro.mir.program import MicroProgram, ProgramBuilder
+
+_RELOP_TO_COND = {"=": "Z", "#": "NZ", "<": "N", ">=": "NN"}
+
+
+# -- storage resolution -------------------------------------------------------
+@dataclass(frozen=True)
+class RegStorage:
+    register: str
+    width: int
+
+
+@dataclass(frozen=True)
+class FieldStorage:
+    register: str
+    position: int
+    width: int
+
+
+@dataclass(frozen=True)
+class ScratchStorage:
+    slot: int
+
+
+@dataclass(frozen=True)
+class StackStorage:
+    base: int
+    pointer: str
+    depth: int
+
+
+Storage = RegStorage | FieldStorage | ScratchStorage | StackStorage
+
+
+@dataclass
+class GroupEntry:
+    """Ops forming one programmer-composed microinstruction.
+
+    ``kind`` selects the composer's placement discipline: ``cobegin``
+    members all execute in one (composer-chosen) phase with parallel
+    read-old semantics; ``cocycle`` members carry explicit phase
+    positions; ``dur`` members are placed wherever a variant fits.
+    """
+
+    members: list[int] = field(default_factory=list)
+    #: Phase hint per member (index-aligned); None = composer's choice.
+    phases: list[int | None] = field(default_factory=list)
+    kind: str = "cocycle"
+    line: int = 0
+
+
+class SStarCodegen:
+    """Generates micro-IR plus the group map consumed by SStarComposer."""
+
+    def __init__(
+        self,
+        program: SStarProgram,
+        machine: MicroArchitecture,
+    ):
+        self.ast = program
+        self.machine = machine
+        self.builder = ProgramBuilder(program.name, machine)
+        self._machine_regs = {
+            name.lower(): name for name in machine.registers.names()
+        }
+        #: block label -> list of groups; op indices are block-relative.
+        self.groups: dict[str, list[GroupEntry]] = {}
+        #: group collection stack (None = sequential context).
+        self._collecting: GroupEntry | None = None
+        self._current_phase: int | None = None
+        #: assert annotations encountered (for the verification bridge).
+        self.assertions: list[AssertStmt] = []
+        self._check_bindings()
+
+    # -- binding validation ---------------------------------------------------
+    def _check_bindings(self) -> None:
+        for decl in self.ast.variables.values():
+            binding = decl.binding
+            if isinstance(binding, RegBinding):
+                register = self._register(binding.register, decl.line)
+                width = (
+                    decl.type.width
+                    if isinstance(decl.type, (SeqType, TupleType))
+                    else None
+                )
+                if width is not None and width > self.machine.registers[register].width:
+                    raise SemanticError(
+                        f"{decl.name!r}: {width} bits do not fit register "
+                        f"{register}",
+                        decl.line,
+                    )
+            elif isinstance(binding, RegListBinding):
+                if not isinstance(decl.type, ArrayType):
+                    raise SemanticError(
+                        f"{decl.name!r}: register-list binding needs an array",
+                        decl.line,
+                    )
+                if len(binding.registers) != decl.type.length:
+                    raise SemanticError(
+                        f"{decl.name!r}: {decl.type.length} elements but "
+                        f"{len(binding.registers)} registers",
+                        decl.line,
+                    )
+                for register in binding.registers:
+                    self._register(register, decl.line)
+            elif isinstance(binding, ScratchBinding):
+                if not isinstance(decl.type, ArrayType):
+                    raise SemanticError(
+                        f"{decl.name!r}: scratch binding needs an array",
+                        decl.line,
+                    )
+                end = binding.base + decl.type.length
+                if end > self.machine.scratchpad_size:
+                    raise SemanticError(
+                        f"{decl.name!r}: scratch slots {binding.base}..{end - 1} "
+                        f"exceed local store ({self.machine.scratchpad_size})",
+                        decl.line,
+                    )
+            elif isinstance(binding, MemBinding):
+                if not isinstance(decl.type, StackType):
+                    raise SemanticError(
+                        f"{decl.name!r}: memory binding is for stacks",
+                        decl.line,
+                    )
+                self._register(binding.pointer, decl.line)
+
+    def _register(self, name: str, line: int) -> str:
+        resolved = self._machine_regs.get(name.lower())
+        if resolved is None:
+            raise SemanticError(
+                f"{name!r} is not a register of {self.machine.name}", line
+            )
+        return resolved
+
+    # -- name resolution ---------------------------------------------------
+    def _decl_of(self, name: str, line: int) -> tuple[VarDecl, int | None]:
+        """Resolve through synonyms to (declaration, optional index)."""
+        index: int | None = None
+        seen: set[str] = set()
+        while name in self.ast.synonyms:
+            if name in seen:
+                raise SemanticError(f"circular synonym {name!r}", line)
+            seen.add(name)
+            syn: SynDecl = self.ast.synonyms[name]
+            if syn.index is not None:
+                index = syn.index
+            name = syn.target
+        decl = self.ast.variables.get(name)
+        if decl is None:
+            raise SemanticError(f"undeclared variable {name!r}", line)
+        return decl, index
+
+    def storage_of(self, ref: Ref, line: int) -> Storage:
+        if isinstance(ref, VarRef):
+            decl, index = self._decl_of(ref.name, line)
+            if index is not None:
+                return self._element(decl, index, line)
+            if isinstance(decl.type, ArrayType):
+                raise SemanticError(
+                    f"array {ref.name!r} used without index", line
+                )
+            if isinstance(decl.type, StackType):
+                raise SemanticError(
+                    f"stack {ref.name!r} needs push/pop", line
+                )
+            assert isinstance(decl.binding, RegBinding)
+            return RegStorage(
+                self._register(decl.binding.register, line), decl.type.width
+            )
+        if isinstance(ref, IndexRef):
+            decl, _ = self._decl_of(ref.base, line)
+            return self._element(decl, ref.index, line)
+        if isinstance(ref, FieldRef):
+            decl, _ = self._decl_of(ref.base, line)
+            if not isinstance(decl.type, TupleType):
+                raise SemanticError(
+                    f"{ref.base!r} is not a tuple", line
+                )
+            layout = decl.type.layout()
+            if ref.field not in layout:
+                raise SemanticError(
+                    f"tuple {ref.base!r} has no field {ref.field!r}", line
+                )
+            position, width = layout[ref.field]
+            assert isinstance(decl.binding, RegBinding)
+            return FieldStorage(
+                self._register(decl.binding.register, line), position, width
+            )
+        raise SemanticError(f"bad reference {ref!r}", line)  # pragma: no cover
+
+    def _element(self, decl: VarDecl, index: int, line: int) -> Storage:
+        if not isinstance(decl.type, ArrayType):
+            raise SemanticError(f"{decl.name!r} is not an array", line)
+        if not decl.type.lo <= index <= decl.type.hi:
+            raise SemanticError(
+                f"index {index} out of bounds for {decl.name!r}", line
+            )
+        offset = index - decl.type.lo
+        if isinstance(decl.binding, ScratchBinding):
+            return ScratchStorage(decl.binding.base + offset)
+        if isinstance(decl.binding, RegListBinding):
+            return RegStorage(
+                self._register(decl.binding.registers[offset], line),
+                decl.type.element.width,
+            )
+        raise SemanticError(
+            f"array {decl.name!r} has an unsupported binding", line
+        )
+
+    def stack_of(self, name: str, line: int) -> StackStorage:
+        decl, _ = self._decl_of(name, line)
+        if not isinstance(decl.type, StackType) or not isinstance(
+            decl.binding, MemBinding
+        ):
+            raise SemanticError(f"{name!r} is not a memory-bound stack", line)
+        return StackStorage(
+            decl.binding.base,
+            self._register(decl.binding.pointer, line),
+            decl.type.depth,
+        )
+
+    def const_value(self, operand: ConstRef | int, line: int) -> int:
+        value = operand.value if isinstance(operand, ConstRef) else operand
+        return value & self.machine.mask()
+
+    def _operand_value(self, operand: Operand, line: int):
+        """Storage, or an int for constants (resolving const names)."""
+        if isinstance(operand, ConstRef):
+            return self.const_value(operand, line)
+        if isinstance(operand, VarRef) and operand.name in self.ast.constants:
+            return self.const_value(self.ast.constants[operand.name].value, line)
+        return self.storage_of(operand, line)
+
+    # -- op emission ------------------------------------------------------------
+    def _emit(self, op: MicroOp, phase: int | None = None) -> int:
+        block = self.builder.current
+        index = len(block.ops)
+        self.builder.emit(op)
+        if self._collecting is not None:
+            self._collecting.members.append(index)
+            self._collecting.phases.append(
+                phase if phase is not None else self._current_phase
+            )
+        return index
+
+    def _const_reg(self, value: int, line: int) -> Reg:
+        resolved = self.builder.constant(value)
+        if isinstance(resolved, Reg):
+            return resolved
+        raise SemanticError(
+            f"no constant register available for {value:#x} "
+            f"(S(M) statements must stay elementary)",
+            line,
+        )
+
+    # -- statement compilation ----------------------------------------------------
+    def generate(self) -> MicroProgram:
+        builder = self.builder
+        builder.start_block("main")
+        self.groups.setdefault("main", [])
+        self._sequence(self.ast.body.body)
+        if not builder.current.terminated:
+            builder.exit()
+        for procedure in self.ast.procedures.values():
+            entry = f"proc_{procedure.name}"
+            self._start_block(entry)
+            builder.declare_procedure(procedure.name, entry)
+            self._check_uses(procedure)
+            self._statement(procedure.body)
+            if not builder.current.terminated:
+                builder.ret()
+        return builder.finish()
+
+    def _check_uses(self, procedure) -> None:
+        if not procedure.uses:
+            return
+        allowed = set(procedure.uses)
+
+        def refs(statement) -> None:
+            if isinstance(statement, AssignStmt):
+                names = [statement.dest, *statement.operands]
+            elif isinstance(statement, ReadStmt):
+                names = [statement.dest, statement.address]
+            elif isinstance(statement, WriteStmt):
+                names = [statement.address, statement.value]
+            elif isinstance(statement, (Seq, Cobegin, Cocycle, Region)):
+                for child in statement.body:
+                    refs(child)
+                return
+            else:
+                return
+            for name in names:
+                base = None
+                if isinstance(name, VarRef):
+                    base = name.name
+                elif isinstance(name, (FieldRef, IndexRef)):
+                    base = name.base
+                if (
+                    base is not None
+                    and base not in allowed
+                    and base not in self.ast.constants
+                ):
+                    raise SemanticError(
+                        f"procedure {procedure.name!r} uses {base!r} which is "
+                        f"not in its uses list",
+                        procedure.line,
+                    )
+
+        refs(procedure.body)
+
+    def _start_block(self, label: str | None = None):
+        block = self.builder.start_block(label)
+        self.groups.setdefault(block.label, [])
+        return block
+
+    def _sequence(self, statements: list) -> None:
+        for statement in statements:
+            self._statement(statement)
+
+    def _statement(self, statement) -> None:
+        builder = self.builder
+        if isinstance(statement, Seq):
+            self._sequence(statement.body)
+        elif isinstance(statement, Region):
+            # A region is already never reordered (S* compilation is
+            # order-preserving); the marker is kept for documentation.
+            self._sequence(statement.body)
+        elif isinstance(statement, AssignStmt):
+            self._assign(statement)
+        elif isinstance(statement, ReadStmt):
+            self._read(statement)
+        elif isinstance(statement, WriteStmt):
+            self._write(statement)
+        elif isinstance(statement, PushStmt):
+            self._push(statement)
+        elif isinstance(statement, PopStmt):
+            self._pop(statement)
+        elif isinstance(statement, AssertStmt):
+            self.assertions.append(statement)
+        elif isinstance(statement, Cobegin):
+            self._parallel_group(statement.body, statement.line, cocycle=False)
+        elif isinstance(statement, Cocycle):
+            self._parallel_group(statement.body, statement.line, cocycle=True)
+        elif isinstance(statement, Dur):
+            self._dur(statement)
+        elif isinstance(statement, IfStmt):
+            self._if(statement)
+        elif isinstance(statement, WhileStmt):
+            self._while(statement)
+        elif isinstance(statement, RepeatStmt):
+            self._repeat(statement)
+        elif isinstance(statement, CallStmt):
+            self.builder.call(statement.proc)
+            self.groups.setdefault(self.builder.current.label, [])
+        elif isinstance(statement, ReturnStmt):
+            builder.ret()
+            self._start_block()
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown statement {statement!r}")
+
+    # -- parallel constructs ---------------------------------------------------
+    def _parallel_group(
+        self, body: list, line: int, cocycle: bool
+    ) -> None:
+        if self._collecting is not None:
+            raise SemanticError("nested parallel constructs beyond "
+                                "cobegin-in-cocycle are not allowed", line)
+        group = GroupEntry(kind="cocycle" if cocycle else "cobegin", line=line)
+        self._collecting = group
+        try:
+            for position, statement in enumerate(body, start=1):
+                self._current_phase = position if cocycle else None
+                before = len(group.members)
+                if isinstance(statement, Cobegin) and cocycle:
+                    for inner in statement.body:
+                        inner_before = len(group.members)
+                        self._statement_elementary(inner, line)
+                        if len(group.members) != inner_before + 1:
+                            raise SemanticError(
+                                "cobegin member is not elementary", line
+                            )
+                else:
+                    self._statement_elementary(statement, line)
+                    if len(group.members) != before + 1:
+                        raise SemanticError(
+                            ("cocycle" if cocycle else "cobegin")
+                            + " member is not an elementary statement",
+                            line,
+                        )
+        finally:
+            self._collecting = None
+            self._current_phase = None
+        self.groups[self.builder.current.label].append(group)
+
+    def _statement_elementary(self, statement, line: int) -> None:
+        if isinstance(
+            statement, (AssignStmt, ReadStmt, WriteStmt)
+        ):
+            self._statement(statement)
+        else:
+            raise SemanticError(
+                f"only elementary statements may appear in parallel "
+                f"constructs, got {type(statement).__name__}",
+                line,
+            )
+
+    def _dur(self, statement: Dur) -> None:
+        if self._collecting is not None:
+            raise SemanticError("dur cannot nest in a parallel construct",
+                                statement.line)
+        group = GroupEntry(kind="dur", line=statement.line)
+        self._collecting = group
+        try:
+            self._statement_elementary(statement.overlapped, statement.line)
+            if not statement.body:
+                raise SemanticError("dur needs a body", statement.line)
+            self._statement_elementary(statement.body[0], statement.line)
+        finally:
+            self._collecting = None
+        self.groups[self.builder.current.label].append(group)
+        self._sequence(statement.body[1:])
+
+    # -- elementary statements ---------------------------------------------------
+    def _assign(self, statement: AssignStmt) -> None:
+        line = statement.line
+        dest = self.storage_of(statement.dest, line)
+        values = [self._operand_value(o, line) for o in statement.operands]
+        op = statement.op
+
+        # Scratchpad access paths.
+        if isinstance(dest, ScratchStorage):
+            if op != "mov" or not isinstance(values[0], RegStorage):
+                raise SemanticError(
+                    "local store elements only accept register moves", line
+                )
+            self._emit(
+                mop("stscr", None, preg(values[0].register), Imm(dest.slot),
+                    line=line)
+            )
+            return
+        if op == "mov" and isinstance(values[0], ScratchStorage):
+            if not isinstance(dest, RegStorage):
+                raise SemanticError(
+                    "local store elements only load into registers", line
+                )
+            self._emit(
+                mop("ldscr", preg(dest.register), Imm(values[0].slot), line=line)
+            )
+            return
+
+        # Field access paths (tuple select / deposit).
+        if isinstance(dest, FieldStorage):
+            if op != "mov" or not isinstance(values[0], RegStorage):
+                raise SemanticError(
+                    "field deposit takes a plain register source", line
+                )
+            self._emit(
+                mop("dep", preg(dest.register), preg(values[0].register),
+                    Imm(dest.position), Imm(dest.width), line=line)
+            )
+            return
+        if op == "mov" and isinstance(values[0], FieldStorage):
+            source = values[0]
+            self._emit(
+                mop("ext", preg(dest.register), preg(source.register),
+                    Imm(source.position), Imm(source.width), line=line)
+            )
+            return
+
+        assert isinstance(dest, RegStorage)
+        if op == "mov" and isinstance(values[0], int):
+            self._emit(
+                mop("movi", preg(dest.register), Imm(values[0]), line=line)
+            )
+            return
+        if op in ("shl", "shr"):
+            source = self._as_reg(values[0], line)
+            count = values[1]
+            assert isinstance(count, int)
+            self._emit(
+                mop(op, preg(dest.register), source, Imm(count), line=line)
+            )
+            return
+        sources = [self._as_reg(v, line) for v in values]
+        if not self.machine.has_op(op):
+            raise SemanticError(
+                f"{self.machine.name} has no micro-operation {op!r}; not an "
+                f"elementary statement of S({self.machine.name})",
+                line,
+            )
+        self._emit(mop(op, preg(dest.register), *sources, line=line))
+
+    def _as_reg(self, value, line: int) -> Reg:
+        if isinstance(value, RegStorage):
+            return preg(value.register)
+        if isinstance(value, int):
+            return self._const_reg(value, line)
+        raise SemanticError(
+            "operand is not a register or constant (not elementary)", line
+        )
+
+    def _read(self, statement: ReadStmt) -> None:
+        line = statement.line
+        dest = self.storage_of(statement.dest, line)
+        address = self._operand_value(statement.address, line)
+        if not isinstance(dest, RegStorage):
+            raise SemanticError("read destination must be a register", line)
+        mar, mbr = preg("MAR"), preg("MBR")
+        address_reg = self._as_reg(address, line)
+        ops = 0
+        if address_reg != mar:
+            self._emit(mop("mov", mar, address_reg, line=line))
+            ops += 1
+        self._emit(mop("read", mbr, mar, line=line))
+        if preg(dest.register) != mbr:
+            self._emit(mop("mov", preg(dest.register), mbr, line=line))
+            ops += 1
+        if self._collecting is not None and ops:
+            raise SemanticError(
+                "read is only elementary as 'mbr := read(mar)'", line
+            )
+
+    def _write(self, statement: WriteStmt) -> None:
+        line = statement.line
+        address = self._as_reg(self._operand_value(statement.address, line), line)
+        value = self._as_reg(self._operand_value(statement.value, line), line)
+        mar, mbr = preg("MAR"), preg("MBR")
+        ops = 0
+        if address != mar:
+            self._emit(mop("mov", mar, address, line=line))
+            ops += 1
+        if value != mbr:
+            self._emit(mop("mov", mbr, value, line=line))
+            ops += 1
+        self._emit(mop("write", None, mar, mbr, line=line))
+        if self._collecting is not None and ops:
+            raise SemanticError(
+                "write is only elementary as 'write(mar, mbr)'", line
+            )
+
+    def _push(self, statement: PushStmt) -> None:
+        line = statement.line
+        stack = self.stack_of(statement.stack, line)
+        value = self._as_reg(self._operand_value(statement.value, line), line)
+        if self._collecting is not None:
+            raise SemanticError("push is not elementary", line)
+        pointer = preg(stack.pointer)
+        mar, mbr = preg("MAR"), preg("MBR")
+        self._emit(mop("inc", pointer, pointer, line=line))
+        self._emit(mop("mov", mar, pointer, line=line))
+        self._emit(mop("mov", mbr, value, line=line))
+        self._emit(mop("write", None, mar, mbr, line=line))
+
+    def _pop(self, statement: PopStmt) -> None:
+        line = statement.line
+        stack = self.stack_of(statement.stack, line)
+        dest = self.storage_of(statement.dest, line)
+        if self._collecting is not None:
+            raise SemanticError("pop is not elementary", line)
+        if not isinstance(dest, RegStorage):
+            raise SemanticError("pop destination must be a register", line)
+        pointer = preg(stack.pointer)
+        mar, mbr = preg("MAR"), preg("MBR")
+        self._emit(mop("mov", mar, pointer, line=line))
+        self._emit(mop("read", mbr, mar, line=line))
+        self._emit(mop("mov", preg(dest.register), mbr, line=line))
+        self._emit(mop("dec", pointer, pointer, line=line))
+
+    # -- control flow ---------------------------------------------------------
+    def _branch(self, test: Test, true_label: str, false_label: str) -> None:
+        builder = self.builder
+        if test.flag is not None:
+            builder.terminate(Branch(test.flag, true_label, false_label))
+            return
+        left = self._as_reg(self._operand_value(test.left, test.line), test.line)
+        right = self._as_reg(self._operand_value(test.right, test.line), test.line)
+        self._emit(mop("cmp", None, left, right, line=test.line))
+        relop = test.relop
+        if relop in _RELOP_TO_COND:
+            builder.terminate(
+                Branch(_RELOP_TO_COND[relop], true_label, false_label)
+            )
+        elif relop == "<=":
+            middle = builder.fresh_label("le")
+            builder.terminate(Branch("Z", true_label, middle))
+            self._start_block(middle)
+            builder.terminate(Branch("N", true_label, false_label))
+        elif relop == ">":
+            middle = builder.fresh_label("gt")
+            builder.terminate(Branch("Z", false_label, middle))
+            self._start_block(middle)
+            builder.terminate(Branch("NN", true_label, false_label))
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown relop {relop!r}", test.line)
+
+    def _if(self, statement: IfStmt) -> None:
+        builder = self.builder
+        done = builder.fresh_label("fi")
+        for test, body in statement.arms:
+            then_label = builder.fresh_label("then")
+            next_label = builder.fresh_label("el")
+            self._branch(test, then_label, next_label)
+            self._start_block(then_label)
+            self._statement(body)
+            if not builder.current.terminated:
+                builder.terminate(Jump(done))
+            self._start_block(next_label)
+        if statement.otherwise is not None:
+            self._statement(statement.otherwise)
+        self._start_block(done)
+
+    def _while(self, statement: WhileStmt) -> None:
+        builder = self.builder
+        head = builder.fresh_label("wh")
+        body = builder.fresh_label("do")
+        done = builder.fresh_label("od")
+        builder.terminate(Jump(head))
+        self._start_block(head)
+        self._branch(statement.test, body, done)
+        self._start_block(body)
+        self._statement(statement.body)
+        if not builder.current.terminated:
+            builder.terminate(Jump(head))
+        self._start_block(done)
+
+    def _repeat(self, statement: RepeatStmt) -> None:
+        builder = self.builder
+        head = builder.fresh_label("rp")
+        done = builder.fresh_label("un")
+        builder.terminate(Jump(head))
+        self._start_block(head)
+        self._sequence(statement.body)
+        check = builder.fresh_label("ck")
+        if not builder.current.terminated:
+            builder.terminate(Jump(check))
+        self._start_block(check)
+        self._branch(statement.test, done, head)
+        self._start_block(done)
+
+
+def generate(
+    ast: SStarProgram, machine: MicroArchitecture
+) -> tuple[MicroProgram, dict[str, list[GroupEntry]]]:
+    """AST → (micro-IR, programmer-composition group map)."""
+    codegen = SStarCodegen(ast, machine)
+    program = codegen.generate()
+    return program, codegen.groups

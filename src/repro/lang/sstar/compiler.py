@@ -1,0 +1,40 @@
+"""S* compiler driver (survey §2.2.3).
+
+Pipeline: parse → bind-check + code generation → **no legalization and
+no allocation** (S* programs are written against the machine's actual
+micro-operations and registers; anything else is a semantic error) →
+explicit composition validation → assembly.  Verification is a
+separate entry point (:func:`repro.lang.sstar.verify_bridge.verify_sstar`).
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import assemble
+from repro.compose.base import compose_program
+from repro.lang.common.legalize import LegalizeStats
+from repro.lang.sstar.codegen import generate
+from repro.lang.sstar.composer import SStarComposer
+from repro.lang.sstar.parser import parse_sstar
+from repro.lang.yalll.compiler import CompileResult
+from repro.machine.machine import MicroArchitecture
+from repro.regalloc.linear_scan import AllocationResult
+
+
+def compile_sstar(
+    source: str,
+    machine: MicroArchitecture,
+) -> CompileResult:
+    """Compile S(M) source for machine M."""
+    ast = parse_sstar(source)
+    mir, groups = generate(ast, machine)
+    composed = compose_program(mir, machine, SStarComposer(groups))
+    loaded = assemble(composed, machine)
+    return CompileResult(
+        mir=mir,
+        composed=composed,
+        loaded=loaded,
+        legalize_stats=LegalizeStats(
+            ops_before=mir.n_ops(), ops_after=mir.n_ops()
+        ),
+        allocation=AllocationResult(allocator="explicit-binding"),
+    )

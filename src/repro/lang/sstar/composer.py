@@ -1,0 +1,183 @@
+"""The S* "composer": validates programmer-composed microinstructions.
+
+The survey's §3 observation — "since composition depends on used
+resources … the alternative in which the programmer has to specify
+microinstruction composition while the compiler allocates resources is
+not possible" — is embodied here: S* programs arrive with registers
+bound *and* composition specified, and this pass only (a) picks a
+concrete variant per op honouring the construct's phase discipline and
+(b) rejects compositions that violate the machine's conflict model.
+
+Phase discipline per construct:
+
+* ``cobegin`` — all members execute in one phase, simultaneously.
+  Hardware same-phase semantics is reads-before-writes, so a flow
+  dependence between members is *reinterpreted* as an anti dependence:
+  ``cobegin x := y; y := x coend`` is the parallel swap, exactly as the
+  verification subsystem's parallel-assignment rule models it.
+* ``cocycle`` — member *k* executes in phase *k*; values chain
+  forward through the microinstruction (needs a chaining machine).
+* ``dur`` — the overlapped statement joins the first body statement's
+  microinstruction wherever a variant fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compose.base import MicroInstruction, PlacedOp
+from repro.compose.common import edge_kinds
+from repro.compose.conflicts import ConflictModel, Relations
+from repro.errors import ConflictError
+from repro.lang.sstar.codegen import GroupEntry
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import BasicBlock
+from repro.mir.deps import ANTI, FLOW, build_dependence_graph
+
+
+@dataclass
+class SStarComposer:
+    """Composer driven by the S* group map (one group = one MI)."""
+
+    groups: dict[str, list[GroupEntry]]
+    name: str = "sstar-explicit"
+
+    def compose_block(
+        self, block: BasicBlock, machine: MicroArchitecture
+    ) -> list[MicroInstruction]:
+        model = ConflictModel(machine)
+        graph = build_dependence_graph(block, machine)
+        kinds = edge_kinds(graph)
+        grouped: set[int] = set()
+        instructions: list[MicroInstruction] = []
+        groups = self.groups.get(block.label, [])
+        for group in groups:
+            grouped.update(group.members)
+
+        group_index = 0
+        op_index = 0
+        while op_index < len(block.ops):
+            if (
+                group_index < len(groups)
+                and groups[group_index].members
+                and groups[group_index].members[0] == op_index
+            ):
+                group = groups[group_index]
+                instructions.append(
+                    self._compose_group(group, block, machine, model, kinds)
+                )
+                op_index = max(group.members) + 1
+                group_index += 1
+            else:
+                instruction = MicroInstruction()
+                op = block.ops[op_index]
+                if self._try_variants(
+                    model, instruction, op, None, {}, machine
+                ) is None:
+                    raise ConflictError(
+                        f"{block.label}: {op} (line {op.line}) has no "
+                        f"encodable variant on {machine.name}"
+                    )
+                instructions.append(instruction)
+                op_index += 1
+        return instructions
+
+    # ------------------------------------------------------------------
+    def _compose_group(
+        self,
+        group: GroupEntry,
+        block: BasicBlock,
+        machine: MicroArchitecture,
+        model: ConflictModel,
+        kinds,
+    ) -> MicroInstruction:
+        if group.kind == "cobegin":
+            for phase in range(1, machine.n_phases + 1):
+                instruction = self._try_group(
+                    group, block, machine, model, kinds, forced_phase=phase
+                )
+                if instruction is not None:
+                    return instruction
+            raise ConflictError(
+                f"{block.label}: cobegin at line {group.line} is not "
+                f"co-executable in any single phase of {machine.name}"
+            )
+        instruction = self._try_group(
+            group, block, machine, model, kinds, forced_phase=None
+        )
+        if instruction is None:
+            raise ConflictError(
+                f"{block.label}: {group.kind} at line {group.line} cannot "
+                f"be composed on {machine.name}"
+            )
+        return instruction
+
+    def _try_group(
+        self,
+        group: GroupEntry,
+        block: BasicBlock,
+        machine: MicroArchitecture,
+        model: ConflictModel,
+        kinds,
+        forced_phase: int | None,
+    ) -> MicroInstruction | None:
+        instruction = MicroInstruction()
+        positions: dict[int, int] = {}
+        member_phase: dict[int, int] = {}
+        for member, phase_hint in zip(group.members, group.phases):
+            phase = forced_phase if forced_phase is not None else phase_hint
+            relations = self._relations(
+                member, positions, member_phase, kinds, phase, machine
+            )
+            placed = self._try_variants(
+                model, instruction, block.ops[member], phase,
+                relations, machine,
+            )
+            if placed is None:
+                return None
+            positions[member] = len(instruction.placed) - 1
+            member_phase[member] = placed.phase(machine)
+        return instruction
+
+    def _relations(
+        self,
+        candidate: int,
+        positions: dict[int, int],
+        member_phase: dict[int, int],
+        kinds,
+        candidate_phase: int | None,
+        machine: MicroArchitecture,
+    ) -> Relations:
+        """Dependence kinds from placed members to the candidate, with
+        same-phase flow reinterpreted as anti (simultaneous read-old)."""
+        relations: Relations = {}
+        for placed_index, position in positions.items():
+            pair = set(kinds.get((placed_index, candidate), set()))
+            if not pair:
+                continue
+            if (
+                FLOW in pair
+                and candidate_phase is not None
+                and member_phase.get(placed_index) == candidate_phase
+            ):
+                pair.discard(FLOW)
+                pair.add(ANTI)
+            relations[position] = pair
+        return relations
+
+    def _try_variants(
+        self,
+        model: ConflictModel,
+        instruction: MicroInstruction,
+        op,
+        phase: int | None,
+        relations: Relations,
+        machine: MicroArchitecture,
+    ) -> PlacedOp | None:
+        for placed in model.placements(op):
+            if phase is not None and placed.phase(machine) != phase:
+                continue
+            if model.can_add(instruction, placed, relations):
+                instruction.placed.append(placed)
+                return placed
+        return None

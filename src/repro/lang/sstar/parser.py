@@ -1,0 +1,420 @@
+"""Parser for S(M) programs.
+
+ASCII rendering of the survey's S* notation.  ``#`` comments run to end
+of line; assertion annotations are double-quoted strings::
+
+    program MPY;
+    pre  "true";
+    post "aluout = 0";
+
+    var left_alu_in  : seq [15..0] bit bind R1;
+    var right_alu_in : seq [15..0] bit bind R2;
+    var aluout       : seq [15..0] bit bind ACC;
+    var mpr          : seq [15..0] bit bind R4;
+    const minus1 = dec (16) -1;
+    syn m = mpr;
+
+    begin
+      repeat
+        cocycle
+          cobegin left_alu_in := product; right_alu_in := mpnd coend;
+          aluout := left_alu_in + right_alu_in;
+          product := aluout
+        coend;
+        ...
+      until aluout = 0
+    end
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.common.lexer import Lexer, LexerSpec, TokenStream
+from repro.lang.sstar.ast import (
+    ArrayType,
+    AssertStmt,
+    AssignStmt,
+    Cobegin,
+    Cocycle,
+    ConstDecl,
+    ConstRef,
+    Dur,
+    FieldRef,
+    IfStmt,
+    IndexRef,
+    MemBinding,
+    Operand,
+    PopStmt,
+    ProcDecl,
+    PushStmt,
+    ReadStmt,
+    Ref,
+    Region,
+    RegBinding,
+    RegListBinding,
+    RepeatStmt,
+    ReturnStmt,
+    CallStmt,
+    ScratchBinding,
+    Seq,
+    SeqType,
+    SStarProgram,
+    StackType,
+    SynDecl,
+    Test,
+    TupleField,
+    TupleType,
+    VarDecl,
+    VarRef,
+    WhileStmt,
+    WriteStmt,
+)
+
+_KEYWORDS = {
+    "program", "pre", "post", "var", "const", "syn", "proc", "uses",
+    "seq", "bit", "array", "of", "tuple", "stack", "bind", "scratch",
+    "mem", "ptr", "begin", "end", "cobegin", "cocycle", "coend", "dur",
+    "do", "region", "if", "then", "elif", "else", "fi", "while", "inv",
+    "repeat", "until", "call", "return", "read", "write", "push", "pop",
+    "assert", "xor", "shl", "shr", "dec",
+}
+
+_SPEC = LexerSpec(
+    patterns=[
+        (None, r"\s+"),
+        ("STRING", r'"[^"]*"'),
+        ("NUMBER", r"0x[0-9a-fA-F]+|0b[01]+|[0-9]+"),
+        ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+        ("ASSIGN", r":="),
+        ("DOTDOT", r"\.\."),
+        ("LE", r"<="), ("GE", r">="),
+        ("NEQ", r"<>"), ("EQUALS", r"="),
+        ("LT", r"<"), ("GT", r">"),
+        ("PLUS", r"\+"), ("MINUS", r"-"),
+        ("AMP", r"&"), ("PIPE", r"\|"), ("TILDE", r"~"),
+        ("LPAREN", r"\("), ("RPAREN", r"\)"),
+        ("LBRACK", r"\["), ("RBRACK", r"\]"),
+        ("SEMI", r";"), ("COLON", r":"), ("COMMA", r","),
+        ("DOT", r"\."),
+    ],
+    keywords=_KEYWORDS,
+    keywords_case_insensitive=True,
+    line_comment="#",
+)
+
+_LEXER = Lexer(_SPEC)
+
+_BINOPS = {"PLUS": "add", "MINUS": "sub", "AMP": "and", "PIPE": "or",
+           "XOR": "xor"}
+_RELOPS = {"EQUALS": "=", "NEQ": "#", "LT": "<", "LE": "<=",
+           "GT": ">", "GE": ">="}  # <> lexes as NEQ; # starts a comment
+_FLAG_NAMES = {"z", "nz", "n", "nn", "c", "nc", "uf", "nuf"}
+
+#: Tokens that end a statement list.
+_LIST_ENDERS = ("END", "COEND", "UNTIL", "ELSE", "ELIF", "FI", "EOF")
+
+
+def _number(tokens: TokenStream) -> int:
+    sign = -1 if tokens.accept("MINUS") else 1
+    return sign * int(tokens.expect("NUMBER").value, 0)
+
+
+def parse_sstar(source: str) -> SStarProgram:
+    """Parse an S(M) program."""
+    tokens = _LEXER.tokenize(source)
+    tokens.expect("PROGRAM")
+    program = SStarProgram(tokens.expect("IDENT").value)
+    tokens.expect("SEMI")
+    if tokens.accept("PRE"):
+        program.pre = tokens.expect("STRING").value.strip('"')
+        tokens.expect("SEMI")
+    if tokens.accept("POST"):
+        program.post = tokens.expect("STRING").value.strip('"')
+        tokens.expect("SEMI")
+    while not tokens.at("BEGIN"):
+        _declaration(tokens, program)
+    program.body = _begin_seq(tokens)
+    return program
+
+
+def _declaration(tokens: TokenStream, program: SStarProgram) -> None:
+    token = tokens.current
+    if tokens.accept("VAR"):
+        names = [tokens.expect("IDENT").value]
+        while tokens.accept("COMMA"):
+            names.append(tokens.expect("IDENT").value)
+        tokens.expect("COLON")
+        var_type = _type(tokens)
+        tokens.expect("BIND")
+        for index, name in enumerate(names):
+            binding = _binding(tokens)
+            if index + 1 < len(names):
+                tokens.expect("COMMA")
+            if name in program.variables:
+                raise ParseError(f"duplicate variable {name!r}", token.line)
+            program.variables[name] = VarDecl(name, var_type, binding, token.line)
+        tokens.expect("SEMI")
+    elif tokens.accept("CONST"):
+        name = tokens.expect("IDENT").value
+        tokens.expect("EQUALS")
+        if tokens.accept("DEC"):  # the paper's ``dec (16) -1`` notation
+            tokens.expect("LPAREN")
+            tokens.expect("NUMBER")
+            tokens.expect("RPAREN")
+        value = _number(tokens)
+        tokens.expect("SEMI")
+        program.constants[name] = ConstDecl(name, value, token.line)
+    elif tokens.accept("SYN"):
+        while True:
+            name = tokens.expect("IDENT").value
+            tokens.expect("EQUALS")
+            target = tokens.expect("IDENT").value
+            index = None
+            if tokens.accept("LBRACK"):
+                index = _number(tokens)
+                tokens.expect("RBRACK")
+            program.synonyms[name] = SynDecl(name, target, index, token.line)
+            if not tokens.accept("COMMA"):
+                break
+        tokens.expect("SEMI")
+    elif tokens.accept("PROC"):
+        name = tokens.expect("IDENT").value
+        uses: tuple[str, ...] = ()
+        if tokens.accept("LPAREN"):
+            collected = [tokens.expect("IDENT").value]
+            while tokens.accept("COMMA"):
+                collected.append(tokens.expect("IDENT").value)
+            tokens.expect("RPAREN")
+            uses = tuple(collected)
+        tokens.expect("SEMI")
+        body = _statement(tokens)
+        tokens.accept("SEMI")
+        program.procedures[name] = ProcDecl(name, uses, body, token.line)
+    else:
+        raise ParseError(
+            f"expected declaration, found {token.type}", token.line, token.column
+        )
+
+
+def _type(tokens: TokenStream):
+    if tokens.accept("SEQ"):
+        return _seq_type_tail(tokens)
+    if tokens.accept("ARRAY"):
+        tokens.expect("LBRACK")
+        lo = _number(tokens)
+        tokens.expect("DOTDOT")
+        hi = _number(tokens)
+        tokens.expect("RBRACK")
+        tokens.expect("OF")
+        tokens.expect("SEQ")
+        return ArrayType(lo, hi, _seq_type_tail(tokens))
+    if tokens.accept("TUPLE"):
+        fields = []
+        while not tokens.at("END"):
+            field_name = tokens.expect("IDENT").value
+            tokens.expect("COLON")
+            tokens.expect("SEQ")
+            fields.append(TupleField(field_name, _seq_type_tail(tokens)))
+            tokens.accept("SEMI")
+        tokens.expect("END")
+        return TupleType(tuple(fields))
+    if tokens.accept("STACK"):
+        tokens.expect("LBRACK")
+        depth = _number(tokens)
+        tokens.expect("RBRACK")
+        tokens.expect("OF")
+        tokens.expect("SEQ")
+        return StackType(depth, _seq_type_tail(tokens))
+    raise ParseError(
+        f"expected type, found {tokens.current.type}",
+        tokens.current.line, tokens.current.column,
+    )
+
+
+def _seq_type_tail(tokens: TokenStream) -> SeqType:
+    tokens.expect("LBRACK")
+    hi = _number(tokens)
+    tokens.expect("DOTDOT")
+    lo = _number(tokens)
+    tokens.expect("RBRACK")
+    tokens.expect("BIT")
+    return SeqType(hi, lo)
+
+
+def _binding(tokens: TokenStream):
+    if tokens.accept("SCRATCH"):
+        tokens.expect("LBRACK")
+        base = _number(tokens)
+        tokens.expect("RBRACK")
+        return ScratchBinding(base)
+    if tokens.accept("MEM"):
+        tokens.expect("LBRACK")
+        base = _number(tokens)
+        tokens.expect("RBRACK")
+        tokens.expect("PTR")
+        return MemBinding(base, tokens.expect("IDENT").value)
+    if tokens.accept("LPAREN"):
+        registers = [tokens.expect("IDENT").value]
+        while tokens.accept("COMMA"):
+            registers.append(tokens.expect("IDENT").value)
+        tokens.expect("RPAREN")
+        return RegListBinding(tuple(registers))
+    return RegBinding(tokens.expect("IDENT").value)
+
+
+# -- statements -----------------------------------------------------------
+def _begin_seq(tokens: TokenStream) -> Seq:
+    tokens.expect("BEGIN")
+    body = _statement_list(tokens)
+    tokens.expect("END")
+    tokens.accept("SEMI")
+    return Seq(body)
+
+
+def _statement_list(tokens: TokenStream) -> list:
+    statements = []
+    while not tokens.at(*_LIST_ENDERS):
+        statements.append(_statement(tokens))
+        tokens.accept("SEMI")
+    return statements
+
+
+def _ref(tokens: TokenStream) -> Ref:
+    name = tokens.expect("IDENT").value
+    if tokens.accept("DOT"):
+        return FieldRef(name, tokens.expect("IDENT").value)
+    if tokens.accept("LBRACK"):
+        index = _number(tokens)
+        tokens.expect("RBRACK")
+        return IndexRef(name, index)
+    return VarRef(name)
+
+
+def _operand(tokens: TokenStream) -> Operand:
+    if tokens.at("NUMBER") or tokens.at("MINUS"):
+        return ConstRef(_number(tokens))
+    return _ref(tokens)
+
+
+def _test(tokens: TokenStream) -> Test:
+    line = tokens.current.line
+    if tokens.at("IDENT") and tokens.current.value.lower() in _FLAG_NAMES:
+        ahead = tokens.peek(1).type
+        if ahead not in _RELOPS and ahead not in ("DOT", "LBRACK"):
+            flag = tokens.advance().value.upper()
+            return Test(None, None, None, flag=flag, line=line)
+    left = _operand(tokens)
+    relop_token = tokens.expect(*_RELOPS)
+    right = _operand(tokens)
+    return Test(left, _RELOPS[relop_token.type], right, line=line)
+
+
+def _statement(tokens: TokenStream):
+    token = tokens.current
+    if tokens.accept("BEGIN"):
+        body = _statement_list(tokens)
+        tokens.expect("END")
+        return Seq(body)
+    if tokens.accept("COBEGIN"):
+        body = _statement_list(tokens)
+        tokens.expect("COEND")
+        return Cobegin(body, token.line)
+    if tokens.accept("COCYCLE"):
+        body = _statement_list(tokens)
+        tokens.expect("COEND", "END")
+        return Cocycle(body, token.line)
+    if tokens.accept("DUR"):
+        overlapped = _statement(tokens)
+        tokens.expect("DO")
+        body = _statement_list(tokens)
+        tokens.expect("END")
+        return Dur(overlapped, body, token.line)
+    if tokens.accept("REGION"):
+        body = _statement_list(tokens)
+        tokens.expect("END")
+        return Region(body, token.line)
+    if tokens.accept("IF"):
+        statement = IfStmt(line=token.line)
+        test = _test(tokens)
+        tokens.expect("THEN")
+        statement.arms.append((test, _statement_arm(tokens)))
+        while tokens.accept("ELIF"):
+            test = _test(tokens)
+            tokens.expect("THEN")
+            statement.arms.append((test, _statement_arm(tokens)))
+        if tokens.accept("ELSE"):
+            statement.otherwise = _statement_arm(tokens)
+        tokens.expect("FI")
+        return statement
+    if tokens.accept("WHILE"):
+        statement = WhileStmt(line=token.line)
+        statement.test = _test(tokens)
+        if tokens.accept("INV"):
+            statement.invariant = tokens.expect("STRING").value.strip('"')
+        tokens.expect("DO")
+        statement.body = _statement(tokens)
+        return statement
+    if tokens.accept("REPEAT"):
+        statement = RepeatStmt(line=token.line)
+        statement.body = _statement_list(tokens)
+        tokens.expect("UNTIL")
+        statement.test = _test(tokens)
+        if tokens.accept("INV"):
+            statement.invariant = tokens.expect("STRING").value.strip('"')
+        return statement
+    if tokens.accept("CALL"):
+        return CallStmt(tokens.expect("IDENT").value, token.line)
+    if tokens.accept("RETURN"):
+        return ReturnStmt(token.line)
+    if tokens.accept("ASSERT"):
+        text = tokens.expect("STRING").value.strip('"')
+        return AssertStmt(text, token.line)
+    if tokens.accept("WRITE"):
+        tokens.expect("LPAREN")
+        address = _operand(tokens)
+        tokens.expect("COMMA")
+        value = _operand(tokens)
+        tokens.expect("RPAREN")
+        return WriteStmt(address, value, token.line)
+    if tokens.accept("PUSH"):
+        tokens.accept("LPAREN")
+        stack = tokens.expect("IDENT").value
+        tokens.expect("COMMA")
+        value = _operand(tokens)
+        tokens.accept("RPAREN")
+        return PushStmt(stack, value, token.line)
+    # Assignment.
+    dest = _ref(tokens)
+    tokens.expect("ASSIGN")
+    return _assignment_rhs(tokens, dest, token.line)
+
+
+def _statement_arm(tokens: TokenStream):
+    statement = _statement(tokens)
+    tokens.accept("SEMI")
+    return statement
+
+
+def _assignment_rhs(tokens: TokenStream, dest: Ref, line: int):
+    if tokens.accept("READ"):
+        tokens.expect("LPAREN")
+        address = _operand(tokens)
+        tokens.expect("RPAREN")
+        return ReadStmt(dest, address, line)
+    if tokens.accept("POP"):
+        tokens.accept("LPAREN")
+        stack = tokens.expect("IDENT").value
+        tokens.accept("RPAREN")
+        return PopStmt(dest, stack, line)
+    if tokens.accept("TILDE"):
+        return AssignStmt(dest, "not", (_operand(tokens),), line)
+    left = _operand(tokens)
+    if tokens.current.type in _BINOPS:
+        op = _BINOPS[tokens.advance().type]
+        right = _operand(tokens)
+        return AssignStmt(dest, op, (left, right), line)
+    if tokens.at("SHL", "SHR"):
+        op = tokens.advance().type.lower()
+        count = _number(tokens)
+        return AssignStmt(dest, op, (left, ConstRef(count)), line)
+    return AssignStmt(dest, "mov", (left,), line)

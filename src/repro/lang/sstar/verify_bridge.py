@@ -1,0 +1,267 @@
+"""Bridge from S* programs to the verification subsystem.
+
+Converts an S(M) program into the verification statement language of
+``repro.verify.hoare`` — including the parallel-assignment semantics of
+``cobegin`` (simultaneous substitution) and the shift/mask semantics of
+tuple field select/deposit — generates the proof obligations from the
+program's ``pre``/``post``/``inv``/``assert`` annotations, and checks
+them with the bounded checker.
+
+Variable names in annotations are canonicalized to their bound storage
+(register name, or ``lsN`` for local-store slots), so synonyms alias
+correctly: ``mpr`` and a ``syn`` for the same register verify as one
+variable, exactly as the hardware behaves.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.lang.sstar.ast import (
+    AssertStmt,
+    AssignStmt,
+    Cobegin,
+    Cocycle,
+    ConstRef,
+    Dur,
+    IfStmt,
+    Region,
+    RepeatStmt,
+    Seq,
+    SStarProgram,
+    Test,
+    VarRef,
+    WhileStmt,
+)
+from repro.lang.sstar.codegen import (
+    FieldStorage,
+    RegStorage,
+    ScratchStorage,
+    SStarCodegen,
+)
+from repro.machine.machine import MicroArchitecture
+from repro.verify.checker import BoundedChecker, VerificationReport
+from repro.verify.expr import (
+    BinOp,
+    Compare,
+    Const,
+    Expr,
+    Not,
+    TRUE,
+    UnOp,
+    Var,
+)
+from repro.verify.hoare import (
+    VAssert,
+    VAssign,
+    VIf,
+    VParallel,
+    VSeq,
+    VStmt,
+    VWhile,
+    generate_vcs,
+)
+from repro.verify.parser import parse_assertion
+
+
+class SStarVerifier:
+    """Builds and checks the proof obligations of an S(M) program."""
+
+    def __init__(self, program: SStarProgram, machine: MicroArchitecture):
+        self.ast = program
+        self.machine = machine
+        # Reuse the code generator's resolution machinery (bindings are
+        # validated as a side effect).
+        self._resolver = SStarCodegen(program, machine)
+
+    # -- names ------------------------------------------------------------
+    def canonical(self, name: str, line: int = 0) -> str:
+        if name in self.ast.constants:
+            raise VerificationError(
+                f"{name!r} is a constant, not a variable"
+            )
+        storage = self._resolver.storage_of(VarRef(name), line)
+        if isinstance(storage, RegStorage):
+            return storage.register
+        if isinstance(storage, ScratchStorage):
+            return f"ls{storage.slot}"
+        raise VerificationError(
+            f"variable {name!r} has storage unsupported in proofs"
+        )
+
+    def _canonicalize(self, expr: Expr) -> Expr:
+        mapping: dict[str, Expr] = {}
+        for name in expr.variables():
+            if name in self.ast.constants:
+                mapping[name] = Const(
+                    self.ast.constants[name].value & self.machine.mask()
+                )
+            elif name in self.ast.variables or name in self.ast.synonyms:
+                mapping[name] = Var(self.canonical(name))
+            # Unknown names stay free (ghost variables like v0 in
+            # "product = mpr0 * mpnd" are legitimate).
+        return expr.substitute(mapping)
+
+    def parse_annotation(self, text: str) -> Expr:
+        return self._canonicalize(parse_assertion(text))
+
+    # -- operand / statement conversion ----------------------------------------
+    def _operand_expr(self, operand, line: int) -> Expr:
+        if isinstance(operand, ConstRef):
+            return Const(operand.value & self.machine.mask())
+        if isinstance(operand, VarRef) and operand.name in self.ast.constants:
+            return Const(
+                self.ast.constants[operand.name].value & self.machine.mask()
+            )
+        storage = self._resolver.storage_of(operand, line)
+        if isinstance(storage, RegStorage):
+            return Var(storage.register)
+        if isinstance(storage, ScratchStorage):
+            return Var(f"ls{storage.slot}")
+        if isinstance(storage, FieldStorage):
+            mask = (1 << storage.width) - 1
+            return BinOp(
+                "&",
+                BinOp(">>", Var(storage.register), Const(storage.position)),
+                Const(mask),
+            )
+        raise VerificationError(f"operand {operand!r} unsupported in proofs")
+
+    def _assign_vstmt(self, statement: AssignStmt) -> VAssign:
+        line = statement.line
+        operands = [self._operand_expr(o, line) for o in statement.operands]
+        op = statement.op
+        if op == "mov":
+            rhs = operands[0]
+        elif op in ("add", "sub", "and", "or", "xor"):
+            symbol = {"add": "+", "sub": "-", "and": "&", "or": "|",
+                      "xor": "^"}[op]
+            rhs = BinOp(symbol, operands[0], operands[1])
+        elif op == "not":
+            rhs = UnOp("~", operands[0])
+        elif op == "neg":
+            rhs = UnOp("-", operands[0])
+        elif op == "inc":
+            rhs = BinOp("+", operands[0], Const(1))
+        elif op == "dec":
+            rhs = BinOp("-", operands[0], Const(1))
+        elif op in ("shl", "shr"):
+            symbol = "<<" if op == "shl" else ">>"
+            rhs = BinOp(symbol, operands[0], operands[1])
+        else:
+            raise VerificationError(
+                f"operation {op!r} unsupported in proofs"
+            )
+        dest = self._resolver.storage_of(statement.dest, line)
+        if isinstance(dest, RegStorage):
+            return VAssign(dest.register, rhs)
+        if isinstance(dest, ScratchStorage):
+            return VAssign(f"ls{dest.slot}", rhs)
+        if isinstance(dest, FieldStorage):
+            # Deposit: REG := (REG & ~(mask << pos)) | ((rhs & mask) << pos)
+            mask = (1 << dest.width) - 1
+            keep = self.machine.mask() & ~(mask << dest.position)
+            deposited = BinOp(
+                "|",
+                BinOp("&", Var(dest.register), Const(keep)),
+                BinOp("<<", BinOp("&", rhs, Const(mask)),
+                      Const(dest.position)),
+            )
+            return VAssign(dest.register, deposited)
+        raise VerificationError("assignment target unsupported in proofs")
+
+    def _test_expr(self, test: Test) -> Expr:
+        if test.flag is not None:
+            raise VerificationError(
+                "flag tests are unsupported in proofs; use a relational test"
+            )
+        left = self._operand_expr(test.left, test.line)
+        right = self._operand_expr(test.right, test.line)
+        return Compare(test.relop, left, right)
+
+    def to_vstmt(self, statement) -> VStmt:
+        if isinstance(statement, AssignStmt):
+            return self._assign_vstmt(statement)
+        if isinstance(statement, (Seq, Region)):
+            return VSeq(tuple(self.to_vstmt(s) for s in statement.body))
+        if isinstance(statement, Cocycle):
+            return VSeq(tuple(self.to_vstmt(s) for s in statement.body))
+        if isinstance(statement, Cobegin):
+            assigns = []
+            for child in statement.body:
+                converted = self.to_vstmt(child)
+                if not isinstance(converted, VAssign):
+                    raise VerificationError(
+                        "cobegin members must be assignments in proofs"
+                    )
+                assigns.append(converted)
+            return VParallel(tuple(assigns))
+        if isinstance(statement, Dur):
+            return VSeq(
+                (self.to_vstmt(statement.overlapped),
+                 *(self.to_vstmt(s) for s in statement.body))
+            )
+        if isinstance(statement, IfStmt):
+            arms = tuple(
+                (self._test_expr(test), self.to_vstmt(body))
+                for test, body in statement.arms
+            )
+            otherwise = (
+                self.to_vstmt(statement.otherwise)
+                if statement.otherwise is not None
+                else None
+            )
+            return VIf(arms, otherwise)
+        if isinstance(statement, WhileStmt):
+            if statement.invariant is None:
+                raise VerificationError(
+                    f"while at line {statement.line} needs an 'inv' annotation"
+                )
+            return VWhile(
+                self._test_expr(statement.test),
+                self.parse_annotation(statement.invariant),
+                self.to_vstmt(statement.body),
+            )
+        if isinstance(statement, RepeatStmt):
+            if statement.invariant is None:
+                raise VerificationError(
+                    f"repeat at line {statement.line} needs an 'inv' annotation"
+                )
+            body = VSeq(tuple(self.to_vstmt(s) for s in statement.body))
+            invariant = self.parse_annotation(statement.invariant)
+            # repeat S until t  ==  S ; while not t do S
+            return VSeq(
+                (body, VWhile(Not(self._test_expr(statement.test)),
+                              invariant, body))
+            )
+        if isinstance(statement, AssertStmt):
+            return VAssert(self.parse_annotation(statement.text))
+        raise VerificationError(
+            f"statement {type(statement).__name__} unsupported in proofs"
+        )
+
+    # -- driver ------------------------------------------------------------
+    def verify(self, checker: BoundedChecker | None = None) -> VerificationReport:
+        """Generate and check all proof obligations of the program."""
+        pre = (
+            self.parse_annotation(self.ast.pre)
+            if self.ast.pre is not None
+            else TRUE
+        )
+        post = (
+            self.parse_annotation(self.ast.post)
+            if self.ast.post is not None
+            else TRUE
+        )
+        statement = self.to_vstmt(self.ast.body)
+        conditions = generate_vcs(pre, statement, post, f"{self.ast.name}: ")
+        checker = checker or BoundedChecker(width=self.machine.word_size)
+        return VerificationReport(checker.check_all(conditions))
+
+
+def verify_sstar(
+    program: SStarProgram,
+    machine: MicroArchitecture,
+    checker: BoundedChecker | None = None,
+) -> VerificationReport:
+    """Convenience wrapper: program → verification report."""
+    return SStarVerifier(program, machine).verify(checker)

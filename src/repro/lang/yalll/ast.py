@@ -1,0 +1,182 @@
+"""YALLL abstract syntax (survey §2.2.4).
+
+YALLL is deliberately low level — "the structure of YALLL is that of a
+conventional assembly language" — so its AST is a flat list of items:
+register bindings, labels, procedure markers and instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RegRef:
+    """A register operand by name (bound, machine or symbolic)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Number:
+    """A numeric literal operand."""
+
+    value: int
+
+
+Operand = RegRef | Number
+
+
+@dataclass(frozen=True)
+class Binding:
+    """``reg name = phys`` — binds a YALLL register to a machine one."""
+
+    name: str
+    physical: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class LabelDef:
+    """``name:`` — a branch target."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ProcDef:
+    """``proc name:`` — entry of a microsubroutine."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A data-movement or arithmetic instruction."""
+
+    opcode: str
+    operands: tuple[Operand, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class FlagCondition:
+    """``if carry`` style condition."""
+
+    flag: str
+
+
+@dataclass(frozen=True)
+class CompareCondition:
+    """``if reg = 0`` style condition."""
+
+    reg: RegRef
+    relop: str
+    value: Operand
+
+
+Condition = FlagCondition | CompareCondition
+
+
+@dataclass(frozen=True)
+class JumpInstr:
+    """``jump label [if cond]``."""
+
+    target: str
+    condition: Condition | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class MaskArm:
+    """One ``mask -> label`` arm of a multiway jump."""
+
+    mask: str
+    target: str
+
+
+@dataclass(frozen=True)
+class MJumpInstr:
+    """``mjump reg (mask -> l, ..., default -> l)`` (§2.2.4's
+    "fairly sophisticated" multiway branch with don't-care bits)."""
+
+    reg: RegRef
+    arms: tuple[MaskArm, ...]
+    default: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CallInstr:
+    proc: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class RetInstr:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExitInstr:
+    """``exit [reg]`` — YALLL's exit-with-value."""
+
+    value: RegRef | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PollInstr:
+    """``poll`` — explicit interrupt poll point (§2.1.5)."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ParGroup:
+    """``par`` … ``endpar`` — the survey's §2.1.4 compromise.
+
+    "The programmer must denote which statements are not data
+    dependent, i.e. could be executed in parallel if an unlimited
+    number of resources were available" — leaving resource allocation
+    (and therefore resource dependences) to the compiler.  The §3
+    conclusions single this design point out as worth investigating;
+    this extension implements it: the front end checks the declared
+    independence, and allocation is steered so it does not reintroduce
+    false dependences between the members.
+    """
+
+    members: tuple[Instruction, ...]
+    line: int = 0
+
+
+Item = (
+    Binding
+    | LabelDef
+    | ProcDef
+    | Instruction
+    | JumpInstr
+    | MJumpInstr
+    | CallInstr
+    | RetInstr
+    | ExitInstr
+    | PollInstr
+    | ParGroup
+)
+
+
+@dataclass
+class YalllProgram:
+    """A parsed YALLL translation unit."""
+
+    items: list[Item] = field(default_factory=list)
+    bindings: dict[str, str] = field(default_factory=dict)
+
+    def labels(self) -> set[str]:
+        return {
+            item.name
+            for item in self.items
+            if isinstance(item, (LabelDef, ProcDef))
+        }

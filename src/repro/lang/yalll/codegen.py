@@ -1,0 +1,282 @@
+"""YALLL code generation: AST → micro-IR.
+
+Name resolution follows the survey's model: names bound with ``reg``
+become the bound physical registers; names matching machine registers
+(case-insensitively, so the paper's ``mbr`` finds ``MBR``) are used
+directly; anything else becomes a symbolic variable for the register
+allocator — YALLL "views variables as general purpose registers with
+the exception of mar and mbr" (§2.2.4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import Branch, Jump, MaskCase, Multiway
+from repro.mir.operands import Imm, Reg, preg, vreg
+from repro.mir.ops import mop
+from repro.mir.program import MicroProgram, ProgramBuilder
+from repro.lang.yalll.ast import (
+    Binding,
+    CallInstr,
+    CompareCondition,
+    ExitInstr,
+    FlagCondition,
+    Instruction,
+    JumpInstr,
+    LabelDef,
+    MJumpInstr,
+    Number,
+    Operand,
+    ParGroup,
+    PollInstr,
+    ProcDef,
+    RegRef,
+    RetInstr,
+    YalllProgram,
+)
+
+#: relop -> branch condition after ``cmp a, b`` (computes a - b).
+_SIMPLE_RELOPS = {"=": "Z", "#": "NZ", "<": "N", ">=": "NN"}
+
+
+class YalllCodegen:
+    """Generates a :class:`MicroProgram` from a parsed YALLL program."""
+
+    def __init__(self, program: YalllProgram, machine: MicroArchitecture,
+                 name: str = "yalll"):
+        self.ast = program
+        self.machine = machine
+        self.builder = ProgramBuilder(name, machine)
+        self._machine_regs = {
+            reg_name.lower(): reg_name for reg_name in machine.registers.names()
+        }
+        for window in machine.registers.windows:
+            self._machine_regs[window.lower()] = window
+        self._labels = program.labels()
+        #: (block label, per-member op index lists) for every par group
+        #: (§2.1.4's compromise) — consumed by the par-aware allocator.
+        self.par_groups: list[tuple[str, list[list[int]]]] = []
+
+    # -- name resolution ---------------------------------------------------
+    def resolve(self, ref: RegRef, line: int = 0) -> Reg:
+        name = ref.name
+        if name in self.ast.bindings:
+            physical = self.ast.bindings[name]
+            resolved = self._machine_regs.get(physical.lower())
+            if resolved is None:
+                raise SemanticError(
+                    f"{name!r} bound to unknown machine register {physical!r}",
+                    line,
+                )
+            return preg(resolved)
+        if name.lower() in self._machine_regs:
+            return preg(self._machine_regs[name.lower()])
+        if name in self._labels:
+            raise SemanticError(f"label {name!r} used as a register", line)
+        return vreg(name)
+
+    def operand_reg(self, operand: Operand, line: int = 0) -> Reg:
+        """Resolve an operand to a register, materializing numbers."""
+        if isinstance(operand, RegRef):
+            return self.resolve(operand, line)
+        resolved = self.builder.constant(operand.value)
+        if isinstance(resolved, Reg):
+            return resolved
+        temp = self.builder.fresh_vreg("k")
+        self.builder.emit(mop("movi", temp, Imm(operand.value), line=line))
+        return temp
+
+    # -- driver ------------------------------------------------------------
+    def generate(self) -> MicroProgram:
+        builder = self.builder
+        builder.start_block("main")
+        in_procedure = False
+        for item in self.ast.items:
+            if isinstance(item, Binding):
+                continue
+            if isinstance(item, LabelDef):
+                builder.start_block(item.name)
+                continue
+            if isinstance(item, ProcDef):
+                if builder.has_open_block:
+                    if in_procedure:
+                        raise SemanticError(
+                            f"control falls into procedure {item.name!r}",
+                            item.line,
+                        )
+                    builder.exit()
+                builder.start_block(item.name)
+                builder.declare_procedure(item.name, item.name)
+                in_procedure = True
+                continue
+            if not builder.has_open_block:
+                builder.start_block()  # unreachable continuation
+            self._generate_item(item)
+        if builder.has_open_block:
+            if in_procedure:
+                raise SemanticError("procedure without ret", 0)
+            builder.exit()
+        return builder.finish()
+
+    # -- per-item ------------------------------------------------------------
+    def _generate_item(self, item) -> None:
+        builder = self.builder
+        if isinstance(item, Instruction):
+            self._generate_instruction(item)
+        elif isinstance(item, JumpInstr):
+            self._generate_jump(item)
+        elif isinstance(item, MJumpInstr):
+            cases = tuple(MaskCase(arm.mask, arm.target) for arm in item.arms)
+            builder.terminate(
+                Multiway(self.resolve(item.reg, item.line), cases, item.default)
+            )
+        elif isinstance(item, CallInstr):
+            builder.call(item.proc)
+        elif isinstance(item, RetInstr):
+            builder.ret()
+        elif isinstance(item, ExitInstr):
+            value = self.resolve(item.value, item.line) if item.value else None
+            builder.exit(value)
+        elif isinstance(item, PollInstr):
+            builder.emit(mop("poll", line=item.line))
+        elif isinstance(item, ParGroup):
+            self._generate_par_group(item)
+        else:  # pragma: no cover - parser produces no other items
+            raise SemanticError(f"unexpected item {item!r}")
+
+    def _generate_par_group(self, group: ParGroup) -> None:
+        """§2.1.4's compromise: members are declared data independent.
+
+        The declaration is *checked* (a lying program is rejected) and
+        recorded so the allocator can avoid mapping different members'
+        temporaries onto one register, which would manufacture the very
+        resource dependences the programmer ruled out.
+        """
+        from repro.mir.deps import op_reads, op_writes
+
+        builder = self.builder
+        block = builder.current
+        member_ranges: list[list[int]] = []
+        for member in group.members:
+            start = len(block.ops)
+            self._generate_instruction(member)
+            member_ranges.append(list(range(start, len(block.ops))))
+
+        def resources(indices, getter):
+            out: set[str] = set()
+            for index in indices:
+                out |= {
+                    r for r in getter(block.ops[index], self.machine)
+                    if not r.startswith("flag:") and r != "interrupt"
+                }
+            return out
+
+        for position, left in enumerate(member_ranges):
+            left_reads = resources(left, op_reads)
+            left_writes = resources(left, op_writes)
+            for right in member_ranges[position + 1:]:
+                right_reads = resources(right, op_reads)
+                right_writes = resources(right, op_writes)
+                clash = (left_writes & (right_reads | right_writes)) | (
+                    right_writes & left_reads
+                )
+                if clash:
+                    raise SemanticError(
+                        f"statements declared parallel are data dependent "
+                        f"(on {sorted(clash)[0]})",
+                        group.line,
+                    )
+        self.par_groups.append((block.label, member_ranges))
+
+    def _generate_instruction(self, item: Instruction) -> None:
+        builder = self.builder
+        opcode, operands, line = item.opcode, item.operands, item.line
+        if opcode in ("add", "sub", "and", "or", "xor", "nand", "nor"):
+            dest = self.resolve(operands[0], line)
+            a = self.operand_reg(operands[1], line)
+            b = self.operand_reg(operands[2], line)
+            builder.emit(mop(opcode, dest, a, b, line=line))
+        elif opcode in ("inc", "dec", "not", "neg", "move"):
+            dest = self.resolve(operands[0], line)
+            a = self.operand_reg(operands[1], line)
+            name = "mov" if opcode == "move" else opcode
+            builder.emit(mop(name, dest, a, line=line))
+        elif opcode in ("shl", "shr", "sar", "rol", "ror"):
+            dest = self.resolve(operands[0], line)
+            a = self.operand_reg(operands[1], line)
+            assert isinstance(operands[2], Number)
+            builder.emit(mop(opcode, dest, a, Imm(operands[2].value), line=line))
+        elif opcode == "put":
+            dest = self.resolve(operands[0], line)
+            assert isinstance(operands[1], Number)
+            builder.emit(mop("movi", dest, Imm(operands[1].value), line=line))
+        elif opcode == "load":
+            dest = self.resolve(operands[0], line)
+            address = self.resolve(operands[1], line)
+            self._emit_load(dest, address, line)
+        elif opcode == "stor":
+            source = self.resolve(operands[0], line)
+            address = self.resolve(operands[1], line)
+            self._emit_store(source, address, line)
+        else:  # pragma: no cover - parser filters opcodes
+            raise SemanticError(f"unknown opcode {opcode!r}", line)
+
+    def _emit_load(self, dest: Reg, address: Reg, line: int) -> None:
+        builder = self.builder
+        mar, mbr = preg("MAR"), preg("MBR")
+        if address != mar:
+            builder.emit(mop("mov", mar, address, line=line))
+        builder.emit(mop("read", mbr, mar, line=line))
+        if dest != mbr:
+            builder.emit(mop("mov", dest, mbr, line=line))
+
+    def _emit_store(self, source: Reg, address: Reg, line: int) -> None:
+        builder = self.builder
+        mar, mbr = preg("MAR"), preg("MBR")
+        if address != mar:
+            builder.emit(mop("mov", mar, address, line=line))
+        if source != mbr:
+            builder.emit(mop("mov", mbr, source, line=line))
+        builder.emit(mop("write", None, mar, mbr, line=line))
+
+    def _generate_jump(self, item: JumpInstr) -> None:
+        builder = self.builder
+        condition = item.condition
+        if condition is None:
+            builder.terminate(Jump(item.target))
+            return
+        if isinstance(condition, FlagCondition):
+            cont = builder.fresh_label("c")
+            builder.terminate(Branch(condition.flag, item.target, cont))
+            builder.start_block(cont)
+            return
+        assert isinstance(condition, CompareCondition)
+        left = self.resolve(condition.reg, item.line)
+        right = self.operand_reg(condition.value, item.line)
+        builder.emit(mop("cmp", None, left, right, line=item.line))
+        relop = condition.relop
+        cont = builder.fresh_label("c")
+        if relop in _SIMPLE_RELOPS:
+            builder.terminate(Branch(_SIMPLE_RELOPS[relop], item.target, cont))
+            builder.start_block(cont)
+        elif relop == "<=":
+            middle = builder.fresh_label("c")
+            builder.terminate(Branch("Z", item.target, middle))
+            builder.start_block(middle)
+            builder.terminate(Branch("N", item.target, cont))
+            builder.start_block(cont)
+        elif relop == ">":
+            middle = builder.fresh_label("c")
+            builder.terminate(Branch("Z", cont, middle))
+            builder.start_block(middle)
+            builder.terminate(Branch("NN", item.target, cont))
+            builder.start_block(cont)
+        else:  # pragma: no cover - parser filters relops
+            raise SemanticError(f"unknown relop {relop!r}", item.line)
+
+
+def generate(ast: YalllProgram, machine: MicroArchitecture,
+             name: str = "yalll") -> MicroProgram:
+    """Convenience wrapper: AST → validated micro-IR program."""
+    return YalllCodegen(ast, machine, name).generate()

@@ -1,0 +1,265 @@
+"""YALLL parser: line-oriented recursive descent.
+
+Accepts the survey's §2.2.4 syntax, e.g.::
+
+    reg str = db
+    reg tbl = sb
+    reg char = mbr
+
+    loop:
+        load char,str
+        jump out if char = 0
+        add  mar,char,tbl
+        load char,mar
+        stor char,str
+        add  str,str,1
+        jump loop
+    out: exit
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.common.lexer import EOF, NEWLINE, Lexer, LexerSpec, TokenStream
+from repro.lang.yalll.ast import (
+    Binding,
+    CallInstr,
+    CompareCondition,
+    Condition,
+    ExitInstr,
+    FlagCondition,
+    Instruction,
+    JumpInstr,
+    LabelDef,
+    MaskArm,
+    MJumpInstr,
+    Number,
+    Operand,
+    ParGroup,
+    PollInstr,
+    ProcDef,
+    RegRef,
+    RetInstr,
+    YalllProgram,
+)
+
+#: opcode -> operand count for the uniform register instructions.
+THREE_OPERAND = {"add", "sub", "and", "or", "xor", "nand", "nor"}
+TWO_OPERAND = {"inc", "dec", "not", "neg", "move"}
+SHIFT = {"shl", "shr", "sar", "rol", "ror"}
+
+_KEYWORDS = (
+    THREE_OPERAND
+    | TWO_OPERAND
+    | SHIFT
+    | {
+        "reg", "proc", "put", "load", "stor", "jump", "mjump", "call",
+        "ret", "exit", "poll", "if", "default", "par", "endpar",
+    }
+)
+
+_FLAGS = {
+    "zero": "Z", "nonzero": "NZ", "carry": "C", "nocarry": "NC",
+    "neg": "N", "pos": "NN", "uf": "UF",
+}
+
+_SPEC = LexerSpec(
+    patterns=[
+        (None, r"[ \t\r]+"),
+        # A ternary mask like 10x1 (hex literals take precedence via the
+        # lookahead, so 0x10 still lexes as a number).
+        ("MASK", r"(?!0x[0-9a-fA-F])[01][01x]*x[01x]*"),
+        ("NUMBER", r"0x[0-9a-fA-F]+|0o[0-7]+|0b[01]+|[0-9]+"),
+        ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+        ("ARROW", r"->"),
+        ("COLON", r":"),
+        ("COMMA", r","),
+        ("EQUALS", r"="),
+        ("NEQ", r"#"),
+        ("LPAREN", r"\("),
+        ("RPAREN", r"\)"),
+        ("LE", r"<="),
+        ("GE", r">="),
+        ("LT", r"<"),
+        ("GT", r">"),
+    ],
+    keywords=_KEYWORDS,
+    keywords_case_insensitive=True,
+    line_comment=";",
+    keep_newlines=True,
+)
+
+_LEXER = Lexer(_SPEC)
+
+
+def _number(text: str) -> int:
+    return int(text, 0) if text.startswith("0") and len(text) > 1 else int(text)
+
+
+def parse_yalll(source: str) -> YalllProgram:
+    """Parse YALLL source text into a :class:`YalllProgram`."""
+    tokens = _LEXER.tokenize(source)
+    program = YalllProgram()
+    tokens.skip_newlines()
+    while not tokens.at_end():
+        _parse_line(tokens, program)
+        tokens.skip_newlines()
+    return program
+
+
+def _parse_line(tokens: TokenStream, program: YalllProgram) -> None:
+    token = tokens.current
+    if token.type == "REG":
+        tokens.advance()
+        name = tokens.expect("IDENT").value
+        tokens.expect("EQUALS")
+        physical = tokens.expect("IDENT").value
+        program.bindings[name] = physical
+        program.items.append(Binding(name, physical, token.line))
+        return
+    if token.type == "PROC":
+        tokens.advance()
+        name = tokens.expect("IDENT").value
+        tokens.accept("COLON")
+        program.items.append(ProcDef(name, token.line))
+        return
+    if token.type == "IDENT" and tokens.peek(1).type == "COLON":
+        label = tokens.advance().value
+        tokens.advance()
+        program.items.append(LabelDef(label, token.line))
+        if not tokens.at(NEWLINE, EOF):
+            _parse_line(tokens, program)
+        return
+    if token.type == "PAR":
+        tokens.advance()
+        tokens.skip_newlines()
+        members: list[Instruction] = []
+        while not tokens.at("ENDPAR"):
+            if tokens.at(EOF):
+                raise ParseError("par without endpar", token.line, 0)
+            member = _parse_instruction(tokens)
+            if not isinstance(member, Instruction):
+                raise ParseError(
+                    "only plain instructions may appear inside par",
+                    token.line, 0,
+                )
+            members.append(member)
+            tokens.skip_newlines()
+        tokens.advance()  # endpar
+        program.items.append(ParGroup(tuple(members), token.line))
+        return
+    program.items.append(_parse_instruction(tokens))
+
+
+def _operand(tokens: TokenStream) -> Operand:
+    if tokens.at("NUMBER"):
+        return Number(_number(tokens.advance().value))
+    return RegRef(tokens.expect("IDENT").value)
+
+
+def _reg(tokens: TokenStream) -> RegRef:
+    return RegRef(tokens.expect("IDENT").value)
+
+
+def _parse_instruction(tokens: TokenStream):
+    token = tokens.advance()
+    opcode = token.type.lower()
+    line = token.line
+    if opcode in THREE_OPERAND:
+        dest = _reg(tokens)
+        tokens.expect("COMMA")
+        a = _operand(tokens)
+        tokens.expect("COMMA")
+        b = _operand(tokens)
+        return Instruction(opcode, (dest, a, b), line)
+    if opcode in TWO_OPERAND:
+        dest = _reg(tokens)
+        tokens.expect("COMMA")
+        return Instruction(opcode, (dest, _operand(tokens)), line)
+    if opcode in SHIFT:
+        dest = _reg(tokens)
+        tokens.expect("COMMA")
+        a = _operand(tokens)
+        tokens.expect("COMMA")
+        count = tokens.expect("NUMBER")
+        return Instruction(opcode, (dest, a, Number(_number(count.value))), line)
+    if opcode == "put":
+        dest = _reg(tokens)
+        tokens.expect("COMMA")
+        value = tokens.expect("NUMBER")
+        return Instruction("put", (dest, Number(_number(value.value))), line)
+    if opcode in ("load", "stor"):
+        a = _reg(tokens)
+        tokens.expect("COMMA")
+        b = _reg(tokens)
+        return Instruction(opcode, (a, b), line)
+    if opcode == "poll":
+        return PollInstr(line)
+    if opcode == "jump":
+        target = tokens.expect("IDENT").value
+        condition = None
+        if tokens.accept("IF"):
+            condition = _parse_condition(tokens)
+        return JumpInstr(target, condition, line)
+    if opcode == "mjump":
+        reg = _reg(tokens)
+        tokens.expect("LPAREN")
+        arms: list[MaskArm] = []
+        default: str | None = None
+        while True:
+            tokens.skip_newlines()  # arms may continue across lines
+            if tokens.accept("DEFAULT"):
+                tokens.expect("ARROW")
+                default = tokens.expect("IDENT").value
+            else:
+                mask_token = tokens.expect("MASK", "NUMBER", "IDENT")
+                mask = mask_token.value.lower()
+                if mask.startswith("0b"):
+                    mask = mask[2:]
+                if not mask or any(c not in "01x" for c in mask):
+                    raise ParseError(
+                        f"bad multiway mask {mask_token.value!r}",
+                        mask_token.line,
+                        mask_token.column,
+                    )
+                tokens.expect("ARROW")
+                arms.append(MaskArm(mask, tokens.expect("IDENT").value))
+            tokens.skip_newlines()
+            if not tokens.accept("COMMA"):
+                break
+        tokens.skip_newlines()
+        tokens.expect("RPAREN")
+        if default is None:
+            raise ParseError("mjump needs a default arm", line, 0)
+        return MJumpInstr(reg, tuple(arms), default, line)
+    if opcode == "call":
+        return CallInstr(tokens.expect("IDENT").value, line)
+    if opcode == "ret":
+        return RetInstr(line)
+    if opcode == "exit":
+        value = None
+        if tokens.at("IDENT"):
+            value = RegRef(tokens.advance().value)
+        return ExitInstr(value, line)
+    raise ParseError(
+        f"unknown instruction {token.value!r}", token.line, token.column
+    )
+
+
+def _parse_condition(tokens: TokenStream) -> Condition:
+    token = tokens.expect("IDENT")
+    lowered = token.value.lower()
+    if lowered in _FLAGS and not tokens.at(
+        "EQUALS", "NEQ", "LT", "GT", "LE", "GE"
+    ):
+        return FlagCondition(_FLAGS[lowered])
+    reg = RegRef(token.value)
+    relop_token = tokens.expect("EQUALS", "NEQ", "LT", "GT", "LE", "GE")
+    relop = {
+        "EQUALS": "=", "NEQ": "#", "LT": "<", "GT": ">", "LE": "<=", "GE": ">=",
+    }[relop_token.type]
+    if tokens.at("NUMBER"):
+        value: Operand = Number(_number(tokens.advance().value))
+    else:
+        value = RegRef(tokens.expect("IDENT").value)
+    return CompareCondition(reg, relop, value)

@@ -1,0 +1,46 @@
+"""Machine description formalism (survey substrate S1/S2).
+
+Public API:
+
+* :class:`Register`, :class:`RegisterFile` — heterogeneous register sets
+* :class:`FunctionalUnit` — phased hardware resources
+* :class:`Field`, :class:`ControlWordFormat` — horizontal control words
+* :class:`OpSpec`, :class:`OperationTable` — micro-operation variants
+* :class:`MicroArchitecture` — the complete machine description
+* :class:`MachineBuilder` — fluent construction helper
+* ``machines`` — concrete machines (HM1, CM1, HP300m, VAXm, VM1, ID3200m)
+"""
+
+from repro.machine.builder import MachineBuilder
+from repro.machine.control import ControlWordFormat, Field
+from repro.machine.machine import MicroArchitecture
+from repro.machine.opspec import OpSpec, OperationTable
+from repro.machine.registers import (
+    CONST,
+    GPR,
+    MAR,
+    MBR,
+    Register,
+    RegisterFile,
+    const_register,
+    gpr,
+)
+from repro.machine.units import FunctionalUnit
+
+__all__ = [
+    "CONST",
+    "GPR",
+    "MAR",
+    "MBR",
+    "ControlWordFormat",
+    "Field",
+    "FunctionalUnit",
+    "MachineBuilder",
+    "MicroArchitecture",
+    "OpSpec",
+    "OperationTable",
+    "Register",
+    "RegisterFile",
+    "const_register",
+    "gpr",
+]

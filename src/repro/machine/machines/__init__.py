@@ -1,0 +1,53 @@
+"""Concrete machine descriptions shipped with the toolkit.
+
+Each builder returns a fresh, validated :class:`MicroArchitecture`.
+``get_machine`` provides name-based lookup for CLIs and benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+from repro.machine.machine import MicroArchitecture
+from repro.machine.machines.cm1 import build_cm1
+from repro.machine.machines.hm1 import build_hm1
+from repro.machine.machines.hp300 import build_hp300
+from repro.machine.machines.id3200 import build_id3200
+from repro.machine.machines.vax import build_vax
+from repro.machine.machines.vm1 import build_vm1
+
+_BUILDERS = {
+    "HM1": build_hm1,
+    "CM1": build_cm1,
+    "HP300m": build_hp300,
+    "VAXm": build_vax,
+    "VM1": build_vm1,
+    "ID3200m": build_id3200,
+}
+
+
+def machine_names() -> list[str]:
+    """Names of all machines shipped with the toolkit."""
+    return list(_BUILDERS)
+
+
+def get_machine(name: str) -> MicroArchitecture:
+    """Build a fresh machine description by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise MachineError(
+            f"unknown machine {name!r}; available: {', '.join(_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "build_cm1",
+    "build_hm1",
+    "build_hp300",
+    "build_id3200",
+    "build_vax",
+    "build_vm1",
+    "get_machine",
+    "machine_names",
+]

@@ -1,0 +1,50 @@
+"""CM1 — an HM1 variant with a restricted, CHAMIL-style datapath.
+
+The survey's CHAMIL (§2.2.5) lets the programmer "abstract from
+physical datapaths: the statement ``reg_a := reg_b`` is legal as long
+as there exists a (possibly indirect) path … that can be traversed
+within one microcycle."  CM1 makes that concrete: only R1–R4 and the
+accumulator sit on the main bus; R5–R7 hang off a secondary bus whose
+only connection to the rest of the machine is the L0 bus latch.
+
+A move between, say, R5 and R1 therefore has no direct path; the
+legalization pass routes it ``R5 -> L0 -> R1``, and because HM1's
+microcycle chains phase 1 (move A) into phase 3 (write-back move), the
+composers can put the whole route back into one microinstruction —
+CHAMIL's "one microcycle" condition, checked mechanically.
+"""
+
+from __future__ import annotations
+
+from repro.machine.datapath import DatapathGraph
+from repro.machine.machine import MicroArchitecture
+from repro.machine.machines.hm1 import build_hm1
+
+#: Registers on the main bus (fully interconnected).
+MAIN_BUS = ["R0", "R1", "R2", "R3", "R4", "ACC", "MAR", "MBR",
+            "ONE", "MINUS1", "C0", "C1", "C2", "C3", "C4", "C5", "C6", "C7"]
+#: Registers on the secondary bus (reachable only through L0).
+SECONDARY_BUS = ["R5", "R6", "R7"]
+
+
+def build_cm1() -> MicroArchitecture:
+    """Build and validate the CM1 machine description."""
+    graph = DatapathGraph(routing_registers=frozenset({"L0"}))
+    for source in MAIN_BUS:
+        graph.connect(source, *(r for r in MAIN_BUS if r != source), "L0")
+    for source in SECONDARY_BUS:
+        graph.connect(
+            source, *(r for r in SECONDARY_BUS if r != source), "L0"
+        )
+    graph.connect("L0", *MAIN_BUS, *SECONDARY_BUS)
+    return build_hm1(
+        name="CM1",
+        latches=1,
+        datapath=graph,
+        notes=(
+            "HM1 variant with a CHAMIL-style split datapath: R5-R7 sit "
+            "on a secondary bus reachable only through the L0 latch; "
+            "indirect moves are routed automatically and still fit one "
+            "chained microcycle."
+        ),
+    )

@@ -1,0 +1,178 @@
+"""HM1 — the reference horizontal microarchitecture.
+
+A clean, Tucker–Flynn-flavoured horizontal machine: three phases per
+microcycle with phase chaining (move → compute → writeback, which is
+what makes S*'s ``cocycle`` construct expressible), two independent
+move paths, an ALU, a barrel shifter, a bit-field unit (extract /
+deposit, used by S* tuple field selection), main memory with a 2-cycle
+access, a scratchpad local store for spilled variables, and a
+mask-table multiway branch in the sequencer.
+
+HM1 is the default compilation target of the SIMPL, EMPL and S* front
+ends and the machine on which the microtrap experiments (E9) run.
+"""
+
+from __future__ import annotations
+
+from repro.machine.builder import MachineBuilder
+from repro.machine.machine import MicroArchitecture
+from repro.machine.registers import (
+    MAR,
+    MBR,
+    Register,
+    const_register,
+    gpr,
+)
+
+#: Flag conditions every sequencer understands (TRUE + flag/negation).
+BRANCH_CONDITIONS = ["TRUE", "Z", "NZ", "N", "NN", "C", "NC", "UF", "NUF"]
+
+#: Sequencer modes shared by all machines in this package.
+BRANCH_MODES = ["NEXT", "JUMP", "BR", "CALL", "RET", "EXIT", "DISP"]
+
+
+def add_sequencer(builder: MachineBuilder, multiway: bool) -> None:
+    """Attach the standard sequencing fields to a machine."""
+    modes = BRANCH_MODES if multiway else [m for m in BRANCH_MODES if m != "DISP"]
+    builder.order_field("br_mode", modes)
+    builder.order_field("br_cond", BRANCH_CONDITIONS)
+    builder.imm_field("br_addr", 12)
+
+
+def build_hm1(
+    *,
+    name: str = "HM1",
+    latches: int = 0,
+    datapath=None,
+    notes: str | None = None,
+) -> MicroArchitecture:
+    """Build and validate the HM1 machine description.
+
+    ``latches`` adds bus-latch registers ``L0``… (non-allocatable,
+    reachable by all move paths) and ``datapath`` attaches a
+    connectivity graph — the knobs the CHAMIL-flavoured CM1 variant
+    uses (see :mod:`repro.machine.machines.cm1`).
+    """
+    b = MachineBuilder(name, word_size=16)
+
+    # Registers.  R0 is a hardwired zero (as in the survey's SIMPL
+    # example, where ``R0 -> ACC`` clears the accumulator).
+    b.reg(const_register("R0", 16, 0))
+    for index in range(1, 8):
+        b.reg(gpr(f"R{index}", 16))
+    b.reg(gpr("ACC", 16, "acc"))
+    b.reg(Register("MAR", 16, classes=frozenset({MAR})))
+    b.reg(Register("MBR", 16, classes=frozenset({"gpr", MBR})))
+    b.reg(const_register("ONE", 16, 1))
+    b.reg(const_register("MINUS1", 16, 0xFFFF))
+    # Loadable constant ROM: the loader pokes program constants here.
+    for index in range(8):
+        b.reg(const_register(f"C{index}", 16, 0))
+    # Optional bus latches (routing-only registers, never allocated).
+    latch_names = [f"L{i}" for i in range(latches)]
+    for latch in latch_names:
+        b.reg(Register(latch, 16, classes=frozenset({"latch"})))
+
+    readable = [
+        "R0", *(f"R{i}" for i in range(1, 8)), "ACC", "MAR", "MBR",
+        "ONE", "MINUS1", *(f"C{i}" for i in range(8)), *latch_names,
+    ]
+    writable = [*(f"R{i}" for i in range(1, 8)), "ACC", "MAR", "MBR",
+                *latch_names]
+
+    # Functional units across the three phases.
+    b.unit("null", phase=1, count=16)
+    b.unit("mova", phase=1)
+    b.unit("movb", phase=1)
+    b.unit("lit", phase=1)
+    b.unit("poll", phase=1)
+    b.unit("alu", phase=2)
+    b.unit("shifter", phase=2)
+    b.unit("bitf", phase=2)
+    b.unit("mem", phase=2, latency=2)
+    b.unit("scr", phase=2)
+    b.unit("movw", phase=3)
+
+    # Control-word fields.
+    b.select_field("a_src", readable).select_field("a_dst", writable)
+    b.select_field("b_src", readable).select_field("b_dst", writable)
+    b.imm_field("lit_val", 16).select_field("lit_dst", writable)
+    b.order_field("poll_op", ["POLL"])
+    b.order_field(
+        "alu_op",
+        ["ADD", "SUB", "ADC", "AND", "OR", "XOR", "NAND", "NOR",
+         "INC", "DEC", "NOT", "NEG", "CMP"],
+    )
+    b.select_field("alu_a", readable)
+    b.select_field("alu_b", readable)
+    b.select_field("alu_d", writable)
+    b.order_field("sh_op", ["SHL", "SHR", "SAR", "ROL", "ROR"])
+    b.select_field("sh_src", readable).select_field("sh_dst", writable)
+    b.imm_field("sh_cnt", 4)
+    b.order_field("bf_op", ["EXT", "DEP"])
+    b.select_field("bf_src", readable).select_field("bf_dst", writable)
+    b.imm_field("bf_pos", 4).imm_field("bf_w", 5)
+    b.order_field("mem_op", ["READ", "WRITE"])
+    b.order_field("scr_op", ["LD", "ST"])
+    b.imm_field("scr_addr", 8)
+    b.select_field("scr_reg", [*writable])
+    b.select_field("w_src", readable).select_field("w_dst", writable)
+    add_sequencer(b, multiway=True)
+
+    # Micro-operations.
+    b.op("nop", "null", srcs=0, dest=False, settings={})
+    b.op("poll", "poll", srcs=0, dest=False, settings={"poll_op": "POLL"})
+    b.op("mov", "mova", srcs=1, dest=True,
+         settings={"a_src": "$src0", "a_dst": "$dest"}, variant="a")
+    b.op("mov", "movb", srcs=1, dest=True,
+         settings={"b_src": "$src0", "b_dst": "$dest"}, variant="b")
+    b.op("mov", "movw", srcs=1, dest=True,
+         settings={"w_src": "$src0", "w_dst": "$dest"}, variant="w")
+    b.op("movi", "lit", srcs=1, dest=True,
+         settings={"lit_val": "$imm0", "lit_dst": "$dest"},
+         imm_srcs=frozenset({0}))
+    b.alu_ops("alu", "alu_op", "alu_a", "alu_b", "alu_d",
+              ["add", "sub", "adc", "and", "or", "xor", "nand", "nor"])
+    b.unary_ops("alu", "alu_op", "alu_a", "alu_d", ["inc", "dec", "not", "neg"])
+    b.op("cmp", "alu", srcs=2, dest=False,
+         settings={"alu_op": "CMP", "alu_a": "$src0", "alu_b": "$src1"},
+         writes_flags=("Z", "N", "C"))
+    for shift in ["shl", "shr", "sar", "rol", "ror"]:
+        b.op(shift, "shifter", srcs=2, dest=True,
+             settings={"sh_op": shift.upper(), "sh_src": "$src0",
+                       "sh_cnt": "$imm1", "sh_dst": "$dest"},
+             imm_srcs=frozenset({1}), writes_flags=("Z", "N", "UF"))
+    b.op("ext", "bitf", srcs=3, dest=True,
+         settings={"bf_op": "EXT", "bf_src": "$src0", "bf_pos": "$imm1",
+                   "bf_w": "$imm2", "bf_dst": "$dest"},
+         imm_srcs=frozenset({1, 2}), writes_flags=("Z",))
+    b.op("dep", "bitf", srcs=3, dest=True,
+         settings={"bf_op": "DEP", "bf_src": "$src0", "bf_pos": "$imm1",
+                   "bf_w": "$imm2", "bf_dst": "$dest"},
+         imm_srcs=frozenset({1, 2}), reads_dest=True)
+    b.op("read", "mem", srcs=1, dest=True,
+         settings={"mem_op": "READ"},
+         src_classes=(MAR,), dest_class=MBR)
+    b.op("write", "mem", srcs=2, dest=False,
+         settings={"mem_op": "WRITE"},
+         src_classes=(MAR, MBR))
+    b.op("ldscr", "scr", srcs=1, dest=True,
+         settings={"scr_op": "LD", "scr_addr": "$imm0", "scr_reg": "$dest"},
+         imm_srcs=frozenset({0}))
+    b.op("stscr", "scr", srcs=2, dest=False,
+         settings={"scr_op": "ST", "scr_reg": "$src0", "scr_addr": "$imm1"},
+         imm_srcs=frozenset({1}))
+
+    return b.build(
+        n_phases=3,
+        allows_phase_chaining=True,
+        memory_latency=2,
+        has_multiway_branch=True,
+        scratchpad_size=256,
+        datapath=datapath,
+        notes=notes if notes is not None else (
+            "Reference horizontal machine: 3-phase microcycle with "
+            "chaining, two move paths, ALU + shifter + bit-field unit, "
+            "2-cycle memory, mask-table multiway branch."
+        ),
+    )

@@ -1,0 +1,132 @@
+"""HP300m — a regular, well-documented horizontal machine.
+
+Modelled on the survey's account of YALLL's Hewlett-Packard HP300
+target (§2.2.4): the machine is horizontal but *regular* — every YALLL
+primitive maps to exactly one micro-operation, literals are full width,
+memory is fast, and the sequencer supports the mask-table multiway
+branch.  This regularity is why "the HP implementation performed a lot
+better than the VAX implementation"; experiment E4 reproduces that
+comparison against :mod:`repro.machine.machines.vax`.
+
+The register names (``db``, ``sb``, ``p`` …) follow the survey's
+transliteration example, which binds YALLL's ``str``/``tbl``/``char``
+to ``db``/``sb``/``mbr``.
+"""
+
+from __future__ import annotations
+
+from repro.machine.builder import MachineBuilder
+from repro.machine.machine import MicroArchitecture
+from repro.machine.machines.hm1 import add_sequencer
+from repro.machine.registers import MAR, MBR, Register, const_register, gpr
+
+
+def build_hp300() -> MicroArchitecture:
+    """Build and validate the HP300m machine description."""
+    b = MachineBuilder("HP300m", word_size=16)
+
+    b.reg(gpr("db", 16))
+    b.reg(gpr("sb", 16))
+    b.reg(gpr("x", 16))
+    b.reg(gpr("y", 16))
+    b.reg(gpr("p", 16, auto_increment=True))
+    for index in range(8):
+        b.reg(gpr(f"s{index}", 16))
+    b.reg(Register("MAR", 16, classes=frozenset({MAR})))
+    b.reg(Register("MBR", 16, classes=frozenset({"gpr", MBR})))
+    b.reg(const_register("ZERO", 16, 0))
+    b.reg(const_register("ONE", 16, 1))
+    b.reg(const_register("MINUS1", 16, 0xFFFF))
+    for index in range(4):
+        b.reg(const_register(f"C{index}", 16, 0))
+
+    readable = [
+        "db", "sb", "x", "y", "p", *(f"s{i}" for i in range(8)),
+        "MAR", "MBR", "ZERO", "ONE", "MINUS1", *(f"C{i}" for i in range(4)),
+    ]
+    writable = ["db", "sb", "x", "y", "p", *(f"s{i}" for i in range(8)),
+                "MAR", "MBR"]
+
+    b.unit("null", phase=1, count=16)
+    b.unit("mova", phase=1)
+    b.unit("movb", phase=1)
+    b.unit("lit", phase=1)
+    b.unit("poll", phase=1)
+    b.unit("alu", phase=2)
+    b.unit("shifter", phase=2)
+    b.unit("mul", phase=2, latency=4)
+    b.unit("mem", phase=2, latency=1)
+    b.unit("scr", phase=2)
+
+    b.select_field("a_src", readable).select_field("a_dst", writable)
+    b.select_field("b_src", readable).select_field("b_dst", writable)
+    b.imm_field("lit_val", 16).select_field("lit_dst", writable)
+    b.order_field("poll_op", ["POLL"])
+    b.order_field(
+        "alu_op",
+        ["ADD", "SUB", "ADC", "AND", "OR", "XOR", "NAND", "NOR",
+         "INC", "DEC", "NOT", "NEG", "CMP"],
+    )
+    b.select_field("alu_a", readable)
+    b.select_field("alu_b", readable)
+    b.select_field("alu_d", writable)
+    b.order_field("sh_op", ["SHL", "SHR", "SAR", "ROL", "ROR"])
+    b.select_field("sh_src", readable).select_field("sh_dst", writable)
+    b.imm_field("sh_cnt", 4)
+    b.order_field("mul_op", ["MUL"])
+    b.select_field("mul_a", readable).select_field("mul_b", readable)
+    b.select_field("mul_d", writable)
+    b.order_field("mem_op", ["READ", "WRITE"])
+    b.order_field("scr_op", ["LD", "ST"])
+    b.imm_field("scr_addr", 8)
+    b.select_field("scr_reg", writable)
+    add_sequencer(b, multiway=True)
+
+    b.op("nop", "null", srcs=0, dest=False, settings={})
+    b.op("poll", "poll", srcs=0, dest=False, settings={"poll_op": "POLL"})
+    b.op("mov", "mova", srcs=1, dest=True,
+         settings={"a_src": "$src0", "a_dst": "$dest"}, variant="a")
+    b.op("mov", "movb", srcs=1, dest=True,
+         settings={"b_src": "$src0", "b_dst": "$dest"}, variant="b")
+    b.op("movi", "lit", srcs=1, dest=True,
+         settings={"lit_val": "$imm0", "lit_dst": "$dest"},
+         imm_srcs=frozenset({0}))
+    b.alu_ops("alu", "alu_op", "alu_a", "alu_b", "alu_d",
+              ["add", "sub", "adc", "and", "or", "xor", "nand", "nor"])
+    b.unary_ops("alu", "alu_op", "alu_a", "alu_d", ["inc", "dec", "not", "neg"])
+    b.op("cmp", "alu", srcs=2, dest=False,
+         settings={"alu_op": "CMP", "alu_a": "$src0", "alu_b": "$src1"},
+         writes_flags=("Z", "N", "C"))
+    for shift in ["shl", "shr", "sar", "rol", "ror"]:
+        b.op(shift, "shifter", srcs=2, dest=True,
+             settings={"sh_op": shift.upper(), "sh_src": "$src0",
+                       "sh_cnt": "$imm1", "sh_dst": "$dest"},
+             imm_srcs=frozenset({1}), writes_flags=("Z", "N", "UF"))
+    b.op("mul", "mul", srcs=2, dest=True,
+         settings={"mul_op": "MUL", "mul_a": "$src0", "mul_b": "$src1",
+                   "mul_d": "$dest"},
+         writes_flags=("Z", "N"))
+    b.op("read", "mem", srcs=1, dest=True,
+         settings={"mem_op": "READ"}, src_classes=(MAR,), dest_class=MBR)
+    b.op("write", "mem", srcs=2, dest=False,
+         settings={"mem_op": "WRITE"}, src_classes=(MAR, MBR))
+    b.op("ldscr", "scr", srcs=1, dest=True,
+         settings={"scr_op": "LD", "scr_addr": "$imm0", "scr_reg": "$dest"},
+         imm_srcs=frozenset({0}))
+    b.op("stscr", "scr", srcs=2, dest=False,
+         settings={"scr_op": "ST", "scr_reg": "$src0", "scr_addr": "$imm1"},
+         imm_srcs=frozenset({1}))
+
+    return b.build(
+        n_phases=2,
+        allows_phase_chaining=True,
+        memory_latency=1,
+        has_multiway_branch=True,
+        scratchpad_size=256,
+        notes=(
+            "Regular horizontal machine in the spirit of YALLL's HP300 "
+            "target: every YALLL primitive maps to one micro-operation; "
+            "full-width literals, 1-cycle memory, hardware multiply, "
+            "multiway branch."
+        ),
+    )

@@ -1,0 +1,135 @@
+"""ID3200m — an Interdata-3200-flavoured machine with register banks.
+
+The survey's §2.1.2 example: "On the Interdata 3200 the programmer can
+switch to a different block of 32 registers, by setting 3 bits in the
+program status word (there are eight such blocks)."  ID3200m scales
+this down to eight banks of eight windowed registers (``G0``–``G7``),
+selected by the ``BLK`` bank pointer and switched with the ``setblk``
+micro-operation.
+
+Experiment E13 uses this machine to reproduce the survey's point that
+a ``push``-style language primitive overlaps with the ``new-block``
+facility: an activation-record workload is compiled once against a
+memory stack and once against bank switching, and the cycle counts are
+compared.
+"""
+
+from __future__ import annotations
+
+from repro.machine.builder import MachineBuilder
+from repro.machine.machine import MicroArchitecture
+from repro.machine.machines.hm1 import add_sequencer
+from repro.machine.registers import MAR, MBR, Register, const_register, gpr
+
+#: Number of register banks and windowed registers per bank.
+N_BANKS = 8
+WINDOW_SIZE = 8
+
+
+def build_id3200() -> MicroArchitecture:
+    """Build and validate the ID3200m machine description."""
+    b = MachineBuilder("ID3200m", word_size=16)
+    b.registers.n_banks = N_BANKS
+
+    # Physical banked registers plus their windows.
+    for bank in range(N_BANKS):
+        for index in range(WINDOW_SIZE):
+            b.reg(gpr(f"G{bank}_{index}", 16, "banked"), bank=bank)
+    # Non-banked scratch registers and the bank pointer.
+    for index in range(4):
+        b.reg(gpr(f"S{index}", 16))
+    b.reg(Register("BLK", 3, classes=frozenset({"blk"})))
+    b.reg(Register("MAR", 16, classes=frozenset({MAR})))
+    b.reg(Register("MBR", 16, classes=frozenset({"gpr", MBR})))
+    b.reg(const_register("ZERO", 16, 0))
+    b.reg(const_register("ONE", 16, 1))
+    for index in range(4):
+        b.reg(const_register(f"C{index}", 16, 0))
+    for index in range(WINDOW_SIZE):
+        b.registers.add_window(
+            f"G{index}",
+            tuple(f"G{bank}_{index}" for bank in range(N_BANKS)),
+        )
+    b.registers.bank_pointer = "BLK"
+
+    windows = [f"G{i}" for i in range(WINDOW_SIZE)]
+    readable = [*windows, *(f"S{i}" for i in range(4)), "MAR", "MBR",
+                "ZERO", "ONE", *(f"C{i}" for i in range(4))]
+    writable = [*windows, *(f"S{i}" for i in range(4)), "MAR", "MBR"]
+
+    b.unit("null", phase=1, count=16)
+    b.unit("mova", phase=1)
+    b.unit("lit", phase=1)
+    b.unit("poll", phase=1)
+    b.unit("blk", phase=1)
+    b.unit("alu", phase=2)
+    b.unit("shifter", phase=2)
+    b.unit("mem", phase=2, latency=2)
+    b.unit("scr", phase=2)
+
+    b.select_field("a_src", readable).select_field("a_dst", writable)
+    b.imm_field("lit_val", 16).select_field("lit_dst", writable)
+    b.order_field("poll_op", ["POLL"])
+    b.order_field("blk_op", ["SET"])
+    b.imm_field("blk_val", 3)
+    b.order_field(
+        "alu_op",
+        ["ADD", "SUB", "ADC", "AND", "OR", "XOR", "INC", "DEC", "NOT",
+         "NEG", "CMP"],
+    )
+    b.select_field("alu_a", readable)
+    b.select_field("alu_b", readable)
+    b.select_field("alu_d", writable)
+    b.order_field("sh_op", ["SHL", "SHR", "SAR"])
+    b.select_field("sh_src", readable).select_field("sh_dst", writable)
+    b.imm_field("sh_cnt", 4)
+    b.order_field("mem_op", ["READ", "WRITE"])
+    b.order_field("scr_op", ["LD", "ST"])
+    b.imm_field("scr_addr", 8)
+    b.select_field("scr_reg", writable)
+    add_sequencer(b, multiway=False)
+
+    b.op("nop", "null", srcs=0, dest=False, settings={})
+    b.op("poll", "poll", srcs=0, dest=False, settings={"poll_op": "POLL"})
+    b.op("mov", "mova", srcs=1, dest=True,
+         settings={"a_src": "$src0", "a_dst": "$dest"})
+    b.op("movi", "lit", srcs=1, dest=True,
+         settings={"lit_val": "$imm0", "lit_dst": "$dest"},
+         imm_srcs=frozenset({0}))
+    b.op("setblk", "blk", srcs=1, dest=False,
+         settings={"blk_op": "SET", "blk_val": "$imm0"},
+         imm_srcs=frozenset({0}))
+    b.alu_ops("alu", "alu_op", "alu_a", "alu_b", "alu_d",
+              ["add", "sub", "adc", "and", "or", "xor"])
+    b.unary_ops("alu", "alu_op", "alu_a", "alu_d", ["inc", "dec", "not", "neg"])
+    b.op("cmp", "alu", srcs=2, dest=False,
+         settings={"alu_op": "CMP", "alu_a": "$src0", "alu_b": "$src1"},
+         writes_flags=("Z", "N", "C"))
+    for shift in ["shl", "shr", "sar"]:
+        b.op(shift, "shifter", srcs=2, dest=True,
+             settings={"sh_op": shift.upper(), "sh_src": "$src0",
+                       "sh_cnt": "$imm1", "sh_dst": "$dest"},
+             imm_srcs=frozenset({1}), writes_flags=("Z", "N", "UF"))
+    b.op("read", "mem", srcs=1, dest=True,
+         settings={"mem_op": "READ"}, src_classes=(MAR,), dest_class=MBR)
+    b.op("write", "mem", srcs=2, dest=False,
+         settings={"mem_op": "WRITE"}, src_classes=(MAR, MBR))
+    b.op("ldscr", "scr", srcs=1, dest=True,
+         settings={"scr_op": "LD", "scr_addr": "$imm0", "scr_reg": "$dest"},
+         imm_srcs=frozenset({0}))
+    b.op("stscr", "scr", srcs=2, dest=False,
+         settings={"scr_op": "ST", "scr_reg": "$src0", "scr_addr": "$imm1"},
+         imm_srcs=frozenset({1}))
+
+    return b.build(
+        n_phases=2,
+        allows_phase_chaining=True,
+        memory_latency=2,
+        has_multiway_branch=False,
+        scratchpad_size=128,
+        notes=(
+            "Interdata-3200-flavoured machine: eight banks of eight "
+            "windowed registers selected by BLK via setblk — hardware "
+            "support for activation records (survey §2.1.2)."
+        ),
+    )

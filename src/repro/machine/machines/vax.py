@@ -1,0 +1,132 @@
+"""VAXm — a baroque, irregular horizontal machine.
+
+Modelled on the survey's account of YALLL's DEC VAX-11 target
+(§2.2.4): "the baroque structure of the VAX micro architecture …
+discouraged the implementers from attempting any code optimization".
+The irregularities built in here are exactly the kinds the survey
+enumerates in §2.1.2–2.1.3:
+
+* only 16 microregisters, four of which are *macro-visible* (saved and
+  restored around microtraps — the precondition of the ``incread`` bug);
+* ALU results can only land in the ``aluout`` class (``T0``–``T3``),
+  so most computations need an extra move;
+* no increment/decrement — the ALU must add the hardwired ``ONE``;
+* literals are only 8 bits wide, so a full-width constant costs a
+  movi/shift/or sequence;
+* shifts move by a single bit per microinstruction;
+* using the memory unit blocks the move path in the same cycle (a
+  "this register being occupied disables part of the instruction set"
+  constraint, realized through shared control fields);
+* one phase, no chaining, no multiway branch, 3-cycle memory.
+"""
+
+from __future__ import annotations
+
+from repro.machine.builder import MachineBuilder
+from repro.machine.machine import MicroArchitecture
+from repro.machine.machines.hm1 import add_sequencer
+from repro.machine.registers import MAR, MBR, Register, const_register, gpr
+
+#: Register class for the only registers the ALU may write.
+ALUOUT = "aluout"
+
+
+def build_vax() -> MicroArchitecture:
+    """Build and validate the VAXm machine description."""
+    b = MachineBuilder("VAXm", word_size=16)
+
+    for index in range(4):
+        b.reg(gpr(f"T{index}", 16, ALUOUT))
+    for index in range(4, 10):
+        b.reg(gpr(f"T{index}", 16))
+    for index in range(4):
+        b.reg(gpr(f"R{index}", 16, macro_visible=True))
+    b.reg(Register("MAR", 16, classes=frozenset({MAR})))
+    b.reg(Register("MBR", 16, classes=frozenset({"gpr", MBR})))
+    b.reg(const_register("ZERO", 16, 0))
+    b.reg(const_register("ONE", 16, 1))
+    for index in range(2):
+        b.reg(const_register(f"C{index}", 16, 0))
+
+    readable = [
+        *(f"T{i}" for i in range(10)), *(f"R{i}" for i in range(4)),
+        "MAR", "MBR", "ZERO", "ONE", "C0", "C1",
+    ]
+    writable = [*(f"T{i}" for i in range(10)), *(f"R{i}" for i in range(4)),
+                "MAR", "MBR"]
+
+    b.unit("null", phase=1, count=16)
+    b.unit("mov", phase=1)
+    b.unit("lit", phase=1)
+    b.unit("poll", phase=1)
+    b.unit("alu", phase=1)
+    b.unit("shifter", phase=1)
+    b.unit("mem", phase=1, latency=3)
+    b.unit("scr", phase=1)
+
+    # The move path and the memory unit share the m_src/m_dst fields:
+    # a memory strobe forces both selectors to NONE, so a mov in the
+    # same microinstruction is a field conflict.  This is the VAXm's
+    # signature irregularity.
+    b.select_field("m_src", readable).select_field("m_dst", writable)
+    b.imm_field("lit_val", 8).select_field("lit_dst", writable)
+    b.order_field("poll_op", ["POLL"])
+    b.order_field("alu_op", ["ADD", "SUB", "AND", "OR", "XOR", "NOT", "CMP"])
+    b.select_field("alu_a", readable)
+    b.select_field("alu_b", readable)
+    b.select_field("alu_d", writable)
+    b.order_field("sh_op", ["SHL", "SHR", "SAR"])
+    b.select_field("sh_src", readable).select_field("sh_dst", writable)
+    b.order_field("mem_op", ["READ", "WRITE"])
+    b.order_field("scr_op", ["LD", "ST"])
+    b.imm_field("scr_addr", 8)
+    b.select_field("scr_reg", writable)
+    add_sequencer(b, multiway=False)
+
+    b.op("nop", "null", srcs=0, dest=False, settings={})
+    b.op("poll", "poll", srcs=0, dest=False, settings={"poll_op": "POLL"})
+    b.op("mov", "mov", srcs=1, dest=True,
+         settings={"m_src": "$src0", "m_dst": "$dest"})
+    b.op("movi", "lit", srcs=1, dest=True,
+         settings={"lit_val": "$imm0", "lit_dst": "$dest"},
+         imm_srcs=frozenset({0}))
+    b.alu_ops("alu", "alu_op", "alu_a", "alu_b", "alu_d",
+              ["add", "sub", "and", "or", "xor"], dest_class=ALUOUT)
+    b.unary_ops("alu", "alu_op", "alu_a", "alu_d", ["not"], dest_class=ALUOUT)
+    b.op("cmp", "alu", srcs=2, dest=False,
+         settings={"alu_op": "CMP", "alu_a": "$src0", "alu_b": "$src1"},
+         writes_flags=("Z", "N", "C"))
+    # Shifts move a single bit position per microinstruction; the
+    # count operand exists for interface uniformity but must be 1.
+    for shift in ["shl", "shr", "sar"]:
+        b.op(shift, "shifter", srcs=2, dest=True,
+             settings={"sh_op": shift.upper(), "sh_src": "$src0",
+                       "sh_dst": "$dest"},
+             imm_srcs=frozenset({1}), writes_flags=("Z", "N", "UF"))
+    # Memory strobes jam the move path (shared selector fields).
+    b.op("read", "mem", srcs=1, dest=True,
+         settings={"mem_op": "READ", "m_src": "NONE", "m_dst": "NONE"},
+         src_classes=(MAR,), dest_class=MBR)
+    b.op("write", "mem", srcs=2, dest=False,
+         settings={"mem_op": "WRITE", "m_src": "NONE", "m_dst": "NONE"},
+         src_classes=(MAR, MBR))
+    b.op("ldscr", "scr", srcs=1, dest=True,
+         settings={"scr_op": "LD", "scr_addr": "$imm0", "scr_reg": "$dest"},
+         imm_srcs=frozenset({0}))
+    b.op("stscr", "scr", srcs=2, dest=False,
+         settings={"scr_op": "ST", "scr_reg": "$src0", "scr_addr": "$imm1"},
+         imm_srcs=frozenset({1}))
+
+    return b.build(
+        n_phases=1,
+        allows_phase_chaining=False,
+        memory_latency=3,
+        has_multiway_branch=False,
+        scratchpad_size=64,
+        notes=(
+            "Baroque horizontal machine in the spirit of YALLL's VAX-11 "
+            "target: ALU writes restricted to T0-T3, no inc/dec, 8-bit "
+            "literals, 1-bit shifts, memory blocks the move path, "
+            "3-cycle memory, 4 macro-visible registers."
+        ),
+    )

@@ -1,0 +1,111 @@
+"""VM1 — a vertical microarchitecture.
+
+On a vertically encoded machine every microinstruction holds exactly
+one micro-operation: all operations share the single ``v_op`` field, so
+any two of them conflict and composition degenerates to one op per
+word.  The survey's introduction notes that vertical encoding hides
+parallelism from the microprogrammer "but this usually implies a loss
+of flexibility and speed" [5]; experiment E11 quantifies that loss by
+running the same programs on VM1 and HM1.
+"""
+
+from __future__ import annotations
+
+from repro.machine.builder import MachineBuilder
+from repro.machine.machine import MicroArchitecture
+from repro.machine.machines.hm1 import add_sequencer
+from repro.machine.registers import MAR, MBR, Register, const_register, gpr
+
+
+def build_vm1() -> MicroArchitecture:
+    """Build and validate the VM1 machine description."""
+    b = MachineBuilder("VM1", word_size=16)
+
+    b.reg(const_register("R0", 16, 0))
+    for index in range(1, 16):
+        b.reg(gpr(f"R{index}", 16))
+    b.reg(Register("MAR", 16, classes=frozenset({MAR})))
+    b.reg(Register("MBR", 16, classes=frozenset({"gpr", MBR})))
+    b.reg(const_register("ONE", 16, 1))
+    b.reg(const_register("MINUS1", 16, 0xFFFF))
+    for index in range(8):
+        b.reg(const_register(f"C{index}", 16, 0))
+
+    readable = [f"R{i}" for i in range(16)] + [
+        "MAR", "MBR", "ONE", "MINUS1", *(f"C{i}" for i in range(8))]
+    writable = [f"R{i}" for i in range(1, 16)] + ["MAR", "MBR"]
+
+    b.unit("exec", phase=1, count=1, latency=1)
+    b.unit("mem", phase=1, latency=2)
+
+    operations = [
+        "NOP", "POLL", "MOV", "MOVI", "ADD", "SUB", "ADC", "AND", "OR",
+        "XOR", "NAND", "NOR", "INC", "DEC", "NOT", "NEG", "CMP", "SHL",
+        "SHR", "SAR", "ROL", "ROR", "EXT", "DEP", "READ", "WRITE",
+        "LDSCR", "STSCR",
+    ]
+    b.order_field("v_op", operations)
+    b.select_field("v_a", readable)
+    b.select_field("v_b", readable)
+    b.select_field("v_d", writable)
+    b.imm_field("v_imm", 16)
+    b.imm_field("v_imm2", 5)
+    add_sequencer(b, multiway=False)
+
+    def vop(name: str, srcs: int, dest: bool, **kwargs) -> None:
+        settings = {"v_op": name.upper()}
+        placeholders = ["$src0", "$src1", "$src2"]
+        fields = ["v_a", "v_b"]
+        imm_srcs = kwargs.pop("imm_srcs", frozenset())
+        field_index = 0
+        imm_used = 0
+        for index in range(srcs):
+            if index in imm_srcs:
+                settings["v_imm" if imm_used == 0 else "v_imm2"] = f"$imm{index}"
+                imm_used += 1
+            else:
+                settings[fields[field_index]] = placeholders[index]
+                field_index += 1
+        if dest:
+            settings["v_d"] = "$dest"
+        b.op(name, kwargs.pop("unit", "exec"), srcs=srcs, dest=dest,
+             settings=settings, imm_srcs=frozenset(imm_srcs), **kwargs)
+
+    flags3 = ("Z", "N", "C")
+    vop("nop", 0, False)
+    vop("poll", 0, False)
+    vop("mov", 1, True)
+    vop("movi", 1, True, imm_srcs={0})
+    for name in ["add", "sub", "adc", "and", "or", "xor", "nand", "nor"]:
+        carry = name in ("add", "sub", "adc")
+        vop(name, 2, True,
+            writes_flags=flags3 if carry else ("Z", "N"),
+            reads_flags=("C",) if name == "adc" else (),
+            commutative=name != "sub" and name != "adc")
+    for name in ["inc", "dec", "not", "neg"]:
+        vop(name, 1, True,
+            writes_flags=flags3 if name in ("inc", "dec") else ("Z", "N"))
+    vop("cmp", 2, False, writes_flags=flags3)
+    for name in ["shl", "shr", "sar", "rol", "ror"]:
+        vop(name, 2, True, imm_srcs={1}, writes_flags=("Z", "N", "UF"))
+    vop("ext", 3, True, imm_srcs={1, 2}, writes_flags=("Z",))
+    vop("dep", 3, True, imm_srcs={1, 2}, reads_dest=True)
+    b.op("read", "mem", srcs=1, dest=True,
+         settings={"v_op": "READ"}, src_classes=(MAR,), dest_class=MBR)
+    b.op("write", "mem", srcs=2, dest=False,
+         settings={"v_op": "WRITE"}, src_classes=(MAR, MBR))
+    vop("ldscr", 1, True, imm_srcs={0})
+    vop("stscr", 2, False, imm_srcs={1})
+
+    return b.build(
+        n_phases=1,
+        allows_phase_chaining=False,
+        memory_latency=2,
+        has_multiway_branch=False,
+        vertical=True,
+        scratchpad_size=256,
+        notes=(
+            "Vertical machine: a single op field means one micro-operation "
+            "per microinstruction; rich register set but no parallelism."
+        ),
+    )

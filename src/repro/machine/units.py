@@ -1,0 +1,42 @@
+"""Functional units of a microarchitecture.
+
+A functional unit executes micro-operations during one *phase* of the
+microcycle.  The phase structure is what makes S*'s ``cocycle``
+construct (survey §2.2.3) meaningful: on machines whose microcycle is
+split into phases, flow-dependent micro-operations may share one
+microinstruction provided the consumer executes in a strictly later
+phase ("phase chaining").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """A hardware resource that executes micro-operations.
+
+    Attributes:
+        name: Unique unit name, e.g. ``"alu"``, ``"shifter"``, ``"mem"``.
+        phase: Phase of the microcycle (1-based) in which the unit runs.
+        count: Number of identical instances available per cycle.
+        latency: Cycles the unit needs to complete (memory units are
+            typically slower; extra cycles stall the next
+            microinstruction in the simulator).
+    """
+
+    name: str
+    phase: int
+    count: int = 1
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.phase < 1:
+            raise MachineError(f"unit {self.name!r}: phase must be >= 1")
+        if self.count < 1:
+            raise MachineError(f"unit {self.name!r}: count must be >= 1")
+        if self.latency < 1:
+            raise MachineError(f"unit {self.name!r}: latency must be >= 1")

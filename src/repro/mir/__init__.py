@@ -1,0 +1,73 @@
+"""Micro-IR (survey substrate S3).
+
+The machine-agnostic intermediate form every front end lowers to:
+micro-operations over registers/immediates, basic blocks with
+terminators, programs with procedures and a constant pool, plus the
+dependence and liveness analyses the composition and allocation layers
+build on.
+"""
+
+from repro.mir.block import (
+    FLAG_CONDITIONS,
+    BasicBlock,
+    Branch,
+    Call,
+    Exit,
+    Fallthrough,
+    Jump,
+    MaskCase,
+    Multiway,
+    Ret,
+    Terminator,
+)
+from repro.mir.deps import (
+    ANTI,
+    FLOW,
+    OUTPUT,
+    Dependence,
+    DependenceGraph,
+    build_dependence_graph,
+    op_reads,
+    op_writes,
+    terminator_reads,
+)
+from repro.mir.liveness import Liveness, analyze_liveness, program_successors
+from repro.mir.operands import Imm, Operand, Reg, preg, vreg
+from repro.mir.ops import MicroOp, mop
+from repro.mir.program import MicroProgram, Procedure, ProgramBuilder
+
+__all__ = [
+    "ANTI",
+    "FLAG_CONDITIONS",
+    "FLOW",
+    "OUTPUT",
+    "BasicBlock",
+    "Branch",
+    "Call",
+    "Dependence",
+    "DependenceGraph",
+    "Exit",
+    "Fallthrough",
+    "Imm",
+    "Jump",
+    "Liveness",
+    "MaskCase",
+    "MicroOp",
+    "MicroProgram",
+    "Multiway",
+    "Operand",
+    "Procedure",
+    "ProgramBuilder",
+    "Reg",
+    "Ret",
+    "Terminator",
+    "analyze_liveness",
+    "build_dependence_graph",
+    "mop",
+    "op_reads",
+    "op_writes",
+    "preg",
+    "program_successors",
+    "terminator_reads",
+    "vreg",
+]

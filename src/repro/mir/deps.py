@@ -1,0 +1,278 @@
+"""Data-dependence analysis over basic blocks (survey §2.1.4).
+
+"Two forms of dependence must be taken into account: data dependence …
+and resource dependence."  This module computes the *data* side — flow,
+anti and output dependences over registers, condition flags, main
+memory and scratchpad slots — as a DAG that all composition algorithms
+consume.  Resource (control-word) conflicts live in
+``repro.compose.conflicts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MIRError
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import BasicBlock, Branch, Exit, Multiway
+from repro.mir.operands import Imm, Reg
+from repro.mir.ops import MicroOp
+
+FLOW = "flow"
+ANTI = "anti"
+OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A dependence edge: op ``src`` must precede op ``dst``."""
+
+    src: int
+    dst: int
+    kind: str
+    resource: str
+
+
+def _scr_slot(op: MicroOp) -> str:
+    """Resource name for a scratchpad access (slots disambiguate)."""
+    imms = op.src_imms()
+    return f"scr:{imms[0].value}" if imms else "scr:*"
+
+
+def op_reads(op: MicroOp, machine: MicroArchitecture) -> set[str]:
+    """Resources the op reads (registers, flags, memory, scratch)."""
+    spec = machine.ops.default(op.op)
+    reads: set[str] = {str(r) for r in op.src_regs()}
+    if spec.reads_dest and op.dest is not None:
+        reads.add(str(op.dest))
+    reads.update(f"flag:{flag}" for flag in spec.reads_flags)
+    if op.op == "read":
+        reads.add("mem")
+    if op.op == "write":
+        reads.add("mem")  # ordered against other writes via the write set
+    if op.op == "ldscr":
+        reads.add(_scr_slot(op))
+    if op.op == "poll":
+        reads.add("interrupt")
+    bank_pointer = machine.registers.bank_pointer
+    if bank_pointer is not None:
+        for reg in op.regs():
+            if not reg.virtual and machine.registers.is_window(reg.name):
+                reads.add(bank_pointer)
+                break
+    return reads
+
+
+def op_writes(op: MicroOp, machine: MicroArchitecture) -> set[str]:
+    """Resources the op writes."""
+    spec = machine.ops.default(op.op)
+    writes: set[str] = set()
+    if op.dest is not None:
+        writes.add(str(op.dest))
+    writes.update(f"flag:{flag}" for flag in spec.writes_flags)
+    if op.op == "write":
+        writes.add("mem")
+    if op.op == "stscr":
+        writes.add(_scr_slot(op))
+    if op.op == "poll":
+        writes.add("interrupt")
+    if op.op == "setblk" and machine.registers.bank_pointer is not None:
+        writes.add(machine.registers.bank_pointer)
+    return writes
+
+
+def terminator_reads(block: BasicBlock, machine: MicroArchitecture) -> set[str]:
+    """Resources a block's terminator depends on."""
+    terminator = block.terminator
+    if isinstance(terminator, Branch):
+        return {f"flag:{terminator.tested_flag()}"}
+    if isinstance(terminator, Multiway):
+        return {str(terminator.reg)}
+    if isinstance(terminator, Exit) and terminator.value is not None:
+        return {str(terminator.value)}
+    return set()
+
+
+def _prune_dead_flag_writes(
+    block: BasicBlock,
+    machine: MicroArchitecture,
+    reads: list[set[str]],
+    writes: list[set[str]],
+) -> None:
+    """Drop flag writes nobody observes.
+
+    Almost every ALU-class operation sets condition flags as a side
+    effect; treating every such write as a dependence would serialize
+    operations that are in fact parallel (no two flag-setting ops could
+    ever share a microinstruction).  A flag write matters only if some
+    later op or the block terminator reads the flag before the next
+    write to it — otherwise it is dead and removed from the write set.
+    """
+    terminator_needs = terminator_reads(block, machine)
+    for i in range(len(block.ops)):
+        for resource in [w for w in writes[i] if w.startswith("flag:")]:
+            live = False
+            for j in range(i + 1, len(block.ops)):
+                if resource in reads[j]:
+                    live = True
+                    break
+                if resource in writes[j]:
+                    break
+            else:
+                if resource in terminator_needs:
+                    live = True
+            if not live:
+                writes[i].discard(resource)
+
+
+@dataclass
+class DependenceGraph:
+    """Dependence DAG over a block's ops (+ a virtual terminator node).
+
+    Node indices ``0..n-1`` are the block's ops in program order; node
+    ``n`` (``terminator_node``) stands for the terminator and collects
+    flow edges from producers of whatever the terminator tests.
+    """
+
+    n_ops: int
+    edges: list[Dependence] = field(default_factory=list)
+    preds: dict[int, set[int]] = field(default_factory=dict)
+    succs: dict[int, set[int]] = field(default_factory=dict)
+    weights: list[int] = field(default_factory=list)
+
+    @property
+    def terminator_node(self) -> int:
+        return self.n_ops
+
+    def add_edge(self, dependence: Dependence) -> None:
+        self.edges.append(dependence)
+        self.succs.setdefault(dependence.src, set()).add(dependence.dst)
+        self.preds.setdefault(dependence.dst, set()).add(dependence.src)
+
+    def predecessors(self, node: int) -> set[int]:
+        return self.preds.get(node, set())
+
+    def successors(self, node: int) -> set[int]:
+        return self.succs.get(node, set())
+
+    def has_path(self, src: int, dst: int) -> bool:
+        """Whether a dependence path exists from src to dst."""
+        if src == dst:
+            return True
+        seen = {src}
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            for successor in self.successors(node):
+                if successor == dst:
+                    return True
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return False
+
+    def independent(self, a: int, b: int) -> bool:
+        """Whether two ops have no dependence path either way."""
+        return not self.has_path(a, b) and not self.has_path(b, a)
+
+    # -- schedules ---------------------------------------------------------
+    def heights(self) -> list[int]:
+        """Critical-path height of each op node (its own weight included).
+
+        The height drives list scheduling: ops on long dependence
+        chains are urgent.
+        """
+        heights = [0] * (self.n_ops + 1)
+        for node in range(self.n_ops - 1, -1, -1):
+            below = [
+                heights[successor]
+                for successor in self.successors(node)
+                if successor < self.n_ops
+            ]
+            heights[node] = self.weights[node] + (max(below) if below else 0)
+        return heights[: self.n_ops]
+
+    def asap_levels(self) -> list[int]:
+        """Earliest dependence level of each op (0-based).
+
+        This is the partition the Dasgupta–Tartar "maximal parallelism"
+        analysis [3] produces for straight-line code: ops sharing a
+        level could execute simultaneously on unlimited hardware.
+        """
+        levels = [0] * self.n_ops
+        for node in range(self.n_ops):
+            above = [
+                levels[predecessor] + 1
+                for predecessor in self.predecessors(node)
+                if predecessor < self.n_ops
+            ]
+            levels[node] = max(above) if above else 0
+        return levels
+
+    def alap_levels(self, length: int | None = None) -> list[int]:
+        """Latest level each op may occupy in a schedule of ``length``."""
+        asap = self.asap_levels()
+        if length is None:
+            length = (max(asap) + 1) if asap else 0
+        levels = [length - 1] * self.n_ops
+        for node in range(self.n_ops - 1, -1, -1):
+            below = [
+                levels[successor] - 1
+                for successor in self.successors(node)
+                if successor < self.n_ops
+            ]
+            if below:
+                levels[node] = min(below)
+        return levels
+
+    def critical_path_length(self) -> int:
+        """Length (in levels) of the longest dependence chain."""
+        asap = self.asap_levels()
+        return (max(asap) + 1) if asap else 0
+
+
+def build_dependence_graph(
+    block: BasicBlock, machine: MicroArchitecture
+) -> DependenceGraph:
+    """Compute the dependence DAG of a block against a machine.
+
+    The classic pairwise rules (§2.1.4): for ops ``i < j`` there is a
+    flow edge when i writes what j reads, an anti edge when i reads
+    what j writes, and an output edge when both write the same
+    resource.  The terminator node receives flow edges from the last
+    producers of everything it tests.
+    """
+    ops = block.ops
+    graph = DependenceGraph(n_ops=len(ops))
+    graph.weights = [max(1, machine.latency_of(machine.ops.default(op.op))) for op in ops]
+    reads = [op_reads(op, machine) for op in ops]
+    writes_all = [op_writes(op, machine) for op in ops]
+    writes_live = [set(w) for w in writes_all]
+    _prune_dead_flag_writes(block, machine, reads, writes_live)
+    # Edge rules (flags need care because *dead* flag writes still
+    # physically execute):
+    #   flow:   live write  -> read       (dead writes have no readers)
+    #   anti:   read        -> any write  (a dead write moved before a
+    #                                      reader would still corrupt it)
+    #   output: any write   -> live write (orders every earlier writer
+    #                                      before the value a reader sees;
+    #                                      two dead writes may commute)
+    for j in range(len(ops)):
+        for i in range(j):
+            for resource in writes_live[i] & reads[j]:
+                graph.add_edge(Dependence(i, j, FLOW, resource))
+            for resource in reads[i] & writes_all[j]:
+                graph.add_edge(Dependence(i, j, ANTI, resource))
+            for resource in writes_all[i] & writes_live[j]:
+                graph.add_edge(Dependence(i, j, OUTPUT, resource))
+    needed = terminator_reads(block, machine)
+    for resource in needed:
+        last_writer = None
+        for i in range(len(ops)):
+            if resource in writes_live[i]:
+                last_writer = i
+        if last_writer is not None:
+            graph.add_edge(
+                Dependence(last_writer, graph.terminator_node, FLOW, resource)
+            )
+    return graph

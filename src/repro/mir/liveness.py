@@ -1,0 +1,138 @@
+"""Liveness analysis over micro-programs.
+
+Register allocation (survey §2.1.3) needs to know, at every program
+point, which variables still carry useful values — "the compiler needs
+some insight in the use … of variables".  This is a standard backward
+dataflow over the interprocedural CFG (procedure calls edge into the
+callee, returns edge back to every continuation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import BasicBlock, Call, Ret
+from repro.mir.deps import op_reads, op_writes, terminator_reads
+from repro.mir.program import MicroProgram
+
+
+def _register_only(resources: set[str]) -> set[str]:
+    """Filter resource names down to register names (incl. virtuals)."""
+    return {
+        r for r in resources
+        if not r.startswith("flag:") and r not in ("mem", "interrupt")
+        and not r.startswith("scr:")
+    }
+
+
+def program_successors(program: MicroProgram) -> dict[str, set[str]]:
+    """Interprocedural successor map.
+
+    ``Call`` blocks flow into the callee's entry; each callee ``Ret``
+    block flows back to every continuation of a call to that procedure.
+    """
+    successors: dict[str, set[str]] = {label: set() for label in program.blocks}
+    return_points: dict[str, set[str]] = {name: set() for name in program.procedures}
+    for label, block in program.blocks.items():
+        terminator = block.terminator
+        if isinstance(terminator, Call):
+            successors[label].add(program.procedures[terminator.proc].entry)
+            return_points[terminator.proc].add(terminator.next)
+        else:
+            successors[label].update(terminator.successors())
+    if return_points:
+        owners = _block_owners(program)
+        for label, block in program.blocks.items():
+            if isinstance(block.terminator, Ret):
+                for proc in owners.get(label, ()):  # pragma: no branch
+                    successors[label].update(return_points.get(proc, set()))
+    return successors
+
+
+def _block_owners(program: MicroProgram) -> dict[str, set[str]]:
+    """Which procedures (by reachability from their entry) own a block."""
+    owners: dict[str, set[str]] = {}
+    for procedure in program.procedures.values():
+        stack = [procedure.entry]
+        seen: set[str] = set()
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            owners.setdefault(label, set()).add(procedure.name)
+            block = program.blocks[label]
+            if not isinstance(block.terminator, (Call, Ret)):
+                stack.extend(block.successors())
+            elif isinstance(block.terminator, Call):
+                stack.append(block.terminator.next)
+        del seen
+    return owners
+
+
+@dataclass
+class Liveness:
+    """Per-block live-in/live-out register sets."""
+
+    live_in: dict[str, set[str]] = field(default_factory=dict)
+    live_out: dict[str, set[str]] = field(default_factory=dict)
+
+    def live_after(
+        self,
+        block: BasicBlock,
+        index: int,
+        machine: MicroArchitecture,
+    ) -> set[str]:
+        """Registers live immediately *after* op ``index`` in a block."""
+        live = set(self.live_out[block.label])
+        live |= _register_only(terminator_reads(block, machine))
+        for position in range(len(block.ops) - 1, index, -1):
+            op = block.ops[position]
+            live -= _register_only(op_writes(op, machine))
+            live |= _register_only(op_reads(op, machine))
+        return live
+
+
+def analyze_liveness(
+    program: MicroProgram, machine: MicroArchitecture
+) -> Liveness:
+    """Backward may-liveness over the interprocedural CFG."""
+    use: dict[str, set[str]] = {}
+    define: dict[str, set[str]] = {}
+    for label, block in program.blocks.items():
+        block_use: set[str] = set()
+        block_def: set[str] = set()
+        for op in block.ops:
+            block_use |= _register_only(op_reads(op, machine)) - block_def
+            block_def |= _register_only(op_writes(op, machine))
+        block_use |= _register_only(terminator_reads(block, machine)) - block_def
+        use[label] = block_use
+        define[label] = block_def
+
+    from repro.mir.block import Exit as _Exit
+
+    successors = program_successors(program)
+    exit_extra = {
+        label: set(program.live_at_exit)
+        if isinstance(block.terminator, _Exit)
+        else set()
+        for label, block in program.blocks.items()
+    }
+    result = Liveness(
+        live_in={label: set() for label in program.blocks},
+        live_out={label: set() for label in program.blocks},
+    )
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(list(program.blocks)):
+            out: set[str] = set(exit_extra[label])
+            for successor in successors[label]:
+                out |= result.live_in[successor]
+            new_in = use[label] | (out - define[label])
+            if out != result.live_out[label] or new_in != result.live_in[label]:
+                result.live_out[label] = out
+                result.live_in[label] = new_in
+                changed = True
+    return result

@@ -1,0 +1,51 @@
+"""MIR operands: registers (physical or virtual) and immediates.
+
+Front ends that allow symbolic variables (EMPL, YALLL's unbound
+registers) emit *virtual* registers, which the register allocator
+(``repro.regalloc``) later rewrites to physical ones.  Front ends that
+identify variables with machine registers (SIMPL, S*) emit physical
+registers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand.
+
+    ``virtual`` registers carry programmer-chosen names and exist only
+    until allocation; physical registers name actual machine registers.
+    """
+
+    name: str
+    virtual: bool = False
+
+    def __str__(self) -> str:
+        return f"%{self.name}" if self.virtual else self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (constant) operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+#: Union type of all operand kinds.
+Operand = Reg | Imm
+
+
+def vreg(name: str) -> Reg:
+    """Shorthand for a virtual register."""
+    return Reg(name, virtual=True)
+
+
+def preg(name: str) -> Reg:
+    """Shorthand for a physical register."""
+    return Reg(name, virtual=False)

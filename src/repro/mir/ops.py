@@ -1,0 +1,84 @@
+"""Micro-operations: the atoms of the micro-IR.
+
+A :class:`MicroOp` is a *semantic* operation (``add``, ``mov``,
+``read`` …) with concrete operands.  It is machine-agnostic until
+composition, when a concrete :class:`~repro.machine.opspec.OpSpec`
+variant is chosen for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import MIRError
+from repro.mir.operands import Imm, Operand, Reg
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One semantic micro-operation.
+
+    Attributes:
+        op: Semantic operation name; must exist on the target machine
+            (or be expanded by the back end before composition).
+        dest: Destination register, if the op writes one.
+        srcs: Source operands (registers and immediates).
+        comment: Free-form annotation shown in listings (typically the
+            source line that produced the op).
+        line: Source line number, 0 if synthetic.
+    """
+
+    op: str
+    dest: Reg | None = None
+    srcs: tuple[Operand, ...] = ()
+    comment: str = ""
+    line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dest is not None and not isinstance(self.dest, Reg):
+            raise MIRError(f"{self.op}: destination must be a register")
+        for src in self.srcs:
+            if not isinstance(src, (Reg, Imm)):
+                raise MIRError(f"{self.op}: bad source operand {src!r}")
+
+    def src_regs(self) -> tuple[Reg, ...]:
+        """Register sources, in order."""
+        return tuple(s for s in self.srcs if isinstance(s, Reg))
+
+    def src_imms(self) -> tuple[Imm, ...]:
+        """Immediate sources, in order."""
+        return tuple(s for s in self.srcs if isinstance(s, Imm))
+
+    def regs(self) -> tuple[Reg, ...]:
+        """All register operands (sources plus destination)."""
+        regs = list(self.src_regs())
+        if self.dest is not None:
+            regs.append(self.dest)
+        return tuple(regs)
+
+    def with_operands(
+        self, dest: Reg | None, srcs: tuple[Operand, ...]
+    ) -> "MicroOp":
+        """A copy of this op with replaced operands."""
+        return replace(self, dest=dest, srcs=srcs)
+
+    def rename(self, mapping: dict[Reg, Reg]) -> "MicroOp":
+        """A copy with registers substituted through ``mapping``."""
+        new_dest = mapping.get(self.dest, self.dest) if self.dest else None
+        new_srcs = tuple(
+            mapping.get(s, s) if isinstance(s, Reg) else s for s in self.srcs
+        )
+        return self.with_operands(new_dest, new_srcs)
+
+    def __str__(self) -> str:
+        parts = ", ".join(str(s) for s in self.srcs)
+        if self.dest is not None:
+            head = f"{self.op} {self.dest}" + (f", {parts}" if parts else "")
+        else:
+            head = f"{self.op} {parts}" if parts else self.op
+        return head
+
+
+def mop(op: str, dest: Reg | None = None, *srcs: Operand, **kwargs) -> MicroOp:
+    """Terse MicroOp constructor used heavily by code generators."""
+    return MicroOp(op=op, dest=dest, srcs=tuple(srcs), **kwargs)

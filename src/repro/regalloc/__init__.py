@@ -1,0 +1,41 @@
+"""Register allocation (survey substrate S5).
+
+Three allocators behind one interface (``allocate(program, machine) ->
+AllocationResult``):
+
+* :class:`BindingAllocator` — programmer binding (SIMPL/S*/CHAMIL)
+* :class:`LinearScanAllocator` — linear scan with spilling, with
+  ``reuse`` vs ``round-robin`` strategies for the allocation ↔
+  composition interaction study (E14)
+* :class:`GraphColorAllocator` — Chaitin-style colouring (E8)
+"""
+
+from repro.regalloc.binding import BindingAllocator
+from repro.regalloc.constraints import (
+    allowed_registers,
+    collect_class_constraints,
+)
+from repro.regalloc.graph_color import GraphColorAllocator, build_interference_graph
+from repro.regalloc.intervals import Interval, live_intervals
+from repro.regalloc.linear_scan import (
+    N_SPILL_TEMPS,
+    AllocationResult,
+    LinearScanAllocator,
+)
+from repro.regalloc.spill import SpillResult, assign_slots, insert_spill_code
+
+__all__ = [
+    "AllocationResult",
+    "BindingAllocator",
+    "GraphColorAllocator",
+    "Interval",
+    "LinearScanAllocator",
+    "N_SPILL_TEMPS",
+    "SpillResult",
+    "allowed_registers",
+    "assign_slots",
+    "build_interference_graph",
+    "collect_class_constraints",
+    "insert_spill_code",
+    "live_intervals",
+]

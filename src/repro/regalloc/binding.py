@@ -1,0 +1,78 @@
+"""Programmer-specified register binding (SIMPL / S* / CHAMIL style).
+
+"In many microprogramming languages the allocation problem is
+completely avoided by requiring the programmer to bind all variables
+used to the physical registers of the target machine" (§2.1.3).  This
+module validates such a binding against the machine description and
+applies it — the allocator used by the SIMPL, S* and YALLL front ends
+when programs declare bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+from repro.machine.machine import MicroArchitecture
+from repro.mir.operands import preg, vreg
+from repro.mir.program import MicroProgram
+from repro.regalloc.constraints import collect_class_constraints
+from repro.regalloc.linear_scan import AllocationResult
+
+
+@dataclass
+class BindingAllocator:
+    """Applies an explicit variable → physical register binding.
+
+    Attributes:
+        binding: Variable name → physical register name.
+        allow_aliases: Whether two variables may share one register
+            (SIMPL's equivalence statement deliberately allows this).
+    """
+
+    binding: dict[str, str]
+    allow_aliases: bool = False
+    name: str = "binding"
+
+    def allocate(
+        self, program: MicroProgram, machine: MicroArchitecture
+    ) -> AllocationResult:
+        virtuals = program.virtual_regs()
+        missing = sorted(v.name for v in virtuals if v.name not in self.binding)
+        if missing:
+            raise AllocationError(
+                f"variables without register binding: {', '.join(missing)}"
+            )
+        if not self.allow_aliases:
+            seen: dict[str, str] = {}
+            for variable, register in sorted(self.binding.items()):
+                if register in seen:
+                    raise AllocationError(
+                        f"variables {seen[register]!r} and {variable!r} both "
+                        f"bound to {register!r}"
+                    )
+                seen[register] = variable
+        constraints = collect_class_constraints(program, machine)
+        for virtual in virtuals:
+            register_name = self.binding[virtual.name]
+            if register_name not in machine.registers:
+                raise AllocationError(
+                    f"variable {virtual.name!r} bound to unknown register "
+                    f"{register_name!r}"
+                )
+            register = machine.registers[register_name]
+            for cls in constraints.get(virtual, set()):
+                if not register.is_in(cls):
+                    raise AllocationError(
+                        f"variable {virtual.name!r} bound to {register_name!r} "
+                        f"which lacks required class {cls!r}"
+                    )
+        mapping = {
+            vreg(v.name): preg(self.binding[v.name]) for v in virtuals
+        }
+        program.rename_regs(mapping)
+        return AllocationResult(
+            allocator=self.name,
+            mapping={v.name: self.binding[v.name] for v in virtuals},
+            registers_used=len(set(self.binding.values())),
+        )

@@ -1,0 +1,97 @@
+"""Register-class constraints on virtual registers (survey §2.1.3).
+
+"The microregister set is generally not homogeneous.  Allocating a
+variable to a certain register … determines which subset of
+microoperations can be applied to that variable."  This module collects,
+for every virtual register, the set of physical registers that satisfy
+*all* the class constraints imposed by the operations touching it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.machine.machine import MicroArchitecture
+from repro.machine.registers import GPR
+from repro.mir.operands import Reg
+from repro.mir.program import MicroProgram
+
+
+def collect_class_constraints(
+    program: MicroProgram, machine: MicroArchitecture
+) -> dict[Reg, set[str]]:
+    """Class tags each virtual register must satisfy (may be empty)."""
+    constraints: dict[Reg, set[str]] = {}
+    for block in program.blocks.values():
+        for op in block.ops:
+            # Use the intersection over variants: a constraint matters
+            # only if *every* variant imposes it, otherwise the
+            # composer can pick an unconstrained variant.
+            variants = machine.op_variants(op.op)
+            if op.dest is not None and op.dest.virtual:
+                classes = {v.dest_class for v in variants}
+                constraints.setdefault(op.dest, set())
+                if None not in classes:
+                    constraints[op.dest].update(c for c in classes if c)
+            register_index = 0
+            for src in op.srcs:
+                if not isinstance(src, Reg):
+                    continue
+                if src.virtual:
+                    classes = {v.src_class(register_index) for v in variants}
+                    constraints.setdefault(src, set())
+                    if None not in classes:
+                        constraints[src].update(c for c in classes if c)
+                register_index += 1
+    return constraints
+
+
+def used_physical_registers(program: MicroProgram) -> set[str]:
+    """Physical registers the program references directly.
+
+    Programs mixing symbolic variables with explicit physical registers
+    (hand-written kernels, legalization temps inside bound programs)
+    must not have those registers handed out to virtuals — the
+    allocators exclude them wholesale, which is coarse but sound.
+    """
+    used: set[str] = set()
+    for block in program.blocks.values():
+        for op in block.ops:
+            used.update(r.name for r in op.regs() if not r.virtual)
+    return used
+
+
+def allowed_registers(
+    program: MicroProgram, machine: MicroArchitecture
+) -> dict[Reg, list[str]]:
+    """Physical candidates per virtual register, constraint-filtered.
+
+    Raises :class:`AllocationError` if some virtual register has no
+    satisfying physical register at all.
+    """
+    constraints = collect_class_constraints(program, machine)
+    reserved = used_physical_registers(program)
+    pool = [
+        r for r in machine.registers.allocatable(GPR)
+        if r.name not in reserved
+    ]
+    result: dict[Reg, list[str]] = {}
+    for virtual, classes in constraints.items():
+        candidates = [
+            r.name for r in pool
+            if all(r.is_in(cls) for cls in classes)
+        ]
+        # Restart-safety temporaries (see repro.lang.common.restart)
+        # must live in microregisters: a macro-visible register would
+        # survive the trap and defeat the idempotence transform.
+        if virtual.name.startswith("_rs"):
+            candidates = [
+                name for name in candidates
+                if not machine.registers[name].macro_visible
+            ]
+        if not candidates:
+            raise AllocationError(
+                f"no physical register satisfies classes {sorted(classes)} "
+                f"for variable {virtual}"
+            )
+        result[virtual] = candidates
+    return result

@@ -1,0 +1,217 @@
+"""Chaitin-style graph-colouring allocation.
+
+Builds a precise interference graph (a definition interferes with
+everything live just after it) and colours it by the classic
+simplify/select discipline, with class-constrained palettes per node
+and spill-and-retry when simplification blocks.  This is the
+"Kim & Tan [12] problem" allocator of experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.machine.machine import MicroArchitecture
+from repro.machine.registers import GPR
+from repro.mir.deps import op_reads, op_writes
+from repro.mir.liveness import analyze_liveness
+from repro.mir.operands import preg, vreg
+from repro.mir.program import MicroProgram
+from repro.regalloc.constraints import allowed_registers, used_physical_registers
+from repro.regalloc.intervals import live_intervals
+from repro.regalloc.linear_scan import N_SPILL_TEMPS, AllocationResult
+from repro.regalloc.spill import assign_slots, insert_spill_code
+
+
+def build_interference_graph(
+    program: MicroProgram, machine: MicroArchitecture
+) -> dict[str, set[str]]:
+    """Interference edges between virtual registers."""
+    liveness = analyze_liveness(program, machine)
+    graph: dict[str, set[str]] = {}
+
+    def node(name: str) -> set[str]:
+        return graph.setdefault(name, set())
+
+    def virtuals(resources: set[str]) -> set[str]:
+        return {r for r in resources if r.startswith("%")}
+
+    for block in program.blocks.values():
+        live = set(liveness.live_out[block.label])
+        for op in reversed(block.ops):
+            defs = virtuals(op_writes(op, machine))
+            uses = virtuals(op_reads(op, machine))
+            for defined in defs:
+                node(defined)
+                for other in virtuals(live) - {defined}:
+                    node(defined).add(other)
+                    node(other).add(defined)
+            live -= defs
+            live |= uses
+            for name in uses:
+                node(name)
+    return graph
+
+
+@dataclass
+class GraphColorAllocator:
+    """Simplify/select colouring with constrained palettes.
+
+    ``extra_interference`` adds artificial edges between virtual
+    registers (resource names, ``%v`` form).  The YALLL ``par``
+    extension uses this to keep the temporaries of declared-parallel
+    statements in distinct registers, so allocation cannot reintroduce
+    the resource dependences the programmer ruled out (survey §2.1.4).
+    """
+
+    register_limit: int | None = None
+    extra_interference: tuple[tuple[str, str], ...] = ()
+    name: str = "graph-color"
+
+    def allocate(
+        self, program: MicroProgram, machine: MicroArchitecture
+    ) -> AllocationResult:
+        result = AllocationResult(allocator=self.name)
+        temps: list[str] = []
+        for _round in range(64):
+            if not program.virtual_regs():
+                break
+            allowed = allowed_registers(program, machine)
+            for virtual in program.virtual_regs():
+                allowed.setdefault(
+                    virtual,
+                    [
+                        r.name
+                        for r in machine.registers.allocatable(GPR)
+                        if r.name not in used_physical_registers(program)
+                    ],
+                )
+            palettes = {
+                f"%{v.name}": self._restrict(candidates, temps)
+                for v, candidates in allowed.items()
+            }
+            for name, palette in palettes.items():
+                if not palette:
+                    raise AllocationError(f"empty palette for {name}")
+            graph = build_interference_graph(program, machine)
+            for name in palettes:
+                graph.setdefault(name, set())
+            for a, b in self.extra_interference:
+                if a in graph and b in graph and a != b:
+                    graph[a].add(b)
+                    graph[b].add(a)
+            # Drop live-at-exit ghosts no op touches (nothing to colour).
+            for name in [n for n in graph if n not in palettes]:
+                for neighbour in graph.pop(name):
+                    graph[neighbour].discard(name)
+            colouring, spill_names = self._colour(graph, palettes, program, machine)
+            if not spill_names:
+                mapping = {
+                    vreg(name[1:]): preg(colour)
+                    for name, colour in colouring.items()
+                }
+                program.rename_regs(mapping)
+                result.mapping.update(
+                    {name[1:]: colour for name, colour in colouring.items()}
+                )
+                result.registers_used = len(set(result.mapping.values())) + len(
+                    set(temps)
+                )
+                return result
+            if not temps:
+                reserved = used_physical_registers(program)
+                pool = self._restrict(
+                    [
+                        r.name
+                        for r in machine.registers.allocatable(GPR)
+                        if r.name not in reserved
+                    ],
+                    [],
+                )
+                temps = pool[-N_SPILL_TEMPS:]
+                if len(temps) < 2:
+                    raise AllocationError(
+                        "register pool too small even for spill temporaries"
+                    )
+            slots = assign_slots(
+                [name[1:] for name in spill_names],
+                result.spilled_slots,
+                machine.scratchpad_size,
+            )
+            spill = insert_spill_code(program, slots, temps)
+            result.spilled_slots.update(slots)
+            result.loads_inserted += spill.loads_inserted
+            result.stores_inserted += spill.stores_inserted
+        else:  # pragma: no cover - defensive
+            raise AllocationError("allocation did not converge")
+        result.registers_used = len(set(result.mapping.values())) + len(set(temps))
+        return result
+
+    def _restrict(self, candidates: list[str], temps: list[str]) -> list[str]:
+        limited = candidates
+        if self.register_limit is not None:
+            limited = limited[: self.register_limit]
+        return [r for r in limited if r not in temps]
+
+    def _colour(
+        self,
+        graph: dict[str, set[str]],
+        palettes: dict[str, list[str]],
+        program: MicroProgram,
+        machine: MicroArchitecture,
+    ) -> tuple[dict[str, str], list[str]]:
+        """Simplify/select; returns (colouring, spill candidates)."""
+        degrees = {name: len(neigh) for name, neigh in graph.items()}
+        removed: set[str] = set()
+        stack: list[str] = []
+        spilled: list[str] = []
+        uses = {
+            name: interval.uses
+            for name, interval in live_intervals(program, machine).items()
+        }
+        work = set(graph)
+        while work:
+            candidate = next(
+                (
+                    name
+                    for name in sorted(work)
+                    if degrees[name] < len(palettes[name])
+                ),
+                None,
+            )
+            if candidate is None:
+                # Potential spill: lowest use count per degree.
+                candidate = min(
+                    sorted(work),
+                    key=lambda n: (uses.get(n, 0) / (degrees[n] + 1), n),
+                )
+                spilled.append(candidate)
+                work.discard(candidate)
+                removed.add(candidate)
+                for neighbour in graph[candidate]:
+                    if neighbour not in removed:
+                        degrees[neighbour] -= 1
+                continue
+            stack.append(candidate)
+            work.discard(candidate)
+            removed.add(candidate)
+            for neighbour in graph[candidate]:
+                if neighbour not in removed:
+                    degrees[neighbour] -= 1
+        if spilled:
+            return {}, spilled
+        colouring: dict[str, str] = {}
+        for name in reversed(stack):
+            taken = {
+                colouring[neighbour]
+                for neighbour in graph[name]
+                if neighbour in colouring
+            }
+            choice = next(
+                (c for c in palettes[name] if c not in taken), None
+            )
+            if choice is None:
+                return {}, [name]
+            colouring[name] = choice
+        return colouring, []

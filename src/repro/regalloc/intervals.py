@@ -1,0 +1,87 @@
+"""Live intervals over a linearized program.
+
+Coarse (single-range) intervals for linear-scan allocation: blocks are
+laid out in insertion order, every op gets a global position, and each
+register's interval spans from its first to its last point of
+liveness.  Coarsening can only *add* interference, so allocation
+remains sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.machine import MicroArchitecture
+from repro.mir.deps import op_reads, op_writes, terminator_reads
+from repro.mir.liveness import Liveness, analyze_liveness
+from repro.mir.program import MicroProgram
+
+
+@dataclass
+class Interval:
+    """A register's live range in global positions (inclusive)."""
+
+    name: str
+    start: int
+    end: int
+    uses: int = 0
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+
+def _registers_only(resources: set[str]) -> set[str]:
+    return {
+        r for r in resources
+        if not r.startswith("flag:") and r not in ("mem", "interrupt")
+        and not r.startswith("scr:")
+    }
+
+
+def live_intervals(
+    program: MicroProgram,
+    machine: MicroArchitecture,
+    liveness: Liveness | None = None,
+    virtual_only: bool = True,
+) -> dict[str, Interval]:
+    """Compute (coarse) live intervals for registers in a program.
+
+    Returns intervals keyed by the register's resource name (``%v`` for
+    virtuals).  ``uses`` counts textual occurrences — the "access
+    frequency" insight §2.1.3 asks allocators to have.
+    """
+    liveness = liveness or analyze_liveness(program, machine)
+    base: dict[str, int] = {}
+    position = 0
+    for label, block in program.blocks.items():
+        base[label] = position
+        position += len(block.ops) + 1  # +1: terminator slot
+
+    intervals: dict[str, Interval] = {}
+
+    def touch(name: str, point: int, used: bool = False) -> None:
+        if virtual_only and not name.startswith("%"):
+            return
+        interval = intervals.get(name)
+        if interval is None:
+            intervals[name] = Interval(name, point, point, int(used))
+        else:
+            interval.start = min(interval.start, point)
+            interval.end = max(interval.end, point)
+            interval.uses += int(used)
+
+    for label, block in program.blocks.items():
+        block_base = base[label]
+        for name in _registers_only(liveness.live_in[label]):
+            touch(name, block_base)
+        for name in _registers_only(liveness.live_out[label]):
+            touch(name, block_base + len(block.ops))
+        for index, op in enumerate(block.ops):
+            point = block_base + index
+            for name in _registers_only(op_reads(op, machine)):
+                touch(name, point, used=True)
+            for name in _registers_only(op_writes(op, machine)):
+                touch(name, point, used=True)
+        for name in _registers_only(terminator_reads(block, machine)):
+            touch(name, block_base + len(block.ops), used=True)
+    return intervals

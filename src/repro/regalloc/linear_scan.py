@@ -1,0 +1,187 @@
+"""Linear-scan register allocation with class constraints and spilling.
+
+The allocator the EMPL and YALLL front ends use by default.  Two
+register-selection strategies exist because allocation and composition
+interact (survey §2.1.4, experiment E14):
+
+* ``"reuse"`` — always pick the first free candidate, aggressively
+  recycling registers.  Minimizes register pressure but maximizes the
+  anti/output dependences that block parallel packing.
+* ``"round-robin"`` — rotate through the candidates, spreading values
+  across the file.  Uses more registers but introduces fewer false
+  dependences, so composition packs tighter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.machine.machine import MicroArchitecture
+from repro.machine.registers import GPR
+from repro.mir.operands import Reg, preg, vreg
+from repro.mir.program import MicroProgram
+from repro.regalloc.constraints import allowed_registers, used_physical_registers
+from repro.regalloc.intervals import Interval, live_intervals
+from repro.regalloc.spill import assign_slots, insert_spill_code
+
+#: Number of physical registers reserved as spill staging temporaries.
+N_SPILL_TEMPS = 3
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of register allocation over one program."""
+
+    allocator: str
+    mapping: dict[str, str] = field(default_factory=dict)
+    spilled_slots: dict[str, int] = field(default_factory=dict)
+    loads_inserted: int = 0
+    stores_inserted: int = 0
+    registers_used: int = 0
+
+    @property
+    def n_spilled(self) -> int:
+        return len(self.spilled_slots)
+
+
+@dataclass
+class LinearScanAllocator:
+    """Classic linear scan over coarse intervals.
+
+    Attributes:
+        strategy: ``"reuse"`` or ``"round-robin"`` (see module docs).
+        register_limit: Optional cap on the physical pool size, used by
+            experiment E8 to sweep register-file sizes (16 … 256).
+    """
+
+    strategy: str = "reuse"
+    register_limit: int | None = None
+    name: str = "linear-scan"
+
+    def allocate(
+        self, program: MicroProgram, machine: MicroArchitecture
+    ) -> AllocationResult:
+        """Allocate all virtual registers of ``program`` in place."""
+        result = AllocationResult(allocator=self.name)
+        rotation = 0
+        temps: list[str] = []
+        for _round in range(64):
+            virtuals = program.virtual_regs()
+            if not virtuals:
+                break
+            allowed = allowed_registers(program, machine)
+            for virtual in virtuals:
+                allowed.setdefault(
+                    virtual,
+                    [
+                        r.name
+                        for r in machine.registers.allocatable(GPR)
+                        if r.name not in used_physical_registers(program)
+                    ],
+                )
+            if self.register_limit is not None or temps:
+                allowed = {
+                    v: self._restrict(candidates, temps)
+                    for v, candidates in allowed.items()
+                }
+                for v, candidates in allowed.items():
+                    if not candidates:
+                        raise AllocationError(
+                            f"register pool exhausted for {v} "
+                            f"(limit {self.register_limit})"
+                        )
+            intervals = live_intervals(program, machine)
+            mapping, to_spill = self._scan(intervals, allowed, rotation)
+            if not to_spill:
+                reg_mapping = {
+                    vreg(name[1:]): preg(target) for name, target in mapping.items()
+                }
+                program.rename_regs(reg_mapping)
+                result.mapping.update(
+                    {name[1:]: target for name, target in mapping.items()}
+                )
+                result.registers_used = len(set(result.mapping.values())) + len(
+                    set(temps)
+                )
+                return result
+            # Reserve temporaries once spilling starts, then rewrite.
+            if not temps:
+                reserved = used_physical_registers(program)
+                pool = [
+                    r.name for r in machine.registers.allocatable(GPR)
+                    if r.name not in reserved
+                ]
+                pool = self._restrict(pool, [])
+                temps = pool[-N_SPILL_TEMPS:]
+                if len(temps) < 2:
+                    raise AllocationError(
+                        "register pool too small even for spill temporaries"
+                    )
+            slots = assign_slots(
+                [name[1:] for name in to_spill],
+                result.spilled_slots,
+                machine.scratchpad_size,
+            )
+            spill = insert_spill_code(program, slots, temps)
+            result.spilled_slots.update(slots)
+            result.loads_inserted += spill.loads_inserted
+            result.stores_inserted += spill.stores_inserted
+        else:  # pragma: no cover - defensive
+            raise AllocationError("allocation did not converge")
+        result.registers_used = len(set(result.mapping.values())) + len(set(temps))
+        return result
+
+    # ------------------------------------------------------------------
+    def _restrict(self, candidates: list[str], temps: list[str]) -> list[str]:
+        limited = candidates
+        if self.register_limit is not None:
+            limited = limited[: self.register_limit]
+        return [r for r in limited if r not in temps]
+
+    def _scan(
+        self,
+        intervals: dict[str, Interval],
+        allowed: dict,
+        rotation: int,
+    ) -> tuple[dict[str, str], list[str]]:
+        """One linear-scan pass: returns (mapping, names to spill)."""
+        order = sorted(intervals.values(), key=lambda i: (i.start, i.end))
+        active: list[tuple[Interval, str]] = []
+        mapping: dict[str, str] = {}
+        to_spill: list[str] = []
+        counter = rotation
+        for interval in order:
+            active = [(a, r) for a, r in active if a.end >= interval.start]
+            in_use = {r for _a, r in active}
+            virtual = vreg(interval.name[1:])
+            if virtual not in allowed:
+                # Live-at-exit ghost that no op ever touches (e.g. an
+                # unused EMPL global): nothing to allocate.
+                continue
+            candidates = [c for c in allowed[virtual] if c not in in_use]
+            if candidates:
+                if self.strategy == "round-robin":
+                    choice = candidates[counter % len(candidates)]
+                    counter += 1
+                else:
+                    choice = candidates[0]
+                mapping[interval.name] = choice
+                active.append((interval, choice))
+                continue
+            # Spill heuristic: evict the conflicting interval with the
+            # furthest end (Poletto/Sarkar), unless the current one
+            # ends even later.
+            conflicting = [
+                (a, r) for a, r in active if r in set(allowed[virtual])
+            ]
+            victim = max(conflicting, key=lambda pair: pair[0].end, default=None)
+            if victim is not None and victim[0].end > interval.end:
+                to_spill.append(victim[0].name)
+                mapping[interval.name] = victim[1]
+                mapping.pop(victim[0].name, None)
+                active.remove(victim)
+                active.append((interval, victim[1]))
+            else:
+                to_spill.append(interval.name)
+        return mapping, to_spill

@@ -1,0 +1,139 @@
+"""Spill-code insertion: virtual registers → scratchpad slots.
+
+"Temporarily storing variables in a reserved area of main memory will
+sometimes be unavoidable, but should be done in such a way that the
+number of fetches and stores is minimized" (§2.1.3).  Spilled
+variables live in scratchpad slots; every use loads into a reserved
+temporary register just before the op and every definition stores right
+after it.  The inserted ``ldscr``/``stscr`` counts are the metric
+experiment E8 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.mir.operands import Imm, Reg, preg
+from repro.mir.ops import MicroOp, mop
+from repro.mir.program import MicroProgram
+
+
+@dataclass
+class SpillResult:
+    """Bookkeeping from one spill-rewrite pass."""
+
+    slots: dict[str, int] = field(default_factory=dict)
+    loads_inserted: int = 0
+    stores_inserted: int = 0
+
+
+def insert_spill_code(
+    program: MicroProgram,
+    spilled: dict[str, int],
+    temp_registers: list[str],
+) -> SpillResult:
+    """Rewrite a program in place, spilling the given virtuals.
+
+    ``spilled`` maps virtual register *names* to scratchpad slots;
+    ``temp_registers`` are physical registers reserved for staging.
+    """
+    result = SpillResult(slots=dict(spilled))
+    for block in program.blocks.values():
+        new_ops: list[MicroOp] = []
+        for op in block.ops:
+            assigned: dict[str, str] = {}
+            # A temp must not collide with physical registers already in
+            # the op (e.g. temps substituted by an earlier spill round).
+            occupied = {r.name for r in op.regs() if not r.virtual}
+            free = [t for t in temp_registers if t not in occupied]
+
+            def temp_for(name: str) -> str:
+                if name in assigned:
+                    return assigned[name]
+                if not free:
+                    raise AllocationError(
+                        f"not enough spill temporaries for {op}"
+                    )
+                assigned[name] = free.pop(0)
+                return assigned[name]
+
+            # Loads for spilled sources.
+            new_srcs = []
+            for src in op.srcs:
+                if isinstance(src, Reg) and src.virtual and src.name in spilled:
+                    already = src.name in assigned
+                    register = temp_for(src.name)
+                    if not already:
+                        new_ops.append(
+                            mop("ldscr", preg(register), Imm(spilled[src.name]))
+                        )
+                        result.loads_inserted += 1
+                    new_srcs.append(preg(register))
+                else:
+                    new_srcs.append(src)
+            # Destination.
+            new_dest = op.dest
+            store_after: tuple[str, int] | None = None
+            if (
+                op.dest is not None
+                and op.dest.virtual
+                and op.dest.name in spilled
+            ):
+                register = temp_for(op.dest.name)
+                new_dest = preg(register)
+                store_after = (register, spilled[op.dest.name])
+            new_ops.append(op.with_operands(new_dest, tuple(new_srcs)))
+            if store_after is not None:
+                new_ops.append(
+                    mop("stscr", None, preg(store_after[0]), Imm(store_after[1]))
+                )
+                result.stores_inserted += 1
+        block.ops = new_ops
+        _spill_terminator(block, spilled, temp_registers, result)
+    return result
+
+
+def _spill_terminator(
+    block,
+    spilled: dict[str, int],
+    temp_registers: list[str],
+    result: SpillResult,
+) -> None:
+    """Reload a spilled register that the block terminator reads."""
+    from dataclasses import replace
+    from repro.mir.block import Exit, Multiway
+
+    terminator = block.terminator
+    reg = None
+    if isinstance(terminator, Exit):
+        reg = terminator.value
+    elif isinstance(terminator, Multiway):
+        reg = terminator.reg
+    if reg is None or not reg.virtual or reg.name not in spilled:
+        return
+    temp = preg(temp_registers[0])
+    block.ops.append(mop("ldscr", temp, Imm(spilled[reg.name])))
+    result.loads_inserted += 1
+    if isinstance(terminator, Exit):
+        block.terminator = replace(terminator, value=temp)
+    else:
+        block.terminator = replace(terminator, reg=temp)
+
+
+def assign_slots(
+    names: list[str], taken: dict[str, int], scratchpad_size: int
+) -> dict[str, int]:
+    """Assign fresh scratchpad slots to newly spilled names."""
+    used = set(taken.values())
+    slots: dict[str, int] = {}
+    cursor = 0
+    for name in names:
+        while cursor in used:
+            cursor += 1
+        if cursor >= scratchpad_size:
+            raise AllocationError("scratchpad exhausted by spills")
+        slots[name] = cursor
+        used.add(cursor)
+        cursor += 1
+    return slots

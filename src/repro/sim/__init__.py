@@ -1,0 +1,17 @@
+"""Microarchitecture simulator (survey substrate S7)."""
+
+from repro.sim.memory import MainMemory, Scratchpad
+from repro.sim.semantics import STATEFUL_OPS, condition_holds, evaluate
+from repro.sim.simulator import RunResult, Simulator
+from repro.sim.state import MachineState
+
+__all__ = [
+    "MachineState",
+    "MainMemory",
+    "RunResult",
+    "STATEFUL_OPS",
+    "Scratchpad",
+    "Simulator",
+    "condition_holds",
+    "evaluate",
+]

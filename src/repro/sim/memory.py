@@ -1,0 +1,96 @@
+"""Main memory and scratchpad local store.
+
+Main memory supports demand paging so that the survey's §2.1.5
+microtrap scenario is executable: with paging enabled, touching an
+unmapped page raises a :class:`~repro.errors.MicroTrap`, which the
+simulator services by (re)mapping the page and *restarting the
+microprogram from its entry* — exactly the semantics under which the
+``incread`` double-increment bug manifests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MicroTrap, SimulationError
+
+
+@dataclass
+class MainMemory:
+    """Word-addressed main memory with optional demand paging."""
+
+    size: int = 65536
+    page_size: int = 256
+    paging_enabled: bool = False
+    _words: dict[int, int] = field(default_factory=dict)
+    _mapped: set[int] = field(default_factory=set)
+    #: Counters for benchmark reporting.
+    reads: int = 0
+    writes: int = 0
+    faults: int = 0
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.size:
+            raise SimulationError(f"memory address {address} out of range")
+        if self.paging_enabled:
+            page = address // self.page_size
+            if page not in self._mapped:
+                self.faults += 1
+                raise MicroTrap("pagefault", f"page {page} (address {address})")
+
+    def read(self, address: int) -> int:
+        self._check(address)
+        self.reads += 1
+        return self._words.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        self._check(address)
+        self.writes += 1
+        self._words[address] = value
+
+    # -- paging control (used by trap services and tests) ---------------
+    def map_page(self, page: int) -> None:
+        self._mapped.add(page)
+
+    def unmap_page(self, page: int) -> None:
+        self._mapped.discard(page)
+
+    def map_address(self, address: int) -> None:
+        self.map_page(address // self.page_size)
+
+    def is_mapped(self, address: int) -> bool:
+        return not self.paging_enabled or (address // self.page_size) in self._mapped
+
+    # -- bulk helpers -----------------------------------------------------
+    def load_words(self, base: int, values: list[int]) -> None:
+        """Poke a block of words, bypassing paging (loader-style)."""
+        for offset, value in enumerate(values):
+            if not 0 <= base + offset < self.size:
+                raise SimulationError("load_words out of range")
+            self._words[base + offset] = value
+
+    def dump_words(self, base: int, count: int) -> list[int]:
+        """Peek a block of words, bypassing paging."""
+        return [self._words.get(base + offset, 0) for offset in range(count)]
+
+
+@dataclass
+class Scratchpad:
+    """Small, fast, always-mapped local store (spill target)."""
+
+    size: int = 256
+    _words: dict[int, int] = field(default_factory=dict)
+    reads: int = 0
+    writes: int = 0
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < self.size:
+            raise SimulationError(f"scratchpad address {address} out of range")
+        self.reads += 1
+        return self._words.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < self.size:
+            raise SimulationError(f"scratchpad address {address} out of range")
+        self.writes += 1
+        self._words[address] = value

@@ -1,0 +1,164 @@
+"""Datapath semantics: what each micro-operation computes.
+
+Pure integer functions at a given bit width, shared by the simulator
+and by the verification subsystem's bounded checker (so a verified
+property means exactly what the simulator executes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Result of evaluating one micro-operation on the datapath."""
+
+    value: int | None
+    flags: dict[str, int]
+
+
+def _flags_zn(value: int, width: int) -> dict[str, int]:
+    return {
+        "Z": int(value == 0),
+        "N": (value >> (width - 1)) & 1,
+    }
+
+
+def evaluate(
+    op: str,
+    srcs: list[int],
+    width: int,
+    dest_old: int = 0,
+    carry_in: int = 0,
+) -> OpResult:
+    """Evaluate a datapath op; raises for ops without pure semantics.
+
+    ``dest_old`` feeds read-modify-write ops (``dep``); ``carry_in``
+    feeds ``adc``.
+    """
+    mask = (1 << width) - 1
+
+    if op in ("add", "adc", "sub", "cmp"):
+        a = srcs[0] & mask
+        if op == "sub" or op == "cmp":
+            b = (~srcs[1]) & mask
+            carry = 1
+        else:
+            b = srcs[1] & mask
+            carry = carry_in if op == "adc" else 0
+        total = a + b + carry
+        value = total & mask
+        flags = _flags_zn(value, width)
+        flags["C"] = int(total > mask)
+        return OpResult(None if op == "cmp" else value, flags)
+
+    if op in ("and", "or", "xor", "nand", "nor"):
+        a, b = srcs[0] & mask, srcs[1] & mask
+        value = {
+            "and": a & b,
+            "or": a | b,
+            "xor": a ^ b,
+            "nand": (~(a & b)) & mask,
+            "nor": (~(a | b)) & mask,
+        }[op]
+        return OpResult(value, _flags_zn(value, width))
+
+    if op in ("inc", "dec", "not", "neg"):
+        a = srcs[0] & mask
+        if op == "inc":
+            total = a + 1
+            value = total & mask
+            flags = _flags_zn(value, width)
+            flags["C"] = int(total > mask)
+            return OpResult(value, flags)
+        if op == "dec":
+            total = a + mask  # a - 1 in two's complement
+            value = total & mask
+            flags = _flags_zn(value, width)
+            flags["C"] = int(total > mask)
+            return OpResult(value, flags)
+        value = ((~a) & mask) if op == "not" else ((-a) & mask)
+        return OpResult(value, _flags_zn(value, width))
+
+    if op in ("shl", "shr", "sar", "rol", "ror"):
+        a = srcs[0] & mask
+        count = srcs[1] if len(srcs) > 1 else 1
+        if count < 0:
+            raise SimulationError(f"{op}: negative shift count {count}")
+        count = min(count, width) if op in ("shl", "shr", "sar") else count % max(width, 1)
+        underflow = 0
+        if op == "shl":
+            for _ in range(count):
+                underflow = (a >> (width - 1)) & 1
+                a = (a << 1) & mask
+        elif op == "shr":
+            for _ in range(count):
+                underflow = a & 1
+                a >>= 1
+        elif op == "sar":
+            sign = a >> (width - 1)
+            for _ in range(count):
+                underflow = a & 1
+                a = (a >> 1) | (sign << (width - 1))
+        elif op == "rol":
+            for _ in range(count):
+                top = (a >> (width - 1)) & 1
+                a = ((a << 1) & mask) | top
+                underflow = top
+        else:  # ror
+            for _ in range(count):
+                bottom = a & 1
+                a = (a >> 1) | (bottom << (width - 1))
+                underflow = bottom
+        flags = _flags_zn(a, width)
+        flags["UF"] = underflow
+        return OpResult(a, flags)
+
+    if op == "ext":
+        src, position, field_width = srcs[0] & mask, srcs[1], srcs[2]
+        value = (src >> position) & ((1 << field_width) - 1)
+        return OpResult(value, {"Z": int(value == 0)})
+
+    if op == "dep":
+        src, position, field_width = srcs[0] & mask, srcs[1], srcs[2]
+        field_mask = ((1 << field_width) - 1) << position
+        value = (dest_old & ~field_mask & mask) | ((src << position) & field_mask)
+        return OpResult(value & mask, {})
+
+    if op == "mul":
+        value = (srcs[0] * srcs[1]) & mask
+        return OpResult(value, _flags_zn(value, width))
+
+    if op in ("mov", "movi"):
+        value = srcs[0] & mask
+        return OpResult(value, {})
+
+    raise SimulationError(f"op {op!r} has no pure datapath semantics")
+
+
+#: Ops the simulator handles itself (state-touching, not pure).
+STATEFUL_OPS = frozenset(
+    {"read", "write", "ldscr", "stscr", "setblk", "poll", "nop"}
+)
+
+
+def condition_holds(cond: str, flags: dict[str, int]) -> bool:
+    """Evaluate a branch condition against the flag register."""
+    table = {
+        "TRUE": True,
+        "Z": flags.get("Z", 0) == 1,
+        "NZ": flags.get("Z", 0) == 0,
+        "N": flags.get("N", 0) == 1,
+        "NN": flags.get("N", 0) == 0,
+        "C": flags.get("C", 0) == 1,
+        "NC": flags.get("C", 0) == 0,
+        "UF": flags.get("UF", 0) == 1,
+        "NUF": flags.get("UF", 0) == 0,
+    }
+    try:
+        return table[cond]
+    except KeyError:
+        raise SimulationError(f"unknown condition {cond!r}") from None

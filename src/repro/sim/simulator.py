@@ -1,0 +1,322 @@
+"""Phase-accurate microarchitecture simulator (survey substrate S7).
+
+Executes assembled microprograms from a control store.  Within one
+microinstruction, operations are grouped by microcycle phase; all
+operands of a phase are read against the state as it stood when the
+phase began, and writes commit at phase end — so phase chaining
+(S*'s ``cocycle``) and same-phase parallel semantics (reads before
+writes) both behave the way the composition layer assumes.
+
+Microtraps follow the survey's §2.1.5 model: the trap aborts the
+microprogram, the service routine runs (e.g. mapping the faulted
+page), *macro-visible* registers are saved and restored — i.e. they
+keep their values — while microregisters revert to their values at
+microprogram entry, and the program restarts from its entry point.
+Interrupts are only honoured at explicit ``poll`` micro-operations,
+and the time a pending interrupt waits for the next poll is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.asm.loader import ControlStore, ResidentProgram
+from repro.compose.base import MicroInstruction, PlacedOp
+from repro.errors import MicroTrap, SimulationError
+from repro.machine.machine import MicroArchitecture
+from repro.mir.block import (
+    Branch,
+    Call,
+    Exit,
+    Fallthrough,
+    Jump,
+    Multiway,
+    Ret,
+)
+from repro.mir.operands import Imm, Reg
+from repro.sim.semantics import STATEFUL_OPS, condition_holds, evaluate
+from repro.sim.state import MachineState
+
+#: Signature of an interrupt handler: receives the machine state.
+InterruptHandler = Callable[[MachineState], None]
+#: Signature of a trap service routine: receives state and the trap.
+TrapService = Callable[[MachineState, MicroTrap], None]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    cycles: int
+    instructions: int
+    traps: int
+    interrupts_serviced: int
+    interrupt_wait_cycles: int
+    exit_value: int | None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.instructions} MIs in {self.cycles} cycles"
+            f" ({self.traps} traps, {self.interrupts_serviced} interrupts)"
+        )
+
+
+@dataclass
+class Simulator:
+    """Drives a :class:`MachineState` over a :class:`ControlStore`.
+
+    Attributes:
+        trap_service_cycles: Cycle cost charged per serviced microtrap.
+        interrupt_service_cycles: Cycle cost charged per serviced
+            interrupt.
+        interrupt_every: If set, an external interrupt is raised every
+            N cycles (a crude I/O device model for experiment E9/E10).
+        max_traps: Abort threshold against non-converging fault loops.
+    """
+
+    machine: MicroArchitecture
+    store: ControlStore
+    state: MachineState = None  # type: ignore[assignment]
+    interrupt_handler: InterruptHandler | None = None
+    trap_service: TrapService | None = None
+    trap_service_cycles: int = 50
+    interrupt_service_cycles: int = 20
+    interrupt_every: int | None = None
+    max_traps: int = 1000
+    trace: list[str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.state is None:
+            self.state = MachineState(self.machine)
+
+    # ------------------------------------------------------------------
+    def load_constants(self, resident: ResidentProgram) -> None:
+        """Poke a resident program's constant pool into the ROM slots."""
+        for name, value in resident.program.constants.items():
+            self.state.poke_reg(name, value)
+
+    def run(
+        self,
+        program_name: str,
+        max_cycles: int = 1_000_000,
+    ) -> RunResult:
+        """Run a resident program from its entry until EXIT.
+
+        Returns a :class:`RunResult`; raises on runaway executions and
+        unserviceable traps.
+        """
+        resident = self.store.find(program_name)
+        self.load_constants(resident)
+        state = self.state
+        state.upc = resident.entry
+        state.halted = False
+        state.exit_value = None
+        state.micro_stack.clear()
+
+        entry_snapshot = state.snapshot_registers()
+        instructions = 0
+        traps = 0
+        interrupts = 0
+        wait_cycles = 0
+        pending_since: int | None = None
+        start_cycles = state.cycles
+
+        while not state.halted:
+            if state.cycles - start_cycles > max_cycles:
+                raise SimulationError(
+                    f"{program_name}: exceeded {max_cycles} cycles"
+                )
+            if (
+                self.interrupt_every
+                and not state.interrupt_pending
+                and state.cycles > 0
+                and (state.cycles // self.interrupt_every)
+                > ((state.cycles - 1) // self.interrupt_every)
+            ):
+                state.interrupt_pending = True
+            if state.interrupt_pending and pending_since is None:
+                pending_since = state.cycles
+
+            loaded = self.store.fetch(state.upc)
+            instruction = loaded.instruction
+            if self.trace is not None:
+                self.trace.append(f"{state.cycles:6d} {state.upc:04d} {instruction}")
+            try:
+                serviced = self._execute_instruction(instruction)
+            except MicroTrap as trap:
+                traps += 1
+                if traps > self.max_traps:
+                    raise SimulationError(
+                        f"{program_name}: more than {self.max_traps} traps"
+                    ) from trap
+                self._service_trap(trap, entry_snapshot)
+                state.upc = resident.entry
+                state.micro_stack.clear()
+                state.cycles += self.trap_service_cycles
+                continue
+            if serviced:
+                interrupts += 1
+                if pending_since is not None:
+                    wait_cycles += state.cycles - pending_since
+                    pending_since = None
+                state.cycles += self.interrupt_service_cycles
+            state.cycles += instruction.cycles(self.machine)
+            instructions += 1
+            # Sequencing needs the *absolute* control-store address:
+            # loaded.address is relative to the program's base.
+            self._sequence(instruction, state.upc, resident)
+
+        return RunResult(
+            cycles=state.cycles - start_cycles,
+            instructions=instructions,
+            traps=traps,
+            interrupts_serviced=interrupts,
+            interrupt_wait_cycles=wait_cycles,
+            exit_value=state.exit_value,
+        )
+
+    # ------------------------------------------------------------------
+    def _service_trap(
+        self, trap: MicroTrap, entry_snapshot: dict[str, int]
+    ) -> None:
+        """§2.1.5 restart semantics: macro-visible registers survive,
+        microregisters revert to their values at microprogram entry."""
+        state = self.state
+        macro_values = {
+            register.name: state.registers[register.name]
+            for register in self.machine.registers.macro_visible()
+        }
+        state.restore_registers(entry_snapshot)
+        state.registers.update(macro_values)
+        if self.trap_service is None:
+            raise SimulationError(
+                f"unserviced {trap}"
+            ) from trap
+        self.trap_service(state, trap)
+
+    # ------------------------------------------------------------------
+    def _execute_instruction(self, instruction: MicroInstruction) -> bool:
+        """Execute all placed ops phase by phase.
+
+        Returns True if a pending interrupt was serviced by a ``poll``.
+        """
+        state = self.state
+        serviced = False
+        by_phase: dict[int, list[PlacedOp]] = {}
+        for placed in instruction.placed:
+            by_phase.setdefault(placed.phase(self.machine), []).append(placed)
+
+        for phase in sorted(by_phase):
+            reg_writes: list[tuple[str, int]] = []
+            flag_writes: dict[str, int] = {}
+            memory_ops: list[Callable[[], None]] = []
+            for placed in by_phase[phase]:
+                op = placed.op
+                name = op.op
+                src_values = [
+                    state.read_reg(s.name) if isinstance(s, Reg) else s.value
+                    for s in op.srcs
+                ]
+                if name == "nop":
+                    continue
+                if name == "poll":
+                    if state.interrupt_pending and self.interrupt_handler:
+                        self.interrupt_handler(state)
+                        state.interrupt_pending = False
+                        serviced = True
+                    continue
+                if name == "read":
+                    value = state.memory.read(src_values[0])
+                    reg_writes.append((op.dest.name, value))
+                    continue
+                if name == "write":
+                    address, data = src_values[0], src_values[1]
+                    memory_ops.append(
+                        lambda a=address, d=data: state.memory.write(a, d)
+                    )
+                    # Touch now so pagefaults surface at the op, not at
+                    # commit (write-allocate check).
+                    if not state.memory.is_mapped(address):
+                        state.memory.write(address, data)
+                    continue
+                if name == "ldscr":
+                    value = state.scratchpad.read(src_values[0])
+                    reg_writes.append((op.dest.name, value))
+                    continue
+                if name == "stscr":
+                    value, address = src_values[0], src_values[1]
+                    memory_ops.append(
+                        lambda a=address, v=value: state.scratchpad.write(a, v)
+                    )
+                    continue
+                if name == "setblk":
+                    pointer = self.machine.registers.bank_pointer
+                    if pointer is None:
+                        raise SimulationError("setblk on unbanked machine")
+                    reg_writes.append((pointer, src_values[0]))
+                    continue
+                dest_old = state.read_reg(op.dest.name) if op.dest else 0
+                result = evaluate(
+                    name,
+                    src_values,
+                    self.machine.word_size,
+                    dest_old=dest_old,
+                    carry_in=state.flags.get("C", 0),
+                )
+                if result.value is not None and op.dest is not None:
+                    reg_writes.append((op.dest.name, result.value))
+                flag_writes.update(result.flags)
+            # Commit phase: all reads above saw the phase-entry state.
+            for name, value in reg_writes:
+                state.write_reg(name, value)
+            for action in memory_ops:
+                action()
+            state.flags.update(flag_writes)
+        return serviced
+
+    # ------------------------------------------------------------------
+    def _sequence(
+        self,
+        instruction: MicroInstruction,
+        address: int,
+        resident: ResidentProgram,
+    ) -> None:
+        """Advance the microprogram counter per the terminator."""
+        state = self.state
+        terminator = instruction.terminator
+
+        def resolve(label: str) -> int:
+            return resident.base + resident.program.labels[label]
+
+        if terminator is None:
+            state.upc = address + 1
+            return
+        if isinstance(terminator, Fallthrough) or isinstance(terminator, Jump):
+            state.upc = resolve(terminator.target)
+            return
+        if isinstance(terminator, Branch):
+            taken = condition_holds(terminator.cond, state.flags)
+            state.upc = resolve(terminator.target if taken else terminator.otherwise)
+            return
+        if isinstance(terminator, Multiway):
+            value = state.read_reg(terminator.reg.name)
+            for case in terminator.cases:
+                if case.matches(value):
+                    state.upc = resolve(case.target)
+                    return
+            state.upc = resolve(terminator.default)
+            return
+        if isinstance(terminator, Call):
+            state.push_return(resolve(terminator.next))
+            state.upc = resident.base + resident.program.procedures[terminator.proc]
+            return
+        if isinstance(terminator, Ret):
+            state.upc = state.pop_return()
+            return
+        if isinstance(terminator, Exit):
+            state.halted = True
+            if terminator.value is not None:
+                state.exit_value = state.read_reg(terminator.value.name)
+            return
+        raise SimulationError(f"unknown terminator {terminator!r}")

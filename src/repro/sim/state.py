@@ -1,0 +1,86 @@
+"""Machine state: registers, flags, memories, microsequencer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.machine.machine import MicroArchitecture
+from repro.sim.memory import MainMemory, Scratchpad
+
+
+@dataclass
+class MachineState:
+    """The complete dynamic state of a simulated machine."""
+
+    machine: MicroArchitecture
+    memory: MainMemory = field(default_factory=MainMemory)
+    registers: dict[str, int] = field(default_factory=dict)
+    flags: dict[str, int] = field(default_factory=dict)
+    scratchpad: Scratchpad | None = None
+    upc: int = 0
+    micro_stack: list[int] = field(default_factory=list)
+    interrupt_pending: bool = False
+    halted: bool = False
+    exit_value: int | None = None
+    cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scratchpad is None:
+            self.scratchpad = Scratchpad(self.machine.scratchpad_size)
+        self.reset_registers()
+
+    def reset_registers(self) -> None:
+        """Power-on register and flag values."""
+        self.registers = {
+            register.name: register.reset for register in self.machine.registers
+        }
+        self.flags = {flag: 0 for flag in self.machine.flags}
+
+    # -- register access (resolves banked windows) -----------------------
+    def _resolve(self, name: str) -> str:
+        files = self.machine.registers
+        if files.is_window(name):
+            pointer = files.bank_pointer
+            if pointer is None:
+                raise SimulationError(f"window {name!r} but no bank pointer")
+            return files.resolve_window(name, self.registers[pointer])
+        return name
+
+    def read_reg(self, name: str) -> int:
+        physical = self._resolve(name)
+        try:
+            return self.registers[physical]
+        except KeyError:
+            raise SimulationError(f"unknown register {name!r}") from None
+
+    def write_reg(self, name: str, value: int) -> None:
+        physical = self._resolve(name)
+        register = self.machine.registers[physical]
+        if register.readonly:
+            raise SimulationError(f"write to read-only register {name!r}")
+        self.registers[physical] = value & register.mask
+
+    def poke_reg(self, name: str, value: int) -> None:
+        """Loader-level register write (allowed on constant ROM)."""
+        register = self.machine.registers[name]
+        self.registers[name] = value & register.mask
+
+    def snapshot_registers(self) -> dict[str, int]:
+        return dict(self.registers)
+
+    def restore_registers(self, snapshot: dict[str, int]) -> None:
+        self.registers = dict(snapshot)
+
+    # -- stack --------------------------------------------------------------
+    def push_return(self, address: int) -> None:
+        if len(self.micro_stack) >= self.machine.micro_stack_depth:
+            raise SimulationError(
+                f"micro stack overflow (depth {self.machine.micro_stack_depth})"
+            )
+        self.micro_stack.append(address)
+
+    def pop_return(self) -> int:
+        if not self.micro_stack:
+            raise SimulationError("micro stack underflow")
+        return self.micro_stack.pop()

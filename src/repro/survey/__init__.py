@@ -1,0 +1,28 @@
+"""The survey as data (substrate S13): language records and matrix."""
+
+from repro.survey.languages import (
+    LANGUAGES,
+    Goal,
+    Implementation,
+    LanguageRecord,
+    ParallelismModel,
+    Primitives,
+    VariableModel,
+    by_name,
+    survey_counts,
+)
+from repro.survey.matrix import render_conclusions, render_matrix
+
+__all__ = [
+    "Goal",
+    "Implementation",
+    "LANGUAGES",
+    "LanguageRecord",
+    "ParallelismModel",
+    "Primitives",
+    "VariableModel",
+    "by_name",
+    "render_conclusions",
+    "render_matrix",
+    "survey_counts",
+]

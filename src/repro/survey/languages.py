@@ -1,0 +1,270 @@
+"""The survey's ten languages as machine-readable records.
+
+Every row of the comparison matrix (experiment E12) and every count the
+survey's conclusions quote ("eight allow complete sequential
+specification", "only two or three allow … symbolic variables", "no
+language allows the passing of parameters") is derived from these
+records rather than hard-coded — the survey itself becomes a generated
+artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Goal(Enum):
+    """§2.1.1's two purposes of a high level microlanguage."""
+
+    CONVENIENCE = "relieve programmer of low-level detail"
+    CORRECTNESS = "reduce the chance of errors"
+    BOTH = "both, convenience-leaning"
+
+
+class Primitives(Enum):
+    """§2.1.2's spectrum of primitive operations."""
+
+    FIXED_SET = "fixed set of language operators"
+    EXTENSIBLE = "small set plus user-declared operators"
+    MACHINE_SCHEMA = "elementary statements from the machine (schema)"
+    MACHINE_SPECIFIC = "exactly the target machine's microoperations"
+    LOW_LEVEL_COMMON = "commonly available microinstructions"
+
+
+class VariableModel(Enum):
+    """§2.1.3: are variables machine registers?"""
+
+    REGISTERS = "variables are (bound to) machine registers"
+    SYMBOLIC = "symbolic variables, compiler allocates"
+    MOSTLY_SYMBOLIC = "symbolic except dedicated registers (mar/mbr)"
+
+
+class ParallelismModel(Enum):
+    """§2.1.4: implicit or explicit parallelism?"""
+
+    IMPLICIT = "sequential source, compiler composes"
+    EXPLICIT = "programmer composes microinstructions"
+
+
+class Implementation(Enum):
+    """§2.1.8: implementation status as the survey reports it."""
+
+    FULL = "compiler completed"
+    PARTIAL = "partially implemented"
+    TWO_MACHINES = "implemented on two machines"
+    NONE = "not implemented"
+
+
+@dataclass(frozen=True)
+class LanguageRecord:
+    """One surveyed language along the eight design issues."""
+
+    name: str
+    year: int
+    reference: str
+    section: str
+    goal: Goal
+    primitives: Primitives
+    variables: VariableModel
+    parallelism: ParallelismModel
+    handles_interrupts: bool
+    control_structure: str
+    data_structuring: str
+    implementation: Implementation
+    verification: bool = False
+    parameter_passing: bool = False
+    in_toolkit: bool = False
+    notes: str = ""
+
+
+#: The ten languages, in the survey's order of treatment.
+LANGUAGES: tuple[LanguageRecord, ...] = (
+    LanguageRecord(
+        name="SIMPL",
+        year=1974,
+        reference="Ramamoorthy & Tsuchiya [18]",
+        section="2.2.1",
+        goal=Goal.CONVENIENCE,
+        primitives=Primitives.FIXED_SET,
+        variables=VariableModel.REGISTERS,
+        parallelism=ParallelismModel.IMPLICIT,
+        handles_interrupts=False,
+        control_structure="ALGOL-like; if/while/for/case; no goto",
+        data_structuring="none (integers only)",
+        implementation=Implementation.FULL,
+        in_toolkit=True,
+        notes="single identity principle; first compiler to horizontal code",
+    ),
+    LanguageRecord(
+        name="EMPL",
+        year=1976,
+        reference="DeWitt [8]",
+        section="2.2.2",
+        goal=Goal.BOTH,
+        primitives=Primitives.EXTENSIBLE,
+        variables=VariableModel.SYMBOLIC,
+        parallelism=ParallelismModel.IMPLICIT,
+        handles_interrupts=False,
+        control_structure="PL/I-like; if/while/goto; no case",
+        data_structuring="extension types (SIMULA-class-like)",
+        implementation=Implementation.PARTIAL,
+        in_toolkit=True,
+        notes="MICROOP escape keeps machine independence with efficiency",
+    ),
+    LanguageRecord(
+        name="S*",
+        year=1978,
+        reference="Dasgupta [4]",
+        section="2.2.3",
+        goal=Goal.CORRECTNESS,
+        primitives=Primitives.MACHINE_SCHEMA,
+        variables=VariableModel.REGISTERS,
+        parallelism=ParallelismModel.EXPLICIT,
+        handles_interrupts=False,
+        control_structure="Pascal-like; cascaded if; while/repeat; cobegin/cocycle/dur/region",
+        data_structuring="seq/array/tuple/stack over bits",
+        implementation=Implementation.NONE,
+        verification=True,
+        in_toolkit=True,
+        notes="language schema instantiated per machine as S(M)",
+    ),
+    LanguageRecord(
+        name="YALLL",
+        year=1979,
+        reference="Patterson, Lew & Tuck [16]",
+        section="2.2.4",
+        goal=Goal.CONVENIENCE,
+        primitives=Primitives.LOW_LEVEL_COMMON,
+        variables=VariableModel.MOSTLY_SYMBOLIC,
+        parallelism=ParallelismModel.IMPLICIT,
+        handles_interrupts=False,
+        control_structure="assembly-like; cond/uncond jump; multiway mask branch; call/ret/exit",
+        data_structuring="none; five constant forms incl. masks",
+        implementation=Implementation.TWO_MACHINES,
+        in_toolkit=True,
+        notes="HP300 back end far outperformed the undocumented VAX-11",
+    ),
+    LanguageRecord(
+        name="MPL",
+        year=1971,
+        reference="Eckhouse [10]",
+        section="2.2.5",
+        goal=Goal.CONVENIENCE,
+        primitives=Primitives.FIXED_SET,
+        variables=VariableModel.REGISTERS,
+        parallelism=ParallelismModel.IMPLICIT,
+        handles_interrupts=False,
+        control_structure="SIMPL-like",
+        data_structuring="1-D arrays; virtual registers by concatenation",
+        implementation=Implementation.PARTIAL,
+        in_toolkit=True,
+        notes="earliest effort; targeted a vertical machine",
+    ),
+    LanguageRecord(
+        name="Strum",
+        year=1976,
+        reference="Patterson [17]",
+        section="2.2.5",
+        goal=Goal.CORRECTNESS,
+        primitives=Primitives.MACHINE_SPECIFIC,
+        variables=VariableModel.REGISTERS,
+        parallelism=ParallelismModel.IMPLICIT,
+        handles_interrupts=False,
+        control_structure="structured, proof-carrying",
+        data_structuring="Burroughs D-machine types",
+        implementation=Implementation.FULL,
+        verification=True,
+        notes="assertions checked by an automatic verifier; non-optimizing compiler",
+    ),
+    LanguageRecord(
+        name="MPGL",
+        year=1977,
+        reference="Baba [1]",
+        section="2.2.5",
+        goal=Goal.CONVENIENCE,
+        primitives=Primitives.MACHINE_SPECIFIC,
+        variables=VariableModel.REGISTERS,
+        parallelism=ParallelismModel.IMPLICIT,
+        handles_interrupts=False,
+        control_structure="poor structuring; explicit control-store placement",
+        data_structuring="machine specification is part of the program",
+        implementation=Implementation.FULL,
+        notes="code size within 15% of hand-written microprograms",
+    ),
+    LanguageRecord(
+        name="Malik-Lewis",
+        year=1978,
+        reference="Malik & Lewis [14]",
+        section="2.2.5",
+        goal=Goal.CONVENIENCE,
+        primitives=Primitives.EXTENSIBLE,
+        variables=VariableModel.SYMBOLIC,
+        parallelism=ParallelismModel.IMPLICIT,
+        handles_interrupts=False,
+        control_structure="emulator-oriented",
+        data_structuring="declarable registers and stacks of the emulated machine",
+        implementation=Implementation.NONE,
+        notes="design over implementation; efficiency doubtful",
+    ),
+    LanguageRecord(
+        name="CHAMIL",
+        year=1980,
+        reference="Weidner [23]",
+        section="2.2.5",
+        goal=Goal.BOTH,
+        primitives=Primitives.MACHINE_SPECIFIC,
+        variables=VariableModel.REGISTERS,
+        parallelism=ParallelismModel.EXPLICIT,
+        handles_interrupts=False,
+        control_structure="Pascal-based, adequate",
+        data_structuring="adequate (Pascal-based)",
+        implementation=Implementation.FULL,
+        notes="datapath abstraction: reg_a := reg_b legal if a path exists",
+    ),
+    LanguageRecord(
+        name="PL/MP",
+        year=1978,
+        reference="Tan [20], Kim & Tan [12] (IBM)",
+        section="2.2.5",
+        goal=Goal.CONVENIENCE,
+        primitives=Primitives.FIXED_SET,
+        variables=VariableModel.SYMBOLIC,
+        parallelism=ParallelismModel.IMPLICIT,
+        handles_interrupts=False,
+        control_structure="PL/I subset",
+        data_structuring="PL/I subset",
+        implementation=Implementation.PARTIAL,
+        notes="register assignment algorithms published; little else known",
+    ),
+)
+
+
+def by_name(name: str) -> LanguageRecord:
+    """Look a surveyed language up by name (case-insensitive)."""
+    for record in LANGUAGES:
+        if record.name.lower() == name.lower():
+            return record
+    raise KeyError(name)
+
+
+def survey_counts() -> dict[str, int]:
+    """The quantitative claims of the survey's conclusions (§3)."""
+    return {
+        "languages": len(LANGUAGES),
+        "sequential_specification": sum(
+            1 for r in LANGUAGES if r.parallelism is ParallelismModel.IMPLICIT
+        ),
+        "explicit_composition": sum(
+            1 for r in LANGUAGES if r.parallelism is ParallelismModel.EXPLICIT
+        ),
+        "symbolic_variables": sum(
+            1 for r in LANGUAGES
+            if r.variables in (VariableModel.SYMBOLIC,
+                               VariableModel.MOSTLY_SYMBOLIC)
+        ),
+        "parameter_passing": sum(1 for r in LANGUAGES if r.parameter_passing),
+        "interrupt_handling": sum(1 for r in LANGUAGES if r.handles_interrupts),
+        "with_verification": sum(1 for r in LANGUAGES if r.verification),
+        "implemented_in_toolkit": sum(1 for r in LANGUAGES if r.in_toolkit),
+    }

@@ -1,0 +1,57 @@
+"""Renders the survey's language × design-issue comparison matrix."""
+
+from __future__ import annotations
+
+from repro.survey.languages import LANGUAGES, LanguageRecord, survey_counts
+
+#: (column header, extractor) pairs for the matrix.
+_COLUMNS = [
+    ("Language", lambda r: r.name),
+    ("Year", lambda r: str(r.year)),
+    ("Goal", lambda r: r.goal.name.lower()),
+    ("Primitives", lambda r: r.primitives.name.lower().replace("_", "-")),
+    ("Variables", lambda r: r.variables.name.lower().replace("_", "-")),
+    ("Parallelism", lambda r: r.parallelism.name.lower()),
+    ("Interrupts", lambda r: "yes" if r.handles_interrupts else "no"),
+    ("Verification", lambda r: "yes" if r.verification else "no"),
+    ("Implementation", lambda r: r.implementation.name.lower().replace("_", " ")),
+    ("In toolkit", lambda r: "yes" if r.in_toolkit else "no"),
+]
+
+
+def render_matrix(records: tuple[LanguageRecord, ...] = LANGUAGES) -> str:
+    """The comparison matrix as an aligned text table."""
+    headers = [name for name, _ in _COLUMNS]
+    rows = [[extract(record) for _, extract in _COLUMNS] for record in records]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    out = [line(headers), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def render_conclusions() -> str:
+    """The survey's §3 counts, regenerated from the records."""
+    counts = survey_counts()
+    return "\n".join(
+        [
+            f"{counts['languages']} languages surveyed",
+            f"{counts['sequential_specification']} allow complete sequential "
+            f"specification; {counts['explicit_composition']} leave "
+            f"composition to the programmer",
+            f"{counts['symbolic_variables']} allow symbolic variables "
+            f"instead of physical registers",
+            f"{counts['parameter_passing']} allow passing parameters to "
+            f"subroutines",
+            f"{counts['interrupt_handling']} address interrupt/trap handling",
+            f"{counts['with_verification']} integrate program verification",
+            f"{counts['implemented_in_toolkit']} fully implemented in this "
+            f"toolkit (SIMPL, EMPL, S*, YALLL, MPL)",
+        ]
+    )

@@ -1,0 +1,59 @@
+"""Verification subsystem (survey substrate S12): S*/Strum-style
+pre-/postcondition proofs over microprograms, with a bounded checker.
+"""
+
+from repro.verify.checker import BoundedChecker, CheckResult, VerificationReport
+from repro.verify.expr import (
+    TRUE,
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    Expr,
+    Not,
+    UnOp,
+    Var,
+    conj,
+    implies,
+)
+from repro.verify.hoare import (
+    VAssert,
+    VAssign,
+    VIf,
+    VParallel,
+    VSeq,
+    VStmt,
+    VWhile,
+    VerificationCondition,
+    generate_vcs,
+    weakest_precondition,
+)
+from repro.verify.parser import parse_assertion
+
+__all__ = [
+    "BinOp",
+    "BoolOp",
+    "BoundedChecker",
+    "CheckResult",
+    "Compare",
+    "Const",
+    "Expr",
+    "Not",
+    "TRUE",
+    "UnOp",
+    "VAssert",
+    "VAssign",
+    "VIf",
+    "VParallel",
+    "VSeq",
+    "VStmt",
+    "VWhile",
+    "Var",
+    "VerificationCondition",
+    "VerificationReport",
+    "conj",
+    "generate_vcs",
+    "implies",
+    "parse_assertion",
+    "weakest_precondition",
+]

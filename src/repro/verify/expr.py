@@ -1,0 +1,229 @@
+"""Bitvector expression language for verification conditions.
+
+The assertion language of the S*/Strum verification subsystem (survey
+§2.2.3, §2.2.5): fixed-width bitvector terms with arithmetic, logic
+and shifts, plus boolean connectives for conditions.  Widths matter —
+the survey's own example is the S* increment rule, whose instantiation
+must account for overflow at 16 bits.
+
+Expressions are immutable; ``evaluate`` interprets them against an
+environment, ``substitute`` implements the assignment rule of the
+weakest-precondition calculus, and ``variables`` feeds the bounded
+checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VerificationError
+
+
+class Expr:
+    """Base class for bitvector/boolean expressions."""
+
+    def evaluate(self, env: dict[str, int], width: int) -> int:
+        raise NotImplementedError
+
+    def substitute(self, mapping: dict[str, "Expr"]) -> "Expr":
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        raise NotImplementedError
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A program variable (bitvector at the ambient width)."""
+
+    name: str
+
+    def evaluate(self, env: dict[str, int], width: int) -> int:
+        try:
+            return env[self.name] & _mask(width)
+        except KeyError:
+            raise VerificationError(f"unbound variable {self.name!r}") from None
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return mapping.get(self.name, self)
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+    def evaluate(self, env: dict[str, int], width: int) -> int:
+        return self.value & _mask(width)
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return self
+
+    def variables(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Bitvector binary operation (wraps at the ambient width)."""
+
+    op: str  # + - * & | ^ << >>
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: dict[str, int], width: int) -> int:
+        a = self.left.evaluate(env, width)
+        b = self.right.evaluate(env, width)
+        mask = _mask(width)
+        if self.op == "+":
+            return (a + b) & mask
+        if self.op == "-":
+            return (a - b) & mask
+        if self.op == "*":
+            return (a * b) & mask
+        if self.op == "&":
+            return a & b
+        if self.op == "|":
+            return a | b
+        if self.op == "^":
+            return a ^ b
+        if self.op == "<<":
+            return (a << b) & mask if b < width else 0
+        if self.op == ">>":
+            return a >> b if b < width else 0
+        raise VerificationError(f"unknown operator {self.op!r}")
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return BinOp(self.op, self.left.substitute(mapping),
+                     self.right.substitute(mapping))
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Bitvector unary operation."""
+
+    op: str  # ~ (complement) | - (negate)
+    operand: Expr
+
+    def evaluate(self, env: dict[str, int], width: int) -> int:
+        value = self.operand.evaluate(env, width)
+        mask = _mask(width)
+        return (~value) & mask if self.op == "~" else (-value) & mask
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return UnOp(self.op, self.operand.substitute(mapping))
+
+    def variables(self) -> set[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """Comparison yielding a boolean (0/1)."""
+
+    op: str  # = # < <= > >=
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: dict[str, int], width: int) -> int:
+        a = self.left.evaluate(env, width)
+        b = self.right.evaluate(env, width)
+        result = {
+            "=": a == b, "#": a != b, "<": a < b,
+            "<=": a <= b, ">": a > b, ">=": a >= b,
+        }[self.op]
+        return int(result)
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return Compare(self.op, self.left.substitute(mapping),
+                       self.right.substitute(mapping))
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """Boolean connective over conditions."""
+
+    op: str  # and | or | implies
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: dict[str, int], width: int) -> int:
+        a = bool(self.left.evaluate(env, width))
+        if self.op == "and":
+            return int(a and bool(self.right.evaluate(env, width)))
+        if self.op == "or":
+            return int(a or bool(self.right.evaluate(env, width)))
+        if self.op == "implies":
+            return int((not a) or bool(self.right.evaluate(env, width)))
+        raise VerificationError(f"unknown connective {self.op!r}")
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return BoolOp(self.op, self.left.substitute(mapping),
+                      self.right.substitute(mapping))
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, env: dict[str, int], width: int) -> int:
+        return int(not self.operand.evaluate(env, width))
+
+    def substitute(self, mapping: dict[str, Expr]) -> Expr:
+        return Not(self.operand.substitute(mapping))
+
+    def variables(self) -> set[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+#: The trivially true condition.
+TRUE = Const(1)
+
+
+def implies(antecedent: Expr, consequent: Expr) -> Expr:
+    """Convenience constructor for implications."""
+    return BoolOp("implies", antecedent, consequent)
+
+
+def conj(*terms: Expr) -> Expr:
+    """Conjunction of conditions (TRUE when empty)."""
+    result: Expr | None = None
+    for term in terms:
+        result = term if result is None else BoolOp("and", result, term)
+    return result if result is not None else TRUE

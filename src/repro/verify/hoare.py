@@ -1,0 +1,165 @@
+"""Weakest-precondition calculus over verification statements.
+
+The S*/Strum verification model (survey §2.2.3, §2.2.5): programs are
+developed together with pre-/postconditions, and an automatic verifier
+checks the resulting verification conditions.  This module generates
+the VCs; ``repro.verify.checker`` discharges them.
+
+The statement language is deliberately the *verification view* of S*
+programs: single-operator assignments, sequences, parallel assignment
+(``cobegin`` — simultaneous substitution, which is exactly what makes
+``cobegin x := y; y := x coend`` a swap), conditionals, and loops with
+invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import VerificationError
+from repro.verify.expr import Expr, Not, TRUE, conj, implies
+
+
+@dataclass(frozen=True)
+class VAssign:
+    """``target := expr`` at the verification level."""
+
+    target: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class VParallel:
+    """``cobegin a1; …; an coend`` — simultaneous assignments."""
+
+    assigns: tuple[VAssign, ...]
+
+    def __post_init__(self) -> None:
+        targets = [a.target for a in self.assigns]
+        if len(set(targets)) != len(targets):
+            raise VerificationError(
+                f"parallel assignment writes a target twice: {targets}"
+            )
+
+
+@dataclass(frozen=True)
+class VSeq:
+    body: tuple["VStmt", ...]
+
+
+@dataclass(frozen=True)
+class VIf:
+    """Cascaded conditional (S*'s if-elif-fi)."""
+
+    arms: tuple[tuple[Expr, "VStmt"], ...]
+    otherwise: "VStmt | None" = None
+
+
+@dataclass(frozen=True)
+class VWhile:
+    """``while t do S`` with a loop invariant."""
+
+    condition: Expr
+    invariant: Expr
+    body: "VStmt" = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class VAssert:
+    condition: Expr
+
+
+VStmt = VAssign | VParallel | VSeq | VIf | VWhile | VAssert
+
+
+@dataclass
+class VerificationCondition:
+    """One proof obligation: ``hypothesis implies goal``."""
+
+    description: str
+    formula: Expr
+
+    def __str__(self) -> str:
+        return f"{self.description}: {self.formula}"
+
+
+def weakest_precondition(
+    statement: VStmt,
+    post: Expr,
+    conditions: list[VerificationCondition],
+    context: str = "",
+) -> Expr:
+    """wp(statement, post); side obligations are appended.
+
+    Loops contribute their invariant-preservation and exit obligations
+    to ``conditions`` and return the invariant as their precondition
+    (the classical total-correctness-less treatment; termination is
+    out of scope, as it was for Strum's verifier).
+    """
+    if isinstance(statement, VAssign):
+        return post.substitute({statement.target: statement.expr})
+    if isinstance(statement, VParallel):
+        mapping = {a.target: a.expr for a in statement.assigns}
+        return post.substitute(mapping)
+    if isinstance(statement, VSeq):
+        current = post
+        for child in reversed(statement.body):
+            current = weakest_precondition(child, current, conditions, context)
+        return current
+    if isinstance(statement, VIf):
+        # wp(if t1 S1 elif t2 S2 ... else Sn fi, Q) =
+        #   (t1 -> wp(S1,Q)) and (!t1 and t2 -> wp(S2,Q)) and ...
+        terms = []
+        negations: list[Expr] = []
+        for test, body in statement.arms:
+            body_wp = weakest_precondition(body, post, conditions, context)
+            guard = conj(*negations, test)
+            terms.append(implies(guard, body_wp))
+            negations.append(Not(test))
+        fallthrough = (
+            weakest_precondition(statement.otherwise, post, conditions, context)
+            if statement.otherwise is not None
+            else post
+        )
+        terms.append(implies(conj(*negations), fallthrough))
+        return conj(*terms)
+    if isinstance(statement, VWhile):
+        invariant = statement.invariant
+        body_wp = weakest_precondition(
+            statement.body, invariant, conditions, context
+        )
+        conditions.append(
+            VerificationCondition(
+                f"{context}loop invariant preserved",
+                implies(conj(invariant, statement.condition), body_wp),
+            )
+        )
+        conditions.append(
+            VerificationCondition(
+                f"{context}loop exit establishes postcondition",
+                implies(conj(invariant, Not(statement.condition)), post),
+            )
+        )
+        return invariant
+    if isinstance(statement, VAssert):
+        # {P} assert C {Q}: P must imply C, and C may strengthen Q's proof.
+        return conj(statement.condition, post)
+    raise VerificationError(f"unknown statement {statement!r}")
+
+
+def generate_vcs(
+    pre: Expr,
+    statement: VStmt,
+    post: Expr,
+    context: str = "",
+) -> list[VerificationCondition]:
+    """All proof obligations for the Hoare triple {pre} S {post}."""
+    conditions: list[VerificationCondition] = []
+    precondition = weakest_precondition(statement, post, conditions, context)
+    conditions.insert(
+        0,
+        VerificationCondition(
+            f"{context}precondition establishes wp", implies(pre, precondition)
+        ),
+    )
+    return conditions

@@ -1,0 +1,153 @@
+"""Parser for assertion expressions.
+
+Used by S* programs' ``assert``/``pre:``/``post:``/``invariant:``
+annotations.  Precedence, loosest first: ``implies`` < ``or`` < ``and``
+< ``not`` < comparison < ``| ^`` < ``&`` < ``+ -`` < ``<< >>`` < ``*``
+< unary ``- ~``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.common.lexer import Lexer, LexerSpec, TokenStream
+from repro.verify.expr import (
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    Expr,
+    Not,
+    UnOp,
+    Var,
+)
+
+_SPEC = LexerSpec(
+    patterns=[
+        (None, r"\s+"),
+        ("NUMBER", r"0x[0-9a-fA-F]+|0b[01]+|[0-9]+"),
+        ("IDENT", r"[A-Za-z_][A-Za-z0-9_$.]*"),
+        ("SHL", r"<<"), ("SHR", r">>"),
+        ("LE", r"<="), ("GE", r">="),
+        ("NEQ", r"#|!="), ("EQUALS", r"="),
+        ("LT", r"<"), ("GT", r">"),
+        ("PLUS", r"\+"), ("MINUS", r"-"), ("STAR", r"\*"),
+        ("AMP", r"&"), ("PIPE", r"\|"), ("CARET", r"\^"),
+        ("TILDE", r"~"),
+        ("LPAREN", r"\("), ("RPAREN", r"\)"),
+    ],
+    keywords={"and", "or", "not", "implies", "true", "false"},
+    keywords_case_insensitive=True,
+)
+
+_LEXER = Lexer(_SPEC)
+
+
+def parse_assertion(text: str) -> Expr:
+    """Parse an assertion string into an :class:`Expr`."""
+    tokens = _LEXER.tokenize(text)
+    expr = _implies(tokens)
+    if not tokens.at_end():
+        raise ParseError(
+            f"trailing input in assertion: {tokens.current.value!r}",
+            tokens.current.line,
+            tokens.current.column,
+        )
+    return expr
+
+
+def _implies(tokens: TokenStream) -> Expr:
+    left = _or(tokens)
+    if tokens.accept("IMPLIES"):
+        return BoolOp("implies", left, _implies(tokens))  # right associative
+    return left
+
+
+def _or(tokens: TokenStream) -> Expr:
+    left = _and(tokens)
+    while tokens.accept("OR"):
+        left = BoolOp("or", left, _and(tokens))
+    return left
+
+
+def _and(tokens: TokenStream) -> Expr:
+    left = _not(tokens)
+    while tokens.accept("AND"):
+        left = BoolOp("and", left, _not(tokens))
+    return left
+
+
+def _not(tokens: TokenStream) -> Expr:
+    if tokens.accept("NOT"):
+        return Not(_not(tokens))
+    return _comparison(tokens)
+
+
+_RELOPS = {"EQUALS": "=", "NEQ": "#", "LT": "<", "LE": "<=", "GT": ">", "GE": ">="}
+
+
+def _comparison(tokens: TokenStream) -> Expr:
+    left = _bitor(tokens)
+    if tokens.current.type in _RELOPS:
+        op = _RELOPS[tokens.advance().type]
+        return Compare(op, left, _bitor(tokens))
+    return left
+
+
+def _bitor(tokens: TokenStream) -> Expr:
+    left = _bitand(tokens)
+    while tokens.at("PIPE", "CARET"):
+        op = "|" if tokens.advance().type == "PIPE" else "^"
+        left = BinOp(op, left, _bitand(tokens))
+    return left
+
+
+def _bitand(tokens: TokenStream) -> Expr:
+    left = _additive(tokens)
+    while tokens.accept("AMP"):
+        left = BinOp("&", left, _additive(tokens))
+    return left
+
+
+def _additive(tokens: TokenStream) -> Expr:
+    left = _shift(tokens)
+    while tokens.at("PLUS", "MINUS"):
+        op = "+" if tokens.advance().type == "PLUS" else "-"
+        left = BinOp(op, left, _shift(tokens))
+    return left
+
+
+def _shift(tokens: TokenStream) -> Expr:
+    left = _multiplicative(tokens)
+    while tokens.at("SHL", "SHR"):
+        op = "<<" if tokens.advance().type == "SHL" else ">>"
+        left = BinOp(op, left, _multiplicative(tokens))
+    return left
+
+
+def _multiplicative(tokens: TokenStream) -> Expr:
+    left = _unary(tokens)
+    while tokens.accept("STAR"):
+        left = BinOp("*", left, _unary(tokens))
+    return left
+
+
+def _unary(tokens: TokenStream) -> Expr:
+    if tokens.accept("MINUS"):
+        return UnOp("-", _unary(tokens))
+    if tokens.accept("TILDE"):
+        return UnOp("~", _unary(tokens))
+    return _primary(tokens)
+
+
+def _primary(tokens: TokenStream) -> Expr:
+    if tokens.accept("LPAREN"):
+        inner = _implies(tokens)
+        tokens.expect("RPAREN")
+        return inner
+    if tokens.at("NUMBER"):
+        return Const(int(tokens.advance().value, 0))
+    if tokens.accept("TRUE"):
+        return Const(1)
+    if tokens.accept("FALSE"):
+        return Const(0)
+    return Var(tokens.expect("IDENT").value)

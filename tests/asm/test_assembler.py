@@ -1,0 +1,200 @@
+"""Assembler: layout, sequencing encodings, fixups, round trips."""
+
+import pytest
+
+from repro.asm import ControlStore, assemble
+from repro.compose import ListScheduler, SequentialComposer, compose_program
+from repro.errors import AssemblerError
+from repro.mir import (
+    Branch,
+    Jump,
+    MaskCase,
+    Multiway,
+    ProgramBuilder,
+    mop,
+    preg,
+)
+
+
+def build_branchy(hm1, then_adjacent=True):
+    b = ProgramBuilder("t", hm1)
+    b.start_block("entry")
+    b.emit(mop("cmp", None, preg("R1"), preg("R2")))
+    if then_adjacent:
+        b.terminate(Branch("Z", "yes", "no"))
+        b.start_block("no")
+        b.exit()
+        b.start_block("yes")
+        b.exit()
+    else:
+        b.terminate(Branch("Z", "yes", "no"))
+        b.start_block("mid")
+        b.exit()
+        b.start_block("yes")
+        b.exit()
+        b.start_block("no")
+        b.exit()
+    return b.finish()
+
+
+def load(program, machine, composer=None):
+    composed = compose_program(program, machine, composer or SequentialComposer())
+    return assemble(composed, machine)
+
+
+class TestLayout:
+    def test_consecutive_addresses(self, hm1):
+        loaded = load(build_branchy(hm1), hm1)
+        addresses = [w.address for w in loaded.words]
+        assert addresses == list(range(len(loaded.words)))
+
+    def test_labels_resolve(self, hm1):
+        loaded = load(build_branchy(hm1), hm1)
+        assert loaded.labels["entry"] == 0
+        assert loaded.entry == 0
+        assert set(loaded.labels) == {"entry", "no", "yes"}
+
+    def test_control_store_size_enforced(self, hm1):
+        b = ProgramBuilder("big", hm1)
+        b.start_block("a")
+        for _ in range(hm1.control_store_size + 1):
+            b.emit(mop("nop"))
+        b.exit()
+        with pytest.raises(AssemblerError):
+            load(b.finish(), hm1)
+
+
+class TestSequencing:
+    def test_adjacent_branch_single_word(self, hm1):
+        loaded = load(build_branchy(hm1, then_adjacent=True), hm1)
+        entry_last = loaded.words[loaded.labels["entry"]]
+        assert entry_last.settings["br_mode"] == "BR"
+        assert entry_last.settings["br_cond"] == "Z"
+        assert entry_last.settings["br_addr"] == loaded.labels["yes"]
+
+    def test_inverted_branch_when_target_adjacent(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("entry")
+        b.emit(mop("cmp", None, preg("R1"), preg("R2")))
+        b.terminate(Branch("Z", "yes", "no"))
+        b.start_block("yes")   # target adjacent -> invert to NZ no
+        b.exit()
+        b.start_block("no")
+        b.exit()
+        loaded = load(b.finish(), hm1)
+        word = loaded.words[loaded.labels["entry"]]
+        assert word.settings["br_cond"] == "NZ"
+        assert word.settings["br_addr"] == loaded.labels["no"]
+
+    def test_nonadjacent_branch_gets_fixup_word(self, hm1):
+        program = build_branchy(hm1, then_adjacent=False)
+        loaded = load(program, hm1)
+        # entry block: one word (cmp + branch) followed by the fixup.
+        fixup = loaded.words[1]
+        assert fixup.settings["br_mode"] == "JUMP"
+        assert fixup.settings["br_addr"] == loaded.labels["no"]
+
+    def test_fallthrough_to_adjacent_is_next(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.emit(mop("nop"))
+        b.start_block("b")
+        b.exit()
+        loaded = load(b.finish(), hm1)
+        assert loaded.words[0].settings["br_mode"] == "NEXT"
+
+    def test_exit_value_recorded(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.exit(preg("R3"))
+        loaded = load(b.finish(), hm1)
+        assert loaded.exit_values[0] == "R3"
+
+    def test_multiway_requires_hardware(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("a")
+        b.terminate(Multiway(preg("T0"), (MaskCase("1", "b"),), "b"))
+        b.start_block("b")
+        b.exit()
+        with pytest.raises(AssemblerError):
+            load(b.finish(), vax)
+
+    def test_multiway_dispatch_table_recorded(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.terminate(Multiway(preg("R1"), (MaskCase("1", "b"),), "c"))
+        b.start_block("b")
+        b.exit()
+        b.start_block("c")
+        b.exit()
+        loaded = load(b.finish(), hm1)
+        register, cases, default = loaded.dispatch_tables[0]
+        assert register == "R1"
+        assert default == loaded.labels["c"]
+
+    def test_call_encodes_procedure_address(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("main")
+        b.declare_procedure("p", "pentry")
+        b.call("p")
+        b.exit()
+        b.start_block("pentry")
+        b.ret()
+        loaded = load(b.finish(), hm1)
+        call_word = loaded.words[0]
+        assert call_word.settings["br_mode"] == "CALL"
+        assert call_word.settings["br_addr"] == loaded.procedures["p"]
+
+
+class TestBits:
+    def test_words_pack_and_unpack(self, hm1):
+        loaded = load(build_branchy(hm1), hm1)
+        for word in loaded.words:
+            codes = hm1.control.unpack(word.word)
+            for name, value in word.settings.items():
+                expected = hm1.control[name].encode(value)
+                assert codes[name] == expected
+
+    def test_listing_contains_labels_and_hex(self, hm1):
+        loaded = load(build_branchy(hm1), hm1)
+        listing = loaded.listing(hm1)
+        assert "entry:" in listing and "yes:" in listing
+        assert "cmp R1, R2" in listing
+
+    def test_word_at_bounds(self, hm1):
+        loaded = load(build_branchy(hm1), hm1)
+        with pytest.raises(AssemblerError):
+            loaded.word_at(999)
+
+
+class TestControlStore:
+    def test_loads_at_consecutive_bases(self, hm1):
+        store = ControlStore(hm1)
+        first = store.load(load(build_branchy(hm1), hm1))
+        second_program = load(build_branchy(hm1), hm1)
+        second_program.name = "t2"
+        second = store.load(second_program)
+        assert second.base == first.base + len(first.program)
+
+    def test_overlap_rejected(self, hm1):
+        store = ControlStore(hm1)
+        store.load(load(build_branchy(hm1), hm1), base=0)
+        other = load(build_branchy(hm1), hm1)
+        other.name = "t2"
+        with pytest.raises(AssemblerError):
+            store.load(other, base=1)
+
+    def test_wrong_machine_rejected(self, hm1, vax):
+        loaded = load(build_branchy(hm1), hm1)
+        with pytest.raises(AssemblerError):
+            ControlStore(vax).load(loaded)
+
+    def test_fetch_and_find(self, hm1):
+        store = ControlStore(hm1)
+        resident = store.load(load(build_branchy(hm1), hm1), base=10)
+        assert store.find("t") is resident
+        assert store.fetch(10).address == 0
+        with pytest.raises(AssemblerError):
+            store.fetch(5)
+        with pytest.raises(AssemblerError):
+            store.find("ghost")

@@ -1,0 +1,63 @@
+"""Property: every assembled word unpacks back to its field settings.
+
+The packed control words are the artifact 1980 hardware would actually
+load; if packing were lossy or fields overlapped, decoded codes would
+disagree with the structured settings.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.bench.workloads import random_program
+from repro.compose import ListScheduler, compose_program
+from repro.machine.machines import build_hm1, build_hp300, build_vax, build_vm1
+from repro.regalloc import LinearScanAllocator
+
+MACHINES = {
+    "HM1": build_hm1(),
+    "HP300m": build_hp300(),
+    "VAXm": build_vax(),
+    "VM1": build_vm1(),
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    machine_name=st.sampled_from(sorted(MACHINES)),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_pack_unpack_roundtrip(machine_name, seed):
+    machine = MACHINES[machine_name]
+    program = random_program(
+        machine, n_blocks=2, ops_per_block=6, seed=seed, n_variables=5
+    )
+    LinearScanAllocator().allocate(program, machine)
+    composed = compose_program(program, machine, ListScheduler())
+    loaded = assemble(composed, machine)
+    for word in loaded.words:
+        codes = machine.control.unpack(word.word)
+        for name, value in word.settings.items():
+            assert codes[name] == machine.control[name].encode(value), (
+                machine_name, word.address, name
+            )
+        # Unset fields must be at their NOP codes.
+        for name, code in codes.items():
+            if name not in word.settings:
+                assert code == machine.control[name].nop_code
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    machine_name=st.sampled_from(sorted(MACHINES)),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_words_fit_declared_width(machine_name, seed):
+    machine = MACHINES[machine_name]
+    program = random_program(
+        machine, n_blocks=1, ops_per_block=8, seed=seed, n_variables=4
+    )
+    LinearScanAllocator().allocate(program, machine)
+    composed = compose_program(program, machine, ListScheduler())
+    loaded = assemble(composed, machine)
+    limit = 1 << machine.control.width
+    assert all(0 <= word.word < limit for word in loaded.words)

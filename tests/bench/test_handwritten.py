@@ -1,0 +1,94 @@
+"""Hand-written reference microprograms: correctness and quality."""
+
+import pytest
+
+from repro.bench import HAND_CORPUS, hand_compile, run_hand, run_program
+from repro.machine.machines import get_machine
+
+MACHINES = ["HM1", "HP300m", "VAXm"]
+
+
+@pytest.fixture(scope="module", params=MACHINES)
+def machine(request):
+    return get_machine(request.param)
+
+
+class TestCorrectness:
+    def test_translit(self, machine):
+        hand = hand_compile(HAND_CORPUS["translit"](machine), machine)
+        memory = {100 + i: v for i, v in enumerate([1, 2, 0])}
+        memory.update({200 + v: v + 10 for v in range(8)})
+        _, simulator = run_hand(hand, machine, {"str": 100, "tbl": 200},
+                                memory=memory)
+        assert simulator.state.memory.dump_words(100, 3) == [11, 12, 0]
+
+    def test_memcpy(self, machine):
+        hand = hand_compile(HAND_CORPUS["memcpy"](machine), machine)
+        memory = {300 + i: i + 1 for i in range(4)}
+        _, simulator = run_hand(
+            hand, machine, {"src": 300, "dst": 400, "n": 4}, memory=memory
+        )
+        assert simulator.state.memory.dump_words(400, 4) == [1, 2, 3, 4]
+
+    def test_checksum(self, machine):
+        hand = hand_compile(HAND_CORPUS["checksum"](machine), machine)
+        memory = {500 + i: v for i, v in enumerate([3, 5, 9])}
+        result, _ = run_hand(hand, machine, {"base": 500, "n": 3},
+                             memory=memory)
+        assert result.exit_value == 3 ^ 5 ^ 9
+
+    def test_bitcount(self, machine):
+        hand = hand_compile(HAND_CORPUS["bitcount"](machine), machine)
+        result, _ = run_hand(hand, machine, {"x": 0b11011})
+        assert result.exit_value == 4
+
+    def test_strcmp(self, machine):
+        hand = hand_compile(HAND_CORPUS["strcmp"](machine), machine)
+        memory = {600: 5, 601: 0, 700: 5, 701: 0}
+        result, _ = run_hand(hand, machine, {"a": 600, "b": 700},
+                             memory=memory)
+        assert result.exit_value == 0
+        hand2 = hand_compile(HAND_CORPUS["strcmp"](machine), machine)
+        memory[700] = 6
+        result, _ = run_hand(hand2, machine, {"a": 600, "b": 700},
+                             memory=memory)
+        assert result.exit_value == 1
+
+    def test_fib(self, machine):
+        hand = hand_compile(HAND_CORPUS["fib"](machine), machine)
+        result, _ = run_hand(hand, machine, {"n": 9})
+        assert result.exit_value == 34
+
+
+class TestQuality:
+    def test_hand_never_larger_than_compiled(self):
+        """E6's premise: expert code is the lower bound the compilers
+        chase (MPGL claimed to stay within 15% of it)."""
+        machine = get_machine("HM1")
+        for name, builder in HAND_CORPUS.items():
+            hand = hand_compile(builder(machine), machine)
+            compiled = run_program(name, machine, _inputs(name),
+                                   memory=_memory(name))
+            assert hand.n_instructions() <= len(
+                compiled.compile_result.loaded
+            ), name
+
+
+def _inputs(name):
+    return {
+        "translit": {"str": 100, "tbl": 200},
+        "memcpy": {"src": 300, "dst": 400, "n": 2},
+        "checksum": {"base": 500, "n": 2},
+        "bitcount": {"x": 3},
+        "strcmp": {"a": 600, "b": 700},
+        "fib": {"n": 3},
+    }[name]
+
+
+def _memory(name):
+    return {
+        "translit": {100: 1, 101: 0, **{200 + v: v for v in range(4)}},
+        "memcpy": {300: 1, 301: 2},
+        "checksum": {500: 1, 501: 2},
+        "strcmp": {600: 0, 700: 0},
+    }.get(name, {})

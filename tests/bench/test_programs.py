@@ -1,0 +1,109 @@
+"""The YALLL benchmark corpus runs correctly on every machine."""
+
+import pytest
+
+from repro.bench import CORPUS, run_program
+from repro.machine.machines import get_machine
+
+MACHINES = ["HM1", "HP300m", "VAXm", "VM1", "ID3200m"]
+
+
+@pytest.fixture(scope="module", params=MACHINES)
+def machine(request):
+    return get_machine(request.param)
+
+
+class TestCorpusCorrectness:
+    def test_translit(self, machine):
+        memory = {100 + i: v for i, v in enumerate([1, 2, 3, 0])}
+        memory.update({200 + v: v + 10 for v in range(16)})
+        run = run_program("translit", machine, {"str": 100, "tbl": 200},
+                          memory=memory)
+        data = run.simulator.state.memory.dump_words(100, 4)
+        assert data == [11, 12, 13, 0]
+
+    def test_memcpy(self, machine):
+        memory = {300 + i: i + 7 for i in range(5)}
+        run = run_program("memcpy", machine,
+                          {"src": 300, "dst": 400, "n": 5}, memory=memory)
+        copied = run.simulator.state.memory.dump_words(400, 5)
+        assert copied == [7, 8, 9, 10, 11]
+
+    def test_checksum(self, machine):
+        values = [3, 5, 7, 11, 13]
+        memory = {500 + i: v for i, v in enumerate(values)}
+        run = run_program("checksum", machine, {"base": 500, "n": 5},
+                          memory=memory)
+        expected = 0
+        for value in values:
+            expected ^= value
+        assert run.run_result.exit_value == expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (0, 0), (1, 1), (0b1011, 3), (0xFFFF, 16),
+    ])
+    def test_bitcount(self, machine, value, expected):
+        run = run_program("bitcount", machine, {"x": value})
+        assert run.run_result.exit_value == expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        ([5, 6, 0], [5, 6, 0], 0),
+        ([5, 6, 0], [5, 7, 0], 1),
+        ([5, 0], [5, 6, 0], 1),
+        ([0], [0], 0),
+    ])
+    def test_strcmp(self, machine, a, b, expected):
+        memory = {600 + i: v for i, v in enumerate(a)}
+        memory.update({700 + i: v for i, v in enumerate(b)})
+        run = run_program("strcmp", machine, {"a": 600, "b": 700},
+                          memory=memory)
+        assert run.run_result.exit_value == expected
+
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (7, 13), (10, 55)])
+    def test_fib(self, machine, n, expected):
+        run = run_program("fib", machine, {"n": n})
+        assert run.run_result.exit_value == expected
+
+
+class TestCorpusShape:
+    def test_unoptimized_never_smaller(self):
+        machine = get_machine("HM1")
+        for name in CORPUS:
+            fast = run_program(name, machine, _inputs(name), memory=_memory(name))
+            slow = run_program(name, machine, _inputs(name),
+                               memory=_memory(name), optimize=False)
+            assert len(slow.compile_result.loaded) >= len(
+                fast.compile_result.loaded
+            ), name
+
+    def test_vax_code_larger_than_hp(self):
+        hp = get_machine("HP300m")
+        vax = get_machine("VAXm")
+        for name in CORPUS:
+            hp_run = run_program(name, hp, _inputs(name), memory=_memory(name))
+            vax_run = run_program(name, vax, _inputs(name),
+                                  memory=_memory(name), optimize=False)
+            assert len(vax_run.compile_result.loaded) >= len(
+                hp_run.compile_result.loaded
+            ), name
+
+
+def _inputs(name):
+    return {
+        "translit": {"str": 100, "tbl": 200},
+        "memcpy": {"src": 300, "dst": 400, "n": 3},
+        "checksum": {"base": 500, "n": 3},
+        "bitcount": {"x": 0b101},
+        "strcmp": {"a": 600, "b": 700},
+        "fib": {"n": 5},
+    }[name]
+
+
+def _memory(name):
+    base = {
+        "translit": {100: 1, 101: 0, **{200 + v: v + 1 for v in range(8)}},
+        "memcpy": {300: 1, 301: 2, 302: 3},
+        "checksum": {500: 1, 501: 2, 502: 3},
+        "strcmp": {600: 0, 700: 0},
+    }
+    return base.get(name, {})

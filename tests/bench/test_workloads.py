@@ -1,0 +1,54 @@
+"""Workload generators: determinism and well-formedness."""
+
+from repro.bench import random_block, random_program
+from repro.compose import SequentialComposer
+from repro.machine.machines import build_hm1
+
+
+class TestRandomBlock:
+    def test_deterministic_per_seed(self, hm1):
+        a = random_block(hm1, 10, seed=3)
+        b = random_block(hm1, 10, seed=3)
+        assert [str(op) for op in a.ops] == [str(op) for op in b.ops]
+
+    def test_different_seeds_differ(self, hm1):
+        a = random_block(hm1, 10, seed=1)
+        b = random_block(hm1, 10, seed=2)
+        assert [str(op) for op in a.ops] != [str(op) for op in b.ops]
+
+    def test_requested_size(self, hm1):
+        assert len(random_block(hm1, 17, seed=0).ops) == 17
+
+    def test_only_machine_ops(self, hm1):
+        block = random_block(hm1, 30, seed=5)
+        assert all(hm1.has_op(op.op) for op in block.ops)
+
+    def test_every_op_composable(self, hm1):
+        block = random_block(hm1, 20, seed=7)
+        instructions = SequentialComposer().compose_block(block, hm1)
+        assert len(instructions) == 20
+
+    def test_reuse_controls_dependence_density(self, hm1):
+        from repro.mir import build_dependence_graph
+
+        sparse = build_dependence_graph(
+            random_block(hm1, 30, seed=11, reuse=0.0), hm1
+        )
+        dense = build_dependence_graph(
+            random_block(hm1, 30, seed=11, reuse=1.0), hm1
+        )
+        assert len(dense.edges) > len(sparse.edges)
+
+
+class TestRandomProgram:
+    def test_validates_and_has_exit(self, hm1):
+        program = random_program(hm1, n_blocks=3, ops_per_block=5, seed=2)
+        program.validate()
+        assert program.virtual_regs()
+
+    def test_variable_count_respected(self, hm1):
+        program = random_program(
+            hm1, n_blocks=2, ops_per_block=4, seed=0, n_variables=9
+        )
+        names = {r.name for r in program.virtual_regs()}
+        assert names == {f"v{i}" for i in range(9)}

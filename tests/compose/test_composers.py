@@ -1,0 +1,191 @@
+"""The four composition algorithms: quality ordering and legality."""
+
+import pytest
+
+from repro.compose import (
+    BranchBoundComposer,
+    ConflictModel,
+    LevelComposer,
+    LinearComposer,
+    ListScheduler,
+    SequentialComposer,
+    compose_program,
+    data_parallelism,
+    maximal_parallel_sets,
+)
+from repro.errors import CompositionError
+from repro.mir import (
+    BasicBlock,
+    Imm,
+    Jump,
+    ProgramBuilder,
+    build_dependence_graph,
+    mop,
+    preg,
+)
+
+ALL = [SequentialComposer(), LinearComposer(), LevelComposer(),
+       ListScheduler(), BranchBoundComposer()]
+
+
+def wide_block():
+    """Four independent ops on different units + one dependent add."""
+    block = BasicBlock("b", ops=[
+        mop("mov", preg("R1"), preg("R2")),
+        mop("mov", preg("R3"), preg("R4")),
+        mop("shl", preg("R6"), preg("R7"), Imm(2)),
+        mop("add", preg("R5"), preg("R1"), preg("R3")),
+        mop("inc", preg("R7"), preg("R7")),
+    ])
+    block.terminate(Jump("b"))
+    return block
+
+
+def assert_legal(instructions, block, machine):
+    """Every op placed once; no field conflicts; dependences honoured."""
+    model = ConflictModel(machine)
+    placed_ops = [p.op for mi in instructions for p in mi.placed]
+    assert sorted(map(str, placed_ops)) == sorted(map(str, block.ops))
+    for mi in instructions:
+        model.check_instruction(mi)
+        mi.settings(machine)  # merged settings must not clash
+    graph = build_dependence_graph(block, machine)
+    location = {}
+    for mi_index, mi in enumerate(instructions):
+        for placed in mi.placed:
+            # Identify by object identity within the original list.
+            for op_index, op in enumerate(block.ops):
+                if op is placed.op and op_index not in location:
+                    location[op_index] = (mi_index, placed)
+                    break
+    for edge in graph.edges:
+        if edge.dst >= graph.n_ops:
+            continue
+        src_mi, src_placed = location[edge.src]
+        dst_mi, dst_placed = location[edge.dst]
+        assert src_mi <= dst_mi, f"edge {edge} violated"
+        if src_mi == dst_mi:
+            assert model.dependence_legal(
+                src_placed, dst_placed, {edge.kind}
+            ), f"same-MI edge {edge} illegal"
+
+
+class TestLegality:
+    @pytest.mark.parametrize("composer", ALL, ids=lambda c: c.name)
+    def test_wide_block_legal_on_hm1(self, composer, hm1):
+        block = wide_block()
+        assert_legal(composer.compose_block(block, hm1), block, hm1)
+
+    @pytest.mark.parametrize("composer", ALL, ids=lambda c: c.name)
+    def test_wide_block_legal_on_vax(self, composer, vax):
+        block = BasicBlock("b", ops=[
+            mop("mov", preg("T5"), preg("T6")),
+            mop("add", preg("T0"), preg("T7"), preg("T8")),
+            mop("sub", preg("T1"), preg("T9"), preg("T5")),
+        ])
+        block.terminate(Jump("b"))
+        assert_legal(composer.compose_block(block, vax), block, vax)
+
+    @pytest.mark.parametrize("composer", ALL, ids=lambda c: c.name)
+    def test_empty_block(self, composer, hm1):
+        block = BasicBlock("b")
+        block.terminate(Jump("b"))
+        assert composer.compose_block(block, hm1) == []
+
+
+class TestQualityOrdering:
+    def test_expected_counts_on_wide_block(self, hm1):
+        block = wide_block()
+        lengths = {
+            c.name: len(c.compose_block(block, hm1)) for c in ALL
+        }
+        assert lengths["sequential"] == 5
+        assert lengths["branch-bound"] <= lengths["list"]
+        assert lengths["list"] <= lengths["sequential"]
+        assert lengths["linear"] <= lengths["sequential"]
+        assert lengths["branch-bound"] == 2
+
+    def test_vertical_machine_forces_sequential(self, vm1):
+        block = BasicBlock("b", ops=[
+            mop("mov", preg("R1"), preg("R2")),
+            mop("mov", preg("R3"), preg("R4")),
+            mop("add", preg("R5"), preg("R6"), preg("R7")),
+        ])
+        block.terminate(Jump("b"))
+        for composer in ALL:
+            assert len(composer.compose_block(block, vm1)) == 3, composer.name
+
+    def test_single_op(self, hm1):
+        block = BasicBlock("b", ops=[mop("inc", preg("R1"), preg("R1"))])
+        block.terminate(Jump("b"))
+        for composer in ALL:
+            assert len(composer.compose_block(block, hm1)) == 1
+
+
+class TestDasguptaTartar:
+    def test_maximal_sets_are_levels(self, hm1):
+        block = wide_block()
+        sets = maximal_parallel_sets(block, hm1)
+        # The inc is anti-dependent on the shl, so it lands in level 1
+        # alongside the flow-dependent add.
+        assert sets[0] == [0, 1, 2]
+        assert sets[1] == [3, 4]
+
+    def test_data_parallelism_metric(self, hm1):
+        assert data_parallelism(wide_block(), hm1) == pytest.approx(2.5)
+
+    def test_empty(self, hm1):
+        block = BasicBlock("b")
+        block.terminate(Jump("b"))
+        assert maximal_parallel_sets(block, hm1) == []
+        assert data_parallelism(block, hm1) == 0.0
+
+
+class TestComposeProgram:
+    def test_terminator_attached_to_last_mi(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.emit(mop("inc", preg("R1"), preg("R1")))
+        b.exit(preg("R1"))
+        program = b.finish()
+        composed = compose_program(program, hm1, ListScheduler())
+        last = composed.blocks["a"].instructions[-1]
+        assert last.terminator is not None
+
+    def test_empty_block_gets_nop_word(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.terminate(Jump("b"))
+        b.start_block("b")
+        b.exit()
+        composed = compose_program(b.finish(), hm1, ListScheduler())
+        assert len(composed.blocks["a"].instructions) == 1
+        assert composed.blocks["a"].instructions[0].placed == []
+
+    def test_compaction_ratio(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        for op in wide_block().ops:
+            b.emit(op)
+        b.exit()
+        composed = compose_program(b.finish(), hm1, BranchBoundComposer())
+        assert composed.compaction_ratio() == pytest.approx(5 / 2)
+
+
+class TestBranchBound:
+    def test_budget_falls_back_to_seed(self, hm1):
+        block = wide_block()
+        tight = BranchBoundComposer(node_budget=1)
+        seeded = tight.compose_block(block, hm1)
+        reference = ListScheduler().compose_block(block, hm1)
+        assert len(seeded) <= len(reference)
+        assert_legal(seeded, block, hm1)
+
+    def test_optimal_on_chain(self, hm1):
+        # A pure dependence chain cannot be compacted below its length
+        # on a machine where every op is an ALU op.
+        block = BasicBlock("b", ops=[
+            mop("inc", preg("R1"), preg("R1")) for _ in range(4)
+        ])
+        block.terminate(Jump("b"))
+        assert len(BranchBoundComposer().compose_block(block, hm1)) == 4

@@ -1,0 +1,140 @@
+"""The control-word conflict model."""
+
+import pytest
+
+from repro.compose import ConflictModel, MicroInstruction, PlacedOp
+from repro.errors import ConflictError
+from repro.mir import FLOW, ANTI, OUTPUT, Imm, mop, preg
+
+
+def placed(machine, name, dest=None, srcs=(), variant=None):
+    op = mop(name, dest, *srcs)
+    specs = machine.op_variants(name)
+    spec = specs[0] if variant is None else next(
+        s for s in specs if s.variant == variant
+    )
+    return PlacedOp(op, spec)
+
+
+class TestFieldConflicts:
+    def test_same_unit_same_fields_conflict(self, hm1):
+        model = ConflictModel(hm1)
+        a = placed(hm1, "add", preg("R1"), (preg("R2"), preg("R3")))
+        b = placed(hm1, "sub", preg("R4"), (preg("R5"), preg("R6")))
+        assert model.fields_conflict(a, b)
+
+    def test_different_units_no_conflict(self, hm1):
+        model = ConflictModel(hm1)
+        a = placed(hm1, "add", preg("R1"), (preg("R2"), preg("R3")))
+        b = placed(hm1, "shl", preg("R4"), (preg("R5"), Imm(1)))
+        assert not model.fields_conflict(a, b)
+
+    def test_identical_settings_coexist(self, hm1):
+        model = ConflictModel(hm1)
+        a = placed(hm1, "mov", preg("R1"), (preg("R2"),), variant="a")
+        assert not model.fields_conflict(a, a)
+
+    def test_two_movs_different_paths_ok(self, hm1):
+        model = ConflictModel(hm1)
+        a = placed(hm1, "mov", preg("R1"), (preg("R2"),), variant="a")
+        b = placed(hm1, "mov", preg("R3"), (preg("R4"),), variant="b")
+        assert not model.fields_conflict(a, b)
+
+    def test_two_movs_same_path_conflict(self, hm1):
+        model = ConflictModel(hm1)
+        a = placed(hm1, "mov", preg("R1"), (preg("R2"),), variant="a")
+        b = placed(hm1, "mov", preg("R3"), (preg("R4"),), variant="a")
+        assert model.fields_conflict(a, b)
+
+    def test_vax_memory_jams_move(self, vax):
+        model = ConflictModel(vax)
+        read = placed(vax, "read", preg("MBR"), (preg("MAR"),))
+        move = placed(vax, "mov", preg("T5"), (preg("T6"),))
+        assert model.fields_conflict(read, move)
+
+
+class TestUnitCapacity:
+    def test_capacity_one(self, hm1):
+        model = ConflictModel(hm1)
+        mi = MicroInstruction()
+        mi.placed.append(placed(hm1, "add", preg("R1"), (preg("R2"), preg("R3"))))
+        again = placed(hm1, "add", preg("R4"), (preg("R5"), preg("R6")))
+        assert model.unit_overflow(mi, again)
+
+    def test_null_unit_capacity_many(self, hm1):
+        model = ConflictModel(hm1)
+        mi = MicroInstruction()
+        for _ in range(4):
+            nop = placed(hm1, "nop")
+            assert not model.unit_overflow(mi, nop)
+            mi.placed.append(nop)
+
+
+class TestDependenceRules:
+    def test_flow_requires_chaining_and_later_phase(self, hm1):
+        model = ConflictModel(hm1)
+        producer = placed(hm1, "mov", preg("R1"), (preg("R2"),), variant="a")  # phase 1
+        consumer = placed(hm1, "add", preg("R3"), (preg("R1"), preg("R4")))  # phase 2
+        assert model.dependence_legal(producer, consumer, {FLOW})
+        # Reversed phases: consumer earlier than producer is illegal.
+        assert not model.dependence_legal(consumer, producer, {FLOW})
+
+    def test_flow_illegal_without_chaining(self, vax):
+        model = ConflictModel(vax)
+        producer = placed(vax, "mov", preg("T5"), (preg("T6"),))
+        consumer = placed(vax, "add", preg("T0"), (preg("T5"), preg("T7")))
+        assert not model.dependence_legal(producer, consumer, {FLOW})
+
+    def test_flow_illegal_from_multicycle_producer(self, hm1):
+        model = ConflictModel(hm1)
+        read = placed(hm1, "read", preg("MBR"), (preg("MAR"),))  # latency 2
+        consumer = placed(hm1, "mov", preg("R1"), (preg("MBR"),), variant="w")
+        assert not model.dependence_legal(read, consumer, {FLOW})
+
+    def test_output_never_shares(self, hm1):
+        model = ConflictModel(hm1)
+        a = placed(hm1, "mov", preg("R1"), (preg("R2"),), variant="a")
+        b = placed(hm1, "mov", preg("R1"), (preg("R3"),), variant="w")
+        assert not model.dependence_legal(a, b, {OUTPUT})
+
+    def test_anti_same_phase_ok(self, hm1):
+        model = ConflictModel(hm1)
+        reader = placed(hm1, "add", preg("R3"), (preg("R1"), preg("R4")))
+        writer = placed(hm1, "shl", preg("R1"), (preg("R5"), Imm(1)))
+        assert model.dependence_legal(reader, writer, {ANTI})
+
+    def test_anti_earlier_phase_writer_illegal(self, hm1):
+        model = ConflictModel(hm1)
+        reader = placed(hm1, "add", preg("R3"), (preg("R1"), preg("R4")))  # phase 2
+        writer = placed(hm1, "mov", preg("R1"), (preg("R5"),), variant="a")  # phase 1
+        assert not model.dependence_legal(reader, writer, {ANTI})
+
+
+class TestPlacements:
+    def test_all_variants_offered(self, hm1):
+        model = ConflictModel(hm1)
+        variants = model.placements(mop("mov", preg("R1"), preg("R2")))
+        assert len(variants) == 3
+
+    def test_unencodable_filtered(self, hm1):
+        model = ConflictModel(hm1)
+        # R0 is not a writable destination in any selector.
+        with pytest.raises(ConflictError):
+            model.placements(mop("mov", preg("R0"), preg("R1")))
+
+    def test_check_instruction_raises_on_conflict(self, hm1):
+        model = ConflictModel(hm1)
+        mi = MicroInstruction(placed=[
+            placed(hm1, "add", preg("R1"), (preg("R2"), preg("R3"))),
+            placed(hm1, "sub", preg("R4"), (preg("R5"), preg("R6"))),
+        ])
+        with pytest.raises(ConflictError):
+            model.check_instruction(mi)
+
+    def test_check_instruction_accepts_clean(self, hm1):
+        model = ConflictModel(hm1)
+        mi = MicroInstruction(placed=[
+            placed(hm1, "mov", preg("R1"), (preg("R2"),), variant="a"),
+            placed(hm1, "add", preg("R3"), (preg("R4"), preg("R5"))),
+        ])
+        model.check_instruction(mi)  # no exception

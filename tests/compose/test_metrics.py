@@ -1,0 +1,64 @@
+"""Composition metrics and comparison helpers."""
+
+import pytest
+
+from repro.compose import (
+    BranchBoundComposer,
+    CompactionStats,
+    ListScheduler,
+    SequentialComposer,
+    block_stats,
+    compare_composers,
+    estimate_cycles,
+    program_stats,
+)
+from repro.mir import BasicBlock, Imm, Jump, ProgramBuilder, mop, preg
+
+
+def wide_block():
+    block = BasicBlock("b", ops=[
+        mop("mov", preg("R1"), preg("R2")),
+        mop("shl", preg("R3"), preg("R4"), Imm(1)),
+        mop("add", preg("R5"), preg("R6"), preg("R7")),
+    ])
+    block.terminate(Jump("b"))
+    return block
+
+
+class TestStats:
+    def test_block_stats(self, hm1):
+        stats = block_stats(BranchBoundComposer(), wide_block(), hm1)
+        assert stats.n_ops == 3
+        assert stats.n_instructions == 1
+        assert stats.ratio == pytest.approx(3.0)
+        assert stats.composer == "branch-bound"
+
+    def test_sequential_ratio_is_one(self, hm1):
+        stats = block_stats(SequentialComposer(), wide_block(), hm1)
+        assert stats.ratio == pytest.approx(1.0)
+
+    def test_empty_ratio_is_zero(self):
+        assert CompactionStats("x", 0, 0, 0).ratio == 0.0
+
+    def test_estimate_cycles_counts_latency(self, hm1):
+        block = BasicBlock("b", ops=[
+            mop("mov", preg("MAR"), preg("R1")),
+            mop("read", preg("MBR"), preg("MAR")),
+        ])
+        block.terminate(Jump("b"))
+        instructions = SequentialComposer().compose_block(block, hm1)
+        assert estimate_cycles(instructions, hm1) == 1 + 2
+
+    def test_program_stats_and_compare(self, hm1):
+        builder = ProgramBuilder("t", hm1)
+        builder.start_block("a")
+        for op in wide_block().ops:
+            builder.emit(op)
+        builder.exit()
+        program = builder.finish()
+        results = compare_composers(
+            [SequentialComposer(), ListScheduler()], program, hm1
+        )
+        assert results[0].n_instructions >= results[1].n_instructions
+        assert all(isinstance(r, CompactionStats) for r in results)
+        assert results[0].n_ops == results[1].n_ops == 3

@@ -1,0 +1,70 @@
+"""Shared fixtures: machine descriptions and an end-to-end runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import ControlStore, assemble
+from repro.compose import ListScheduler, SequentialComposer, compose_program
+from repro.machine.machines import (
+    build_hm1,
+    build_hp300,
+    build_id3200,
+    build_vax,
+    build_vm1,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture(scope="session")
+def hm1():
+    return build_hm1()
+
+
+@pytest.fixture(scope="session")
+def hp300():
+    return build_hp300()
+
+
+@pytest.fixture(scope="session")
+def vax():
+    return build_vax()
+
+
+@pytest.fixture(scope="session")
+def vm1():
+    return build_vm1()
+
+
+@pytest.fixture(scope="session")
+def id3200():
+    return build_id3200()
+
+
+@pytest.fixture(scope="session")
+def all_machines(hm1, hp300, vax, vm1, id3200):
+    return [hm1, hp300, vax, vm1, id3200]
+
+
+def run_mir(program, machine, composer=None, registers=None, memory=None,
+            max_cycles=200_000, simulator_kwargs=None):
+    """Compose, assemble, load and run a micro-IR program.
+
+    Returns (RunResult, Simulator) so tests can inspect final state.
+    """
+    composed = compose_program(program, machine, composer or ListScheduler())
+    loaded = assemble(composed, machine)
+    store = ControlStore(machine)
+    store.load(loaded)
+    simulator = Simulator(machine, store, **(simulator_kwargs or {}))
+    for name, value in (registers or {}).items():
+        simulator.state.write_reg(name, value)
+    for address, value in (memory or {}).items():
+        simulator.state.memory.load_words(address, [value])
+    result = simulator.run(program.name, max_cycles=max_cycles)
+    return result, simulator
+
+
+@pytest.fixture
+def mir_runner():
+    return run_mir

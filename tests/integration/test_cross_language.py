@@ -1,0 +1,169 @@
+"""Cross-language integration: the same algorithm in all four languages
+produces identical results on the same simulated machine."""
+
+import pytest
+
+from repro.asm import ControlStore
+from repro.lang.empl import compile_empl
+from repro.lang.simpl import compile_simpl
+from repro.lang.sstar import compile_sstar
+from repro.lang.yalll import compile_yalll
+from repro.sim import Simulator
+
+# Multiply 5 x 7 by repeated addition, one source per language.
+
+SIMPL_MUL = """
+program mul;
+begin
+    R0 -> R3;
+    while R2 # 0 do
+    begin
+        R3 + R1 -> R3;
+        R2 - ONE -> R2;
+    end;
+end
+"""
+
+EMPL_MUL = """
+DECLARE A FIXED;
+DECLARE B FIXED;
+DECLARE P FIXED;
+A = 5;
+B = 7;
+P = 0;
+WHILE B # 0 DO;
+    P = P + A;
+    B = B - 1;
+END;
+"""
+
+SSTAR_MUL = """
+program mul;
+var a : seq [15..0] bit bind R1;
+var n : seq [15..0] bit bind R2;
+var p : seq [15..0] bit bind R3;
+begin
+  p := 0;
+  while n <> 0 do
+  begin
+    p := p + a;
+    n := n - 1
+  end
+end
+"""
+
+YALLL_MUL = """
+    put p,0
+loop:
+    jump out if n = 0
+    add p,p,a
+    sub n,n,1
+    jump loop
+out:
+    exit p
+"""
+
+
+def execute(loaded, machine, setup):
+    store = ControlStore(machine)
+    store.load(loaded)
+    simulator = Simulator(machine, store)
+    setup(simulator)
+    simulator.run(loaded.name)
+    return simulator
+
+
+class TestSameAlgorithmEverywhere:
+    def test_simpl(self, hm1):
+        result = compile_simpl(SIMPL_MUL, hm1)
+
+        def setup(simulator):
+            simulator.state.write_reg("R1", 5)
+            simulator.state.write_reg("R2", 7)
+
+        simulator = execute(result.loaded, hm1, setup)
+        assert simulator.state.read_reg("R3") == 35
+
+    def test_empl(self, hm1):
+        result = compile_empl(EMPL_MUL, hm1, name="mul")
+        simulator = execute(result.loaded, hm1, lambda s: None)
+        register = result.allocation.mapping["g_P"]
+        assert simulator.state.read_reg(register) == 35
+
+    def test_sstar(self, hm1):
+        result = compile_sstar(SSTAR_MUL, hm1)
+
+        def setup(simulator):
+            simulator.state.write_reg("R1", 5)
+            simulator.state.write_reg("R2", 7)
+
+        simulator = execute(result.loaded, hm1, setup)
+        assert simulator.state.read_reg("R3") == 35
+
+    def test_yalll(self, hm1):
+        result = compile_yalll(YALLL_MUL, hm1, name="mul")
+
+        def setup(simulator):
+            mapping = result.allocation.mapping
+            simulator.state.write_reg(mapping["a"], 5)
+            simulator.state.write_reg(mapping["n"], 7)
+
+        store = ControlStore(hm1)
+        store.load(result.loaded)
+        simulator = Simulator(hm1, store)
+        setup(simulator)
+        outcome = simulator.run("mul")
+        assert outcome.exit_value == 35
+
+
+class TestCoexistenceInControlStore:
+    def test_four_programs_resident_simultaneously(self, hm1):
+        """§2.1.5: user microprograms coexist with other microcode in
+        one control store; each must run from its own base address."""
+        store = ControlStore(hm1)
+        store.load(compile_simpl(SIMPL_MUL, hm1).loaded)
+        store.load(compile_empl(EMPL_MUL, hm1, name="emul").loaded)
+        store.load(compile_sstar(SSTAR_MUL, hm1).loaded)
+        yalll = compile_yalll(YALLL_MUL, hm1, name="ymul")
+        store.load(yalll.loaded)
+        assert len(store.residents) == 4
+
+        simulator = Simulator(hm1, store)
+        simulator.state.write_reg("R1", 5)
+        simulator.state.write_reg("R2", 7)
+        simulator.run("mul")
+        assert simulator.state.read_reg("R3") == 35
+
+        simulator.state.write_reg(yalll.allocation.mapping["a"], 3)
+        simulator.state.write_reg(yalll.allocation.mapping["n"], 4)
+        outcome = simulator.run("ymul")
+        assert outcome.exit_value == 12
+
+
+class TestCompilerPipelineGrid:
+    """Every front end x every composer stays correct (where legal)."""
+
+    @pytest.mark.parametrize("composer_name",
+                             ["sequential", "linear", "list", "branch-bound"])
+    def test_yalll_across_composers(self, hm1, composer_name):
+        from repro.compose import (
+            BranchBoundComposer,
+            LinearComposer,
+            ListScheduler,
+            SequentialComposer,
+        )
+
+        composer = {
+            "sequential": SequentialComposer(),
+            "linear": LinearComposer(),
+            "list": ListScheduler(),
+            "branch-bound": BranchBoundComposer(node_budget=5_000),
+        }[composer_name]
+        result = compile_yalll(YALLL_MUL, hm1, name="mul", composer=composer)
+        store = ControlStore(hm1)
+        store.load(result.loaded)
+        simulator = Simulator(hm1, store)
+        mapping = result.allocation.mapping
+        simulator.state.write_reg(mapping["a"], 6)
+        simulator.state.write_reg(mapping["n"], 7)
+        assert simulator.run("mul").exit_value == 42

@@ -1,0 +1,84 @@
+"""Cross-machine property: legalization preserves semantics.
+
+A program using rich operations (rol, nand, nand, wide literals,
+multi-bit shifts) runs natively on HM1 and — after legalization
+expands everything the baroque VAXm lacks — must compute the same
+values there.  This exercises expansion, constant-ROM management,
+dest-class copies and the allocator in one property.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.machines import build_hm1, build_vax
+from repro.mir import Imm, ProgramBuilder, mop, vreg
+from repro.regalloc import LinearScanAllocator
+from tests.conftest import run_mir
+
+HM1 = build_hm1()
+VAX = build_vax()
+
+#: (op name, n_reg_srcs, imm_count_range) — ops VAXm must synthesize.
+RICH_OPS = [
+    ("add", 2, None), ("sub", 2, None), ("xor", 2, None),
+    ("and", 2, None), ("or", 2, None),
+    ("inc", 1, None), ("dec", 1, None), ("neg", 1, None),
+    ("not", 1, None), ("nand", 2, None), ("nor", 2, None),
+    ("shl", 1, (1, 4)), ("shr", 1, (1, 4)), ("rol", 1, (1, 7)),
+]
+
+
+def build_program(machine, ops_plan, seeds):
+    builder = ProgramBuilder("equiv", machine)
+    builder.start_block("entry")
+    names = [f"w{i}" for i in range(4)]
+    for name, seed in zip(names, seeds):
+        builder.emit(mop("movi", vreg(name), Imm(seed)))
+    import random
+
+    rng = random.Random(ops_plan)
+    for _ in range(10):
+        op, n_srcs, imm_range = RICH_OPS[rng.randrange(len(RICH_OPS))]
+        srcs = [vreg(rng.choice(names)) for _ in range(n_srcs)]
+        if imm_range is not None:
+            srcs.append(Imm(rng.randint(*imm_range)))
+        builder.emit(mop(op, vreg(rng.choice(names)), *srcs))
+    accumulator = vreg("out")
+    builder.emit(mop("movi", accumulator, Imm(0)))
+    for name in names:
+        builder.emit(mop("xor", accumulator, accumulator, vreg(name)))
+    builder.exit(accumulator)
+    return builder.finish()
+
+
+def run_on(machine, ops_plan, seeds):
+    from repro.lang.common.legalize import legalize
+
+    program = build_program(machine, ops_plan, seeds)
+    legalize(program, machine)
+    LinearScanAllocator().allocate(program, machine)
+    result, _ = run_mir(program, machine)
+    return result.exit_value
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops_plan=st.integers(min_value=0, max_value=100_000),
+    seeds=st.tuples(*[st.integers(min_value=0, max_value=0xFFFF)] * 4),
+)
+def test_legalized_vax_matches_native_hm1(ops_plan, seeds):
+    native = run_on(HM1, ops_plan, seeds)
+    legalized = run_on(VAX, ops_plan, seeds)
+    assert native == legalized, (ops_plan, seeds)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops_plan=st.integers(min_value=0, max_value=100_000),
+    seeds=st.tuples(*[st.integers(min_value=0, max_value=0xFFFF)] * 4),
+)
+def test_legalized_vm1_matches_native_hm1(ops_plan, seeds):
+    from repro.machine.machines import build_vm1
+
+    native = run_on(HM1, ops_plan, seeds)
+    vertical = run_on(build_vm1(), ops_plan, seeds)
+    assert native == vertical, (ops_plan, seeds)

@@ -1,0 +1,316 @@
+"""EMPL front end: extension types, operators, inlining, arrays."""
+
+import pytest
+
+from repro.asm import ControlStore
+from repro.errors import ParseError, SemanticError
+from repro.lang.empl import compile_empl, parse_empl
+from repro.sim import Simulator
+
+STACK_TYPE = """
+TYPE STACK
+     DECLARE STK(16) FIXED;
+     DECLARE STKPTR FIXED;
+     DECLARE VALUE FIXED;
+     INITIALLY DO; STKPTR = 0; END;
+     PUSH: OPERATION ACCEPTS (VALUE)
+           MICROOP: PUSH 3 0;
+           IF STKPTR = 16
+           THEN ERROR;
+           ELSE DO; STKPTR = STKPTR + 1; STK(STKPTR) = VALUE; END
+           END.
+     POP:  OPERATION RETURNS (VALUE)
+           MICROOP: POP 3 0;
+           IF STKPTR = 0
+           THEN ERROR;
+           ELSE DO; VALUE = STK(STKPTR); STKPTR = STKPTR - 1; END
+           END.
+ENDTYPE;
+"""
+
+
+def run(source, machine, name="t", inputs=None):
+    result = compile_empl(source, machine, name=name)
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store)
+    outcome = simulator.run(name)
+    return outcome, simulator, result
+
+
+def variable(result, simulator, name):
+    mapping = result.allocation.mapping
+    key = f"g_{name.upper()}"
+    if key in mapping:
+        return simulator.state.read_reg(mapping[key])
+    return simulator.state.scratchpad.read(
+        result.allocation.spilled_slots[key]
+    )
+
+
+class TestParser:
+    def test_paper_stack_type(self):
+        program = parse_empl(STACK_TYPE)
+        stack = program.types["STACK"]
+        assert [f.name for f in stack.fields] == ["STK", "STKPTR", "VALUE"]
+        assert stack.fields[0].array_size == 16
+        assert set(stack.operations) == {"PUSH", "POP"}
+        assert stack.operations["PUSH"].microop.name == "PUSH"
+        assert stack.operations["POP"].returns == "VALUE"
+
+    def test_top_level_operation(self):
+        program = parse_empl("""
+            DOUBLE: OPERATION ACCEPTS (A) RETURNS (B)
+                B = A + A;
+            END.
+        """)
+        assert program.operations["DOUBLE"].accepts == ("A",)
+
+    def test_comments(self):
+        program = parse_empl("DECLARE X FIXED; /* comment */ X = 1;")
+        assert len(program.body) == 1
+
+    def test_goto_and_labels(self):
+        program = parse_empl("GOTO done; done: RETURN;")
+        assert len(program.body) == 2
+
+    def test_malformed_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_empl("TYPE T GARBAGE ENDTYPE;")
+
+
+class TestExecution:
+    def test_paper_stack_example(self, hm1):
+        source = STACK_TYPE + """
+            DECLARE ADDRESS_STK STACK;
+            DECLARE X FIXED;
+            DECLARE Y FIXED;
+            X = 7;
+            PUSH(ADDRESS_STK, X);
+            X = 35;
+            PUSH(ADDRESS_STK, X);
+            Y = POP(ADDRESS_STK);
+            X = POP(ADDRESS_STK);
+            Y = Y + X;
+        """
+        _, simulator, result = run(source, hm1)
+        assert variable(result, simulator, "Y") == 42
+        assert result.inlined_ops >= 4  # no PUSH/POP microop on HM1
+
+    def test_stack_underflow_hits_error(self, hm1):
+        source = STACK_TYPE + """
+            DECLARE S STACK;
+            DECLARE Y FIXED;
+            Y = POP(S);
+        """
+        outcome, _, _ = run(source, hm1)
+        assert outcome.exit_value == 0xFFFF  # ERROR marker
+
+    def test_two_instances_do_not_share_state(self, hm1):
+        source = STACK_TYPE + """
+            DECLARE A STACK;
+            DECLARE B STACK;
+            DECLARE X FIXED;
+            X = 1;
+            PUSH(A, X);
+            X = 2;
+            PUSH(B, X);
+            X = POP(A);
+        """
+        _, simulator, result = run(source, hm1)
+        assert variable(result, simulator, "X") == 1
+
+    def test_microop_escape_used_on_hp(self, hp300):
+        source = """
+            MULT: OPERATION ACCEPTS (A, B) RETURNS (C)
+                MICROOP: MUL 2 1;
+                DECLARE N FIXED;
+                C = 0;
+                N = B;
+            L:  IF N = 0 THEN GOTO DONE;
+                C = C + A;
+                N = N - 1;
+                GOTO L;
+            DONE: RETURN;
+            END.
+            DECLARE X FIXED;
+            DECLARE R FIXED;
+            X = 6;
+            R = MULT(X, 7);
+        """
+        _, simulator, result = run(source, hp300)
+        assert variable(result, simulator, "R") == 42
+        assert result.hardware_ops == 1  # hardware multiply used
+        assert result.inlined_ops == 0
+
+    def test_operator_inlined_when_no_microop(self, hm1):
+        source = """
+            MULT: OPERATION ACCEPTS (A, B) RETURNS (C)
+                MICROOP: MUL 2 1;
+                DECLARE N FIXED;
+                C = 0;
+                N = B;
+            L:  IF N = 0 THEN GOTO DONE;
+                C = C + A;
+                N = N - 1;
+                GOTO L;
+            DONE: RETURN;
+            END.
+            DECLARE R FIXED;
+            DECLARE X FIXED;
+            X = 6;
+            R = MULT(X, 7);
+        """
+        _, simulator, result = run(source, hm1)
+        assert variable(result, simulator, "R") == 42
+        assert result.hardware_ops == 0
+        assert result.inlined_ops >= 1
+
+    def test_inlining_grows_code(self, hm1):
+        def source(n_calls):
+            calls = "\n".join(
+                f"R = TRIPLE(R);" for _ in range(n_calls)
+            )
+            return f"""
+                TRIPLE: OPERATION ACCEPTS (A) RETURNS (B)
+                    DECLARE T FIXED;
+                    T = A + A;
+                    B = T + A;
+                END.
+                DECLARE R FIXED;
+                R = 1;
+                {calls}
+            """
+        one = compile_empl(source(1), hm1)
+        four = compile_empl(source(4), hm1)
+        assert four.n_ops > one.n_ops + 4  # body replicated per call
+
+    def test_builtin_multiply_and_divide(self, hm1):
+        source = """
+            DECLARE A FIXED;
+            DECLARE B FIXED;
+            A = 13 * 5;
+            B = A / 4;
+        """
+        _, simulator, result = run(source, hm1)
+        assert variable(result, simulator, "A") == 65
+        assert variable(result, simulator, "B") == 16
+
+    def test_while_loop(self, hm1):
+        source = """
+            DECLARE I FIXED;
+            DECLARE S FIXED;
+            I = 5;
+            S = 0;
+            WHILE I # 0 DO;
+                S = S + I;
+                I = I - 1;
+            END;
+        """
+        _, simulator, result = run(source, hm1)
+        assert variable(result, simulator, "S") == 15
+
+    def test_arrays_in_main_memory(self, hm1):
+        source = """
+            DECLARE A(8) FIXED;
+            DECLARE I FIXED;
+            DECLARE S FIXED;
+            I = 1;
+            WHILE I # 5 DO;
+                A(I) = I;
+                I = I + 1;
+            END;
+            S = A(1) + A(2);
+            S = S + A(3);
+            S = S + A(4);
+        """
+        _, simulator, result = run(source, hm1)
+        assert variable(result, simulator, "S") == 10
+        assert simulator.state.memory.reads > 0  # arrays live in memory
+
+    def test_procedures(self, hm1):
+        source = """
+            DECLARE X FIXED;
+            BUMP: PROCEDURE;
+                X = X + 1;
+            END;
+            X = 0;
+            CALL BUMP;
+            CALL BUMP;
+            CALL BUMP;
+        """
+        _, simulator, result = run(source, hm1)
+        assert variable(result, simulator, "X") == 3
+
+    def test_unary_minus_and_not(self, hm1):
+        source = """
+            DECLARE A FIXED;
+            DECLARE B FIXED;
+            A = - 5;
+            B = ~ 0;
+        """
+        _, simulator, result = run(source, hm1)
+        assert variable(result, simulator, "A") == (-5) & 0xFFFF
+        assert variable(result, simulator, "B") == 0xFFFF
+
+
+class TestSemanticErrors:
+    def test_undeclared_variable(self, hm1):
+        with pytest.raises(SemanticError):
+            compile_empl("X = 1;", hm1)
+
+    def test_unknown_operation(self, hm1):
+        with pytest.raises(SemanticError):
+            compile_empl("DECLARE X FIXED; X = GHOST(X);", hm1)
+
+    def test_recursive_operator_rejected(self, hm1):
+        source = """
+            LOOPY: OPERATION ACCEPTS (A) RETURNS (B)
+                B = LOOPY(A);
+            END.
+            DECLARE R FIXED;
+            R = LOOPY(R);
+        """
+        with pytest.raises(SemanticError):
+            compile_empl(source, hm1)
+
+    def test_array_without_index(self, hm1):
+        with pytest.raises(SemanticError):
+            compile_empl("DECLARE A(4) FIXED; A = 1;", hm1)
+
+    def test_index_out_of_bounds(self, hm1):
+        with pytest.raises(SemanticError):
+            compile_empl("DECLARE A(4) FIXED; A(9) = 1;", hm1)
+
+    def test_unknown_type(self, hm1):
+        with pytest.raises(SemanticError):
+            compile_empl("DECLARE S WIDGET;", hm1)
+
+    def test_field_not_selectable_from_outside(self, hm1):
+        """§2.2.2: 'fields … cannot be selected from outside the class'."""
+        source = STACK_TYPE + """
+            DECLARE S STACK;
+            DECLARE X FIXED;
+            X = STKPTR;
+        """
+        with pytest.raises(SemanticError):
+            compile_empl(source, hm1)
+
+
+class TestPortability:
+    @pytest.mark.parametrize("machine_name", ["HM1", "HP300m", "VAXm", "VM1"])
+    def test_stack_example_portable(self, machine_name):
+        from repro.machine.machines import get_machine
+
+        machine = get_machine(machine_name)
+        source = STACK_TYPE + """
+            DECLARE S STACK;
+            DECLARE X FIXED;
+            X = 11;
+            PUSH(S, X);
+            X = 31;
+            PUSH(S, X);
+            X = POP(S);
+        """
+        _, simulator, result = run(source, machine)
+        assert variable(result, simulator, "X") == 31

@@ -1,0 +1,211 @@
+"""Machine legalization: expansions, literals, classes, multiway."""
+
+import pytest
+
+from repro.errors import MIRError
+from repro.lang.common.legalize import legalize
+from repro.mir import (
+    Imm,
+    MaskCase,
+    Multiway,
+    ProgramBuilder,
+    mop,
+    preg,
+    vreg,
+)
+from repro.regalloc import LinearScanAllocator
+from tests.conftest import run_mir
+
+
+def finish_and_run(builder, machine, expect, allocate=True):
+    program = builder.finish()
+    stats = legalize(program, machine)
+    if allocate and program.virtual_regs():
+        LinearScanAllocator().allocate(program, machine)
+    result, _ = run_mir(program, machine)
+    assert result.exit_value == expect
+    return stats
+
+
+class TestOpExpansion:
+    def test_inc_on_vax_becomes_add_one(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("movi", vreg("x"), Imm(41)))
+        b.emit(mop("inc", vreg("x"), vreg("x")))
+        b.exit(vreg("x"))
+        stats = finish_and_run(b, vax, 42)
+        assert stats.expansions.get("inc") == 1
+
+    def test_dec_on_vax(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("movi", vreg("x"), Imm(43)))
+        b.emit(mop("dec", vreg("x"), vreg("x")))
+        b.exit(vreg("x"))
+        stats = finish_and_run(b, vax, 42)
+        assert stats.expansions.get("dec") == 1
+
+    def test_neg_on_vax(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("movi", vreg("x"), Imm(1)))
+        b.emit(mop("neg", vreg("x"), vreg("x")))
+        b.exit(vreg("x"))
+        finish_and_run(b, vax, 0xFFFF)
+
+    def test_nand_on_vax(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("movi", vreg("a"), Imm(0xF0)))
+        b.emit(mop("movi", vreg("b"), Imm(0x3C)))
+        b.emit(mop("nand", vreg("x"), vreg("a"), vreg("b")))
+        b.exit(vreg("x"))
+        finish_and_run(b, vax, (~(0xF0 & 0x3C)) & 0xFFFF)
+
+    def test_rol_on_vax_built_from_shifts(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("movi", vreg("x"), Imm(0x81)))
+        b.emit(mop("rol", vreg("x"), vreg("x"), Imm(4)))
+        b.exit(vreg("x"))
+        stats = finish_and_run(b, vax, 0x810)
+        assert "rol" in stats.expansions
+
+    def test_native_ops_untouched(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("e")
+        b.emit(mop("inc", preg("R1"), preg("R1")))
+        b.exit(preg("R1"))
+        program = b.finish()
+        stats = legalize(program, hm1)
+        assert stats.growth == 1.0
+        assert stats.expansions == {}
+
+    def test_unexpandable_op_raises(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("teleport", preg("T0"), preg("T1")))
+        b.exit()
+        with pytest.raises(MIRError):
+            legalize(b.finish(), vax)
+
+
+class TestShiftUnrolling:
+    def test_multi_bit_shift_unrolled_on_vax(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("movi", vreg("x"), Imm(1)))
+        b.emit(mop("shl", vreg("x"), vreg("x"), Imm(5)))
+        b.exit(vreg("x"))
+        stats = finish_and_run(b, vax, 32)
+        assert stats.expansions.get("shl-unroll") == 1
+        assert stats.ops_after > stats.ops_before
+
+    def test_hp_keeps_barrel_shift(self, hp300):
+        b = ProgramBuilder("t", hp300)
+        b.start_block("e")
+        b.emit(mop("shl", preg("x"), preg("x"), Imm(5)))
+        b.exit(preg("x"))
+        program = b.finish()
+        stats = legalize(program, hp300)
+        assert stats.growth == 1.0
+
+
+class TestWideLiterals:
+    def test_vax_wide_literal_via_const_rom(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("movi", vreg("x"), Imm(0x1234)))
+        b.exit(vreg("x"))
+        program = b.finish()
+        stats = legalize(program, vax)
+        LinearScanAllocator().allocate(program, vax)
+        assert stats.expansions.get("const-rom") == 1
+        result, _ = run_mir(program, vax)
+        assert result.exit_value == 0x1234
+
+    def test_vax_wide_literal_synthesized_when_rom_full(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        values = [0x1111, 0x2222, 0x3333]  # 2 ROM slots, then synthesis
+        accumulator = vreg("acc")
+        b.emit(mop("movi", accumulator, Imm(0)))
+        for index, value in enumerate(values):
+            register = vreg(f"x{index}")
+            b.emit(mop("movi", register, Imm(value)))
+            b.emit(mop("xor", accumulator, accumulator, register))
+        b.exit(accumulator)
+        stats = finish_and_run(b, vax, 0x1111 ^ 0x2222 ^ 0x3333)
+        assert stats.expansions.get("wide-literal", 0) >= 1
+
+    def test_small_literal_untouched_on_vax(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("movi", vreg("x"), Imm(200)))
+        b.exit(vreg("x"))
+        program = b.finish()
+        stats = legalize(program, vax)
+        assert stats.expansions == {}
+
+
+class TestDestClassEnforcement:
+    def test_physical_dest_copied_through_temp(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        # T5 cannot take ALU results directly on VAXm.
+        b.emit(mop("add", preg("T5"), preg("T6"), preg("ONE")))
+        b.exit(preg("T5"))
+        program = b.finish()
+        stats = legalize(program, vax)
+        assert stats.expansions.get("dest-class-copy") == 1
+        LinearScanAllocator().allocate(program, vax)
+        _, simulator = run_mir(program, vax, registers={"T6": 9})
+        assert simulator.state.read_reg("T5") == 10
+
+    def test_aluout_dest_untouched(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("add", preg("T0"), preg("T6"), preg("ONE")))
+        b.exit(preg("T0"))
+        stats = legalize(b.finish(), vax)
+        assert "dest-class-copy" not in stats.expansions
+
+
+class TestMultiwayLowering:
+    def lowered_program(self, vax, value):
+        b = ProgramBuilder("t", vax)
+        b.start_block("e")
+        b.emit(mop("movi", vreg("x"), Imm(value)))
+        b.terminate(Multiway(
+            vreg("x"),
+            (MaskCase("0001", "one"), MaskCase("001x", "twoish")),
+            "other",
+        ))
+        for label, out in (("one", 100), ("twoish", 200), ("other", 300)):
+            b.start_block(label)
+            b.emit(mop("movi", vreg("r"), Imm(out)))
+            b.exit(vreg("r"))
+        program = b.finish()
+        stats = legalize(program, vax)
+        assert stats.multiway_lowered == 1
+        LinearScanAllocator().allocate(program, vax)
+        return program
+
+    @pytest.mark.parametrize("value,expected", [
+        (1, 100), (2, 200), (3, 200), (9, 300), (0, 300),
+    ])
+    def test_semantics_preserved(self, vax, value, expected):
+        program = self.lowered_program(vax, value)
+        result, _ = run_mir(program, vax)
+        assert result.exit_value == expected
+
+    def test_hm1_keeps_hardware_multiway(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("e")
+        b.terminate(Multiway(preg("R1"), (MaskCase("1", "a"),), "a"))
+        b.start_block("a")
+        b.exit()
+        program = b.finish()
+        stats = legalize(program, hm1)
+        assert stats.multiway_lowered == 0

@@ -1,0 +1,105 @@
+"""The shared lexer toolkit."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.lang.common.lexer import EOF, NEWLINE, Lexer, LexerSpec
+
+
+def make_lexer(**overrides):
+    spec = LexerSpec(
+        patterns=[
+            (None, r"[ \t]+"),
+            ("NUMBER", r"[0-9]+"),
+            ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+            ("PLUS", r"\+"),
+        ],
+        keywords={"begin", "end"},
+        keywords_case_insensitive=True,
+        **overrides,
+    )
+    return Lexer(spec)
+
+
+class TestTokenization:
+    def test_basic(self):
+        stream = make_lexer().tokenize("abc 12 +")
+        types = []
+        while not stream.at_end():
+            types.append(stream.advance().type)
+        assert types == ["IDENT", "NUMBER", "PLUS"]
+
+    def test_keywords_case_insensitive(self):
+        stream = make_lexer().tokenize("BEGIN x End")
+        assert stream.advance().type == "BEGIN"
+        assert stream.advance().type == "IDENT"
+        assert stream.advance().type == "END"
+
+    def test_positions(self):
+        stream = make_lexer().tokenize("a\n  b")
+        first = stream.advance()
+        second = stream.advance()
+        assert (first.line, first.column) == (1, 1)
+        assert (second.line, second.column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            make_lexer().tokenize("a @ b")
+
+    def test_eof_token(self):
+        stream = make_lexer().tokenize("")
+        assert stream.current.type == EOF
+        assert stream.at_end()
+
+    def test_line_comments(self):
+        lexer = make_lexer(line_comment=";")
+        stream = lexer.tokenize("a ; this is noise\nb")
+        assert stream.advance().value == "a"
+        assert stream.advance().value == "b"
+
+    def test_block_comments_track_lines(self):
+        lexer = make_lexer(block_comment=("/*", "*/"))
+        stream = lexer.tokenize("a /* one\ntwo */ b")
+        stream.advance()
+        assert stream.advance().line == 2
+
+    def test_unterminated_block_comment(self):
+        lexer = make_lexer(block_comment=("/*", "*/"))
+        with pytest.raises(LexError):
+            lexer.tokenize("a /* never closed")
+
+    def test_newlines_kept_when_requested(self):
+        lexer = make_lexer(keep_newlines=True)
+        stream = lexer.tokenize("a\nb")
+        assert stream.advance().type == "IDENT"
+        assert stream.advance().type == NEWLINE
+        assert stream.advance().type == "IDENT"
+
+    def test_consecutive_newlines_collapse(self):
+        lexer = make_lexer(keep_newlines=True)
+        stream = lexer.tokenize("a\n\n\nb")
+        stream.advance()
+        assert stream.advance().type == NEWLINE
+        assert stream.advance().type == "IDENT"
+
+
+class TestStream:
+    def test_expect_success_and_failure(self):
+        stream = make_lexer().tokenize("a 1")
+        assert stream.expect("IDENT").value == "a"
+        with pytest.raises(ParseError):
+            stream.expect("IDENT")
+
+    def test_accept_returns_none(self):
+        stream = make_lexer().tokenize("1")
+        assert stream.accept("IDENT") is None
+        assert stream.accept("NUMBER").value == "1"
+
+    def test_peek_does_not_consume(self):
+        stream = make_lexer().tokenize("a b")
+        assert stream.peek(1).value == "b"
+        assert stream.current.value == "a"
+
+    def test_peek_past_end_is_eof(self):
+        stream = make_lexer().tokenize("a")
+        assert stream.peek(10).type == EOF

@@ -1,0 +1,299 @@
+"""MPL front end: virtual registers, arrays, SIMPL-like control."""
+
+import pytest
+
+from repro.asm import ControlStore
+from repro.errors import ParseError, SemanticError
+from repro.lang.mpl import compile_mpl, parse_mpl
+from repro.sim import Simulator
+
+DATA_BASE = 0x6800
+
+
+def run(source, machine, registers=None, memory=None):
+    result = compile_mpl(source, machine)
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store)
+    for register, value in (registers or {}).items():
+        simulator.state.write_reg(register, value)
+    for address, value in (memory or {}).items():
+        simulator.state.memory.load_words(address, [value])
+    outcome = simulator.run(result.loaded.name)
+    return outcome, simulator, result
+
+
+def virtual32(simulator, high, low):
+    return (simulator.state.read_reg(high) << 16) | simulator.state.read_reg(low)
+
+
+class TestParser:
+    def test_declarations(self):
+        program = parse_mpl("""
+            program t;
+            virtual D = R1 : R2;
+            array A[8];
+            const K = 0x10;
+            begin R3 -> R4; end
+        """)
+        assert program.virtuals["D"].high == "R1"
+        assert program.arrays["A"].size == 8
+        assert program.constants["K"] == 16
+
+    def test_duplicate_virtual_rejected(self):
+        with pytest.raises(ParseError):
+            parse_mpl("""
+                program t;
+                virtual D = R1 : R2;
+                virtual D = R3 : R4;
+                begin R1 -> R1; end
+            """)
+
+    def test_array_indexing_forms(self):
+        program = parse_mpl("""
+            program t;
+            array A[4];
+            begin
+                A[0] -> R1;
+                A[R2] -> R3;
+                R1 -> A[3];
+            end
+        """)
+        assert len(program.body.body) == 3
+
+
+class TestVirtualRegisters:
+    @pytest.mark.parametrize("machine_name,regs", [
+        ("VM1", ("R1", "R2", "R3", "R4")),
+        ("HM1", ("R1", "R2", "R3", "R4")),
+        ("HP300m", ("s0", "s1", "s2", "s3")),
+    ])
+    @pytest.mark.parametrize("d,e", [
+        (0x00018000, 0x00009000),   # carry out of the low half
+        (0xFFFFFFFF, 0x00000001),   # wrap at 32 bits
+        (0x12345678, 0x0F0F0F0F),
+        (0, 0),
+    ])
+    def test_32bit_add(self, machine_name, regs, d, e):
+        from repro.machine.machines import get_machine
+
+        machine = get_machine(machine_name)
+        dh, dl, eh, el = regs
+        source = f"""
+            program t;
+            virtual D = {dh} : {dl};
+            virtual E = {eh} : {el};
+            begin D + E -> D; end
+        """
+        _, simulator, _ = run(source, machine, registers={
+            dh: d >> 16, dl: d & 0xFFFF,
+            eh: e >> 16, el: e & 0xFFFF,
+        })
+        assert virtual32(simulator, dh, dl) == (d + e) & 0xFFFFFFFF
+
+    @pytest.mark.parametrize("d,e", [
+        (0x00010000, 0x00000001),   # borrow into the high half
+        (0x00000000, 0x00000001),   # wrap below zero
+        (0xDEADBEEF, 0x00C0FFEE),
+    ])
+    def test_32bit_sub(self, vm1, d, e):
+        source = """
+            program t;
+            virtual D = R1 : R2;
+            virtual E = R3 : R4;
+            begin D - E -> D; end
+        """
+        _, simulator, _ = run(source, vm1, registers={
+            "R1": d >> 16, "R2": d & 0xFFFF,
+            "R3": e >> 16, "R4": e & 0xFFFF,
+        })
+        assert virtual32(simulator, "R1", "R2") == (d - e) & 0xFFFFFFFF
+
+    def test_logical_per_half(self, vm1):
+        source = """
+            program t;
+            virtual D = R1 : R2;
+            virtual E = R3 : R4;
+            begin D & E -> D; end
+        """
+        _, simulator, _ = run(source, vm1, registers={
+            "R1": 0xF0F0, "R2": 0x0FF0, "R3": 0xFF00, "R4": 0x00FF,
+        })
+        assert virtual32(simulator, "R1", "R2") == 0xF00000F0
+
+    def test_complement(self, vm1):
+        source = """
+            program t;
+            virtual D = R1 : R2;
+            begin ~D -> D; end
+        """
+        _, simulator, _ = run(source, vm1, registers={"R1": 0, "R2": 1})
+        assert virtual32(simulator, "R1", "R2") == 0xFFFFFFFE
+
+    def test_scalar_zero_extended_into_virtual(self, vm1):
+        source = """
+            program t;
+            virtual D = R1 : R2;
+            begin D + R5 -> D; end
+        """
+        _, simulator, _ = run(source, vm1, registers={
+            "R1": 0, "R2": 0xFFFF, "R5": 2,
+        })
+        assert virtual32(simulator, "R1", "R2") == 0x10001
+
+    def test_constant_into_virtual(self, vm1):
+        source = """
+            program t;
+            virtual D = R1 : R2;
+            const BIG = 0x12345;
+            begin BIG -> D; end
+        """
+        _, simulator, _ = run(source, vm1)
+        assert virtual32(simulator, "R1", "R2") == 0x12345
+
+    def test_virtual_equality_loop(self, vm1):
+        """A 32-bit countdown: loops until the full pair is zero."""
+        source = """
+            program t;
+            virtual D = R1 : R2;
+            virtual ONE32 = R3 : R4;
+            begin
+                0 -> R5;
+                while D # 0 do
+                begin
+                    D - ONE32 -> D;
+                    R5 + ONE -> R5;
+                end;
+            end
+        """
+        _, simulator, _ = run(source, vm1, registers={
+            "R1": 0x0001, "R2": 0x0002,   # D = 0x10002 iterations
+            "R3": 0, "R4": 1,
+        })
+        # 0x10002 iterations is too slow to simulate; use a small D.
+        _, simulator, _ = run(source, vm1, registers={
+            "R1": 0, "R2": 5, "R3": 0, "R4": 1,
+        })
+        assert simulator.state.read_reg("R5") == 5
+        assert virtual32(simulator, "R1", "R2") == 0
+
+    def test_shift_on_virtual_rejected(self, vm1):
+        with pytest.raises(SemanticError):
+            compile_mpl("""
+                program t;
+                virtual D = R1 : R2;
+                begin D ^ 1 -> D; end
+            """, vm1)
+
+    def test_virtual_needs_known_registers(self, vm1):
+        with pytest.raises(SemanticError):
+            compile_mpl("""
+                program t;
+                virtual D = QX : R2;
+                begin D + D -> D; end
+            """, vm1)
+
+
+class TestArrays:
+    def test_constant_and_register_index(self, vm1):
+        source = """
+            program t;
+            array A[4];
+            begin
+                A[R5] -> R6;
+                R6 + ONE -> R6;
+                R6 -> A[0];
+            end
+        """
+        _, simulator, _ = run(source, vm1, registers={"R5": 2},
+                              memory={DATA_BASE + 2: 41})
+        assert simulator.state.memory.dump_words(DATA_BASE, 1) == [42]
+
+    def test_two_arrays_get_distinct_bases(self, vm1):
+        source = """
+            program t;
+            array A[4];
+            array B[4];
+            begin
+                R1 -> A[0];
+                R2 -> B[0];
+            end
+        """
+        _, simulator, _ = run(source, vm1, registers={"R1": 7, "R2": 9})
+        assert simulator.state.memory.dump_words(DATA_BASE, 1) == [7]
+        assert simulator.state.memory.dump_words(DATA_BASE + 4, 1) == [9]
+
+    def test_constant_index_bounds_checked(self, vm1):
+        with pytest.raises(SemanticError):
+            compile_mpl(
+                "program t; array A[4]; begin A[9] -> R1; end", vm1
+            )
+
+    def test_undeclared_array(self, vm1):
+        with pytest.raises(SemanticError):
+            compile_mpl("program t; begin A[0] -> R1; end", vm1)
+
+    def test_virtual_to_element_rejected(self, vm1):
+        with pytest.raises(SemanticError):
+            compile_mpl("""
+                program t;
+                virtual D = R1 : R2;
+                array A[4];
+                begin D -> A[0]; end
+            """, vm1)
+
+
+class TestScalarsAndControl:
+    def test_scalar_statements_like_simpl(self, vm1):
+        source = """
+            program t;
+            begin
+                R1 + R2 -> R3;
+                R3 ^ 1 -> R4;
+                ~R4 -> R5;
+            end
+        """
+        _, simulator, _ = run(source, vm1, registers={"R1": 3, "R2": 4})
+        assert simulator.state.read_reg("R3") == 7
+        assert simulator.state.read_reg("R4") == 14
+        assert simulator.state.read_reg("R5") == (~14) & 0xFFFF
+
+    def test_if_else(self, vm1):
+        source = """
+            program t;
+            begin
+                if R1 = 0 then ONE -> R2;
+                else R0 -> R2;
+            end
+        """
+        _, simulator, _ = run(source, vm1, registers={"R1": 0})
+        assert simulator.state.read_reg("R2") == 1
+        _, simulator, _ = run(source, vm1, registers={"R1": 3})
+        assert simulator.state.read_reg("R2") == 0
+
+    def test_carry_chain_survives_composition(self, hm1):
+        """On a horizontal machine the composer must keep the add/adc
+        carry chain intact even while packing other work around it."""
+        from repro.compose import ListScheduler
+
+        source = """
+            program t;
+            virtual D = R1 : R2;
+            virtual E = R3 : R4;
+            begin
+                D + E -> D;
+                R5 & R6 -> R7;
+                D + E -> D;
+            end
+        """
+        result = compile_mpl(source, hm1, composer=ListScheduler())
+        store = ControlStore(hm1)
+        store.load(result.loaded)
+        simulator = Simulator(hm1, store)
+        for register, value in (("R1", 0), ("R2", 0x8001), ("R3", 0),
+                                ("R4", 0xFFFF), ("R5", 6), ("R6", 3)):
+            simulator.state.write_reg(register, value)
+        simulator.run("t")
+        expected = (0x8001 + 0xFFFF + 0xFFFF) & 0xFFFFFFFF
+        assert virtual32(simulator, "R1", "R2") == expected
+        assert simulator.state.read_reg("R7") == 2

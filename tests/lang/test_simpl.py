@@ -1,0 +1,283 @@
+"""SIMPL front end: the survey's example, single identity, control."""
+
+import pytest
+
+from repro.asm import ControlStore
+from repro.errors import ParseError, SemanticError
+from repro.lang.simpl import (
+    compile_simpl,
+    parallel_pairs,
+    parse_simpl,
+    single_identity_order,
+)
+from repro.sim import Simulator
+
+FPMUL = """
+program fpmul;
+const M3 = 0x7C00;
+const M4 = 0x03FF;
+begin
+    comment extract and determine exponent for product;
+    R1 & M3 -> ACC;
+    R2 & M3 -> R4;
+    R4 + ACC -> ACC;
+    R3 | ACC -> R3;
+    comment extract mantissas and clear ACC;
+    R1 & M4 -> R1;
+    R2 & M4 -> R2;
+    R0 -> ACC;
+    comment multiplication proper by shift and add;
+    while R2 # 0 do
+    begin
+        ACC ^ -1 -> ACC;
+        R2 ^ -1 -> R2;
+        if UF = 1 then R1 + ACC -> ACC;
+    end;
+    R3 | ACC -> R3;
+end
+"""
+
+
+def run(source, machine, registers=None, name=None):
+    result = compile_simpl(source, machine)
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store)
+    for register, value in (registers or {}).items():
+        simulator.state.write_reg(register, value)
+    outcome = simulator.run(result.loaded.name)
+    return outcome, simulator, result
+
+
+class TestParser:
+    def test_paper_example_parses(self):
+        program = parse_simpl(FPMUL)
+        assert program.name == "fpmul"
+        assert program.constants == {"M3": 0x7C00, "M4": 0x03FF}
+        assert len(program.body.body) == 9
+
+    def test_comments_stripped(self):
+        program = parse_simpl(
+            "program t; begin comment noise -> here; R1 -> R2; end"
+        )
+        assert len(program.body.body) == 1
+
+    def test_single_operator_enforced_by_grammar(self):
+        with pytest.raises(ParseError):
+            parse_simpl("program t; begin R1 + R2 + R3 -> R4; end")
+
+    def test_equivalence_statement(self):
+        program = parse_simpl(
+            "program t; equiv EXP = R4; begin EXP -> ACC; end"
+        )
+        assert program.equivalences == {"EXP": "R4"}
+
+    def test_case_statement(self):
+        program = parse_simpl("""
+            program t;
+            begin
+                case R1 of
+                    0: R2 -> R3;
+                    1: R4 -> R3;
+                else R0 -> R3;
+                esac;
+            end
+        """)
+        case = program.body.body[0]
+        assert len(case.arms) == 2
+        assert case.default is not None
+
+    def test_procedures(self):
+        program = parse_simpl("""
+            program t;
+            procedure clear; R0 -> ACC;
+            begin call clear; end
+        """)
+        assert program.procedures[0].name == "clear"
+
+
+class TestSingleIdentity:
+    def test_order_pairs(self):
+        program = parse_simpl("""
+            program t;
+            begin
+                R1 + R2 -> R3;
+                R3 + R1 -> R4;
+                R5 & R6 -> R5;
+            end
+        """)
+        order = single_identity_order(program.body.body)
+        assert (0, 1) in order      # flow through R3
+        assert (0, 2) not in order  # independent
+
+    def test_successive_values_ordered(self):
+        program = parse_simpl("""
+            program t;
+            begin
+                R1 + R2 -> R3;
+                R4 + R5 -> R3;
+            end
+        """)
+        assert (0, 1) in single_identity_order(program.body.body)
+
+    def test_use_before_redefinition(self):
+        program = parse_simpl("""
+            program t;
+            begin
+                R3 + R1 -> R4;
+                R5 + R6 -> R3;
+            end
+        """)
+        assert (0, 1) in single_identity_order(program.body.body)
+
+    def test_parallel_pairs_detected(self):
+        program = parse_simpl("""
+            program t;
+            begin
+                R1 & R2 -> R3;
+                R4 & R5 -> R6;
+            end
+        """)
+        assert parallel_pairs(program.body.body) == [(0, 1)]
+
+
+class TestSemanticChecks:
+    def test_unknown_variable_rejected(self, hm1):
+        with pytest.raises(SemanticError):
+            compile_simpl("program t; begin FOO -> ACC; end", hm1)
+
+    def test_assignment_to_constant_rejected(self, hm1):
+        with pytest.raises(SemanticError):
+            compile_simpl(
+                "program t; const K = 5; begin R1 -> K; end", hm1
+            )
+
+    def test_call_to_unknown_procedure(self, hm1):
+        with pytest.raises(SemanticError):
+            compile_simpl("program t; begin call ghost; end", hm1)
+
+    def test_equivalence_resolves_to_register(self, hm1):
+        outcome, simulator, _ = run(
+            "program t; equiv X = R1; begin X -> R2; end",
+            hm1, registers={"R1": 77},
+        )
+        assert simulator.state.read_reg("R2") == 77
+
+    def test_circular_equivalence_rejected(self, hm1):
+        with pytest.raises(SemanticError):
+            compile_simpl(
+                "program t; equiv A = B; equiv B = A; begin A -> R1; end",
+                hm1,
+            )
+
+
+class TestExecution:
+    def test_fpmul_packs_exponents(self, hm1):
+        _, simulator, result = run(FPMUL, hm1, registers={
+            "R1": (2 << 10) | 3,
+            "R2": (3 << 10) | 5,
+            "R3": 0,
+        })
+        r3 = simulator.state.read_reg("R3")
+        assert (r3 >> 10) & 0x1F == 5  # exponents added
+        assert result.loaded.constants  # masks went to the constant ROM
+
+    def test_shift_left_and_right(self, hm1):
+        _, simulator, _ = run("""
+            program t;
+            begin
+                R1 ^ 2 -> R2;
+                R1 ^ -1 -> R3;
+            end
+        """, hm1, registers={"R1": 8})
+        assert simulator.state.read_reg("R2") == 32
+        assert simulator.state.read_reg("R3") == 4
+
+    def test_negation_and_xor(self, hm1):
+        _, simulator, _ = run("""
+            program t;
+            begin
+                ~R1 -> R2;
+                R1 xor R3 -> R4;
+            end
+        """, hm1, registers={"R1": 0x00FF, "R3": 0x0F0F})
+        assert simulator.state.read_reg("R2") == 0xFF00
+        assert simulator.state.read_reg("R4") == 0x0FF0
+
+    def test_if_else(self, hm1):
+        source = """
+            program t;
+            begin
+                if R1 = 0 then R0 -> R2;
+                else ONE -> R2;
+            end
+        """
+        _, simulator, _ = run(source, hm1, registers={"R1": 0})
+        assert simulator.state.read_reg("R2") == 0
+        _, simulator, _ = run(source, hm1, registers={"R1": 9})
+        assert simulator.state.read_reg("R2") == 1
+
+    def test_for_loop(self, hm1):
+        _, simulator, _ = run("""
+            program t;
+            begin
+                R0 -> R2;
+                for R1 = 1 to 5 do
+                begin
+                    R2 + R1 -> R2;
+                end;
+            end
+        """, hm1)
+        assert simulator.state.read_reg("R2") == 15
+
+    def test_case_multiway(self, hm1):
+        source = """
+            program t;
+            begin
+                case R1 of
+                    0: ONE -> R2;
+                    3: R1 -> R2;
+                else R0 -> R2;
+                esac;
+            end
+        """
+        _, simulator, _ = run(source, hm1, registers={"R1": 0})
+        assert simulator.state.read_reg("R2") == 1
+        _, simulator, _ = run(source, hm1, registers={"R1": 3})
+        assert simulator.state.read_reg("R2") == 3
+        _, simulator, _ = run(source, hm1, registers={"R1": 7})
+        assert simulator.state.read_reg("R2") == 0
+
+    def test_memory_read_write(self, hm1):
+        _, simulator, _ = run("""
+            program t;
+            const ADDR = 300;
+            begin
+                read(ADDR) -> R1;
+                R1 + ONE -> R2;
+                write(ADDR, R2);
+            end
+        """, hm1, registers=None)
+        assert simulator.state.memory.dump_words(300, 1) == [1]
+
+    def test_procedure_call(self, hm1):
+        _, simulator, _ = run("""
+            program t;
+            procedure bump; R1 + ONE -> R1;
+            begin
+                call bump;
+                call bump;
+            end
+        """, hm1)
+        assert simulator.state.read_reg("R1") == 2
+
+    def test_compaction_happens(self, hm1):
+        """Independent SIMPL statements share microinstructions."""
+        result = compile_simpl("""
+            program t;
+            begin
+                R1 & R2 -> R3;
+                R4 -> R5;
+            end
+        """, hm1)
+        assert result.composed.n_instructions() < result.composed.n_ops() + 1

@@ -1,0 +1,243 @@
+"""YALLL front end: parser, codegen, both historical back ends."""
+
+import pytest
+
+from repro.asm import ControlStore
+from repro.errors import ParseError, SemanticError
+from repro.lang.yalll import compile_yalll, parse_yalll
+from repro.lang.yalll.ast import Binding, Instruction, JumpInstr, MJumpInstr
+from repro.sim import Simulator
+
+
+def run(source, machine, registers=None, memory=None, name="t", **kwargs):
+    result = compile_yalll(source, machine, name=name, **kwargs)
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store)
+    mapping = result.allocation.mapping
+    for variable, value in (registers or {}).items():
+        simulator.state.write_reg(mapping.get(variable, variable), value)
+    for address, value in (memory or {}).items():
+        simulator.state.memory.load_words(address, [value])
+    outcome = simulator.run(name)
+    return outcome, simulator, result
+
+
+class TestParser:
+    def test_paper_example_parses(self):
+        program = parse_yalll("""
+            reg str = db
+            reg tbl = sb
+            reg char = mbr
+            loop:
+                load char,str
+                jump out if char = 0
+                add  mar,char,tbl
+                load char,mar
+                stor char,str
+                add  str,str,1
+                jump loop
+            out: exit
+        """)
+        assert program.bindings == {"str": "db", "tbl": "sb", "char": "mbr"}
+        assert "loop" in program.labels() and "out" in program.labels()
+
+    def test_all_instruction_forms(self):
+        program = parse_yalll("""
+            add a,b,c
+            sub a,b,2
+            and a,b,c
+            inc a,b
+            not a,b
+            shl a,b,3
+            put a,0x1F
+            load a,b
+            stor a,b
+            move a,b
+            poll
+            call p
+            ret
+            exit a
+        """)
+        opcodes = [i.opcode for i in program.items if isinstance(i, Instruction)]
+        assert opcodes == ["add", "sub", "and", "inc", "not", "shl", "put",
+                           "load", "stor", "move"]
+
+    def test_mjump_masks(self):
+        program = parse_yalll(
+            "mjump r (10x1 -> a, 0b1100 -> b, default -> c)\n"
+            "a: exit\nb: exit\nc: exit\n"
+        )
+        mjump = next(i for i in program.items if isinstance(i, MJumpInstr))
+        assert [arm.mask for arm in mjump.arms] == ["10x1", "1100"]
+        assert mjump.default == "c"
+
+    def test_mjump_requires_default(self):
+        with pytest.raises(ParseError):
+            parse_yalll("mjump r (1 -> a)\na: exit\n")
+
+    def test_flag_condition(self):
+        program = parse_yalll("jump x if carry\nx: exit\n")
+        jump = next(i for i in program.items if isinstance(i, JumpInstr))
+        assert jump.condition.flag == "C"
+
+    def test_bad_mask_rejected(self):
+        with pytest.raises(ParseError):
+            parse_yalll("mjump r (hello -> a, default -> b)\na: exit\nb: exit\n")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(ParseError):
+            parse_yalll("frobnicate a,b\n")
+
+    def test_comments_ignored(self):
+        program = parse_yalll("; nothing\nexit ; trailing\n")
+        assert len(program.items) == 1
+
+
+class TestSemantics:
+    def test_label_as_register_rejected(self, hp300):
+        with pytest.raises(SemanticError):
+            compile_yalll("here: move here,x\n", hp300)
+
+    def test_unknown_binding_target(self, hp300):
+        with pytest.raises(SemanticError):
+            compile_yalll("reg a = zork\nmove a,a\n", hp300)
+
+    def test_fall_into_procedure_from_procedure(self, hp300):
+        source = "exit\nproc p:\n  inc a,a\nproc q:\n  ret\n"
+        with pytest.raises(SemanticError):
+            compile_yalll(source, hp300)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("relop,x,expected", [
+        ("=", 5, 1), ("=", 4, 0),
+        ("#", 5, 0), ("#", 4, 1),
+        ("<", 3, 1), ("<", 5, 0), ("<", 7, 0),
+        (">=", 5, 1), (">=", 7, 1), (">=", 3, 0),
+        ("<=", 5, 1), ("<=", 3, 1), ("<=", 7, 0),
+        (">", 7, 1), (">", 5, 0), (">", 3, 0),
+    ])
+    def test_all_relops(self, hp300, relop, x, expected):
+        source = f"""
+            put r,0
+            jump yes if x {relop} 5
+            exit r
+        yes:
+            put r,1
+            exit r
+        """
+        outcome, _, _ = run(source, hp300, registers={"x": x})
+        assert outcome.exit_value == expected
+
+    def test_procedures(self, hp300):
+        source = """
+            put a,5
+            call double
+            call double
+            exit a
+        proc double:
+            add a,a,a
+            ret
+        """
+        outcome, _, _ = run(source, hp300)
+        assert outcome.exit_value == 20
+
+    def test_poll_generates_poll_op(self, hp300):
+        result = compile_yalll("poll\nexit\n", hp300)
+        ops = [op.op for block in result.mir.blocks.values() for op in block.ops]
+        assert "poll" in ops
+
+    def test_mjump_execution(self, hm1):
+        source = """
+            mjump x (0000 -> zero, 00x1 -> oddish, default -> other)
+        zero:  put r,1
+               exit r
+        oddish: put r,2
+               exit r
+        other: put r,3
+               exit r
+        """
+        assert run(source, hm1, registers={"x": 0})[0].exit_value == 1
+        assert run(source, hm1, registers={"x": 1})[0].exit_value == 2
+        assert run(source, hm1, registers={"x": 3})[0].exit_value == 2
+        assert run(source, hm1, registers={"x": 8})[0].exit_value == 3
+
+    def test_mjump_lowered_on_vax(self, vax):
+        source = """
+            mjump x (0001 -> one, default -> other)
+        one:   put r,1
+               exit r
+        other: put r,2
+               exit r
+        """
+        assert run(source, vax, registers={"x": 1})[0].exit_value == 1
+        assert run(source, vax, registers={"x": 5})[0].exit_value == 2
+
+    def test_memory_round_trip(self, hp300):
+        source = """
+            put addr,100
+            load v,addr
+            add v,v,1
+            stor v,addr
+            exit v
+        """
+        outcome, simulator, _ = run(source, hp300, memory={100: 41})
+        assert outcome.exit_value == 42
+        assert simulator.state.memory.dump_words(100, 1) == [42]
+
+
+class TestTwoMachines:
+    TRANSLIT_BODY = """
+    loop:
+        load char,str
+        jump out if char = 0
+        add  mar,char,tbl
+        load char,mar
+        stor char,str
+        add  str,str,1
+        jump loop
+    out: exit
+    """
+
+    def setup_memory(self, simulator):
+        simulator.state.memory.load_words(100, [1, 2, 3, 0])
+        for value in range(16):
+            simulator.state.memory.load_words(200 + value, [value + 10])
+
+    def translit_on(self, machine, source, optimize, reg_names):
+        result = compile_yalll(source, machine, name="translit",
+                               optimize=optimize)
+        store = ControlStore(machine)
+        store.load(result.loaded)
+        simulator = Simulator(machine, store)
+        self.setup_memory(simulator)
+        simulator.state.write_reg(reg_names[0], 100)
+        simulator.state.write_reg(reg_names[1], 200)
+        outcome = simulator.run("translit")
+        assert simulator.state.memory.dump_words(100, 4) == [11, 12, 13, 0]
+        return outcome, result
+
+    def test_hp_beats_vax(self, hp300, vax):
+        """The survey's headline YALLL result (§2.2.4)."""
+        hp_source = "reg str = db\nreg tbl = sb\nreg char = mbr\n" + self.TRANSLIT_BODY
+        vax_source = "reg str = T4\nreg tbl = T5\nreg char = mbr\n" + self.TRANSLIT_BODY
+        hp_outcome, hp_result = self.translit_on(hp300, hp_source, True, ("db", "sb"))
+        vax_outcome, vax_result = self.translit_on(vax, vax_source, False, ("T4", "T5"))
+        assert hp_outcome.cycles < vax_outcome.cycles
+        assert len(hp_result.loaded) < len(vax_result.loaded)
+
+    def test_same_source_symbolic_runs_everywhere(self, all_machines):
+        for machine in all_machines:
+            if not machine.has_multiway_branch and machine.name == "VM1":
+                pass  # translit has no mjump; fine everywhere
+            result = compile_yalll(self.TRANSLIT_BODY, machine, name="translit")
+            store = ControlStore(machine)
+            store.load(result.loaded)
+            simulator = Simulator(machine, store)
+            self.setup_memory(simulator)
+            mapping = result.allocation.mapping
+            simulator.state.write_reg(mapping["str"], 100)
+            simulator.state.write_reg(mapping["tbl"], 200)
+            simulator.run("translit")
+            assert simulator.state.memory.dump_words(100, 4) == [11, 12, 13, 0], machine.name

@@ -1,0 +1,122 @@
+"""The YALLL ``par`` extension — the survey's §2.1.4 compromise.
+
+"The programmer must denote which statements are not data dependent …
+while it relieves the compiler from a non-trivial analysis" and §3:
+"It may be worthwhile though to investigate further the compromise
+suggested in section 2.1.4."  Implemented here as future work.
+"""
+
+import pytest
+
+from repro.asm import ControlStore
+from repro.errors import ParseError, SemanticError
+from repro.lang.yalll import compile_yalll, parse_yalll
+from repro.lang.yalll.ast import ParGroup
+from repro.sim import Simulator
+
+FOUR_WAY = """
+reg x = R1
+reg y = R2
+par
+    shl  t1,x,2
+    and  t2,y,1
+    move t3,x
+    move t4,y
+endpar
+    add  r,t1,t2
+    add  r,r,t3
+    add  r,r,t4
+    exit r
+"""
+
+
+def run(source, machine, **kwargs):
+    result = compile_yalll(source, machine, name="par", **kwargs)
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store)
+    mapping = result.allocation.mapping
+    simulator.state.write_reg(mapping.get("x", "R1"), 12)
+    simulator.state.write_reg(mapping.get("y", "R2"), 9)
+    outcome = simulator.run("par")
+    return outcome, result
+
+
+class TestParser:
+    def test_group_collected(self):
+        program = parse_yalll(FOUR_WAY)
+        groups = [item for item in program.items if isinstance(item, ParGroup)]
+        assert len(groups) == 1
+        assert [m.opcode for m in groups[0].members] == [
+            "shl", "and", "move", "move"
+        ]
+
+    def test_unterminated_par(self):
+        with pytest.raises(ParseError):
+            parse_yalll("par\n put a,1\n")
+
+    def test_control_flow_inside_par_rejected(self):
+        with pytest.raises(ParseError):
+            parse_yalll("par\n jump somewhere\nendpar\nsomewhere: exit\n")
+
+
+class TestIndependenceCheck:
+    def test_flow_dependent_members_rejected(self, hm1):
+        source = "par\n put a,1\n add b,a,a\nendpar\nexit b\n"
+        with pytest.raises(SemanticError):
+            compile_yalll(source, hm1)
+
+    def test_output_dependent_members_rejected(self, hm1):
+        source = "par\n put a,1\n put a,2\nendpar\nexit a\n"
+        with pytest.raises(SemanticError):
+            compile_yalll(source, hm1)
+
+    def test_memory_conflict_rejected(self, hm1):
+        source = """
+            put p,100
+            put q,200
+par
+            load a,p
+            stor a2,q
+endpar
+            exit a
+        """
+        # stor writes memory while load reads it: not independent
+        # (also both fight over MAR/MBR).
+        with pytest.raises(SemanticError):
+            compile_yalll(source, hm1)
+
+    def test_independent_members_accepted(self, hm1):
+        compile_yalll(FOUR_WAY, hm1)
+
+
+class TestParallelismRealized:
+    def test_semantics(self, hm1):
+        outcome, _ = run(FOUR_WAY, hm1)
+        assert outcome.exit_value == (12 << 2) + (9 & 1) + 12 + 9
+
+    def test_group_packs_into_one_word(self, hm1):
+        """Four members on four different units: with par-aware
+        allocation the whole group fits one microinstruction."""
+        _, result = run(FOUR_WAY, hm1)
+        composed = result.composed
+        # Find the word holding the shl: its instruction must also
+        # contain the and, put and move.
+        for block in composed.blocks.values():
+            for instruction in block.instructions:
+                ops = sorted(p.op.op for p in instruction.placed)
+                if "shl" in ops:
+                    assert ops == ["and", "mov", "mov", "shl"]
+                    return
+        pytest.fail("shl word not found")
+
+    def test_allocator_is_par_aware_by_default(self, hm1):
+        _, result = run(FOUR_WAY, hm1)
+        assert result.allocation.allocator == "graph-color"
+        temps = [result.allocation.mapping[f"t{i}"] for i in (1, 2, 3, 4)]
+        assert len(set(temps)) == 4  # all distinct registers
+
+    def test_par_on_vertical_machine_still_correct(self, vm1):
+        """On VM1 nothing can pack, but the program stays correct."""
+        outcome, _ = run(FOUR_WAY, vm1)
+        assert outcome.exit_value == (12 << 2) + (9 & 1) + 12 + 9

@@ -1,0 +1,59 @@
+"""MachineBuilder error paths and conveniences."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.builder import MachineBuilder
+from repro.machine.registers import gpr
+
+
+def base_builder():
+    b = MachineBuilder("T", word_size=8)
+    b.regs(gpr("A", 8), gpr("B", 8))
+    b.unit("alu", phase=1)
+    return b
+
+
+class TestBuilder:
+    def test_duplicate_unit(self):
+        b = base_builder()
+        with pytest.raises(MachineError):
+            b.unit("alu", phase=1)
+
+    def test_duplicate_field(self):
+        b = base_builder()
+        b.order_field("f", ["X"])
+        with pytest.raises(MachineError):
+            b.order_field("f", ["Y"])
+
+    def test_select_field_unknown_register(self):
+        b = base_builder()
+        with pytest.raises(MachineError):
+            b.select_field("sel", ["A", "Z"])
+
+    def test_select_field_encodings(self):
+        b = base_builder()
+        b.select_field("sel", ["A", "B"])
+        machine_field = b._fields[-1]
+        assert machine_field.encodings == {"NONE": 0, "A": 1, "B": 2}
+
+    def test_order_field_width(self):
+        b = base_builder()
+        b.order_field("ops", [f"O{i}" for i in range(6)])  # 7 with NOP
+        assert b._fields[-1].width == 3
+
+    def test_build_validates(self):
+        b = base_builder()
+        b.order_field("alu_op", ["ADD"])
+        b.select_field("alu_a", ["A"]).select_field("alu_d", ["A", "B"])
+        b.op("add", "alu", srcs=2, dest=True, settings={
+            "alu_op": "ADD", "alu_a": "$src0", "alu_d": "$dest",
+        })
+        machine = b.build()
+        assert machine.has_op("add")
+
+    def test_build_rejects_bad_phase(self):
+        b = base_builder()
+        b.unit("late", phase=9)
+        with pytest.raises(MachineError):
+            b.build(n_phases=2)

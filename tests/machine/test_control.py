@@ -1,0 +1,104 @@
+"""Control-word fields, encodings and packing."""
+
+import pytest
+
+from repro.errors import EncodingError, MachineError
+from repro.machine.control import ControlWordFormat, Field
+
+
+def make_format():
+    return ControlWordFormat([
+        Field("op", 3, encodings={"NOP": 0, "ADD": 1, "SUB": 2}),
+        Field("src", 2, encodings={"NONE": 0, "R1": 1, "R2": 2}),
+        Field("lit", 8, is_immediate=True),
+    ])
+
+
+class TestField:
+    def test_encode_order(self):
+        field = Field("op", 3, encodings={"ADD": 1})
+        assert field.encode("ADD") == 1
+
+    def test_encode_unknown_order(self):
+        with pytest.raises(EncodingError):
+            Field("op", 3, encodings={"ADD": 1}).encode("MUL")
+
+    def test_encode_immediate(self):
+        field = Field("lit", 8, is_immediate=True)
+        assert field.encode(0xAB) == 0xAB
+
+    def test_immediate_masks(self):
+        assert Field("lit", 4, is_immediate=True).encode(0x1F) == 0xF
+
+    def test_immediate_rejects_string(self):
+        with pytest.raises(EncodingError):
+            Field("lit", 8, is_immediate=True).encode("R1")
+
+    def test_raw_code_accepted(self):
+        field = Field("op", 3, encodings={"ADD": 1})
+        assert field.encode(2) == 2
+
+    def test_raw_code_out_of_range(self):
+        with pytest.raises(EncodingError):
+            Field("op", 2, encodings={"ADD": 1}).encode(9)
+
+    def test_encoding_must_fit_width(self):
+        with pytest.raises(MachineError):
+            Field("op", 2, encodings={"X": 4})
+
+    def test_decode_roundtrip(self):
+        field = Field("op", 3, encodings={"ADD": 1, "SUB": 2})
+        assert field.decode(field.encode("SUB")) == "SUB"
+        assert field.decode(7) == 7  # unknown code passes through
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(MachineError):
+            Field("op", 0)
+
+
+class TestControlWordFormat:
+    def test_total_width(self):
+        assert make_format().width == 3 + 2 + 8
+
+    def test_offsets_are_cumulative(self):
+        fmt = make_format()
+        assert fmt.offset("op") == 0
+        assert fmt.offset("src") == 3
+        assert fmt.offset("lit") == 5
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(MachineError):
+            ControlWordFormat([Field("a", 1), Field("a", 1)])
+
+    def test_pack_unpack_roundtrip(self):
+        fmt = make_format()
+        word = fmt.pack({"op": "ADD", "src": "R2", "lit": 0x55})
+        codes = fmt.unpack(word)
+        assert codes == {"op": 1, "src": 2, "lit": 0x55}
+
+    def test_pack_defaults_to_nop(self):
+        fmt = make_format()
+        assert fmt.unpack(fmt.pack({})) == {"op": 0, "src": 0, "lit": 0}
+
+    def test_pack_unknown_field(self):
+        with pytest.raises(EncodingError):
+            make_format().pack({"bogus": 1})
+
+    def test_unpack_out_of_range(self):
+        fmt = make_format()
+        with pytest.raises(EncodingError):
+            fmt.unpack(1 << fmt.width)
+
+    def test_unknown_field_lookup(self):
+        with pytest.raises(MachineError):
+            make_format()["nope"]
+
+    def test_describe_lists_fields(self):
+        text = make_format().describe()
+        assert "op" in text and "lit" in text and "13 bits" in text
+
+    def test_iteration_and_names(self):
+        fmt = make_format()
+        assert fmt.names() == ["op", "src", "lit"]
+        assert len(fmt) == 3
+        assert [f.name for f in fmt] == fmt.names()

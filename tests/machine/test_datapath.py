@@ -1,0 +1,131 @@
+"""CHAMIL's datapath abstraction (§2.2.5) on the CM1 machine."""
+
+import pytest
+
+from repro.errors import MachineError, MIRError
+from repro.lang.common.legalize import legalize
+from repro.machine.datapath import DatapathGraph
+from repro.machine.machines import build_cm1
+from repro.mir import ProgramBuilder, mop, preg
+from tests.conftest import run_mir
+
+
+@pytest.fixture(scope="module")
+def cm1():
+    return build_cm1()
+
+
+class TestDatapathGraph:
+    def make(self):
+        graph = DatapathGraph(routing_registers=frozenset({"L"}))
+        graph.connect_bidirectional("A", "B")
+        graph.connect_bidirectional("B", "L")
+        graph.connect_bidirectional("L", "C")
+        return graph
+
+    def test_direct(self):
+        graph = self.make()
+        assert graph.is_direct("A", "B")
+        assert not graph.is_direct("A", "C")
+
+    def test_route_direct_is_single_hop(self):
+        assert self.make().route("A", "B") == [("A", "B")]
+
+    def test_route_through_latch(self):
+        assert self.make().route("B", "C") == [("B", "L"), ("L", "C")]
+
+    def test_route_refuses_architectural_intermediates(self):
+        # A -> C exists only via B (architectural) then L: B may not be
+        # clobbered, so there is no legal route from A.
+        assert self.make().route("A", "C") is None
+
+    def test_max_hops(self):
+        graph = DatapathGraph(routing_registers=frozenset({"L1", "L2", "L3"}))
+        graph.connect("A", "L1")
+        graph.connect("L1", "L2")
+        graph.connect("L2", "L3")
+        graph.connect("L3", "B")
+        assert graph.route("A", "B", max_hops=4) is not None
+        assert graph.route("A", "B", max_hops=2) is None
+
+    def test_validate_unknown_register(self):
+        graph = DatapathGraph()
+        graph.connect("A", "GHOST")
+        with pytest.raises(MachineError):
+            graph.validate({"A"})
+
+
+class TestCM1Routing:
+    def test_direct_move_untouched(self, cm1):
+        builder = ProgramBuilder("t", cm1)
+        builder.start_block("entry")
+        builder.emit(mop("mov", preg("R1"), preg("R2")))
+        builder.exit()
+        program = builder.finish()
+        stats = legalize(program, cm1)
+        assert stats.expansions == {}
+        assert program.n_ops() == 1
+
+    def test_cross_bus_move_routed_through_latch(self, cm1):
+        builder = ProgramBuilder("t", cm1)
+        builder.start_block("entry")
+        builder.emit(mop("mov", preg("R1"), preg("R5")))
+        builder.exit()
+        program = builder.finish()
+        stats = legalize(program, cm1)
+        assert stats.expansions.get("datapath-route") == 1
+        ops = program.blocks["entry"].ops
+        assert [str(op) for op in ops] == ["mov L0, R5", "mov R1, L0"]
+
+    def test_routed_move_executes_correctly(self, cm1):
+        builder = ProgramBuilder("t", cm1)
+        builder.start_block("entry")
+        builder.emit(mop("mov", preg("R1"), preg("R5")))
+        builder.emit(mop("mov", preg("R6"), preg("R2")))
+        builder.exit(preg("R1"))
+        program = builder.finish()
+        legalize(program, cm1)
+        result, simulator = run_mir(program, cm1,
+                                    registers={"R5": 77, "R2": 55})
+        assert result.exit_value == 77
+        assert simulator.state.read_reg("R6") == 55
+
+    def test_route_fits_one_chained_microcycle(self, cm1):
+        """CHAMIL's condition: the indirect path is traversable within
+        one microcycle — on CM1, phase-1 move into L0 chains into the
+        phase-3 write-back move."""
+        from repro.compose import BranchBoundComposer, compose_program
+
+        builder = ProgramBuilder("t", cm1)
+        builder.start_block("entry")
+        builder.emit(mop("mov", preg("R1"), preg("R5")))
+        builder.exit(preg("R1"))
+        program = builder.finish()
+        legalize(program, cm1)
+        composed = compose_program(program, cm1, BranchBoundComposer())
+        assert composed.n_instructions() == 1  # both hops in one word
+
+    def test_secondary_bus_local_moves_direct(self, cm1):
+        builder = ProgramBuilder("t", cm1)
+        builder.start_block("entry")
+        builder.emit(mop("mov", preg("R6"), preg("R5")))
+        builder.exit()
+        program = builder.finish()
+        stats = legalize(program, cm1)
+        assert "datapath-route" not in stats.expansions
+
+    def test_latch_not_allocatable(self, cm1):
+        names = {r.name for r in cm1.registers.allocatable()}
+        assert "L0" not in names
+
+    def test_alu_operands_unaffected_by_datapath(self, cm1):
+        """The datapath constrains moves; ALU source selection is a
+        separate (select-field) matter, as on the real machines."""
+        builder = ProgramBuilder("t", cm1)
+        builder.start_block("entry")
+        builder.emit(mop("add", preg("R1"), preg("R5"), preg("R2")))
+        builder.exit(preg("R1"))
+        program = builder.finish()
+        legalize(program, cm1)
+        result, _ = run_mir(program, cm1, registers={"R5": 30, "R2": 12})
+        assert result.exit_value == 42

@@ -1,0 +1,68 @@
+"""OpSpec and OperationTable behaviour."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.opspec import OperationTable, OpSpec
+
+
+def spec(name="add", variant="", n_srcs=2, has_dest=True, **kwargs):
+    return OpSpec(
+        name=name, unit="alu", n_srcs=n_srcs, has_dest=has_dest,
+        settings=(("alu_op", name.upper()),), variant=variant, **kwargs,
+    )
+
+
+class TestOpSpec:
+    def test_key_includes_variant(self):
+        assert spec().key == "add"
+        assert spec(variant="b").key == "add/b"
+
+    def test_fields_used(self):
+        s = OpSpec("mov", "mova", 1, True,
+                   settings=(("a_src", "$src0"), ("a_dst", "$dest")))
+        assert s.fields_used() == {"a_src", "a_dst"}
+
+    def test_src_classes_length_checked(self):
+        with pytest.raises(MachineError):
+            spec(src_classes=("gpr",))
+
+    def test_src_class_default_none(self):
+        assert spec().src_class(0) is None
+        assert spec(src_classes=("gpr", None)).src_class(0) == "gpr"
+
+    def test_imm_src_index_checked(self):
+        with pytest.raises(MachineError):
+            spec(imm_srcs=frozenset({5}))
+
+
+class TestOperationTable:
+    def test_variants_ordered(self):
+        table = OperationTable()
+        table.add(spec(variant="a", name="mov", n_srcs=1))
+        table.add(spec(variant="b", name="mov", n_srcs=1))
+        assert [v.variant for v in table.variants("mov")] == ["a", "b"]
+        assert table.default("mov").variant == "a"
+
+    def test_duplicate_variant_rejected(self):
+        table = OperationTable()
+        table.add(spec())
+        with pytest.raises(MachineError):
+            table.add(spec())
+
+    def test_variants_must_agree_on_arity(self):
+        table = OperationTable()
+        table.add(spec(variant="a"))
+        with pytest.raises(MachineError):
+            table.add(spec(variant="b", n_srcs=1))
+
+    def test_unknown_op(self):
+        with pytest.raises(MachineError):
+            OperationTable().variants("nope")
+
+    def test_contains_and_names(self):
+        table = OperationTable()
+        table.add(spec())
+        assert "add" in table
+        assert table.names() == ["add"]
+        assert len(list(table)) == 1

@@ -1,0 +1,140 @@
+"""Registers, register classes, windows and banks."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.registers import (
+    CONST,
+    GPR,
+    MAR,
+    Register,
+    RegisterFile,
+    const_register,
+    gpr,
+)
+
+
+class TestRegister:
+    def test_mask_matches_width(self):
+        assert Register("X", 8).mask == 0xFF
+        assert Register("Y", 16).mask == 0xFFFF
+        assert Register("Z", 1).mask == 1
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(MachineError):
+            Register("X", 0)
+
+    def test_reset_must_fit(self):
+        with pytest.raises(MachineError):
+            Register("X", 4, reset=16)
+
+    def test_reset_in_range_ok(self):
+        assert Register("X", 4, reset=15).reset == 15
+
+    def test_class_membership(self):
+        register = gpr("R1", 16, "acc")
+        assert register.is_in(GPR)
+        assert register.is_in("acc")
+        assert not register.is_in(MAR)
+
+    def test_const_register_is_readonly(self):
+        register = const_register("C0", 16, 0xBEEF)
+        assert register.readonly
+        assert register.reset == 0xBEEF
+        assert register.is_in(CONST)
+
+    def test_const_register_masks_value(self):
+        assert const_register("C0", 8, 0x1FF).reset == 0xFF
+
+
+class TestRegisterFile:
+    def make(self):
+        rf = RegisterFile()
+        rf.add(gpr("R1", 16))
+        rf.add(gpr("R2", 16, "special"))
+        rf.add(const_register("C0", 16, 7))
+        rf.add(Register("MAR", 16, classes=frozenset({MAR})))
+        return rf
+
+    def test_lookup(self):
+        rf = self.make()
+        assert rf["R1"].name == "R1"
+        assert "R2" in rf
+        assert "missing" not in rf
+
+    def test_unknown_raises(self):
+        with pytest.raises(MachineError):
+            self.make()["nope"]
+
+    def test_duplicate_rejected(self):
+        rf = self.make()
+        with pytest.raises(MachineError):
+            rf.add(gpr("R1", 16))
+
+    def test_in_class(self):
+        rf = self.make()
+        assert {r.name for r in rf.in_class(GPR)} == {"R1", "R2"}
+        assert [r.name for r in rf.in_class("special")] == ["R2"]
+
+    def test_allocatable_excludes_const_and_mar(self):
+        rf = self.make()
+        names = {r.name for r in rf.allocatable()}
+        assert names == {"R1", "R2"}
+
+    def test_macro_visible(self):
+        rf = self.make()
+        assert rf.macro_visible() == []
+        rf.add(gpr("R3", 16, macro_visible=True))
+        assert [r.name for r in rf.macro_visible()] == ["R3"]
+
+    def test_names_order(self):
+        assert self.make().names() == ["R1", "R2", "C0", "MAR"]
+
+
+class TestWindows:
+    def make(self):
+        rf = RegisterFile(n_banks=2)
+        rf.add(gpr("G0_0", 16), bank=0)
+        rf.add(gpr("G1_0", 16), bank=1)
+        rf.add_window("G0", ("G0_0", "G1_0"))
+        rf.bank_pointer = "BLK"
+        return rf
+
+    def test_window_resolution(self):
+        rf = self.make()
+        assert rf.resolve_window("G0", 0) == "G0_0"
+        assert rf.resolve_window("G0", 1) == "G1_0"
+
+    def test_window_contains_and_getitem(self):
+        rf = self.make()
+        assert "G0" in rf
+        assert rf["G0"].width == 16
+
+    def test_window_bad_bank(self):
+        with pytest.raises(MachineError):
+            self.make().resolve_window("G0", 5)
+
+    def test_window_wrong_count(self):
+        rf = self.make()
+        with pytest.raises(MachineError):
+            rf.add_window("G9", ("G0_0",))
+
+    def test_window_unknown_physical(self):
+        rf = self.make()
+        with pytest.raises(MachineError):
+            rf.add_window("G8", ("nope", "G1_0"))
+
+    def test_duplicate_window_name(self):
+        rf = self.make()
+        with pytest.raises(MachineError):
+            rf.add_window("G0", ("G0_0", "G1_0"))
+
+    def test_bank_out_of_range_on_add(self):
+        rf = RegisterFile(n_banks=2)
+        with pytest.raises(MachineError):
+            rf.add(gpr("X", 16), bank=5)
+
+    def test_is_window(self):
+        rf = self.make()
+        assert rf.is_window("G0")
+        assert not rf.is_window("G0_0")

@@ -1,0 +1,97 @@
+"""Basic blocks and terminators."""
+
+import pytest
+
+from repro.errors import MIRError
+from repro.mir import (
+    BasicBlock,
+    Branch,
+    Call,
+    Exit,
+    Fallthrough,
+    Jump,
+    MaskCase,
+    Multiway,
+    Ret,
+    mop,
+    preg,
+)
+
+
+class TestTerminators:
+    def test_successors(self):
+        assert Jump("a").successors() == ("a",)
+        assert Fallthrough("b").successors() == ("b",)
+        assert Branch("Z", "t", "f").successors() == ("t", "f")
+        assert Ret().successors() == ()
+        assert Exit().successors() == ()
+        assert Call("p", "next").successors() == ("next",)
+
+    def test_branch_condition_checked(self):
+        with pytest.raises(MIRError):
+            Branch("MAYBE", "t", "f")
+
+    def test_tested_flag_strips_negation(self):
+        assert Branch("NZ", "t", "f").tested_flag() == "Z"
+        assert Branch("N", "t", "f").tested_flag() == "N"
+        assert Branch("NUF", "t", "f").tested_flag() == "UF"
+        assert Branch("C", "t", "f").tested_flag() == "C"
+
+
+class TestMaskCase:
+    def test_exact_match(self):
+        assert MaskCase("1010", "t").matches(0b1010)
+        assert not MaskCase("1010", "t").matches(0b1011)
+
+    def test_dont_care_bits(self):
+        case = MaskCase("1x0x", "t")
+        for value in (0b1000, 0b1001, 0b1100, 0b1101):
+            assert case.matches(value)
+        assert not case.matches(0b0000)
+        assert not case.matches(0b1010)
+
+    def test_short_mask_ignores_high_bits(self):
+        assert MaskCase("01", "t").matches(0b1101)  # only low 2 bits checked
+
+    def test_bad_mask_rejected(self):
+        with pytest.raises(MIRError):
+            MaskCase("10z0", "t")
+        with pytest.raises(MIRError):
+            MaskCase("", "t")
+
+    def test_multiway_successors_include_default(self):
+        multiway = Multiway(
+            preg("R1"), (MaskCase("0", "a"), MaskCase("1", "b")), "d"
+        )
+        assert multiway.successors() == ("a", "b", "d")
+
+
+class TestBasicBlock:
+    def test_append_then_terminate(self):
+        block = BasicBlock("b")
+        block.append(mop("nop"))
+        block.terminate(Jump("b"))
+        assert block.terminated
+        assert block.successors() == ("b",)
+
+    def test_append_after_terminate_rejected(self):
+        block = BasicBlock("b")
+        block.terminate(Ret())
+        with pytest.raises(MIRError):
+            block.append(mop("nop"))
+
+    def test_double_terminate_rejected(self):
+        block = BasicBlock("b")
+        block.terminate(Ret())
+        with pytest.raises(MIRError):
+            block.terminate(Ret())
+
+    def test_successors_requires_terminator(self):
+        with pytest.raises(MIRError):
+            BasicBlock("b").successors()
+
+    def test_str_contains_ops(self):
+        block = BasicBlock("b", ops=[mop("add", preg("R1"), preg("R2"), preg("R3"))])
+        block.terminate(Exit(preg("R1")))
+        text = str(block)
+        assert "b:" in text and "add R1" in text and "exit R1" in text

@@ -1,0 +1,212 @@
+"""Dependence analysis: flow/anti/output, flags, memory, windows."""
+
+import pytest
+
+from repro.mir import (
+    ANTI,
+    FLOW,
+    OUTPUT,
+    BasicBlock,
+    Branch,
+    Exit,
+    Imm,
+    Jump,
+    build_dependence_graph,
+    mop,
+    op_reads,
+    op_writes,
+    preg,
+)
+
+
+def block_of(*ops, terminator=None, machine=None):
+    block = BasicBlock("b", ops=list(ops))
+    block.terminate(terminator or Jump("b"))
+    return block
+
+
+def edges_of(graph):
+    return {(e.src, e.dst, e.kind) for e in graph.edges if e.dst < graph.n_ops}
+
+
+class TestRegisterDependences:
+    def test_flow(self, hm1):
+        graph = build_dependence_graph(block_of(
+            mop("mov", preg("R1"), preg("R2")),
+            mop("add", preg("R3"), preg("R1"), preg("R4")),
+        ), hm1)
+        assert (0, 1, FLOW) in edges_of(graph)
+
+    def test_anti(self, hm1):
+        graph = build_dependence_graph(block_of(
+            mop("add", preg("R3"), preg("R1"), preg("R4")),
+            mop("mov", preg("R1"), preg("R2")),
+        ), hm1)
+        assert (0, 1, ANTI) in edges_of(graph)
+
+    def test_output(self, hm1):
+        graph = build_dependence_graph(block_of(
+            mop("mov", preg("R1"), preg("R2")),
+            mop("mov", preg("R1"), preg("R3")),
+        ), hm1)
+        assert (0, 1, OUTPUT) in edges_of(graph)
+
+    def test_independent_ops_have_no_edges(self, hm1):
+        graph = build_dependence_graph(block_of(
+            mop("mov", preg("R1"), preg("R2")),
+            mop("mov", preg("R3"), preg("R4")),
+        ), hm1)
+        assert not edges_of(graph)
+        assert graph.independent(0, 1)
+
+    def test_reads_dest_creates_flow(self, hm1):
+        # dep reads its destination (read-modify-write).
+        graph = build_dependence_graph(block_of(
+            mop("mov", preg("R1"), preg("R2")),
+            mop("dep", preg("R1"), preg("R3"), Imm(0), Imm(4)),
+        ), hm1)
+        kinds = {k for (s, d, k) in edges_of(graph) if (s, d) == (0, 1)}
+        assert FLOW in kinds  # dest read makes it flow, not just output
+
+
+class TestFlagDependences:
+    def test_dead_flag_writes_pruned(self, hm1):
+        # Two adds whose flags nobody reads must be independent.
+        graph = build_dependence_graph(block_of(
+            mop("add", preg("R1"), preg("R2"), preg("R3")),
+            mop("add", preg("R4"), preg("R5"), preg("R6")),
+        ), hm1)
+        assert not edges_of(graph)
+
+    def test_flag_read_by_terminator_kept(self, hm1):
+        block = block_of(
+            mop("cmp", None, preg("R1"), preg("R2")),
+            terminator=Branch("Z", "b", "b"),
+        )
+        graph = build_dependence_graph(block, hm1)
+        terminator_edges = [
+            e for e in graph.edges if e.dst == graph.terminator_node
+        ]
+        assert any(e.resource == "flag:Z" for e in terminator_edges)
+
+    def test_intervening_flag_writer_orders(self, hm1):
+        # cmp then add then branch: add's Z is what the branch sees,
+        # so cmp -> add must carry an output edge on the flag.
+        block = block_of(
+            mop("cmp", None, preg("R1"), preg("R2")),
+            mop("add", preg("R3"), preg("R4"), preg("R5")),
+            terminator=Branch("Z", "b", "b"),
+        )
+        graph = build_dependence_graph(block, hm1)
+        assert (0, 1, OUTPUT) in edges_of(graph)
+
+    def test_uf_flow_to_reader(self, hm1):
+        # shl writes UF; a branch on UF reads it.
+        block = block_of(
+            mop("shl", preg("R1"), preg("R1"), Imm(1)),
+            terminator=Branch("UF", "b", "b"),
+        )
+        graph = build_dependence_graph(block, hm1)
+        terminator_edges = [e for e in graph.edges if e.dst == graph.terminator_node]
+        assert any(e.resource == "flag:UF" for e in terminator_edges)
+
+
+class TestMemoryDependences:
+    def test_write_read_ordered(self, hm1):
+        graph = build_dependence_graph(block_of(
+            mop("write", None, preg("MAR"), preg("MBR")),
+            mop("read", preg("MBR"), preg("MAR")),
+        ), hm1)
+        kinds = {k for (s, d, k) in edges_of(graph) if (s, d) == (0, 1)}
+        assert FLOW in kinds
+
+    def test_reads_commute(self, hm1):
+        # Two reads only conflict through MBR (output), not through mem.
+        graph = build_dependence_graph(block_of(
+            mop("read", preg("MBR"), preg("MAR")),
+            mop("read", preg("MBR"), preg("MAR")),
+        ), hm1)
+        resources = {e.resource for e in graph.edges}
+        assert "mem" not in resources
+        assert "MBR" in resources
+
+    def test_scratch_slots_disambiguate(self, hm1):
+        graph = build_dependence_graph(block_of(
+            mop("stscr", None, preg("R1"), Imm(3)),
+            mop("ldscr", preg("R2"), Imm(4)),
+        ), hm1)
+        assert not edges_of(graph)
+
+    def test_same_scratch_slot_orders(self, hm1):
+        graph = build_dependence_graph(block_of(
+            mop("stscr", None, preg("R1"), Imm(3)),
+            mop("ldscr", preg("R2"), Imm(3)),
+        ), hm1)
+        assert (0, 1, FLOW) in edges_of(graph)
+
+
+class TestWindowDependences:
+    def test_window_access_reads_bank_pointer(self, id3200):
+        reads = op_reads(mop("mov", preg("S0"), preg("G1")), id3200)
+        assert "BLK" in reads
+
+    def test_setblk_writes_bank_pointer(self, id3200):
+        writes = op_writes(mop("setblk", None, Imm(3)), id3200)
+        assert "BLK" in writes
+
+    def test_setblk_orders_against_window_use(self, id3200):
+        graph = build_dependence_graph(block_of(
+            mop("setblk", None, Imm(2)),
+            mop("mov", preg("S0"), preg("G1")),
+        ), id3200)
+        assert (0, 1, FLOW) in edges_of(graph)
+
+
+class TestSchedulingMetrics:
+    def chain(self, hm1):
+        return block_of(
+            mop("mov", preg("R1"), preg("R2")),
+            mop("inc", preg("R1"), preg("R1")),
+            mop("inc", preg("R1"), preg("R1")),
+            mop("mov", preg("R5"), preg("R6")),
+        )
+
+    def test_asap_levels(self, hm1):
+        graph = build_dependence_graph(self.chain(hm1), hm1)
+        assert graph.asap_levels() == [0, 1, 2, 0]
+
+    def test_alap_levels(self, hm1):
+        graph = build_dependence_graph(self.chain(hm1), hm1)
+        assert graph.alap_levels() == [0, 1, 2, 2]
+
+    def test_critical_path(self, hm1):
+        graph = build_dependence_graph(self.chain(hm1), hm1)
+        assert graph.critical_path_length() == 3
+
+    def test_heights_weighted_by_latency(self, hm1):
+        block = block_of(
+            mop("mov", preg("MAR"), preg("R1")),
+            mop("read", preg("MBR"), preg("MAR")),  # latency 2
+            mop("mov", preg("R2"), preg("MBR")),
+        )
+        graph = build_dependence_graph(block, hm1)
+        assert graph.heights() == [4, 3, 1]
+
+    def test_has_path_transitive(self, hm1):
+        graph = build_dependence_graph(self.chain(hm1), hm1)
+        assert graph.has_path(0, 2)
+        assert not graph.has_path(2, 0)
+        assert graph.independent(0, 3)
+
+    def test_empty_block(self, hm1):
+        graph = build_dependence_graph(block_of(), hm1)
+        assert graph.asap_levels() == []
+        assert graph.critical_path_length() == 0
+
+    def test_exit_value_pins_producer(self, hm1):
+        block = block_of(
+            mop("inc", preg("R1"), preg("R1")),
+            terminator=Exit(preg("R1")),
+        )
+        graph = build_dependence_graph(block, hm1)
+        assert any(e.dst == graph.terminator_node for e in graph.edges)

@@ -1,0 +1,106 @@
+"""Liveness analysis over straight-line code, loops and calls."""
+
+from repro.mir import (
+    Branch,
+    Jump,
+    ProgramBuilder,
+    analyze_liveness,
+    mop,
+    preg,
+    program_successors,
+    vreg,
+)
+
+
+def test_straight_line_liveness(hm1):
+    b = ProgramBuilder("t", hm1)
+    b.start_block("a")
+    b.emit(mop("mov", vreg("x"), preg("R2")))
+    b.start_block("b")
+    b.emit(mop("inc", vreg("y"), vreg("x")))
+    b.exit(vreg("y"))
+    program = b.finish()
+    live = analyze_liveness(program, hm1)
+    assert "%x" in live.live_out["a"]
+    assert live.live_in["b"] == {"%x"}
+    # y is defined inside b and consumed by its terminator: not live-in,
+    # and nothing flows out of the exiting block.
+    assert "%y" not in live.live_in["b"]
+    assert live.live_out["b"] == set()
+
+
+def test_loop_keeps_carried_values_live(hm1):
+    b = ProgramBuilder("t", hm1)
+    b.start_block("entry")
+    b.emit(mop("movi", vreg("acc"), __import__("repro.mir", fromlist=["Imm"]).Imm(0)))
+    b.terminate(Jump("loop"))
+    b.start_block("loop")
+    b.emit(mop("add", vreg("acc"), vreg("acc"), preg("R1")))
+    b.emit(mop("cmp", None, vreg("acc"), preg("R0")))
+    b.terminate(Branch("Z", "done", "loop"))
+    b.start_block("done")
+    b.exit(vreg("acc"))
+    program = b.finish()
+    live = analyze_liveness(program, hm1)
+    assert "%acc" in live.live_in["loop"]
+    assert "%acc" in live.live_out["loop"]
+
+
+def test_dead_value_not_live(hm1):
+    b = ProgramBuilder("t", hm1)
+    b.start_block("a")
+    b.emit(mop("mov", vreg("dead"), preg("R2")))
+    b.emit(mop("mov", vreg("live"), preg("R3")))
+    b.start_block("b")
+    b.exit(vreg("live"))
+    program = b.finish()
+    live = analyze_liveness(program, hm1)
+    assert "%dead" not in live.live_out["a"]
+    assert "%live" in live.live_out["a"]
+
+
+def test_interprocedural_successors(hm1):
+    b = ProgramBuilder("t", hm1)
+    b.start_block("main")
+    b.declare_procedure("p", "pentry")
+    cont = b.call("p")
+    b.exit()
+    b.start_block("pentry")
+    b.ret()
+    program = b.finish()
+    successors = program_successors(program)
+    assert "pentry" in successors["main"]
+    assert cont in successors["pentry"]
+
+
+def test_value_live_across_call(hm1):
+    b = ProgramBuilder("t", hm1)
+    b.start_block("main")
+    b.emit(mop("mov", vreg("x"), preg("R2")))
+    b.declare_procedure("p", "pentry")
+    b.call("p")
+    b.exit(vreg("x"))
+    b.start_block("pentry")
+    b.emit(mop("inc", preg("R3"), preg("R3")))
+    b.ret()
+    program = b.finish()
+    live = analyze_liveness(program, hm1)
+    assert "%x" in live.live_out["main"]
+    assert "%x" in live.live_in["pentry"]  # conservative through the call
+
+
+def test_live_after_positions(hm1):
+    b = ProgramBuilder("t", hm1)
+    b.start_block("a")
+    b.emit(mop("mov", vreg("x"), preg("R2")))
+    b.emit(mop("inc", vreg("y"), vreg("x")))
+    b.emit(mop("inc", vreg("z"), vreg("y")))
+    b.exit(vreg("z"))
+    program = b.finish()
+    live = analyze_liveness(program, hm1)
+    block = program.block("a")
+    after_first = live.live_after(block, 0, hm1)
+    assert "%x" in after_first
+    after_second = live.live_after(block, 1, hm1)
+    assert "%x" not in after_second
+    assert "%y" in after_second

@@ -1,0 +1,61 @@
+"""Operands and micro-operations."""
+
+import pytest
+
+from repro.errors import MIRError
+from repro.mir import Imm, MicroOp, Reg, mop, preg, vreg
+
+
+class TestOperands:
+    def test_str_forms(self):
+        assert str(preg("R1")) == "R1"
+        assert str(vreg("x")) == "%x"
+        assert str(Imm(7)) == "#7"
+
+    def test_equality_distinguishes_virtual(self):
+        assert preg("x") != vreg("x")
+        assert vreg("x") == vreg("x")
+
+    def test_hashable(self):
+        assert len({preg("a"), preg("a"), vreg("a")}) == 2
+
+
+class TestMicroOp:
+    def test_src_regs_filters_immediates(self):
+        op = mop("shl", preg("R1"), preg("R2"), Imm(3))
+        assert op.src_regs() == (preg("R2"),)
+        assert op.src_imms() == (Imm(3),)
+
+    def test_regs_includes_dest(self):
+        op = mop("add", preg("R1"), preg("R2"), preg("R3"))
+        assert set(op.regs()) == {preg("R1"), preg("R2"), preg("R3")}
+
+    def test_rename(self):
+        op = mop("add", vreg("a"), vreg("a"), vreg("b"))
+        renamed = op.rename({vreg("a"): preg("R1"), vreg("b"): preg("R2")})
+        assert renamed.dest == preg("R1")
+        assert renamed.srcs == (preg("R1"), preg("R2"))
+
+    def test_rename_leaves_immediates(self):
+        op = mop("shl", vreg("a"), vreg("a"), Imm(1))
+        renamed = op.rename({vreg("a"): preg("R1")})
+        assert renamed.srcs[1] == Imm(1)
+
+    def test_bad_dest_rejected(self):
+        with pytest.raises(MIRError):
+            MicroOp("add", dest=Imm(1))  # type: ignore[arg-type]
+
+    def test_bad_src_rejected(self):
+        with pytest.raises(MIRError):
+            MicroOp("add", dest=preg("R1"), srcs=("R2",))  # type: ignore[arg-type]
+
+    def test_str(self):
+        assert str(mop("add", preg("R1"), preg("R2"), Imm(3))) == "add R1, R2, #3"
+        assert str(mop("write", None, preg("MAR"), preg("MBR"))) == "write MAR, MBR"
+        assert str(mop("nop")) == "nop"
+
+    def test_with_operands(self):
+        op = mop("add", preg("R1"), preg("R2"), preg("R3"), comment="k")
+        replaced = op.with_operands(preg("R4"), (preg("R5"), preg("R6")))
+        assert replaced.dest == preg("R4")
+        assert replaced.comment == "k"

@@ -1,0 +1,164 @@
+"""MicroProgram and ProgramBuilder."""
+
+import pytest
+
+from repro.errors import MIRError
+from repro.mir import (
+    Branch,
+    Exit,
+    Imm,
+    Jump,
+    MicroProgram,
+    Multiway,
+    MaskCase,
+    ProgramBuilder,
+    mop,
+    preg,
+    vreg,
+)
+
+
+class TestBuilder:
+    def test_fallthrough_inserted_between_blocks(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.emit(mop("nop"))
+        b.start_block("b")
+        b.exit()
+        program = b.finish()
+        assert program.block("a").successors() == ("b",)
+
+    def test_entry_is_first_block(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("first")
+        b.exit()
+        assert b.finish().entry == "first"
+
+    def test_unterminated_final_block_gets_exit(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.emit(mop("nop"))
+        program = b.finish()
+        assert isinstance(program.block("a").terminator, Exit)
+
+    def test_fresh_labels_unique(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        labels = {b.fresh_label() for _ in range(50)}
+        assert len(labels) == 50
+
+    def test_call_creates_continuation(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("main")
+        b.declare_procedure("p", "pentry")
+        cont = b.call("p")
+        b.exit()
+        b.start_block("pentry")
+        b.ret()
+        program = b.finish()
+        assert program.block("main").terminator.proc == "p"
+        assert program.block("main").terminator.next == cont
+
+    def test_duplicate_procedure_rejected(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.declare_procedure("p", "x")
+        with pytest.raises(MIRError):
+            b.declare_procedure("p", "y")
+
+
+class TestConstants:
+    def test_special_values_use_hardwired_registers(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        assert b.constant(0) == preg("R0")
+        assert b.constant(1) == preg("ONE")
+        assert b.constant(0xFFFF) == preg("MINUS1")
+
+    def test_rom_slot_assigned_and_reused(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        first = b.constant(0x1234)
+        again = b.constant(0x1234)
+        assert first == again
+        assert b.program.constants[first.name] == 0x1234
+
+    def test_distinct_values_distinct_slots(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        slots = {b.constant(v).name for v in (10, 20, 30)}
+        assert len(slots) == 3
+
+    def test_rom_exhaustion_falls_back_to_imm(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        for value in range(100, 100 + 8):
+            b.constant(value)
+        fallback = b.constant(0x4242)
+        assert fallback == Imm(0x4242)
+
+    def test_without_machine_constants_are_immediates(self):
+        assert ProgramBuilder("t").constant(5) == Imm(5)
+
+
+class TestValidation:
+    def test_unknown_target_rejected(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.terminate(Jump("nowhere"))
+        with pytest.raises(MIRError):
+            b.finish()
+
+    def test_unterminated_block_rejected(self):
+        program = MicroProgram("t")
+        from repro.mir import BasicBlock
+
+        program.add_block(BasicBlock("a"))
+        program.entry = "a"
+        with pytest.raises(MIRError):
+            program.validate()
+
+    def test_call_unknown_procedure_rejected(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("main")
+        b.current.terminate(
+            __import__("repro.mir", fromlist=["Call"]).Call("ghost", "main")
+        )
+        with pytest.raises(MIRError):
+            b.finish()
+
+    def test_duplicate_block_rejected(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.exit()
+        with pytest.raises(MIRError):
+            b.start_block("a")
+
+
+class TestRenaming:
+    def test_rename_covers_terminators(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.emit(mop("inc", vreg("x"), vreg("x")))
+        b.exit(vreg("x"))
+        program = b.finish()
+        program.rename_regs({vreg("x"): preg("R1")})
+        assert program.block("a").terminator.value == preg("R1")
+        assert not program.virtual_regs()
+
+    def test_rename_covers_multiway(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.terminate(Multiway(vreg("x"), (MaskCase("1", "a"),), "a"))
+        program = b.program
+        program.entry = "a"
+        program.rename_regs({vreg("x"): preg("R1")})
+        assert program.block("a").terminator.reg == preg("R1")
+
+    def test_virtual_regs_sees_terminator_operands(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.exit(vreg("only_here"))
+        assert vreg("only_here") in b.program.virtual_regs()
+
+    def test_n_ops(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.emit(mop("nop"))
+        b.emit(mop("nop"))
+        b.exit()
+        assert b.finish().n_ops() == 2

@@ -1,0 +1,57 @@
+"""Property-based allocation tests: both allocators preserve semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.workloads import random_program
+from repro.machine.machines import build_hm1, build_vax
+from repro.regalloc import GraphColorAllocator, LinearScanAllocator
+from tests.conftest import run_mir
+
+MACHINES = {"HM1": build_hm1(), "VAXm": build_vax()}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    machine_name=st.sampled_from(sorted(MACHINES)),
+    seed=st.integers(min_value=0, max_value=5_000),
+    n_variables=st.integers(min_value=2, max_value=16),
+    ops_per_block=st.integers(min_value=2, max_value=10),
+)
+def test_allocators_agree(machine_name, seed, n_variables, ops_per_block):
+    """Linear scan and graph colouring yield identical final results on
+    random symbolic programs, spills included."""
+    machine = MACHINES[machine_name]
+    outcomes = []
+    for allocator in (LinearScanAllocator(), GraphColorAllocator()):
+        program = random_program(
+            machine, n_blocks=2, ops_per_block=ops_per_block,
+            seed=seed, n_variables=n_variables,
+        )
+        result = allocator.allocate(program, machine)
+        assert not program.virtual_regs()
+        run, _ = run_mir(program, machine)
+        outcomes.append(run.exit_value)
+    assert outcomes[0] == outcomes[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    limit=st.integers(min_value=4, max_value=8),
+)
+def test_register_limit_never_changes_semantics(seed, limit):
+    machine = MACHINES["HM1"]
+    reference_program = random_program(
+        machine, n_blocks=2, ops_per_block=8, seed=seed, n_variables=12
+    )
+    LinearScanAllocator().allocate(reference_program, machine)
+    reference, _ = run_mir(reference_program, machine)
+
+    limited_program = random_program(
+        machine, n_blocks=2, ops_per_block=8, seed=seed, n_variables=12
+    )
+    LinearScanAllocator(register_limit=limit).allocate(
+        limited_program, machine
+    )
+    limited, _ = run_mir(limited_program, machine)
+    assert limited.exit_value == reference.exit_value

@@ -1,0 +1,85 @@
+"""Main memory (paging, faults) and scratchpad."""
+
+import pytest
+
+from repro.errors import MicroTrap, SimulationError
+from repro.sim import MainMemory, Scratchpad
+
+
+class TestMainMemory:
+    def test_read_write(self):
+        memory = MainMemory()
+        memory.write(100, 0xBEEF)
+        assert memory.read(100) == 0xBEEF
+        assert memory.read(101) == 0
+
+    def test_bounds(self):
+        memory = MainMemory(size=256)
+        with pytest.raises(SimulationError):
+            memory.read(256)
+        with pytest.raises(SimulationError):
+            memory.write(-1, 0)
+
+    def test_counters(self):
+        memory = MainMemory()
+        memory.write(1, 2)
+        memory.read(1)
+        memory.read(1)
+        assert (memory.reads, memory.writes) == (2, 1)
+
+    def test_paging_fault_on_unmapped(self):
+        memory = MainMemory(paging_enabled=True, page_size=256)
+        with pytest.raises(MicroTrap) as info:
+            memory.read(300)
+        assert info.value.kind == "pagefault"
+        assert memory.faults == 1
+
+    def test_mapped_page_does_not_fault(self):
+        memory = MainMemory(paging_enabled=True, page_size=256)
+        memory.map_page(1)
+        memory.write(300, 7)
+        assert memory.read(300) == 7
+
+    def test_map_address_and_unmap(self):
+        memory = MainMemory(paging_enabled=True)
+        memory.map_address(1000)
+        assert memory.is_mapped(1000)
+        memory.unmap_page(1000 // memory.page_size)
+        assert not memory.is_mapped(1000)
+
+    def test_load_dump_bypass_paging(self):
+        memory = MainMemory(paging_enabled=True)
+        memory.load_words(512, [1, 2, 3])
+        assert memory.dump_words(512, 3) == [1, 2, 3]
+        assert memory.faults == 0
+
+    def test_write_fault(self):
+        memory = MainMemory(paging_enabled=True)
+        with pytest.raises(MicroTrap):
+            memory.write(5, 1)
+
+    def test_paging_disabled_never_faults(self):
+        memory = MainMemory(paging_enabled=False)
+        assert memory.is_mapped(12345)
+        memory.read(12345)
+
+
+class TestScratchpad:
+    def test_read_write(self):
+        pad = Scratchpad(16)
+        pad.write(3, 42)
+        assert pad.read(3) == 42
+        assert pad.read(4) == 0
+
+    def test_bounds(self):
+        pad = Scratchpad(16)
+        with pytest.raises(SimulationError):
+            pad.read(16)
+        with pytest.raises(SimulationError):
+            pad.write(99, 0)
+
+    def test_counters(self):
+        pad = Scratchpad(16)
+        pad.write(0, 1)
+        pad.read(0)
+        assert (pad.reads, pad.writes) == (1, 1)

@@ -1,0 +1,154 @@
+"""Datapath semantics: every op, flags, widths."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.semantics import condition_holds, evaluate
+
+
+class TestArithmetic:
+    def test_add(self):
+        result = evaluate("add", [3, 4], 16)
+        assert result.value == 7
+        assert result.flags == {"Z": 0, "N": 0, "C": 0}
+
+    def test_add_carry_and_wrap(self):
+        result = evaluate("add", [0xFFFF, 1], 16)
+        assert result.value == 0
+        assert result.flags["C"] == 1 and result.flags["Z"] == 1
+
+    def test_add_negative_flag(self):
+        assert evaluate("add", [0x7FFF, 1], 16).flags["N"] == 1
+
+    def test_sub(self):
+        result = evaluate("sub", [10, 3], 16)
+        assert result.value == 7
+        assert result.flags["C"] == 1  # no borrow
+
+    def test_sub_borrow(self):
+        result = evaluate("sub", [3, 10], 16)
+        assert result.value == (3 - 10) & 0xFFFF
+        assert result.flags["C"] == 0 and result.flags["N"] == 1
+
+    def test_cmp_has_no_value(self):
+        result = evaluate("cmp", [5, 5], 16)
+        assert result.value is None
+        assert result.flags["Z"] == 1
+
+    def test_adc_uses_carry_in(self):
+        assert evaluate("adc", [1, 2], 16, carry_in=1).value == 4
+        assert evaluate("adc", [1, 2], 16, carry_in=0).value == 3
+
+    def test_inc_dec(self):
+        assert evaluate("inc", [0xFFFF], 16).value == 0
+        assert evaluate("inc", [0xFFFF], 16).flags["C"] == 1
+        assert evaluate("dec", [0], 16).value == 0xFFFF
+
+    def test_neg_not(self):
+        assert evaluate("neg", [1], 16).value == 0xFFFF
+        assert evaluate("not", [0], 16).value == 0xFFFF
+        assert evaluate("neg", [0], 16).value == 0
+
+    def test_mul(self):
+        assert evaluate("mul", [300, 300], 16).value == (300 * 300) & 0xFFFF
+
+
+class TestLogic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("nand", 0xFFFF, 0xFFFF, 0),
+        ("nor", 0, 0, 0xFFFF),
+    ])
+    def test_table(self, op, a, b, expected):
+        assert evaluate(op, [a, b], 16).value == expected
+
+
+class TestShifts:
+    def test_shl_underflow_is_top_bit(self):
+        result = evaluate("shl", [0x8000, 1], 16)
+        assert result.value == 0
+        assert result.flags["UF"] == 1
+
+    def test_shr_underflow_is_bottom_bit(self):
+        result = evaluate("shr", [0b11, 1], 16)
+        assert result.value == 1
+        assert result.flags["UF"] == 1
+
+    def test_sar_keeps_sign(self):
+        assert evaluate("sar", [0x8000, 1], 16).value == 0xC000
+        assert evaluate("sar", [0x4000, 1], 16).value == 0x2000
+
+    def test_rol_ror_roundtrip(self):
+        value = 0xB39D
+        rotated = evaluate("rol", [value, 5], 16).value
+        assert evaluate("ror", [rotated, 5], 16).value == value
+
+    def test_shift_by_zero(self):
+        result = evaluate("shl", [5, 0], 16)
+        assert result.value == 5 and result.flags["UF"] == 0
+
+    def test_shift_count_clamped_to_width(self):
+        assert evaluate("shr", [0xFFFF, 40], 16).value == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            evaluate("shl", [1, -1], 16)
+
+
+class TestBitfield:
+    def test_ext(self):
+        # Extract 4 bits at position 8 of 0xABCD -> 0xB.
+        result = evaluate("ext", [0xABCD, 8, 4], 16)
+        assert result.value == 0xB
+        assert result.flags == {"Z": 0}
+
+    def test_dep(self):
+        # Deposit 0xF into bits 4..7 of 0x1234 -> 0x12F4.
+        result = evaluate("dep", [0xF, 4, 4], 16, dest_old=0x1234)
+        assert result.value == 0x12F4
+
+    def test_dep_masks_source(self):
+        assert evaluate("dep", [0xFF, 0, 4], 16, dest_old=0).value == 0xF
+
+
+class TestConditions:
+    def test_true(self):
+        assert condition_holds("TRUE", {})
+
+    @pytest.mark.parametrize("cond,flags,expected", [
+        ("Z", {"Z": 1}, True), ("Z", {"Z": 0}, False),
+        ("NZ", {"Z": 0}, True), ("N", {"N": 1}, True),
+        ("NN", {"N": 1}, False), ("C", {"C": 1}, True),
+        ("NC", {"C": 0}, True), ("UF", {"UF": 1}, True),
+        ("NUF", {"UF": 1}, False),
+    ])
+    def test_flags(self, cond, flags, expected):
+        assert condition_holds(cond, flags) is expected
+
+    def test_unknown_condition(self):
+        with pytest.raises(SimulationError):
+            condition_holds("MAYBE", {})
+
+    def test_unknown_op(self):
+        with pytest.raises(SimulationError):
+            evaluate("teleport", [1], 16)
+
+    def test_stateful_op_rejected(self):
+        with pytest.raises(SimulationError):
+            evaluate("read", [0], 16)
+
+
+class TestWidthIndependence:
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_add_wraps_at_width(self, width):
+        mask = (1 << width) - 1
+        assert evaluate("add", [mask, 1], width).value == 0
+
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_neg_is_twos_complement(self, width):
+        mask = (1 << width) - 1
+        for value in (0, 1, mask, mask >> 1):
+            negated = evaluate("neg", [value], width).value
+            assert (value + negated) & mask == 0

@@ -1,0 +1,268 @@
+"""The simulator: control flow, phases, interrupts, banked registers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mir import (
+    Branch,
+    Imm,
+    Jump,
+    MaskCase,
+    Multiway,
+    ProgramBuilder,
+    mop,
+    preg,
+)
+from tests.conftest import run_mir
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self, hm1):
+        def program(x):
+            b = ProgramBuilder("t", hm1)
+            b.start_block("entry")
+            b.emit(mop("movi", preg("R1"), Imm(x)))
+            b.emit(mop("cmp", None, preg("R1"), preg("R0")))
+            b.terminate(Branch("Z", "zero", "nonzero"))
+            b.start_block("nonzero")
+            b.emit(mop("movi", preg("R2"), Imm(2)))
+            b.exit(preg("R2"))
+            b.start_block("zero")
+            b.emit(mop("movi", preg("R2"), Imm(1)))
+            b.exit(preg("R2"))
+            return b.finish()
+
+        assert run_mir(program(0), hm1)[0].exit_value == 1
+        assert run_mir(program(5), hm1)[0].exit_value == 2
+
+    def test_multiway_dispatch(self, hm1):
+        def program(x):
+            b = ProgramBuilder("t", hm1)
+            b.start_block("entry")
+            b.emit(mop("movi", preg("R1"), Imm(x)))
+            b.terminate(Multiway(
+                preg("R1"),
+                (MaskCase("0000", "a"), MaskCase("0001", "b"),
+                 MaskCase("001x", "c")),
+                "d",
+            ))
+            for label, value in (("a", 10), ("b", 11), ("c", 12), ("d", 13)):
+                b.start_block(label)
+                b.emit(mop("movi", preg("R2"), Imm(value)))
+                b.exit(preg("R2"))
+            return b.finish()
+
+        assert run_mir(program(0), hm1)[0].exit_value == 10
+        assert run_mir(program(1), hm1)[0].exit_value == 11
+        assert run_mir(program(2), hm1)[0].exit_value == 12
+        assert run_mir(program(3), hm1)[0].exit_value == 12
+        assert run_mir(program(9), hm1)[0].exit_value == 13
+
+    def test_nested_calls(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("main")
+        b.declare_procedure("outer", "outer_e")
+        b.declare_procedure("inner", "inner_e")
+        b.call("outer")
+        b.exit(preg("R1"))
+        b.start_block("outer_e")
+        b.emit(mop("inc", preg("R1"), preg("R1")))
+        b.call("inner")
+        b.ret()
+        b.start_block("inner_e")
+        b.emit(mop("inc", preg("R1"), preg("R1")))
+        b.ret()
+        result, _ = run_mir(b.finish(), hm1)
+        assert result.exit_value == 2
+
+    def test_stack_overflow_detected(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("main")
+        b.declare_procedure("p", "pe")
+        b.call("p")
+        b.exit()
+        b.start_block("pe")
+        b.call("p")  # infinite recursion
+        b.ret()
+        with pytest.raises(SimulationError):
+            run_mir(b.finish(), hm1)
+
+    def test_runaway_detected(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("spin")
+        b.terminate(Jump("spin"))
+        with pytest.raises(SimulationError):
+            run_mir(b.finish(), hm1, max_cycles=100)
+
+
+class TestCycleAccounting:
+    def test_memory_latency_charged(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        b.emit(mop("movi", preg("MAR"), Imm(10)))
+        b.emit(mop("read", preg("MBR"), preg("MAR")))
+        b.exit()
+        from repro.compose import SequentialComposer
+
+        result, _ = run_mir(b.finish(), hm1, composer=SequentialComposer())
+        # movi word (1 cycle) + read word (2 cycles, exit rides on it).
+        assert result.cycles == 3
+
+    def test_instruction_count(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("a")
+        for _ in range(3):
+            b.emit(mop("inc", preg("R1"), preg("R1")))
+        b.exit()
+        result, _ = run_mir(b.finish(), hm1)
+        assert result.instructions == 3  # serial incs; exit rides the last
+
+
+class TestPhases:
+    def test_same_phase_reads_precede_writes(self, hm1):
+        """Two phase-1 moves swapping registers read old values."""
+        from repro.compose import MicroInstruction, PlacedOp
+        from repro.asm import assemble
+        from repro.asm.loader import ControlStore
+        from repro.compose.base import ComposedBlock, ComposedProgram
+        from repro.mir.block import Exit
+        from repro.sim import Simulator
+
+        mov_a = next(v for v in hm1.op_variants("mov") if v.variant == "a")
+        mov_b = next(v for v in hm1.op_variants("mov") if v.variant == "b")
+        mi = MicroInstruction(placed=[
+            PlacedOp(mop("mov", preg("R1"), preg("R2")), mov_a),
+            PlacedOp(mop("mov", preg("R2"), preg("R1")), mov_b),
+        ])
+        tail = MicroInstruction(terminator=Exit())
+        composed = ComposedProgram(
+            name="swap", entry="e",
+            blocks={"e": ComposedBlock("e", [mi, tail])},
+        )
+        loaded = assemble(composed, hm1)
+        store = ControlStore(hm1)
+        store.load(loaded)
+        simulator = Simulator(hm1, store)
+        simulator.state.write_reg("R1", 111)
+        simulator.state.write_reg("R2", 222)
+        simulator.run("swap")
+        assert simulator.state.read_reg("R1") == 222
+        assert simulator.state.read_reg("R2") == 111
+
+    def test_phase_chaining_sees_earlier_writes(self, hm1):
+        """mov (phase 1) feeding add (phase 2) in one word."""
+        from repro.compose import MicroInstruction, PlacedOp
+        from repro.asm import assemble
+        from repro.asm.loader import ControlStore
+        from repro.compose.base import ComposedBlock, ComposedProgram
+        from repro.mir.block import Exit
+        from repro.sim import Simulator
+
+        mov_a = next(v for v in hm1.op_variants("mov") if v.variant == "a")
+        add = hm1.op("add")
+        mi = MicroInstruction(placed=[
+            PlacedOp(mop("mov", preg("R1"), preg("R2")), mov_a),
+            PlacedOp(mop("add", preg("R3"), preg("R1"), preg("ONE")), add),
+        ])
+        tail = MicroInstruction(terminator=Exit(preg("R3")))
+        composed = ComposedProgram(
+            name="chain", entry="e",
+            blocks={"e": ComposedBlock("e", [mi, tail])},
+        )
+        loaded = assemble(composed, hm1)
+        store = ControlStore(hm1)
+        store.load(loaded)
+        simulator = Simulator(hm1, store)
+        simulator.state.write_reg("R1", 5)
+        simulator.state.write_reg("R2", 40)
+        result = simulator.run("chain")
+        assert result.exit_value == 41  # add saw the fresh R1
+
+
+class TestInterrupts:
+    def make_poller(self, hm1, n_iterations, poll):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("entry")
+        b.emit(mop("movi", preg("R1"), Imm(n_iterations)))
+        b.terminate(Jump("loop"))
+        b.start_block("loop")
+        if poll:
+            b.emit(mop("poll"))
+        b.emit(mop("dec", preg("R1"), preg("R1")))
+        b.emit(mop("cmp", None, preg("R1"), preg("R0")))
+        b.terminate(Branch("Z", "done", "loop"))
+        b.start_block("done")
+        b.exit()
+        return b.finish()
+
+    def test_polled_interrupts_serviced(self, hm1):
+        fired = []
+        program = self.make_poller(hm1, 30, poll=True)
+        result, _ = run_mir(
+            program, hm1,
+            simulator_kwargs={
+                "interrupt_every": 10,
+                "interrupt_handler": lambda state: fired.append(state.cycles),
+            },
+        )
+        assert result.interrupts_serviced >= 2
+        assert fired
+        assert result.interrupt_wait_cycles < result.cycles
+
+    def test_no_poll_means_no_service(self, hm1):
+        program = self.make_poller(hm1, 30, poll=False)
+        result, simulator = run_mir(
+            program, hm1,
+            simulator_kwargs={
+                "interrupt_every": 10,
+                "interrupt_handler": lambda state: None,
+            },
+        )
+        assert result.interrupts_serviced == 0
+        assert simulator.state.interrupt_pending
+
+
+class TestBankedRegisters:
+    def test_setblk_switches_windows(self, id3200):
+        b = ProgramBuilder("t", id3200)
+        b.start_block("entry")
+        b.emit(mop("setblk", None, Imm(0)))
+        b.emit(mop("movi", preg("G0"), Imm(10)))
+        b.emit(mop("setblk", None, Imm(1)))
+        b.emit(mop("movi", preg("G0"), Imm(20)))
+        b.emit(mop("setblk", None, Imm(0)))
+        b.emit(mop("mov", preg("S0"), preg("G0")))
+        b.exit(preg("S0"))
+        result, simulator = run_mir(b.finish(), id3200)
+        assert result.exit_value == 10
+        assert simulator.state.read_reg("G1_0") == 20
+
+
+class TestStateBasics:
+    def test_readonly_write_rejected(self, hm1):
+        from repro.sim import MachineState
+
+        state = MachineState(hm1)
+        with pytest.raises(SimulationError):
+            state.write_reg("R0", 1)
+
+    def test_poke_allows_const_rom(self, hm1):
+        from repro.sim import MachineState
+
+        state = MachineState(hm1)
+        state.poke_reg("C0", 0x1234)
+        assert state.read_reg("C0") == 0x1234
+
+    def test_unknown_register(self, hm1):
+        from repro.sim import MachineState
+
+        state = MachineState(hm1)
+        with pytest.raises(SimulationError):
+            state.read_reg("QX")
+
+    def test_register_width_masked(self, hm1):
+        from repro.sim import MachineState
+
+        state = MachineState(hm1)
+        state.write_reg("R1", 0x12345)
+        assert state.read_reg("R1") == 0x2345

@@ -1,0 +1,87 @@
+"""Simulator odds and ends: constants, tracing, snapshots."""
+
+from repro.asm import ControlStore, assemble
+from repro.compose import SequentialComposer, compose_program
+from repro.mir import Imm, ProgramBuilder, mop, preg
+from repro.sim import Simulator
+
+
+def build_and_load(program, machine):
+    composed = compose_program(program, machine, SequentialComposer())
+    store = ControlStore(machine)
+    store.load(assemble(composed, machine))
+    return Simulator(machine, store)
+
+
+class TestConstants:
+    def test_constant_rom_poked_at_run(self, hm1):
+        builder = ProgramBuilder("t", hm1)
+        builder.start_block("e")
+        mask = builder.constant(0x0F0F)
+        builder.emit(mop("and", preg("R1"), preg("R2"), mask))
+        builder.exit(preg("R1"))
+        program = builder.finish()
+        simulator = build_and_load(program, hm1)
+        simulator.state.write_reg("R2", 0xFFFF)
+        outcome = simulator.run("t")
+        assert outcome.exit_value == 0x0F0F
+        assert simulator.state.read_reg(mask.name) == 0x0F0F
+
+    def test_two_programs_different_constants(self, hm1):
+        """Each run pokes its own constant pool — coexisting programs
+        do not trample each other as long as runs alternate."""
+        def make(name, value):
+            builder = ProgramBuilder(name, hm1)
+            builder.start_block("e")
+            constant = builder.constant(value)
+            builder.emit(mop("mov", preg("R1"), constant))
+            builder.exit(preg("R1"))
+            return builder.finish()
+
+        machine = hm1
+        store = ControlStore(machine)
+        for name, value in (("p1", 0x1111), ("p2", 0x2222)):
+            composed = compose_program(
+                make(name, value), machine, SequentialComposer()
+            )
+            store.load(assemble(composed, machine))
+        simulator = Simulator(machine, store)
+        assert simulator.run("p1").exit_value == 0x1111
+        assert simulator.run("p2").exit_value == 0x2222
+        assert simulator.run("p1").exit_value == 0x1111
+
+
+class TestTracing:
+    def test_trace_records_cycle_address_and_ops(self, hm1):
+        builder = ProgramBuilder("t", hm1)
+        builder.start_block("e")
+        builder.emit(mop("movi", preg("R1"), Imm(5)))
+        builder.exit(preg("R1"))
+        simulator = build_and_load(builder.finish(), hm1)
+        simulator.trace = []
+        simulator.run("t")
+        assert len(simulator.trace) == 1
+        assert "movi R1" in simulator.trace[0]
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self, hm1):
+        from repro.sim import MachineState
+
+        state = MachineState(hm1)
+        state.write_reg("R1", 42)
+        snapshot = state.snapshot_registers()
+        state.write_reg("R1", 99)
+        state.restore_registers(snapshot)
+        assert state.read_reg("R1") == 42
+
+    def test_reset_registers(self, hm1):
+        from repro.sim import MachineState
+
+        state = MachineState(hm1)
+        state.write_reg("R1", 7)
+        state.flags["Z"] = 1
+        state.reset_registers()
+        assert state.read_reg("R1") == 0
+        assert state.read_reg("ONE") == 1
+        assert state.flags["Z"] == 0

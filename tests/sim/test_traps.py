@@ -1,0 +1,179 @@
+"""Microtraps and the §2.1.5 ``incread`` bug, end to end.
+
+The survey's scenario: a microprogram increments a macro-visible
+register and then uses it as a memory address; the fetch pagefaults,
+the register keeps its value across the restart, and the re-executed
+increment doubles it.  The restart-safe transform must fix exactly
+this.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lang.common.restart import (
+    analyze_restart_hazards,
+    make_restart_safe,
+)
+from repro.mir import Imm, ProgramBuilder, mop, preg
+from repro.regalloc import LinearScanAllocator
+from tests.conftest import run_mir
+
+
+def incread_program(vax):
+    """reg[n] := reg[n]+1 ; mbr := readmem(reg[n]) — on VAXm, whose
+    R0..R3 are macro-visible."""
+    b = ProgramBuilder("incread", vax)
+    b.start_block("entry")
+    b.emit(mop("add", preg("T0"), preg("R1"), preg("ONE")))
+    b.emit(mop("mov", preg("R1"), preg("T0")))  # reg[n] := reg[n] + 1
+    b.emit(mop("mov", preg("MAR"), preg("R1")))
+    b.emit(mop("read", preg("MBR"), preg("MAR")))
+    b.exit(preg("MBR"))
+    return b.finish()
+
+
+def paging_service(state, trap):
+    """Map the faulted page (parse the address from the trap detail)."""
+    address = int(trap.detail.split("address ")[1].rstrip(")"))
+    state.memory.map_address(address)
+
+
+def run_with_fault(program, vax, initial_r1):
+    from repro.asm import ControlStore, assemble
+    from repro.compose import SequentialComposer, compose_program
+    from repro.sim import Simulator
+
+    composed = compose_program(program, vax, SequentialComposer())
+    loaded = assemble(composed, vax)
+    store = ControlStore(vax)
+    store.load(loaded)
+    simulator = Simulator(vax, store, trap_service=paging_service)
+    simulator.state.memory.paging_enabled = True
+    simulator.state.memory.load_words(initial_r1 + 1, [0xCAFE])
+    simulator.state.write_reg("R1", initial_r1)
+    result = simulator.run("incread")
+    return result, simulator
+
+
+class TestIncreadBug:
+    def test_no_fault_no_bug(self, vax):
+        program = incread_program(vax)
+        from repro.asm import ControlStore, assemble
+        from repro.compose import SequentialComposer, compose_program
+        from repro.sim import Simulator
+
+        composed = compose_program(program, vax, SequentialComposer())
+        loaded = assemble(composed, vax)
+        store = ControlStore(vax)
+        store.load(loaded)
+        simulator = Simulator(vax, store)
+        simulator.state.memory.load_words(101, [0xCAFE])
+        simulator.state.write_reg("R1", 100)
+        result = simulator.run("incread")
+        assert simulator.state.read_reg("R1") == 101
+        assert result.exit_value == 0xCAFE
+
+    def test_fault_double_increments(self, vax):
+        """The naive program exhibits the survey's double increment."""
+        result, simulator = run_with_fault(incread_program(vax), vax, 100)
+        assert result.traps == 1
+        assert simulator.state.read_reg("R1") == 102  # BUG reproduced
+        assert result.exit_value != 0xCAFE  # read the wrong address
+
+    def test_restart_safe_transform_fixes_it(self, vax):
+        program = incread_program(vax)
+        remaining = make_restart_safe(program, vax)
+        assert remaining == []
+        LinearScanAllocator().allocate(program, vax)
+        result, simulator = run_with_fault(program, vax, 100)
+        assert result.traps == 1
+        assert simulator.state.read_reg("R1") == 101  # exactly once
+        assert result.exit_value == 0xCAFE
+
+    def test_microregisters_revert_on_restart(self, vax):
+        """Non-macro-visible registers return to entry values, so the
+        recomputation after restart starts from clean state."""
+        program = incread_program(vax)
+        _, simulator = run_with_fault(program, vax, 100)
+        # T0 was recomputed after the restart from the (incremented) R1.
+        assert simulator.state.read_reg("T0") == 102
+
+
+class TestHazardAnalysis:
+    def test_naive_program_has_hazard(self, vax):
+        hazards = analyze_restart_hazards(incread_program(vax), vax)
+        assert any(h.register == "R1" and h.kind == "intra-block"
+                   for h in hazards)
+
+    def test_transformed_program_clean(self, vax):
+        program = incread_program(vax)
+        make_restart_safe(program, vax)
+        assert analyze_restart_hazards(program, vax) == []
+
+    def test_no_macro_visible_registers_no_hazards(self, hm1):
+        b = ProgramBuilder("t", hm1)
+        b.start_block("entry")
+        b.emit(mop("inc", preg("R1"), preg("R1")))
+        b.emit(mop("mov", preg("MAR"), preg("R1")))
+        b.emit(mop("read", preg("MBR"), preg("MAR")))
+        b.exit()
+        assert analyze_restart_hazards(b.finish(), hm1) == []
+
+    def test_cross_block_hazard_reported(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("a")
+        b.emit(mop("mov", preg("R1"), preg("T5")))  # macro-visible write
+        b.start_block("b")
+        b.emit(mop("mov", preg("MAR"), preg("R1")))
+        b.emit(mop("read", preg("MBR"), preg("MAR")))
+        b.exit()
+        hazards = analyze_restart_hazards(b.finish(), vax)
+        assert any(h.kind == "cross-block" for h in hazards)
+
+    def test_write_after_last_trap_is_safe(self, vax):
+        b = ProgramBuilder("t", vax)
+        b.start_block("a")
+        b.emit(mop("mov", preg("MAR"), preg("T5")))
+        b.emit(mop("read", preg("MBR"), preg("MAR")))
+        b.emit(mop("mov", preg("R1"), preg("MBR")))  # after the trap point
+        b.exit()
+        assert analyze_restart_hazards(b.finish(), vax) == []
+
+
+class TestTrapMachinery:
+    def test_unserviced_trap_raises(self, vax):
+        program = incread_program(vax)
+        from repro.asm import ControlStore, assemble
+        from repro.compose import SequentialComposer, compose_program
+        from repro.sim import Simulator
+
+        composed = compose_program(program, vax, SequentialComposer())
+        store = ControlStore(vax)
+        store.load(assemble(composed, vax))
+        simulator = Simulator(vax, store)  # no trap_service
+        simulator.state.memory.paging_enabled = True
+        with pytest.raises(SimulationError):
+            simulator.run("incread")
+
+    def test_fault_loop_guard(self, vax):
+        program = incread_program(vax)
+        from repro.asm import ControlStore, assemble
+        from repro.compose import SequentialComposer, compose_program
+        from repro.sim import Simulator
+
+        composed = compose_program(program, vax, SequentialComposer())
+        store = ControlStore(vax)
+        store.load(assemble(composed, vax))
+        simulator = Simulator(
+            vax, store,
+            trap_service=lambda state, trap: None,  # never maps
+            max_traps=5,
+        )
+        simulator.state.memory.paging_enabled = True
+        with pytest.raises(SimulationError):
+            simulator.run("incread")
+
+    def test_trap_service_cycles_charged(self, vax):
+        program = incread_program(vax)
+        result, _ = run_with_fault(program, vax, 100)
+        assert result.cycles > 50  # includes the service charge

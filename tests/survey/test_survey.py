@@ -1,0 +1,88 @@
+"""The survey-as-data package: records, matrix, §3 counts."""
+
+import pytest
+
+from repro.survey import (
+    LANGUAGES,
+    ParallelismModel,
+    VariableModel,
+    by_name,
+    render_conclusions,
+    render_matrix,
+    survey_counts,
+)
+
+
+class TestRecords:
+    def test_ten_languages(self):
+        assert len(LANGUAGES) == 10
+
+    def test_survey_order(self):
+        names = [r.name for r in LANGUAGES]
+        assert names[:4] == ["SIMPL", "EMPL", "S*", "YALLL"]
+
+    def test_by_name(self):
+        assert by_name("simpl").year == 1974
+        assert by_name("CHAMIL").parallelism is ParallelismModel.EXPLICIT
+        with pytest.raises(KeyError):
+            by_name("FORTRAN")
+
+    def test_toolkit_implements_the_four(self):
+        implemented = {r.name for r in LANGUAGES if r.in_toolkit}
+        assert implemented == {"SIMPL", "EMPL", "S*", "YALLL", "MPL"}
+
+
+class TestConclusionCounts:
+    """The quantitative claims of §3, regenerated from the records."""
+
+    def test_eight_sequential_two_explicit(self):
+        counts = survey_counts()
+        assert counts["sequential_specification"] == 8
+        assert counts["explicit_composition"] == 2
+
+    def test_explicit_pair_is_sstar_and_chamil(self):
+        explicit = {
+            r.name for r in LANGUAGES
+            if r.parallelism is ParallelismModel.EXPLICIT
+        }
+        assert explicit == {"S*", "CHAMIL"}
+
+    def test_symbolic_variable_languages(self):
+        """'only two or three (EMPL, PL/MP and in a certain sense
+        YALLL) allow the programmer to work with symbolic variables'."""
+        symbolic = {
+            r.name for r in LANGUAGES
+            if r.variables in (VariableModel.SYMBOLIC,
+                               VariableModel.MOSTLY_SYMBOLIC)
+        }
+        assert {"EMPL", "PL/MP", "YALLL"} <= symbolic
+        assert 3 <= len(symbolic) <= 4
+
+    def test_no_parameter_passing_anywhere(self):
+        assert survey_counts()["parameter_passing"] == 0
+
+    def test_interrupts_completely_neglected(self):
+        assert survey_counts()["interrupt_handling"] == 0
+
+    def test_verification_pair(self):
+        verified = {r.name for r in LANGUAGES if r.verification}
+        assert verified == {"S*", "Strum"}
+
+
+class TestRendering:
+    def test_matrix_has_all_languages(self):
+        matrix = render_matrix()
+        for record in LANGUAGES:
+            assert record.name in matrix
+
+    def test_matrix_has_issue_columns(self):
+        matrix = render_matrix()
+        for header in ("Primitives", "Variables", "Parallelism",
+                       "Verification", "Implementation"):
+            assert header in matrix
+
+    def test_conclusions_render_counts(self):
+        text = render_conclusions()
+        assert "8 allow complete sequential" in text
+        assert "0 allow passing parameters" in text
+        assert "10 languages surveyed" in text

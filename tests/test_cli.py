@@ -1,0 +1,105 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+YALLL_MUL = """
+    put p,0
+loop:
+    jump out if n = 0
+    add p,p,a
+    sub n,n,1
+    jump loop
+out:
+    exit p
+"""
+
+SSTAR_SWAP = """
+program swap;
+pre  "x = a and y = b";
+post "x = b and y = a";
+var x : seq [15..0] bit bind R1;
+var y : seq [15..0] bit bind R2;
+begin cobegin x := y; y := x coend end
+"""
+
+
+@pytest.fixture
+def yalll_file(tmp_path):
+    path = tmp_path / "mul.yalll"
+    path.write_text(YALLL_MUL)
+    return str(path)
+
+
+class TestCompile:
+    def test_listing_printed(self, yalll_file, capsys):
+        assert main(["compile", yalll_file, "--lang", "yalll",
+                     "--machine", "HM1"]) == 0
+        out = capsys.readouterr().out
+        assert "control words" in out
+        assert "loop:" in out
+
+    def test_unknown_language_rejected(self, yalll_file):
+        with pytest.raises(SystemExit):
+            main(["compile", yalll_file, "--lang", "cobol"])
+
+    def test_parse_error_is_clean_failure(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yalll"
+        bad.write_text("florble a,b\n")
+        assert main(["compile", str(bad), "--lang", "yalll"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_with_inputs(self, yalll_file, capsys):
+        code = main([
+            "run", yalll_file, "--lang", "yalll", "--machine", "HM1",
+            "--set", "a=6", "--set", "n=7", "--show", "p",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exit value: 42" in out
+        assert "p = 42" in out
+
+    def test_memory_initialization(self, tmp_path, capsys):
+        source = tmp_path / "load.yalll"
+        source.write_text("put addr,100\nload v,addr\nexit v\n")
+        code = main([
+            "run", str(source), "--lang", "yalll",
+            "--mem", "100=1234",
+        ])
+        assert code == 0
+        assert "exit value: 1234" in capsys.readouterr().out
+
+    def test_bad_assignment(self, yalll_file, capsys):
+        assert main(["run", yalll_file, "--lang", "yalll",
+                     "--set", "nonsense"]) == 2
+
+
+class TestOther:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("HM1", "VAXm", "VM1"):
+            assert name in out
+
+    def test_machines_verbose_shows_fields(self, capsys):
+        assert main(["machines", "-v"]) == 0
+        assert "alu_op" in capsys.readouterr().out
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "SIMPL" in out and "CHAMIL" in out
+        assert "sequential specification" in out
+
+    def test_verify_pass_and_fail(self, tmp_path, capsys):
+        good = tmp_path / "swap.sstar"
+        good.write_text(SSTAR_SWAP)
+        assert main(["verify", str(good)]) == 0
+        bad = tmp_path / "bad.sstar"
+        bad.write_text(SSTAR_SWAP.replace(
+            "cobegin x := y; y := x coend", "begin x := y; y := x end"
+        ))
+        assert main(["verify", str(bad)]) == 1

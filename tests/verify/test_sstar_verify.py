@@ -1,0 +1,155 @@
+"""S* program verification end to end (§2.2.3 / Strum §2.2.5)."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.lang.sstar import parse_sstar, verify_sstar
+from repro.verify import BoundedChecker
+
+
+def verify(source, hm1, **kwargs):
+    return verify_sstar(parse_sstar(source), hm1, **kwargs)
+
+
+class TestStraightLine:
+    def test_parallel_swap_proves(self, hm1):
+        report = verify("""
+            program swap;
+            pre  "x = a and y = b";
+            post "x = b and y = a";
+            var x : seq [15..0] bit bind R1;
+            var y : seq [15..0] bit bind R2;
+            begin cobegin x := y; y := x coend end
+        """, hm1)
+        assert report.passed
+
+    def test_sequential_swap_refuted(self, hm1):
+        report = verify("""
+            program notswap;
+            pre  "x = a and y = b";
+            post "x = b and y = a";
+            var x : seq [15..0] bit bind R1;
+            var y : seq [15..0] bit bind R2;
+            begin x := y; y := x end
+        """, hm1)
+        assert not report.passed
+        assert report.failures[0].counterexample is not None
+
+    def test_synonyms_alias_in_proofs(self, hm1):
+        """Two names bound to one register must verify as one variable."""
+        report = verify("""
+            program alias;
+            pre  "true";
+            post "x = 1";
+            var x : seq [15..0] bit bind R1;
+            syn also_x = x;
+            begin also_x := 1 end
+        """, hm1)
+        assert report.passed
+
+    def test_field_deposit_semantics(self, hm1):
+        report = verify("""
+            program fields;
+            pre  "true";
+            post "(ir >> 12) & 0xF = 5";
+            var ir : tuple opcode: seq [3..0] bit; addr: seq [11..0] bit end bind R1;
+            var v : seq [15..0] bit bind R2;
+            begin
+              v := 5;
+              ir.opcode := v
+            end
+        """, hm1)
+        assert report.passed
+
+    def test_constants_fold(self, hm1):
+        report = verify("""
+            program consts;
+            pre  "true";
+            post "x = 0xFFFF";
+            var x : seq [15..0] bit bind R1;
+            const minus1 = dec (16) -1;
+            begin x := minus1 end
+        """, hm1)
+        assert report.passed
+
+
+class TestLoops:
+    def test_while_with_invariant(self, hm1):
+        report = verify("""
+            program zero;
+            pre  "true";
+            post "i = 0";
+            var i : seq [15..0] bit bind R1;
+            begin
+              while i <> 0 inv "true" do i := i - 1
+            end
+        """, hm1)
+        assert report.passed
+
+    def test_missing_invariant_rejected(self, hm1):
+        with pytest.raises(VerificationError):
+            verify("""
+                program t;
+                var i : seq [15..0] bit bind R1;
+                begin while i <> 0 do i := i - 1 end
+            """, hm1)
+
+    def test_wrong_invariant_caught(self, hm1):
+        report = verify("""
+            program t;
+            pre  "s = 0";
+            post "s = 0";
+            var s : seq [15..0] bit bind R1;
+            var i : seq [15..0] bit bind R2;
+            begin
+              while i <> 0 inv "s = 0" do
+              begin
+                s := s + 1;
+                i := i - 1
+              end
+            end
+        """, hm1)
+        assert not report.passed  # s = 0 is not preserved
+
+    def test_repeat_until(self, hm1):
+        report = verify("""
+            program t;
+            pre  "true";
+            post "i = 0";
+            var i : seq [15..0] bit bind R1;
+            begin
+              repeat i := i - 1 until i = 0 inv "true"
+            end
+        """, hm1)
+        assert report.passed
+
+
+class TestLimitations:
+    def test_flag_tests_rejected(self, hm1):
+        with pytest.raises(VerificationError):
+            verify("""
+                program t;
+                var i : seq [15..0] bit bind R1;
+                begin
+                  if Z then i := 0 fi
+                end
+            """, hm1)
+
+    def test_memory_statements_rejected(self, hm1):
+        with pytest.raises(VerificationError):
+            verify("""
+                program t;
+                var a : seq [15..0] bit bind R1;
+                var v : seq [15..0] bit bind R2;
+                begin v := read(a) end
+            """, hm1)
+
+    def test_custom_checker_width(self, hm1):
+        report = verify("""
+            program t;
+            pre  "true";
+            post "x = 255";
+            var x : seq [15..0] bit bind R1;
+            begin x := 255 end
+        """, hm1, checker=BoundedChecker(width=16, samples=10))
+        assert report.passed

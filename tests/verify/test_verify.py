@@ -1,0 +1,218 @@
+"""Verification subsystem: expressions, wp calculus, bounded checking."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify import (
+    BinOp,
+    BoundedChecker,
+    Compare,
+    Const,
+    Not,
+    TRUE,
+    VAssert,
+    VAssign,
+    VIf,
+    VParallel,
+    VSeq,
+    VWhile,
+    Var,
+    conj,
+    generate_vcs,
+    implies,
+    parse_assertion,
+    weakest_precondition,
+)
+from repro.verify.hoare import VerificationCondition
+
+
+def check(formula, **kwargs):
+    condition = VerificationCondition("test", formula)
+    return BoundedChecker(**kwargs).check(condition)
+
+
+class TestExpr:
+    def test_eval_arithmetic(self):
+        expr = parse_assertion("x + y * 2")
+        assert expr.evaluate({"x": 1, "y": 3}, 16) == 7
+
+    def test_eval_wraps_at_width(self):
+        expr = parse_assertion("x + 1")
+        assert expr.evaluate({"x": 0xFFFF}, 16) == 0
+        assert expr.evaluate({"x": 0xF}, 4) == 0
+
+    def test_substitution(self):
+        expr = parse_assertion("x = y")
+        substituted = expr.substitute({"x": BinOp("+", Var("y"), Const(1))})
+        assert substituted.evaluate({"y": 5}, 16) == 0  # y+1 != y
+
+    def test_variables(self):
+        assert parse_assertion("a & b | ~c").variables() == {"a", "b", "c"}
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(VerificationError):
+            Var("ghost").evaluate({}, 16)
+
+
+class TestParser:
+    def test_precedence_compare_over_bool(self):
+        expr = parse_assertion("x = 1 and y = 2")
+        assert expr.evaluate({"x": 1, "y": 2}, 16) == 1
+        assert expr.evaluate({"x": 1, "y": 3}, 16) == 0
+
+    def test_implies_right_associative(self):
+        expr = parse_assertion("a = 1 implies b = 1 implies c = 1")
+        # a=1 -> (b=1 -> c=1): false only when a=1, b=1, c!=1.
+        assert expr.evaluate({"a": 1, "b": 1, "c": 0}, 16) == 0
+        assert expr.evaluate({"a": 0, "b": 1, "c": 0}, 16) == 1
+
+    def test_shift_and_mask(self):
+        expr = parse_assertion("(x >> 4) & 0xF")
+        assert expr.evaluate({"x": 0xABCD}, 16) == 0xC
+
+    def test_true_false_literals(self):
+        assert parse_assertion("true").evaluate({}, 16) == 1
+        assert parse_assertion("false").evaluate({}, 16) == 0
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(Exception):
+            parse_assertion("x = 1 garbage ^^^")
+
+    def test_not_and_unary(self):
+        expr = parse_assertion("not x = 1")
+        assert expr.evaluate({"x": 0}, 16) == 1
+        assert parse_assertion("-1 = 0xFFFF").evaluate({}, 16) == 1
+
+
+class TestWeakestPrecondition:
+    def test_assign(self):
+        post = parse_assertion("x = 5")
+        pre = weakest_precondition(
+            VAssign("x", BinOp("+", Var("y"), Const(1))), post, []
+        )
+        assert pre.evaluate({"y": 4}, 16) == 1
+        assert pre.evaluate({"y": 7}, 16) == 0
+
+    def test_seq_composes_right_to_left(self):
+        statement = VSeq((
+            VAssign("x", BinOp("+", Var("x"), Const(1))),
+            VAssign("x", BinOp("*", Var("x"), Const(2))),
+        ))
+        pre = weakest_precondition(statement, parse_assertion("x = 6"), [])
+        assert pre.evaluate({"x": 2}, 16) == 1  # (2+1)*2 = 6
+
+    def test_parallel_is_simultaneous(self):
+        swap = VParallel((
+            VAssign("x", Var("y")),
+            VAssign("y", Var("x")),
+        ))
+        post = parse_assertion("x = b and y = a")
+        pre = weakest_precondition(swap, post, [])
+        assert pre.evaluate({"x": 1, "y": 2, "a": 1, "b": 2}, 16) == 1
+
+    def test_parallel_duplicate_targets_rejected(self):
+        with pytest.raises(VerificationError):
+            VParallel((VAssign("x", Const(1)), VAssign("x", Const(2))))
+
+    def test_if_covers_both_arms(self):
+        statement = VIf(
+            arms=((Compare("=", Var("x"), Const(0)),
+                   VAssign("r", Const(1))),),
+            otherwise=VAssign("r", Const(2)),
+        )
+        pre = weakest_precondition(statement, parse_assertion("r >= 1"), [])
+        assert pre.evaluate({"x": 0, "r": 0}, 16) == 1
+        assert pre.evaluate({"x": 5, "r": 0}, 16) == 1
+
+    def test_while_emits_invariant_obligations(self):
+        loop = VWhile(
+            condition=Compare("#", Var("i"), Const(0)),
+            invariant=parse_assertion("i >= 0"),
+            body=VAssign("i", BinOp("-", Var("i"), Const(1))),
+        )
+        conditions: list = []
+        weakest_precondition(loop, TRUE, conditions)
+        assert len(conditions) == 2
+        descriptions = [c.description for c in conditions]
+        assert any("preserved" in d for d in descriptions)
+        assert any("exit" in d for d in descriptions)
+
+    def test_assert_strengthens(self):
+        statement = VSeq((
+            VAssert(parse_assertion("x = 1")),
+            VAssign("y", Var("x")),
+        ))
+        pre = weakest_precondition(statement, parse_assertion("y = 1"), [])
+        assert pre.evaluate({"x": 1, "y": 0}, 16) == 1
+        assert pre.evaluate({"x": 2, "y": 0}, 16) == 0
+
+
+class TestBoundedChecker:
+    def test_identity_passes_exhaustively(self):
+        result = check(parse_assertion("(x & y) | (x & ~y) = x"))
+        assert result.passed
+        assert result.exhaustive_width is not None
+
+    def test_failure_has_counterexample(self):
+        result = check(parse_assertion("x + 1 > x"))  # fails at wrap
+        assert not result.passed
+        assert result.counterexample is not None
+        formula = parse_assertion("x + 1 > x")
+        assert formula.evaluate(result.counterexample, 16) == 0
+
+    def test_closed_formula(self):
+        assert check(parse_assertion("1 + 1 = 2")).passed
+        assert not check(parse_assertion("1 = 2")).passed
+
+    def test_many_variables_reduce_width(self):
+        formula = parse_assertion("a ^ b ^ c ^ d ^ e = e ^ d ^ c ^ b ^ a")
+        result = check(formula)
+        assert result.passed
+        assert result.exhaustive_width is not None
+        assert result.exhaustive_width < 4  # grid capped by budget
+
+    def test_deterministic(self):
+        formula = parse_assertion("x * 3 = x + x + x")
+        first = check(formula)
+        second = check(formula)
+        assert first.probes == second.probes
+        assert first.passed and second.passed
+
+    def test_report_aggregation(self):
+        from repro.verify import VerificationReport
+
+        conditions = [
+            VerificationCondition("good", parse_assertion("x = x")),
+            VerificationCondition("bad", parse_assertion("x = 0")),
+        ]
+        report = VerificationReport(BoundedChecker().check_all(conditions))
+        assert not report.passed
+        assert len(report.failures) == 1
+        assert "1 failed" in str(report)
+
+
+class TestGenerateVCs:
+    def test_straight_line_triple(self):
+        conditions = generate_vcs(
+            parse_assertion("x = a"),
+            VAssign("x", BinOp("+", Var("x"), Const(1))),
+            parse_assertion("x = a + 1"),
+        )
+        report = BoundedChecker().check_all(conditions)
+        assert all(r.passed for r in report)
+
+    def test_survey_increment_overflow_rule(self):
+        """§2.2.3's S(M) INC rule: the naive postcondition fails at the
+        16-bit boundary, the width-aware one holds."""
+        naive = generate_vcs(
+            parse_assertion("x = v"),
+            VAssign("x", BinOp("+", Var("x"), Const(1))),
+            parse_assertion("x > v"),
+        )
+        assert not all(r.passed for r in BoundedChecker().check_all(naive))
+        aware = generate_vcs(
+            parse_assertion("x = v"),
+            VAssign("x", BinOp("+", Var("x"), Const(1))),
+            parse_assertion("x = v + 1"),
+        )
+        assert all(r.passed for r in BoundedChecker().check_all(aware))
