@@ -1,0 +1,222 @@
+"""Observability overhead — the tracer's disabled path is ~free.
+
+The `repro.obs` layer promises zero-overhead-when-disabled: with no
+recorder attached the simulator's hot loop pays one ``is not None``
+test per microinstruction, and the compile pipeline pays a handful of
+``NULL_TRACER`` no-op calls per stage.  This benchmark checks the
+promise empirically on a ``bench_simpl``-style workload by timing the
+shipped (instrumented, disabled) simulator loop against a verbatim
+copy of the *uninstrumented* seed loop, interleaved to cancel drift:
+the disabled path must stay within ~5% of the untraced baseline (plus
+the measured run-to-run noise of the baseline itself).
+
+It also reports the honest cost of *enabled* tracing — profile-only
+and full event recording — which is allowed to be expensive.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.asm import ControlStore
+from repro.bench import render_table
+from repro.errors import MicroTrap, SimulationError
+from repro.lang.yalll import compile_yalll
+from repro.obs import NULL_TRACER, TraceRecorder, Tracer
+from repro.sim import RunResult, Simulator
+
+#: Multiply-by-repeated-addition: 3 MIs per loop iteration.
+YALLL_MUL = """
+    put p,0
+loop:
+    jump out if n = 0
+    add p,p,a
+    sub n,n,1
+    jump loop
+out:
+    exit p
+"""
+
+N_ITERATIONS = 1500
+ROUNDS = 9
+
+
+def _uninstrumented_run(
+    simulator: Simulator, program_name: str, max_cycles: int = 1_000_000
+) -> RunResult:
+    """A verbatim copy of the seed's run loop, with no recorder hooks.
+
+    This is the untraced baseline the disabled path is compared
+    against; it matches ``Simulator.run`` except for the observability
+    guards.
+    """
+    resident = simulator.store.find(program_name)
+    simulator.load_constants(resident)
+    state = simulator.state
+    state.upc = resident.entry
+    state.halted = False
+    state.exit_value = None
+    state.micro_stack.clear()
+
+    entry_snapshot = state.snapshot_registers()
+    instructions = 0
+    traps = 0
+    interrupts = 0
+    wait_cycles = 0
+    pending_since: int | None = None
+    start_cycles = state.cycles
+
+    while not state.halted:
+        if state.cycles - start_cycles > max_cycles:
+            raise SimulationError(
+                f"{program_name}: exceeded {max_cycles} cycles"
+            )
+        if (
+            simulator.interrupt_every
+            and not state.interrupt_pending
+            and state.cycles > 0
+            and (state.cycles // simulator.interrupt_every)
+            > ((state.cycles - 1) // simulator.interrupt_every)
+        ):
+            state.interrupt_pending = True
+        if state.interrupt_pending and pending_since is None:
+            pending_since = state.cycles
+
+        loaded = simulator.store.fetch(state.upc)
+        instruction = loaded.instruction
+        try:
+            serviced = simulator._execute_instruction(instruction)
+        except MicroTrap as trap:
+            traps += 1
+            if traps > simulator.max_traps:
+                raise SimulationError(
+                    f"{program_name}: more than {simulator.max_traps} traps"
+                ) from trap
+            simulator._service_trap(trap, entry_snapshot)
+            state.upc = resident.entry
+            state.micro_stack.clear()
+            state.cycles += simulator.trap_service_cycles
+            continue
+        if serviced:
+            interrupts += 1
+            if pending_since is not None:
+                wait_cycles += state.cycles - pending_since
+                pending_since = None
+            state.cycles += simulator.interrupt_service_cycles
+        state.cycles += instruction.cycles(simulator.machine)
+        instructions += 1
+        simulator._sequence(instruction, state.upc, resident)
+
+    return RunResult(
+        cycles=state.cycles - start_cycles,
+        instructions=instructions,
+        traps=traps,
+        interrupts_serviced=interrupts,
+        interrupt_wait_cycles=wait_cycles,
+        exit_value=state.exit_value,
+    )
+
+
+def _make_runner(machine, recorder=None):
+    result = compile_yalll(YALLL_MUL, machine, name="mul")
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(machine, store, recorder=recorder)
+    mapping = result.allocation.mapping
+
+    def prepare():
+        simulator.state.write_reg(mapping.get("a", "a"), 3)
+        simulator.state.write_reg(mapping.get("n", "n"), N_ITERATIONS)
+        simulator.state.write_reg(mapping.get("p", "p"), 0)
+
+    return simulator, prepare
+
+
+def _best_of(fn, rounds: int) -> tuple[float, list[float]]:
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times), times
+
+
+class TestDisabledPathOverhead:
+    def test_disabled_overhead_under_five_percent(self, hm1, report):
+        sim_base, prep_base = _make_runner(hm1)
+        sim_inst, prep_inst = _make_runner(hm1)
+
+        def run_baseline():
+            prep_base()
+            return _uninstrumented_run(sim_base, "mul")
+
+        def run_disabled():
+            prep_inst()
+            return sim_inst.run("mul")
+
+        # Simulated behaviour must be bit-identical with tracing off.
+        assert run_baseline().cycles == run_disabled().cycles
+
+        # Interleave rounds so thermal/scheduler drift hits both sides.
+        base_times: list[float] = []
+        inst_times: list[float] = []
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            run_baseline()
+            base_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            run_disabled()
+            inst_times.append(time.perf_counter() - t0)
+
+        t_base = min(base_times)
+        t_inst = min(inst_times)
+        ratio = t_inst / t_base
+        # Allow the baseline's own observed jitter on top of the 5%.
+        noise = (sorted(base_times)[len(base_times) // 2] - t_base) / t_base
+        budget = 1.05 + max(0.02, noise)
+        report(render_table(
+            ["variant", "best (ms)", "vs baseline"],
+            [
+                ["uninstrumented seed loop", f"{t_base * 1e3:.2f}", "1.000"],
+                ["shipped loop, recorder off", f"{t_inst * 1e3:.2f}",
+                 f"{ratio:.3f}"],
+            ],
+            title="observability disabled-path overhead (min of "
+            f"{ROUNDS} interleaved rounds, {N_ITERATIONS} loop iterations)",
+        ))
+        assert ratio <= budget, (
+            f"disabled-path overhead {100 * (ratio - 1):.1f}% exceeds "
+            f"budget {100 * (budget - 1):.1f}%"
+        )
+
+    def test_enabled_cost_reported(self, hm1, report, obs_tracer):
+        """Profile-only and full-event recording cost (informational)."""
+        sim_off, prep_off = _make_runner(hm1)
+        sim_prof, prep_prof = _make_runner(hm1, recorder=TraceRecorder())
+        tracer = Tracer() if obs_tracer is NULL_TRACER else obs_tracer
+        sim_full, prep_full = _make_runner(
+            hm1, recorder=TraceRecorder(tracer)
+        )
+
+        def timed(sim, prep):
+            def go():
+                prep()
+                sim.run("mul")
+            return _best_of(go, 3)[0]
+
+        t_off = timed(sim_off, prep_off)
+        t_prof = timed(sim_prof, prep_prof)
+        t_full = timed(sim_full, prep_full)
+        report(render_table(
+            ["variant", "best (ms)", "vs disabled"],
+            [
+                ["recorder off", f"{t_off * 1e3:.2f}", "1.00"],
+                ["profile counters", f"{t_prof * 1e3:.2f}",
+                 f"{t_prof / t_off:.2f}"],
+                ["profile + events", f"{t_full * 1e3:.2f}",
+                 f"{t_full / t_off:.2f}"],
+            ],
+            title="observability enabled cost (best of 3)",
+        ))
+        profile = sim_prof.recorder.profile
+        assert profile.instructions > 3 * N_ITERATIONS

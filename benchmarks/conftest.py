@@ -4,9 +4,18 @@ Every benchmark prints the table the corresponding survey claim needs
 (through ``report``, which bypasses pytest's capture so the rows land
 in ``bench_output.txt``) and times a representative unit of work with
 pytest-benchmark.
+
+Run with ``--obs-trace-dir DIR`` to let benchmarks dump observability
+traces: any benchmark that takes the ``obs_tracer`` fixture gets a
+recording tracer whose events land in ``DIR/<test>.json`` as a Chrome
+trace; without the option the fixture is the zero-overhead
+:data:`repro.obs.NULL_TRACER`.
 """
 
 from __future__ import annotations
+
+import re
+from pathlib import Path
 
 import pytest
 
@@ -17,6 +26,30 @@ from repro.machine.machines import (
     build_vax,
     build_vm1,
 )
+from repro.obs import NULL_TRACER, Tracer, dump_chrome_trace
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-trace-dir",
+        default=None,
+        help="directory to write per-benchmark Chrome traces into",
+    )
+
+
+@pytest.fixture
+def obs_tracer(request):
+    """A recording tracer when --obs-trace-dir is set, else the null one."""
+    trace_dir = request.config.getoption("--obs-trace-dir")
+    if not trace_dir:
+        yield NULL_TRACER
+        return
+    tracer = Tracer()
+    yield tracer
+    directory = Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+    dump_chrome_trace(tracer.events, directory / f"{stem}.json")
 
 
 @pytest.fixture

@@ -41,6 +41,14 @@ from repro.lang import (
 )
 from repro.machine import MicroArchitecture
 from repro.machine.machines import get_machine, machine_names
+from repro.obs import (
+    NULL_TRACER,
+    SimProfile,
+    TraceRecorder,
+    Tracer,
+    render_hotspots,
+    write_trace,
+)
 from repro.regalloc import (
     BindingAllocator,
     GraphColorAllocator,
@@ -63,10 +71,14 @@ __all__ = [
     "LoadedProgram",
     "MachineState",
     "MicroArchitecture",
+    "NULL_TRACER",
     "ReproError",
     "RunResult",
     "SequentialComposer",
+    "SimProfile",
     "Simulator",
+    "TraceRecorder",
+    "Tracer",
     "__version__",
     "assemble",
     "compile_empl",
@@ -77,5 +89,7 @@ __all__ = [
     "compose_program",
     "get_machine",
     "machine_names",
+    "render_hotspots",
     "verify_sstar",
+    "write_trace",
 ]

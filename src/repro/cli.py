@@ -9,6 +9,11 @@ Commands:
 * ``machines`` — describe the shipped machine descriptions.
 * ``survey`` — print the survey's language comparison matrix.
 * ``verify`` — run the verification subsystem over an S* program.
+
+``compile`` and ``run`` take ``--trace FILE`` (Chrome trace-event
+JSON, or JSON-lines when the file ends in ``.jsonl``) and ``--stats``
+(per-stage compile-time breakdown; for ``run`` also the simulator
+hot-spot report).
 """
 
 from __future__ import annotations
@@ -25,15 +30,28 @@ from repro.lang.simpl import compile_simpl
 from repro.lang.sstar import compile_sstar, parse_sstar, verify_sstar
 from repro.lang.yalll import compile_yalll
 from repro.machine.machines import get_machine, machine_names
+from repro.obs import (
+    NULL_TRACER,
+    TraceRecorder,
+    Tracer,
+    render_compile_report,
+    render_hotspots,
+    write_trace,
+)
 from repro.sim.simulator import Simulator
 
-#: language name -> compile function (source, machine, **kwargs).
+#: language name -> compile function (source, machine, tracer).
 COMPILERS = {
-    "simpl": lambda src, machine: compile_simpl(src, machine),
-    "empl": lambda src, machine: compile_empl(src, machine),
-    "sstar": lambda src, machine: compile_sstar(src, machine),
-    "yalll": lambda src, machine: compile_yalll(src, machine),
-    "mpl": lambda src, machine: compile_mpl(src, machine),
+    "simpl": lambda src, machine, tracer: compile_simpl(
+        src, machine, tracer=tracer),
+    "empl": lambda src, machine, tracer: compile_empl(
+        src, machine, tracer=tracer),
+    "sstar": lambda src, machine, tracer: compile_sstar(
+        src, machine, tracer=tracer),
+    "yalll": lambda src, machine, tracer: compile_yalll(
+        src, machine, tracer=tracer),
+    "mpl": lambda src, machine, tracer: compile_mpl(
+        src, machine, tracer=tracer),
 }
 
 
@@ -47,15 +65,31 @@ def _parse_assignments(pairs: list[str]) -> dict[str, int]:
     return values
 
 
-def _compile(args) -> tuple:
+def _tracer_for(args) -> Tracer | None:
+    """A recording tracer when --trace/--stats ask for one, else null."""
+    if getattr(args, "trace", None) or getattr(args, "stats", False):
+        return Tracer()
+    return NULL_TRACER
+
+
+def _write_trace(events, path) -> None:
+    try:
+        write_trace(events, path)
+    except OSError as error:
+        raise ReproError(f"cannot write trace {path!r}: {error}") from error
+    print(f"trace written to {path}")
+
+
+def _compile(args, tracer=NULL_TRACER) -> tuple:
     source = Path(args.file).read_text()
     machine = get_machine(args.machine)
-    result = COMPILERS[args.lang](source, machine)
+    result = COMPILERS[args.lang](source, machine, tracer)
     return machine, result
 
 
 def cmd_compile(args) -> int:
-    machine, result = _compile(args)
+    tracer = _tracer_for(args)
+    machine, result = _compile(args, tracer)
     print(result.loaded.listing(machine))
     print()
     print(f"{len(result.loaded)} control words "
@@ -68,14 +102,21 @@ def cmd_compile(args) -> int:
         print(f"allocation: {result.allocation.mapping}"
               + (f", spilled {result.allocation.spilled_slots}"
                  if result.allocation.spilled_slots else ""))
+    if args.stats:
+        print()
+        print(render_compile_report(tracer.events))
+    if args.trace:
+        _write_trace(tracer.events, args.trace)
     return 0
 
 
 def cmd_run(args) -> int:
-    machine, result = _compile(args)
+    tracer = _tracer_for(args)
+    machine, result = _compile(args, tracer)
     store = ControlStore(machine)
     store.load(result.loaded)
-    simulator = Simulator(machine, store)
+    recorder = TraceRecorder(tracer) if tracer.enabled else None
+    simulator = Simulator(machine, store, recorder=recorder)
     mapping = result.allocation.mapping
     for name, value in _parse_assignments(args.set or []).items():
         simulator.state.write_reg(mapping.get(name, name), value)
@@ -89,6 +130,13 @@ def cmd_run(args) -> int:
         for name in args.show:
             register = mapping.get(name, name)
             print(f"{name} = {simulator.state.read_reg(register)}")
+    if args.stats:
+        print()
+        print(render_compile_report(tracer.events))
+        print()
+        print(render_hotspots(outcome.profile))
+    if args.trace:
+        _write_trace(tracer.events, args.trace)
     return 0
 
 
@@ -132,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 required=True)
     compile_parser.add_argument("--machine", choices=machine_names(),
                                 default="HM1")
+    compile_parser.add_argument("--trace", metavar="FILE",
+                                help="write a Chrome trace-event JSON "
+                                     "(.jsonl for JSON-lines)")
+    compile_parser.add_argument("--stats", action="store_true",
+                                help="print the per-stage compile-time "
+                                     "breakdown")
     compile_parser.set_defaults(handler=cmd_compile)
 
     run_parser = sub.add_parser("run", help="compile and simulate")
@@ -147,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--show", action="append", metavar="VAR",
                             help="print a variable's final value")
     run_parser.add_argument("--max-cycles", type=int, default=1_000_000)
+    run_parser.add_argument("--trace", metavar="FILE",
+                            help="write compile spans + simulator cycle "
+                                 "events as Chrome trace-event JSON "
+                                 "(.jsonl for JSON-lines)")
+    run_parser.add_argument("--stats", action="store_true",
+                            help="print compile-time breakdown and the "
+                                 "simulator hot-spot report")
     run_parser.set_defaults(handler=cmd_run)
 
     machines_parser = sub.add_parser("machines", help="list machines")

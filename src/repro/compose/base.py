@@ -19,6 +19,7 @@ from repro.mir.block import BasicBlock, Terminator
 from repro.mir.operands import Imm, Reg
 from repro.mir.ops import MicroOp
 from repro.mir.program import MicroProgram, Procedure
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -141,12 +142,17 @@ def compose_program(
     program: MicroProgram,
     machine: MicroArchitecture,
     composer: Composer,
+    tracer=NULL_TRACER,
 ) -> ComposedProgram:
     """Compose every block of a program with the given algorithm.
 
     The block's terminator is attached to its final microinstruction
     (an empty one is appended for blocks with no ops, so every label
     maps to at least one control-store word).
+
+    With a recording ``tracer``, each block becomes a span carrying its
+    compaction delta (ops in → words out); composers constructed with
+    the same tracer additionally emit per-decision events inside it.
     """
     program.validate()
     composed = ComposedProgram(
@@ -156,13 +162,21 @@ def compose_program(
         constants=dict(program.constants),
     )
     for label, block in program.blocks.items():
-        instructions = composer.compose_block(block, machine)
-        if not instructions:
-            instructions = [MicroInstruction()]
-        if instructions[-1].terminator is not None:
-            raise CompositionError(
-                f"composer {composer.name!r} set a terminator itself"
+        with tracer.span(
+            f"compose {label}", cat="compose",
+            algorithm=composer.name, ops=len(block.ops),
+        ) as span:
+            instructions = composer.compose_block(block, machine)
+            if not instructions:
+                instructions = [MicroInstruction()]
+            if instructions[-1].terminator is not None:
+                raise CompositionError(
+                    f"composer {composer.name!r} set a terminator itself"
+                )
+            instructions[-1].terminator = block.terminator
+            composed.blocks[label] = ComposedBlock(label, instructions)
+            span.set(
+                words=len(instructions),
+                compaction=round(len(block.ops) / len(instructions), 3),
             )
-        instructions[-1].terminator = block.terminator
-        composed.blocks[label] = ComposedBlock(label, instructions)
     return composed

@@ -13,12 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compose.base import MicroInstruction, PlacedOp
-from repro.compose.common import edge_kinds, relations_for
+from repro.compose.common import edge_kinds, emit_block_stats, relations_for
 from repro.compose.conflicts import ConflictModel
 from repro.compose.list_schedule import ListScheduler
 from repro.machine.machine import MicroArchitecture
 from repro.mir.block import BasicBlock
 from repro.mir.deps import OUTPUT, build_dependence_graph
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -32,6 +33,7 @@ class BranchBoundComposer:
 
     node_budget: int = 200_000
     name: str = "branch-bound"
+    tracer: object = NULL_TRACER
 
     def compose_block(
         self, block: BasicBlock, machine: MicroArchitecture
@@ -114,6 +116,12 @@ class BranchBoundComposer:
 
         search(0)
         result = [MicroInstruction(placed=placed) for placed in best]
+        emit_block_stats(
+            self.tracer, self.name, block, result, model,
+            seed_words=len(seed),
+            nodes_explored=self.node_budget - nodes_left,
+            proved_minimal=nodes_left > 0,
+        )
         return result
 
     @staticmethod

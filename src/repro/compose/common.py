@@ -4,8 +4,41 @@ from __future__ import annotations
 
 from repro.compose.base import MicroInstruction, PlacedOp
 from repro.compose.conflicts import ConflictModel, Relations
+from repro.mir.block import BasicBlock
 from repro.mir.deps import DependenceGraph
 from repro.mir.ops import MicroOp
+from repro.obs.tracer import NULL_TRACER
+
+
+def emit_block_stats(
+    tracer,
+    algorithm: str,
+    block: BasicBlock,
+    instructions: list[MicroInstruction],
+    model: ConflictModel,
+    **extra,
+) -> None:
+    """Per-block observability summary every composer emits.
+
+    Records the compaction delta (ops in → words out) and the conflict
+    model's rejection tallies, so algorithms are comparable event for
+    event (experiment E7).  Free when the tracer is disabled.
+    """
+    if not tracer.enabled:
+        return
+    ops = len(block.ops)
+    words = len(instructions)
+    tracer.instant(
+        "compose.block",
+        cat="compose",
+        algorithm=algorithm,
+        block=block.label,
+        ops=ops,
+        words=words,
+        compaction=round(ops / words, 3) if words else 0.0,
+        rejections=model.rejection_counts(),
+        **extra,
+    )
 
 
 def edge_kinds(graph: DependenceGraph) -> dict[tuple[int, int], set[str]]:

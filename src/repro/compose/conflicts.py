@@ -36,10 +36,26 @@ Relations = dict[int, set[str]]
 
 @dataclass
 class ConflictModel:
-    """Stateless conflict oracle for one machine."""
+    """Stateless conflict oracle for one machine.
+
+    The ``rejected_*`` tallies count :meth:`can_add` refusals by cause;
+    composers surface them through the observability layer so every
+    algorithm's conflict behaviour is comparable (experiment E7).
+    """
 
     machine: MicroArchitecture
     _settings_cache: dict[PlacedOp, dict[str, str | int]] = field(default_factory=dict)
+    rejected_field: int = 0
+    rejected_unit: int = 0
+    rejected_dependence: int = 0
+
+    def rejection_counts(self) -> dict[str, int]:
+        """Refusals by cause, for block-level observability events."""
+        return {
+            "field": self.rejected_field,
+            "unit": self.rejected_unit,
+            "dependence": self.rejected_dependence,
+        }
 
     def settings_of(self, placed: PlacedOp) -> dict[str, str | int]:
         cached = self._settings_cache.get(placed)
@@ -102,12 +118,15 @@ class ConflictModel:
         missing = independent).
         """
         if self.unit_overflow(instruction, candidate):
+            self.rejected_unit += 1
             return False
         for position, placed in enumerate(instruction.placed):
             if self.fields_conflict(placed, candidate):
+                self.rejected_field += 1
                 return False
             kinds = (relations or {}).get(position, set())
             if kinds and not self.dependence_legal(placed, candidate, kinds):
+                self.rejected_dependence += 1
                 return False
         return True
 

@@ -14,12 +14,18 @@ the *gap* between data parallelism and machine parallelism measurable
 from __future__ import annotations
 
 from repro.compose.base import MicroInstruction
-from repro.compose.common import edge_kinds, relations_for, try_place
+from repro.compose.common import (
+    edge_kinds,
+    emit_block_stats,
+    relations_for,
+    try_place,
+)
 from repro.compose.conflicts import ConflictModel
 from repro.machine.machine import MicroArchitecture
 from repro.mir.block import BasicBlock
 from repro.mir.deps import DependenceGraph, build_dependence_graph
 from repro.mir.ops import MicroOp
+from repro.obs.tracer import NULL_TRACER
 
 
 def maximal_parallel_sets(
@@ -60,6 +66,9 @@ class LevelComposer:
 
     name = "asap-level"
 
+    def __init__(self, tracer=NULL_TRACER):
+        self.tracer = tracer
+
     def compose_block(
         self, block: BasicBlock, machine: MicroArchitecture
     ) -> list[MicroInstruction]:
@@ -67,7 +76,8 @@ class LevelComposer:
         graph = build_dependence_graph(block, machine)
         kinds = edge_kinds(graph)
         instructions: list[MicroInstruction] = []
-        for level in _levels_to_sets(graph):
+        levels = _levels_to_sets(graph)
+        for level_index, level in enumerate(levels):
             pending: list[int] = list(level)
             while pending:
                 instruction = MicroInstruction()
@@ -83,5 +93,17 @@ class LevelComposer:
                     else:
                         positions[op_index] = len(instruction.placed) - 1
                 instructions.append(instruction)
+                if self.tracer.enabled and still_pending:
+                    # A level split is exactly the gap between data
+                    # parallelism and machine parallelism.
+                    self.tracer.instant(
+                        "compose.level-split", cat="compose",
+                        algorithm=self.name, block=block.label,
+                        level=level_index, deferred=len(still_pending),
+                    )
                 pending = still_pending
+        emit_block_stats(
+            self.tracer, self.name, block, instructions, model,
+            levels=len(levels),
+        )
         return instructions

@@ -14,18 +14,27 @@ conflicts (appending a new one if none fits).
 from __future__ import annotations
 
 from repro.compose.base import MicroInstruction
-from repro.compose.common import edge_kinds, relations_for, try_place
+from repro.compose.common import (
+    edge_kinds,
+    emit_block_stats,
+    relations_for,
+    try_place,
+)
 from repro.compose.conflicts import ConflictModel
 from repro.errors import CompositionError
 from repro.machine.machine import MicroArchitecture
 from repro.mir.block import BasicBlock
 from repro.mir.deps import OUTPUT, build_dependence_graph
+from repro.obs.tracer import NULL_TRACER
 
 
 class SequentialComposer:
     """One micro-operation per microinstruction (no compaction)."""
 
     name = "sequential"
+
+    def __init__(self, tracer=NULL_TRACER):
+        self.tracer = tracer
 
     def compose_block(
         self, block: BasicBlock, machine: MicroArchitecture
@@ -39,6 +48,7 @@ class SequentialComposer:
                     f"{machine.name}: cannot place {op} even alone"
                 )
             instructions.append(instruction)
+        emit_block_stats(self.tracer, self.name, block, instructions, model)
         return instructions
 
 
@@ -46,6 +56,9 @@ class LinearComposer:
     """First-come-first-served packing in program order [18]."""
 
     name = "linear"
+
+    def __init__(self, tracer=NULL_TRACER):
+        self.tracer = tracer
 
     def compose_block(
         self, block: BasicBlock, machine: MicroArchitecture
@@ -85,4 +98,11 @@ class LinearComposer:
             if placed_at is None:  # pragma: no cover - fresh MI always fits
                 raise CompositionError(f"{machine.name}: cannot place {op}")
             location[op_index] = placed_at
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "compose.place", cat="compose", algorithm=self.name,
+                    block=block.label, op=str(op), word=placed_at[0],
+                    earliest=lower, scanned=placed_at[0] - lower + 1,
+                )
+        emit_block_stats(self.tracer, self.name, block, instructions, model)
         return instructions

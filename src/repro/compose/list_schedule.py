@@ -11,18 +11,27 @@ buys a few extra percent of compaction on wide machines.
 from __future__ import annotations
 
 from repro.compose.base import MicroInstruction
-from repro.compose.common import edge_kinds, relations_for, try_place
+from repro.compose.common import (
+    edge_kinds,
+    emit_block_stats,
+    relations_for,
+    try_place,
+)
 from repro.compose.conflicts import ConflictModel
 from repro.errors import CompositionError
 from repro.machine.machine import MicroArchitecture
 from repro.mir.block import BasicBlock
 from repro.mir.deps import build_dependence_graph
+from repro.obs.tracer import NULL_TRACER
 
 
 class ListScheduler:
     """Height-priority greedy packing."""
 
     name = "list"
+
+    def __init__(self, tracer=NULL_TRACER):
+        self.tracer = tracer
 
     def compose_block(
         self, block: BasicBlock, machine: MicroArchitecture
@@ -77,4 +86,12 @@ class ListScheduler:
                 raise CompositionError(
                     f"{machine.name}: list scheduler made no progress"
                 )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "compose.pack", cat="compose", algorithm=self.name,
+                    block=block.label, word=mi_index,
+                    ops=[str(p.op) for p in instruction.placed],
+                    heights=[heights[j] for j in sorted(current_positions)],
+                )
+        emit_block_stats(self.tracer, self.name, block, instructions, model)
         return instructions

@@ -18,6 +18,7 @@ from repro.lang.empl.codegen import EmplCodegen
 from repro.lang.empl.parser import parse_empl
 from repro.lang.yalll.compiler import CompileResult
 from repro.machine.machine import MicroArchitecture
+from repro.obs.tracer import NULL_TRACER
 from repro.regalloc.linear_scan import LinearScanAllocator
 
 
@@ -37,15 +38,36 @@ def compile_empl(
     composer: Composer | None = None,
     allocator: LinearScanAllocator | None = None,
     data_base: int = 0x6000,
+    tracer=NULL_TRACER,
 ) -> EmplCompileResult:
     """Compile EMPL source for a machine."""
-    ast = parse_empl(source)
-    codegen = EmplCodegen(ast, machine, name, data_base=data_base)
-    mir = codegen.generate()
-    stats = legalize(mir, machine)
-    allocation = (allocator or LinearScanAllocator()).allocate(mir, machine)
-    composed = compose_program(mir, machine, composer or ListScheduler())
-    loaded = assemble(composed, machine)
+    with tracer.span("compile", lang="empl", machine=machine.name):
+        with tracer.span("parse"):
+            ast = parse_empl(source)
+        with tracer.span("codegen") as span:
+            codegen = EmplCodegen(ast, machine, name, data_base=data_base)
+            mir = codegen.generate()
+            span.set(ops=mir.n_ops(), inlined=codegen.inlined_ops,
+                     hardware=codegen.hardware_ops)
+        with tracer.span("legalize") as span:
+            stats = legalize(mir, machine)
+            span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
+        with tracer.span("regalloc") as span:
+            allocation = (
+                allocator or LinearScanAllocator(tracer=tracer)
+            ).allocate(mir, machine)
+            span.set(allocator=allocation.allocator,
+                     spilled=allocation.n_spilled,
+                     registers=allocation.registers_used)
+        with tracer.span("compose") as span:
+            composed = compose_program(
+                mir, machine, composer or ListScheduler(tracer=tracer), tracer
+            )
+            span.set(words=composed.n_instructions(),
+                     compaction=round(composed.compaction_ratio(), 3))
+        with tracer.span("assemble") as span:
+            loaded = assemble(composed, machine)
+            span.set(words=len(loaded))
     return EmplCompileResult(
         mir=mir,
         composed=composed,

@@ -16,6 +16,7 @@ from repro.lang.mpl.codegen import generate
 from repro.lang.mpl.parser import parse_mpl
 from repro.lang.yalll.compiler import CompileResult
 from repro.machine.machine import MicroArchitecture
+from repro.obs.tracer import NULL_TRACER
 from repro.regalloc.linear_scan import AllocationResult, LinearScanAllocator
 
 
@@ -25,17 +26,37 @@ def compile_mpl(
     *,
     composer: Composer | None = None,
     data_base: int = 0x6800,
+    tracer=NULL_TRACER,
 ) -> CompileResult:
     """Compile MPL source for a machine."""
-    ast = parse_mpl(source)
-    mir = generate(ast, machine, data_base)
-    stats = legalize(mir, machine)
-    if mir.virtual_regs():
-        allocation = LinearScanAllocator().allocate(mir, machine)
-    else:
-        allocation = AllocationResult(allocator="none")
-    composed = compose_program(mir, machine, composer or SequentialComposer())
-    loaded = assemble(composed, machine)
+    with tracer.span("compile", lang="mpl", machine=machine.name):
+        with tracer.span("parse"):
+            ast = parse_mpl(source)
+        with tracer.span("codegen") as span:
+            mir = generate(ast, machine, data_base)
+            span.set(ops=mir.n_ops())
+        with tracer.span("legalize") as span:
+            stats = legalize(mir, machine)
+            span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
+        with tracer.span("regalloc") as span:
+            if mir.virtual_regs():
+                allocation = LinearScanAllocator(tracer=tracer).allocate(
+                    mir, machine
+                )
+            else:
+                allocation = AllocationResult(allocator="none")
+            span.set(allocator=allocation.allocator,
+                     spilled=allocation.n_spilled)
+        with tracer.span("compose") as span:
+            composed = compose_program(
+                mir, machine,
+                composer or SequentialComposer(tracer=tracer), tracer,
+            )
+            span.set(words=composed.n_instructions(),
+                     compaction=round(composed.compaction_ratio(), 3))
+        with tracer.span("assemble") as span:
+            loaded = assemble(composed, machine)
+            span.set(words=len(loaded))
     return CompileResult(
         mir=mir,
         composed=composed,

@@ -5,6 +5,9 @@ registers) → code generation → legalization → composition (linear
 first-come-first-served by default, matching the historical SIMPL
 compiler's approach) → assembly.  No register allocation runs because
 SIMPL identifies variables with machine registers.
+
+Every stage is wrapped in an observability span (``repro.obs``); pass
+a recording tracer to get the per-stage compile-time breakdown.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from repro.lang.simpl.parser import parse_simpl
 from repro.lang.simpl.sema import check_program
 from repro.lang.yalll.compiler import CompileResult
 from repro.machine.machine import MicroArchitecture
+from repro.obs.tracer import NULL_TRACER
 from repro.regalloc.linear_scan import AllocationResult, LinearScanAllocator
 
 
@@ -26,21 +30,41 @@ def compile_simpl(
     machine: MicroArchitecture,
     *,
     composer: Composer | None = None,
+    tracer=NULL_TRACER,
 ) -> CompileResult:
     """Compile SIMPL source for a machine."""
-    ast = parse_simpl(source)
-    names = set(machine.registers.names()) | set(machine.registers.windows)
-    check_program(ast, names)
-    mir = generate(ast, machine)
-    stats = legalize(mir, machine)
-    # Legalization may introduce temporaries even though the programmer
-    # bound everything; allocate whatever virtuals remain.
-    if mir.virtual_regs():
-        allocation = LinearScanAllocator().allocate(mir, machine)
-    else:
-        allocation = AllocationResult(allocator="none")
-    composed = compose_program(mir, machine, composer or LinearComposer())
-    loaded = assemble(composed, machine)
+    with tracer.span("compile", lang="simpl", machine=machine.name):
+        with tracer.span("parse"):
+            ast = parse_simpl(source)
+        with tracer.span("sema"):
+            names = set(machine.registers.names()) | set(machine.registers.windows)
+            check_program(ast, names)
+        with tracer.span("codegen") as span:
+            mir = generate(ast, machine)
+            span.set(ops=mir.n_ops())
+        with tracer.span("legalize") as span:
+            stats = legalize(mir, machine)
+            span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
+        # Legalization may introduce temporaries even though the programmer
+        # bound everything; allocate whatever virtuals remain.
+        with tracer.span("regalloc") as span:
+            if mir.virtual_regs():
+                allocation = LinearScanAllocator(tracer=tracer).allocate(
+                    mir, machine
+                )
+            else:
+                allocation = AllocationResult(allocator="none")
+            span.set(allocator=allocation.allocator,
+                     spilled=allocation.n_spilled)
+        with tracer.span("compose") as span:
+            composed = compose_program(
+                mir, machine, composer or LinearComposer(tracer=tracer), tracer
+            )
+            span.set(words=composed.n_instructions(),
+                     compaction=round(composed.compaction_ratio(), 3))
+        with tracer.span("assemble") as span:
+            loaded = assemble(composed, machine)
+            span.set(words=len(loaded))
     return CompileResult(
         mir=mir,
         composed=composed,

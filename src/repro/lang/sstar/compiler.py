@@ -17,18 +17,33 @@ from repro.lang.sstar.composer import SStarComposer
 from repro.lang.sstar.parser import parse_sstar
 from repro.lang.yalll.compiler import CompileResult
 from repro.machine.machine import MicroArchitecture
+from repro.obs.tracer import NULL_TRACER
 from repro.regalloc.linear_scan import AllocationResult
 
 
 def compile_sstar(
     source: str,
     machine: MicroArchitecture,
+    *,
+    tracer=NULL_TRACER,
 ) -> CompileResult:
     """Compile S(M) source for machine M."""
-    ast = parse_sstar(source)
-    mir, groups = generate(ast, machine)
-    composed = compose_program(mir, machine, SStarComposer(groups))
-    loaded = assemble(composed, machine)
+    with tracer.span("compile", lang="sstar", machine=machine.name):
+        with tracer.span("parse"):
+            ast = parse_sstar(source)
+        with tracer.span("codegen") as span:
+            mir, groups = generate(ast, machine)
+            span.set(ops=mir.n_ops(),
+                     groups=sum(len(g) for g in groups.values()))
+        with tracer.span("compose") as span:
+            composed = compose_program(
+                mir, machine, SStarComposer(groups, tracer=tracer), tracer
+            )
+            span.set(words=composed.n_instructions(),
+                     compaction=round(composed.compaction_ratio(), 3))
+        with tracer.span("assemble") as span:
+            loaded = assemble(composed, machine)
+            span.set(words=len(loaded))
     return CompileResult(
         mir=mir,
         composed=composed,

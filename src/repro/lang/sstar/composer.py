@@ -26,13 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compose.base import MicroInstruction, PlacedOp
-from repro.compose.common import edge_kinds
+from repro.compose.common import edge_kinds, emit_block_stats
 from repro.compose.conflicts import ConflictModel, Relations
 from repro.errors import ConflictError
 from repro.lang.sstar.codegen import GroupEntry
 from repro.machine.machine import MicroArchitecture
 from repro.mir.block import BasicBlock
 from repro.mir.deps import ANTI, FLOW, build_dependence_graph
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -41,6 +42,7 @@ class SStarComposer:
 
     groups: dict[str, list[GroupEntry]]
     name: str = "sstar-explicit"
+    tracer: object = NULL_TRACER
 
     def compose_block(
         self, block: BasicBlock, machine: MicroArchitecture
@@ -80,6 +82,10 @@ class SStarComposer:
                     )
                 instructions.append(instruction)
                 op_index += 1
+        emit_block_stats(
+            self.tracer, self.name, block, instructions, model,
+            programmer_groups=len(groups),
+        )
         return instructions
 
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ from repro.lang.yalll.parser import parse_yalll
 from repro.machine.machine import MicroArchitecture
 from repro.mir.deps import op_reads, op_writes
 from repro.mir.program import MicroProgram
+from repro.obs.tracer import NULL_TRACER
 from repro.regalloc.graph_color import GraphColorAllocator
 from repro.regalloc.linear_scan import AllocationResult, LinearScanAllocator
 
@@ -81,6 +82,7 @@ def compile_yalll(
     optimize: bool = True,
     composer: Composer | None = None,
     allocator=None,
+    tracer=NULL_TRACER,
 ) -> CompileResult:
     """Compile YALLL source for a machine.
 
@@ -91,21 +93,44 @@ def compile_yalll(
     par-aware graph-colouring allocator by default, so the declared
     parallelism survives allocation.
     """
-    ast = parse_yalll(source)
-    codegen = YalllCodegen(ast, machine, name)
-    mir = codegen.generate()
-    if allocator is None and codegen.par_groups:
-        # Pair computation must precede legalization: the recorded op
-        # indices refer to the pristine micro-IR.
-        allocator = GraphColorAllocator(
-            extra_interference=_par_interference(mir, machine, codegen.par_groups)
-        )
-    stats = legalize(mir, machine)
-    allocation = (allocator or LinearScanAllocator()).allocate(mir, machine)
-    if composer is None:
-        composer = ListScheduler() if optimize else SequentialComposer()
-    composed = compose_program(mir, machine, composer)
-    loaded = assemble(composed, machine)
+    with tracer.span("compile", lang="yalll", machine=machine.name):
+        with tracer.span("parse"):
+            ast = parse_yalll(source)
+        with tracer.span("codegen") as span:
+            codegen = YalllCodegen(ast, machine, name)
+            mir = codegen.generate()
+            span.set(ops=mir.n_ops(), par_groups=len(codegen.par_groups))
+        if allocator is None and codegen.par_groups:
+            # Pair computation must precede legalization: the recorded op
+            # indices refer to the pristine micro-IR.
+            allocator = GraphColorAllocator(
+                extra_interference=_par_interference(
+                    mir, machine, codegen.par_groups
+                ),
+                tracer=tracer,
+            )
+        with tracer.span("legalize") as span:
+            stats = legalize(mir, machine)
+            span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
+        with tracer.span("regalloc") as span:
+            allocation = (
+                allocator or LinearScanAllocator(tracer=tracer)
+            ).allocate(mir, machine)
+            span.set(allocator=allocation.allocator,
+                     spilled=allocation.n_spilled,
+                     registers=allocation.registers_used)
+        if composer is None:
+            composer = (
+                ListScheduler(tracer=tracer) if optimize
+                else SequentialComposer(tracer=tracer)
+            )
+        with tracer.span("compose") as span:
+            composed = compose_program(mir, machine, composer, tracer)
+            span.set(words=composed.n_instructions(),
+                     compaction=round(composed.compaction_ratio(), 3))
+        with tracer.span("assemble") as span:
+            loaded = assemble(composed, machine)
+            span.set(words=len(loaded))
     return CompileResult(
         mir=mir,
         composed=composed,

@@ -1,0 +1,63 @@
+"""Observability layer (survey substrate S15).
+
+The shared measurement substrate behind every quantity the survey
+compares — cycles, microinstruction counts, compaction ratios, trap
+and interrupt latencies.  Three pieces:
+
+* a **pipeline tracer** (:class:`Tracer` / :data:`NULL_TRACER`)
+  threaded through every compiler stage and composition algorithm;
+* **simulator instrumentation** (:class:`TraceRecorder`,
+  :class:`SimProfile`) with per-address execution counts and
+  control-store field utilisation;
+* **exporters** for JSON-lines, Chrome ``chrome://tracing`` format
+  and human-readable hot-spot / compile-time reports.
+
+Everything defaults off: the :data:`NULL_TRACER` singleton and a
+``recorder=None`` simulator cost one attribute test per call site.
+"""
+
+from repro.obs.events import (
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_INSTANT,
+    TRACK_COMPILE,
+    TRACK_SIM,
+    Event,
+)
+from repro.obs.export import (
+    dump_chrome_trace,
+    dump_jsonl,
+    load_jsonl,
+    render_compile_report,
+    render_hotspots,
+    to_chrome_trace,
+    write_trace,
+)
+from repro.obs.metrics import Counters, StageStat, stage_breakdown
+from repro.obs.timeline import SimProfile, TraceRecorder
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counters",
+    "Event",
+    "NULL_TRACER",
+    "NullTracer",
+    "PH_COMPLETE",
+    "PH_COUNTER",
+    "PH_INSTANT",
+    "SimProfile",
+    "Span",
+    "StageStat",
+    "TRACK_COMPILE",
+    "TRACK_SIM",
+    "TraceRecorder",
+    "Tracer",
+    "dump_chrome_trace",
+    "dump_jsonl",
+    "load_jsonl",
+    "render_compile_report",
+    "render_hotspots",
+    "stage_breakdown",
+    "to_chrome_trace",
+    "write_trace",
+]

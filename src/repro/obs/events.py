@@ -1,0 +1,86 @@
+"""Structured observability events (survey substrate S15).
+
+Every measurement the toolkit takes — a compile stage finishing, a
+microinstruction executing, a conflict-model rejection — is one
+:class:`Event`.  The schema deliberately mirrors the Chrome trace-event
+format (``ph``/``ts``/``dur``/``args``) so exporting to
+``chrome://tracing`` / Perfetto is a field-for-field mapping, while the
+JSON-lines exporter round-trips events losslessly for programmatic
+analysis.
+
+Two clocks coexist:
+
+* **compile events** are stamped in wall-clock *microseconds* relative
+  to the tracer's construction;
+* **simulator events** are stamped in *cycles* of simulated time.
+
+Events carry a ``track`` ("compile", "sim", …) so the two timelines
+land on separate rows of a trace viewer instead of overlaying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Chrome trace-event phase codes used by the toolkit.
+PH_COMPLETE = "X"  #: a span with a duration
+PH_INSTANT = "i"   #: a point-in-time marker
+PH_COUNTER = "C"   #: a sampled counter value
+
+#: Track names (rendered as thread rows in Chrome traces).
+TRACK_COMPILE = "compile"
+TRACK_SIM = "sim"
+
+
+@dataclass
+class Event:
+    """One observability event.
+
+    Attributes:
+        name: What happened, e.g. ``"parse"`` or ``"mi@0012"``.
+        cat: Subsystem category (``"compile"``, ``"compose"``,
+            ``"regalloc"``, ``"sim"``), used for filtering.
+        ph: Chrome phase code (:data:`PH_COMPLETE`, :data:`PH_INSTANT`,
+            :data:`PH_COUNTER`).
+        ts: Timestamp — microseconds for compile-side events, cycles
+            for simulator events.
+        dur: Duration in the same unit as ``ts`` (spans only).
+        track: Logical timeline the event belongs to.
+        args: Free-form payload (always JSON-serialisable).
+    """
+
+    name: str
+    cat: str = "compile"
+    ph: str = PH_INSTANT
+    ts: float = 0.0
+    dur: float = 0.0
+    track: str = TRACK_COMPILE
+    args: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """Plain-dict form for the JSON-lines exporter."""
+        record: dict = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts,
+            "track": self.track,
+        }
+        if self.ph == PH_COMPLETE:
+            record["dur"] = self.dur
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    @classmethod
+    def from_json(cls, record: dict) -> "Event":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            name=record["name"],
+            cat=record.get("cat", "compile"),
+            ph=record.get("ph", PH_INSTANT),
+            ts=record.get("ts", 0.0),
+            dur=record.get("dur", 0.0),
+            track=record.get("track", TRACK_COMPILE),
+            args=record.get("args", {}),
+        )

@@ -1,0 +1,159 @@
+"""Exporters: JSON-lines, Chrome trace-event JSON, text reports.
+
+Three consumers, three formats:
+
+* :func:`dump_jsonl` / :func:`load_jsonl` — lossless event streams for
+  programmatic analysis (one ``Event.to_json`` dict per line);
+* :func:`to_chrome_trace` / :func:`dump_chrome_trace` — the
+  ``chrome://tracing`` / Perfetto *JSON Array Format*, with compile
+  and simulator timelines on separate named threads;
+* :func:`render_hotspots` / :func:`render_compile_report` — the
+  human-readable tables behind the CLI's ``--stats`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.events import PH_COMPLETE, Event
+from repro.obs.metrics import stage_breakdown
+from repro.obs.timeline import SimProfile
+
+#: pid used for every toolkit event in Chrome traces.
+TRACE_PID = 1
+
+
+# ----------------------------------------------------------------------
+# JSON-lines
+def dump_jsonl(events: list[Event], path: str | Path) -> None:
+    """Write one event per line (lossless round-trip format)."""
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_json()) + "\n")
+
+
+def load_jsonl(path: str | Path) -> list[Event]:
+    """Inverse of :func:`dump_jsonl`."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(Event.from_json(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+def to_chrome_trace(events: list[Event]) -> dict:
+    """Events as a Chrome trace-event JSON object.
+
+    Each distinct ``track`` becomes a thread (with a ``thread_name``
+    metadata record), so the wall-clock compile timeline and the
+    cycle-clock simulator timeline render as separate rows.
+    """
+    tids: dict[str, int] = {}
+    trace_events: list[dict] = []
+    for event in events:
+        tid = tids.get(event.track)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[event.track] = tid
+            trace_events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": event.track},
+            })
+        record = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.ts,
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": event.args,
+        }
+        if event.ph == PH_COMPLETE:
+            record["dur"] = event.dur
+        if event.ph == "i":
+            record["s"] = "t"  # instant scope: thread
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(events: list[Event], path: str | Path) -> None:
+    """Write :func:`to_chrome_trace` output to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(events), handle, indent=1)
+
+
+def write_trace(events: list[Event], path: str | Path) -> None:
+    """Write a trace file, format chosen by extension.
+
+    ``.jsonl`` → JSON-lines; anything else → Chrome trace JSON.
+    """
+    if str(path).endswith(".jsonl"):
+        dump_jsonl(events, path)
+    else:
+        dump_chrome_trace(events, path)
+
+
+# ----------------------------------------------------------------------
+# Text reports
+def render_hotspots(profile: SimProfile, top: int = 10) -> str:
+    """The hot-spot report: top-N microinstructions by cycles.
+
+    Includes the run totals, the ranked table and the control-word
+    field utilisation — everything §3's speed claims need to be
+    localised to individual microinstructions.
+    """
+    lines = [
+        f"hot spots — {profile.program} on {profile.machine}: "
+        f"{profile.instructions} MIs, {profile.busy_cycles} busy cycles"
+        f" (+{profile.trap_cycles} trap, "
+        f"+{profile.interrupt_cycles} interrupt)",
+    ]
+    spots = profile.hotspots(top)
+    if spots:
+        lines.append(f"{'addr':>6} {'cycles':>8} {'count':>7}  microinstruction")
+        busy = profile.busy_cycles or 1
+        for address, cycles, count, text in spots:
+            share = 100.0 * cycles / busy
+            lines.append(
+                f"{address:6d} {cycles:8d} {count:7d}  {text}  ({share:.1f}%)"
+            )
+    if profile.field_util:
+        executed = profile.instructions or 1
+        pairs = ", ".join(
+            f"{name} {100.0 * count / executed:.0f}%"
+            for name, count in profile.field_util.top(8)
+        )
+        lines.append(f"field utilisation: {pairs}")
+    if profile.polls or profile.traps or profile.interrupts:
+        lines.append(
+            f"{profile.polls} polls, {profile.traps} traps, "
+            f"{profile.interrupts} interrupts serviced"
+        )
+    return "\n".join(lines)
+
+
+def render_compile_report(events: list[Event]) -> str:
+    """Per-stage compile-time breakdown from a tracer's span events."""
+    rows = stage_breakdown(events)
+    if not rows:
+        return "no compile spans recorded"
+    lines = ["compile-time breakdown:"]
+    for row in rows:
+        extras = ", ".join(
+            f"{key}={value}" for key, value in sorted(row.args.items())
+            if isinstance(value, (int, float, str)) and key != "machine"
+        )
+        lines.append(
+            f"  {'  ' * row.depth}{row.name:<{24 - 2 * row.depth}}"
+            f"{row.micros / 1000.0:9.3f} ms  {100.0 * row.fraction:5.1f}%"
+            + (f"  [{extras}]" if extras else "")
+        )
+    return "\n".join(lines)

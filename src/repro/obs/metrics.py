@@ -1,0 +1,105 @@
+"""Counter primitives and derived compile-time metrics.
+
+:class:`Counters` is the accumulation primitive both the simulator
+profile (per-address cycles, control-field utilisation) and the
+composition layer (conflict rejections) build on.
+:func:`stage_breakdown` folds a tracer's span events into the
+per-stage compile-time table the ``--stats`` flag prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.events import PH_COMPLETE, TRACK_COMPILE, Event
+
+
+class Counters:
+    """A keyed tally: ``inc``/``get``/``top`` over a plain dict."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: dict | None = None):
+        self.data: dict = dict(data) if data else {}
+
+    def inc(self, key, amount: float = 1) -> None:
+        self.data[key] = self.data.get(key, 0) + amount
+
+    def get(self, key, default: float = 0) -> float:
+        return self.data.get(key, default)
+
+    def items(self):
+        return self.data.items()
+
+    def total(self) -> float:
+        return sum(self.data.values())
+
+    def top(self, n: int) -> list[tuple]:
+        """The ``n`` largest entries as (key, value), descending."""
+        ranked = sorted(self.data.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return ranked[:n]
+
+    def merge(self, other: "Counters") -> None:
+        for key, value in other.items():
+            self.inc(key, value)
+
+    def as_dict(self) -> dict:
+        return dict(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __bool__(self) -> bool:
+        return bool(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self.data!r})"
+
+
+@dataclass
+class StageStat:
+    """One row of the per-stage compile-time breakdown."""
+
+    name: str
+    micros: float
+    fraction: float
+    depth: int
+    args: dict
+
+
+def stage_breakdown(
+    events: list[Event], cat_prefix: str = ""
+) -> list[StageStat]:
+    """Per-stage timing rows from span events, in recorded order.
+
+    Only compile-track spans count (simulator events live on their own
+    cycle-stamped track).  Spans are re-ordered by start time (a tracer
+    appends them at *exit*, so nested spans precede their parents in
+    ``events``) and fractions are computed against the outermost span's
+    duration.  ``cat_prefix`` filters by category (``""`` keeps
+    everything).
+    """
+    spans = [
+        e
+        for e in events
+        if e.ph == PH_COMPLETE
+        and e.track == TRACK_COMPILE
+        and e.cat.startswith(cat_prefix)
+    ]
+    spans.sort(key=lambda e: (e.ts, -e.dur))
+    if not spans:
+        return []
+    total = max((e.dur for e in spans if e.args.get("depth", 0) == 0),
+                default=0.0) or max(e.dur for e in spans)
+    rows = []
+    for event in spans:
+        rows.append(
+            StageStat(
+                name=event.name,
+                micros=event.dur,
+                fraction=event.dur / total if total else 0.0,
+                depth=int(event.args.get("depth", 0)),
+                args={k: v for k, v in event.args.items() if k != "depth"},
+            )
+        )
+    return rows

@@ -1,0 +1,155 @@
+"""Cycle-level simulator instrumentation: recorder hook and profile.
+
+The simulator calls a :class:`TraceRecorder` (when one is attached)
+once per executed microinstruction and once per trap / serviced
+interrupt.  The recorder accumulates a :class:`SimProfile` — the
+per-address execution and cycle counts plus control-store field
+utilisation that the hot-spot report ranks — and, when built with a
+recording tracer, emits one cycle-stamped timeline event per
+occurrence.
+
+All bookkeeping happens *outside* the simulator's cycle arithmetic:
+attaching a recorder never changes the simulated cycle counts, and a
+detached simulator pays only an ``is not None`` test per loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.events import PH_COMPLETE, PH_INSTANT, TRACK_SIM, Event
+from repro.obs.metrics import Counters
+from repro.obs.tracer import NULL_TRACER
+
+
+@dataclass
+class SimProfile:
+    """Aggregated execution statistics of one (or more) simulated runs.
+
+    Attributes:
+        program: Name of the last program run under this profile.
+        machine: Machine the runs executed on.
+        exec_counts: Absolute control-store address -> times executed.
+        cycle_counts: Absolute address -> cycles spent at that address.
+        field_util: Control-word field name -> number of executed
+            microinstructions that drive the field (utilisation of the
+            horizontal word, per §2.1.4's encoding discussion).
+        mi_text: Address -> human-readable microinstruction, for
+            reports.
+        instructions: Total microinstructions executed.
+        busy_cycles: Cycles spent executing microinstructions.
+        trap_cycles: Cycles charged to microtrap service routines.
+        interrupt_cycles: Cycles charged to interrupt service.
+        polls: Times a ``poll`` micro-operation was executed.
+        traps: Microtraps serviced.
+        interrupts: Interrupts serviced.
+    """
+
+    program: str = ""
+    machine: str = ""
+    exec_counts: Counters = field(default_factory=Counters)
+    cycle_counts: Counters = field(default_factory=Counters)
+    field_util: Counters = field(default_factory=Counters)
+    mi_text: dict[int, str] = field(default_factory=dict)
+    instructions: int = 0
+    busy_cycles: int = 0
+    trap_cycles: int = 0
+    interrupt_cycles: int = 0
+    polls: int = 0
+    traps: int = 0
+    interrupts: int = 0
+
+    def hotspots(self, top: int = 10) -> list[tuple[int, int, int, str]]:
+        """Top addresses by cycles: (address, cycles, count, text)."""
+        return [
+            (address, int(cycles), int(self.exec_counts.get(address)),
+             self.mi_text.get(address, "?"))
+            for address, cycles in self.cycle_counts.top(top)
+        ]
+
+    def total_cycles(self) -> int:
+        return self.busy_cycles + self.trap_cycles + self.interrupt_cycles
+
+
+class TraceRecorder:
+    """The simulator's observability hook.
+
+    Attach one via ``Simulator(..., recorder=TraceRecorder(tracer))``.
+    With the default :data:`NULL_TRACER` only the profile is kept
+    (cheap counters, no event list); with a recording tracer every
+    microinstruction becomes a cycle-stamped span on the ``sim`` track.
+    """
+
+    def __init__(self, tracer=NULL_TRACER, *, profile: SimProfile | None = None):
+        self.tracer = tracer
+        self.profile = profile if profile is not None else SimProfile()
+        #: address -> (text, field names, has_poll) — computed once.
+        self._word_info: dict[int, tuple[str, tuple[str, ...], bool]] = {}
+
+    # ------------------------------------------------------------------
+    def _info(self, address: int, loaded) -> tuple[str, tuple[str, ...], bool]:
+        info = self._word_info.get(address)
+        if info is None:
+            instruction = loaded.instruction
+            text = str(instruction)
+            fields = tuple(loaded.settings)
+            has_poll = any(p.op.op == "poll" for p in instruction.placed)
+            info = (text, fields, has_poll)
+            self._word_info[address] = info
+            self.profile.mi_text[address] = text
+        return info
+
+    # ------------------------------------------------------------------
+    def begin_run(self, program: str, machine: str, cycle: int) -> None:
+        self.profile.program = program
+        self.profile.machine = machine
+        if self.tracer.enabled:
+            self.tracer.emit(
+                Event(name=f"run {program}", cat="sim", ph=PH_INSTANT,
+                      ts=cycle, track=TRACK_SIM,
+                      args={"machine": machine})
+            )
+
+    def record_mi(self, address: int, loaded, cycle: int, mi_cycles: int) -> None:
+        """One microinstruction executed at ``address`` for ``mi_cycles``."""
+        profile = self.profile
+        text, fields, has_poll = self._info(address, loaded)
+        profile.exec_counts.inc(address)
+        profile.cycle_counts.inc(address, mi_cycles)
+        profile.instructions += 1
+        profile.busy_cycles += mi_cycles
+        for name in fields:
+            profile.field_util.inc(name)
+        if has_poll:
+            profile.polls += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                Event(name=f"mi@{address:04d}", cat="sim", ph=PH_COMPLETE,
+                      ts=cycle, dur=mi_cycles, track=TRACK_SIM,
+                      args={"mi": text})
+            )
+
+    def record_trap(self, trap, address: int, cycle: int,
+                    service_cycles: int) -> None:
+        """A microtrap aborted the microprogram at ``address``."""
+        self.profile.traps += 1
+        self.profile.trap_cycles += service_cycles
+        if self.tracer.enabled:
+            self.tracer.emit(
+                Event(name=f"trap {type(trap).__name__}", cat="sim",
+                      ph=PH_COMPLETE, ts=cycle, dur=service_cycles,
+                      track=TRACK_SIM,
+                      args={"at": address, "detail": str(trap)})
+            )
+
+    def record_interrupt(self, cycle: int, wait_cycles: int,
+                         service_cycles: int) -> None:
+        """A pending interrupt was serviced at a ``poll``."""
+        self.profile.interrupts += 1
+        self.profile.interrupt_cycles += service_cycles
+        if self.tracer.enabled:
+            self.tracer.emit(
+                Event(name="interrupt", cat="sim", ph=PH_COMPLETE,
+                      ts=cycle, dur=service_cycles, track=TRACK_SIM,
+                      args={"wait_cycles": wait_cycles})
+            )

@@ -1,0 +1,179 @@
+"""Span-based tracers: the recording one and the free null one.
+
+Every instrumented call site in the toolkit takes a tracer and defaults
+to :data:`NULL_TRACER`.  The null tracer's methods are empty and its
+``enabled`` flag is a class attribute ``False``, so hot paths guard
+bulk work with ``if tracer.enabled:`` and pay only an attribute test
+when tracing is off — the simulator additionally keeps its recorder
+hook as a plain ``is not None`` check (see
+:class:`repro.sim.simulator.Simulator`), keeping the disabled path
+within noise of the uninstrumented loop (``bench_obs_overhead``).
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("legalize", cat="compile") as span:
+        stats = legalize(mir, machine)
+        span.set(ops_after=stats.ops_after)
+    tracer.instant("regalloc.spill", cat="regalloc", victim="%t3")
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.events import (
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_INSTANT,
+    TRACK_COMPILE,
+    Event,
+)
+
+
+class NullSpan:
+    """Context manager that does nothing (reused singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args) -> None:
+        """Discard span arguments."""
+
+
+#: The one null span every :class:`NullTracer` call returns.
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Tracer that records nothing; the default everywhere.
+
+    All methods are no-ops; ``events`` is always an empty list.  Use
+    the module-level :data:`NULL_TRACER` singleton rather than
+    constructing new instances, so identity checks work too.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, cat: str = "compile", **args) -> NullSpan:
+        return NULL_SPAN
+
+    def instant(self, name: str, cat: str = "compile", **args) -> None:
+        pass
+
+    def counter(self, name: str, value: float, cat: str = "compile") -> None:
+        pass
+
+    def emit(self, event: Event) -> None:
+        pass
+
+    @property
+    def events(self) -> list[Event]:
+        return []
+
+
+#: Shared do-nothing tracer (identity-comparable: ``tracer is NULL_TRACER``).
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """An open interval on the compile timeline.
+
+    Created by :meth:`Tracer.span`; records a :data:`PH_COMPLETE`
+    event when the ``with`` block exits.  :meth:`set` attaches results
+    discovered during the stage (op counts, spill counts, …) to the
+    event's ``args``.
+    """
+
+    __slots__ = ("tracer", "name", "cat", "args", "depth", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.depth = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self.depth = len(self.tracer._stack)
+        self.tracer._stack.append(self)
+        self._start = self.tracer.now()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = self.tracer.now()
+        self.tracer._stack.pop()
+        args = dict(self.args)
+        args["depth"] = self.depth
+        self.tracer.events.append(
+            Event(
+                name=self.name,
+                cat=self.cat,
+                ph=PH_COMPLETE,
+                ts=self._start,
+                dur=end - self._start,
+                track=TRACK_COMPILE,
+                args=args,
+            )
+        )
+        return False
+
+    def set(self, **args) -> None:
+        """Attach (or overwrite) arguments on the span's event."""
+        self.args.update(args)
+
+
+class Tracer:
+    """Collects :class:`Event` objects in memory.
+
+    Compile-side timestamps come from ``time.perf_counter_ns`` relative
+    to construction, expressed in microseconds (the Chrome trace unit).
+    Simulator-side events arrive pre-stamped in cycles through
+    :meth:`emit`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        self._origin = time.perf_counter_ns()
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Microseconds since the tracer was created."""
+        return (time.perf_counter_ns() - self._origin) / 1000.0
+
+    def span(self, name: str, cat: str = "compile", **args) -> Span:
+        """Open a span; use as a context manager."""
+        return Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "compile", **args) -> None:
+        """Record a point event at the current time."""
+        self.events.append(
+            Event(name=name, cat=cat, ph=PH_INSTANT, ts=self.now(), args=args)
+        )
+
+    def counter(self, name: str, value: float, cat: str = "compile") -> None:
+        """Record a sampled counter value."""
+        self.events.append(
+            Event(
+                name=name,
+                cat=cat,
+                ph=PH_COUNTER,
+                ts=self.now(),
+                args={"value": value},
+            )
+        )
+
+    def emit(self, event: Event) -> None:
+        """Append a pre-built event (simulator timeline, importers)."""
+        self.events.append(event)

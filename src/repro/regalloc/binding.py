@@ -16,6 +16,7 @@ from repro.errors import AllocationError
 from repro.machine.machine import MicroArchitecture
 from repro.mir.operands import preg, vreg
 from repro.mir.program import MicroProgram
+from repro.obs.tracer import NULL_TRACER
 from repro.regalloc.constraints import collect_class_constraints
 from repro.regalloc.linear_scan import AllocationResult
 
@@ -33,6 +34,7 @@ class BindingAllocator:
     binding: dict[str, str]
     allow_aliases: bool = False
     name: str = "binding"
+    tracer: object = NULL_TRACER
 
     def allocate(
         self, program: MicroProgram, machine: MicroArchitecture
@@ -71,6 +73,11 @@ class BindingAllocator:
             vreg(v.name): preg(self.binding[v.name]) for v in virtuals
         }
         program.rename_regs(mapping)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "regalloc.bind", cat="regalloc", allocator=self.name,
+                bound={v.name: self.binding[v.name] for v in virtuals},
+            )
         return AllocationResult(
             allocator=self.name,
             mapping={v.name: self.binding[v.name] for v in virtuals},

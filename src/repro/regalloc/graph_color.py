@@ -18,6 +18,7 @@ from repro.mir.deps import op_reads, op_writes
 from repro.mir.liveness import analyze_liveness
 from repro.mir.operands import preg, vreg
 from repro.mir.program import MicroProgram
+from repro.obs.tracer import NULL_TRACER
 from repro.regalloc.constraints import allowed_registers, used_physical_registers
 from repro.regalloc.intervals import live_intervals
 from repro.regalloc.linear_scan import N_SPILL_TEMPS, AllocationResult
@@ -68,6 +69,7 @@ class GraphColorAllocator:
     register_limit: int | None = None
     extra_interference: tuple[tuple[str, str], ...] = ()
     name: str = "graph-color"
+    tracer: object = NULL_TRACER
 
     def allocate(
         self, program: MicroProgram, machine: MicroArchitecture
@@ -106,6 +108,13 @@ class GraphColorAllocator:
                 for neighbour in graph.pop(name):
                     graph[neighbour].discard(name)
             colouring, spill_names = self._colour(graph, palettes, program, machine)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "regalloc.round", cat="regalloc", allocator=self.name,
+                    round=_round, nodes=len(graph),
+                    edges=sum(len(n) for n in graph.values()) // 2,
+                    coloured=len(colouring), spilling=sorted(spill_names),
+                )
             if not spill_names:
                 mapping = {
                     vreg(name[1:]): preg(colour)
@@ -143,6 +152,12 @@ class GraphColorAllocator:
             result.spilled_slots.update(slots)
             result.loads_inserted += spill.loads_inserted
             result.stores_inserted += spill.stores_inserted
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "regalloc.spill", cat="regalloc", allocator=self.name,
+                    slots=slots, loads=spill.loads_inserted,
+                    stores=spill.stores_inserted,
+                )
         else:  # pragma: no cover - defensive
             raise AllocationError("allocation did not converge")
         result.registers_used = len(set(result.mapping.values())) + len(set(temps))

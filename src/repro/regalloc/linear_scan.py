@@ -21,6 +21,7 @@ from repro.machine.machine import MicroArchitecture
 from repro.machine.registers import GPR
 from repro.mir.operands import Reg, preg, vreg
 from repro.mir.program import MicroProgram
+from repro.obs.tracer import NULL_TRACER
 from repro.regalloc.constraints import allowed_registers, used_physical_registers
 from repro.regalloc.intervals import Interval, live_intervals
 from repro.regalloc.spill import assign_slots, insert_spill_code
@@ -58,6 +59,7 @@ class LinearScanAllocator:
     strategy: str = "reuse"
     register_limit: int | None = None
     name: str = "linear-scan"
+    tracer: object = NULL_TRACER
 
     def allocate(
         self, program: MicroProgram, machine: MicroArchitecture
@@ -93,6 +95,12 @@ class LinearScanAllocator:
                         )
             intervals = live_intervals(program, machine)
             mapping, to_spill = self._scan(intervals, allowed, rotation)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "regalloc.round", cat="regalloc", allocator=self.name,
+                    round=_round, virtuals=len(virtuals),
+                    assigned=len(mapping), spilling=sorted(to_spill),
+                )
             if not to_spill:
                 reg_mapping = {
                     vreg(name[1:]): preg(target) for name, target in mapping.items()
@@ -127,6 +135,12 @@ class LinearScanAllocator:
             result.spilled_slots.update(slots)
             result.loads_inserted += spill.loads_inserted
             result.stores_inserted += spill.stores_inserted
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "regalloc.spill", cat="regalloc", allocator=self.name,
+                    slots=slots, loads=spill.loads_inserted,
+                    stores=spill.stores_inserted,
+                )
         else:  # pragma: no cover - defensive
             raise AllocationError("allocation did not converge")
         result.registers_used = len(set(result.mapping.values())) + len(set(temps))

@@ -35,6 +35,7 @@ from repro.mir.block import (
     Ret,
 )
 from repro.mir.operands import Imm, Reg
+from repro.obs.timeline import SimProfile, TraceRecorder
 from repro.sim.semantics import STATEFUL_OPS, condition_holds, evaluate
 from repro.sim.state import MachineState
 
@@ -46,7 +47,13 @@ TrapService = Callable[[MachineState, MicroTrap], None]
 
 @dataclass
 class RunResult:
-    """Outcome of one simulated run."""
+    """Outcome of one simulated run.
+
+    ``profile`` is populated when the simulator had a
+    :class:`~repro.obs.timeline.TraceRecorder` attached; it holds the
+    per-address execution counts and field utilisation behind the
+    hot-spot report.
+    """
 
     cycles: int
     instructions: int
@@ -54,11 +61,13 @@ class RunResult:
     interrupts_serviced: int
     interrupt_wait_cycles: int
     exit_value: int | None
+    profile: SimProfile | None = None
 
     def __str__(self) -> str:
         return (
             f"{self.instructions} MIs in {self.cycles} cycles"
-            f" ({self.traps} traps, {self.interrupts_serviced} interrupts)"
+            f" ({self.traps} traps, {self.interrupts_serviced} interrupts, "
+            f"{self.interrupt_wait_cycles} interrupt-wait cycles)"
         )
 
 
@@ -85,6 +94,9 @@ class Simulator:
     interrupt_every: int | None = None
     max_traps: int = 1000
     trace: list[str] | None = None
+    #: Observability hook; None keeps the loop on the uninstrumented
+    #: fast path (one ``is not None`` test per microinstruction).
+    recorder: TraceRecorder | None = None
 
     def __post_init__(self) -> None:
         if self.state is None:
@@ -121,6 +133,9 @@ class Simulator:
         wait_cycles = 0
         pending_since: int | None = None
         start_cycles = state.cycles
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.begin_run(program_name, self.machine.name, state.cycles)
 
         while not state.halted:
             if state.cycles - start_cycles > max_cycles:
@@ -151,17 +166,30 @@ class Simulator:
                         f"{program_name}: more than {self.max_traps} traps"
                     ) from trap
                 self._service_trap(trap, entry_snapshot)
+                if recorder is not None:
+                    recorder.record_trap(
+                        trap, state.upc, state.cycles, self.trap_service_cycles
+                    )
                 state.upc = resident.entry
                 state.micro_stack.clear()
                 state.cycles += self.trap_service_cycles
                 continue
             if serviced:
                 interrupts += 1
+                waited = 0
                 if pending_since is not None:
-                    wait_cycles += state.cycles - pending_since
+                    waited = state.cycles - pending_since
+                    wait_cycles += waited
                     pending_since = None
+                if recorder is not None:
+                    recorder.record_interrupt(
+                        state.cycles, waited, self.interrupt_service_cycles
+                    )
                 state.cycles += self.interrupt_service_cycles
-            state.cycles += instruction.cycles(self.machine)
+            mi_cycles = instruction.cycles(self.machine)
+            if recorder is not None:
+                recorder.record_mi(state.upc, loaded, state.cycles, mi_cycles)
+            state.cycles += mi_cycles
             instructions += 1
             # Sequencing needs the *absolute* control-store address:
             # loaded.address is relative to the program's base.
@@ -174,6 +202,7 @@ class Simulator:
             interrupts_serviced=interrupts,
             interrupt_wait_cycles=wait_cycles,
             exit_value=state.exit_value,
+            profile=recorder.profile if recorder is not None else None,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,108 @@
+"""Exporters: JSON-lines round-trip, Chrome trace shape, text reports."""
+
+import json
+
+from repro.obs import (
+    Event,
+    SimProfile,
+    Tracer,
+    dump_chrome_trace,
+    dump_jsonl,
+    load_jsonl,
+    render_compile_report,
+    render_hotspots,
+    to_chrome_trace,
+    write_trace,
+)
+from repro.obs.events import PH_COMPLETE, PH_INSTANT, TRACK_SIM
+
+
+def sample_events():
+    tracer = Tracer()
+    with tracer.span("compile", machine="HM1") as span:
+        with tracer.span("parse"):
+            pass
+        span.set(words=4)
+    tracer.emit(Event(name="mi@0000", cat="sim", ph=PH_COMPLETE,
+                      ts=0, dur=2, track=TRACK_SIM, args={"mi": "add"}))
+    tracer.emit(Event(name="run p", cat="sim", ph=PH_INSTANT,
+                      ts=0, track=TRACK_SIM))
+    return tracer.events
+
+
+class TestJsonl:
+    def test_round_trip_is_lossless(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "events.jsonl"
+        dump_jsonl(events, path)
+        assert load_jsonl(path) == events
+
+    def test_one_json_object_per_line(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "events.jsonl"
+        dump_jsonl(events, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(events)
+        for line in lines:
+            json.loads(line)
+
+
+class TestChromeTrace:
+    def test_shape(self):
+        trace = to_chrome_trace(sample_events())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        records = trace["traceEvents"]
+        # One thread_name metadata record per track, in first-use order.
+        meta = [r for r in records if r["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["compile", "sim"]
+        tids = {m["args"]["name"]: m["tid"] for m in meta}
+        assert tids["compile"] != tids["sim"]
+        for record in records:
+            assert record["pid"] == 1
+            if record["ph"] == "X":
+                assert "dur" in record
+            if record["ph"] == "i":
+                assert record["s"] == "t"
+        spans = [r for r in records if r["ph"] == "X"]
+        assert {s["tid"] for s in spans} == set(tids.values())
+
+    def test_dump_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        dump_chrome_trace(sample_events(), path)
+        trace = json.loads(path.read_text())
+        assert trace["traceEvents"]
+
+    def test_write_trace_dispatches_on_extension(self, tmp_path):
+        events = sample_events()
+        chrome = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        write_trace(events, chrome)
+        write_trace(events, jsonl)
+        assert "traceEvents" in json.loads(chrome.read_text())
+        assert load_jsonl(jsonl) == events
+
+
+class TestTextReports:
+    def test_hotspot_report(self):
+        profile = SimProfile(program="p", machine="HM1")
+        profile.exec_counts.inc(3, 10)
+        profile.cycle_counts.inc(3, 30)
+        profile.mi_text[3] = "add r1,r1,r2"
+        profile.instructions = 10
+        profile.busy_cycles = 30
+        profile.field_util.inc("alu", 10)
+        text = render_hotspots(profile)
+        assert "p on HM1" in text
+        assert "add r1,r1,r2" in text
+        assert "100.0%" in text
+        assert "alu 100%" in text
+
+    def test_compile_report(self):
+        text = render_compile_report(sample_events())
+        assert "compile-time breakdown" in text
+        assert "parse" in text
+        assert "100.0%" in text
+        assert "words=4" in text
+
+    def test_compile_report_without_spans(self):
+        assert render_compile_report([]) == "no compile spans recorded"

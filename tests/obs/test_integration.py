@@ -1,0 +1,161 @@
+"""End-to-end observability: traced compile+run and the CLI flags."""
+
+import json
+
+import pytest
+
+from repro.asm import ControlStore
+from repro.cli import main
+from repro.lang.simpl import compile_simpl
+from repro.obs import TraceRecorder, Tracer, to_chrome_trace
+from repro.sim import Simulator
+
+FPMUL = """
+program fpmul;
+const M3 = 0x7C00;
+const M4 = 0x03FF;
+begin
+    R1 & M3 -> ACC;
+    R2 & M3 -> R4;
+    R4 + ACC -> ACC;
+    R3 | ACC -> R3;
+    R1 & M4 -> R1;
+    R2 & M4 -> R2;
+    R0 -> ACC;
+    while R2 # 0 do
+    begin
+        ACC ^ -1 -> ACC;
+        R2 ^ -1 -> R2;
+        if UF = 1 then R1 + ACC -> ACC;
+    end;
+    R3 | ACC -> R3;
+end
+"""
+
+REGISTERS = {"R1": 0x3C03, "R2": 0x4002, "R3": 0}
+
+STAGES = {"parse", "codegen", "legalize", "regalloc", "compose", "assemble"}
+
+
+def traced_run(machine):
+    tracer = Tracer()
+    result = compile_simpl(FPMUL, machine, tracer=tracer)
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    recorder = TraceRecorder(tracer)
+    simulator = Simulator(machine, store, recorder=recorder)
+    for register, value in REGISTERS.items():
+        simulator.state.write_reg(register, value)
+    outcome = simulator.run(result.loaded.name)
+    return outcome, tracer, recorder
+
+
+class TestTracedCompileAndRun:
+    def test_every_pipeline_stage_has_a_span(self, hm1):
+        _, tracer, _ = traced_run(hm1)
+        spans = {e.name for e in tracer.events if e.ph == "X"
+                 and e.track == "compile"}
+        assert STAGES <= spans
+
+    def test_profile_matches_run_result(self, hm1):
+        outcome, _, recorder = traced_run(hm1)
+        profile = recorder.profile
+        assert outcome.profile is profile
+        assert profile.instructions == outcome.instructions
+        assert profile.exec_counts.total() == outcome.instructions
+        # No traps or interrupts here: all cycles are MI cycles.
+        assert profile.busy_cycles == outcome.cycles
+        assert profile.total_cycles() == outcome.cycles
+        assert profile.cycle_counts.total() == profile.busy_cycles
+        assert profile.hotspots(1)[0][1] > 0
+
+    def test_one_sim_event_per_instruction(self, hm1):
+        outcome, tracer, _ = traced_run(hm1)
+        mi_events = [e for e in tracer.events
+                     if e.track == "sim" and e.ph == "X"]
+        assert len(mi_events) == outcome.instructions
+        # Cycle-stamped and non-overlapping in program order.
+        ends = [e.ts + e.dur for e in mi_events]
+        assert all(e.ts >= end - 1e-9 for e, end in
+                   zip(mi_events[1:], ends))
+        assert sum(e.dur for e in mi_events) == outcome.cycles
+
+    def test_chrome_trace_has_both_timelines(self, hm1):
+        _, tracer, _ = traced_run(hm1)
+        trace = to_chrome_trace(tracer.events)
+        threads = {r["args"]["name"] for r in trace["traceEvents"]
+                   if r["ph"] == "M"}
+        assert threads == {"compile", "sim"}
+
+    def test_recorder_does_not_change_cycles(self, hm1):
+        traced, _, _ = traced_run(hm1)
+        result = compile_simpl(FPMUL, hm1)
+        store = ControlStore(hm1)
+        store.load(result.loaded)
+        plain = Simulator(hm1, store)
+        for register, value in REGISTERS.items():
+            plain.state.write_reg(register, value)
+        untraced = plain.run(result.loaded.name)
+        assert untraced.cycles == traced.cycles
+        assert untraced.instructions == traced.instructions
+        assert untraced.profile is None
+
+    def test_run_result_reports_interrupt_wait(self, hm1):
+        outcome, _, _ = traced_run(hm1)
+        assert "interrupt-wait cycles" in str(outcome)
+
+
+@pytest.fixture
+def simpl_file(tmp_path):
+    path = tmp_path / "fpmul.simpl"
+    path.write_text(FPMUL)
+    return str(path)
+
+
+class TestCliFlags:
+    def test_run_trace_writes_chrome_json(self, simpl_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["run", simpl_file, "--lang", "simpl", "--machine", "HM1",
+                     "--set", "R1=0x3C03", "--set", "R2=0x4002",
+                     "--trace", str(trace_path)]) == 0
+        assert "trace written" in capsys.readouterr().out
+        trace = json.loads(trace_path.read_text())
+        records = trace["traceEvents"]
+        names = {r["name"] for r in records}
+        assert STAGES <= names                       # compile-stage spans
+        assert any(n.startswith("mi@") for n in names)  # sim cycle events
+        threads = {r["args"]["name"] for r in records if r["ph"] == "M"}
+        assert threads == {"compile", "sim"}
+
+    def test_run_stats_prints_reports(self, simpl_file, capsys):
+        assert main(["run", simpl_file, "--lang", "simpl", "--machine", "HM1",
+                     "--set", "R1=0x3C03", "--set", "R2=0x4002",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "compile-time breakdown" in out
+        assert "hot spots" in out
+        assert "field utilisation" in out
+
+    def test_compile_stats_and_jsonl_trace(self, simpl_file, tmp_path,
+                                           capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["compile", simpl_file, "--lang", "simpl",
+                     "--machine", "HM1", "--stats",
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "compile-time breakdown" in out
+        lines = trace_path.read_text().strip().splitlines()
+        assert {json.loads(line)["name"] for line in lines} >= STAGES
+
+    def test_unwritable_trace_path_is_clean_failure(self, simpl_file,
+                                                    tmp_path, capsys):
+        assert main(["compile", simpl_file, "--lang", "simpl",
+                     "--trace", str(tmp_path)]) == 2
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_untraced_cli_run_still_works(self, simpl_file, capsys):
+        assert main(["run", simpl_file, "--lang", "simpl", "--machine", "HM1",
+                     "--set", "R1=0x3C03", "--set", "R2=0x4002"]) == 0
+        out = capsys.readouterr().out
+        assert "MIs in" in out
+        assert "interrupt-wait cycles" in out

@@ -1,0 +1,68 @@
+"""Counters and the per-stage compile-time breakdown."""
+
+from repro.obs import Counters, Tracer, stage_breakdown
+from repro.obs.events import PH_COMPLETE, TRACK_SIM, Event
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        counters = Counters()
+        counters.inc("a")
+        counters.inc("a", 2)
+        counters.inc("b", 5)
+        assert counters.get("a") == 3
+        assert counters.get("b") == 5
+        assert counters.get("missing") == 0
+        assert counters.total() == 8
+        assert len(counters) == 2
+        assert bool(counters)
+
+    def test_top_ranks_descending_with_stable_ties(self):
+        counters = Counters({"x": 1, "y": 3, "z": 3, "w": 2})
+        assert counters.top(3) == [("y", 3), ("z", 3), ("w", 2)]
+
+    def test_merge(self):
+        left = Counters({"a": 1})
+        right = Counters({"a": 2, "b": 4})
+        left.merge(right)
+        assert left.as_dict() == {"a": 3, "b": 4}
+
+    def test_empty_is_falsy(self):
+        assert not Counters()
+
+
+class TestStageBreakdown:
+    def test_orders_by_start_time_and_fractions_from_root(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            with tracer.span("parse"):
+                pass
+            with tracer.span("compose"):
+                pass
+        rows = stage_breakdown(tracer.events)
+        assert [r.name for r in rows] == ["compile", "parse", "compose"]
+        assert rows[0].depth == 0
+        assert rows[0].fraction == 1.0
+        assert all(0.0 <= r.fraction <= 1.0 for r in rows)
+        assert rows[1].micros + rows[2].micros <= rows[0].micros + 1e-6
+
+    def test_ignores_simulator_track_and_instants(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            tracer.instant("compose.place", word=0)
+        tracer.emit(Event(name="mi@0001", cat="sim", ph=PH_COMPLETE,
+                          ts=0, dur=3, track=TRACK_SIM))
+        rows = stage_breakdown(tracer.events)
+        assert [r.name for r in rows] == ["compile"]
+
+    def test_category_prefix_filter(self):
+        tracer = Tracer()
+        with tracer.span("compose b0", cat="compose"):
+            pass
+        with tracer.span("parse", cat="compile"):
+            pass
+        rows = stage_breakdown(tracer.events, cat_prefix="compose")
+        assert [r.name for r in rows] == ["compose b0"]
+
+    def test_empty_events(self):
+        assert stage_breakdown([]) == []

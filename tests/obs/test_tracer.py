@@ -1,0 +1,101 @@
+"""Tracer and null-tracer behaviour: ordering, nesting, no-ops."""
+
+from repro.obs import (
+    NULL_TRACER,
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_INSTANT,
+    TRACK_COMPILE,
+    Event,
+    NullTracer,
+    Tracer,
+)
+from repro.obs.tracer import NULL_SPAN
+
+
+class TestNullTracer:
+    def test_is_disabled_singleton(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_records_nothing(self):
+        with NULL_TRACER.span("stage", cat="compile", ops=3) as span:
+            span.set(words=2)
+        NULL_TRACER.instant("point", detail="x")
+        NULL_TRACER.counter("n", 7)
+        NULL_TRACER.emit(Event(name="e"))
+        assert NULL_TRACER.events == []
+
+    def test_span_is_shared_noop(self):
+        assert NULL_TRACER.span("a") is NULL_SPAN
+        assert NULL_TRACER.span("b") is NULL_SPAN
+
+    def test_null_span_swallows_nothing(self):
+        """Exceptions still propagate through a null span."""
+        try:
+            with NULL_TRACER.span("stage"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("exception was swallowed")
+
+
+class TestTracer:
+    def test_instants_record_in_order(self):
+        tracer = Tracer()
+        tracer.instant("first")
+        tracer.instant("second", cat="regalloc", round=1)
+        tracer.counter("live", 4)
+        names = [e.name for e in tracer.events]
+        assert names == ["first", "second", "live"]
+        assert tracer.events[0].ph == PH_INSTANT
+        assert tracer.events[1].cat == "regalloc"
+        assert tracer.events[1].args == {"round": 1}
+        assert tracer.events[2].ph == PH_COUNTER
+        assert tracer.events[2].args == {"value": 4}
+
+    def test_timestamps_are_monotonic(self):
+        tracer = Tracer()
+        tracer.instant("a")
+        tracer.instant("b")
+        a, b = tracer.events
+        assert 0.0 <= a.ts <= b.ts
+
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("legalize", cat="compile", ops=5) as span:
+            span.set(ops_after=7)
+        (event,) = tracer.events
+        assert event.ph == PH_COMPLETE
+        assert event.name == "legalize"
+        assert event.track == TRACK_COMPILE
+        assert event.dur >= 0.0
+        assert event.args == {"ops": 5, "ops_after": 7, "depth": 0}
+
+    def test_nested_spans_carry_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        # Spans are appended at exit: children precede their parent.
+        names = [e.name for e in tracer.events]
+        assert names == ["inner", "inner2", "outer"]
+        by_name = {e.name: e for e in tracer.events}
+        assert by_name["outer"].args["depth"] == 0
+        assert by_name["inner"].args["depth"] == 1
+        assert by_name["inner2"].args["depth"] == 1
+        # Children are contained in the parent's interval.
+        outer = by_name["outer"]
+        for child in (by_name["inner"], by_name["inner2"]):
+            assert outer.ts <= child.ts
+            assert child.ts + child.dur <= outer.ts + outer.dur + 1e-6
+
+    def test_emit_appends_verbatim(self):
+        tracer = Tracer()
+        event = Event(name="mi@0003", cat="sim", ph=PH_COMPLETE,
+                      ts=12, dur=2, track="sim")
+        tracer.emit(event)
+        assert tracer.events == [event]
