@@ -9,6 +9,10 @@ Commands:
 * ``machines`` — describe the shipped machine descriptions.
 * ``survey`` — print the survey's language comparison matrix.
 * ``verify`` — run the verification subsystem over an S* program.
+* ``faultsim`` — compile and simulate under explicitly chosen
+  injected faults (``--fault bitflip:addr=3,bit=17`` …).
+* ``campaign`` — run a seeded fault-injection campaign across one or
+  more machines and classify every outcome (see ``repro.faults``).
 
 ``compile`` and ``run`` take ``--trace FILE`` (Chrome trace-event
 JSON, or JSON-lines when the file ends in ``.jsonl``) and ``--stats``
@@ -40,18 +44,18 @@ from repro.obs import (
 )
 from repro.sim.simulator import Simulator
 
-#: language name -> compile function (source, machine, tracer).
+#: language name -> compile function (source, machine, tracer, **kw).
 COMPILERS = {
-    "simpl": lambda src, machine, tracer: compile_simpl(
-        src, machine, tracer=tracer),
-    "empl": lambda src, machine, tracer: compile_empl(
-        src, machine, tracer=tracer),
-    "sstar": lambda src, machine, tracer: compile_sstar(
-        src, machine, tracer=tracer),
-    "yalll": lambda src, machine, tracer: compile_yalll(
-        src, machine, tracer=tracer),
-    "mpl": lambda src, machine, tracer: compile_mpl(
-        src, machine, tracer=tracer),
+    "simpl": lambda src, machine, tracer, **kw: compile_simpl(
+        src, machine, tracer=tracer, **kw),
+    "empl": lambda src, machine, tracer, **kw: compile_empl(
+        src, machine, tracer=tracer, **kw),
+    "sstar": lambda src, machine, tracer, **kw: compile_sstar(
+        src, machine, tracer=tracer, **kw),
+    "yalll": lambda src, machine, tracer, **kw: compile_yalll(
+        src, machine, tracer=tracer, **kw),
+    "mpl": lambda src, machine, tracer, **kw: compile_mpl(
+        src, machine, tracer=tracer, **kw),
 }
 
 
@@ -83,7 +87,10 @@ def _write_trace(events, path) -> None:
 def _compile(args, tracer=NULL_TRACER) -> tuple:
     source = Path(args.file).read_text()
     machine = get_machine(args.machine)
-    result = COMPILERS[args.lang](source, machine, tracer)
+    extra = {}
+    if getattr(args, "restart_safe", False):
+        extra["restart_safe"] = True
+    result = COMPILERS[args.lang](source, machine, tracer, **extra)
     return machine, result
 
 
@@ -167,6 +174,77 @@ def cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_faultsim(args) -> int:
+    from repro.faults import FaultPlan, campaign_json, render_campaign
+    from repro.faults.campaign import run_campaign_loaded
+
+    tracer = _tracer_for(args)
+    machine, result = _compile(args, tracer)
+    plan = FaultPlan.from_specs(args.seed, args.fault)
+    campaign = run_campaign_loaded(
+        result.loaded, machine,
+        lang=args.lang, seed=args.seed, plan=plan,
+        registers=_parse_assignments(args.set or []),
+        memory={
+            int(a, 0): v
+            for a, v in _parse_assignments(args.mem or []).items()
+        },
+        mapping=result.allocation.mapping,
+        restart_hazards=result.restart_hazards,
+        tracer=tracer,
+    )
+    if args.json:
+        print(campaign_json([campaign]))
+    else:
+        print(render_campaign(campaign))
+    if args.stats:
+        print()
+        print(render_compile_report(tracer.events))
+    if args.trace:
+        _write_trace(tracer.events, args.trace)
+    failures = campaign.counts()["sdc"] + campaign.counts()["hang"]
+    return 1 if failures else 0
+
+
+def cmd_campaign(args) -> int:
+    from repro.faults import campaign_json, render_campaign, render_matrix
+    from repro.faults.campaign import run_campaign
+
+    tracer = _tracer_for(args)
+    source = Path(args.file).read_text()
+    registers = _parse_assignments(args.set or [])
+    memory = {
+        int(a, 0): v for a, v in _parse_assignments(args.mem or []).items()
+    }
+    results = [
+        run_campaign(
+            source, args.lang, get_machine(name),
+            n=args.n, seed=args.seed, restart_safe=args.restart_safe,
+            registers=registers, memory=memory, tracer=tracer,
+        )
+        for name in (args.machine or ["HM1"])
+    ]
+    if args.json:
+        print(campaign_json(results))
+    elif len(results) == 1:
+        print(render_campaign(results[0], scenarios=args.verbose))
+    else:
+        print(render_matrix(results))
+        if args.verbose:
+            for campaign in results:
+                print()
+                print(render_campaign(campaign))
+    if args.stats:
+        print()
+        print(render_compile_report(tracer.events))
+    if args.trace:
+        _write_trace(tracer.events, args.trace)
+    violations = sum(
+        len(campaign.restart_invariant_violations()) for campaign in results
+    )
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -222,6 +300,66 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--machine", choices=machine_names(),
                                default="HM1")
     verify_parser.set_defaults(handler=cmd_verify)
+
+    faultsim_parser = sub.add_parser(
+        "faultsim", help="simulate under explicitly injected faults"
+    )
+    faultsim_parser.add_argument("file")
+    faultsim_parser.add_argument("--lang", choices=sorted(COMPILERS),
+                                 required=True)
+    faultsim_parser.add_argument("--machine", choices=machine_names(),
+                                 default="HM1")
+    faultsim_parser.add_argument(
+        "--fault", action="append", metavar="SPEC", required=True,
+        help="fault spec, e.g. bitflip:addr=3,bit=17 / "
+             "memfault:op=read,nth=2 / stuck:reg=R2,value=0 / "
+             "storm:period=7; repeat for several scenarios")
+    faultsim_parser.add_argument("--seed", type=int, default=7)
+    faultsim_parser.add_argument("--set", action="append",
+                                 metavar="VAR=VALUE")
+    faultsim_parser.add_argument("--mem", action="append",
+                                 metavar="ADDR=VALUE")
+    faultsim_parser.add_argument("--restart-safe", action="store_true",
+                                 help="apply the 2.1.5 idempotence "
+                                      "transform before injecting")
+    faultsim_parser.add_argument("--json", action="store_true",
+                                 help="machine-readable report")
+    faultsim_parser.add_argument("--trace", metavar="FILE",
+                                 help="write compile spans + fault events "
+                                      "as Chrome trace-event JSON")
+    faultsim_parser.add_argument("--stats", action="store_true")
+    faultsim_parser.set_defaults(handler=cmd_faultsim)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="seeded fault-injection campaign"
+    )
+    campaign_parser.add_argument("file")
+    campaign_parser.add_argument("--lang", choices=sorted(COMPILERS),
+                                 required=True)
+    campaign_parser.add_argument(
+        "--machine", action="append", choices=machine_names(),
+        help="target machine; repeat for a matrix (default HM1)")
+    campaign_parser.add_argument("-n", type=int, default=25,
+                                 help="scenarios per machine (default 25)")
+    campaign_parser.add_argument("--seed", type=int, default=7,
+                                 help="fault-plan seed; same seed, same "
+                                      "campaign, byte for byte")
+    campaign_parser.add_argument("--set", action="append",
+                                 metavar="VAR=VALUE")
+    campaign_parser.add_argument("--mem", action="append",
+                                 metavar="ADDR=VALUE")
+    campaign_parser.add_argument("--restart-safe", action="store_true",
+                                 help="apply the 2.1.5 idempotence "
+                                      "transform before injecting")
+    campaign_parser.add_argument("--json", action="store_true",
+                                 help="machine-readable report")
+    campaign_parser.add_argument("-v", "--verbose", action="store_true",
+                                 help="list every scenario outcome")
+    campaign_parser.add_argument("--trace", metavar="FILE",
+                                 help="write compile spans + fault events "
+                                      "as Chrome trace-event JSON")
+    campaign_parser.add_argument("--stats", action="store_true")
+    campaign_parser.set_defaults(handler=cmd_campaign)
     return parser
 
 

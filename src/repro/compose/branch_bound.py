@@ -3,13 +3,21 @@
 Searches over assignments of ops (in program order, which is a
 topological order of the dependence DAG) to microinstruction indices,
 pruning with the incumbent solution and a critical-path lower bound.
-The list scheduler seeds the incumbent, so even when the node budget is
-exhausted the result is never worse than list scheduling — on small
-blocks the result is provably minimal.
+The list scheduler seeds the incumbent, so even when the node or
+wall-clock budget is exhausted the result is never worse than list
+scheduling — on small blocks the result is provably minimal.
+
+Graceful degradation: pathological blocks cannot hang the compiler.
+Besides the search-node budget, an optional wall-clock deadline
+(``deadline_ms``) bounds each block; exhausting either budget abandons
+the search, keeps the incumbent (i.e. falls back to the list-schedule
+seed or the best improvement found so far), and emits a
+``compose.budget_exhausted`` warning event on the tracer.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.compose.base import MicroInstruction, PlacedOp
@@ -29,9 +37,13 @@ class BranchBoundComposer:
     Attributes:
         node_budget: Maximum search nodes before falling back to the
             best solution found so far.
+        deadline_ms: Optional wall-clock budget per block, in
+            milliseconds; exceeding it abandons the search with the
+            incumbent (never worse than the list-schedule seed).
     """
 
     node_budget: int = 200_000
+    deadline_ms: float | None = None
     name: str = "branch-bound"
     tracer: object = NULL_TRACER
 
@@ -55,6 +67,11 @@ class BranchBoundComposer:
         state: list[MicroInstruction] = []
         location: dict[int, tuple[int, int]] = {}
         nodes_left = self.node_budget
+        deadline = (
+            time.monotonic() + self.deadline_ms / 1000.0
+            if self.deadline_ms is not None else None
+        )
+        exhausted: str | None = None
 
         def lower_bound(next_op: int, current_length: int) -> int:
             bound = current_length
@@ -72,8 +89,18 @@ class BranchBoundComposer:
             return bound
 
         def search(op_index: int) -> None:
-            nonlocal best, best_length, nodes_left
+            nonlocal best, best_length, nodes_left, exhausted
             if nodes_left <= 0:
+                exhausted = exhausted or "nodes"
+                return
+            if (
+                deadline is not None
+                and (nodes_left & 1023) == 0
+                and time.monotonic() > deadline
+            ):
+                # Poison the node budget so the whole tree unwinds.
+                nodes_left = 0
+                exhausted = "deadline"
                 return
             nodes_left -= 1
             if op_index == n:
@@ -115,6 +142,15 @@ class BranchBoundComposer:
                     state.pop()
 
         search(0)
+        if exhausted is not None:
+            self.tracer.warning(
+                "compose.budget_exhausted",
+                algorithm=self.name,
+                block=block.label,
+                reason=exhausted,
+                nodes_explored=self.node_budget - nodes_left,
+                fallback="list-schedule incumbent",
+            )
         result = [MicroInstruction(placed=placed) for placed in best]
         emit_block_stats(
             self.tracer, self.name, block, result, model,

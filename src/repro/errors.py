@@ -44,6 +44,29 @@ class SimulationError(ReproError):
     """The simulator reached an invalid state."""
 
 
+class SimulationLimitError(SimulationError):
+    """A simulation watchdog budget was exhausted.
+
+    Raised instead of looping forever when a run exceeds its cycle
+    budget, services more traps than ``max_traps`` allows (a
+    non-converging fault loop), or overruns a wall-clock deadline.
+
+    Attributes:
+        kind: Which budget tripped: ``"cycles"``, ``"traps"`` or
+            ``"deadline"``.
+        limit: The configured budget value.
+    """
+
+    def __init__(self, message: str, *, kind: str, limit: float):
+        super().__init__(message)
+        self.kind = kind
+        self.limit = limit
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection spec or plan could not be parsed or applied."""
+
+
 class MicroTrap(SimulationError):
     """A microtrap (e.g. pagefault) occurred during simulation.
 

@@ -1,0 +1,69 @@
+"""repro.faults: deterministic fault injection + campaign harness.
+
+Stresses the survey's §2.1.5 restartability story mechanically: inject
+control-store bit flips, stuck-at registers, transient memory faults
+and interrupt storms into simulated runs, then classify each outcome
+(masked / recovered / sdc / detected / hang) against a fault-free
+golden run.  Everything is seeded and wall-clock-free, so campaigns
+are reproducible byte-for-byte from ``seed`` alone.
+"""
+
+from repro.faults.campaign import (
+    CLASSIFICATIONS,
+    CampaignResult,
+    GoldenRun,
+    ScenarioOutcome,
+    default_trap_service,
+    fault_space_for,
+    run_campaign,
+    run_campaign_loaded,
+    run_matrix,
+)
+from repro.faults.injectors import (
+    CompositeInjector,
+    ControlStoreBitFlip,
+    FaultInjector,
+    InterruptStorm,
+    StuckAtRegister,
+    TransientMemoryFault,
+    build_injector,
+    compute_flip_effect,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpace,
+    FaultSpec,
+    parse_fault_spec,
+    spec,
+)
+from repro.faults.report import campaign_json, render_campaign, render_matrix
+
+__all__ = [
+    "CLASSIFICATIONS",
+    "FAULT_KINDS",
+    "CampaignResult",
+    "CompositeInjector",
+    "ControlStoreBitFlip",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpace",
+    "FaultSpec",
+    "GoldenRun",
+    "InterruptStorm",
+    "ScenarioOutcome",
+    "StuckAtRegister",
+    "TransientMemoryFault",
+    "build_injector",
+    "campaign_json",
+    "compute_flip_effect",
+    "default_trap_service",
+    "fault_space_for",
+    "parse_fault_spec",
+    "render_campaign",
+    "render_matrix",
+    "run_campaign",
+    "run_campaign_loaded",
+    "run_matrix",
+    "spec",
+]

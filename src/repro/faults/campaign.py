@@ -1,0 +1,435 @@
+"""Fault campaigns: run a program under N injected faults, classify.
+
+A campaign compiles a program (or takes one precompiled), executes a
+fault-free **golden run**, derives the :class:`FaultSpace` from what
+that run actually exercised, draws a deterministic
+:class:`FaultPlan` from the seed, and re-runs the program once per
+scenario with the scenario's injector attached.  Every run is bounded
+by a cycle watchdog (simulated time — deterministic), so a campaign
+can never hang on a fault that wedges the microprogram.
+
+Outcome taxonomy (classic fault-injection vocabulary):
+
+* ``masked`` — the run completed and macro-visible state matches the
+  golden run, with no extra microtraps; the fault had no effect.
+* ``recovered`` — the run trapped at least once, restarted per §2.1.5
+  and still produced golden-identical macro state: detected and
+  recovered.
+* ``sdc`` — silent data corruption: the run completed but the exit
+  value or a macro-visible register differs from the golden run.
+  This is exactly what the survey's ``incread`` bug produces.
+* ``detected`` — the toolkit aborted the run with a typed error
+  (unserviced trap, illegal control-store encoding, trap-loop limit):
+  the fault was detected, nothing was silently corrupted.
+* ``hang`` — the cycle or wall-clock watchdog expired.
+
+The §2.1.5 restartability invariant is checked mechanically: any run
+that trapped and completed must show golden-identical macro-visible
+registers.  ``restart_invariant_violations()`` returns the scenarios
+that break it — empty for programs transformed by
+``make_restart_safe``, non-empty for the naive ``incread``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.loader import ControlStore
+from repro.errors import FaultPlanError, ReproError, SimulationLimitError
+from repro.faults.injectors import build_injector
+from repro.faults.plan import FaultPlan, FaultSpace, FaultSpec
+from repro.obs.timeline import TraceRecorder
+from repro.obs.tracer import NULL_TRACER
+from repro.sim.simulator import Simulator
+
+#: All outcome classes, in reporting order.
+CLASSIFICATIONS = ("masked", "recovered", "sdc", "detected", "hang")
+
+#: Default simulated-cycle watchdog multiplier over the golden run.
+#: Interrupt storms legitimately inflate runs (each serviced interrupt
+#: charges service cycles at every poll), so the factor is generous;
+#: it only exists to bound genuinely wedged runs.
+DEFAULT_CYCLE_FACTOR = 64
+
+
+def default_trap_service(state, trap) -> None:
+    """Map the faulted page when the trap names an address, else no-op.
+
+    Handles both genuine pagefaults (``page N (address A)``) and
+    injected transient faults (``injected transient fault (address
+    A)``); the latter need no service at all, and double-mapping a
+    mapped page is harmless.
+    """
+    detail = getattr(trap, "detail", "")
+    marker = "address "
+    if marker in detail:
+        try:
+            address = int(detail.split(marker, 1)[1].rstrip(")"))
+        except ValueError:
+            return
+        state.memory.map_address(address)
+
+
+def _ignore_interrupt(state) -> None:
+    """Interrupt handler for campaigns: acknowledge and drop."""
+
+
+@dataclass
+class GoldenRun:
+    """The fault-free reference execution a campaign compares against."""
+
+    exit_value: int | None
+    cycles: int
+    instructions: int
+    traps: int
+    macro_registers: dict[str, int]
+    reads: int
+    writes: int
+
+    def to_json(self) -> dict:
+        return {
+            "exit_value": self.exit_value,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "traps": self.traps,
+            "macro_registers": dict(sorted(self.macro_registers.items())),
+            "reads": self.reads,
+            "writes": self.writes,
+        }
+
+
+@dataclass
+class ScenarioOutcome:
+    """One injected-fault run, classified."""
+
+    index: int
+    spec: str
+    classification: str
+    fired: list[dict] = field(default_factory=list)
+    traps: int = 0
+    interrupts: int = 0
+    cycles: int = 0
+    exit_value: int | None = None
+    macro_registers: dict[str, int] = field(default_factory=dict)
+    error: str = ""
+
+    def to_json(self) -> dict:
+        record = {
+            "index": self.index,
+            "spec": self.spec,
+            "classification": self.classification,
+            "fired": [dict(sorted(f.items())) for f in self.fired],
+            "traps": self.traps,
+            "interrupts": self.interrupts,
+            "cycles": self.cycles,
+            "exit_value": self.exit_value,
+            "macro_registers": dict(sorted(self.macro_registers.items())),
+        }
+        if self.error:
+            record["error"] = self.error
+        return record
+
+
+@dataclass
+class CampaignResult:
+    """Everything one (program, machine) campaign produced."""
+
+    program: str
+    lang: str
+    machine: str
+    seed: int
+    golden: GoldenRun
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+    restart_hazards: list[str] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        tally = {name: 0 for name in CLASSIFICATIONS}
+        for outcome in self.outcomes:
+            tally[outcome.classification] += 1
+        return tally
+
+    def rate(self, classification: str) -> float:
+        if not self.outcomes:
+            return 0.0
+        return self.counts()[classification] / len(self.outcomes)
+
+    def trap_scenarios(self) -> list[ScenarioOutcome]:
+        """Scenarios whose run serviced at least one microtrap."""
+        return [o for o in self.outcomes if o.traps > 0]
+
+    def restart_invariant_violations(self) -> list[ScenarioOutcome]:
+        """§2.1.5 violations: trapped, completed, macro state differs.
+
+        A restart-safe program must never appear here; the survey's
+        naive ``incread`` lands here with its double increment.
+        """
+        completed = ("masked", "recovered", "sdc")
+        return [
+            o for o in self.outcomes
+            if o.traps > 0 and o.classification in completed
+            and o.macro_registers != self.golden.macro_registers
+        ]
+
+    def to_json(self) -> dict:
+        return {
+            "program": self.program,
+            "lang": self.lang,
+            "machine": self.machine,
+            "seed": self.seed,
+            "scenarios": len(self.outcomes),
+            "golden": self.golden.to_json(),
+            "counts": self.counts(),
+            "restart_hazards": list(self.restart_hazards),
+            "restart_invariant_violations": [
+                o.index for o in self.restart_invariant_violations()
+            ],
+            "outcomes": [o.to_json() for o in self.outcomes],
+        }
+
+
+# ----------------------------------------------------------------------
+def _fresh_simulator(
+    machine, loaded, *, registers, memory, mapping, tracer,
+) -> Simulator:
+    store = ControlStore(machine)
+    store.load(loaded)
+    recorder = TraceRecorder(tracer) if tracer.enabled else None
+    simulator = Simulator(
+        machine, store,
+        trap_service=default_trap_service,
+        interrupt_handler=_ignore_interrupt,
+        recorder=recorder,
+    )
+    for name, value in (registers or {}).items():
+        simulator.state.write_reg(mapping.get(name, name), value)
+    for address, value in (memory or {}).items():
+        simulator.state.memory.load_words(address, [value])
+    return simulator
+
+
+def _macro_registers(simulator) -> dict[str, int]:
+    return {
+        register.name: simulator.state.registers[register.name]
+        for register in simulator.machine.registers.macro_visible()
+    }
+
+
+def fault_space_for(machine, loaded, golden: GoldenRun) -> FaultSpace:
+    """The scenario envelope for one compiled program + golden run."""
+    return FaultSpace(
+        n_words=len(loaded),
+        word_bits=machine.control.width,
+        registers=tuple(
+            r.name for r in machine.registers if not r.readonly
+        ),
+        register_bits=machine.word_size,
+        reads=golden.reads,
+        writes=golden.writes,
+        cycles=golden.cycles,
+    )
+
+
+def run_campaign_loaded(
+    loaded,
+    machine,
+    *,
+    n: int = 25,
+    seed: int = 7,
+    lang: str = "mir",
+    plan: FaultPlan | None = None,
+    registers: dict[str, int] | None = None,
+    memory: dict[int, int] | None = None,
+    mapping: dict[str, str] | None = None,
+    restart_hazards: list | None = None,
+    cycle_factor: int = DEFAULT_CYCLE_FACTOR,
+    tracer=NULL_TRACER,
+) -> CampaignResult:
+    """Run a campaign over an already-assembled program.
+
+    ``plan`` overrides seeded generation with explicit scenarios (the
+    CLI's ``--fault`` path and regression tests use this).
+    """
+    mapping = mapping or {}
+
+    with tracer.span("golden", cat="fault", program=loaded.name,
+                     machine=machine.name) as span:
+        simulator = _fresh_simulator(
+            machine, loaded, registers=registers, memory=memory,
+            mapping=mapping, tracer=NULL_TRACER,
+        )
+        result = simulator.run(loaded.name)
+        golden = GoldenRun(
+            exit_value=result.exit_value,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            traps=result.traps,
+            macro_registers=_macro_registers(simulator),
+            reads=simulator.state.memory.reads,
+            writes=simulator.state.memory.writes,
+        )
+        span.set(cycles=golden.cycles, exit_value=golden.exit_value)
+
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed, fault_space_for(machine, loaded, golden), n
+        )
+    watchdog = max(2_000, golden.cycles * cycle_factor)
+
+    campaign = CampaignResult(
+        program=loaded.name,
+        lang=lang,
+        machine=machine.name,
+        seed=plan.seed,
+        golden=golden,
+        restart_hazards=[str(h) for h in (restart_hazards or [])],
+    )
+    for index, fault_spec in enumerate(plan.specs):
+        campaign.outcomes.append(
+            _run_scenario(
+                index, fault_spec, machine, loaded, golden,
+                registers=registers, memory=memory, mapping=mapping,
+                watchdog=watchdog, tracer=tracer,
+            )
+        )
+    return campaign
+
+
+def _run_scenario(
+    index: int,
+    fault_spec: FaultSpec,
+    machine,
+    loaded,
+    golden: GoldenRun,
+    *,
+    registers,
+    memory,
+    mapping,
+    watchdog: int,
+    tracer,
+) -> ScenarioOutcome:
+    rendered = fault_spec.render()
+    with tracer.span(f"scenario {index:03d}", cat="fault",
+                     spec=rendered) as span:
+        simulator = _fresh_simulator(
+            machine, loaded, registers=registers, memory=memory,
+            mapping=mapping, tracer=tracer,
+        )
+        injector = build_injector(fault_spec).attach(simulator)
+        outcome = ScenarioOutcome(index=index, spec=rendered,
+                                  classification="masked")
+        try:
+            result = simulator.run(loaded.name, max_cycles=watchdog)
+        except SimulationLimitError as error:
+            outcome.classification = (
+                "hang" if error.kind in ("cycles", "deadline") else "detected"
+            )
+            outcome.error = str(error)
+        except ReproError as error:
+            outcome.classification = "detected"
+            outcome.error = str(error)
+        else:
+            outcome.traps = result.traps
+            outcome.interrupts = result.interrupts_serviced
+            outcome.cycles = result.cycles
+            outcome.exit_value = result.exit_value
+            outcome.macro_registers = _macro_registers(simulator)
+            identical = (
+                result.exit_value == golden.exit_value
+                and outcome.macro_registers == golden.macro_registers
+            )
+            if not identical:
+                outcome.classification = "sdc"
+            elif result.traps > golden.traps:
+                outcome.classification = "recovered"
+            else:
+                outcome.classification = "masked"
+        outcome.fired = list(injector.fired)
+        span.set(classification=outcome.classification,
+                 fired=len(outcome.fired))
+    return outcome
+
+
+# ----------------------------------------------------------------------
+def _compilers() -> dict:
+    from repro.lang import (
+        compile_empl,
+        compile_mpl,
+        compile_simpl,
+        compile_sstar,
+        compile_yalll,
+    )
+
+    return {
+        "simpl": compile_simpl,
+        "empl": compile_empl,
+        "sstar": compile_sstar,
+        "yalll": compile_yalll,
+        "mpl": compile_mpl,
+    }
+
+
+def run_campaign(
+    source: str,
+    lang: str,
+    machine,
+    *,
+    n: int = 25,
+    seed: int = 7,
+    restart_safe: bool = False,
+    plan: FaultPlan | None = None,
+    registers: dict[str, int] | None = None,
+    memory: dict[int, int] | None = None,
+    cycle_factor: int = DEFAULT_CYCLE_FACTOR,
+    tracer=NULL_TRACER,
+) -> CampaignResult:
+    """Compile ``source`` in ``lang`` for ``machine`` and campaign it."""
+    compilers = _compilers()
+    try:
+        compile_fn = compilers[lang]
+    except KeyError:
+        raise FaultPlanError(
+            f"unknown language {lang!r}; expected one of "
+            f"{', '.join(sorted(compilers))}"
+        ) from None
+    result = compile_fn(
+        source, machine, tracer=tracer, restart_safe=restart_safe
+    )
+    return run_campaign_loaded(
+        result.loaded, machine,
+        n=n, seed=seed, lang=lang, plan=plan,
+        registers=registers, memory=memory,
+        mapping=result.allocation.mapping,
+        restart_hazards=result.restart_hazards,
+        cycle_factor=cycle_factor, tracer=tracer,
+    )
+
+
+def run_matrix(
+    sources: dict[str, str],
+    machines: list,
+    *,
+    n: int = 25,
+    seed: int = 7,
+    restart_safe: bool = False,
+    registers: dict[str, int] | None = None,
+    memory: dict[int, int] | None = None,
+    tracer=NULL_TRACER,
+) -> list[CampaignResult]:
+    """Campaign every (language, machine) pair of the matrix.
+
+    ``sources`` maps language name -> source text (the same program
+    expressed per language, as in the cross-language test suite);
+    ``machines`` holds :class:`MicroArchitecture` instances.  Each
+    cell draws its own plan from the shared seed.
+    """
+    results = []
+    for lang in sorted(sources):
+        for machine in machines:
+            results.append(
+                run_campaign(
+                    sources[lang], lang, machine,
+                    n=n, seed=seed, restart_safe=restart_safe,
+                    registers=registers, memory=memory, tracer=tracer,
+                )
+            )
+    return results

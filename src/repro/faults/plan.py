@@ -1,0 +1,190 @@
+"""Deterministic fault plans: seeded scenario generation + spec strings.
+
+A :class:`FaultSpec` describes one injectable fault as a flat
+``kind:key=value,...`` string, e.g.::
+
+    bitflip:addr=3,bit=17       flip control-store bit 17 of word 3
+    memfault:op=read,nth=2      force a pagefault on the 2nd memory read
+    stuck:reg=R2,value=0        stuck-at-0 datapath register R2
+    storm:period=7              raise an external interrupt every 7 cycles
+
+Spec strings round-trip (``parse_fault_spec(spec.render()) == spec``),
+so a campaign is reproducible from nothing but its seed and specs.
+
+A :class:`FaultPlan` is a seed plus the list of specs drawn from a
+:class:`FaultSpace` — the program-and-machine-shaped envelope of
+sensible faults (control-store extent, word width, writable registers,
+observed memory traffic).  Generation uses ``random.Random(seed)``
+only, never wall-clock or global RNG state, so the same seed and space
+always produce the same plan, on any platform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import FaultPlanError
+
+#: Fault kinds the toolkit knows how to build injectors for.
+FAULT_KINDS = ("bitflip", "memfault", "stuck", "storm")
+
+#: Spec parameters that stay strings (everything else parses as int).
+_STRING_PARAMS = frozenset({"reg", "op"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault, reproducible from its spec string."""
+
+    kind: str
+    params: tuple[tuple[str, str | int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {', '.join(FAULT_KINDS)}"
+            )
+
+    def get(self, name: str, default=None):
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def require(self, name: str):
+        value = self.get(name)
+        if value is None:
+            raise FaultPlanError(
+                f"fault spec {self.render()!r} is missing parameter {name!r}"
+            )
+        return value
+
+    def render(self) -> str:
+        """The canonical ``kind:key=value,...`` spec string."""
+        if not self.params:
+            return self.kind
+        body = ",".join(f"{key}={value}" for key, value in self.params)
+        return f"{self.kind}:{body}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def spec(kind: str, **params: str | int) -> FaultSpec:
+    """Terse FaultSpec constructor (params keep call order)."""
+    return FaultSpec(kind, tuple(params.items()))
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Inverse of :meth:`FaultSpec.render`."""
+    kind, _, body = text.strip().partition(":")
+    if not kind:
+        raise FaultPlanError(f"empty fault spec {text!r}")
+    params: list[tuple[str, str | int]] = []
+    if body:
+        for item in body.split(","):
+            key, eq, value = item.partition("=")
+            if not eq or not key or not value:
+                raise FaultPlanError(
+                    f"bad fault parameter {item!r} in {text!r}; "
+                    f"expected key=value"
+                )
+            if key in _STRING_PARAMS:
+                params.append((key, value))
+            else:
+                try:
+                    params.append((key, int(value, 0)))
+                except ValueError:
+                    raise FaultPlanError(
+                        f"fault parameter {key!r} in {text!r} must be an "
+                        f"integer, got {value!r}"
+                    ) from None
+    return FaultSpec(kind, tuple(params))
+
+
+@dataclass(frozen=True)
+class FaultSpace:
+    """The envelope scenarios are drawn from.
+
+    Built from a compiled program and its fault-free golden run (see
+    :func:`repro.faults.campaign.fault_space_for`), so generated
+    faults always target state the program actually exercises.
+    """
+
+    n_words: int
+    word_bits: int
+    registers: tuple[str, ...] = ()
+    register_bits: int = 16
+    reads: int = 0
+    writes: int = 0
+    cycles: int = 0
+
+    def kinds_available(self) -> tuple[str, ...]:
+        kinds = ["bitflip"]
+        if self.reads or self.writes:
+            kinds.append("memfault")
+        if self.registers:
+            kinds.append("stuck")
+        if self.cycles > 1:
+            kinds.append("storm")
+        return tuple(kinds)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the scenarios it deterministically produced."""
+
+    seed: int
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def generate(cls, seed: int, space: FaultSpace, n: int) -> "FaultPlan":
+        """Draw ``n`` scenarios from ``space`` with a seeded RNG."""
+        if n < 0:
+            raise FaultPlanError(f"scenario count must be >= 0, got {n}")
+        if space.n_words <= 0 or space.word_bits <= 0:
+            raise FaultPlanError(
+                "fault space needs a non-empty program "
+                f"(n_words={space.n_words}, word_bits={space.word_bits})"
+            )
+        rng = random.Random(seed)
+        kinds = space.kinds_available()
+        specs = tuple(_draw(rng, space, kinds) for _ in range(n))
+        return cls(seed, specs)
+
+    @classmethod
+    def from_specs(cls, seed: int, texts: list[str]) -> "FaultPlan":
+        """Rebuild a plan from rendered spec strings."""
+        return cls(seed, tuple(parse_fault_spec(t) for t in texts))
+
+    def render(self) -> list[str]:
+        return [s.render() for s in self.specs]
+
+
+def _draw(rng: random.Random, space: FaultSpace, kinds) -> FaultSpec:
+    kind = rng.choice(kinds)
+    if kind == "bitflip":
+        return spec(
+            "bitflip",
+            addr=rng.randrange(space.n_words),
+            bit=rng.randrange(space.word_bits),
+        )
+    if kind == "memfault":
+        ops = []
+        if space.reads:
+            ops.append(("read", space.reads))
+        if space.writes:
+            ops.append(("write", space.writes))
+        op, total = rng.choice(ops)
+        return spec("memfault", op=op, nth=rng.randrange(1, total + 1))
+    if kind == "stuck":
+        return spec(
+            "stuck",
+            reg=rng.choice(space.registers),
+            value=rng.choice((0, 1, (1 << space.register_bits) - 1)),
+        )
+    # storm: a period short enough to fire repeatedly within the run.
+    period = rng.randrange(2, max(3, space.cycles // 2 + 1))
+    return spec("storm", period=period)

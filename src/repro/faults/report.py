@@ -1,0 +1,85 @@
+"""Deterministic campaign reports (text and JSON).
+
+Reports contain only simulated quantities (cycles, trap counts,
+classifications) — never wall-clock timings — so a fixed-seed campaign
+renders byte-for-byte identically on every run and platform.  JSON is
+serialised with sorted keys for the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults.campaign import CLASSIFICATIONS, CampaignResult
+
+
+def render_campaign(result: CampaignResult, *, scenarios: bool = True) -> str:
+    """Human-readable report for one (program, machine) campaign."""
+    lines = [
+        f"fault campaign: {result.program} [{result.lang}] "
+        f"on {result.machine}, seed {result.seed}, "
+        f"{len(result.outcomes)} scenarios",
+        f"  golden run: exit={result.golden.exit_value} "
+        f"cycles={result.golden.cycles} traps={result.golden.traps}",
+    ]
+    if result.restart_hazards:
+        lines.append(f"  restart hazards: {len(result.restart_hazards)}")
+        for hazard in result.restart_hazards:
+            lines.append(f"    - {hazard}")
+    counts = result.counts()
+    total = len(result.outcomes) or 1
+    for name in CLASSIFICATIONS:
+        lines.append(
+            f"  {name:<10} {counts[name]:3d}  {100.0 * counts[name] / total:5.1f}%"
+        )
+    violations = result.restart_invariant_violations()
+    if violations:
+        lines.append(
+            "  restart invariant (2.1.5): VIOLATED in "
+            f"{len(violations)} scenario(s): "
+            + ", ".join(f"#{o.index:02d}" for o in violations)
+        )
+    else:
+        trapped = len(result.trap_scenarios())
+        lines.append(
+            f"  restart invariant (2.1.5): held in all "
+            f"{trapped} trap scenario(s)"
+        )
+    if scenarios:
+        lines.append("  scenarios:")
+        for outcome in result.outcomes:
+            detail = f"traps={outcome.traps} cycles={outcome.cycles}"
+            if outcome.error:
+                detail = outcome.error
+            lines.append(
+                f"    #{outcome.index:02d} {outcome.spec:<28} "
+                f"{outcome.classification:<10} {detail}"
+            )
+    return "\n".join(lines)
+
+
+def render_matrix(results: list[CampaignResult]) -> str:
+    """Summary table for a language x machine campaign matrix."""
+    header = (
+        f"{'program':<14} {'lang':<7} {'machine':<8} "
+        + " ".join(f"{name:>9}" for name in CLASSIFICATIONS)
+        + "  invariant"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        counts = result.counts()
+        violations = result.restart_invariant_violations()
+        verdict = f"VIOLATED({len(violations)})" if violations else "held"
+        lines.append(
+            f"{result.program:<14} {result.lang:<7} {result.machine:<8} "
+            + " ".join(f"{counts[name]:>9}" for name in CLASSIFICATIONS)
+            + f"  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def campaign_json(results: list[CampaignResult], *, indent: int = 2) -> str:
+    """Machine-readable report; deterministic (sorted keys, no clocks)."""
+    payload = [result.to_json() for result in results]
+    document = payload[0] if len(payload) == 1 else payload
+    return json.dumps(document, indent=indent, sort_keys=True)

@@ -29,6 +29,7 @@ from repro.mir.liveness import program_successors
 from repro.mir.operands import Reg, vreg
 from repro.mir.ops import MicroOp, mop
 from repro.mir.program import MicroProgram
+from repro.obs.tracer import NULL_TRACER
 
 #: Operations that may raise a microtrap (pagefault on main memory).
 TRAP_OPS = frozenset({"read", "write"})
@@ -162,3 +163,38 @@ def make_restart_safe(
         # is also after every op here, since commits go to the tail).
         block.ops = new_ops + list(commits.values())
     return analyze_restart_hazards(program, machine)
+
+
+def apply_restart_safety(
+    program: MicroProgram,
+    machine: MicroArchitecture,
+    *,
+    transform: bool,
+    tracer=NULL_TRACER,
+) -> list[RestartHazard]:
+    """Analyze (and optionally fix) restart hazards; warn per hazard.
+
+    The compilers call this between legalization and register
+    allocation — the transform introduces ``_rs`` virtual temporaries
+    the allocator must keep out of macro-visible registers (see
+    ``repro.regalloc.constraints``).  Returns the hazards that remain:
+    all of them when ``transform`` is false, only the unfixable
+    cross-block ones when it is true.  Each surviving hazard also
+    lands on the tracer as a ``restart.hazard`` warning event, so
+    traces and ``--stats`` surface §2.1.5 exposure without the caller
+    inspecting the compile result.
+    """
+    if transform:
+        hazards = make_restart_safe(program, machine)
+    else:
+        hazards = analyze_restart_hazards(program, machine)
+    for hazard in hazards:
+        tracer.warning(
+            "restart.hazard",
+            block=hazard.block,
+            op_index=hazard.op_index,
+            register=hazard.register,
+            kind=hazard.kind,
+            fixed=False,
+        )
+    return hazards

@@ -14,6 +14,7 @@ from repro.asm.assembler import assemble
 from repro.compose.base import Composer, compose_program
 from repro.compose.list_schedule import ListScheduler
 from repro.lang.common.legalize import legalize
+from repro.lang.common.restart import apply_restart_safety
 from repro.lang.empl.codegen import EmplCodegen
 from repro.lang.empl.parser import parse_empl
 from repro.lang.yalll.compiler import CompileResult
@@ -38,9 +39,14 @@ def compile_empl(
     composer: Composer | None = None,
     allocator: LinearScanAllocator | None = None,
     data_base: int = 0x6000,
+    restart_safe: bool = False,
     tracer=NULL_TRACER,
 ) -> EmplCompileResult:
-    """Compile EMPL source for a machine."""
+    """Compile EMPL source for a machine.
+
+    ``restart_safe=True`` applies the §2.1.5 idempotence transform
+    after legalization, before the (mandatory) register allocation.
+    """
     with tracer.span("compile", lang="empl", machine=machine.name):
         with tracer.span("parse"):
             ast = parse_empl(source)
@@ -52,6 +58,9 @@ def compile_empl(
         with tracer.span("legalize") as span:
             stats = legalize(mir, machine)
             span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
+        hazards = apply_restart_safety(
+            mir, machine, transform=restart_safe, tracer=tracer
+        )
         with tracer.span("regalloc") as span:
             allocation = (
                 allocator or LinearScanAllocator(tracer=tracer)
@@ -74,6 +83,7 @@ def compile_empl(
         loaded=loaded,
         legalize_stats=stats,
         allocation=allocation,
+        restart_hazards=hazards,
         inlined_ops=codegen.inlined_ops,
         hardware_ops=codegen.hardware_ops,
     )

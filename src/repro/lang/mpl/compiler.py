@@ -12,6 +12,7 @@ from repro.asm.assembler import assemble
 from repro.compose.base import Composer, compose_program
 from repro.compose.linear import SequentialComposer
 from repro.lang.common.legalize import legalize
+from repro.lang.common.restart import apply_restart_safety
 from repro.lang.mpl.codegen import generate
 from repro.lang.mpl.parser import parse_mpl
 from repro.lang.yalll.compiler import CompileResult
@@ -26,9 +27,14 @@ def compile_mpl(
     *,
     composer: Composer | None = None,
     data_base: int = 0x6800,
+    restart_safe: bool = False,
     tracer=NULL_TRACER,
 ) -> CompileResult:
-    """Compile MPL source for a machine."""
+    """Compile MPL source for a machine.
+
+    ``restart_safe=True`` applies the §2.1.5 idempotence transform
+    after legalization (see ``repro.lang.common.restart``).
+    """
     with tracer.span("compile", lang="mpl", machine=machine.name):
         with tracer.span("parse"):
             ast = parse_mpl(source)
@@ -38,6 +44,9 @@ def compile_mpl(
         with tracer.span("legalize") as span:
             stats = legalize(mir, machine)
             span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
+        hazards = apply_restart_safety(
+            mir, machine, transform=restart_safe, tracer=tracer
+        )
         with tracer.span("regalloc") as span:
             if mir.virtual_regs():
                 allocation = LinearScanAllocator(tracer=tracer).allocate(
@@ -63,4 +72,5 @@ def compile_mpl(
         loaded=loaded,
         legalize_stats=stats,
         allocation=allocation,
+        restart_hazards=hazards,
     )

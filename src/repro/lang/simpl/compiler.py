@@ -16,6 +16,7 @@ from repro.asm.assembler import assemble
 from repro.compose.base import Composer, compose_program
 from repro.compose.linear import LinearComposer
 from repro.lang.common.legalize import legalize
+from repro.lang.common.restart import apply_restart_safety
 from repro.lang.simpl.codegen import generate
 from repro.lang.simpl.parser import parse_simpl
 from repro.lang.simpl.sema import check_program
@@ -30,9 +31,15 @@ def compile_simpl(
     machine: MicroArchitecture,
     *,
     composer: Composer | None = None,
+    restart_safe: bool = False,
     tracer=NULL_TRACER,
 ) -> CompileResult:
-    """Compile SIMPL source for a machine."""
+    """Compile SIMPL source for a machine.
+
+    ``restart_safe=True`` applies the §2.1.5 idempotence transform
+    after legalization (macro-visible writes stage through micro
+    temporaries and commit after the block's last trap point).
+    """
     with tracer.span("compile", lang="simpl", machine=machine.name):
         with tracer.span("parse"):
             ast = parse_simpl(source)
@@ -45,8 +52,12 @@ def compile_simpl(
         with tracer.span("legalize") as span:
             stats = legalize(mir, machine)
             span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
-        # Legalization may introduce temporaries even though the programmer
-        # bound everything; allocate whatever virtuals remain.
+        hazards = apply_restart_safety(
+            mir, machine, transform=restart_safe, tracer=tracer
+        )
+        # Legalization (and the restart transform) may introduce
+        # temporaries even though the programmer bound everything;
+        # allocate whatever virtuals remain.
         with tracer.span("regalloc") as span:
             if mir.virtual_regs():
                 allocation = LinearScanAllocator(tracer=tracer).allocate(
@@ -71,4 +82,5 @@ def compile_simpl(
         loaded=loaded,
         legalize_stats=stats,
         allocation=allocation,
+        restart_hazards=hazards,
     )

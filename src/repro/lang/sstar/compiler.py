@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.asm.assembler import assemble
 from repro.compose.base import compose_program
 from repro.lang.common.legalize import LegalizeStats
+from repro.lang.common.restart import apply_restart_safety
 from repro.lang.sstar.codegen import generate
 from repro.lang.sstar.composer import SStarComposer
 from repro.lang.sstar.parser import parse_sstar
@@ -25,9 +26,16 @@ def compile_sstar(
     source: str,
     machine: MicroArchitecture,
     *,
+    restart_safe: bool = False,
     tracer=NULL_TRACER,
 ) -> CompileResult:
-    """Compile S(M) source for machine M."""
+    """Compile S(M) source for machine M.
+
+    S* binds registers explicitly, so there is no allocator to place
+    the idempotence transform's temporaries: ``restart_safe=True``
+    only *analyzes* §2.1.5 hazards and reports them (the programmer
+    must restructure by hand, as the survey's schema model implies).
+    """
     with tracer.span("compile", lang="sstar", machine=machine.name):
         with tracer.span("parse"):
             ast = parse_sstar(source)
@@ -35,6 +43,16 @@ def compile_sstar(
             mir, groups = generate(ast, machine)
             span.set(ops=mir.n_ops(),
                      groups=sum(len(g) for g in groups.values()))
+        hazards = apply_restart_safety(
+            mir, machine, transform=False, tracer=tracer
+        )
+        if restart_safe and hazards:
+            tracer.warning(
+                "restart.transform_unavailable",
+                lang="sstar",
+                hazards=len(hazards),
+                detail="S* binds registers explicitly; restructure by hand",
+            )
         with tracer.span("compose") as span:
             composed = compose_program(
                 mir, machine, SStarComposer(groups, tracer=tracer), tracer
@@ -52,4 +70,5 @@ def compile_sstar(
             ops_before=mir.n_ops(), ops_after=mir.n_ops()
         ),
         allocation=AllocationResult(allocator="explicit-binding"),
+        restart_hazards=hazards,
     )

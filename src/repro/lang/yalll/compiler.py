@@ -10,13 +10,14 @@ optimization").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.asm.assembler import LoadedProgram, assemble
 from repro.compose.base import ComposedProgram, Composer, compose_program
 from repro.compose.linear import SequentialComposer
 from repro.compose.list_schedule import ListScheduler
 from repro.lang.common.legalize import LegalizeStats, legalize
+from repro.lang.common.restart import RestartHazard, apply_restart_safety
 from repro.lang.yalll.codegen import YalllCodegen
 from repro.lang.yalll.parser import parse_yalll
 from repro.machine.machine import MicroArchitecture
@@ -36,10 +37,19 @@ class CompileResult:
     loaded: LoadedProgram
     legalize_stats: LegalizeStats
     allocation: AllocationResult
+    #: §2.1.5 exposure: macro-visible writes a microtrap can replay.
+    #: With ``restart_safe=True`` only unfixable cross-block hazards
+    #: remain; otherwise every hazard found by analysis is listed.
+    restart_hazards: list[RestartHazard] = field(default_factory=list)
 
     @property
     def n_instructions(self) -> int:
         return len(self.loaded)
+
+    @property
+    def restart_safe(self) -> bool:
+        """True when no known microtrap-replay hazard remains."""
+        return not self.restart_hazards
 
     @property
     def n_ops(self) -> int:
@@ -82,12 +92,17 @@ def compile_yalll(
     optimize: bool = True,
     composer: Composer | None = None,
     allocator=None,
+    restart_safe: bool = False,
     tracer=NULL_TRACER,
 ) -> CompileResult:
     """Compile YALLL source for a machine.
 
     ``optimize=False`` reproduces the survey's unoptimized back end
     (one micro-operation per microinstruction).
+
+    ``restart_safe=True`` applies the §2.1.5 idempotence transform
+    after legalization, so a microtrap restart can never replay a
+    macro-visible write (``incread``'s double increment).
 
     Programs using the ``par`` extension (§2.1.4's compromise) get the
     par-aware graph-colouring allocator by default, so the declared
@@ -112,6 +127,9 @@ def compile_yalll(
         with tracer.span("legalize") as span:
             stats = legalize(mir, machine)
             span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
+        hazards = apply_restart_safety(
+            mir, machine, transform=restart_safe, tracer=tracer
+        )
         with tracer.span("regalloc") as span:
             allocation = (
                 allocator or LinearScanAllocator(tracer=tracer)
@@ -137,4 +155,5 @@ def compile_yalll(
         loaded=loaded,
         legalize_stats=stats,
         allocation=allocation,
+        restart_hazards=hazards,
     )

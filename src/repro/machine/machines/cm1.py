@@ -27,8 +27,14 @@ MAIN_BUS = ["R0", "R1", "R2", "R3", "R4", "ACC", "MAR", "MBR",
 SECONDARY_BUS = ["R5", "R6", "R7"]
 
 
-def build_cm1() -> MicroArchitecture:
-    """Build and validate the CM1 machine description."""
+def build_cm1(
+    *, macro_visible: tuple[str, ...] = ()
+) -> MicroArchitecture:
+    """Build and validate the CM1 machine description.
+
+    ``macro_visible`` is forwarded to :func:`build_hm1` — it marks
+    general registers as surviving microtrap restarts (§2.1.5).
+    """
     graph = DatapathGraph(routing_registers=frozenset({"L0"}))
     for source in MAIN_BUS:
         graph.connect(source, *(r for r in MAIN_BUS if r != source), "L0")
@@ -41,6 +47,7 @@ def build_cm1() -> MicroArchitecture:
         name="CM1",
         latches=1,
         datapath=graph,
+        macro_visible=macro_visible,
         notes=(
             "HM1 variant with a CHAMIL-style split datapath: R5-R7 sit "
             "on a secondary bus reachable only through the L0 latch; "

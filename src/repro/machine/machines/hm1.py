@@ -44,6 +44,7 @@ def build_hm1(
     name: str = "HM1",
     latches: int = 0,
     datapath=None,
+    macro_visible: tuple[str, ...] = (),
     notes: str | None = None,
 ) -> MicroArchitecture:
     """Build and validate the HM1 machine description.
@@ -52,6 +53,11 @@ def build_hm1(
     reachable by all move paths) and ``datapath`` attaches a
     connectivity graph — the knobs the CHAMIL-flavoured CM1 variant
     uses (see :mod:`repro.machine.machines.cm1`).
+
+    ``macro_visible`` names general registers that survive a microtrap
+    restart (§2.1.5), as on a machine whose microcode implements a
+    macro ISA.  HM1 defaults to none — pass e.g. ``("R1", "R2")`` to
+    run the restartability experiments on it.
     """
     b = MachineBuilder(name, word_size=16)
 
@@ -59,8 +65,9 @@ def build_hm1(
     # example, where ``R0 -> ACC`` clears the accumulator).
     b.reg(const_register("R0", 16, 0))
     for index in range(1, 8):
-        b.reg(gpr(f"R{index}", 16))
-    b.reg(gpr("ACC", 16, "acc"))
+        reg_name = f"R{index}"
+        b.reg(gpr(reg_name, 16, macro_visible=reg_name in macro_visible))
+    b.reg(gpr("ACC", 16, "acc", macro_visible="ACC" in macro_visible))
     b.reg(Register("MAR", 16, classes=frozenset({MAR})))
     b.reg(Register("MBR", 16, classes=frozenset({"gpr", MBR})))
     b.reg(const_register("ONE", 16, 1))

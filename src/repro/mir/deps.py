@@ -265,6 +265,23 @@ def build_dependence_graph(
                 graph.add_edge(Dependence(i, j, ANTI, resource))
             for resource in writes_all[i] & writes_live[j]:
                 graph.add_edge(Dependence(i, j, OUTPUT, resource))
+    # Trap atomicity (§2.1.5): a microtrap aborts its word and the
+    # program restarts, but writes to *macro-visible* registers are
+    # irrevocable — they survive the restart.  Packing such a write
+    # into the same word as a trap-capable op (at any phase) would
+    # commit it even when the word is then aborted, so it must land in
+    # a strictly later word; OUTPUT edges give exactly that ordering.
+    macro = {r.name for r in machine.registers.macro_visible()}
+    if macro:
+        trap_capable = ["mem" in (reads[i] | writes_all[i])
+                        for i in range(len(ops))]
+        for j in range(len(ops)):
+            dest = ops[j].dest
+            if dest is None or dest.virtual or dest.name not in macro:
+                continue
+            for i in range(j):
+                if trap_capable[i]:
+                    graph.add_edge(Dependence(i, j, OUTPUT, "trap-order"))
     needed = terminator_reads(block, machine)
     for resource in needed:
         last_writer = None

@@ -17,10 +17,12 @@ Everything defaults off: the :data:`NULL_TRACER` singleton and a
 """
 
 from repro.obs.events import (
+    CAT_WARNING,
     PH_COMPLETE,
     PH_COUNTER,
     PH_INSTANT,
     TRACK_COMPILE,
+    TRACK_FAULTS,
     TRACK_SIM,
     Event,
 )
@@ -38,6 +40,7 @@ from repro.obs.timeline import SimProfile, TraceRecorder
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "CAT_WARNING",
     "Counters",
     "Event",
     "NULL_TRACER",
@@ -49,6 +52,7 @@ __all__ = [
     "Span",
     "StageStat",
     "TRACK_COMPILE",
+    "TRACK_FAULTS",
     "TRACK_SIM",
     "TraceRecorder",
     "Tracer",

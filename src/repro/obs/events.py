@@ -30,6 +30,11 @@ PH_COUNTER = "C"   #: a sampled counter value
 #: Track names (rendered as thread rows in Chrome traces).
 TRACK_COMPILE = "compile"
 TRACK_SIM = "sim"
+TRACK_FAULTS = "faults"
+
+#: Category carried by warning events (budget exhaustion, restart
+#: hazards, fault firings); filter traces on it to audit degradations.
+CAT_WARNING = "warning"
 
 
 @dataclass

@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 
 from repro.obs.events import (
+    CAT_WARNING,
     PH_COMPLETE,
     PH_COUNTER,
     PH_INSTANT,
@@ -69,6 +70,9 @@ class NullTracer:
         pass
 
     def counter(self, name: str, value: float, cat: str = "compile") -> None:
+        pass
+
+    def warning(self, name: str, **args) -> None:
         pass
 
     def emit(self, event: Event) -> None:
@@ -173,6 +177,22 @@ class Tracer:
                 args={"value": value},
             )
         )
+
+    def warning(self, name: str, **args) -> None:
+        """Record a degradation warning (budget fallback, hazard).
+
+        Warnings are ordinary instant events under the ``"warning"``
+        category, so they survive every exporter and can be asserted
+        on programmatically (e.g. by the fault campaign harness).
+        """
+        self.events.append(
+            Event(name=name, cat=CAT_WARNING, ph=PH_INSTANT,
+                  ts=self.now(), args=args)
+        )
+
+    def warnings(self) -> list[Event]:
+        """All warning events recorded so far."""
+        return [e for e in self.events if e.cat == CAT_WARNING]
 
     def emit(self, event: Event) -> None:
         """Append a pre-built event (simulator timeline, importers)."""

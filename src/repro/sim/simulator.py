@@ -18,12 +18,13 @@ and the time a pending interrupt waits for the next poll is recorded.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.asm.loader import ControlStore, ResidentProgram
 from repro.compose.base import MicroInstruction, PlacedOp
-from repro.errors import MicroTrap, SimulationError
+from repro.errors import MicroTrap, SimulationError, SimulationLimitError
 from repro.machine.machine import MicroArchitecture
 from repro.mir.block import (
     Branch,
@@ -97,6 +98,14 @@ class Simulator:
     #: Observability hook; None keeps the loop on the uninstrumented
     #: fast path (one ``is not None`` test per microinstruction).
     recorder: TraceRecorder | None = None
+    #: Fault-injection hook (see :mod:`repro.faults.injectors`); any
+    #: object with ``on_instruction``/``after_sequence`` methods.  None
+    #: keeps the loop on the fast path, same contract as ``recorder``.
+    injector: object | None = None
+    #: Wall-clock watchdog in seconds; None disables the deadline.
+    #: Checked every 1024 microinstructions so the budget costs one
+    #: ``is not None`` test per loop when unset.
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.state is None:
@@ -134,13 +143,31 @@ class Simulator:
         pending_since: int | None = None
         start_cycles = state.cycles
         recorder = self.recorder
+        injector = self.injector
+        deadline = (
+            time.monotonic() + self.deadline_s
+            if self.deadline_s is not None else None
+        )
         if recorder is not None:
             recorder.begin_run(program_name, self.machine.name, state.cycles)
 
         while not state.halted:
             if state.cycles - start_cycles > max_cycles:
-                raise SimulationError(
-                    f"{program_name}: exceeded {max_cycles} cycles"
+                raise SimulationLimitError(
+                    f"{program_name}: exceeded {max_cycles} cycles "
+                    f"at address {state.upc:04d}",
+                    kind="cycles", limit=max_cycles,
+                )
+            if (
+                deadline is not None
+                and (instructions & 1023) == 0
+                and time.monotonic() > deadline
+            ):
+                raise SimulationLimitError(
+                    f"{program_name}: wall-clock deadline of "
+                    f"{self.deadline_s}s exceeded after {instructions} "
+                    f"microinstructions (address {state.upc:04d})",
+                    kind="deadline", limit=self.deadline_s,
                 )
             if (
                 self.interrupt_every
@@ -158,12 +185,17 @@ class Simulator:
             if self.trace is not None:
                 self.trace.append(f"{state.cycles:6d} {state.upc:04d} {instruction}")
             try:
+                if injector is not None:
+                    loaded = injector.on_instruction(self, loaded)
+                    instruction = loaded.instruction
                 serviced = self._execute_instruction(instruction)
             except MicroTrap as trap:
                 traps += 1
                 if traps > self.max_traps:
-                    raise SimulationError(
+                    raise SimulationLimitError(
                         f"{program_name}: more than {self.max_traps} traps"
+                        f" (last trap at address {state.upc:04d}: {trap})",
+                        kind="traps", limit=self.max_traps,
                     ) from trap
                 self._service_trap(trap, entry_snapshot)
                 if recorder is not None:
@@ -193,7 +225,12 @@ class Simulator:
             instructions += 1
             # Sequencing needs the *absolute* control-store address:
             # loaded.address is relative to the program's base.
-            self._sequence(instruction, state.upc, resident)
+            current = state.upc
+            self._sequence(instruction, current, resident)
+            if injector is not None:
+                override = injector.after_sequence(self, current, resident)
+                if override is not None:
+                    state.upc = override
 
         return RunResult(
             cycles=state.cycles - start_cycles,

@@ -1,0 +1,119 @@
+"""Campaign harness: golden runs, classification, reproducibility."""
+
+from repro.faults import (
+    FaultPlan,
+    campaign_json,
+    render_campaign,
+    render_matrix,
+    run_campaign,
+    run_matrix,
+    spec,
+)
+
+YALLL_ROUND_TRIP = """
+put addr,100
+load v,addr
+add v,v,1
+stor v,addr
+exit v
+"""
+
+SIMPL_ROUND_TRIP = """
+program roundtrip;
+const ADDR = 100;
+begin
+    read(ADDR) -> R1;
+    R1 + ONE -> R2;
+    write(ADDR, R2);
+end
+"""
+
+MEMORY = {100: 41}
+
+
+class TestGoldenRun:
+    def test_golden_matches_plain_execution(self, hm1):
+        campaign = run_campaign(
+            YALLL_ROUND_TRIP, "yalll", hm1, n=0, memory=MEMORY
+        )
+        assert campaign.golden.exit_value == 42
+        assert campaign.golden.traps == 0
+        assert campaign.golden.reads >= 1
+        assert campaign.golden.writes >= 1
+        assert campaign.outcomes == []
+
+    def test_scenarios_all_classified(self, hm1):
+        campaign = run_campaign(
+            YALLL_ROUND_TRIP, "yalll", hm1, n=20, seed=7, memory=MEMORY
+        )
+        counts = campaign.counts()
+        assert sum(counts.values()) == 20
+        assert all(count >= 0 for count in counts.values())
+
+    def test_explicit_plan_overrides_generation(self, hm1):
+        plan = FaultPlan(0, (spec("memfault", op="read", nth=1),))
+        campaign = run_campaign(
+            YALLL_ROUND_TRIP, "yalll", hm1, plan=plan, memory=MEMORY
+        )
+        [outcome] = campaign.outcomes
+        assert outcome.spec == "memfault:op=read,nth=1"
+        assert outcome.traps == 1
+        assert outcome.classification == "recovered"
+
+
+class TestReproducibility:
+    def test_fixed_seed_campaign_is_byte_identical(self, hm1):
+        runs = [
+            run_campaign(
+                YALLL_ROUND_TRIP, "yalll", hm1, n=25, seed=7, memory=MEMORY
+            )
+            for _ in range(2)
+        ]
+        assert campaign_json([runs[0]]) == campaign_json([runs[1]])
+        assert render_campaign(runs[0]) == render_campaign(runs[1])
+
+    def test_different_seeds_draw_different_scenarios(self, hm1):
+        a = run_campaign(
+            YALLL_ROUND_TRIP, "yalll", hm1, n=25, seed=7, memory=MEMORY
+        )
+        b = run_campaign(
+            YALLL_ROUND_TRIP, "yalll", hm1, n=25, seed=8, memory=MEMORY
+        )
+        assert [o.spec for o in a.outcomes] != [o.spec for o in b.outcomes]
+
+    def test_json_report_carries_no_wall_clock(self, hm1):
+        campaign = run_campaign(
+            YALLL_ROUND_TRIP, "yalll", hm1, n=5, seed=7, memory=MEMORY
+        )
+        text = campaign_json([campaign])
+        assert "wall" not in text
+        assert '"seed": 7' in text
+
+
+class TestMatrix:
+    def test_language_by_machine_matrix(self, hm1, hp300):
+        results = run_matrix(
+            {"yalll": YALLL_ROUND_TRIP}, [hm1, hp300],
+            n=4, seed=7, memory=MEMORY,
+        )
+        assert {(r.lang, r.machine) for r in results} == {
+            ("yalll", "HM1"), ("yalll", "HP300m"),
+        }
+        table = render_matrix(results)
+        assert "yalll" in table and "HM1" in table
+
+    def test_two_languages_one_machine(self, hm1):
+        results = run_matrix(
+            {"yalll": YALLL_ROUND_TRIP, "simpl": SIMPL_ROUND_TRIP},
+            [hm1], n=4, seed=7, memory=MEMORY,
+        )
+        assert [(r.lang, r.machine) for r in results] == [
+            ("simpl", "HM1"), ("yalll", "HM1"),
+        ]
+
+    def test_matrix_report_is_deterministic(self, hm1):
+        args = ({"yalll": YALLL_ROUND_TRIP}, [hm1])
+        kwargs = dict(n=6, seed=7, memory=MEMORY)
+        first = campaign_json(run_matrix(*args, **kwargs))
+        second = campaign_json(run_matrix(*args, **kwargs))
+        assert first == second

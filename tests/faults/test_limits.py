@@ -1,0 +1,140 @@
+"""Graceful degradation: typed watchdog errors and composer budgets."""
+
+import pytest
+
+from repro.compose import compose_program
+from repro.compose.branch_bound import BranchBoundComposer
+from repro.compose.list_schedule import ListScheduler
+from repro.errors import ReproError, SimulationError, SimulationLimitError
+from repro.lang.yalll import compile_yalll
+from repro.mir import ProgramBuilder, mop, preg
+from repro.obs import Tracer
+from repro.sim import Simulator
+from repro.asm import ControlStore, assemble
+from repro.compose import SequentialComposer
+
+SPIN = """
+loop:
+    jump loop
+"""
+
+
+def simulator_for(program, machine, **kwargs):
+    composed = compose_program(program, machine, SequentialComposer())
+    loaded = assemble(composed, machine)
+    store = ControlStore(machine)
+    store.load(loaded)
+    return Simulator(machine, store, **kwargs)
+
+
+def faulting_program(machine):
+    b = ProgramBuilder("fault", machine)
+    b.start_block("entry")
+    b.emit(mop("mov", preg("MAR"), preg("ONE")))
+    b.emit(mop("read", preg("MBR"), preg("MAR")))
+    b.exit(preg("MBR"))
+    return b.finish()
+
+
+class TestCycleWatchdog:
+    def test_runaway_raises_typed_error(self, hm1):
+        result = compile_yalll(SPIN, hm1)
+        store = ControlStore(hm1)
+        store.load(result.loaded)
+        simulator = Simulator(hm1, store)
+        with pytest.raises(SimulationLimitError) as excinfo:
+            simulator.run(result.loaded.name, max_cycles=100)
+        error = excinfo.value
+        assert error.kind == "cycles"
+        assert error.limit == 100
+        assert "exceeded 100 cycles" in str(error)
+        assert "address" in str(error)
+
+    def test_limit_error_is_a_simulation_error(self):
+        error = SimulationLimitError("boom", kind="cycles", limit=1)
+        assert isinstance(error, SimulationError)
+        assert isinstance(error, ReproError)
+
+
+class TestTrapLoopWatchdog:
+    def test_non_converging_trap_service_aborts(self, hm1):
+        simulator = simulator_for(
+            faulting_program(hm1), hm1,
+            trap_service=lambda state, trap: None,  # never maps the page
+            max_traps=5,
+        )
+        simulator.state.memory.paging_enabled = True
+        with pytest.raises(SimulationLimitError) as excinfo:
+            simulator.run("fault")
+        error = excinfo.value
+        assert error.kind == "traps"
+        assert error.limit == 5
+        assert "more than 5 traps" in str(error)
+        assert "pagefault" in str(error)  # names the repeating trap
+
+
+class TestWallClockDeadline:
+    def test_expired_deadline_raises(self, hm1):
+        result = compile_yalll(SPIN, hm1)
+        store = ControlStore(hm1)
+        store.load(result.loaded)
+        simulator = Simulator(hm1, store, deadline_s=0.0)
+        with pytest.raises(SimulationLimitError) as excinfo:
+            simulator.run(result.loaded.name, max_cycles=10_000_000)
+        assert excinfo.value.kind == "deadline"
+
+    def test_generous_deadline_is_harmless(self, hm1):
+        b = ProgramBuilder("quick", hm1)
+        b.start_block("entry")
+        b.emit(mop("add", preg("R2"), preg("R1"), preg("ONE")))
+        b.exit(preg("R2"))
+        simulator = simulator_for(b.finish(), hm1, deadline_s=3600.0)
+        assert simulator.run("quick").exit_value == 1
+
+
+def wide_block(machine, n_ops=8):
+    """Independent adds: a branch-and-bound search with real breadth."""
+    b = ProgramBuilder("wide", machine)
+    b.start_block("entry")
+    for index in range(1, n_ops):
+        b.emit(mop("add", preg(f"R{(index % 6) + 1}"),
+                   preg("ONE"), preg("ONE")))
+    b.exit(preg("R1"))
+    return b.finish()
+
+
+class TestComposerBudgets:
+    def test_node_budget_falls_back_to_list_schedule(self, hm1):
+        tracer = Tracer()
+        program = wide_block(hm1)
+        composer = BranchBoundComposer(node_budget=1, tracer=tracer)
+        composed = compose_program(program, hm1, composer)
+        baseline = compose_program(program, hm1, ListScheduler())
+        assert composed.n_instructions() <= baseline.n_instructions()
+        [warning] = [w for w in tracer.warnings()
+                     if w.name == "compose.budget_exhausted"]
+        assert warning.args["reason"] == "nodes"
+        assert warning.args["fallback"] == "list-schedule incumbent"
+
+    def test_wall_clock_budget_falls_back(self, hm1):
+        tracer = Tracer()
+        program = wide_block(hm1)
+        # node_budget is a multiple of 1024 so the deadline check (every
+        # 1024 nodes) fires on the very first search node.
+        composer = BranchBoundComposer(
+            node_budget=1024, deadline_ms=0.0, tracer=tracer
+        )
+        composed = compose_program(program, hm1, composer)
+        assert composed.n_instructions() >= 1
+        warnings = [w for w in tracer.warnings()
+                    if w.name == "compose.budget_exhausted"]
+        assert warnings
+        assert warnings[0].args["reason"] == "deadline"
+
+    def test_no_warning_when_search_completes(self, hm1):
+        tracer = Tracer()
+        program = wide_block(hm1, n_ops=4)
+        composer = BranchBoundComposer(tracer=tracer)
+        compose_program(program, hm1, composer)
+        assert [w for w in tracer.warnings()
+                if w.name == "compose.budget_exhausted"] == []

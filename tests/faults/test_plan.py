@@ -1,0 +1,102 @@
+"""Fault plans: spec strings round-trip, generation is seeded."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpace,
+    parse_fault_spec,
+    spec,
+)
+
+SPACE = FaultSpace(
+    n_words=8, word_bits=120, registers=("R1", "R2", "ACC"),
+    register_bits=16, reads=3, writes=2, cycles=40,
+)
+
+
+class TestSpecStrings:
+    @pytest.mark.parametrize("text", [
+        "bitflip:addr=3,bit=17",
+        "memfault:op=read,nth=2",
+        "memfault:op=write,nth=1",
+        "stuck:reg=R2,value=0",
+        "stuck:reg=ACC,value=65535",
+        "storm:period=7",
+    ])
+    def test_round_trip(self, text):
+        parsed = parse_fault_spec(text)
+        assert parsed.render() == text
+        assert parse_fault_spec(parsed.render()) == parsed
+
+    def test_hex_values_accepted(self):
+        parsed = parse_fault_spec("stuck:reg=R1,value=0xFFFF")
+        assert parsed.get("value") == 0xFFFF
+
+    def test_params_accessors(self):
+        fault = spec("bitflip", addr=3, bit=17)
+        assert fault.get("addr") == 3
+        assert fault.get("missing") is None
+        assert fault.require("bit") == 17
+        with pytest.raises(FaultPlanError):
+            fault.require("missing")
+
+    @pytest.mark.parametrize("text", [
+        "florble:addr=1",          # unknown kind
+        "",                         # empty
+        "bitflip:addr",             # no value
+        "bitflip:addr=x",           # non-integer
+        "bitflip:=3",               # no key
+    ])
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(FaultPlanError):
+            parse_fault_spec(text)
+
+
+class TestGeneration:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.generate(7, SPACE, 50)
+        b = FaultPlan.generate(7, SPACE, 50)
+        assert a == b
+        assert a.render() == b.render()
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.generate(7, SPACE, 50)
+        b = FaultPlan.generate(8, SPACE, 50)
+        assert a.render() != b.render()
+
+    def test_plan_rebuilds_from_rendered_specs(self):
+        plan = FaultPlan.generate(3, SPACE, 20)
+        again = FaultPlan.from_specs(3, plan.render())
+        assert again == plan
+
+    def test_draws_stay_inside_the_space(self):
+        plan = FaultPlan.generate(11, SPACE, 200)
+        for fault in plan.specs:
+            assert fault.kind in FAULT_KINDS
+            if fault.kind == "bitflip":
+                assert 0 <= fault.get("addr") < SPACE.n_words
+                assert 0 <= fault.get("bit") < SPACE.word_bits
+            elif fault.kind == "memfault":
+                total = {"read": SPACE.reads, "write": SPACE.writes}
+                assert 1 <= fault.get("nth") <= total[fault.get("op")]
+            elif fault.kind == "stuck":
+                assert fault.get("reg") in SPACE.registers
+            else:
+                assert fault.get("period") >= 2
+
+    def test_kinds_shrink_with_the_space(self):
+        bare = FaultSpace(n_words=4, word_bits=64)
+        assert bare.kinds_available() == ("bitflip",)
+        plan = FaultPlan.generate(1, bare, 30)
+        assert {f.kind for f in plan.specs} == {"bitflip"}
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.generate(7, FaultSpace(n_words=0, word_bits=64), 5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.generate(7, SPACE, -1)

@@ -1,0 +1,96 @@
+"""Mechanical check of the survey's §2.1.5 restartability invariant.
+
+The campaign harness compares macro-visible registers after every
+trapping run against the fault-free golden run.  The naive ``incread``
+(increment a macro-visible register, then read memory through it) must
+double-increment under an injected pagefault — silent data corruption
+— and the compiler's ``restart_safe`` transform must fix it, on both
+HM1 and the split-datapath CM1.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, run_campaign, spec
+from repro.machine.machines import build_cm1, build_hm1
+
+#: The survey's incread, in SIMPL: R1 is the macro-visible reg[n].
+INCREAD = """
+program incread;
+begin
+    R1 + ONE -> R1;
+    read(R1) -> MBR;
+end
+"""
+
+#: One injected pagefault on the (only) memory read.
+PAGEFAULT = FaultPlan(7, (spec("memfault", op="read", nth=1),))
+
+SETUP = dict(registers={"R1": 100}, memory={101: 0xCAFE})
+
+
+@pytest.fixture(scope="module", params=["HM1", "CM1"])
+def machine(request):
+    build = {"HM1": build_hm1, "CM1": build_cm1}[request.param]
+    return build(macro_visible=("R1",))
+
+
+class TestNaiveIncread:
+    def test_double_increment_is_silent_data_corruption(self, machine):
+        campaign = run_campaign(
+            INCREAD, "simpl", machine, plan=PAGEFAULT, **SETUP
+        )
+        [outcome] = campaign.outcomes
+        assert outcome.classification == "sdc"
+        assert outcome.traps == 1
+        assert campaign.golden.macro_registers == {"R1": 101}
+        assert outcome.macro_registers == {"R1": 102}  # incremented twice
+
+    def test_violation_is_reported_mechanically(self, machine):
+        campaign = run_campaign(
+            INCREAD, "simpl", machine, plan=PAGEFAULT, **SETUP
+        )
+        violations = campaign.restart_invariant_violations()
+        assert [v.index for v in violations] == [0]
+
+    def test_hazard_surfaces_on_the_compile_result(self, machine):
+        campaign = run_campaign(
+            INCREAD, "simpl", machine, plan=PAGEFAULT, **SETUP
+        )
+        assert campaign.restart_hazards
+        assert "R1" in campaign.restart_hazards[0]
+
+
+class TestRestartSafeIncread:
+    def test_transform_restores_the_invariant(self, machine):
+        campaign = run_campaign(
+            INCREAD, "simpl", machine, plan=PAGEFAULT,
+            restart_safe=True, **SETUP
+        )
+        [outcome] = campaign.outcomes
+        assert outcome.classification == "recovered"
+        assert outcome.macro_registers == campaign.golden.macro_registers
+        assert campaign.restart_invariant_violations() == []
+        assert campaign.restart_hazards == []
+
+    def test_all_trap_scenarios_recover(self, machine):
+        """100% of trapping scenarios must classify as recovered."""
+        campaign = run_campaign(
+            INCREAD, "simpl", machine, n=30, seed=7,
+            restart_safe=True, **SETUP
+        )
+        trapped = campaign.trap_scenarios()
+        assert trapped, "the seeded plan never exercised a trap"
+        assert all(o.classification == "recovered" for o in trapped)
+        assert campaign.restart_invariant_violations() == []
+
+
+class TestWithoutMacroState:
+    def test_stock_hm1_has_no_incread_bug(self):
+        """On stock HM1 nothing survives the restart — no hazard,
+        no corruption: the §2.1.5 bug needs macro-visible state."""
+        campaign = run_campaign(
+            INCREAD, "simpl", build_hm1(), plan=PAGEFAULT, **SETUP
+        )
+        [outcome] = campaign.outcomes
+        assert outcome.classification == "recovered"
+        assert campaign.restart_hazards == []
