@@ -1,0 +1,182 @@
+"""Simulator throughput: interpretive vs pre-decoded execution.
+
+The decoded engine lowers each control-store word once into a flat
+execution plan (pre-resolved register slots, pre-bound semantics,
+pre-computed branch targets) and replays plans from an address-keyed
+map.  This benchmark measures both engines in microinstructions per
+second (MI/s) on a long arithmetic loop and on a memory-traffic loop,
+and writes the machine-readable trajectory file ``BENCH_sim.json``.
+
+Run standalone (the CI perf smoke job does)::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py \
+        --json BENCH_sim.json --min-ratio 1.0
+
+or under pytest with the rest of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.asm import ControlStore
+from repro.bench import render_table
+from repro.lang.yalll import compile_yalll
+from repro.machine.machines import get_machine
+from repro.sim import Simulator
+
+#: 3 microinstructions per iteration, pure register arithmetic.
+ARITH = """
+    put total,0
+loop:
+    jump out if n = 0
+    add total,total,n
+    sub n,n,1
+    jump loop
+out:
+    exit total
+"""
+
+#: Read-modify-write sweep: exercises load/stor plans and paging checks.
+MEMLOOP = """
+    put addr,64
+loop:
+    jump out if n = 0
+    load w,addr
+    add w,w,n
+    stor w,addr
+    add addr,addr,1
+    sub n,n,1
+    jump loop
+out:
+    exit w
+"""
+
+WORKLOADS = {
+    "arith": (ARITH, 4000),
+    "memloop": (MEMLOOP, 2000),
+}
+
+ENGINES = ("interpretive", "decoded")
+
+
+def measure(engine: str, workload: str, *, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` MI/s for one engine on one workload."""
+    source, n = WORKLOADS[workload]
+    machine = get_machine("HM1")
+    result = compile_yalll(source, machine, name=workload)
+    mapping = result.allocation.mapping
+    best = None
+    for _ in range(repeats):
+        store = ControlStore(machine)
+        store.load(result.loaded)
+        simulator = Simulator(machine, store, engine=engine)
+        simulator.state.write_reg(mapping["n"], n)
+        start = time.perf_counter()
+        run = simulator.run(workload, max_cycles=50_000_000)
+        elapsed = time.perf_counter() - start
+        rate = run.instructions / elapsed
+        if best is None or rate > best["mi_per_s"]:
+            best = {
+                "engine": engine,
+                "workload": workload,
+                "instructions": run.instructions,
+                "cycles": run.cycles,
+                "seconds": round(elapsed, 6),
+                "mi_per_s": round(rate, 1),
+            }
+    return best
+
+
+def run_suite(repeats: int = 3) -> dict:
+    """Measure every (engine, workload) pair; summarise the ratios."""
+    rows = [
+        measure(engine, workload, repeats=repeats)
+        for workload in WORKLOADS
+        for engine in ENGINES
+    ]
+    ratios = {}
+    for workload in WORKLOADS:
+        by_engine = {
+            r["engine"]: r["mi_per_s"]
+            for r in rows if r["workload"] == workload
+        }
+        ratios[workload] = round(
+            by_engine["decoded"] / by_engine["interpretive"], 3
+        )
+    return {
+        "benchmark": "sim_throughput",
+        "machine": "HM1",
+        "unit": "MI/s",
+        "results": rows,
+        "speedup": ratios,
+        "min_speedup": min(ratios.values()),
+    }
+
+
+def render(payload: dict) -> str:
+    return render_table(
+        ["workload", "engine", "MIs", "seconds", "MI/s"],
+        [
+            [r["workload"], r["engine"], r["instructions"],
+             f"{r['seconds']:.4f}", f"{r['mi_per_s']:,.0f}"]
+            for r in payload["results"]
+        ],
+        title="Simulator throughput, interpretive vs decoded (HM1); "
+              f"speedups {payload['speedup']}",
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (collected with the rest of the bench suite)
+# ----------------------------------------------------------------------
+def test_decoded_vs_interpretive(report, benchmark):
+    payload = run_suite(repeats=2)
+    report(render(payload))
+    # Shape: decoding must pay for itself on every workload; the
+    # arithmetic loop (no memory stalls diluting the win) must show a
+    # decisive advantage.
+    assert payload["min_speedup"] >= 1.0
+    assert payload["speedup"]["arith"] >= 1.5
+    benchmark(lambda: measure("decoded", "arith", repeats=1))
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure interpretive vs decoded simulator MI/s"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the machine-readable results to PATH",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=None, metavar="R",
+        help="exit 1 unless decoded/interpretive >= R on every workload",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per cell (best is kept)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_suite(repeats=args.repeats)
+    print(render(payload))
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.min_ratio is not None and payload["min_speedup"] < args.min_ratio:
+        print(
+            f"FAIL: min speedup {payload['min_speedup']} "
+            f"< floor {args.min_ratio}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,264 @@
+"""Content-addressed compile cache (survey substrate S17).
+
+Campaigns, matrices and benchmarks compile the *same* program for the
+*same* machine over and over — ``run_matrix`` once per cell,
+fault-campaign workers once per shard, benchmark harnesses once per
+repetition.  Compilation is pure: its output is fully determined by
+the source text, the language, the machine description and the compile
+options.  That makes it content-addressable, the same observation
+ccache applies to C and the REC restoration applies to whole legacy
+toolchains — key the result by what went *in* and never compile the
+same thing twice.
+
+Keys are SHA-256 digests over ``(source text, language,
+machine fingerprint, canonicalised options)``.  The machine
+fingerprint digests the *description* — register file, op table,
+control-word format, unit timings — not the object identity, so two
+independently built instances of the same machine (e.g. in different
+worker processes) share cache entries, while a variant built with
+different knobs (``macro_visible=...``) does not.
+
+Two tiers:
+
+* an in-memory LRU (:class:`CompileCache`), bounded by ``capacity``;
+* an optional on-disk tier (``disk_dir=...``) holding pickled results,
+  shared across processes and sessions.
+
+Observability: every probe emits a ``cache.hit`` / ``cache.miss``
+instant event on the supplied tracer and counts into
+:attr:`CompileCache.stats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.obs.tracer import NULL_TRACER
+
+#: Bump when the cached result layout changes incompatibly, so stale
+#: on-disk entries from older checkouts can never be unpickled into a
+#: newer toolkit.
+CACHE_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# Machine fingerprinting
+# ----------------------------------------------------------------------
+def machine_fingerprint(machine) -> str:
+    """Stable digest of a machine *description* (not identity).
+
+    Covers everything compilation can observe: datapath geometry,
+    the register file (including banking, windows, macro-visibility
+    and read-only flags), functional-unit timing, the op table and
+    the control-word format.  Notes and other report-only attributes
+    are deliberately excluded.
+    """
+    files = machine.registers
+    parts: list[str] = [
+        machine.name,
+        str(machine.word_size),
+        str(machine.n_phases),
+        str(int(machine.allows_phase_chaining)),
+        str(machine.memory_latency),
+        str(machine.control_store_size),
+        str(machine.micro_stack_depth),
+        str(machine.scratchpad_size),
+        ",".join(machine.flags),
+        str(int(machine.has_multiway_branch)),
+        str(int(machine.vertical)),
+        f"banks={files.n_banks};ptr={files.bank_pointer}",
+    ]
+    for register in files:
+        parts.append(
+            f"reg:{register.name}:{register.width}:"
+            f"{','.join(sorted(register.classes))}:"
+            f"{int(register.auto_increment)}{int(register.macro_visible)}"
+            f"{int(register.readonly)}:{register.reset}:"
+            f"{files.bank_of.get(register.name, -1)}"
+        )
+    for window, physical in sorted(files.windows.items()):
+        parts.append(f"win:{window}:{','.join(physical)}")
+    for name, unit in sorted(machine.units.items()):
+        parts.append(f"unit:{name}:{unit.phase}:{unit.count}:{unit.latency}")
+    for name, variants in sorted(machine.ops._variants.items()):
+        for spec in variants:
+            parts.append(
+                f"op:{spec.key}:{spec.unit}:{spec.n_srcs}:"
+                f"{int(spec.has_dest)}:{spec.latency}:"
+                f"{spec.settings!r}:{spec.imm_srcs!r}"
+            )
+    for fld in machine.control._fields.values():
+        parts.append(
+            f"fld:{fld.name}:{fld.width}:{int(fld.is_immediate)}:"
+            f"{fld.nop_code}:{sorted(fld.encodings.items())!r}"
+        )
+    digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+    return digest[:16]
+
+
+def _canonical_options(options: dict | None) -> str:
+    if not options:
+        return ""
+    return ";".join(f"{k}={options[k]!r}" for k in sorted(options))
+
+
+def compile_key(
+    source: str, lang: str, machine, options: dict | None = None
+) -> str:
+    """The content address of one compilation."""
+    blob = "\x1f".join(
+        (
+            f"v{CACHE_FORMAT}",
+            lang,
+            machine_fingerprint(machine),
+            _canonical_options(options),
+            source,
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Probe counters for one :class:`CompileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        probes = self.probes()
+        return self.hits / probes if probes else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+
+@dataclass
+class CompileCache:
+    """Bounded LRU of compile results with an optional disk tier.
+
+    Use through the front ends' ``cache=`` parameter::
+
+        cache = CompileCache()
+        result = compile_yalll(source, machine, cache=cache)   # miss
+        result = compile_yalll(source, machine, cache=cache)   # hit
+
+    or directly via :meth:`get_or_compile` for custom build steps.
+    Hits return the *same* result object — callers must treat compile
+    results as immutable (they already do: the simulator copies what
+    it mutates).
+    """
+
+    capacity: int = 256
+    disk_dir: str | Path | None = None
+    tracer: object = NULL_TRACER
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        if self.disk_dir is not None:
+            self.disk_dir = Path(self.disk_dir)
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------
+    def key(
+        self, source: str, lang: str, machine, options: dict | None = None
+    ) -> str:
+        return compile_key(source, lang, machine, options)
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Memory tier, then disk tier; None on a full miss."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            return entry
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            try:
+                with path.open("rb") as handle:
+                    entry = pickle.load(handle)
+            except Exception:
+                return None  # corrupt/stale entry: treat as a miss
+            self.stats.disk_hits += 1
+            self._remember(key, entry)
+            return entry
+        return None
+
+    def put(self, key: str, result) -> None:
+        self._remember(key, result)
+        path = self._disk_path(key)
+        if path is not None:
+            tmp = path.with_suffix(".tmp")
+            with tmp.open("wb") as handle:
+                pickle.dump(result, handle)
+            tmp.replace(path)  # atomic under concurrent writers
+
+    def _remember(self, key: str, result) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk tier is left intact)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    def get_or_compile(
+        self,
+        source: str,
+        lang: str,
+        machine,
+        options: dict | None,
+        build: Callable[[], object],
+        tracer=None,
+    ):
+        """The front-end entry point: probe, else ``build()`` and store."""
+        tracer = self.tracer if tracer is None else tracer
+        key = self.key(source, lang, machine, options)
+        result = self.get(key)
+        if result is not None:
+            self.stats.hits += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "cache.hit", cat="cache",
+                    lang=lang, machine=machine.name, key=key[:12],
+                )
+            return result
+        self.stats.misses += 1
+        if tracer.enabled:
+            tracer.instant(
+                "cache.miss", cat="cache",
+                lang=lang, machine=machine.name, key=key[:12],
+            )
+        result = build()
+        self.put(key, result)
+        return result

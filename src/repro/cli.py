@@ -123,7 +123,8 @@ def cmd_run(args) -> int:
     store = ControlStore(machine)
     store.load(result.loaded)
     recorder = TraceRecorder(tracer) if tracer.enabled else None
-    simulator = Simulator(machine, store, recorder=recorder)
+    simulator = Simulator(machine, store, recorder=recorder,
+                          engine=args.engine)
     mapping = result.allocation.mapping
     for name, value in _parse_assignments(args.set or []).items():
         simulator.state.write_reg(mapping.get(name, name), value)
@@ -192,6 +193,7 @@ def cmd_faultsim(args) -> int:
         mapping=result.allocation.mapping,
         restart_hazards=result.restart_hazards,
         tracer=tracer,
+        engine=args.engine,
     )
     if args.json:
         print(campaign_json([campaign]))
@@ -216,11 +218,17 @@ def cmd_campaign(args) -> int:
     memory = {
         int(a, 0): v for a, v in _parse_assignments(args.mem or []).items()
     }
+    cache = None
+    if args.cache_dir:
+        from repro.cache import CompileCache
+
+        cache = CompileCache(disk_dir=args.cache_dir)
     results = [
         run_campaign(
             source, args.lang, get_machine(name),
             n=args.n, seed=args.seed, restart_safe=args.restart_safe,
             registers=registers, memory=memory, tracer=tracer,
+            jobs=args.jobs, engine=args.engine, cache=cache,
         )
         for name in (args.machine or ["HM1"])
     ]
@@ -279,6 +287,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--show", action="append", metavar="VAR",
                             help="print a variable's final value")
     run_parser.add_argument("--max-cycles", type=int, default=1_000_000)
+    run_parser.add_argument(
+        "--engine", choices=("interpretive", "decoded"), default="decoded",
+        help="simulator execution engine (decoded pre-lowers each "
+             "control-store word once; observably identical, faster)")
     run_parser.add_argument("--trace", metavar="FILE",
                             help="write compile spans + simulator cycle "
                                  "events as Chrome trace-event JSON "
@@ -322,6 +334,9 @@ def build_parser() -> argparse.ArgumentParser:
     faultsim_parser.add_argument("--restart-safe", action="store_true",
                                  help="apply the 2.1.5 idempotence "
                                       "transform before injecting")
+    faultsim_parser.add_argument(
+        "--engine", choices=("interpretive", "decoded"), default="decoded",
+        help="simulator execution engine for golden and fault runs")
     faultsim_parser.add_argument("--json", action="store_true",
                                  help="machine-readable report")
     faultsim_parser.add_argument("--trace", metavar="FILE",
@@ -351,6 +366,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--restart-safe", action="store_true",
                                  help="apply the 2.1.5 idempotence "
                                       "transform before injecting")
+    campaign_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard scenarios across N worker processes; reports stay "
+             "byte-identical to --jobs 1 (default 1)")
+    campaign_parser.add_argument(
+        "--engine", choices=("interpretive", "decoded"), default="decoded",
+        help="simulator execution engine for golden and fault runs")
+    campaign_parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="on-disk compile cache shared across invocations")
     campaign_parser.add_argument("--json", action="store_true",
                                  help="machine-readable report")
     campaign_parser.add_argument("-v", "--verbose", action="store_true",

@@ -50,9 +50,46 @@ class MicroInstruction:
 
     placed: list[PlacedOp] = field(default_factory=list)
     terminator: Terminator | None = None
+    #: Single-slot simulator cache: (machine id, phase groups, cycles).
+    #: Populated lazily by :meth:`phase_groups`; excluded from equality
+    #: so cached and uncached instructions compare the same.
+    _sim_cache: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def ops(self) -> list[MicroOp]:
         return [p.op for p in self.placed]
+
+    def phase_groups(
+        self, machine: MicroArchitecture
+    ) -> tuple[tuple[PlacedOp, ...], ...]:
+        """Placed ops grouped by phase, in phase order (cached).
+
+        Grouping depends only on the machine description, never on
+        dynamic state, so it is computed once per (instruction,
+        machine) and reused by both execution engines — this is the
+        hoisted form of the per-execution ``sorted(by_phase)`` the
+        interpreter used to rebuild on every microinstruction.
+        """
+        cache = self._sim_cache
+        if cache is not None and cache[0] is machine:
+            return cache[1]
+        by_phase: dict[int, list[PlacedOp]] = {}
+        for placed in self.placed:
+            by_phase.setdefault(placed.phase(machine), []).append(placed)
+        groups = tuple(
+            tuple(by_phase[phase]) for phase in sorted(by_phase)
+        )
+        self._sim_cache = (machine, groups, self.cycles(machine))
+        return groups
+
+    def cached_cycles(self, machine: MicroArchitecture) -> int:
+        """Like :meth:`cycles`, but memoised alongside the phase groups."""
+        cache = self._sim_cache
+        if cache is not None and cache[0] is machine:
+            return cache[2]
+        self.phase_groups(machine)
+        return self._sim_cache[2]  # type: ignore[index]
 
     def settings(self, machine: MicroArchitecture) -> dict[str, str | int]:
         """Merged control-word settings of all placed ops.

@@ -45,6 +45,12 @@ class ConflictModel:
 
     machine: MicroArchitecture
     _settings_cache: dict[PlacedOp, dict[str, str | int]] = field(default_factory=dict)
+    #: Upper bound on memoised placements.  Long-lived models (campaign
+    #: harnesses compose hundreds of programs through one instance)
+    #: previously grew the cache without limit; once full, the oldest
+    #: entries are evicted FIFO — correctness is unaffected, evicted
+    #: placements are simply re-resolved on next use.
+    settings_cache_limit: int = 4096
     rejected_field: int = 0
     rejected_unit: int = 0
     rejected_dependence: int = 0
@@ -57,10 +63,24 @@ class ConflictModel:
             "dependence": self.rejected_dependence,
         }
 
+    def reset(self) -> None:
+        """Drop memoised settings and zero the rejection tallies.
+
+        Call between independent compositions when one model instance
+        is reused across a long run (e.g. a campaign matrix) and the
+        per-program tallies should not accumulate.
+        """
+        self._settings_cache.clear()
+        self.rejected_field = 0
+        self.rejected_unit = 0
+        self.rejected_dependence = 0
+
     def settings_of(self, placed: PlacedOp) -> dict[str, str | int]:
         cached = self._settings_cache.get(placed)
         if cached is None:
             cached = placed.settings(self.machine)
+            if len(self._settings_cache) >= self.settings_cache_limit:
+                self._settings_cache.pop(next(iter(self._settings_cache)))
             self._settings_cache[placed] = cached
         return cached
 

@@ -190,6 +190,7 @@ class CampaignResult:
 # ----------------------------------------------------------------------
 def _fresh_simulator(
     machine, loaded, *, registers, memory, mapping, tracer,
+    engine: str = "interpretive",
 ) -> Simulator:
     store = ControlStore(machine)
     store.load(loaded)
@@ -199,6 +200,7 @@ def _fresh_simulator(
         trap_service=default_trap_service,
         interrupt_handler=_ignore_interrupt,
         recorder=recorder,
+        engine=engine,
     )
     for name, value in (registers or {}).items():
         simulator.state.write_reg(mapping.get(name, name), value)
@@ -243,11 +245,30 @@ def run_campaign_loaded(
     restart_hazards: list | None = None,
     cycle_factor: int = DEFAULT_CYCLE_FACTOR,
     tracer=NULL_TRACER,
+    jobs: int = 1,
+    engine: str = "decoded",
+    compile_each=None,
 ) -> CampaignResult:
     """Run a campaign over an already-assembled program.
 
     ``plan`` overrides seeded generation with explicit scenarios (the
     CLI's ``--fault`` path and regression tests use this).
+
+    ``jobs > 1`` shards the scenarios round-robin across a
+    ``multiprocessing`` pool.  Scenario indices are fixed before
+    sharding and results are merged back into index order, so the
+    resulting report is byte-identical to the serial run regardless of
+    completion order.  A recording tracer forces the serial path (its
+    event list cannot be meaningfully merged across processes).
+
+    ``engine`` selects the simulator execution engine for golden and
+    scenario runs alike (see :class:`repro.sim.simulator.Simulator`);
+    both engines classify identically — decoded is just faster.
+
+    ``compile_each`` (internal, used by :func:`run_campaign` when a
+    compile cache is supplied) is called once per serial scenario and
+    returns the program to run — modelling the "compile per scenario"
+    pattern the cache collapses to one real compilation.
     """
     mapping = mapping or {}
 
@@ -255,7 +276,7 @@ def run_campaign_loaded(
                      machine=machine.name) as span:
         simulator = _fresh_simulator(
             machine, loaded, registers=registers, memory=memory,
-            mapping=mapping, tracer=NULL_TRACER,
+            mapping=mapping, tracer=NULL_TRACER, engine=engine,
         )
         result = simulator.run(loaded.name)
         golden = GoldenRun(
@@ -283,15 +304,65 @@ def run_campaign_loaded(
         golden=golden,
         restart_hazards=[str(h) for h in (restart_hazards or [])],
     )
-    for index, fault_spec in enumerate(plan.specs):
+    indexed = list(enumerate(plan.specs))
+    if jobs > 1 and len(indexed) > 1 and not tracer.enabled:
+        campaign.outcomes = _run_scenarios_parallel(
+            indexed, machine, loaded, golden,
+            registers=registers, memory=memory, mapping=mapping,
+            watchdog=watchdog, jobs=jobs, engine=engine,
+        )
+        return campaign
+    for index, fault_spec in indexed:
+        scenario_loaded = compile_each() if compile_each is not None else loaded
         campaign.outcomes.append(
             _run_scenario(
-                index, fault_spec, machine, loaded, golden,
+                index, fault_spec, machine, scenario_loaded, golden,
                 registers=registers, memory=memory, mapping=mapping,
-                watchdog=watchdog, tracer=tracer,
+                watchdog=watchdog, tracer=tracer, engine=engine,
             )
         )
     return campaign
+
+
+def _shard_worker(args) -> list:
+    """Top-level pool target: run one shard of scenarios.
+
+    Receives everything by value (machines, programs and golden runs
+    all pickle); returns the shard's outcomes.  Classification uses no
+    randomness and no wall-clock quantities, so outcomes are identical
+    to what the serial loop would have produced for the same indices.
+    """
+    (shard, machine, loaded, golden, registers, memory, mapping,
+     watchdog, engine) = args
+    return [
+        _run_scenario(
+            index, fault_spec, machine, loaded, golden,
+            registers=registers, memory=memory, mapping=mapping,
+            watchdog=watchdog, tracer=NULL_TRACER, engine=engine,
+        )
+        for index, fault_spec in shard
+    ]
+
+
+def _run_scenarios_parallel(
+    indexed, machine, loaded, golden, *,
+    registers, memory, mapping, watchdog, jobs, engine,
+) -> list[ScenarioOutcome]:
+    """Shard scenarios over a process pool, merge back to index order."""
+    import multiprocessing
+
+    jobs = min(jobs, len(indexed))
+    shards = [indexed[offset::jobs] for offset in range(jobs)]
+    tasks = [
+        (shard, machine, loaded, golden, registers, memory, mapping,
+         watchdog, engine)
+        for shard in shards
+    ]
+    with multiprocessing.Pool(processes=jobs) as pool:
+        shard_outcomes = pool.map(_shard_worker, tasks)
+    merged = [outcome for shard in shard_outcomes for outcome in shard]
+    merged.sort(key=lambda outcome: outcome.index)
+    return merged
 
 
 def _run_scenario(
@@ -306,13 +377,14 @@ def _run_scenario(
     mapping,
     watchdog: int,
     tracer,
+    engine: str = "interpretive",
 ) -> ScenarioOutcome:
     rendered = fault_spec.render()
     with tracer.span(f"scenario {index:03d}", cat="fault",
                      spec=rendered) as span:
         simulator = _fresh_simulator(
             machine, loaded, registers=registers, memory=memory,
-            mapping=mapping, tracer=tracer,
+            mapping=mapping, tracer=tracer, engine=engine,
         )
         injector = build_injector(fault_spec).attach(simulator)
         outcome = ScenarioOutcome(index=index, spec=rendered,
@@ -381,8 +453,17 @@ def run_campaign(
     memory: dict[int, int] | None = None,
     cycle_factor: int = DEFAULT_CYCLE_FACTOR,
     tracer=NULL_TRACER,
+    jobs: int = 1,
+    engine: str = "decoded",
+    cache=None,
 ) -> CampaignResult:
-    """Compile ``source`` in ``lang`` for ``machine`` and campaign it."""
+    """Compile ``source`` in ``lang`` for ``machine`` and campaign it.
+
+    With a :class:`repro.cache.CompileCache` in ``cache`` the golden
+    program is compiled through the cache, and each serial scenario
+    re-probes it (one real compilation, N-1 hits — the pattern that
+    used to be N compilations across campaign harness variants).
+    """
     compilers = _compilers()
     try:
         compile_fn = compilers[lang]
@@ -392,8 +473,15 @@ def run_campaign(
             f"{', '.join(sorted(compilers))}"
         ) from None
     result = compile_fn(
-        source, machine, tracer=tracer, restart_safe=restart_safe
+        source, machine, tracer=tracer, restart_safe=restart_safe,
+        cache=cache,
     )
+    compile_each = None
+    if cache is not None:
+        def compile_each():
+            return compile_fn(
+                source, machine, restart_safe=restart_safe, cache=cache
+            ).loaded
     return run_campaign_loaded(
         result.loaded, machine,
         n=n, seed=seed, lang=lang, plan=plan,
@@ -401,6 +489,7 @@ def run_campaign(
         mapping=result.allocation.mapping,
         restart_hazards=result.restart_hazards,
         cycle_factor=cycle_factor, tracer=tracer,
+        jobs=jobs, engine=engine, compile_each=compile_each,
     )
 
 
@@ -414,13 +503,19 @@ def run_matrix(
     registers: dict[str, int] | None = None,
     memory: dict[int, int] | None = None,
     tracer=NULL_TRACER,
+    jobs: int = 1,
+    engine: str = "decoded",
+    cache=None,
 ) -> list[CampaignResult]:
     """Campaign every (language, machine) pair of the matrix.
 
     ``sources`` maps language name -> source text (the same program
     expressed per language, as in the cross-language test suite);
     ``machines`` holds :class:`MicroArchitecture` instances.  Each
-    cell draws its own plan from the shared seed.
+    cell draws its own plan from the shared seed.  ``jobs``/``engine``
+    and the compile ``cache`` pass through to every cell's campaign;
+    with a cache, each cell's program compiles exactly once no matter
+    how many scenarios probe it.
     """
     results = []
     for lang in sorted(sources):
@@ -430,6 +525,7 @@ def run_matrix(
                     sources[lang], lang, machine,
                     n=n, seed=seed, restart_safe=restart_safe,
                     registers=registers, memory=memory, tracer=tracer,
+                    jobs=jobs, engine=engine, cache=cache,
                 )
             )
     return results

@@ -41,12 +41,34 @@ def compile_empl(
     data_base: int = 0x6000,
     restart_safe: bool = False,
     tracer=NULL_TRACER,
+    cache=None,
 ) -> EmplCompileResult:
     """Compile EMPL source for a machine.
 
     ``restart_safe=True`` applies the §2.1.5 idempotence transform
     after legalization, before the (mandatory) register allocation.
+
+    ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
+    recompilation of identical inputs; custom composers/allocators
+    participate in the key by ``name``/class name only.
     """
+    if cache is not None:
+        return cache.get_or_compile(
+            source, "empl", machine,
+            {
+                "name": name,
+                "composer": getattr(composer, "name", None),
+                "allocator": type(allocator).__name__ if allocator else None,
+                "data_base": data_base,
+                "restart_safe": restart_safe,
+            },
+            lambda: compile_empl(
+                source, machine, name=name, composer=composer,
+                allocator=allocator, data_base=data_base,
+                restart_safe=restart_safe, tracer=tracer,
+            ),
+            tracer=tracer,
+        )
     with tracer.span("compile", lang="empl", machine=machine.name):
         with tracer.span("parse"):
             ast = parse_empl(source)

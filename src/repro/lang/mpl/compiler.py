@@ -29,12 +29,30 @@ def compile_mpl(
     data_base: int = 0x6800,
     restart_safe: bool = False,
     tracer=NULL_TRACER,
+    cache=None,
 ) -> CompileResult:
     """Compile MPL source for a machine.
 
     ``restart_safe=True`` applies the §2.1.5 idempotence transform
     after legalization (see ``repro.lang.common.restart``).
+
+    ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
+    recompilation of identical inputs.
     """
+    if cache is not None:
+        return cache.get_or_compile(
+            source, "mpl", machine,
+            {
+                "composer": getattr(composer, "name", None),
+                "data_base": data_base,
+                "restart_safe": restart_safe,
+            },
+            lambda: compile_mpl(
+                source, machine, composer=composer, data_base=data_base,
+                restart_safe=restart_safe, tracer=tracer,
+            ),
+            tracer=tracer,
+        )
     with tracer.span("compile", lang="mpl", machine=machine.name):
         with tracer.span("parse"):
             ast = parse_mpl(source)

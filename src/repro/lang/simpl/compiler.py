@@ -33,13 +33,31 @@ def compile_simpl(
     composer: Composer | None = None,
     restart_safe: bool = False,
     tracer=NULL_TRACER,
+    cache=None,
 ) -> CompileResult:
     """Compile SIMPL source for a machine.
 
     ``restart_safe=True`` applies the §2.1.5 idempotence transform
     after legalization (macro-visible writes stage through micro
     temporaries and commit after the block's last trap point).
+
+    ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
+    recompilation of identical (source, machine, options) inputs;
+    custom composers participate in the key by ``name`` only.
     """
+    if cache is not None:
+        return cache.get_or_compile(
+            source, "simpl", machine,
+            {
+                "composer": getattr(composer, "name", None),
+                "restart_safe": restart_safe,
+            },
+            lambda: compile_simpl(
+                source, machine, composer=composer,
+                restart_safe=restart_safe, tracer=tracer,
+            ),
+            tracer=tracer,
+        )
     with tracer.span("compile", lang="simpl", machine=machine.name):
         with tracer.span("parse"):
             ast = parse_simpl(source)

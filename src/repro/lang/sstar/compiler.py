@@ -28,6 +28,7 @@ def compile_sstar(
     *,
     restart_safe: bool = False,
     tracer=NULL_TRACER,
+    cache=None,
 ) -> CompileResult:
     """Compile S(M) source for machine M.
 
@@ -35,7 +36,19 @@ def compile_sstar(
     the idempotence transform's temporaries: ``restart_safe=True``
     only *analyzes* §2.1.5 hazards and reports them (the programmer
     must restructure by hand, as the survey's schema model implies).
+
+    ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
+    recompilation of identical inputs.
     """
+    if cache is not None:
+        return cache.get_or_compile(
+            source, "sstar", machine,
+            {"restart_safe": restart_safe},
+            lambda: compile_sstar(
+                source, machine, restart_safe=restart_safe, tracer=tracer,
+            ),
+            tracer=tracer,
+        )
     with tracer.span("compile", lang="sstar", machine=machine.name):
         with tracer.span("parse"):
             ast = parse_sstar(source)

@@ -94,6 +94,7 @@ def compile_yalll(
     allocator=None,
     restart_safe: bool = False,
     tracer=NULL_TRACER,
+    cache=None,
 ) -> CompileResult:
     """Compile YALLL source for a machine.
 
@@ -107,7 +108,28 @@ def compile_yalll(
     Programs using the ``par`` extension (§2.1.4's compromise) get the
     par-aware graph-colouring allocator by default, so the declared
     parallelism survives allocation.
+
+    ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
+    recompilation of identical inputs; custom composers/allocators
+    participate in the key by ``name``/class name only.
     """
+    if cache is not None:
+        return cache.get_or_compile(
+            source, "yalll", machine,
+            {
+                "name": name,
+                "optimize": optimize,
+                "composer": getattr(composer, "name", None),
+                "allocator": type(allocator).__name__ if allocator else None,
+                "restart_safe": restart_safe,
+            },
+            lambda: compile_yalll(
+                source, machine, name=name, optimize=optimize,
+                composer=composer, allocator=allocator,
+                restart_safe=restart_safe, tracer=tracer,
+            ),
+            tracer=tracer,
+        )
     with tracer.span("compile", lang="yalll", machine=machine.name):
         with tracer.span("parse"):
             ast = parse_yalll(source)

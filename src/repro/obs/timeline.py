@@ -43,6 +43,9 @@ class SimProfile:
         polls: Times a ``poll`` micro-operation was executed.
         traps: Microtraps serviced.
         interrupts: Interrupts serviced.
+        decodes: Control-store words lowered to execution plans by the
+            pre-decoded engine (plan-cache misses; re-decodes after a
+            fault injector mutates a word count again).
     """
 
     program: str = ""
@@ -58,6 +61,7 @@ class SimProfile:
     polls: int = 0
     traps: int = 0
     interrupts: int = 0
+    decodes: int = 0
 
     def hotspots(self, top: int = 10) -> list[tuple[int, int, int, str]]:
         """Top addresses by cycles: (address, cycles, count, text)."""
@@ -127,6 +131,15 @@ class TraceRecorder:
                 Event(name=f"mi@{address:04d}", cat="sim", ph=PH_COMPLETE,
                       ts=cycle, dur=mi_cycles, track=TRACK_SIM,
                       args={"mi": text})
+            )
+
+    def record_decode(self, address: int, cycle: int) -> None:
+        """The decoded engine lowered the word at ``address`` to a plan."""
+        self.profile.decodes += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                Event(name="sim.decode", cat="sim", ph=PH_INSTANT,
+                      ts=cycle, track=TRACK_SIM, args={"at": address})
             )
 
     def record_trap(self, trap, address: int, cycle: int,

@@ -160,7 +160,13 @@ class LinearScanAllocator:
         rotation: int,
     ) -> tuple[dict[str, str], list[str]]:
         """One linear-scan pass: returns (mapping, names to spill)."""
-        order = sorted(intervals.values(), key=lambda i: (i.start, i.end))
+        # The name tie-break makes the scan order a total order: interval
+        # insertion order leaks hash-randomised liveness-set iteration,
+        # so without it same-range virtuals allocate differently across
+        # processes — breaking campaign byte-reproducibility.
+        order = sorted(
+            intervals.values(), key=lambda i: (i.start, i.end, i.name)
+        )
         active: list[tuple[Interval, str]] = []
         mapping: dict[str, str] = {}
         to_spill: list[str] = []

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.asm.loader import ControlStore, ResidentProgram
-from repro.compose.base import MicroInstruction, PlacedOp
+from repro.compose.base import MicroInstruction
 from repro.errors import MicroTrap, SimulationError, SimulationLimitError
 from repro.machine.machine import MicroArchitecture
 from repro.mir.block import (
@@ -35,8 +35,9 @@ from repro.mir.block import (
     Multiway,
     Ret,
 )
-from repro.mir.operands import Imm, Reg
+from repro.mir.operands import Reg
 from repro.obs.timeline import SimProfile, TraceRecorder
+from repro.sim.decode import PlanCache, decode_word
 from repro.sim.semantics import STATEFUL_OPS, condition_holds, evaluate
 from repro.sim.state import MachineState
 
@@ -106,10 +107,26 @@ class Simulator:
     #: Checked every 1024 microinstructions so the budget costs one
     #: ``is not None`` test per loop when unset.
     deadline_s: float | None = None
+    #: Execution engine: ``"interpretive"`` walks each microinstruction
+    #: structurally every time; ``"decoded"`` lowers each control-store
+    #: word once into an execution plan (:mod:`repro.sim.decode`) and
+    #: runs the plan thereafter.  Both engines are observably identical
+    #: (the parity suite in ``tests/sim/test_decode.py`` enforces it);
+    #: decoded is several times faster on hot loops.
+    engine: str = "interpretive"
 
     def __post_init__(self) -> None:
         if self.state is None:
             self.state = MachineState(self.machine)
+        if self.engine not in ("interpretive", "decoded"):
+            raise SimulationError(
+                f"unknown engine {self.engine!r} "
+                f"(expected 'interpretive' or 'decoded')"
+            )
+        #: Lazily built plan store for the decoded engine; plans are
+        #: keyed per encoded word so fault injectors that substitute
+        #: mutated words can never hit a stale plan.
+        self._plan_cache = None
 
     # ------------------------------------------------------------------
     def load_constants(self, resident: ResidentProgram) -> None:
@@ -148,6 +165,19 @@ class Simulator:
             time.monotonic() + self.deadline_s
             if self.deadline_s is not None else None
         )
+        decoded = self.engine == "decoded"
+        plans = None
+        fast_plans = None
+        if decoded:
+            if self._plan_cache is None:
+                self._plan_cache = PlanCache()
+            plans = self._plan_cache
+            # With no injector, trace sink, or recorder attached the
+            # fetched word cannot differ from the stored one and nobody
+            # needs to see it, so plans are reachable directly by
+            # address — the hot loop skips the control-store fetch.
+            if injector is None and self.trace is None and recorder is None:
+                fast_plans = plans.addr_plans(resident)
         if recorder is not None:
             recorder.begin_run(program_name, self.machine.name, state.cycles)
 
@@ -180,15 +210,40 @@ class Simulator:
             if state.interrupt_pending and pending_since is None:
                 pending_since = state.cycles
 
-            loaded = self.store.fetch(state.upc)
-            instruction = loaded.instruction
-            if self.trace is not None:
-                self.trace.append(f"{state.cycles:6d} {state.upc:04d} {instruction}")
+            loaded = None
+            instruction = None
+            plan = (
+                fast_plans.get(state.upc) if fast_plans is not None else None
+            )
+            if plan is None:
+                loaded = self.store.fetch(state.upc)
+                instruction = loaded.instruction
+                if self.trace is not None:
+                    self.trace.append(
+                        f"{state.cycles:6d} {state.upc:04d} {instruction}"
+                    )
             try:
                 if injector is not None:
                     loaded = injector.on_instruction(self, loaded)
                     instruction = loaded.instruction
-                serviced = self._execute_instruction(instruction)
+                if decoded:
+                    if plan is None:
+                        plan = plans.lookup(resident, state.upc, loaded)
+                        if plan is None:
+                            plan = decode_word(
+                                self, loaded, resident, state.upc
+                            )
+                            plans.insert(
+                                resident, state.upc, loaded, plan,
+                                direct=fast_plans is not None,
+                            )
+                            if recorder is not None:
+                                recorder.record_decode(
+                                    state.upc, state.cycles
+                                )
+                    serviced = plan.execute(state)
+                else:
+                    serviced = self._execute_instruction(instruction)
             except MicroTrap as trap:
                 traps += 1
                 if traps > self.max_traps:
@@ -218,7 +273,10 @@ class Simulator:
                         state.cycles, waited, self.interrupt_service_cycles
                     )
                 state.cycles += self.interrupt_service_cycles
-            mi_cycles = instruction.cycles(self.machine)
+            mi_cycles = (
+                plan.cycles if decoded
+                else instruction.cached_cycles(self.machine)
+            )
             if recorder is not None:
                 recorder.record_mi(state.upc, loaded, state.cycles, mi_cycles)
             state.cycles += mi_cycles
@@ -226,7 +284,10 @@ class Simulator:
             # Sequencing needs the *absolute* control-store address:
             # loaded.address is relative to the program's base.
             current = state.upc
-            self._sequence(instruction, current, resident)
+            if decoded:
+                plan.sequence(state)
+            else:
+                self._sequence(instruction, current, resident)
             if injector is not None:
                 override = injector.after_sequence(self, current, resident)
                 if override is not None:
@@ -269,15 +330,11 @@ class Simulator:
         """
         state = self.state
         serviced = False
-        by_phase: dict[int, list[PlacedOp]] = {}
-        for placed in instruction.placed:
-            by_phase.setdefault(placed.phase(self.machine), []).append(placed)
-
-        for phase in sorted(by_phase):
+        for group in instruction.phase_groups(self.machine):
             reg_writes: list[tuple[str, int]] = []
             flag_writes: dict[str, int] = {}
             memory_ops: list[Callable[[], None]] = []
-            for placed in by_phase[phase]:
+            for placed in group:
                 op = placed.op
                 name = op.op
                 src_values = [

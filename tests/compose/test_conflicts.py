@@ -138,3 +138,44 @@ class TestPlacements:
             placed(hm1, "add", preg("R3"), (preg("R4"), preg("R5"))),
         ])
         model.check_instruction(mi)  # no exception
+
+
+class TestSettingsCacheBound:
+    """The memoised placement-settings cache must stay bounded when one
+    model instance lives across a long campaign run."""
+
+    def test_cache_never_exceeds_limit(self, hm1):
+        model = ConflictModel(hm1, settings_cache_limit=8)
+        for index in range(50):
+            model.settings_of(
+                placed(hm1, "movi", preg("R1"), (Imm(index % 64),))
+            )
+        assert len(model._settings_cache) <= 8
+
+    def test_eviction_is_fifo_and_lossless(self, hm1):
+        model = ConflictModel(hm1, settings_cache_limit=2)
+        a = placed(hm1, "movi", preg("R1"), (Imm(1),))
+        b = placed(hm1, "movi", preg("R1"), (Imm(2),))
+        c = placed(hm1, "movi", preg("R1"), (Imm(3),))
+        first = model.settings_of(a)
+        model.settings_of(b)
+        model.settings_of(c)  # evicts a
+        assert a not in model._settings_cache
+        # Evicted placements simply re-resolve to the same settings.
+        assert model.settings_of(a) == first
+
+    def test_reset_clears_cache_and_tallies(self, hm1):
+        model = ConflictModel(hm1)
+        mi = MicroInstruction(placed=[
+            placed(hm1, "add", preg("R1"), (preg("R2"), preg("R3"))),
+        ])
+        candidate = placed(hm1, "sub", preg("R4"), (preg("R5"), preg("R6")))
+        assert not model.can_add(mi, candidate)
+        assert model.rejection_counts()["unit"] == 1
+        model.settings_of(mi.placed[0])
+        assert model._settings_cache
+        model.reset()
+        assert not model._settings_cache
+        assert model.rejection_counts() == {
+            "field": 0, "unit": 0, "dependence": 0,
+        }

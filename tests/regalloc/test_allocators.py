@@ -216,3 +216,44 @@ class TestAllocatorComparison:
         program = sum_program(hm1, 4)
         LinearScanAllocator(strategy="round-robin").allocate(program, hm1)
         assert run_mir(program, hm1)[0].exit_value == 10
+
+
+class TestCrossProcessDeterminism:
+    """Allocation must not depend on hash-randomised set iteration —
+    campaign reports are promised byte-identical across processes."""
+
+    SOURCE = (
+        "    put p,0\n"
+        "loop:\n"
+        "    jump out if n = 0\n"
+        "    add p,p,a\n"
+        "    sub n,n,1\n"
+        "    jump loop\n"
+        "out:\n"
+        "    exit p\n"
+    )
+
+    def test_mapping_stable_across_hash_seeds(self):
+        import json
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import json, sys\n"
+            "from repro.lang.yalll import compile_yalll\n"
+            "from repro.machine.machines import get_machine\n"
+            "r = compile_yalll(sys.stdin.read(), get_machine('HM1'),"
+            " name='m')\n"
+            "print(json.dumps(sorted(r.allocation.mapping.items())))\n"
+        )
+        mappings = set()
+        for seed in ("0", "1", "20155"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = "src"
+            out = subprocess.run(
+                [sys.executable, "-c", script], input=self.SOURCE,
+                capture_output=True, text=True, env=env, check=True,
+            )
+            mappings.add(out.stdout.strip())
+        assert len(mappings) == 1, mappings

@@ -1,0 +1,370 @@
+"""Decoded-engine parity and plan-cache behaviour.
+
+The golden rule: for any program the toolkit can assemble, a decoded
+run must be observably identical to the interpretive run —
+instruction for instruction (the fetch trace), cycle for cycle, and
+in every piece of final state.  These tests sweep the cross-language
+example programs over HM1, CM1 and VAXm and exercise every stateful
+corner (traps, interrupts, scratchpad, multiway dispatch, banked
+windows) on both engines.
+"""
+
+import pytest
+
+from repro.asm import ControlStore
+from repro.errors import SimulationError
+from repro.lang.empl import compile_empl
+from repro.lang.mpl import compile_mpl
+from repro.lang.simpl import compile_simpl
+from repro.lang.sstar import compile_sstar
+from repro.lang.yalll import compile_yalll
+from repro.machine.machines import get_machine
+from repro.obs.timeline import TraceRecorder
+from repro.sim import Simulator
+from repro.sim.decode import PlanCache, decode_word
+
+# The same algorithm (multiply 5 x 7 by repeated addition) in every
+# language, mirroring tests/integration/test_cross_language.py.
+SIMPL_MUL = """
+program mul;
+begin
+    R0 -> R3;
+    while R2 # 0 do
+    begin
+        R3 + R1 -> R3;
+        R2 - ONE -> R2;
+    end;
+end
+"""
+
+EMPL_MUL = """
+DECLARE A FIXED;
+DECLARE B FIXED;
+DECLARE P FIXED;
+A = 5;
+B = 7;
+P = 0;
+WHILE B # 0 DO;
+    P = P + A;
+    B = B - 1;
+END;
+"""
+
+SSTAR_MUL = """
+program mul;
+var a : seq [15..0] bit bind R1;
+var n : seq [15..0] bit bind R2;
+var p : seq [15..0] bit bind R3;
+begin
+  p := 0;
+  while n <> 0 do
+  begin
+    p := p + a;
+    n := n - 1
+  end
+end
+"""
+
+YALLL_MUL = """
+    put p,0
+loop:
+    jump out if n = 0
+    add p,p,a
+    sub n,n,1
+    jump loop
+out:
+    exit p
+"""
+
+MACHINES = ("HM1", "CM1", "VAXm")
+
+COMPILES = {
+    "simpl": lambda machine: compile_simpl(SIMPL_MUL, machine),
+    "empl": lambda machine: compile_empl(EMPL_MUL, machine, name="mul"),
+    "sstar": lambda machine: compile_sstar(SSTAR_MUL, machine),
+    "yalll": lambda machine: compile_yalll(YALLL_MUL, machine, name="mul"),
+}
+
+MUL_INPUTS = {"simpl": ("R1", "R2"), "sstar": ("R1", "R2")}
+
+
+def run_engine(engine, machine, loaded, *, registers=None, memory=None,
+               simulator_kwargs=None, paging=False, max_cycles=200_000):
+    """Run ``loaded`` on one engine, with the fetch trace captured."""
+    store = ControlStore(machine)
+    store.load(loaded)
+    trace: list[str] = []
+    simulator = Simulator(
+        machine, store, trace=trace, engine=engine,
+        **(simulator_kwargs or {}),
+    )
+    simulator.state.memory.paging_enabled = paging
+    for name, value in (registers or {}).items():
+        simulator.state.write_reg(name, value)
+    for address, value in (memory or {}).items():
+        simulator.state.memory.load_words(address, [value])
+    result = simulator.run(loaded.name, max_cycles=max_cycles)
+    return result, simulator, trace
+
+
+def assert_parity(machine, loaded, **kwargs):
+    """Run both engines; assert every observable matches."""
+    res_i, sim_i, trace_i = run_engine("interpretive", machine, loaded, **kwargs)
+    res_d, sim_d, trace_d = run_engine("decoded", machine, loaded, **kwargs)
+    assert trace_d == trace_i, "fetch traces diverge"
+    assert res_d.instructions == res_i.instructions
+    assert res_d.cycles == res_i.cycles
+    assert res_d.traps == res_i.traps
+    assert res_d.interrupts_serviced == res_i.interrupts_serviced
+    assert res_d.interrupt_wait_cycles == res_i.interrupt_wait_cycles
+    assert res_d.exit_value == res_i.exit_value
+    assert sim_d.state.registers == sim_i.state.registers
+    assert sim_d.state.flags == sim_i.state.flags
+    assert sim_d.state.memory._words == sim_i.state.memory._words
+    assert sim_d.state.memory.reads == sim_i.state.memory.reads
+    assert sim_d.state.memory.writes == sim_i.state.memory.writes
+    assert sim_d.state.scratchpad._words == sim_i.state.scratchpad._words
+    return res_d, sim_d
+
+
+class TestGoldenParity:
+    """Every example program, every front end, three machines."""
+
+    @pytest.mark.parametrize("machine_name", MACHINES)
+    @pytest.mark.parametrize("lang", sorted(COMPILES))
+    def test_example_suite(self, machine_name, lang):
+        machine = get_machine(machine_name)
+        result = COMPILES[lang](machine)
+        registers = {}
+        if lang in MUL_INPUTS:
+            a, n = MUL_INPUTS[lang]
+            registers = {a: 5, n: 7}
+        elif lang == "yalll":
+            mapping = result.allocation.mapping
+            registers = {mapping["a"]: 5, mapping["n"]: 7}
+        res, sim = assert_parity(machine, result.loaded, registers=registers)
+        if lang == "yalll":
+            assert res.exit_value == 35
+
+    @pytest.mark.parametrize("machine_name", MACHINES)
+    def test_mpl_virtual_registers(self, machine_name):
+        machine = get_machine(machine_name)
+        source = """
+program t;
+begin
+    R1 -> R2;
+    R2 + R1 -> R3;
+end
+"""
+        result = compile_mpl(source, machine)
+        assert_parity(machine, result.loaded, registers={"R1": 9})
+
+    def test_multiway_dispatch(self):
+        machine = get_machine("HM1")
+        source = """
+    mjump x (0000 -> zero, 00x1 -> oddish, default -> other)
+zero:  put r,1
+       exit r
+oddish: put r,2
+       exit r
+other: put r,3
+       exit r
+"""
+        result = compile_yalll(source, machine, name="disp")
+        mapping = result.allocation.mapping
+        for value in (0, 1, 2, 3, 8):
+            res, _ = assert_parity(
+                machine, result.loaded,
+                registers={mapping["x"]: value},
+            )
+            assert res.exit_value in (1, 2, 3)
+
+    def test_procedures_and_stack(self):
+        machine = get_machine("HM1")
+        source = """
+    put a,5
+    call double
+    call double
+    exit a
+proc double:
+    add a,a,a
+    ret
+"""
+        result = compile_yalll(source, machine, name="procs")
+        res, _ = assert_parity(machine, result.loaded)
+        assert res.exit_value == 20
+
+
+class TestStatefulParity:
+    def test_memory_traffic_and_pagefault_traps(self):
+        """stor into unmapped pages pagefaults; the trap service maps
+        the page and the program restarts — both engines alike."""
+        from repro.faults.campaign import default_trap_service
+
+        machine = get_machine("HM1")
+        source = """
+    put counter,8
+    put base,0x40
+loop:
+    add addr,base,counter
+    stor counter,addr
+    load back,addr
+    sub counter,counter,1
+    jump loop if nonzero
+    exit back
+"""
+        result = compile_yalll(source, machine, name="mem")
+        res, sim = assert_parity(
+            machine, result.loaded, paging=True,
+            simulator_kwargs={"trap_service": default_trap_service},
+        )
+        assert res.traps > 0
+        assert sim.state.memory.writes > 0
+
+    def test_interrupts_at_poll(self):
+        machine = get_machine("HM1")
+        source = """
+    put counter,30
+loop:
+    poll
+    sub counter,counter,1
+    jump loop if nonzero
+    exit counter
+"""
+        result = compile_yalll(source, machine, name="irq")
+        serviced = []
+
+        def handler(state):
+            serviced.append(state.cycles)
+
+        res, _ = assert_parity(
+            machine, result.loaded,
+            simulator_kwargs={
+                "interrupt_handler": handler, "interrupt_every": 7,
+            },
+        )
+        assert res.interrupts_serviced > 0
+
+    def test_banked_windows_id3200(self):
+        """Window reads/writes resolve against the live bank pointer —
+        the decoded engine must not pre-resolve them."""
+        from repro.mir.block import BasicBlock, Exit, Jump
+        from repro.mir.operands import Imm, Reg
+        from repro.mir.ops import MicroOp
+        from repro.mir.program import MicroProgram
+        from repro.compose import ListScheduler, compose_program
+        from repro.asm import assemble
+
+        machine = get_machine("ID3200m")
+        files = machine.registers
+        window = next(iter(files.windows))
+        program = MicroProgram(name="banked", entry="b0")
+        b0 = BasicBlock("b0")
+        b0.ops.append(MicroOp("setblk", None, (Imm(0),)))
+        b0.ops.append(MicroOp("movi", Reg(window), (Imm(11),)))
+        b0.ops.append(MicroOp("setblk", None, (Imm(1),)))
+        b0.ops.append(MicroOp("movi", Reg(window), (Imm(22),)))
+        b0.terminator = Jump("b1")
+        b1 = BasicBlock("b1")
+        b1.ops.append(MicroOp("setblk", None, (Imm(0),)))
+        b1.terminator = Exit(Reg(window))
+        program.blocks = {"b0": b0, "b1": b1}
+        composed = compose_program(program, machine, ListScheduler())
+        loaded = assemble(composed, machine)
+        res, sim = assert_parity(machine, loaded)
+        assert res.exit_value == 11
+        bank0, bank1 = files.windows[window][:2]
+        assert sim.state.registers[bank0] == 11
+        assert sim.state.registers[bank1] == 22
+
+
+class TestPlanCache:
+    def test_word_keyed_lookup_misses_on_mutated_word(self):
+        machine = get_machine("HM1")
+        result = compile_yalll(YALLL_MUL, machine, name="mul")
+        store = ControlStore(machine)
+        store.load(result.loaded)
+        simulator = Simulator(machine, store, engine="decoded")
+        resident = store.find("mul")
+        loaded = store.fetch(resident.entry)
+        cache = PlanCache()
+        plan = decode_word(simulator, loaded, resident, resident.entry)
+        cache.insert(resident, resident.entry, loaded, plan, direct=True)
+        assert cache.lookup(resident, resident.entry, loaded) is plan
+        # A bit-flipped word must miss, whatever the flipped bit.
+        mutated = type(loaded)(
+            address=loaded.address, instruction=loaded.instruction,
+            settings=loaded.settings, word=loaded.word ^ 1,
+        )
+        assert cache.lookup(resident, resident.entry, mutated) is None
+        assert len(cache) == 1
+
+    def test_direct_tier_only_when_requested(self):
+        machine = get_machine("HM1")
+        result = compile_yalll(YALLL_MUL, machine, name="mul")
+        store = ControlStore(machine)
+        store.load(result.loaded)
+        simulator = Simulator(machine, store, engine="decoded")
+        resident = store.find("mul")
+        loaded = store.fetch(resident.entry)
+        cache = PlanCache()
+        plan = decode_word(simulator, loaded, resident, resident.entry)
+        cache.insert(resident, resident.entry, loaded, plan, direct=False)
+        assert resident.entry not in cache.addr_plans(resident)
+        cache.insert(resident, resident.entry, loaded, plan, direct=True)
+        assert cache.addr_plans(resident)[resident.entry] is plan
+        cache.invalidate()
+        assert len(cache) == 0
+        assert resident.entry not in cache.addr_plans(resident)
+
+    def test_plans_cached_across_runs(self):
+        """The second run of the same simulator re-uses every plan."""
+        machine = get_machine("HM1")
+        result = compile_yalll(YALLL_MUL, machine, name="mul")
+        store = ControlStore(machine)
+        store.load(result.loaded)
+        recorder = TraceRecorder()
+        simulator = Simulator(
+            machine, store, engine="decoded", recorder=recorder
+        )
+        mapping = result.allocation.mapping
+        simulator.state.write_reg(mapping["a"], 3)
+        simulator.state.write_reg(mapping["n"], 2)
+        simulator.run("mul")
+        decodes_first = recorder.profile.decodes
+        assert decodes_first > 0
+        simulator.state.write_reg(mapping["a"], 4)
+        simulator.state.write_reg(mapping["n"], 5)
+        outcome = simulator.run("mul")
+        assert outcome.exit_value == 20
+        assert recorder.profile.decodes == decodes_first
+
+    def test_unknown_engine_rejected(self):
+        machine = get_machine("HM1")
+        store = ControlStore(machine)
+        with pytest.raises(SimulationError):
+            Simulator(machine, store, engine="jit")
+
+
+class TestRecorderParity:
+    def test_profile_counts_match_interpretive(self):
+        machine = get_machine("HM1")
+        result = compile_yalll(YALLL_MUL, machine, name="mul")
+        profiles = {}
+        for engine in ("interpretive", "decoded"):
+            store = ControlStore(machine)
+            store.load(result.loaded)
+            recorder = TraceRecorder()
+            simulator = Simulator(
+                machine, store, engine=engine, recorder=recorder
+            )
+            mapping = result.allocation.mapping
+            simulator.state.write_reg(mapping["a"], 5)
+            simulator.state.write_reg(mapping["n"], 7)
+            simulator.run("mul")
+            profiles[engine] = recorder.profile
+        interp, dec = profiles["interpretive"], profiles["decoded"]
+        assert dec.instructions == interp.instructions
+        assert dec.busy_cycles == interp.busy_cycles
+        assert dec.exec_counts.data == interp.exec_counts.data
+        assert dec.cycle_counts.data == interp.cycle_counts.data
