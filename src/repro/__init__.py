@@ -41,6 +41,13 @@ from repro.lang import (
 )
 from repro.machine import MicroArchitecture
 from repro.machine.machines import get_machine, machine_names
+from repro.pipeline import CompileResult, Pipeline, Stage
+from repro.registry import (
+    LanguageSpec,
+    MachineSpec,
+    get_language,
+    language_names,
+)
 from repro.obs import (
     NULL_TRACER,
     SimProfile,
@@ -62,21 +69,26 @@ __all__ = [
     "ALL_COMPOSERS",
     "BindingAllocator",
     "BranchBoundComposer",
+    "CompileResult",
     "ControlStore",
     "GraphColorAllocator",
+    "LanguageSpec",
     "LevelComposer",
     "LinearComposer",
     "LinearScanAllocator",
     "ListScheduler",
     "LoadedProgram",
+    "MachineSpec",
     "MachineState",
     "MicroArchitecture",
     "NULL_TRACER",
+    "Pipeline",
     "ReproError",
     "RunResult",
     "SequentialComposer",
     "SimProfile",
     "Simulator",
+    "Stage",
     "TraceRecorder",
     "Tracer",
     "__version__",
@@ -87,7 +99,9 @@ __all__ = [
     "compile_sstar",
     "compile_yalll",
     "compose_program",
+    "get_language",
     "get_machine",
+    "language_names",
     "machine_names",
     "render_hotspots",
     "verify_sstar",

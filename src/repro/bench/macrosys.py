@@ -23,7 +23,8 @@ from dataclasses import dataclass
 
 from repro.asm.loader import ControlStore
 from repro.errors import ReproError
-from repro.lang.yalll.compiler import CompileResult, compile_yalll
+from repro.lang.yalll.compiler import compile_yalll
+from repro.pipeline.result import CompileResult
 from repro.machine.machine import MicroArchitecture
 from repro.sim.simulator import RunResult, Simulator
 

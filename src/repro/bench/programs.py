@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.asm.loader import ControlStore
-from repro.lang.yalll.compiler import CompileResult, compile_yalll
 from repro.machine.machine import MicroArchitecture
+from repro.pipeline.result import CompileResult
+from repro.registry import get_language
 from repro.sim.simulator import RunResult, Simulator
 
 #: §2.2.4's transliteration program, with symbolic registers.
@@ -139,7 +140,9 @@ def compile_program(
 ) -> CompileResult:
     """Compile a corpus program by name."""
     source, _inputs = CORPUS[name]
-    return compile_yalll(source, machine, name=name, optimize=optimize)
+    return get_language("yalll").compile(
+        source, machine, name=name, optimize=optimize
+    )
 
 
 def run_program(

@@ -42,8 +42,9 @@ from repro.obs.tracer import NULL_TRACER
 
 #: Bump when the cached result layout changes incompatibly, so stale
 #: on-disk entries from older checkouts can never be unpickled into a
-#: newer toolkit.
-CACHE_FORMAT = 1
+#: newer toolkit.  2: ``CompileResult`` moved to ``repro.pipeline``
+#: and grew ``diagnostics``/``dumps``.
+CACHE_FORMAT = 2
 
 
 # ----------------------------------------------------------------------

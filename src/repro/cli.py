@@ -13,11 +13,18 @@ Commands:
   injected faults (``--fault bitflip:addr=3,bit=17`` …).
 * ``campaign`` — run a seeded fault-injection campaign across one or
   more machines and classify every outcome (see ``repro.faults``).
+* ``languages`` — list every registered language and machine with
+  its pipeline stages and capabilities (see ``repro.registry``).
 
 ``compile`` and ``run`` take ``--trace FILE`` (Chrome trace-event
 JSON, or JSON-lines when the file ends in ``.jsonl``) and ``--stats``
 (per-stage compile-time breakdown; for ``run`` also the simulator
-hot-spot report).
+hot-spot report).  ``compile --dump-after STAGE`` prints the program
+state after any pipeline stage (or ``all`` of them).
+
+Language and machine dispatch resolves through :mod:`repro.registry`:
+registering a new front end or machine description there is all it
+takes to appear in every command here.
 """
 
 from __future__ import annotations
@@ -28,12 +35,7 @@ from pathlib import Path
 
 from repro.asm.loader import ControlStore
 from repro.errors import ReproError
-from repro.lang.empl import compile_empl
-from repro.lang.mpl import compile_mpl
-from repro.lang.simpl import compile_simpl
-from repro.lang.sstar import compile_sstar, parse_sstar, verify_sstar
-from repro.lang.yalll import compile_yalll
-from repro.machine.machines import get_machine, machine_names
+from repro.lang.sstar import parse_sstar, verify_sstar
 from repro.obs import (
     NULL_TRACER,
     TraceRecorder,
@@ -42,21 +44,16 @@ from repro.obs import (
     render_hotspots,
     write_trace,
 )
+from repro.registry import (
+    build_machine as get_machine,
+)
+from repro.registry import (
+    get_language,
+    get_machine_spec,
+    language_names,
+    machine_names,
+)
 from repro.sim.simulator import Simulator
-
-#: language name -> compile function (source, machine, tracer, **kw).
-COMPILERS = {
-    "simpl": lambda src, machine, tracer, **kw: compile_simpl(
-        src, machine, tracer=tracer, **kw),
-    "empl": lambda src, machine, tracer, **kw: compile_empl(
-        src, machine, tracer=tracer, **kw),
-    "sstar": lambda src, machine, tracer, **kw: compile_sstar(
-        src, machine, tracer=tracer, **kw),
-    "yalll": lambda src, machine, tracer, **kw: compile_yalll(
-        src, machine, tracer=tracer, **kw),
-    "mpl": lambda src, machine, tracer, **kw: compile_mpl(
-        src, machine, tracer=tracer, **kw),
-}
 
 
 def _parse_assignments(pairs: list[str]) -> dict[str, int]:
@@ -90,13 +87,21 @@ def _compile(args, tracer=NULL_TRACER) -> tuple:
     extra = {}
     if getattr(args, "restart_safe", False):
         extra["restart_safe"] = True
-    result = COMPILERS[args.lang](source, machine, tracer, **extra)
+    if getattr(args, "dump_after", None):
+        extra["dump_after"] = args.dump_after
+    result = get_language(args.lang).compile(
+        source, machine, tracer=tracer, **extra
+    )
     return machine, result
 
 
 def cmd_compile(args) -> int:
     tracer = _tracer_for(args)
     machine, result = _compile(args, tracer)
+    for stage, text in result.dumps.items():
+        print(f"--- after {stage} ---")
+        print(text)
+        print()
     print(result.loaded.listing(machine))
     print()
     print(f"{len(result.loaded)} control words "
@@ -155,6 +160,26 @@ def cmd_machines(args) -> int:
         if args.verbose:
             print(machine.control.describe())
             print()
+    return 0
+
+
+def cmd_languages(_args) -> int:
+    print("languages:")
+    for name in language_names():
+        spec = get_language(name)
+        print(f"  {name:6s} {spec.title} (survey §{spec.section})")
+        print(f"         stages: {' -> '.join(spec.stage_names())}")
+        print(f"         default composer: {spec.default_composer}")
+        print(f"         capabilities: "
+              f"{', '.join(spec.capabilities) or '(none)'}")
+    print()
+    print("machines:")
+    for name in machine_names():
+        spec = get_machine_spec(name)
+        capabilities = ", ".join(spec.capabilities)
+        suffix = f" [{capabilities}]" if capabilities else ""
+        print(f"  {name:8s} {spec.organisation:10s} "
+              f"{spec.description}{suffix}")
     return 0
 
 
@@ -262,10 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     compile_parser = sub.add_parser("compile", help="compile to microcode")
     compile_parser.add_argument("file")
-    compile_parser.add_argument("--lang", choices=sorted(COMPILERS),
+    compile_parser.add_argument("--lang", choices=language_names(),
                                 required=True)
     compile_parser.add_argument("--machine", choices=machine_names(),
                                 default="HM1")
+    compile_parser.add_argument(
+        "--dump-after", metavar="STAGE",
+        help="print the program state after a pipeline stage "
+             "(a stage name from 'repro languages', or 'all')")
     compile_parser.add_argument("--trace", metavar="FILE",
                                 help="write a Chrome trace-event JSON "
                                      "(.jsonl for JSON-lines)")
@@ -276,7 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="compile and simulate")
     run_parser.add_argument("file")
-    run_parser.add_argument("--lang", choices=sorted(COMPILERS),
+    run_parser.add_argument("--lang", choices=language_names(),
                             required=True)
     run_parser.add_argument("--machine", choices=machine_names(),
                             default="HM1")
@@ -304,6 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
     machines_parser.add_argument("-v", "--verbose", action="store_true")
     machines_parser.set_defaults(handler=cmd_machines)
 
+    languages_parser = sub.add_parser(
+        "languages",
+        help="list registered languages and machines with capabilities",
+    )
+    languages_parser.set_defaults(handler=cmd_languages)
+
     survey_parser = sub.add_parser("survey", help="print the survey matrix")
     survey_parser.set_defaults(handler=cmd_survey)
 
@@ -317,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         "faultsim", help="simulate under explicitly injected faults"
     )
     faultsim_parser.add_argument("file")
-    faultsim_parser.add_argument("--lang", choices=sorted(COMPILERS),
+    faultsim_parser.add_argument("--lang", choices=language_names(),
                                  required=True)
     faultsim_parser.add_argument("--machine", choices=machine_names(),
                                  default="HM1")
@@ -349,7 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="seeded fault-injection campaign"
     )
     campaign_parser.add_argument("file")
-    campaign_parser.add_argument("--lang", choices=sorted(COMPILERS),
+    campaign_parser.add_argument("--lang", choices=language_names(),
                                  required=True)
     campaign_parser.add_argument(
         "--machine", action="append", choices=machine_names(),

@@ -422,24 +422,6 @@ def _run_scenario(
 
 
 # ----------------------------------------------------------------------
-def _compilers() -> dict:
-    from repro.lang import (
-        compile_empl,
-        compile_mpl,
-        compile_simpl,
-        compile_sstar,
-        compile_yalll,
-    )
-
-    return {
-        "simpl": compile_simpl,
-        "empl": compile_empl,
-        "sstar": compile_sstar,
-        "yalll": compile_yalll,
-        "mpl": compile_mpl,
-    }
-
-
 def run_campaign(
     source: str,
     lang: str,
@@ -464,22 +446,23 @@ def run_campaign(
     re-probes it (one real compilation, N-1 hits — the pattern that
     used to be N compilations across campaign harness variants).
     """
-    compilers = _compilers()
+    from repro.registry import RegistryError, get_language, language_names
+
     try:
-        compile_fn = compilers[lang]
-    except KeyError:
+        spec = get_language(lang)
+    except RegistryError:
         raise FaultPlanError(
             f"unknown language {lang!r}; expected one of "
-            f"{', '.join(sorted(compilers))}"
+            f"{', '.join(language_names())}"
         ) from None
-    result = compile_fn(
+    result = spec.compile(
         source, machine, tracer=tracer, restart_safe=restart_safe,
         cache=cache,
     )
     compile_each = None
     if cache is not None:
         def compile_each():
-            return compile_fn(
+            return spec.compile(
                 source, machine, restart_safe=restart_safe, cache=cache
             ).loaded
     return run_campaign_loaded(

@@ -1,26 +1,29 @@
-"""EMPL compiler driver (survey §2.2.2).
+"""EMPL front end stages + registration (survey §2.2.2).
 
 Pipeline: parse → code generation (with operator inlining and MICROOP
-hardware escapes) → legalization → register allocation (EMPL variables
-are symbolic, so allocation is mandatory — the feature the survey
-notes only "two or three" languages offered) → composition → assembly.
+hardware escapes) → shared tail.  EMPL variables are symbolic, so
+allocation is mandatory (policy ``"always"`` — the feature the survey
+notes only "two or three" languages offered) and the default composer
+is the critical-path list scheduler.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.asm.assembler import assemble
-from repro.compose.base import Composer, compose_program
 from repro.compose.list_schedule import ListScheduler
-from repro.lang.common.legalize import legalize
-from repro.lang.common.restart import apply_restart_safety
 from repro.lang.empl.codegen import EmplCodegen
 from repro.lang.empl.parser import parse_empl
-from repro.lang.yalll.compiler import CompileResult
 from repro.machine.machine import MicroArchitecture
 from repro.obs.tracer import NULL_TRACER
-from repro.regalloc.linear_scan import LinearScanAllocator
+from repro.pipeline import (
+    CompileResult,
+    Pipeline,
+    Stage,
+    default_result,
+    standard_tail,
+)
+from repro.registry import LanguageSpec, register_language
 
 
 @dataclass
@@ -31,81 +34,81 @@ class EmplCompileResult(CompileResult):
     hardware_ops: int = 0
 
 
+def _parse(ctx) -> None:
+    ctx.ast = parse_empl(ctx.source)
+
+
+def _codegen(ctx) -> dict:
+    codegen = EmplCodegen(
+        ctx.ast, ctx.machine, ctx.opt("name", "empl"),
+        data_base=ctx.opt("data_base", 0x6000),
+    )
+    ctx.mir = codegen.generate()
+    ctx.scratch["inlined_ops"] = codegen.inlined_ops
+    ctx.scratch["hardware_ops"] = codegen.hardware_ops
+    return {"ops": ctx.mir.n_ops(), "inlined": codegen.inlined_ops,
+            "hardware": codegen.hardware_ops}
+
+
+def _result(ctx) -> EmplCompileResult:
+    base = default_result(ctx)
+    return EmplCompileResult(
+        **vars(base),
+        inlined_ops=ctx.scratch.get("inlined_ops", 0),
+        hardware_ops=ctx.scratch.get("hardware_ops", 0),
+    )
+
+
+PIPELINE = Pipeline(
+    lang="empl",
+    stages=(
+        Stage("parse", _parse),
+        Stage("codegen", _codegen),
+        *standard_tail(
+            default_composer=lambda ctx: ListScheduler(tracer=ctx.tracer),
+        ),
+    ),
+    option_defaults={
+        "name": "empl",
+        "composer": None,
+        "allocator": None,
+        "data_base": 0x6000,
+        "restart_safe": False,
+    },
+    result_factory=_result,
+)
+
+SPEC = register_language(LanguageSpec(
+    name="empl",
+    title="EMPL - Extensible MicroProgramming Language",
+    section="2.2.2",
+    pipeline=PIPELINE,
+    capabilities=(
+        "symbolic_variables",
+        "register_allocation",
+        "extensible_operators",
+        "hardware_escape",
+    ),
+    default_composer="list-schedule",
+))
+
+
 def compile_empl(
     source: str,
     machine: MicroArchitecture,
     *,
     name: str = "empl",
-    composer: Composer | None = None,
-    allocator: LinearScanAllocator | None = None,
+    composer=None,
+    allocator=None,
     data_base: int = 0x6000,
     restart_safe: bool = False,
     tracer=NULL_TRACER,
     cache=None,
+    dump_after=None,
 ) -> EmplCompileResult:
-    """Compile EMPL source for a machine.
-
-    ``restart_safe=True`` applies the §2.1.5 idempotence transform
-    after legalization, before the (mandatory) register allocation.
-
-    ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
-    recompilation of identical inputs; custom composers/allocators
-    participate in the key by ``name``/class name only.
-    """
-    if cache is not None:
-        return cache.get_or_compile(
-            source, "empl", machine,
-            {
-                "name": name,
-                "composer": getattr(composer, "name", None),
-                "allocator": type(allocator).__name__ if allocator else None,
-                "data_base": data_base,
-                "restart_safe": restart_safe,
-            },
-            lambda: compile_empl(
-                source, machine, name=name, composer=composer,
-                allocator=allocator, data_base=data_base,
-                restart_safe=restart_safe, tracer=tracer,
-            ),
-            tracer=tracer,
-        )
-    with tracer.span("compile", lang="empl", machine=machine.name):
-        with tracer.span("parse"):
-            ast = parse_empl(source)
-        with tracer.span("codegen") as span:
-            codegen = EmplCodegen(ast, machine, name, data_base=data_base)
-            mir = codegen.generate()
-            span.set(ops=mir.n_ops(), inlined=codegen.inlined_ops,
-                     hardware=codegen.hardware_ops)
-        with tracer.span("legalize") as span:
-            stats = legalize(mir, machine)
-            span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
-        hazards = apply_restart_safety(
-            mir, machine, transform=restart_safe, tracer=tracer
-        )
-        with tracer.span("regalloc") as span:
-            allocation = (
-                allocator or LinearScanAllocator(tracer=tracer)
-            ).allocate(mir, machine)
-            span.set(allocator=allocation.allocator,
-                     spilled=allocation.n_spilled,
-                     registers=allocation.registers_used)
-        with tracer.span("compose") as span:
-            composed = compose_program(
-                mir, machine, composer or ListScheduler(tracer=tracer), tracer
-            )
-            span.set(words=composed.n_instructions(),
-                     compaction=round(composed.compaction_ratio(), 3))
-        with tracer.span("assemble") as span:
-            loaded = assemble(composed, machine)
-            span.set(words=len(loaded))
-    return EmplCompileResult(
-        mir=mir,
-        composed=composed,
-        loaded=loaded,
-        legalize_stats=stats,
-        allocation=allocation,
-        restart_hazards=hazards,
-        inlined_ops=codegen.inlined_ops,
-        hardware_ops=codegen.hardware_ops,
+    """Compile EMPL source for a machine (see :data:`PIPELINE`)."""
+    return PIPELINE.run(
+        source, machine, tracer=tracer, cache=cache, dump_after=dump_after,
+        name=name, composer=composer, allocator=allocator,
+        data_base=data_base, restart_safe=restart_safe,
     )

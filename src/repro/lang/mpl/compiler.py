@@ -1,94 +1,76 @@
-"""MPL compiler driver (survey §2.2.5).
+"""MPL front end stages + registration (survey §2.2.5).
 
 Historically MPL targeted a *vertical* machine, so the default
 composer is sequential (one micro-operation per word, which is all a
 vertical target can hold anyway); pass a different composer to pack
-for horizontal machines.
+for horizontal machines.  Allocation policy is ``"auto"``: MPL binds
+registers, so an allocator runs only for introduced temporaries.
 """
 
 from __future__ import annotations
 
-from repro.asm.assembler import assemble
-from repro.compose.base import Composer, compose_program
 from repro.compose.linear import SequentialComposer
-from repro.lang.common.legalize import legalize
-from repro.lang.common.restart import apply_restart_safety
 from repro.lang.mpl.codegen import generate
 from repro.lang.mpl.parser import parse_mpl
-from repro.lang.yalll.compiler import CompileResult
 from repro.machine.machine import MicroArchitecture
 from repro.obs.tracer import NULL_TRACER
-from repro.regalloc.linear_scan import AllocationResult, LinearScanAllocator
+from repro.pipeline import CompileResult, Pipeline, Stage, standard_tail
+from repro.registry import LanguageSpec, register_language
+
+
+def _parse(ctx) -> None:
+    ctx.ast = parse_mpl(ctx.source)
+
+
+def _codegen(ctx) -> dict:
+    ctx.mir = generate(ctx.ast, ctx.machine, ctx.opt("data_base", 0x6800))
+    return {"ops": ctx.mir.n_ops()}
+
+
+PIPELINE = Pipeline(
+    lang="mpl",
+    stages=(
+        Stage("parse", _parse),
+        Stage("codegen", _codegen),
+        *standard_tail(
+            regalloc="auto",
+            default_composer=lambda ctx: SequentialComposer(tracer=ctx.tracer),
+        ),
+    ),
+    option_defaults={
+        "composer": None,
+        "data_base": 0x6800,
+        "restart_safe": False,
+    },
+)
+
+SPEC = register_language(LanguageSpec(
+    name="mpl",
+    title="MPL - the earliest high level microprogramming language",
+    section="2.2.5",
+    pipeline=PIPELINE,
+    capabilities=(
+        "programmer_binding",
+        "virtual_registers",
+        "arrays",
+    ),
+    default_composer="sequential",
+))
 
 
 def compile_mpl(
     source: str,
     machine: MicroArchitecture,
     *,
-    composer: Composer | None = None,
+    composer=None,
     data_base: int = 0x6800,
     restart_safe: bool = False,
     tracer=NULL_TRACER,
     cache=None,
+    dump_after=None,
 ) -> CompileResult:
-    """Compile MPL source for a machine.
-
-    ``restart_safe=True`` applies the §2.1.5 idempotence transform
-    after legalization (see ``repro.lang.common.restart``).
-
-    ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
-    recompilation of identical inputs.
-    """
-    if cache is not None:
-        return cache.get_or_compile(
-            source, "mpl", machine,
-            {
-                "composer": getattr(composer, "name", None),
-                "data_base": data_base,
-                "restart_safe": restart_safe,
-            },
-            lambda: compile_mpl(
-                source, machine, composer=composer, data_base=data_base,
-                restart_safe=restart_safe, tracer=tracer,
-            ),
-            tracer=tracer,
-        )
-    with tracer.span("compile", lang="mpl", machine=machine.name):
-        with tracer.span("parse"):
-            ast = parse_mpl(source)
-        with tracer.span("codegen") as span:
-            mir = generate(ast, machine, data_base)
-            span.set(ops=mir.n_ops())
-        with tracer.span("legalize") as span:
-            stats = legalize(mir, machine)
-            span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
-        hazards = apply_restart_safety(
-            mir, machine, transform=restart_safe, tracer=tracer
-        )
-        with tracer.span("regalloc") as span:
-            if mir.virtual_regs():
-                allocation = LinearScanAllocator(tracer=tracer).allocate(
-                    mir, machine
-                )
-            else:
-                allocation = AllocationResult(allocator="none")
-            span.set(allocator=allocation.allocator,
-                     spilled=allocation.n_spilled)
-        with tracer.span("compose") as span:
-            composed = compose_program(
-                mir, machine,
-                composer or SequentialComposer(tracer=tracer), tracer,
-            )
-            span.set(words=composed.n_instructions(),
-                     compaction=round(composed.compaction_ratio(), 3))
-        with tracer.span("assemble") as span:
-            loaded = assemble(composed, machine)
-            span.set(words=len(loaded))
-    return CompileResult(
-        mir=mir,
-        composed=composed,
-        loaded=loaded,
-        legalize_stats=stats,
-        allocation=allocation,
-        restart_hazards=hazards,
+    """Compile MPL source for a machine (see :data:`PIPELINE`)."""
+    return PIPELINE.run(
+        source, machine, tracer=tracer, cache=cache, dump_after=dump_after,
+        composer=composer, data_base=data_base, restart_safe=restart_safe,
     )

@@ -1,104 +1,83 @@
-"""SIMPL compiler driver (survey §2.2.1).
+"""SIMPL front end stages + registration (survey §2.2.1).
 
 Pipeline: parse → semantic checks (variables must be machine
-registers) → code generation → legalization → composition (linear
-first-come-first-served by default, matching the historical SIMPL
-compiler's approach) → assembly.  No register allocation runs because
-SIMPL identifies variables with machine registers.
-
-Every stage is wrapped in an observability span (``repro.obs``); pass
-a recording tracer to get the per-stage compile-time breakdown.
+registers) → code generation → shared tail.  Allocation policy is
+``"auto"``: SIMPL identifies variables with machine registers, so an
+allocator runs only for the temporaries legalization or the restart
+transform introduce.  The historical SIMPL compiler composed linear
+first-come-first-served, which stays the default composer.
 """
 
 from __future__ import annotations
 
-from repro.asm.assembler import assemble
-from repro.compose.base import Composer, compose_program
 from repro.compose.linear import LinearComposer
-from repro.lang.common.legalize import legalize
-from repro.lang.common.restart import apply_restart_safety
 from repro.lang.simpl.codegen import generate
 from repro.lang.simpl.parser import parse_simpl
 from repro.lang.simpl.sema import check_program
-from repro.lang.yalll.compiler import CompileResult
 from repro.machine.machine import MicroArchitecture
 from repro.obs.tracer import NULL_TRACER
-from repro.regalloc.linear_scan import AllocationResult, LinearScanAllocator
+from repro.pipeline import CompileResult, Pipeline, Stage, standard_tail
+from repro.registry import LanguageSpec, register_language
+
+
+def _parse(ctx) -> None:
+    ctx.ast = parse_simpl(ctx.source)
+
+
+def _sema(ctx) -> None:
+    registers = ctx.machine.registers
+    names = set(registers.names()) | set(registers.windows)
+    check_program(ctx.ast, names)
+
+
+def _codegen(ctx) -> dict:
+    ctx.mir = generate(ctx.ast, ctx.machine)
+    return {"ops": ctx.mir.n_ops()}
+
+
+PIPELINE = Pipeline(
+    lang="simpl",
+    stages=(
+        Stage("parse", _parse),
+        Stage("sema", _sema),
+        Stage("codegen", _codegen),
+        *standard_tail(
+            regalloc="auto",
+            default_composer=lambda ctx: LinearComposer(tracer=ctx.tracer),
+        ),
+    ),
+    option_defaults={
+        "composer": None,
+        "restart_safe": False,
+    },
+)
+
+SPEC = register_language(LanguageSpec(
+    name="simpl",
+    title="SIMPL - Single Identity Micro Programming Language",
+    section="2.2.1",
+    pipeline=PIPELINE,
+    capabilities=(
+        "programmer_binding",
+        "single_identity",
+        "parallelism_detection",
+    ),
+    default_composer="linear",
+))
 
 
 def compile_simpl(
     source: str,
     machine: MicroArchitecture,
     *,
-    composer: Composer | None = None,
+    composer=None,
     restart_safe: bool = False,
     tracer=NULL_TRACER,
     cache=None,
+    dump_after=None,
 ) -> CompileResult:
-    """Compile SIMPL source for a machine.
-
-    ``restart_safe=True`` applies the §2.1.5 idempotence transform
-    after legalization (macro-visible writes stage through micro
-    temporaries and commit after the block's last trap point).
-
-    ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
-    recompilation of identical (source, machine, options) inputs;
-    custom composers participate in the key by ``name`` only.
-    """
-    if cache is not None:
-        return cache.get_or_compile(
-            source, "simpl", machine,
-            {
-                "composer": getattr(composer, "name", None),
-                "restart_safe": restart_safe,
-            },
-            lambda: compile_simpl(
-                source, machine, composer=composer,
-                restart_safe=restart_safe, tracer=tracer,
-            ),
-            tracer=tracer,
-        )
-    with tracer.span("compile", lang="simpl", machine=machine.name):
-        with tracer.span("parse"):
-            ast = parse_simpl(source)
-        with tracer.span("sema"):
-            names = set(machine.registers.names()) | set(machine.registers.windows)
-            check_program(ast, names)
-        with tracer.span("codegen") as span:
-            mir = generate(ast, machine)
-            span.set(ops=mir.n_ops())
-        with tracer.span("legalize") as span:
-            stats = legalize(mir, machine)
-            span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
-        hazards = apply_restart_safety(
-            mir, machine, transform=restart_safe, tracer=tracer
-        )
-        # Legalization (and the restart transform) may introduce
-        # temporaries even though the programmer bound everything;
-        # allocate whatever virtuals remain.
-        with tracer.span("regalloc") as span:
-            if mir.virtual_regs():
-                allocation = LinearScanAllocator(tracer=tracer).allocate(
-                    mir, machine
-                )
-            else:
-                allocation = AllocationResult(allocator="none")
-            span.set(allocator=allocation.allocator,
-                     spilled=allocation.n_spilled)
-        with tracer.span("compose") as span:
-            composed = compose_program(
-                mir, machine, composer or LinearComposer(tracer=tracer), tracer
-            )
-            span.set(words=composed.n_instructions(),
-                     compaction=round(composed.compaction_ratio(), 3))
-        with tracer.span("assemble") as span:
-            loaded = assemble(composed, machine)
-            span.set(words=len(loaded))
-    return CompileResult(
-        mir=mir,
-        composed=composed,
-        loaded=loaded,
-        legalize_stats=stats,
-        allocation=allocation,
-        restart_hazards=hazards,
+    """Compile SIMPL source for a machine (see :data:`PIPELINE`)."""
+    return PIPELINE.run(
+        source, machine, tracer=tracer, cache=cache, dump_after=dump_after,
+        composer=composer, restart_safe=restart_safe,
     )

@@ -1,25 +1,73 @@
-"""S* compiler driver (survey §2.2.3).
+"""S* front end stages + registration (survey §2.2.3).
 
 Pipeline: parse → bind-check + code generation → **no legalization and
 no allocation** (S* programs are written against the machine's actual
 micro-operations and registers; anything else is a semantic error) →
 explicit composition validation → assembly.  Verification is a
 separate entry point (:func:`repro.lang.sstar.verify_bridge.verify_sstar`).
+
+S* binds registers explicitly, so there is no allocator to place the
+idempotence transform's temporaries: ``restart_safe=True`` only
+*analyzes* §2.1.5 hazards and reports them (the programmer must
+restructure by hand, as the survey's schema model implies).
 """
 
 from __future__ import annotations
 
-from repro.asm.assembler import assemble
-from repro.compose.base import compose_program
-from repro.lang.common.legalize import LegalizeStats
-from repro.lang.common.restart import apply_restart_safety
 from repro.lang.sstar.codegen import generate
 from repro.lang.sstar.composer import SStarComposer
 from repro.lang.sstar.parser import parse_sstar
-from repro.lang.yalll.compiler import CompileResult
 from repro.machine.machine import MicroArchitecture
 from repro.obs.tracer import NULL_TRACER
-from repro.regalloc.linear_scan import AllocationResult
+from repro.pipeline import CompileResult, Pipeline, Stage, standard_tail
+from repro.registry import LanguageSpec, register_language
+
+
+def _parse(ctx) -> None:
+    ctx.ast = parse_sstar(ctx.source)
+
+
+def _codegen(ctx) -> dict:
+    ctx.mir, groups = generate(ctx.ast, ctx.machine)
+    ctx.scratch["groups"] = groups
+    return {"ops": ctx.mir.n_ops(),
+            "groups": sum(len(g) for g in groups.values())}
+
+
+def _default_composer(ctx):
+    return SStarComposer(ctx.scratch["groups"], tracer=ctx.tracer)
+
+
+PIPELINE = Pipeline(
+    lang="sstar",
+    stages=(
+        Stage("parse", _parse),
+        Stage("codegen", _codegen),
+        *standard_tail(
+            legalize=False,
+            transform_available=False,
+            regalloc=None,
+            default_composer=_default_composer,
+        ),
+    ),
+    option_defaults={
+        "restart_safe": False,
+    },
+)
+
+SPEC = register_language(LanguageSpec(
+    name="sstar",
+    title="S* - a microprogramming language schema, instantiated as S(M)",
+    section="2.2.3",
+    pipeline=PIPELINE,
+    capabilities=(
+        "programmer_binding",
+        "explicit_composition",
+        "verification",
+        "concurrency_constructs",
+    ),
+    default_composer="sstar-explicit",
+))
 
 
 def compile_sstar(
@@ -29,59 +77,10 @@ def compile_sstar(
     restart_safe: bool = False,
     tracer=NULL_TRACER,
     cache=None,
+    dump_after=None,
 ) -> CompileResult:
-    """Compile S(M) source for machine M.
-
-    S* binds registers explicitly, so there is no allocator to place
-    the idempotence transform's temporaries: ``restart_safe=True``
-    only *analyzes* §2.1.5 hazards and reports them (the programmer
-    must restructure by hand, as the survey's schema model implies).
-
-    ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
-    recompilation of identical inputs.
-    """
-    if cache is not None:
-        return cache.get_or_compile(
-            source, "sstar", machine,
-            {"restart_safe": restart_safe},
-            lambda: compile_sstar(
-                source, machine, restart_safe=restart_safe, tracer=tracer,
-            ),
-            tracer=tracer,
-        )
-    with tracer.span("compile", lang="sstar", machine=machine.name):
-        with tracer.span("parse"):
-            ast = parse_sstar(source)
-        with tracer.span("codegen") as span:
-            mir, groups = generate(ast, machine)
-            span.set(ops=mir.n_ops(),
-                     groups=sum(len(g) for g in groups.values()))
-        hazards = apply_restart_safety(
-            mir, machine, transform=False, tracer=tracer
-        )
-        if restart_safe and hazards:
-            tracer.warning(
-                "restart.transform_unavailable",
-                lang="sstar",
-                hazards=len(hazards),
-                detail="S* binds registers explicitly; restructure by hand",
-            )
-        with tracer.span("compose") as span:
-            composed = compose_program(
-                mir, machine, SStarComposer(groups, tracer=tracer), tracer
-            )
-            span.set(words=composed.n_instructions(),
-                     compaction=round(composed.compaction_ratio(), 3))
-        with tracer.span("assemble") as span:
-            loaded = assemble(composed, machine)
-            span.set(words=len(loaded))
-    return CompileResult(
-        mir=mir,
-        composed=composed,
-        loaded=loaded,
-        legalize_stats=LegalizeStats(
-            ops_before=mir.n_ops(), ops_after=mir.n_ops()
-        ),
-        allocation=AllocationResult(allocator="explicit-binding"),
-        restart_hazards=hazards,
+    """Compile S(M) source for machine M (see :data:`PIPELINE`)."""
+    return PIPELINE.run(
+        source, machine, tracer=tracer, cache=cache, dump_after=dump_after,
+        restart_safe=restart_safe,
     )

@@ -1,4 +1,4 @@
-"""The YALLL compiler driver: source → loadable microcode.
+"""The YALLL front end: language-specific stages + registration.
 
 Mirrors the survey's two real implementations (§2.2.4): the same front
 end retargets by machine description, and the *optimization level*
@@ -6,54 +6,26 @@ differs — the HP back end packs microinstructions while the VAX back
 end was left unoptimized ("the baroque structure of the VAX micro
 architecture … discouraged the implementers from attempting any code
 optimization").
+
+All orchestration (cache, spans, legalize/restart/regalloc/compose/
+assemble) lives in :mod:`repro.pipeline`; this module contributes
+parse and codegen, the par-aware allocator choice, and the
+``optimize`` composer toggle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.asm.assembler import LoadedProgram, assemble
-from repro.compose.base import ComposedProgram, Composer, compose_program
 from repro.compose.linear import SequentialComposer
 from repro.compose.list_schedule import ListScheduler
-from repro.lang.common.legalize import LegalizeStats, legalize
-from repro.lang.common.restart import RestartHazard, apply_restart_safety
 from repro.lang.yalll.codegen import YalllCodegen
 from repro.lang.yalll.parser import parse_yalll
 from repro.machine.machine import MicroArchitecture
 from repro.mir.deps import op_reads, op_writes
 from repro.mir.program import MicroProgram
 from repro.obs.tracer import NULL_TRACER
+from repro.pipeline import CompileResult, Pipeline, Stage, standard_tail
+from repro.registry import LanguageSpec, register_language
 from repro.regalloc.graph_color import GraphColorAllocator
-from repro.regalloc.linear_scan import AllocationResult, LinearScanAllocator
-
-
-@dataclass
-class CompileResult:
-    """Everything a compilation run produced, for inspection."""
-
-    mir: MicroProgram
-    composed: ComposedProgram
-    loaded: LoadedProgram
-    legalize_stats: LegalizeStats
-    allocation: AllocationResult
-    #: §2.1.5 exposure: macro-visible writes a microtrap can replay.
-    #: With ``restart_safe=True`` only unfixable cross-block hazards
-    #: remain; otherwise every hazard found by analysis is listed.
-    restart_hazards: list[RestartHazard] = field(default_factory=list)
-
-    @property
-    def n_instructions(self) -> int:
-        return len(self.loaded)
-
-    @property
-    def restart_safe(self) -> bool:
-        """True when no known microtrap-replay hazard remains."""
-        return not self.restart_hazards
-
-    @property
-    def n_ops(self) -> int:
-        return self.composed.n_ops()
 
 
 def _par_interference(
@@ -84,98 +56,84 @@ def _par_interference(
     return tuple(sorted(pairs))
 
 
+def _parse(ctx) -> None:
+    ctx.ast = parse_yalll(ctx.source)
+
+
+def _codegen(ctx) -> dict:
+    codegen = YalllCodegen(ctx.ast, ctx.machine, ctx.opt("name", "yalll"))
+    ctx.mir = codegen.generate()
+    if ctx.opt("allocator") is None and codegen.par_groups:
+        # Programs using the ``par`` extension (§2.1.4's compromise)
+        # get the par-aware graph-colouring allocator by default, so
+        # the declared parallelism survives allocation.  Pair
+        # computation must precede legalization: the recorded op
+        # indices refer to the pristine micro-IR.
+        ctx.scratch["allocator"] = GraphColorAllocator(
+            extra_interference=_par_interference(
+                ctx.mir, ctx.machine, codegen.par_groups
+            ),
+            tracer=ctx.tracer,
+        )
+    return {"ops": ctx.mir.n_ops(), "par_groups": len(codegen.par_groups)}
+
+
+def _default_composer(ctx):
+    """``optimize=False`` reproduces the survey's unoptimized back end
+    (one micro-operation per microinstruction)."""
+    if ctx.opt("optimize", True):
+        return ListScheduler(tracer=ctx.tracer)
+    return SequentialComposer(tracer=ctx.tracer)
+
+
+PIPELINE = Pipeline(
+    lang="yalll",
+    stages=(
+        Stage("parse", _parse),
+        Stage("codegen", _codegen),
+        *standard_tail(default_composer=_default_composer),
+    ),
+    option_defaults={
+        "name": "yalll",
+        "optimize": True,
+        "composer": None,
+        "allocator": None,
+        "restart_safe": False,
+    },
+)
+
+SPEC = register_language(LanguageSpec(
+    name="yalll",
+    title="YALLL - Yet Another Low Level Language",
+    section="2.2.4",
+    pipeline=PIPELINE,
+    capabilities=(
+        "symbolic_variables",
+        "register_allocation",
+        "par_extension",
+        "multiway_branch",
+        "optimize_toggle",
+    ),
+    default_composer="list-schedule",
+))
+
+
 def compile_yalll(
     source: str,
     machine: MicroArchitecture,
     *,
     name: str = "yalll",
     optimize: bool = True,
-    composer: Composer | None = None,
+    composer=None,
     allocator=None,
     restart_safe: bool = False,
     tracer=NULL_TRACER,
     cache=None,
+    dump_after=None,
 ) -> CompileResult:
-    """Compile YALLL source for a machine.
-
-    ``optimize=False`` reproduces the survey's unoptimized back end
-    (one micro-operation per microinstruction).
-
-    ``restart_safe=True`` applies the §2.1.5 idempotence transform
-    after legalization, so a microtrap restart can never replay a
-    macro-visible write (``incread``'s double increment).
-
-    Programs using the ``par`` extension (§2.1.4's compromise) get the
-    par-aware graph-colouring allocator by default, so the declared
-    parallelism survives allocation.
-
-    ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
-    recompilation of identical inputs; custom composers/allocators
-    participate in the key by ``name``/class name only.
-    """
-    if cache is not None:
-        return cache.get_or_compile(
-            source, "yalll", machine,
-            {
-                "name": name,
-                "optimize": optimize,
-                "composer": getattr(composer, "name", None),
-                "allocator": type(allocator).__name__ if allocator else None,
-                "restart_safe": restart_safe,
-            },
-            lambda: compile_yalll(
-                source, machine, name=name, optimize=optimize,
-                composer=composer, allocator=allocator,
-                restart_safe=restart_safe, tracer=tracer,
-            ),
-            tracer=tracer,
-        )
-    with tracer.span("compile", lang="yalll", machine=machine.name):
-        with tracer.span("parse"):
-            ast = parse_yalll(source)
-        with tracer.span("codegen") as span:
-            codegen = YalllCodegen(ast, machine, name)
-            mir = codegen.generate()
-            span.set(ops=mir.n_ops(), par_groups=len(codegen.par_groups))
-        if allocator is None and codegen.par_groups:
-            # Pair computation must precede legalization: the recorded op
-            # indices refer to the pristine micro-IR.
-            allocator = GraphColorAllocator(
-                extra_interference=_par_interference(
-                    mir, machine, codegen.par_groups
-                ),
-                tracer=tracer,
-            )
-        with tracer.span("legalize") as span:
-            stats = legalize(mir, machine)
-            span.set(ops_before=stats.ops_before, ops_after=stats.ops_after)
-        hazards = apply_restart_safety(
-            mir, machine, transform=restart_safe, tracer=tracer
-        )
-        with tracer.span("regalloc") as span:
-            allocation = (
-                allocator or LinearScanAllocator(tracer=tracer)
-            ).allocate(mir, machine)
-            span.set(allocator=allocation.allocator,
-                     spilled=allocation.n_spilled,
-                     registers=allocation.registers_used)
-        if composer is None:
-            composer = (
-                ListScheduler(tracer=tracer) if optimize
-                else SequentialComposer(tracer=tracer)
-            )
-        with tracer.span("compose") as span:
-            composed = compose_program(mir, machine, composer, tracer)
-            span.set(words=composed.n_instructions(),
-                     compaction=round(composed.compaction_ratio(), 3))
-        with tracer.span("assemble") as span:
-            loaded = assemble(composed, machine)
-            span.set(words=len(loaded))
-    return CompileResult(
-        mir=mir,
-        composed=composed,
-        loaded=loaded,
-        legalize_stats=stats,
-        allocation=allocation,
-        restart_hazards=hazards,
+    """Compile YALLL source for a machine (see :data:`PIPELINE`)."""
+    return PIPELINE.run(
+        source, machine, tracer=tracer, cache=cache, dump_after=dump_after,
+        name=name, optimize=optimize, composer=composer, allocator=allocator,
+        restart_safe=restart_safe,
     )

@@ -1,0 +1,46 @@
+"""Unified compilation pipeline (survey substrate S18).
+
+One declarative pass manager (:class:`Pipeline` of named
+:class:`Stage`\\ s over a shared :class:`CompileContext`) owns
+everything the five language drivers used to duplicate: cache
+wrapping, per-stage obs spans, legalization, §2.1.5 restart safety,
+conditional register allocation, composition and assembly.  Front
+ends contribute parse/sema/codegen stages plus a declaration of the
+shared tail (:func:`standard_tail`), and register a
+``LanguageSpec`` in :mod:`repro.registry`.
+"""
+
+from repro.pipeline.core import (
+    CompileContext,
+    Pipeline,
+    PipelineError,
+    Stage,
+    default_result,
+    render_state,
+)
+from repro.pipeline.result import CompileResult, Diagnostic
+from repro.pipeline.stages import (
+    assemble_stage,
+    compose_stage,
+    legalize_stage,
+    regalloc_stage,
+    restart_stage,
+    standard_tail,
+)
+
+__all__ = [
+    "CompileContext",
+    "CompileResult",
+    "Diagnostic",
+    "Pipeline",
+    "PipelineError",
+    "Stage",
+    "assemble_stage",
+    "compose_stage",
+    "default_result",
+    "legalize_stage",
+    "regalloc_stage",
+    "render_state",
+    "restart_stage",
+    "standard_tail",
+]

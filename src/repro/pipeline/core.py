@@ -1,0 +1,246 @@
+"""The declarative pass manager every front end compiles through.
+
+A :class:`Pipeline` is an ordered list of named :class:`Stage`\\ s over
+one shared :class:`CompileContext`.  The pipeline — not the front ends
+— owns every cross-cutting concern that PRs 1–3 had to hand-thread
+through five compiler drivers:
+
+* cache get-or-compile wrapping (``cache=``),
+* the ``compile`` span plus one obs span per stage, with each stage's
+  headline numbers attached as span attributes,
+* structured per-stage diagnostics collected on the context,
+* state dumps after any stage (``dump_after=``).
+
+A front end contributes its language-specific stages (parse, sema,
+codegen) and declares the shared tail (legalize, restart, regalloc,
+compose, assemble) from :mod:`repro.pipeline.stages`; adding a new
+cross-cutting feature is then one change here, not five.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ReproError
+from repro.machine.machine import MicroArchitecture
+from repro.obs.tracer import NULL_TRACER
+from repro.pipeline.result import CompileResult, Diagnostic
+from repro.regalloc.linear_scan import AllocationResult
+
+if TYPE_CHECKING:  # import at runtime would cycle through repro.lang
+    from repro.lang.common.legalize import LegalizeStats
+
+
+class PipelineError(ReproError):
+    """A pipeline was misconfigured or driven with bad arguments."""
+
+
+@dataclass
+class CompileContext:
+    """Everything one compilation carries between stages.
+
+    Stages read what earlier stages produced and fill in their own
+    slot; ``scratch`` holds language-private state (par groups,
+    codegen counters, explicit composition groups) without widening
+    the shared contract.
+    """
+
+    source: str
+    lang: str
+    machine: MicroArchitecture
+    options: dict
+    tracer: object = NULL_TRACER
+    # Produced along the way:
+    ast: object = None
+    mir: object = None
+    legalize_stats: LegalizeStats | None = None
+    allocation: AllocationResult | None = None
+    restart_hazards: list = field(default_factory=list)
+    composed: object = None
+    loaded: object = None
+    scratch: dict = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    dumps: dict[str, str] = field(default_factory=dict)
+
+    def opt(self, name: str, default=None):
+        """A compile option, falling back to ``default``."""
+        value = self.options.get(name)
+        return default if value is None else value
+
+    def warn(self, stage: str, name: str, **data) -> None:
+        """Record a degradation: tracer warning + warning diagnostic."""
+        self.tracer.warning(name, lang=self.lang, **data)
+        self.diagnostics.append(
+            Diagnostic(stage=stage, severity="warning",
+                       data={"event": name, **data})
+        )
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named pass: ``run(ctx)`` mutates the context.
+
+    ``run`` returns the stage's headline numbers (or ``None``); the
+    pipeline attaches them to the stage's obs span and records them as
+    the stage's info diagnostic.
+    """
+
+    name: str
+    run: Callable[[CompileContext], dict | None]
+
+
+def default_result(ctx: CompileContext) -> CompileResult:
+    """Build the standard :class:`CompileResult` from a finished context.
+
+    Front ends that skip legalization or allocation (S* binds
+    everything explicitly) get faithful placeholder records.
+    """
+    from repro.lang.common.legalize import LegalizeStats
+
+    n_ops = ctx.mir.n_ops() if ctx.mir is not None else 0
+    return CompileResult(
+        mir=ctx.mir,
+        composed=ctx.composed,
+        loaded=ctx.loaded,
+        legalize_stats=ctx.legalize_stats
+        or LegalizeStats(ops_before=n_ops, ops_after=n_ops),
+        allocation=ctx.allocation or AllocationResult(allocator="explicit-binding"),
+        restart_hazards=list(ctx.restart_hazards),
+        diagnostics=list(ctx.diagnostics),
+        dumps=dict(ctx.dumps),
+    )
+
+
+def render_state(ctx: CompileContext) -> str:
+    """The most-evolved program representation the context holds.
+
+    After assembly that is the control-store listing; after
+    composition the composed program; once codegen has run, the
+    micro-IR; before that, the AST.
+    """
+    if ctx.loaded is not None:
+        return ctx.loaded.listing(ctx.machine)
+    if ctx.composed is not None:
+        return str(ctx.composed)
+    if ctx.mir is not None:
+        return str(ctx.mir)
+    return repr(ctx.ast)
+
+
+def _cache_value(value):
+    """Canonicalize one option value for the content-address key.
+
+    Composer/allocator instances participate by ``name``/class name
+    only (their behaviour is fully determined by construction in
+    practice); plain values pass through.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return name
+    return type(value).__name__
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """A named sequence of stages compiled against one context.
+
+    Attributes:
+        lang: Language name (cache key component, span attribute).
+        stages: The ordered passes.
+        option_defaults: Every compile option the pipeline accepts,
+            with its default — unknown keywords are rejected, so a
+            typoed option fails loudly instead of silently compiling
+            with defaults.
+        result_factory: Builds the final result from the context
+            (front ends with extra counters override this).
+    """
+
+    lang: str
+    stages: tuple[Stage, ...]
+    option_defaults: dict = field(default_factory=dict)
+    result_factory: Callable[[CompileContext], CompileResult] = default_result
+
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def cache_options(self, options: dict) -> dict:
+        """The canonicalised option dict that keys the compile cache."""
+        return {name: _cache_value(value)
+                for name, value in sorted(options.items())}
+
+    def _resolve_options(self, options: dict) -> dict:
+        unknown = set(options) - set(self.option_defaults)
+        if unknown:
+            raise PipelineError(
+                f"{self.lang}: unknown compile option(s) "
+                f"{', '.join(sorted(unknown))}; accepted: "
+                f"{', '.join(sorted(self.option_defaults))}"
+            )
+        resolved = dict(self.option_defaults)
+        resolved.update(options)
+        return resolved
+
+    def _dump_stages(self, dump_after) -> frozenset:
+        if dump_after is None:
+            return frozenset()
+        if dump_after == "all":
+            return frozenset(self.stage_names())
+        requested = (
+            dump_after if isinstance(dump_after, (list, tuple, set, frozenset))
+            else [dump_after]
+        )
+        unknown = set(requested) - set(self.stage_names())
+        if unknown:
+            raise PipelineError(
+                f"{self.lang}: no stage named "
+                f"{', '.join(sorted(str(s) for s in unknown))}; stages are "
+                f"{', '.join(self.stage_names())}"
+            )
+        return frozenset(requested)
+
+    def run(
+        self,
+        source: str,
+        machine: MicroArchitecture,
+        *,
+        tracer=NULL_TRACER,
+        cache=None,
+        dump_after=None,
+        **options,
+    ) -> CompileResult:
+        """Compile ``source`` for ``machine`` through every stage.
+
+        ``cache`` (a :class:`repro.cache.CompileCache`) short-circuits
+        recompilation of identical (source, language, machine
+        description, options) inputs.  ``dump_after`` (a stage name, a
+        collection of them, or ``"all"``) captures the rendered
+        program state after the named stage(s) into ``result.dumps``
+        — and bypasses the cache, since a cached result carries no
+        dumps.
+        """
+        resolved = self._resolve_options(options)
+        if cache is not None and dump_after is None:
+            return cache.get_or_compile(
+                source, self.lang, machine,
+                self.cache_options(resolved),
+                lambda: self.run(source, machine, tracer=tracer, **resolved),
+                tracer=tracer,
+            )
+        dump_stages = self._dump_stages(dump_after)
+        ctx = CompileContext(
+            source=source, lang=self.lang, machine=machine,
+            options=resolved, tracer=tracer,
+        )
+        with tracer.span("compile", lang=self.lang, machine=machine.name):
+            for stage in self.stages:
+                with tracer.span(stage.name) as span:
+                    info = stage.run(ctx) or {}
+                    if info:
+                        span.set(**info)
+                ctx.diagnostics.append(Diagnostic(stage=stage.name, data=info))
+                if stage.name in dump_stages:
+                    ctx.dumps[stage.name] = render_state(ctx)
+        return self.result_factory(ctx)

@@ -1,0 +1,151 @@
+"""The shared pipeline tail every front end declares.
+
+These factories build the cross-cutting stages — legalize, restart
+safety, register allocation, composition, assembly — that the five
+language drivers used to hand-roll.  Each returns a plain
+:class:`~repro.pipeline.core.Stage`; front ends pick the variants that
+match their semantics (e.g. allocation policy ``"auto"`` for
+programmer-bound languages, ``transform=False`` where the §2.1.5
+idempotence transform cannot place temporaries).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.asm.assembler import assemble
+from repro.compose.base import compose_program
+from repro.pipeline.core import CompileContext, Stage
+from repro.regalloc.linear_scan import AllocationResult, LinearScanAllocator
+
+
+def legalize_stage() -> Stage:
+    """Rewrite the micro-IR into machine-legal operations."""
+
+    def run(ctx: CompileContext) -> dict:
+        # Lazy: a top-level import of repro.lang.common would trigger
+        # repro.lang's package init, which imports the front ends,
+        # which import this module — a cycle.
+        from repro.lang.common.legalize import legalize
+
+        stats = legalize(ctx.mir, ctx.machine)
+        ctx.legalize_stats = stats
+        return {"ops_before": stats.ops_before, "ops_after": stats.ops_after}
+
+    return Stage("legalize", run)
+
+
+def restart_stage(transform_available: bool = True) -> Stage:
+    """§2.1.5 restart-hazard analysis, and the idempotence transform
+    when ``restart_safe=True`` and the language can host it.
+
+    Languages that bind registers explicitly (S*) pass
+    ``transform_available=False``: hazards are analyzed and reported,
+    and asking for the transform anyway degrades to a warning — the
+    programmer must restructure by hand, as the survey's schema model
+    implies.
+    """
+
+    def run(ctx: CompileContext) -> dict:
+        from repro.lang.common.restart import apply_restart_safety
+
+        requested = bool(ctx.opt("restart_safe", False))
+        transform = requested and transform_available
+        ctx.restart_hazards = apply_restart_safety(
+            ctx.mir, ctx.machine, transform=transform, tracer=ctx.tracer
+        )
+        if requested and not transform_available and ctx.restart_hazards:
+            ctx.warn(
+                "restart", "restart.transform_unavailable",
+                hazards=len(ctx.restart_hazards),
+                detail=f"{ctx.lang} binds registers explicitly; "
+                       "restructure by hand",
+            )
+        return {"hazards": len(ctx.restart_hazards),
+                "transformed": transform}
+
+    return Stage("restart", run)
+
+
+def regalloc_stage(policy: str = "always") -> Stage:
+    """Bind virtual registers to physical ones.
+
+    ``policy="always"`` runs an allocator unconditionally (symbolic
+    variable languages).  ``policy="auto"`` allocates only when
+    virtuals remain — programmer-bound languages normally have none,
+    but legalization and the restart transform may introduce
+    temporaries.  The allocator comes from the ``allocator`` option,
+    a language-chosen default stashed in ``ctx.scratch["allocator"]``
+    (YALLL's par-aware graph colouring), or linear scan.
+    """
+    if policy not in ("always", "auto"):
+        raise ValueError(f"unknown regalloc policy {policy!r}")
+
+    def run(ctx: CompileContext) -> dict:
+        allocator = ctx.opt("allocator") or ctx.scratch.get("allocator")
+        if policy == "auto" and allocator is None and not ctx.mir.virtual_regs():
+            ctx.allocation = AllocationResult(allocator="none")
+        else:
+            allocator = allocator or LinearScanAllocator(tracer=ctx.tracer)
+            ctx.allocation = allocator.allocate(ctx.mir, ctx.machine)
+        return {"allocator": ctx.allocation.allocator,
+                "spilled": ctx.allocation.n_spilled,
+                "registers": ctx.allocation.registers_used}
+
+    return Stage("regalloc", run)
+
+
+def compose_stage(
+    default_composer: Callable[[CompileContext], object],
+) -> Stage:
+    """Pack micro-operations into microinstructions.
+
+    The ``composer`` option wins; otherwise ``default_composer(ctx)``
+    supplies the language's historical choice (which may depend on
+    other options — YALLL's ``optimize`` toggle — or on codegen
+    results — S*'s explicit groups).
+    """
+
+    def run(ctx: CompileContext) -> dict:
+        composer = ctx.opt("composer") or default_composer(ctx)
+        ctx.composed = compose_program(ctx.mir, ctx.machine, composer,
+                                       ctx.tracer)
+        return {"words": ctx.composed.n_instructions(),
+                "compaction": round(ctx.composed.compaction_ratio(), 3)}
+
+    return Stage("compose", run)
+
+
+def assemble_stage() -> Stage:
+    """Encode the composed program into loadable control words."""
+
+    def run(ctx: CompileContext) -> dict:
+        ctx.loaded = assemble(ctx.composed, ctx.machine)
+        return {"words": len(ctx.loaded)}
+
+    return Stage("assemble", run)
+
+
+def standard_tail(
+    *,
+    legalize: bool = True,
+    transform_available: bool = True,
+    regalloc: str | None = "always",
+    default_composer: Callable[[CompileContext], object],
+) -> tuple[Stage, ...]:
+    """The shared back half of a front end's pipeline.
+
+    ``legalize=False`` / ``regalloc=None`` drop those stages entirely
+    (S* programs are written against the machine's actual
+    micro-operations and registers; anything else is a semantic
+    error there).
+    """
+    stages: list[Stage] = []
+    if legalize:
+        stages.append(legalize_stage())
+    stages.append(restart_stage(transform_available=transform_available))
+    if regalloc is not None:
+        stages.append(regalloc_stage(policy=regalloc))
+    stages.append(compose_stage(default_composer))
+    stages.append(assemble_stage())
+    return tuple(stages)

@@ -1,0 +1,57 @@
+"""Layering lint: no front end may import from a sibling front end.
+
+``CompileResult`` used to live in ``repro.lang.yalll.compiler`` and the
+other four languages imported it from there — exactly the coupling this
+test now forbids.  Shared machinery belongs in ``repro.lang.common`` or
+``repro.pipeline``.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent.parent / "src" / "repro" / "lang"
+
+#: Front-end packages (``common`` is the sanctioned shared layer).
+FRONT_ENDS = sorted(
+    p.name for p in SRC.iterdir()
+    if p.is_dir() and p.name not in {"common", "__pycache__"}
+)
+
+MODULES = sorted(
+    path for lang in FRONT_ENDS for path in (SRC / lang).rglob("*.py")
+)
+
+
+def _imported_modules(path: Path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level == 0:  # relative imports stay in-package
+                yield node.module
+
+
+def test_corpus_sanity():
+    assert FRONT_ENDS == ["empl", "mpl", "simpl", "sstar", "yalll"]
+    assert MODULES
+
+
+@pytest.mark.parametrize(
+    "path", MODULES, ids=[str(p.relative_to(SRC)) for p in MODULES]
+)
+def test_no_cross_frontend_imports(path):
+    lang = path.relative_to(SRC).parts[0]
+    offences = [
+        module
+        for module in _imported_modules(path)
+        if module.startswith("repro.lang.")
+        and module.split(".")[2] not in ("common", lang)
+    ]
+    assert not offences, (
+        f"{path.relative_to(SRC)} imports sibling front end(s) "
+        f"{offences}; share through repro.lang.common or repro.pipeline"
+    )

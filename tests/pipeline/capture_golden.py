@@ -1,0 +1,56 @@
+"""Regenerate ``golden_compile.json`` from the current front ends.
+
+Run from the repository root::
+
+    PYTHONPATH=src:tests python tests/pipeline/capture_golden.py
+
+The checked-in JSON was captured from the pre-pipeline drivers (PR 3
+state); ``test_golden_equivalence.py`` pins the unified pipeline to
+it.  Only regenerate when output is *supposed* to change, and say why
+in the commit message.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from golden_programs import GOLDEN_MACHINES, GOLDEN_SOURCES, snapshot  # noqa: E402
+
+from repro.lang import (  # noqa: E402
+    compile_empl,
+    compile_mpl,
+    compile_simpl,
+    compile_sstar,
+    compile_yalll,
+)
+from repro.machine.machines import get_machine  # noqa: E402
+
+COMPILERS = {
+    "simpl": compile_simpl,
+    "empl": compile_empl,
+    "sstar": compile_sstar,
+    "yalll": compile_yalll,
+    "mpl": compile_mpl,
+}
+
+
+def main() -> None:
+    golden: dict[str, dict] = {}
+    for lang, source in sorted(GOLDEN_SOURCES.items()):
+        for machine_name in GOLDEN_MACHINES:
+            for restart_safe in (False, True):
+                machine = get_machine(machine_name)
+                result = COMPILERS[lang](
+                    source, machine, restart_safe=restart_safe
+                )
+                key = f"{lang}/{machine_name}/restart={int(restart_safe)}"
+                golden[key] = snapshot(result)
+    out = Path(__file__).parent / "golden_compile.json"
+    out.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print(f"captured {len(golden)} cells -> {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""The golden-equivalence corpus: one program per language.
+
+The same multiply-by-repeated-addition algorithm, expressed once per
+front end, compilable on HM1, CM1 and VM1 alike.  Used both by the
+capture script (``capture_golden.py``) and the equivalence tests
+(``test_golden_equivalence.py``).
+"""
+
+GOLDEN_MACHINES = ("HM1", "CM1", "VM1")
+
+SIMPL_MUL = """
+program mul;
+begin
+    R0 -> R3;
+    while R2 # 0 do
+    begin
+        R3 + R1 -> R3;
+        R2 - ONE -> R2;
+    end;
+end
+"""
+
+EMPL_MUL = """
+DECLARE A FIXED;
+DECLARE B FIXED;
+DECLARE P FIXED;
+A = 5;
+B = 7;
+P = 0;
+WHILE B # 0 DO;
+    P = P + A;
+    B = B - 1;
+END;
+"""
+
+SSTAR_MUL = """
+program mul;
+var a : seq [15..0] bit bind R1;
+var n : seq [15..0] bit bind R2;
+var p : seq [15..0] bit bind R3;
+begin
+  p := 0;
+  while n <> 0 do
+  begin
+    p := p + a;
+    n := n - 1
+  end
+end
+"""
+
+YALLL_MUL = """
+    put p,0
+loop:
+    jump out if n = 0
+    add p,p,a
+    sub n,n,1
+    jump loop
+out:
+    exit p
+"""
+
+MPL_MUL = """
+program mul;
+begin
+    R0 -> R3;
+    while R2 # 0 do
+    begin
+        R3 + R1 -> R3;
+        R2 - ONE -> R2;
+    end;
+end
+"""
+
+GOLDEN_SOURCES = {
+    "simpl": SIMPL_MUL,
+    "empl": EMPL_MUL,
+    "sstar": SSTAR_MUL,
+    "yalll": YALLL_MUL,
+    "mpl": MPL_MUL,
+}
+
+
+def snapshot(result) -> dict:
+    """The comparable projection of one compile result.
+
+    Pins exactly what the acceptance criterion names: loaded control
+    words (bit-for-bit), legalize stats, allocation, restart hazards.
+    """
+    return {
+        "words": [word.word for word in result.loaded.words],
+        "entry": result.loaded.entry,
+        "labels": dict(sorted(result.loaded.labels.items())),
+        "legalize": {
+            "ops_before": result.legalize_stats.ops_before,
+            "ops_after": result.legalize_stats.ops_after,
+            "expansions": dict(sorted(result.legalize_stats.expansions.items())),
+            "multiway_lowered": result.legalize_stats.multiway_lowered,
+        },
+        "allocation": {
+            "allocator": result.allocation.allocator,
+            "mapping": dict(sorted(result.allocation.mapping.items())),
+            "spilled_slots": dict(sorted(result.allocation.spilled_slots.items())),
+            "registers_used": result.allocation.registers_used,
+        },
+        "restart_hazards": [str(h) for h in result.restart_hazards],
+    }

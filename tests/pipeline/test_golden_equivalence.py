@@ -1,0 +1,47 @@
+"""Golden equivalence: the unified pipeline vs the pre-refactor drivers.
+
+``golden_compile.json`` was captured from the per-language drivers
+*before* they were rebuilt on ``repro.pipeline`` (see
+``capture_golden.py``).  Every cell — 5 languages x {HM1, CM1, VM1} x
+restart_safe on/off — must still come out byte-identical: loaded
+control words, legalize stats, allocation and restart hazards.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.registry import get_language
+from repro.machine.machines import get_machine
+
+from .golden_programs import GOLDEN_MACHINES, GOLDEN_SOURCES, snapshot
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_compile.json").read_text()
+)
+
+CELLS = [
+    (lang, machine_name, restart_safe)
+    for lang in sorted(GOLDEN_SOURCES)
+    for machine_name in GOLDEN_MACHINES
+    for restart_safe in (False, True)
+]
+
+
+def test_golden_corpus_is_complete():
+    assert len(GOLDEN) == len(CELLS) == 30
+
+
+@pytest.mark.parametrize(
+    "lang,machine_name,restart_safe",
+    CELLS,
+    ids=[f"{l}-{m}-restart{int(r)}" for l, m, r in CELLS],
+)
+def test_pipeline_matches_golden(lang, machine_name, restart_safe):
+    machine = get_machine(machine_name)
+    result = get_language(lang).compile(
+        GOLDEN_SOURCES[lang], machine, restart_safe=restart_safe
+    )
+    key = f"{lang}/{machine_name}/restart={int(restart_safe)}"
+    assert snapshot(result) == GOLDEN[key]

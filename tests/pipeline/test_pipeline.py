@@ -1,0 +1,185 @@
+"""Pipeline mechanics: options, dumps, diagnostics, cache interplay."""
+
+import pytest
+
+from repro.cache import CompileCache
+from repro.machine.machines import get_machine
+from repro.pipeline import CompileResult, Pipeline, PipelineError, Stage
+from repro.registry import get_language
+
+from .golden_programs import GOLDEN_SOURCES
+
+YALLL_MUL = GOLDEN_SOURCES["yalll"]
+
+
+@pytest.fixture
+def hm1():
+    return get_machine("HM1")
+
+
+class TestOptions:
+    def test_unknown_option_rejected(self, hm1):
+        with pytest.raises(PipelineError, match="unknown compile option"):
+            get_language("yalll").compile(YALLL_MUL, hm1, optimise=True)
+
+    def test_error_names_accepted_options(self, hm1):
+        with pytest.raises(PipelineError, match="optimize"):
+            get_language("yalll").compile(YALLL_MUL, hm1, bogus=1)
+
+    def test_explicit_none_means_default(self, hm1):
+        spec = get_language("yalll")
+        a = spec.compile(YALLL_MUL, hm1, composer=None)
+        b = spec.compile(YALLL_MUL, hm1)
+        assert [w.word for w in a.loaded.words] == \
+            [w.word for w in b.loaded.words]
+
+
+class TestDumpAfter:
+    def test_single_stage(self, hm1):
+        result = get_language("yalll").compile(
+            YALLL_MUL, hm1, dump_after="codegen"
+        )
+        assert set(result.dumps) == {"codegen"}
+        assert "program" in result.dumps["codegen"]
+
+    def test_all_stages(self, hm1):
+        spec = get_language("yalll")
+        result = spec.compile(YALLL_MUL, hm1, dump_after="all")
+        assert set(result.dumps) == set(spec.stage_names())
+
+    def test_collection_of_stages(self, hm1):
+        result = get_language("yalll").compile(
+            YALLL_MUL, hm1, dump_after=("parse", "assemble")
+        )
+        assert set(result.dumps) == {"parse", "assemble"}
+
+    def test_unknown_stage_rejected(self, hm1):
+        with pytest.raises(PipelineError, match="no stage named"):
+            get_language("yalll").compile(
+                YALLL_MUL, hm1, dump_after="linking"
+            )
+
+    def test_final_dump_is_the_listing(self, hm1):
+        result = get_language("yalll").compile(
+            YALLL_MUL, hm1, dump_after="assemble"
+        )
+        assert "control words" in result.dumps["assemble"] \
+            or "0000" in result.dumps["assemble"]
+
+
+class TestDiagnostics:
+    def test_one_info_diagnostic_per_stage(self, hm1):
+        spec = get_language("yalll")
+        result = spec.compile(YALLL_MUL, hm1)
+        info_stages = [d.stage for d in result.diagnostics
+                       if d.severity == "info"]
+        assert info_stages == list(spec.stage_names())
+
+    def test_stage_diagnostic_lookup(self, hm1):
+        result = get_language("yalll").compile(YALLL_MUL, hm1)
+        diag = result.stage_diagnostic("assemble")
+        assert diag is not None and diag.data["words"] == len(result.loaded)
+        assert result.stage_diagnostic("linking") is None
+
+    def test_sstar_restart_warning(self):
+        # S* has no allocator to place temporaries: asking for the
+        # restart transform degrades to analysis, with a warning.
+        # Only VAXm has macro-visible registers, so hazards need it.
+        source = """
+program t;
+var addr : seq [15..0] bit bind R1;
+var v : seq [15..0] bit bind R2;
+begin
+  v := 1;
+  write(addr, v)
+end
+"""
+        result = get_language("sstar").compile(
+            source, get_machine("VAXm"), restart_safe=True
+        )
+        assert result.restart_hazards
+        events = [w.data.get("event") for w in result.warnings()]
+        assert "restart.transform_unavailable" in events
+
+
+class TestCacheInterplay:
+    def test_second_compile_hits(self, hm1):
+        cache = CompileCache()
+        spec = get_language("yalll")
+        first = spec.compile(YALLL_MUL, hm1, cache=cache)
+        second = spec.compile(YALLL_MUL, hm1, cache=cache)
+        assert second is first
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_option_change_misses(self, hm1):
+        cache = CompileCache()
+        spec = get_language("yalll")
+        spec.compile(YALLL_MUL, hm1, cache=cache, optimize=True)
+        spec.compile(YALLL_MUL, hm1, cache=cache, optimize=False)
+        assert cache.stats.misses == 2
+
+    def test_dump_after_bypasses_cache(self, hm1):
+        cache = CompileCache()
+        spec = get_language("yalll")
+        spec.compile(YALLL_MUL, hm1, cache=cache)
+        result = spec.compile(
+            YALLL_MUL, hm1, cache=cache, dump_after="assemble"
+        )
+        assert result.dumps  # fresh compile, not the dumpless cached one
+        assert cache.stats.hits == 0
+
+    def test_cross_language_no_collision(self, hm1):
+        cache = CompileCache()
+        get_language("simpl").compile(
+            GOLDEN_SOURCES["simpl"], hm1, cache=cache
+        )
+        get_language("mpl").compile(
+            GOLDEN_SOURCES["simpl"], hm1, cache=cache
+        )
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+
+
+class TestCustomPipeline:
+    """The pass manager itself, on a toy two-stage pipeline."""
+
+    def build(self):
+        def parse(ctx):
+            ctx.ast = ctx.source.split()
+            return {"tokens": len(ctx.ast)}
+
+        def fail(ctx):
+            raise ValueError("boom")
+
+        good = Pipeline(
+            lang="toy",
+            stages=(Stage("parse", parse),),
+            option_defaults={"flag": False},
+            result_factory=lambda ctx: ctx.ast,
+        )
+        bad = Pipeline(
+            lang="toy",
+            stages=(Stage("parse", parse), Stage("explode", fail)),
+            result_factory=lambda ctx: ctx.ast,
+        )
+        return good, bad
+
+    def test_stage_info_recorded(self, hm1):
+        good, _ = self.build()
+        assert good.run("a b c", hm1) == ["a", "b", "c"]
+
+    def test_stage_exception_propagates(self, hm1):
+        _, bad = self.build()
+        with pytest.raises(ValueError, match="boom"):
+            bad.run("a b", hm1)
+
+    def test_stage_names(self):
+        good, _ = self.build()
+        assert good.stage_names() == ("parse",)
+
+
+def test_compile_result_helpers(hm1):
+    result = get_language("yalll").compile(YALLL_MUL, hm1)
+    assert isinstance(result, CompileResult)
+    assert result.n_instructions == len(result.loaded)
+    assert result.n_ops == result.composed.n_ops()
+    assert result.restart_safe == (not result.restart_hazards)

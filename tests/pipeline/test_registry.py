@@ -1,0 +1,61 @@
+"""The language/machine registry — the single dispatch point."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.registry import (
+    LanguageSpec,
+    RegistryError,
+    build_machine,
+    get_language,
+    get_machine_spec,
+    language_names,
+    machine_names,
+)
+
+
+class TestLanguages:
+    def test_all_five_registered(self):
+        assert language_names() == ["empl", "mpl", "simpl", "sstar", "yalll"]
+
+    def test_spec_shape(self):
+        spec = get_language("yalll")
+        assert isinstance(spec, LanguageSpec)
+        assert spec.section == "2.2.4"
+        assert spec.has("symbolic_variables")
+        assert not spec.has("programmer_binding")
+        assert "assemble" in spec.stage_names()
+
+    def test_unknown_language(self):
+        with pytest.raises(RegistryError, match="unknown language"):
+            get_language("cobol")
+
+    def test_capability_split(self):
+        # The survey's binding axis: symbolic-variable languages
+        # allocate, programmer-binding languages don't need to.
+        symbolic = {n for n in language_names()
+                    if get_language(n).has("symbolic_variables")}
+        binding = {n for n in language_names()
+                   if get_language(n).has("programmer_binding")}
+        assert symbolic == {"empl", "yalll"}
+        assert binding == {"simpl", "sstar", "mpl"}
+        assert not symbolic & binding
+
+
+class TestMachines:
+    def test_all_registered(self):
+        assert machine_names() == [
+            "HM1", "CM1", "HP300m", "VAXm", "VM1", "ID3200m"
+        ]
+
+    def test_spec_and_build(self):
+        spec = get_machine_spec("VM1")
+        assert spec.organisation == "vertical"
+        machine = build_machine("VM1")
+        assert machine.vertical
+
+    def test_unknown_machine_is_machine_error(self):
+        # Back-compat: get_machine("PDP-11") raised MachineError before
+        # the registry existed, and callers catch that type.
+        with pytest.raises(MachineError, match="unknown machine"):
+            get_machine_spec("PDP-11")

@@ -103,3 +103,41 @@ class TestOther:
             "cobegin x := y; y := x coend", "begin x := y; y := x end"
         ))
         assert main(["verify", str(bad)]) == 1
+
+
+class TestLanguages:
+    def test_lists_languages_and_machines(self, capsys):
+        assert main(["languages"]) == 0
+        out = capsys.readouterr().out
+        for lang in ("simpl", "empl", "sstar", "yalll", "mpl"):
+            assert lang in out
+        for machine in ("HM1", "VM1", "VAXm"):
+            assert machine in out
+
+    def test_shows_stages_and_capabilities(self, capsys):
+        assert main(["languages"]) == 0
+        out = capsys.readouterr().out
+        assert "parse -> " in out and "-> assemble" in out
+        assert "symbolic_variables" in out
+        assert "programmer_binding" in out
+
+
+class TestDumpAfter:
+    def test_single_stage(self, yalll_file, capsys):
+        assert main(["compile", yalll_file, "--lang", "yalll",
+                     "--dump-after", "regalloc"]) == 0
+        out = capsys.readouterr().out
+        assert "--- after regalloc ---" in out
+
+    def test_all_stages(self, yalll_file, capsys):
+        assert main(["compile", yalll_file, "--lang", "yalll",
+                     "--dump-after", "all"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("parse", "codegen", "legalize", "regalloc",
+                      "compose", "assemble"):
+            assert f"--- after {stage} ---" in out
+
+    def test_unknown_stage_is_clean_failure(self, yalll_file, capsys):
+        assert main(["compile", yalll_file, "--lang", "yalll",
+                     "--dump-after", "linking"]) == 2
+        assert "no stage named" in capsys.readouterr().err
