@@ -26,6 +26,28 @@ _OP_MIX = [
 ]
 
 
+def _supported_mix(
+    machine: MicroArchitecture,
+    op_mix: list[tuple[str, int, bool]] | None,
+) -> list[tuple[str, int, bool]]:
+    """The subset of the op mix the machine implements.
+
+    Raises instead of silently returning an empty mix — an empty pool
+    used to surface only later as an opaque ``rng.choice`` crash on
+    machines supporting none of the default ops.
+    """
+    mix = _OP_MIX if op_mix is None else list(op_mix)
+    supported = [entry for entry in mix if machine.has_op(entry[0])]
+    if not supported:
+        requested = ", ".join(entry[0] for entry in mix)
+        raise ValueError(
+            f"machine {machine.name!r} supports none of the workload "
+            f"op mix ({requested}); pass op_mix= with micro-operations "
+            f"the machine implements"
+        )
+    return supported
+
+
 def random_block(
     machine: MicroArchitecture,
     n_ops: int,
@@ -34,13 +56,15 @@ def random_block(
     registers: list[str] | None = None,
     virtual: bool = False,
     label: str = "blk",
+    op_mix: list[tuple[str, int, bool]] | None = None,
 ) -> BasicBlock:
     """A random straight-line block.
 
     ``reuse`` in [0, 1] controls dependence density: the probability a
     source operand picks an already-written register rather than a
     fresh/random one.  Higher reuse → longer dependence chains → less
-    exploitable parallelism.
+    exploitable parallelism.  ``op_mix`` overrides the default op pool
+    with explicit ``(name, n_reg_srcs, has_imm_count)`` entries.
     """
     rng = random.Random(seed)
     if registers is None:
@@ -49,9 +73,7 @@ def random_block(
         else:
             registers = [r.name for r in machine.registers.allocatable(GPR)]
     make = (lambda n: vreg(n)) if virtual else (lambda n: preg(n))
-    ops_supported = [
-        entry for entry in _OP_MIX if machine.has_op(entry[0])
-    ]
+    ops_supported = _supported_mix(machine, op_mix)
     block = BasicBlock(label)
     written: list[str] = []
     for _ in range(n_ops):
@@ -79,17 +101,18 @@ def random_program(
     reuse: float = 0.5,
     virtual: bool = True,
     n_variables: int | None = None,
+    op_mix: list[tuple[str, int, bool]] | None = None,
 ) -> MicroProgram:
     """A random multi-block program over symbolic variables.
 
     Used by the register-pressure sweep (E8): ``n_variables`` controls
-    pressure directly.
+    pressure directly.  ``op_mix`` overrides the default op pool.
     """
     rng = random.Random(seed)
     builder = ProgramBuilder(f"rand{seed}", machine)
     names = [f"v{i}" for i in range(n_variables or ops_per_block)]
     make = (lambda n: vreg(n)) if virtual else (lambda n: preg(n))
-    ops_supported = [entry for entry in _OP_MIX if machine.has_op(entry[0])]
+    ops_supported = _supported_mix(machine, op_mix)
 
     builder.start_block("entry")
     # Give every variable an initial value so liveness is total.

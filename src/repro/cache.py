@@ -102,10 +102,35 @@ def machine_fingerprint(machine) -> str:
     return digest[:16]
 
 
+def _canonical_value(value) -> str:
+    """Render one option value insertion-order-independently.
+
+    ``repr()`` of a dict (or of a list holding one) bakes insertion
+    order into the cache key, so two equal option dicts built in
+    different orders silently keyed different entries.  Canonicalize
+    recursively: mappings sort by key at every level, sequences keep
+    their order but canonicalize elements, sets sort.
+    """
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{k!r}:{_canonical_value(v)}" for k, v in sorted(value.items())
+        )
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        rendered = ",".join(_canonical_value(v) for v in value)
+        return ("[" if isinstance(value, list) else "(") + rendered + \
+            ("]" if isinstance(value, list) else ")")
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical_value(v) for v in value)) + "}"
+    return repr(value)
+
+
 def _canonical_options(options: dict | None) -> str:
     if not options:
         return ""
-    return ";".join(f"{k}={options[k]!r}" for k in sorted(options))
+    return ";".join(
+        f"{k}={_canonical_value(options[k])}" for k in sorted(options)
+    )
 
 
 def compile_key(
@@ -133,6 +158,8 @@ class CacheStats:
     misses: int = 0
     disk_hits: int = 0
     evictions: int = 0
+    #: On-disk entries that failed to unpickle and were evicted.
+    corrupt: int = 0
 
     def probes(self) -> int:
         return self.hits + self.misses
@@ -147,6 +174,7 @@ class CacheStats:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
             "hit_rate": round(self.hit_rate(), 4),
         }
 
@@ -194,8 +222,17 @@ class CompileCache:
             return None
         return self.disk_dir / f"{key}.pkl"
 
-    def get(self, key: str):
-        """Memory tier, then disk tier; None on a full miss."""
+    def get(self, key: str, tracer=None):
+        """Memory tier, then disk tier; None on a full miss.
+
+        A corrupt or stale on-disk entry (truncated pickle, an older
+        ``CACHE_FORMAT``'s object layout, …) is a miss — and the bad
+        file is *unlinked* so every later probe of the same key does
+        not re-read and re-fail on it.  Evictions of this kind count
+        into :attr:`CacheStats.corrupt` and emit a ``cache.corrupt``
+        instant event.
+        """
+        tracer = self.tracer if tracer is None else tracer
         entry = self._memory.get(key)
         if entry is not None:
             self._memory.move_to_end(key)
@@ -205,8 +242,18 @@ class CompileCache:
             try:
                 with path.open("rb") as handle:
                     entry = pickle.load(handle)
-            except Exception:
-                return None  # corrupt/stale entry: treat as a miss
+            except Exception as error:
+                self.stats.corrupt += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # a concurrent reader may have evicted it first
+                if tracer.enabled:
+                    tracer.instant(
+                        "cache.corrupt", cat="cache",
+                        key=key[:12], error=type(error).__name__,
+                    )
+                return None
             self.stats.disk_hits += 1
             self._remember(key, entry)
             return entry
@@ -245,7 +292,7 @@ class CompileCache:
         """The front-end entry point: probe, else ``build()`` and store."""
         tracer = self.tracer if tracer is None else tracer
         key = self.key(source, lang, machine, options)
-        result = self.get(key)
+        result = self.get(key, tracer=tracer)
         if result is not None:
             self.stats.hits += 1
             if tracer.enabled:

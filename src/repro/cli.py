@@ -30,6 +30,7 @@ takes to appear in every command here.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -278,6 +279,40 @@ def cmd_campaign(args) -> int:
     return 1 if violations else 0
 
 
+def cmd_difftest(args) -> int:
+    from repro.difftest import run_difftest, self_check
+
+    tracer = _tracer_for(args)
+    if args.self_check:
+        report = self_check(
+            seed=args.seed, budget=min(args.budget, 10), tracer=tracer,
+        )
+        print("self-check passed: planted engine bug found and shrunk "
+              f"({len(report.divergences)} divergence(s))")
+        return 0
+    report = run_difftest(
+        seed=args.seed,
+        budget=args.budget,
+        langs=tuple(args.langs) if args.langs else None,
+        machines=tuple(args.machines),
+        axes=tuple(args.axes),
+        corpus_dir=args.corpus_dir,
+        reduce=not args.no_reduce,
+        size=args.size,
+        tracer=tracer,
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.stats:
+        print()
+        print(render_compile_report(tracer.events))
+    if args.trace:
+        _write_trace(tracer.events, args.trace)
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -420,6 +455,48 @@ def build_parser() -> argparse.ArgumentParser:
                                       "as Chrome trace-event JSON")
     campaign_parser.add_argument("--stats", action="store_true")
     campaign_parser.set_defaults(handler=cmd_campaign)
+
+    difftest_parser = sub.add_parser(
+        "difftest",
+        help="differential-test the engines, cache, restart transform "
+             "and campaign sharding over generated programs",
+    )
+    difftest_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; case i reproduces from seed and i alone")
+    difftest_parser.add_argument(
+        "--budget", type=int, default=200, metavar="N",
+        help="generated cases to run (default 200)")
+    difftest_parser.add_argument(
+        "--langs", nargs="+", choices=language_names(), metavar="LANG",
+        help="languages to generate for (default: all with generators)")
+    difftest_parser.add_argument(
+        "--machines", nargs="+", default=["HM1", "CM1", "VM1"],
+        choices=machine_names(), metavar="MACHINE",
+        help="target machines (default: HM1 CM1 VM1)")
+    difftest_parser.add_argument(
+        "--axes", nargs="+", default=["engine", "cache", "restart", "shards"],
+        choices=("engine", "cache", "restart", "shards"), metavar="AXIS",
+        help="axis pairs to diff (default: all four)")
+    difftest_parser.add_argument(
+        "--corpus-dir", metavar="DIR",
+        help="write self-contained JSON reproducers for divergences here")
+    difftest_parser.add_argument(
+        "--size", type=int, metavar="N",
+        help="statements per generated program (default: seeded 6-18)")
+    difftest_parser.add_argument(
+        "--no-reduce", action="store_true",
+        help="skip shrinking diverging programs")
+    difftest_parser.add_argument(
+        "--self-check", action="store_true",
+        help="plant a decoded-engine bug and prove it is found + shrunk")
+    difftest_parser.add_argument("--json", action="store_true",
+                                 help="machine-readable report")
+    difftest_parser.add_argument("--trace", metavar="FILE",
+                                 help="write difftest.case/divergence "
+                                      "events as Chrome trace-event JSON")
+    difftest_parser.add_argument("--stats", action="store_true")
+    difftest_parser.set_defaults(handler=cmd_difftest)
     return parser
 
 

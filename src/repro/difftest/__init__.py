@@ -1,0 +1,51 @@
+"""Differential-testing subsystem (survey substrate S19).
+
+The toolkit carries a growing set of *equivalence promises*: the
+decoded and interpretive simulator engines are observably identical,
+a cache hit returns exactly what a fresh compile would, the §2.1.5
+restart-safety transform preserves trap-free semantics, and sharded
+campaign reports are byte-identical to serial ones.  Each promise is
+pinned by hand-written golden programs — a handful of points in a
+very large program space.
+
+``repro.difftest`` makes those promises *mechanically* testable, the
+way N-version differential execution does for compilers (Csmith and
+friends): seeded per-language source generators produce random but
+deterministic programs for every registered front end, an oracle runs
+each program under configurable **axis pairs** and diffs every
+observable (control words, cycle counts, final state, profiles), and
+a greedy reducer shrinks any diverging program to a minimal
+self-contained reproducer.
+
+Entry points:
+
+* :func:`repro.difftest.harness.run_difftest` — the campaign loop
+  (also ``python -m repro difftest``);
+* :func:`repro.difftest.oracle.run_axis` — one case, one axis;
+* :func:`repro.difftest.reducer.reduce_source` — shrink a reproducer;
+* :mod:`repro.difftest.generators` — the per-language generators,
+  registered in :mod:`repro.registry` via ``register_generator``.
+"""
+
+from repro.difftest.generators import GeneratedCase, generate_case
+from repro.difftest.harness import DifftestReport, run_difftest, self_check
+from repro.difftest.oracle import (
+    AXES,
+    Divergence,
+    Observation,
+    run_axis,
+)
+from repro.difftest.reducer import reduce_source
+
+__all__ = [
+    "AXES",
+    "DifftestReport",
+    "Divergence",
+    "GeneratedCase",
+    "Observation",
+    "generate_case",
+    "reduce_source",
+    "run_axis",
+    "run_difftest",
+    "self_check",
+]

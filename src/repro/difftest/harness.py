@@ -1,0 +1,291 @@
+"""The difftest campaign loop: generate, cross-check, shrink, report.
+
+One campaign walks a seeded case stream round-robin over the selected
+languages and machines: case ``i`` gets language ``langs[i % L]``,
+machine ``machines[(i // L) % M]`` and per-case seed
+``seed * 1_000_003 + i`` — so any reported case is reproducible from
+the campaign seed and its index alone, and every (language, machine)
+cell is visited evenly regardless of budget.
+
+Axis thinning keeps the budget meaningful: ``engine`` and ``restart``
+run on every case (they are one extra execution each), ``cache`` on
+every 4th (disk round trips) and ``shards`` on every 16th (each one
+is two full fault campaigns).  The schedule is a pure function of the
+case index, so two runs with the same seed and budget check exactly
+the same pairs.
+
+Every divergence is shrunk with :func:`repro.difftest.reducer.
+reduce_source` — the predicate re-runs the *same axis* on the
+candidate text, so the reduced program is a true reproducer, not just
+a smaller program — and written to the corpus directory as a
+self-contained JSON repro file.
+
+:func:`self_check` closes the loop on the harness itself: it plants a
+semantic bug into the pre-decoded engine (monkeypatching one entry of
+``repro.sim.decode._LOGIC``) and asserts the campaign both *finds*
+and *shrinks* it.  A difftest harness that cannot detect a planted
+miscompile is worse than none — it manufactures confidence.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.difftest.generators import generate_case
+from repro.difftest.oracle import Divergence, run_axis
+from repro.difftest.reducer import reduce_source
+from repro.obs.tracer import NULL_TRACER
+from repro.registry import build_machine, generator_names
+
+DEFAULT_MACHINES = ("HM1", "CM1", "VM1")
+DEFAULT_AXES = ("engine", "cache", "restart", "shards")
+#: axis -> run it on every Nth case.
+_AXIS_EVERY = {"engine": 1, "restart": 1, "cache": 4, "shards": 16}
+
+
+@dataclass
+class DifftestReport:
+    """Outcome of one differential-testing campaign."""
+
+    seed: int
+    budget: int
+    langs: tuple[str, ...]
+    machines: tuple[str, ...]
+    axes: tuple[str, ...]
+    cases_run: int = 0
+    #: axis name -> number of pairs actually executed.
+    pairs_run: dict = field(default_factory=dict)
+    divergences: list[Divergence] = field(default_factory=list)
+    #: Repro files written, in divergence order.
+    corpus_files: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "langs": list(self.langs),
+            "machines": list(self.machines),
+            "axes": list(self.axes),
+            "cases_run": self.cases_run,
+            "pairs_run": dict(sorted(self.pairs_run.items())),
+            "divergences": [
+                {
+                    "lang": d.case.lang,
+                    "machine": d.case.machine,
+                    "seed": d.case.seed,
+                    "axis": d.axis,
+                    "mismatches": list(d.mismatches),
+                    "source": d.case.source,
+                    "reduced_source": d.reduced_source,
+                }
+                for d in self.divergences
+            ],
+            "corpus_files": list(self.corpus_files),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"difftest: seed={self.seed} budget={self.budget} "
+            f"langs={','.join(self.langs)} "
+            f"machines={','.join(self.machines)}",
+            "  pairs: " + "  ".join(
+                f"{axis}={self.pairs_run.get(axis, 0)}"
+                for axis in self.axes
+            ),
+        ]
+        if self.clean:
+            lines.append(
+                f"  {self.cases_run} cases, no divergence on any axis"
+            )
+        else:
+            lines.append(
+                f"  {self.cases_run} cases, "
+                f"{len(self.divergences)} DIVERGENCE(S):"
+            )
+            for divergence, path in zip(
+                self.divergences,
+                self.corpus_files + [None] * len(self.divergences),
+            ):
+                lines.append(f"    {divergence.summary()}")
+                for mismatch in divergence.mismatches[:4]:
+                    lines.append(f"      {mismatch}")
+                if path:
+                    lines.append(f"      repro: {path}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _shrink(divergence: Divergence, workdir) -> str:
+    """Reduce a diverging case against its own axis."""
+    case, axis = divergence.case, divergence.axis
+
+    def still_diverges(text: str) -> bool:
+        try:
+            return run_axis(axis, case.with_source(text),
+                            workdir=workdir) is not None
+        except Exception:
+            return False
+
+    return reduce_source(case.source, still_diverges)
+
+
+def _write_repro(divergence: Divergence, corpus_dir: Path) -> str:
+    case = divergence.case
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / (
+        f"div-{case.lang}-{case.machine}-{case.seed}-{divergence.axis}.json"
+    )
+    path.write_text(json.dumps(
+        {
+            "lang": case.lang,
+            "machine": case.machine,
+            "seed": case.seed,
+            "axis": divergence.axis,
+            "mismatches": list(divergence.mismatches),
+            "source": case.source,
+            "reduced_source": divergence.reduced_source,
+            "repro": (
+                f"python -m repro difftest --seed {case.seed} --budget 1 "
+                f"--langs {case.lang} --machines {case.machine} "
+                f"--axes {divergence.axis}"
+            ),
+        },
+        indent=2,
+    ) + "\n")
+    return str(path)
+
+
+def run_difftest(
+    *,
+    seed: int = 0,
+    budget: int = 200,
+    langs: tuple[str, ...] | None = None,
+    machines: tuple[str, ...] = DEFAULT_MACHINES,
+    axes: tuple[str, ...] = DEFAULT_AXES,
+    corpus_dir: str | Path | None = None,
+    reduce: bool = True,
+    size: int | None = None,
+    tracer=NULL_TRACER,
+) -> DifftestReport:
+    """Run one differential-testing campaign.
+
+    ``budget`` counts generated cases, not axis pairs: each case runs
+    the subset of ``axes`` its index selects (see ``_AXIS_EVERY``).
+    Divergent cases are shrunk (``reduce=False`` skips it, for speed
+    in self-tests) and, when ``corpus_dir`` is given, written out as
+    self-contained JSON reproducers.
+    """
+    langs = tuple(langs) if langs else tuple(generator_names())
+    machines = tuple(machines)
+    axes = tuple(axes)
+    report = DifftestReport(
+        seed=seed, budget=budget, langs=langs, machines=machines, axes=axes,
+    )
+    corpus = Path(corpus_dir) if corpus_dir is not None else None
+    with tempfile.TemporaryDirectory(prefix="difftest-") as scratch:
+        workdir = Path(scratch)
+        for index in range(budget):
+            lang = langs[index % len(langs)]
+            machine_name = machines[(index // len(langs)) % len(machines)]
+            case_seed = seed * 1_000_003 + index
+            case = generate_case(
+                lang, build_machine(machine_name), case_seed, size=size,
+            )
+            report.cases_run += 1
+            case_axes = [
+                axis for axis in axes
+                if index % _AXIS_EVERY.get(axis, 1) == 0
+            ]
+            if tracer.enabled:
+                tracer.instant(
+                    "difftest.case", cat="difftest",
+                    lang=lang, machine=machine_name, seed=case_seed,
+                    axes=",".join(case_axes),
+                )
+            for axis in case_axes:
+                report.pairs_run[axis] = report.pairs_run.get(axis, 0) + 1
+                divergence = run_axis(axis, case, workdir=workdir)
+                if divergence is None:
+                    continue
+                if reduce:
+                    divergence.reduced_source = _shrink(divergence, workdir)
+                if tracer.enabled:
+                    tracer.instant(
+                        "difftest.divergence", cat="difftest",
+                        lang=lang, machine=machine_name, seed=case_seed,
+                        axis=axis, mismatches=len(divergence.mismatches),
+                    )
+                report.divergences.append(divergence)
+                if corpus is not None:
+                    report.corpus_files.append(
+                        _write_repro(divergence, corpus)
+                    )
+    return report
+
+
+# ----------------------------------------------------------------------
+def self_check(
+    *,
+    seed: int = 0,
+    budget: int = 10,
+    size: int | None = None,
+    tracer=NULL_TRACER,
+) -> DifftestReport:
+    """Prove the harness detects and shrinks a planted engine bug.
+
+    Plants ``xor -> xor-then-flip-bit-0`` into the pre-decoded
+    engine's operator table (the interpretive engine is untouched) and
+    runs an engine-axis campaign.  Every generated program ends in an
+    xor fold, so the bug is reachable from every case; the campaign
+    must come back with at least one divergence, and the *first* one
+    is then shrunk (reducing every planted hit would prove nothing
+    more and cost minutes) — the reduced program must still diverge.
+    Raises ``AssertionError`` otherwise.  Also reachable as
+    ``python -m repro difftest --self-check``.
+    """
+    import repro.sim.decode as decode
+
+    # Small fixed-size programs: the plant is reachable from any case
+    # (every program ends in an xor fold), and shrinking a full-size
+    # generated program costs minutes of oracle re-runs for no extra
+    # evidence.
+    size = 10 if size is None else size
+    pristine = decode._LOGIC["xor"]
+    decode._LOGIC["xor"] = lambda a, b: (a ^ b) ^ 1
+    try:
+        report = run_difftest(
+            seed=seed, budget=budget, axes=("engine",),
+            reduce=False, size=size, tracer=tracer,
+        )
+        if not report.divergences:
+            raise AssertionError(
+                "self-check: planted decoded-engine xor bug was not "
+                "detected"
+            )
+        first = report.divergences[0]
+        first.reduced_source = _shrink(first, workdir=None)
+        reduced = first.reduced_source
+        if not reduced or len(reduced) > len(first.case.source):
+            raise AssertionError(
+                f"self-check: divergence was not shrunk ({first.summary()})"
+            )
+        if run_axis("engine", first.case.with_source(reduced)) is None:
+            raise AssertionError(
+                "self-check: reduced program does not reproduce the "
+                "planted divergence"
+            )
+    finally:
+        decode._LOGIC["xor"] = pristine
+    if run_axis("engine", first.case.with_source(reduced)) is not None:
+        raise AssertionError(
+            "self-check: reduced program still diverges on the pristine "
+            "engine — a real engine bug is masquerading as the plant"
+        )
+    return report

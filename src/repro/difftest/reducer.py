@@ -1,0 +1,65 @@
+"""Greedy test-case reduction for diverging difftest programs.
+
+A divergence found on a 60-line generated program is a poor bug
+report.  :func:`reduce_source` shrinks the program text while a
+caller-supplied predicate keeps confirming the divergence — the
+classic ddmin move (Zeller & Hildebrandt, "Simplifying and Isolating
+Failure-Inducing Input"), specialised to line granularity:
+
+* try removing contiguous line *chunks*, halving chunk size on every
+  round that makes no progress, down to single lines;
+* a candidate "passes" only when the predicate says the smaller
+  program still both compiles and diverges — predicates are expected
+  to treat *any* exception as "does not reproduce", so programs made
+  syntactically invalid by a deletion are simply rejected;
+* stop when a full single-line sweep removes nothing (a local
+  1-minimal fixpoint) or ``max_rounds`` is exhausted.
+
+The reducer knows nothing about any front end's grammar.  Structure
+shows up only through the predicate: deleting a ``begin`` without its
+``end`` fails to compile, so that candidate is rejected and the pair
+survives together.  This keeps one reducer correct for all five
+registered languages at the cost of some extra rejected candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def reduce_source(
+    source: str,
+    still_diverges: Callable[[str], bool],
+    *,
+    max_rounds: int = 64,
+) -> str:
+    """Shrink ``source`` while ``still_diverges`` keeps returning True.
+
+    ``still_diverges`` receives candidate program text and must return
+    True only when the candidate still exhibits the original
+    divergence; it must swallow compile/run errors and report False
+    for them.  The input itself is assumed to diverge — callers verify
+    that before reducing.
+
+    Returns the smallest text found (at worst the input, unchanged).
+    """
+    lines = source.splitlines()
+    chunk = max(1, len(lines) // 2)
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        removed_any = False
+        index = 0
+        while index < len(lines):
+            candidate = lines[:index] + lines[index + chunk:]
+            if candidate and still_diverges("\n".join(candidate) + "\n"):
+                lines = candidate
+                removed_any = True
+                # Re-test the same index: the next chunk slid into it.
+            else:
+                index += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return "\n".join(lines) + "\n"

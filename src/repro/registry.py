@@ -108,6 +108,45 @@ def get_language(name: str) -> LanguageSpec:
 
 
 # ----------------------------------------------------------------------
+# Differential-test program generators
+# ----------------------------------------------------------------------
+#: lang name -> generator callable ``(machine, rng, size) -> GeneratedCase``
+#: (see :mod:`repro.difftest.generators`).  Kept beside the language
+#: table so "every registered language has a generator" is a checkable
+#: property, not a convention.
+_GENERATORS: dict[str, Callable] = {}
+
+
+def register_generator(lang: str, generator: Callable) -> Callable:
+    """Register a difftest source generator for a language."""
+    _GENERATORS[lang] = generator
+    return generator
+
+
+def _ensure_generators() -> None:
+    if not _GENERATORS:
+        import repro.difftest.generators  # noqa: F401  (registers on import)
+
+
+def generator_names() -> list[str]:
+    """Sorted names of every language with a registered generator."""
+    _ensure_generators()
+    return sorted(_GENERATORS)
+
+
+def get_generator(lang: str) -> Callable:
+    """Look up a difftest generator by language name."""
+    _ensure_generators()
+    try:
+        return _GENERATORS[lang]
+    except KeyError:
+        raise RegistryError(
+            f"no difftest generator for language {lang!r}; registered: "
+            f"{', '.join(sorted(_GENERATORS))}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
 # Machines
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

@@ -52,3 +52,35 @@ class TestRandomProgram:
         )
         names = {r.name for r in program.virtual_regs()}
         assert names == {f"v{i}" for i in range(9)}
+
+
+class TestOpMix:
+    """Empty effective op mixes fail loudly, not in rng.choice (PR 5)."""
+
+    def test_unsupported_mix_raises_with_machine_name(self, hm1):
+        import pytest
+
+        with pytest.raises(ValueError, match="HM1"):
+            random_block(hm1, 5, op_mix=[("frobnicate", 2, False)])
+
+    def test_unsupported_mix_raises_for_programs_too(self, hm1):
+        import pytest
+
+        with pytest.raises(ValueError, match="frobnicate"):
+            random_program(
+                hm1, n_blocks=1, ops_per_block=3,
+                op_mix=[("frobnicate", 2, False)],
+            )
+
+    def test_explicit_mix_is_honoured(self, hm1):
+        block = random_block(
+            hm1, 8, seed=1, op_mix=[("add", 2, False), ("xor", 2, False)]
+        )
+        assert {op.op for op in block.ops} <= {"add", "xor"}
+
+    def test_partially_supported_mix_keeps_supported_ops(self, hm1):
+        block = random_block(
+            hm1, 8, seed=1,
+            op_mix=[("add", 2, False), ("frobnicate", 2, False)],
+        )
+        assert {op.op for op in block.ops} == {"add"}

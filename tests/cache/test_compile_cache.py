@@ -212,3 +212,126 @@ class TestCampaignHitRate:
         assert len(result.outcomes) == 100
         assert cache.stats.misses == 1
         assert cache.stats.hit_rate() >= 0.90
+
+
+class TestCorruptEviction:
+    """A bad on-disk entry is evicted on first failed read (PR 5 fix)."""
+
+    def _poison(self, tmp_path) -> list:
+        machine = get_machine("HM1")
+        warm = CompileCache(disk_dir=tmp_path)
+        compile_yalll(YALLL_SRC, machine, cache=warm)
+        paths = list(tmp_path.glob("*.pkl"))
+        for path in paths:
+            # Truncate mid-stream: pickle.load raises, not returns.
+            path.write_bytes(path.read_bytes()[:20])
+        return paths
+
+    def test_truncated_pickle_is_unlinked_and_counted(self, tmp_path):
+        paths = self._poison(tmp_path)
+        cold = CompileCache(disk_dir=tmp_path)
+        result = compile_yalll(YALLL_SRC, get_machine("HM1"), cache=cold)
+        assert result.loaded.words
+        assert cold.stats.corrupt == 1
+        assert cold.stats.misses == 1
+        assert cold.stats.to_json()["corrupt"] == 1
+        # The poisoned file is gone and was rewritten by the recompile.
+        for path in paths:
+            assert path.read_bytes()[:2] != b"no"
+        # A third cache re-reads the freshly written entry fine.
+        third = CompileCache(disk_dir=tmp_path)
+        compile_yalll(YALLL_SRC, get_machine("HM1"), cache=third)
+        assert third.stats.disk_hits == 1
+        assert third.stats.corrupt == 0
+
+    def test_corrupt_probe_emits_event(self, tmp_path):
+        self._poison(tmp_path)
+        tracer = Tracer()
+        cold = CompileCache(disk_dir=tmp_path)
+        compile_yalll(
+            YALLL_SRC, get_machine("HM1"), cache=cold, tracer=tracer
+        )
+        events = [e for e in tracer.events if e.name == "cache.corrupt"]
+        assert len(events) == 1
+        assert events[0].args["error"] == "UnpicklingError"
+
+    def test_garbage_that_unpickles_but_is_stale(self, tmp_path):
+        """Entirely foreign bytes: still evicted, not re-read forever."""
+        machine = get_machine("HM1")
+        warm = CompileCache(disk_dir=tmp_path)
+        compile_yalll(YALLL_SRC, machine, cache=warm)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"\x00\x01garbage")
+        cold = CompileCache(disk_dir=tmp_path)
+        compile_yalll(YALLL_SRC, machine, cache=cold)
+        assert cold.stats.corrupt == 1
+        assert not any(
+            p.read_bytes() == b"\x00\x01garbage"
+            for p in tmp_path.glob("*.pkl")
+        )
+
+
+class TestKeyCanonicalisation:
+    """Nested option values key by value, not insertion order (PR 5 fix)."""
+
+    def test_nested_dict_order_is_canonical(self):
+        machine = get_machine("HM1")
+        a = {"opts": {"x": 1, "y": [2, {"p": 3, "q": 4}]}, "flag": True}
+        b = {"flag": True, "opts": {"y": [2, {"q": 4, "p": 3}], "x": 1}}
+        assert compile_key(YALLL_SRC, "yalll", machine, a) == compile_key(
+            YALLL_SRC, "yalll", machine, b
+        )
+
+    def test_key_stability_under_random_insertion_order(self):
+        """Property: any insertion order of equal options, same key."""
+        import random
+
+        machine = get_machine("HM1")
+        base = {
+            "a": {"m": 1, "n": {"deep": [1, 2, 3]}},
+            "b": ["x", {"k": 7, "j": 8}],
+            "c": 3,
+        }
+        reference = compile_key(YALLL_SRC, "yalll", machine, base)
+        rng = random.Random(0)
+        for _ in range(20):
+            keys = list(base)
+            rng.shuffle(keys)
+            shuffled = {}
+            for key in keys:
+                value = base[key]
+                if isinstance(value, dict):
+                    inner = list(value)
+                    rng.shuffle(inner)
+                    value = {k: value[k] for k in inner}
+                shuffled[key] = value
+            assert compile_key(
+                YALLL_SRC, "yalll", machine, shuffled
+            ) == reference
+
+    def test_unequal_nested_values_differ(self):
+        machine = get_machine("HM1")
+        assert compile_key(
+            YALLL_SRC, "yalll", machine, {"opts": {"x": 1}}
+        ) != compile_key(YALLL_SRC, "yalll", machine, {"opts": {"x": 2}})
+
+    def test_sequence_order_still_matters(self):
+        """Lists are ordered data: [1, 2] must not key like [2, 1]."""
+        machine = get_machine("HM1")
+        assert compile_key(
+            YALLL_SRC, "yalll", machine, {"steps": [1, 2]}
+        ) != compile_key(YALLL_SRC, "yalll", machine, {"steps": [2, 1]})
+
+    def test_macro_visible_variants_key_apart(self):
+        """Machine variants built with different macro-visible sets
+        must never share cache entries (their restart analyses differ)."""
+        from repro.machine.machines import build_hm1
+
+        plain = build_hm1()
+        visible = build_hm1(macro_visible=("R1", "ACC"))
+        other = build_hm1(macro_visible=("R2",))
+        keys = {
+            compile_key(YALLL_SRC, "yalll", m, {"restart_safe": True})
+            for m in (plain, visible, other)
+        }
+        assert len(keys) == 3

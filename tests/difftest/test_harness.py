@@ -1,0 +1,119 @@
+"""The difftest campaign loop and its planted-bug self-check."""
+
+import json
+
+import pytest
+
+from repro.difftest import run_difftest, self_check
+from repro.obs.tracer import Tracer
+
+
+class TestRunDifftest:
+    def test_small_campaign_is_clean(self):
+        report = run_difftest(seed=0, budget=6, size=6)
+        assert report.clean
+        assert report.cases_run == 6
+        assert report.pairs_run["engine"] == 6
+        # Thinned axes ran on their schedule, not on every case.
+        assert report.pairs_run["cache"] == 2
+        assert report.pairs_run["shards"] == 1
+
+    def test_report_round_trips_to_json(self):
+        report = run_difftest(seed=0, budget=3, size=6,
+                              axes=("engine",))
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["cases_run"] == 3
+        assert payload["divergences"] == []
+        assert "engine" in payload["pairs_run"]
+
+    def test_lang_and_machine_filters(self):
+        report = run_difftest(
+            seed=0, budget=4, size=6, langs=("yalll",),
+            machines=("VM1",), axes=("engine",),
+        )
+        assert report.clean
+        assert report.langs == ("yalll",)
+        assert report.machines == ("VM1",)
+
+    def test_case_events_are_traced(self):
+        tracer = Tracer()
+        run_difftest(seed=0, budget=2, size=6, axes=("engine",),
+                     tracer=tracer)
+        names = [e.name for e in tracer.events]
+        assert names.count("difftest.case") == 2
+        assert "difftest.divergence" not in names
+
+
+class TestSelfCheck:
+    def test_planted_bug_found_and_shrunk(self, tmp_path):
+        report = self_check(seed=0, budget=3, size=8)
+        assert report.divergences
+        first = report.divergences[0]
+        assert first.axis == "engine"
+        assert first.reduced_source
+        assert len(first.reduced_source) <= len(first.case.source)
+
+    def test_divergences_reach_the_corpus_dir(self, tmp_path):
+        """A divergent campaign writes self-contained reproducers."""
+        import repro.sim.decode as decode
+
+        pristine = decode._LOGIC["xor"]
+        decode._LOGIC["xor"] = lambda a, b: (a ^ b) ^ 1
+        try:
+            report = run_difftest(
+                seed=0, budget=2, size=6, axes=("engine",),
+                corpus_dir=tmp_path, reduce=False,
+            )
+        finally:
+            decode._LOGIC["xor"] = pristine
+        assert not report.clean
+        files = sorted(tmp_path.glob("div-*.json"))
+        assert len(files) == len(report.divergences)
+        payload = json.loads(files[0].read_text())
+        assert payload["axis"] == "engine"
+        assert payload["source"]
+        assert "--seed" in payload["repro"]
+
+    def test_divergence_events_are_traced(self):
+        import repro.sim.decode as decode
+
+        tracer = Tracer()
+        pristine = decode._LOGIC["xor"]
+        decode._LOGIC["xor"] = lambda a, b: (a ^ b) ^ 1
+        try:
+            run_difftest(seed=0, budget=1, size=6, axes=("engine",),
+                         reduce=False, tracer=tracer)
+        finally:
+            decode._LOGIC["xor"] = pristine
+        names = [e.name for e in tracer.events]
+        assert "difftest.divergence" in names
+
+
+class TestCLI:
+    def test_difftest_verb_clean_run(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "difftest", "--seed", "0", "--budget", "3", "--size", "6",
+            "--axes", "engine",
+        ])
+        assert code == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_difftest_verb_json(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "difftest", "--seed", "0", "--budget", "2", "--size", "6",
+            "--axes", "engine", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cases_run"] == 2
+
+    def test_difftest_verb_self_check(self, capsys):
+        from repro.cli import main
+
+        code = main(["difftest", "--self-check", "--budget", "3"])
+        assert code == 0
+        assert "self-check passed" in capsys.readouterr().out

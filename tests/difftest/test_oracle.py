@@ -1,0 +1,107 @@
+"""Axis oracles: observations, diffing and the four axis pairs."""
+
+import pytest
+
+from repro.difftest import Observation, generate_case, run_axis
+from repro.difftest.oracle import AXES, diff_observations, observe
+from repro.registry import build_machine
+
+
+class TestObservation:
+    def test_observe_runs_a_case_to_completion(self):
+        case = generate_case("yalll", build_machine("HM1"), 0)
+        seen = observe(case)
+        assert seen.error is None
+        assert seen.words
+        assert seen.cycles > 0
+        assert dict(seen.registers).keys() == set(case.observe)
+
+    def test_compile_errors_become_observations(self):
+        case = generate_case("yalll", build_machine("HM1"), 0)
+        broken = case.with_source("    this is not yalll\n")
+        seen = observe(broken)
+        assert seen.error is not None
+        assert not seen.words
+
+    def test_memory_cases_observe_their_region(self):
+        for seed in range(40):
+            case = generate_case("empl", build_machine("HM1"), seed)
+            if case.mem_region is None:
+                continue
+            seen = observe(case)
+            assert seen.error is None
+            assert seen.memory is not None
+            assert len(seen.memory) == case.mem_region[1]
+            return
+        pytest.skip("no memory-touching empl case in the first 40 seeds")
+
+
+class TestDiffing:
+    def test_identical_observations_are_clean(self):
+        a = Observation(words=(1, 2), cycles=5)
+        assert diff_observations(a, a, ("words", "cycles")) == []
+
+    def test_field_mismatch_is_named(self):
+        a = Observation(cycles=5)
+        b = Observation(cycles=6)
+        (mismatch,) = diff_observations(a, b, ("cycles",))
+        assert mismatch.startswith("cycles:")
+
+    def test_error_asymmetry_diverges(self):
+        ok = Observation(cycles=5)
+        bad = Observation(error="SimulationError: boom")
+        (mismatch,) = diff_observations(ok, bad, ("cycles",))
+        assert mismatch.startswith("error:")
+
+    def test_matching_errors_do_not_diverge(self):
+        a = Observation(error="SimulationError: boom")
+        b = Observation(error="SimulationError: boom")
+        assert diff_observations(a, b, ("cycles",)) == []
+
+
+class TestAxes:
+    def test_all_axes_registered(self):
+        assert set(AXES) == {"engine", "cache", "restart", "shards"}
+
+    @pytest.mark.parametrize("axis", ("engine", "restart"))
+    @pytest.mark.parametrize("lang", ("yalll", "simpl", "empl"))
+    def test_axis_is_clean_on_healthy_toolkit(self, axis, lang):
+        case = generate_case(lang, build_machine("HM1"), 3)
+        assert run_axis(axis, case) is None
+
+    def test_cache_axis_round_trips_disk(self, tmp_path):
+        case = generate_case("yalll", build_machine("HM1"), 1)
+        assert run_axis("cache", case, workdir=tmp_path) is None
+        assert list(tmp_path.glob("cache-*/*.pkl"))
+
+    def test_shards_axis_compares_reports(self):
+        case = generate_case("yalll", build_machine("HM1"), 2)
+        assert run_axis("shards", case) is None
+
+    def test_engine_axis_sees_planted_semantic_bug(self):
+        import repro.sim.decode as decode
+
+        case = generate_case("yalll", build_machine("HM1"), 4)
+        pristine = decode._LOGIC["xor"]
+        decode._LOGIC["xor"] = lambda a, b: (a ^ b) ^ 1
+        try:
+            divergence = run_axis("engine", case)
+        finally:
+            decode._LOGIC["xor"] = pristine
+        assert divergence is not None
+        assert divergence.axis == "engine"
+        assert any("registers" in m or "exit_value" in m
+                   for m in divergence.mismatches)
+
+    def test_planted_bug_does_not_fool_interpretive_pair(self):
+        """The plant only reroutes the decoded engine: the restart
+        axis (interpretive on both sides) must stay clean under it."""
+        import repro.sim.decode as decode
+
+        case = generate_case("yalll", build_machine("HM1"), 4)
+        pristine = decode._LOGIC["xor"]
+        decode._LOGIC["xor"] = lambda a, b: (a ^ b) ^ 1
+        try:
+            assert run_axis("restart", case) is None
+        finally:
+            decode._LOGIC["xor"] = pristine

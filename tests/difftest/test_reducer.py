@@ -1,0 +1,62 @@
+"""Greedy line-chunk reduction."""
+
+from repro.difftest import reduce_source
+
+
+class TestReduceSource:
+    def test_keeps_only_needed_lines(self):
+        source = "\n".join(f"line{i}" for i in range(20)) + "\n"
+
+        def still_diverges(text: str) -> bool:
+            return "line7" in text and "line13" in text
+
+        reduced = reduce_source(source, still_diverges)
+        kept = reduced.splitlines()
+        assert "line7" in kept
+        assert "line13" in kept
+        assert len(kept) == 2
+
+    def test_result_always_satisfies_predicate(self):
+        source = "\n".join(f"l{i}" for i in range(17)) + "\n"
+
+        def still_diverges(text: str) -> bool:
+            return "l3" in text
+
+        assert still_diverges(reduce_source(source, still_diverges))
+
+    def test_irreducible_input_survives_unchanged(self):
+        source = "a\nb\n"
+
+        def still_diverges(text: str) -> bool:
+            return "a" in text and "b" in text
+
+        assert reduce_source(source, still_diverges) == source
+
+    def test_predicate_exceptions_never_escape_by_contract(self):
+        """The reducer trusts the predicate to absorb errors; a
+        predicate that rejects malformed candidates (the oracle's
+        behaviour) leaves paired structure intact."""
+        source = "begin\nx\nend\ny\n"
+
+        def still_diverges(text: str) -> bool:
+            lines = text.splitlines()
+            balanced = ("begin" in lines) == ("end" in lines)
+            if not balanced:
+                return False  # would be a compile error in real life
+            return "x" in lines
+
+        reduced = reduce_source(source, still_diverges)
+        lines = reduced.splitlines()
+        assert "x" in lines
+        assert ("begin" in lines) == ("end" in lines)
+        assert "y" not in lines
+
+    def test_max_rounds_bounds_work(self):
+        calls = []
+
+        def still_diverges(text: str) -> bool:
+            calls.append(text)
+            return True
+
+        reduce_source("a\nb\nc\nd\n", still_diverges, max_rounds=1)
+        assert calls  # ran, but stopped after one chunk pass
