@@ -6,12 +6,15 @@ test per microinstruction, and the compile pipeline pays a handful of
 ``NULL_TRACER`` no-op calls per stage.  This benchmark checks the
 promise empirically on a ``bench_simpl``-style workload by timing the
 shipped (instrumented, disabled) simulator loop against a verbatim
-copy of the *uninstrumented* seed loop, interleaved to cancel drift:
-the disabled path must stay within ~5% of the untraced baseline (plus
-the measured run-to-run noise of the baseline itself).
+copy of the *uninstrumented* loop — once per engine: the seed's
+interpretive loop and the pre-decoded plan loop — interleaved to
+cancel drift: the disabled path must stay within ~5% of the untraced
+baseline (plus the measured run-to-run noise of the baseline itself)
+on *both* engines.
 
 It also reports the honest cost of *enabled* tracing — profile-only
-and full event recording — which is allowed to be expensive.
+and full event recording, on each engine — which is allowed to be
+expensive.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.errors import MicroTrap, SimulationError
 from repro.lang.yalll import compile_yalll
 from repro.obs import NULL_TRACER, TraceRecorder, Tracer
 from repro.sim import RunResult, Simulator
+from repro.sim.decode import PlanCache, decode_word
 
 #: Multiply-by-repeated-addition: 3 MIs per loop iteration.
 YALLL_MUL = """
@@ -117,11 +121,97 @@ def _uninstrumented_run(
     )
 
 
-def _make_runner(machine, recorder=None):
+def _uninstrumented_decoded_run(
+    simulator: Simulator, program_name: str, max_cycles: int = 1_000_000
+) -> RunResult:
+    """The decoded engine's plan loop with no observability guards.
+
+    A verbatim copy of ``Simulator.run``'s decoded fast path (address-
+    keyed plans, no control-store fetch) minus the recorder, injector
+    and trace hooks — the untraced baseline the decoded disabled path
+    is compared against.
+    """
+    resident = simulator.store.find(program_name)
+    simulator.load_constants(resident)
+    state = simulator.state
+    state.upc = resident.entry
+    state.halted = False
+    state.exit_value = None
+    state.micro_stack.clear()
+
+    entry_snapshot = state.snapshot_registers()
+    instructions = 0
+    traps = 0
+    interrupts = 0
+    wait_cycles = 0
+    pending_since: int | None = None
+    start_cycles = state.cycles
+    if simulator._plan_cache is None:
+        simulator._plan_cache = PlanCache()
+    plans = simulator._plan_cache
+    fast_plans = plans.addr_plans(resident)
+
+    while not state.halted:
+        if state.cycles - start_cycles > max_cycles:
+            raise SimulationError(
+                f"{program_name}: exceeded {max_cycles} cycles"
+            )
+        if (
+            simulator.interrupt_every
+            and not state.interrupt_pending
+            and state.cycles > 0
+            and (state.cycles // simulator.interrupt_every)
+            > ((state.cycles - 1) // simulator.interrupt_every)
+        ):
+            state.interrupt_pending = True
+        if state.interrupt_pending and pending_since is None:
+            pending_since = state.cycles
+
+        plan = fast_plans.get(state.upc)
+        if plan is None:
+            loaded = simulator.store.fetch(state.upc)
+            plan = plans.lookup(resident, state.upc, loaded)
+            if plan is None:
+                plan = decode_word(simulator, loaded, resident, state.upc)
+                plans.insert(resident, state.upc, loaded, plan, direct=True)
+        try:
+            serviced = plan.execute(state)
+        except MicroTrap as trap:
+            traps += 1
+            if traps > simulator.max_traps:
+                raise SimulationError(
+                    f"{program_name}: more than {simulator.max_traps} traps"
+                ) from trap
+            simulator._service_trap(trap, entry_snapshot)
+            state.upc = resident.entry
+            state.micro_stack.clear()
+            state.cycles += simulator.trap_service_cycles
+            continue
+        if serviced:
+            interrupts += 1
+            if pending_since is not None:
+                wait_cycles += state.cycles - pending_since
+                pending_since = None
+            state.cycles += simulator.interrupt_service_cycles
+        state.cycles += plan.cycles
+        instructions += 1
+        plan.sequence(state)
+
+    return RunResult(
+        cycles=state.cycles - start_cycles,
+        instructions=instructions,
+        traps=traps,
+        interrupts_serviced=interrupts,
+        interrupt_wait_cycles=wait_cycles,
+        exit_value=state.exit_value,
+    )
+
+
+def _make_runner(machine, recorder=None, engine="interpretive"):
     result = compile_yalll(YALLL_MUL, machine, name="mul")
     store = ControlStore(machine)
     store.load(result.loaded)
-    simulator = Simulator(machine, store, recorder=recorder)
+    simulator = Simulator(machine, store, recorder=recorder, engine=engine)
     mapping = result.allocation.mapping
 
     def prepare():
@@ -142,19 +232,21 @@ def _best_of(fn, rounds: int) -> tuple[float, list[float]]:
 
 
 class TestDisabledPathOverhead:
-    def test_disabled_overhead_under_five_percent(self, hm1, report):
-        sim_base, prep_base = _make_runner(hm1)
-        sim_inst, prep_inst = _make_runner(hm1)
+    def _assert_disabled_budget(self, hm1, report, *, engine, baseline_fn,
+                                baseline_label):
+        sim_base, prep_base = _make_runner(hm1, engine=engine)
+        sim_inst, prep_inst = _make_runner(hm1, engine=engine)
 
         def run_baseline():
             prep_base()
-            return _uninstrumented_run(sim_base, "mul")
+            return baseline_fn(sim_base, "mul")
 
         def run_disabled():
             prep_inst()
             return sim_inst.run("mul")
 
-        # Simulated behaviour must be bit-identical with tracing off.
+        # Simulated behaviour must be bit-identical with tracing off
+        # (also warms both plan caches before timing starts).
         assert run_baseline().cycles == run_disabled().cycles
 
         # Interleave rounds so thermal/scheduler drift hits both sides.
@@ -177,46 +269,68 @@ class TestDisabledPathOverhead:
         report(render_table(
             ["variant", "best (ms)", "vs baseline"],
             [
-                ["uninstrumented seed loop", f"{t_base * 1e3:.2f}", "1.000"],
-                ["shipped loop, recorder off", f"{t_inst * 1e3:.2f}",
-                 f"{ratio:.3f}"],
+                [baseline_label, f"{t_base * 1e3:.2f}", "1.000"],
+                [f"shipped {engine} loop, recorder off",
+                 f"{t_inst * 1e3:.2f}", f"{ratio:.3f}"],
             ],
-            title="observability disabled-path overhead (min of "
-            f"{ROUNDS} interleaved rounds, {N_ITERATIONS} loop iterations)",
+            title=f"observability disabled-path overhead, {engine} engine "
+            f"(min of {ROUNDS} interleaved rounds, "
+            f"{N_ITERATIONS} loop iterations)",
         ))
         assert ratio <= budget, (
-            f"disabled-path overhead {100 * (ratio - 1):.1f}% exceeds "
-            f"budget {100 * (budget - 1):.1f}%"
+            f"{engine} disabled-path overhead {100 * (ratio - 1):.1f}% "
+            f"exceeds budget {100 * (budget - 1):.1f}%"
+        )
+
+    def test_disabled_overhead_under_five_percent(self, hm1, report):
+        self._assert_disabled_budget(
+            hm1, report, engine="interpretive",
+            baseline_fn=_uninstrumented_run,
+            baseline_label="uninstrumented seed loop",
+        )
+
+    def test_decoded_disabled_overhead_under_five_percent(self, hm1, report):
+        self._assert_disabled_budget(
+            hm1, report, engine="decoded",
+            baseline_fn=_uninstrumented_decoded_run,
+            baseline_label="uninstrumented plan loop",
         )
 
     def test_enabled_cost_reported(self, hm1, report, obs_tracer):
         """Profile-only and full-event recording cost (informational)."""
-        sim_off, prep_off = _make_runner(hm1)
-        sim_prof, prep_prof = _make_runner(hm1, recorder=TraceRecorder())
-        tracer = Tracer() if obs_tracer is NULL_TRACER else obs_tracer
-        sim_full, prep_full = _make_runner(
-            hm1, recorder=TraceRecorder(tracer)
-        )
+        rows = []
+        profiles = []
+        for engine in ("interpretive", "decoded"):
+            sim_off, prep_off = _make_runner(hm1, engine=engine)
+            sim_prof, prep_prof = _make_runner(
+                hm1, recorder=TraceRecorder(), engine=engine
+            )
+            tracer = Tracer() if obs_tracer is NULL_TRACER else obs_tracer
+            sim_full, prep_full = _make_runner(
+                hm1, recorder=TraceRecorder(tracer), engine=engine
+            )
 
-        def timed(sim, prep):
-            def go():
-                prep()
-                sim.run("mul")
-            return _best_of(go, 3)[0]
+            def timed(sim, prep):
+                def go():
+                    prep()
+                    sim.run("mul")
+                return _best_of(go, 3)[0]
 
-        t_off = timed(sim_off, prep_off)
-        t_prof = timed(sim_prof, prep_prof)
-        t_full = timed(sim_full, prep_full)
-        report(render_table(
-            ["variant", "best (ms)", "vs disabled"],
-            [
-                ["recorder off", f"{t_off * 1e3:.2f}", "1.00"],
-                ["profile counters", f"{t_prof * 1e3:.2f}",
+            t_off = timed(sim_off, prep_off)
+            t_prof = timed(sim_prof, prep_prof)
+            t_full = timed(sim_full, prep_full)
+            rows.extend([
+                [engine, "recorder off", f"{t_off * 1e3:.2f}", "1.00"],
+                [engine, "profile counters", f"{t_prof * 1e3:.2f}",
                  f"{t_prof / t_off:.2f}"],
-                ["profile + events", f"{t_full * 1e3:.2f}",
+                [engine, "profile + events", f"{t_full * 1e3:.2f}",
                  f"{t_full / t_off:.2f}"],
-            ],
+            ])
+            profiles.append(sim_prof.recorder.profile)
+        report(render_table(
+            ["engine", "variant", "best (ms)", "vs disabled"],
+            rows,
             title="observability enabled cost (best of 3)",
         ))
-        profile = sim_prof.recorder.profile
-        assert profile.instructions > 3 * N_ITERATIONS
+        for profile in profiles:
+            assert profile.instructions > 3 * N_ITERATIONS

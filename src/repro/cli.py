@@ -13,6 +13,11 @@ Commands:
   injected faults (``--fault bitflip:addr=3,bit=17`` …).
 * ``campaign`` — run a seeded fault-injection campaign across one or
   more machines and classify every outcome (see ``repro.faults``).
+* ``profile`` — run a program under the profile recorder (or replay
+  a saved profile JSON) and print the hot-path analysis: ranked hot
+  traces, loop nesting and an annotated disassembly heat report;
+  ``--flamegraph``/``--prometheus`` export collapsed stacks and the
+  Prometheus text format.
 * ``languages`` — list every registered language and machine with
   its pipeline stages and capabilities (see ``repro.registry``).
 
@@ -255,6 +260,7 @@ def cmd_campaign(args) -> int:
             n=args.n, seed=args.seed, restart_safe=args.restart_safe,
             registers=registers, memory=memory, tracer=tracer,
             jobs=args.jobs, engine=args.engine, cache=cache,
+            collect_metrics=args.metrics,
         )
         for name in (args.machine or ["HM1"])
     ]
@@ -277,6 +283,66 @@ def cmd_campaign(args) -> int:
         len(campaign.restart_invariant_violations()) for campaign in results
     )
     return 1 if violations else 0
+
+
+def cmd_profile(args) -> int:
+    from repro.obs import (
+        SimProfile,
+        analyze_profile,
+        dump_flamegraph,
+        render_heat,
+        render_hot_traces,
+        to_prometheus,
+    )
+
+    if args.replay:
+        try:
+            payload = json.loads(Path(args.replay).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ReproError(
+                f"cannot replay profile {args.replay!r}: {error}"
+            ) from error
+        profile = SimProfile.from_json(payload)
+    else:
+        if not args.file:
+            raise ReproError(
+                "profile: give a source FILE to run, or --replay "
+                "PROFILE.json to analyze a saved profile"
+            )
+        if not args.lang:
+            raise ReproError("profile: --lang is required with a FILE")
+        machine, result = _compile(args)
+        store = ControlStore(machine)
+        store.load(result.loaded)
+        recorder = TraceRecorder(NULL_TRACER)
+        simulator = Simulator(machine, store, recorder=recorder,
+                              engine=args.engine)
+        mapping = result.allocation.mapping
+        for name, value in _parse_assignments(args.set or []).items():
+            simulator.state.write_reg(mapping.get(name, name), value)
+        for address, value in _parse_assignments(args.mem or []).items():
+            simulator.state.memory.load_words(int(address, 0), [value])
+        simulator.run(result.loaded.name, max_cycles=args.max_cycles)
+        profile = recorder.profile
+    analysis = analyze_profile(profile)
+    if args.save:
+        Path(args.save).write_text(
+            json.dumps(profile.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"profile written to {args.save}")
+    if args.flamegraph:
+        dump_flamegraph(analysis, args.flamegraph)
+        print(f"flamegraph written to {args.flamegraph}")
+    if args.prometheus:
+        Path(args.prometheus).write_text(to_prometheus(profile))
+        print(f"prometheus metrics written to {args.prometheus}")
+    if args.json:
+        print(json.dumps(analysis.to_json(), indent=2, sort_keys=True))
+    else:
+        print(render_hot_traces(analysis, top=args.top, loops=args.loops))
+        print()
+        print(render_heat(analysis))
+    return 0
 
 
 def cmd_difftest(args) -> int:
@@ -446,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--cache-dir", metavar="DIR",
         help="on-disk compile cache shared across invocations")
+    campaign_parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect a shard-mergeable metrics rollup (profiles, "
+             "plan-cache and classification tallies); byte-identical "
+             "for any --jobs value")
     campaign_parser.add_argument("--json", action="store_true",
                                  help="machine-readable report")
     campaign_parser.add_argument("-v", "--verbose", action="store_true",
@@ -455,6 +526,48 @@ def build_parser() -> argparse.ArgumentParser:
                                       "as Chrome trace-event JSON")
     campaign_parser.add_argument("--stats", action="store_true")
     campaign_parser.set_defaults(handler=cmd_campaign)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile a run (or replay a saved profile) and print the "
+             "hot-path analysis",
+    )
+    profile_parser.add_argument(
+        "file", nargs="?",
+        help="source file to compile and run (omit with --replay)")
+    profile_parser.add_argument("--lang", choices=language_names(),
+                                help="source language (required with FILE)")
+    profile_parser.add_argument("--machine", choices=machine_names(),
+                                default="HM1")
+    profile_parser.add_argument(
+        "--replay", metavar="PROFILE.json",
+        help="analyze a saved profile instead of running a program")
+    profile_parser.add_argument(
+        "--save", metavar="PROFILE.json",
+        help="write the run's profile as JSON (replayable with --replay)")
+    profile_parser.add_argument("--set", action="append",
+                                metavar="VAR=VALUE")
+    profile_parser.add_argument("--mem", action="append",
+                                metavar="ADDR=VALUE")
+    profile_parser.add_argument("--max-cycles", type=int, default=1_000_000)
+    profile_parser.add_argument(
+        "--engine", choices=("interpretive", "decoded"), default="decoded")
+    profile_parser.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="hot traces to list (default 5)")
+    profile_parser.add_argument(
+        "--loops", action="store_true",
+        help="include the loop-nesting table in the report")
+    profile_parser.add_argument(
+        "--flamegraph", metavar="FILE",
+        help="write collapsed-stack lines for flamegraph.pl/speedscope")
+    profile_parser.add_argument(
+        "--prometheus", metavar="FILE",
+        help="write the profile in Prometheus text exposition format")
+    profile_parser.add_argument(
+        "--json", action="store_true",
+        help="print the full analysis as JSON instead of the report")
+    profile_parser.set_defaults(handler=cmd_profile)
 
     difftest_parser = sub.add_parser(
         "difftest",

@@ -37,6 +37,7 @@ from pathlib import Path
 from repro.difftest.generators import generate_case
 from repro.difftest.oracle import Divergence, run_axis
 from repro.difftest.reducer import reduce_source
+from repro.obs.aggregate import CampaignMetrics
 from repro.obs.tracer import NULL_TRACER
 from repro.registry import build_machine, generator_names
 
@@ -61,6 +62,11 @@ class DifftestReport:
     divergences: list[Divergence] = field(default_factory=list)
     #: Repro files written, in divergence order.
     corpus_files: list[str] = field(default_factory=list)
+    #: Shard-mergeable rollup of the campaign's tallies (``cases``,
+    #: ``pairs.<axis>``, ``divergences.<axis>`` in the ``difftest``
+    #: counter family) — merges with fault-campaign rollups into one
+    #: fleet-level :class:`CampaignMetrics`.
+    metrics: CampaignMetrics = field(default_factory=CampaignMetrics)
 
     @property
     def clean(self) -> bool:
@@ -88,6 +94,7 @@ class DifftestReport:
                 for d in self.divergences
             ],
             "corpus_files": list(self.corpus_files),
+            "metrics": self.metrics.to_json(),
         }
 
     def render(self) -> str:
@@ -199,6 +206,7 @@ def run_difftest(
                 lang, build_machine(machine_name), case_seed, size=size,
             )
             report.cases_run += 1
+            report.metrics.difftest.inc("cases")
             case_axes = [
                 axis for axis in axes
                 if index % _AXIS_EVERY.get(axis, 1) == 0
@@ -211,9 +219,11 @@ def run_difftest(
                 )
             for axis in case_axes:
                 report.pairs_run[axis] = report.pairs_run.get(axis, 0) + 1
+                report.metrics.difftest.inc(f"pairs.{axis}")
                 divergence = run_axis(axis, case, workdir=workdir)
                 if divergence is None:
                     continue
+                report.metrics.difftest.inc(f"divergences.{axis}")
                 if reduce:
                     divergence.reduced_source = _shrink(divergence, workdir)
                 if tracer.enabled:

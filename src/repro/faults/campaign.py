@@ -38,6 +38,7 @@ from repro.asm.loader import ControlStore
 from repro.errors import FaultPlanError, ReproError, SimulationLimitError
 from repro.faults.injectors import build_injector
 from repro.faults.plan import FaultPlan, FaultSpace, FaultSpec
+from repro.obs.aggregate import CampaignMetrics
 from repro.obs.timeline import TraceRecorder
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.simulator import Simulator
@@ -141,6 +142,11 @@ class CampaignResult:
     golden: GoldenRun
     outcomes: list[ScenarioOutcome] = field(default_factory=list)
     restart_hazards: list[str] = field(default_factory=list)
+    #: Shard-mergeable telemetry rollup; populated only when the
+    #: campaign ran with ``collect_metrics=True`` (it costs a
+    #: recorder per run), and omitted from the JSON otherwise so
+    #: metrics-off reports are unchanged byte for byte.
+    metrics: CampaignMetrics | None = None
 
     def counts(self) -> dict[str, int]:
         tally = {name: 0 for name in CLASSIFICATIONS}
@@ -171,7 +177,7 @@ class CampaignResult:
         ]
 
     def to_json(self) -> dict:
-        return {
+        record = {
             "program": self.program,
             "lang": self.lang,
             "machine": self.machine,
@@ -185,16 +191,22 @@ class CampaignResult:
             ],
             "outcomes": [o.to_json() for o in self.outcomes],
         }
+        if self.metrics is not None:
+            record["metrics"] = self.metrics.to_json()
+        return record
 
 
 # ----------------------------------------------------------------------
 def _fresh_simulator(
     machine, loaded, *, registers, memory, mapping, tracer,
-    engine: str = "interpretive",
+    engine: str = "interpretive", collect_profile: bool = False,
 ) -> Simulator:
     store = ControlStore(machine)
     store.load(loaded)
-    recorder = TraceRecorder(tracer) if tracer.enabled else None
+    recorder = (
+        TraceRecorder(tracer)
+        if tracer.enabled or collect_profile else None
+    )
     simulator = Simulator(
         machine, store,
         trap_service=default_trap_service,
@@ -207,6 +219,28 @@ def _fresh_simulator(
     for address, value in (memory or {}).items():
         simulator.state.memory.load_words(address, [value])
     return simulator
+
+
+def _harvest_run(
+    metrics: CampaignMetrics, simulator, classification: str | None,
+) -> None:
+    """Fold one finished (or aborted) run into a metrics rollup.
+
+    The scenario simulator is fresh, so its lifetime plan-cache stats
+    *are* the run's stats; harvesting from the simulator rather than
+    the :class:`RunResult` also covers runs that ended in a typed
+    error, where no result object exists but the recorder kept
+    counting right up to the abort.
+    """
+    profile = simulator.recorder.profile
+    plan_counters = None
+    if simulator.engine == "decoded":
+        plan_counters = simulator.plan_cache_counters(
+            profile.instructions, None
+        )
+    metrics.add_run(
+        profile, classification=classification, plan_cache=plan_counters
+    )
 
 
 def _macro_registers(simulator) -> dict[str, int]:
@@ -248,6 +282,7 @@ def run_campaign_loaded(
     jobs: int = 1,
     engine: str = "decoded",
     compile_each=None,
+    collect_metrics: bool = False,
 ) -> CampaignResult:
     """Run a campaign over an already-assembled program.
 
@@ -269,14 +304,23 @@ def run_campaign_loaded(
     compile cache is supplied) is called once per serial scenario and
     returns the program to run — modelling the "compile per scenario"
     pattern the cache collapses to one real compilation.
+
+    ``collect_metrics`` attaches a profile recorder to the golden run
+    and every scenario and folds the results into
+    ``CampaignResult.metrics``.  Shard rollups merge with the
+    associative/commutative laws of :mod:`repro.obs.aggregate`, so
+    the metrics block is byte-identical between serial and ``--jobs``
+    runs of the same campaign.
     """
     mapping = mapping or {}
+    metrics = CampaignMetrics() if collect_metrics else None
 
     with tracer.span("golden", cat="fault", program=loaded.name,
                      machine=machine.name) as span:
         simulator = _fresh_simulator(
             machine, loaded, registers=registers, memory=memory,
             mapping=mapping, tracer=NULL_TRACER, engine=engine,
+            collect_profile=collect_metrics,
         )
         result = simulator.run(loaded.name)
         golden = GoldenRun(
@@ -288,6 +332,8 @@ def run_campaign_loaded(
             reads=simulator.state.memory.reads,
             writes=simulator.state.memory.writes,
         )
+        if metrics is not None:
+            _harvest_run(metrics, simulator, None)
         span.set(cycles=golden.cycles, exit_value=golden.exit_value)
 
     if plan is None:
@@ -306,11 +352,16 @@ def run_campaign_loaded(
     )
     indexed = list(enumerate(plan.specs))
     if jobs > 1 and len(indexed) > 1 and not tracer.enabled:
-        campaign.outcomes = _run_scenarios_parallel(
+        campaign.outcomes, shard_metrics = _run_scenarios_parallel(
             indexed, machine, loaded, golden,
             registers=registers, memory=memory, mapping=mapping,
             watchdog=watchdog, jobs=jobs, engine=engine,
+            collect_metrics=collect_metrics,
         )
+        if metrics is not None:
+            campaign.metrics = CampaignMetrics.merged(
+                [metrics, *shard_metrics]
+            )
         return campaign
     for index, fault_spec in indexed:
         scenario_loaded = compile_each() if compile_each is not None else loaded
@@ -319,35 +370,42 @@ def run_campaign_loaded(
                 index, fault_spec, machine, scenario_loaded, golden,
                 registers=registers, memory=memory, mapping=mapping,
                 watchdog=watchdog, tracer=tracer, engine=engine,
+                metrics=metrics,
             )
         )
+    campaign.metrics = metrics
     return campaign
 
 
-def _shard_worker(args) -> list:
+def _shard_worker(args) -> tuple:
     """Top-level pool target: run one shard of scenarios.
 
     Receives everything by value (machines, programs and golden runs
-    all pickle); returns the shard's outcomes.  Classification uses no
+    all pickle); returns the shard's outcomes plus its local metrics
+    rollup (or ``None`` when metrics are off).  Classification uses no
     randomness and no wall-clock quantities, so outcomes are identical
     to what the serial loop would have produced for the same indices.
     """
     (shard, machine, loaded, golden, registers, memory, mapping,
-     watchdog, engine) = args
-    return [
+     watchdog, engine, collect_metrics) = args
+    metrics = CampaignMetrics() if collect_metrics else None
+    outcomes = [
         _run_scenario(
             index, fault_spec, machine, loaded, golden,
             registers=registers, memory=memory, mapping=mapping,
             watchdog=watchdog, tracer=NULL_TRACER, engine=engine,
+            metrics=metrics,
         )
         for index, fault_spec in shard
     ]
+    return outcomes, metrics
 
 
 def _run_scenarios_parallel(
     indexed, machine, loaded, golden, *,
     registers, memory, mapping, watchdog, jobs, engine,
-) -> list[ScenarioOutcome]:
+    collect_metrics: bool = False,
+) -> tuple[list[ScenarioOutcome], list[CampaignMetrics]]:
     """Shard scenarios over a process pool, merge back to index order."""
     import multiprocessing
 
@@ -355,14 +413,19 @@ def _run_scenarios_parallel(
     shards = [indexed[offset::jobs] for offset in range(jobs)]
     tasks = [
         (shard, machine, loaded, golden, registers, memory, mapping,
-         watchdog, engine)
+         watchdog, engine, collect_metrics)
         for shard in shards
     ]
     with multiprocessing.Pool(processes=jobs) as pool:
-        shard_outcomes = pool.map(_shard_worker, tasks)
-    merged = [outcome for shard in shard_outcomes for outcome in shard]
+        shard_results = pool.map(_shard_worker, tasks)
+    merged = [
+        outcome for outcomes, _ in shard_results for outcome in outcomes
+    ]
     merged.sort(key=lambda outcome: outcome.index)
-    return merged
+    shard_metrics = [
+        metrics for _, metrics in shard_results if metrics is not None
+    ]
+    return merged, shard_metrics
 
 
 def _run_scenario(
@@ -378,6 +441,7 @@ def _run_scenario(
     watchdog: int,
     tracer,
     engine: str = "interpretive",
+    metrics: CampaignMetrics | None = None,
 ) -> ScenarioOutcome:
     rendered = fault_spec.render()
     with tracer.span(f"scenario {index:03d}", cat="fault",
@@ -385,6 +449,7 @@ def _run_scenario(
         simulator = _fresh_simulator(
             machine, loaded, registers=registers, memory=memory,
             mapping=mapping, tracer=tracer, engine=engine,
+            collect_profile=metrics is not None,
         )
         injector = build_injector(fault_spec).attach(simulator)
         outcome = ScenarioOutcome(index=index, spec=rendered,
@@ -416,6 +481,8 @@ def _run_scenario(
             else:
                 outcome.classification = "masked"
         outcome.fired = list(injector.fired)
+        if metrics is not None:
+            _harvest_run(metrics, simulator, outcome.classification)
         span.set(classification=outcome.classification,
                  fired=len(outcome.fired))
     return outcome
@@ -438,6 +505,7 @@ def run_campaign(
     jobs: int = 1,
     engine: str = "decoded",
     cache=None,
+    collect_metrics: bool = False,
 ) -> CampaignResult:
     """Compile ``source`` in ``lang`` for ``machine`` and campaign it.
 
@@ -445,6 +513,13 @@ def run_campaign(
     program is compiled through the cache, and each serial scenario
     re-probes it (one real compilation, N-1 hits — the pattern that
     used to be N compilations across campaign harness variants).
+
+    With ``collect_metrics`` the result carries a
+    :class:`CampaignMetrics` rollup; the compile-cache family counts
+    only the golden compilation's probes, because per-scenario
+    re-probing is a serial-path modelling detail that ``--jobs``
+    legitimately skips — including it would break the serial/sharded
+    byte-identity contract.
     """
     from repro.registry import RegistryError, get_language, language_names
 
@@ -455,17 +530,34 @@ def run_campaign(
             f"unknown language {lang!r}; expected one of "
             f"{', '.join(language_names())}"
         ) from None
+    cache_before = None
+    if cache is not None and collect_metrics:
+        cache_before = (
+            cache.stats.hits, cache.stats.misses, cache.stats.disk_hits,
+            cache.stats.evictions, cache.stats.corrupt,
+        )
     result = spec.compile(
         source, machine, tracer=tracer, restart_safe=restart_safe,
         cache=cache,
     )
+    golden_cache_delta = None
+    if cache_before is not None:
+        from repro.cache import CacheStats
+
+        golden_cache_delta = CacheStats(
+            hits=cache.stats.hits - cache_before[0],
+            misses=cache.stats.misses - cache_before[1],
+            disk_hits=cache.stats.disk_hits - cache_before[2],
+            evictions=cache.stats.evictions - cache_before[3],
+            corrupt=cache.stats.corrupt - cache_before[4],
+        )
     compile_each = None
     if cache is not None:
         def compile_each():
             return spec.compile(
                 source, machine, restart_safe=restart_safe, cache=cache
             ).loaded
-    return run_campaign_loaded(
+    campaign = run_campaign_loaded(
         result.loaded, machine,
         n=n, seed=seed, lang=lang, plan=plan,
         registers=registers, memory=memory,
@@ -473,7 +565,11 @@ def run_campaign(
         restart_hazards=result.restart_hazards,
         cycle_factor=cycle_factor, tracer=tracer,
         jobs=jobs, engine=engine, compile_each=compile_each,
+        collect_metrics=collect_metrics,
     )
+    if golden_cache_delta is not None and campaign.metrics is not None:
+        campaign.metrics.add_cache(golden_cache_delta)
+    return campaign
 
 
 def run_matrix(
@@ -489,6 +585,7 @@ def run_matrix(
     jobs: int = 1,
     engine: str = "decoded",
     cache=None,
+    collect_metrics: bool = False,
 ) -> list[CampaignResult]:
     """Campaign every (language, machine) pair of the matrix.
 
@@ -509,6 +606,7 @@ def run_matrix(
                     n=n, seed=seed, restart_safe=restart_safe,
                     registers=registers, memory=memory, tracer=tracer,
                     jobs=jobs, engine=engine, cache=cache,
+                    collect_metrics=collect_metrics,
                 )
             )
     return results

@@ -55,6 +55,8 @@ def render_campaign(result: CampaignResult, *, scenarios: bool = True) -> str:
                 f"    #{outcome.index:02d} {outcome.spec:<28} "
                 f"{outcome.classification:<10} {detail}"
             )
+    if result.metrics is not None:
+        lines.append(result.metrics.render())
     return "\n".join(lines)
 
 

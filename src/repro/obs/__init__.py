@@ -16,6 +16,11 @@ Everything defaults off: the :data:`NULL_TRACER` singleton and a
 ``recorder=None`` simulator cost one attribute test per call site.
 """
 
+from repro.obs.aggregate import (
+    CampaignMetrics,
+    merge_cache_stats,
+    merge_profiles,
+)
 from repro.obs.events import (
     CAT_WARNING,
     PH_COMPLETE,
@@ -28,21 +33,38 @@ from repro.obs.events import (
 )
 from repro.obs.export import (
     dump_chrome_trace,
+    dump_flamegraph,
     dump_jsonl,
     load_jsonl,
     render_compile_report,
+    render_heat,
     render_hotspots,
     to_chrome_trace,
+    to_collapsed_stacks,
+    to_prometheus,
     write_trace,
+)
+from repro.obs.hotpath import (
+    BasicBlock,
+    HotPathAnalysis,
+    HotTrace,
+    Loop,
+    analyze_profile,
+    render_hot_traces,
 )
 from repro.obs.metrics import Counters, StageStat, stage_breakdown
 from repro.obs.timeline import SimProfile, TraceRecorder
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "BasicBlock",
     "CAT_WARNING",
+    "CampaignMetrics",
     "Counters",
     "Event",
+    "HotPathAnalysis",
+    "HotTrace",
+    "Loop",
     "NULL_TRACER",
     "NullTracer",
     "PH_COMPLETE",
@@ -56,12 +78,20 @@ __all__ = [
     "TRACK_SIM",
     "TraceRecorder",
     "Tracer",
+    "analyze_profile",
     "dump_chrome_trace",
+    "dump_flamegraph",
     "dump_jsonl",
     "load_jsonl",
+    "merge_cache_stats",
+    "merge_profiles",
     "render_compile_report",
+    "render_heat",
+    "render_hot_traces",
     "render_hotspots",
     "stage_breakdown",
     "to_chrome_trace",
+    "to_collapsed_stacks",
+    "to_prometheus",
     "write_trace",
 ]

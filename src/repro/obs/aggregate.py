@@ -1,0 +1,237 @@
+"""Shard-mergeable campaign metrics (the fleet-level rollup).
+
+Parallel campaigns (``--jobs``) and difftest sweeps produce one
+profile, one cache-stats block and one classification tally *per
+shard*; before this module each shard's telemetry was thrown away.
+Here every counter family gets a **deterministic, associative,
+commutative merge**, so any grouping of shard results folds to the
+same :class:`CampaignMetrics` a serial run accumulates — merged
+reports are byte-identical to serial ones, which is what lets the
+``--jobs`` fan-out stay an implementation detail instead of an
+observability regression.
+
+Merge laws (property-tested in ``tests/obs/test_aggregate.py``):
+
+* ``merge(a, b) == merge(b, a)`` (commutative),
+* ``merge(a, empty) == a`` (identity),
+* ``merge(merge(a, b), c) == merge(a, merge(b, c))`` (associative).
+
+Counter families are sums; names fold into a sorted ``+``-joined set;
+``entry`` takes the minimum; conflicting ``mi_text`` entries resolve
+to the lexicographically smaller rendering (arbitrary but symmetric —
+in practice the same address always renders the same text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache import CacheStats
+from repro.obs.metrics import Counters
+from repro.obs.timeline import SimProfile
+
+
+# ----------------------------------------------------------------------
+# Profile merging
+# ----------------------------------------------------------------------
+def _merge_names(a: str, b: str) -> str:
+    """Fold two run names symmetrically (``+``-joined sorted set)."""
+    parts = set(a.split("+")) | set(b.split("+"))
+    parts.discard("")
+    return "+".join(sorted(parts))
+
+
+def merge_profiles(a: SimProfile, b: SimProfile) -> SimProfile:
+    """Pure associative/commutative merge of two profiles."""
+    merged = SimProfile(
+        program=_merge_names(a.program, b.program),
+        machine=_merge_names(a.machine, b.machine),
+        entry=(
+            a.entry if b.entry is None
+            else b.entry if a.entry is None
+            else min(a.entry, b.entry)
+        ),
+        exec_counts=Counters(a.exec_counts.data),
+        cycle_counts=Counters(a.cycle_counts.data),
+        edge_counts=Counters(a.edge_counts.data),
+        field_util=Counters(a.field_util.data),
+        mi_text=dict(a.mi_text),
+        instructions=a.instructions + b.instructions,
+        busy_cycles=a.busy_cycles + b.busy_cycles,
+        trap_cycles=a.trap_cycles + b.trap_cycles,
+        interrupt_cycles=a.interrupt_cycles + b.interrupt_cycles,
+        polls=a.polls + b.polls,
+        traps=a.traps + b.traps,
+        interrupts=a.interrupts + b.interrupts,
+        decodes=a.decodes + b.decodes,
+    )
+    merged.exec_counts.merge(b.exec_counts)
+    merged.cycle_counts.merge(b.cycle_counts)
+    merged.edge_counts.merge(b.edge_counts)
+    merged.field_util.merge(b.field_util)
+    for address, text in b.mi_text.items():
+        existing = merged.mi_text.get(address)
+        merged.mi_text[address] = (
+            text if existing is None else min(existing, text)
+        )
+    return merged
+
+
+def merge_cache_stats(a: CacheStats, b: CacheStats) -> CacheStats:
+    """Pure field-wise sum of two compile-cache stat blocks."""
+    return CacheStats(
+        hits=a.hits + b.hits,
+        misses=a.misses + b.misses,
+        disk_hits=a.disk_hits + b.disk_hits,
+        evictions=a.evictions + b.evictions,
+        corrupt=a.corrupt + b.corrupt,
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignMetrics:
+    """One fleet-level rollup of campaign telemetry.
+
+    Accumulated per run (serial path) or per shard (``--jobs`` path)
+    and folded with :meth:`merge`; every family obeys the merge laws
+    above, so the fold order never shows in the report.
+
+    Attributes:
+        runs: Simulated runs aggregated (golden + scenarios).
+        profile: Merged execution profile across all runs.
+        classifications: Fault-campaign outcome tallies
+            (masked/recovered/sdc/detected/hang).
+        difftest: Differential-testing tallies (``cases``,
+            ``pairs.<axis>``, ``divergences.<axis>``).
+        cache: Compile-cache probe totals.
+        plan_cache: Decoded-engine plan-cache totals
+            (``hits``/``misses``/``invalidations``).
+    """
+
+    runs: int = 0
+    profile: SimProfile = field(default_factory=SimProfile)
+    classifications: Counters = field(default_factory=Counters)
+    difftest: Counters = field(default_factory=Counters)
+    cache: CacheStats = field(default_factory=CacheStats)
+    plan_cache: Counters = field(default_factory=Counters)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "CampaignMetrics") -> "CampaignMetrics":
+        """Pure merge; the laws make any shard grouping equivalent."""
+        merged = CampaignMetrics(
+            runs=self.runs + other.runs,
+            profile=merge_profiles(self.profile, other.profile),
+            classifications=Counters(self.classifications.data),
+            difftest=Counters(self.difftest.data),
+            cache=merge_cache_stats(self.cache, other.cache),
+            plan_cache=Counters(self.plan_cache.data),
+        )
+        merged.classifications.merge(other.classifications)
+        merged.difftest.merge(other.difftest)
+        merged.plan_cache.merge(other.plan_cache)
+        return merged
+
+    @classmethod
+    def merged(cls, parts: list["CampaignMetrics"]) -> "CampaignMetrics":
+        """Fold any number of shard rollups (empty list -> empty)."""
+        rollup = cls()
+        for part in parts:
+            rollup = rollup.merge(part)
+        return rollup
+
+    # ------------------------------------------------------------------
+    def add_run(
+        self,
+        profile: SimProfile | None = None,
+        *,
+        classification: str | None = None,
+        plan_cache: dict | None = None,
+    ) -> None:
+        """Accumulate one simulated run in place (serial hot path)."""
+        self.runs += 1
+        if profile is not None:
+            self.profile = merge_profiles(self.profile, profile)
+        if classification is not None:
+            self.classifications.inc(classification)
+        if plan_cache:
+            for key, value in plan_cache.items():
+                self.plan_cache.inc(key, value)
+
+    def add_cache(self, stats: CacheStats) -> None:
+        """Fold one compile-cache stats block in place."""
+        self.cache = merge_cache_stats(self.cache, stats)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Deterministic dict form (sorted keys, no wall-clock)."""
+        return {
+            "runs": self.runs,
+            "profile": self.profile.to_json(),
+            "classifications": {
+                str(k): v for k, v in sorted(self.classifications.items())
+            },
+            "difftest": {
+                str(k): v for k, v in sorted(self.difftest.items())
+            },
+            "cache": self.cache.to_json(),
+            "plan_cache": {
+                str(k): int(v) for k, v in sorted(self.plan_cache.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CampaignMetrics":
+        """Inverse of :meth:`to_json` (cache hit_rate is derived)."""
+        cache = payload.get("cache", {})
+        return cls(
+            runs=payload.get("runs", 0),
+            profile=SimProfile.from_json(payload.get("profile", {})),
+            classifications=Counters(
+                dict(payload.get("classifications", {}))
+            ),
+            difftest=Counters(dict(payload.get("difftest", {}))),
+            cache=CacheStats(
+                hits=cache.get("hits", 0),
+                misses=cache.get("misses", 0),
+                disk_hits=cache.get("disk_hits", 0),
+                evictions=cache.get("evictions", 0),
+                corrupt=cache.get("corrupt", 0),
+            ),
+            plan_cache=Counters(dict(payload.get("plan_cache", {}))),
+        )
+
+    def render(self) -> str:
+        """Human-readable rollup summary."""
+        profile = self.profile
+        lines = [
+            f"campaign metrics: {self.runs} runs, "
+            f"{profile.instructions} MIs, "
+            f"{profile.total_cycles()} cycles "
+            f"({profile.traps} traps, {profile.interrupts} interrupts)",
+        ]
+        if self.classifications:
+            tally = ", ".join(
+                f"{name}={int(count)}"
+                for name, count in sorted(self.classifications.items())
+            )
+            lines.append(f"  outcomes: {tally}")
+        if self.difftest:
+            tally = ", ".join(
+                f"{name}={int(count)}"
+                for name, count in sorted(self.difftest.items())
+            )
+            lines.append(f"  difftest: {tally}")
+        if self.plan_cache:
+            tally = ", ".join(
+                f"{name}={int(count)}"
+                for name, count in sorted(self.plan_cache.items())
+            )
+            lines.append(f"  plan cache: {tally}")
+        if self.cache.probes():
+            lines.append(
+                f"  compile cache: {self.cache.hits} hits / "
+                f"{self.cache.probes()} probes "
+                f"({100.0 * self.cache.hit_rate():.1f}%)"
+            )
+        return "\n".join(lines)

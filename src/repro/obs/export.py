@@ -1,6 +1,6 @@
-"""Exporters: JSON-lines, Chrome trace-event JSON, text reports.
+"""Exporters: JSON-lines, Chrome traces, Prometheus, flamegraphs.
 
-Three consumers, three formats:
+Consumers and their formats:
 
 * :func:`dump_jsonl` / :func:`load_jsonl` — lossless event streams for
   programmatic analysis (one ``Event.to_json`` dict per line);
@@ -8,7 +8,19 @@ Three consumers, three formats:
   ``chrome://tracing`` / Perfetto *JSON Array Format*, with compile
   and simulator timelines on separate named threads;
 * :func:`render_hotspots` / :func:`render_compile_report` — the
-  human-readable tables behind the CLI's ``--stats`` flag.
+  human-readable tables behind the CLI's ``--stats`` flag;
+* :func:`to_prometheus` — the Prometheus text exposition format, for
+  scraping fleet-level :class:`~repro.obs.aggregate.CampaignMetrics`
+  (and single profiles) into dashboards;
+* :func:`to_collapsed_stacks` — Brendan-Gregg collapsed-stack lines
+  (``frame;frame value``) that ``flamegraph.pl`` / speedscope render
+  directly, with loop nesting as the stack;
+* :func:`render_heat` — the annotated microcode disassembly heat
+  report behind ``repro profile``.
+
+Every profile-derived exporter is a pure function of its input, so
+shard-merged and replayed profiles export byte-identically to live
+serial runs.
 """
 
 from __future__ import annotations
@@ -17,6 +29,7 @@ import json
 from pathlib import Path
 
 from repro.obs.events import PH_COMPLETE, Event
+from repro.obs.hotpath import HotPathAnalysis, analyze_profile
 from repro.obs.metrics import stage_breakdown
 from repro.obs.timeline import SimProfile
 
@@ -136,6 +149,184 @@ def render_hotspots(profile: SimProfile, top: int = 10) -> str:
         lines.append(
             f"{profile.polls} polls, {profile.traps} traps, "
             f"{profile.interrupts} interrupts serviced"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_series(
+    name: str, labels: dict, value, *, out: list[str]
+) -> None:
+    rendered = ",".join(
+        f'{key}="{_prom_escape(str(val))}"'
+        for key, val in sorted(labels.items())
+    )
+    out.append(f"{name}{{{rendered}}} {value}" if rendered
+               else f"{name} {value}")
+
+
+def to_prometheus(source, *, namespace: str = "repro") -> str:
+    """Prometheus text format for a profile or a metrics rollup.
+
+    ``source`` is a :class:`SimProfile` or a
+    :class:`~repro.obs.aggregate.CampaignMetrics`; the rollup form
+    additionally exposes classification, difftest, compile-cache and
+    plan-cache counter families.  Output is deterministically ordered
+    (sorted labels and series), so scrapes of merged shard rollups are
+    byte-identical to serial ones.
+    """
+    from repro.obs.aggregate import CampaignMetrics
+
+    metrics = source if isinstance(source, CampaignMetrics) else None
+    profile = metrics.profile if metrics is not None else source
+    run_labels = {"program": profile.program, "machine": profile.machine}
+    lines: list[str] = []
+
+    def family(suffix: str, kind: str, help_text: str) -> str:
+        name = f"{namespace}_{suffix}"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        return name
+
+    for attr, help_text in (
+        ("instructions", "Microinstructions executed"),
+        ("busy_cycles", "Cycles spent executing microinstructions"),
+        ("trap_cycles", "Cycles charged to microtrap service"),
+        ("interrupt_cycles", "Cycles charged to interrupt service"),
+        ("traps", "Microtraps serviced"),
+        ("interrupts", "Interrupts serviced"),
+        ("polls", "poll micro-operations executed"),
+        ("decodes", "Control-store words lowered to execution plans"),
+    ):
+        name = family(f"sim_{attr}_total", "counter", help_text)
+        _prom_series(name, run_labels, getattr(profile, attr), out=lines)
+
+    name = family("sim_address_cycles_total", "counter",
+                  "Cycles spent per control-store address")
+    for address, cycles in sorted(profile.cycle_counts.items()):
+        _prom_series(
+            name, {**run_labels, "address": address}, int(cycles), out=lines,
+        )
+    name = family("sim_address_executions_total", "counter",
+                  "Executions per control-store address")
+    for address, count in sorted(profile.exec_counts.items()):
+        _prom_series(
+            name, {**run_labels, "address": address}, int(count), out=lines,
+        )
+
+    if metrics is not None:
+        name = family("campaign_runs_total", "counter",
+                      "Simulated runs aggregated into this rollup")
+        _prom_series(name, {}, metrics.runs, out=lines)
+        name = family("campaign_outcomes_total", "counter",
+                      "Fault-campaign outcome classifications")
+        for cls, count in sorted(metrics.classifications.items()):
+            _prom_series(
+                name, {"classification": cls}, int(count), out=lines,
+            )
+        name = family("difftest_total", "counter",
+                      "Differential-testing tallies")
+        for key, count in sorted(metrics.difftest.items()):
+            _prom_series(name, {"kind": key}, int(count), out=lines)
+        name = family("plan_cache_total", "counter",
+                      "Decoded-engine plan cache events")
+        for key, count in sorted(metrics.plan_cache.items()):
+            _prom_series(name, {"event": key}, int(count), out=lines)
+        name = family("compile_cache_total", "counter",
+                      "Compile cache events")
+        for key, count in sorted(metrics.cache.to_json().items()):
+            if key == "hit_rate":
+                continue
+            _prom_series(name, {"event": key}, int(count), out=lines)
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Collapsed-stack flamegraph format
+def to_collapsed_stacks(
+    source: SimProfile | HotPathAnalysis, *, cycles: bool = True
+) -> str:
+    """Collapsed-stack lines (``flamegraph.pl`` / speedscope input).
+
+    The "stack" of a microinstruction is its loop-nesting chain:
+    ``program;loop@outer;loop@inner;addr:NNNN text``.  Values are
+    cycles (default) or execution counts.  Lines are sorted, so equal
+    profiles collapse identically byte for byte.
+    """
+    analysis = (
+        source if isinstance(source, HotPathAnalysis)
+        else analyze_profile(source)
+    )
+    profile = analysis.profile
+    # address -> enclosing loop headers, outermost first.
+    chains: dict[int, list[int]] = {}
+    for loop in sorted(analysis.loops, key=lambda l: l.depth):
+        for address in loop.body:
+            chains.setdefault(address, []).append(loop.header)
+    root = profile.program or "run"
+    lines = []
+    source_counts = profile.cycle_counts if cycles else profile.exec_counts
+    for address, value in sorted(source_counts.items()):
+        frames = [root]
+        frames.extend(
+            f"loop@{header:04d}" for header in chains.get(address, [])
+        )
+        text = profile.mi_text.get(address, "?").replace(";", ",")
+        frames.append(f"{address:04d} {text}")
+        lines.append(f"{';'.join(frames)} {int(value)}")
+    return "\n".join(sorted(lines)) + ("\n" if lines else "")
+
+
+def dump_flamegraph(source, path: str | Path) -> None:
+    """Write :func:`to_collapsed_stacks` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_collapsed_stacks(source))
+
+
+# ----------------------------------------------------------------------
+# Annotated disassembly heat report
+def render_heat(
+    source: SimProfile | HotPathAnalysis, *, bar_width: int = 24
+) -> str:
+    """Annotated microcode disassembly with per-address heat bars.
+
+    One row per executed address in store order: loop-nesting marker,
+    execution count, cycles, share of busy cycles and a proportional
+    bar.  Deterministic for equal profiles (shard merges included).
+    """
+    analysis = (
+        source if isinstance(source, HotPathAnalysis)
+        else analyze_profile(source)
+    )
+    profile = analysis.profile
+    depth_of = analysis.loop_addresses()
+    busy = profile.busy_cycles or 1
+    peak = max(
+        (int(c) for _, c in profile.cycle_counts.items()), default=1
+    ) or 1
+    lines = [
+        f"heat — {profile.program} on {profile.machine}: "
+        f"{profile.instructions} MIs, {profile.busy_cycles} busy cycles",
+        f"{'addr':>6} {'loop':<5} {'execs':>9} {'cycles':>9} "
+        f"{'share':>6}  {'heat':<{bar_width}}  microinstruction",
+    ]
+    for address in sorted(profile.exec_counts.data):
+        cycles = int(profile.cycle_counts.get(address))
+        depth = depth_of.get(address, 0)
+        marker = ("·" * depth) if depth else ""
+        bar = "#" * max(
+            1 if cycles else 0, round(bar_width * cycles / peak)
+        )
+        lines.append(
+            f"{address:6d} {marker:<5} "
+            f"{int(profile.exec_counts.get(address)):9d} {cycles:9d} "
+            f"{100.0 * cycles / busy:5.1f}%  {bar:<{bar_width}}  "
+            f"{profile.mi_text.get(address, '?')}"
         )
     return "\n".join(lines)
 

@@ -1,0 +1,433 @@
+"""Hot-path analysis: loops and traces out of a :class:`SimProfile`.
+
+The profile-guided trace JIT (ROADMAP) needs more than per-address
+counters: it needs to know *which address sequences* are hot, where
+their back edges are, and how much of the run each one covers.  This
+module reconstructs the dynamic control-flow graph from the
+``edge_counts`` a :class:`~repro.obs.timeline.TraceRecorder` collects
+(every terminator-produced transition between consecutively executed
+microinstructions), derives basic blocks, dominators, back edges and
+natural-loop nesting, and ranks the loops as :class:`HotTrace`
+records — address sequences with iteration counts, cycle share and
+coverage %, exactly the input a trace compiler stitches pre-decoded
+plans from.
+
+Everything here is a pure function of the profile, so an analysis of
+a merged shard profile equals the analysis of the serial profile, and
+a profile replayed from JSON (``repro profile --replay``) analyzes
+identically to the live run that saved it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.timeline import SimProfile
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line run of executed addresses.
+
+    ``executions`` is the entry count of the leader; ``cycles`` sums
+    the profile's cycle counts over the member addresses.
+    """
+
+    start: int
+    addresses: tuple[int, ...]
+    executions: int
+    cycles: int
+
+    @property
+    def end(self) -> int:
+        return self.addresses[-1]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop of the dynamic CFG.
+
+    ``depth`` counts enclosing loops (0 = outermost); ``iterations``
+    sums the back-edge traversal counts into the header.
+    """
+
+    header: int
+    body: frozenset[int]
+    back_edges: tuple[tuple[int, int], ...]
+    iterations: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class HotTrace:
+    """A ranked hot loop, rendered as an executable address sequence.
+
+    ``path`` walks the loop body from the header along the hottest
+    successors (execution order — what a trace JIT would compile);
+    ``cycles`` and the shares cover the whole loop body, nested loops
+    included, so ``coverage`` answers "how much of the run does
+    compiling this region capture".
+    """
+
+    header: int
+    path: tuple[int, ...]
+    body: frozenset[int]
+    iterations: int
+    depth: int
+    cycles: int
+    cycle_share: float
+    exec_share: float
+
+    @property
+    def coverage(self) -> float:
+        """Alias for ``cycle_share`` (fraction of busy cycles, 0..1)."""
+        return self.cycle_share
+
+
+@dataclass
+class HotPathAnalysis:
+    """Everything :func:`analyze_profile` derives from one profile."""
+
+    profile: SimProfile
+    blocks: list[BasicBlock] = field(default_factory=list)
+    loops: list[Loop] = field(default_factory=list)
+    traces: list[HotTrace] = field(default_factory=list)
+
+    def hottest(self) -> HotTrace | None:
+        """The top-ranked trace (None when the run had no loops)."""
+        return self.traces[0] if self.traces else None
+
+    def loop_addresses(self) -> dict[int, int]:
+        """address -> nesting depth + 1 of the innermost loop holding
+        it (0 for addresses outside every loop); the heat report's
+        loop column."""
+        depth_of: dict[int, int] = {}
+        for loop in self.loops:
+            for address in loop.body:
+                depth_of[address] = max(
+                    depth_of.get(address, 0), loop.depth + 1
+                )
+        return depth_of
+
+    def to_json(self) -> dict:
+        """Deterministic summary (sorted keys, ranked order kept)."""
+        return {
+            "blocks": [
+                {
+                    "start": b.start,
+                    "end": b.end,
+                    "addresses": list(b.addresses),
+                    "executions": b.executions,
+                    "cycles": b.cycles,
+                }
+                for b in self.blocks
+            ],
+            "loops": [
+                {
+                    "header": lp.header,
+                    "body": sorted(lp.body),
+                    "back_edges": [list(e) for e in lp.back_edges],
+                    "iterations": lp.iterations,
+                    "depth": lp.depth,
+                }
+                for lp in self.loops
+            ],
+            "traces": [
+                {
+                    "header": t.header,
+                    "path": list(t.path),
+                    "iterations": t.iterations,
+                    "depth": t.depth,
+                    "cycles": t.cycles,
+                    "cycle_share": round(t.cycle_share, 6),
+                    "exec_share": round(t.exec_share, 6),
+                }
+                for t in self.traces
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Graph reconstruction
+# ----------------------------------------------------------------------
+def _graph(profile: SimProfile):
+    """Successor/predecessor adjacency (sorted for determinism)."""
+    succs: dict[int, list[int]] = {}
+    preds: dict[int, list[int]] = {}
+    nodes = set(profile.exec_counts.data)
+    for (src, dst), _count in sorted(profile.edge_counts.items()):
+        nodes.add(src)
+        nodes.add(dst)
+        succs.setdefault(src, []).append(dst)
+        preds.setdefault(dst, []).append(src)
+    return sorted(nodes), succs, preds
+
+
+def _reverse_postorder(entry: int, succs: dict[int, list[int]]) -> list[int]:
+    """Iterative DFS; only nodes reachable from ``entry`` appear."""
+    order: list[int] = []
+    seen: set[int] = set()
+    stack: list[tuple[int, int]] = [(entry, 0)]
+    seen.add(entry)
+    while stack:
+        node, i = stack.pop()
+        children = succs.get(node, [])
+        if i < len(children):
+            stack.append((node, i + 1))
+            child = children[i]
+            if child not in seen:
+                seen.add(child)
+                stack.append((child, 0))
+        else:
+            order.append(node)
+    order.reverse()
+    return order
+
+
+def _dominators(
+    entry: int, rpo: list[int], preds: dict[int, list[int]]
+) -> dict[int, int]:
+    """Immediate dominators (Cooper-Harvey-Kennedy iterative scheme)."""
+    index = {node: i for i, node in enumerate(rpo)}
+    idom: dict[int, int] = {entry: entry}
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == entry:
+                continue
+            new_idom = None
+            for pred in preds.get(node, []):
+                if pred not in idom or pred not in index:
+                    continue
+                if new_idom is None:
+                    new_idom = pred
+                else:
+                    a, b = pred, new_idom
+                    while a != b:
+                        while index[a] > index[b]:
+                            a = idom[a]
+                        while index[b] > index[a]:
+                            b = idom[b]
+                    new_idom = a
+            if new_idom is not None and idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def _dominates(idom: dict[int, int], a: int, b: int) -> bool:
+    """True iff ``a`` dominates ``b`` (walking the idom chain)."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent is None or parent == node:
+            return False
+        node = parent
+
+
+def _natural_loops(
+    profile: SimProfile,
+    rpo: list[int],
+    succs: dict[int, list[int]],
+    preds: dict[int, list[int]],
+    idom: dict[int, int],
+) -> list[Loop]:
+    """Back edges -> natural loops, merged per header, depth-annotated."""
+    reachable = set(rpo)
+    bodies: dict[int, set[int]] = {}
+    back_edges: dict[int, list[tuple[int, int]]] = {}
+    for src in rpo:
+        for dst in succs.get(src, []):
+            if dst in reachable and _dominates(idom, dst, src):
+                back_edges.setdefault(dst, []).append((src, dst))
+                body = bodies.setdefault(dst, {dst})
+                # Reverse reachability from the latch, stopping at the
+                # header, gives the classic natural-loop body.
+                stack = [src]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(
+                        p for p in preds.get(node, []) if p in reachable
+                    )
+    loops: list[Loop] = []
+    headers = sorted(bodies)
+    for header in headers:
+        body = frozenset(bodies[header])
+        depth = sum(
+            1 for other in headers
+            if other != header
+            and header in bodies[other]
+            and body < frozenset(bodies[other])
+        )
+        edges = tuple(sorted(back_edges[header]))
+        loops.append(
+            Loop(
+                header=header,
+                body=body,
+                back_edges=edges,
+                iterations=int(sum(
+                    profile.edge_counts.get(edge) for edge in edges
+                )),
+                depth=depth,
+            )
+        )
+    return loops
+
+
+def _basic_blocks(
+    profile: SimProfile,
+    entry: int,
+    rpo: list[int],
+    succs: dict[int, list[int]],
+    preds: dict[int, list[int]],
+) -> list[BasicBlock]:
+    """Leaders (entry, join points, branch targets) -> block runs."""
+    reachable = set(rpo)
+    leaders = {entry}
+    for node in rpo:
+        if len(preds.get(node, [])) > 1:
+            leaders.add(node)
+        if len(succs.get(node, [])) > 1:
+            leaders.update(s for s in succs[node] if s in reachable)
+    blocks = []
+    for leader in sorted(leaders):
+        addresses = [leader]
+        node = leader
+        while True:
+            following = succs.get(node, [])
+            if len(following) != 1:
+                break
+            nxt = following[0]
+            if nxt in leaders or nxt in addresses:
+                break
+            addresses.append(nxt)
+            node = nxt
+        blocks.append(
+            BasicBlock(
+                start=leader,
+                addresses=tuple(addresses),
+                executions=int(profile.exec_counts.get(leader)),
+                cycles=int(sum(
+                    profile.cycle_counts.get(a) for a in addresses
+                )),
+            )
+        )
+    return blocks
+
+
+def _trace_path(
+    profile: SimProfile, loop: Loop, succs: dict[int, list[int]]
+) -> tuple[int, ...]:
+    """Walk the loop body from its header along hottest successors."""
+    path = [loop.header]
+    node = loop.header
+    visited = {loop.header}
+    while True:
+        candidates = [
+            s for s in succs.get(node, []) if s in loop.body
+        ]
+        if not candidates:
+            break
+        # Hottest edge first; ties break on the lower address so the
+        # path is stable across shard merges.
+        node = max(
+            candidates,
+            key=lambda s: (profile.edge_counts.get((path[-1], s)), -s),
+        )
+        if node in visited:
+            break  # closed the loop (or hit an inner cycle)
+        visited.add(node)
+        path.append(node)
+    return tuple(path)
+
+
+# ----------------------------------------------------------------------
+def analyze_profile(profile: SimProfile) -> HotPathAnalysis:
+    """Reconstruct the dynamic CFG and rank hot traces.
+
+    Ranking is (cycles desc, header asc); every derived quantity is a
+    pure function of the profile's counters, so merged-shard and
+    replayed profiles analyze byte-identically to live serial runs.
+    """
+    analysis = HotPathAnalysis(profile=profile)
+    if profile.entry is None or not profile.exec_counts:
+        return analysis
+    entry = profile.entry
+    _nodes, succs, preds = _graph(profile)
+    for adjacency in (succs, preds):
+        for neighbours in adjacency.values():
+            neighbours.sort()
+    rpo = _reverse_postorder(entry, succs)
+    idom = _dominators(entry, rpo, preds)
+    analysis.blocks = _basic_blocks(profile, entry, rpo, succs, preds)
+    analysis.loops = _natural_loops(profile, rpo, succs, preds, idom)
+    busy = profile.busy_cycles or 1
+    instructions = profile.instructions or 1
+    traces = []
+    for loop in analysis.loops:
+        cycles = int(sum(
+            profile.cycle_counts.get(a) for a in loop.body
+        ))
+        execs = int(sum(profile.exec_counts.get(a) for a in loop.body))
+        traces.append(
+            HotTrace(
+                header=loop.header,
+                path=_trace_path(profile, loop, succs),
+                body=loop.body,
+                iterations=loop.iterations,
+                depth=loop.depth,
+                cycles=cycles,
+                cycle_share=cycles / busy,
+                exec_share=execs / instructions,
+            )
+        )
+    traces.sort(key=lambda t: (-t.cycles, t.header))
+    analysis.traces = traces
+    return analysis
+
+
+def render_hot_traces(
+    analysis: HotPathAnalysis, top: int = 5, *, loops: bool = False
+) -> str:
+    """The ``repro profile`` trace table (and optional loop forest)."""
+    profile = analysis.profile
+    lines = [
+        f"hot traces — {profile.program} on {profile.machine}: "
+        f"{len(analysis.traces)} loop(s), "
+        f"{len(analysis.blocks)} basic block(s), "
+        f"{profile.busy_cycles} busy cycles",
+    ]
+    if not analysis.traces:
+        lines.append("  no loops detected (straight-line execution)")
+    for rank, trace in enumerate(analysis.traces[:top], start=1):
+        lines.append(
+            f"  #{rank} loop@{trace.header:04d} depth={trace.depth} "
+            f"{trace.iterations} iterations, {trace.cycles} cycles "
+            f"({100.0 * trace.cycle_share:.1f}% of busy, "
+            f"{100.0 * trace.exec_share:.1f}% of MIs)"
+        )
+        rendered = " -> ".join(f"{a:04d}" for a in trace.path)
+        lines.append(f"     path: {rendered} -> {trace.header:04d}")
+        for address in trace.path:
+            text = profile.mi_text.get(address, "?")
+            lines.append(
+                f"       {address:04d} "
+                f"x{int(profile.exec_counts.get(address)):<9d} {text}"
+            )
+    if loops and analysis.loops:
+        lines.append("  loop forest:")
+        for loop in sorted(analysis.loops, key=lambda l: (l.depth, l.header)):
+            lines.append(
+                f"    {'  ' * loop.depth}loop@{loop.header:04d} "
+                f"body={len(loop.body)} addrs, "
+                f"{loop.iterations} iterations, "
+                f"back edges "
+                + ", ".join(f"{s:04d}->{d:04d}" for s, d in loop.back_edges)
+            )
+    return "\n".join(lines)

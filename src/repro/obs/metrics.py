@@ -46,6 +46,14 @@ class Counters:
     def as_dict(self) -> dict:
         return dict(self.data)
 
+    def __eq__(self, other) -> bool:
+        """Value equality (the merge laws are stated over it)."""
+        if isinstance(other, Counters):
+            return self.data == other.data
+        return NotImplemented
+
+    __hash__ = None  # mutable; never a dict key
+
     def __len__(self) -> int:
         return len(self.data)
 

@@ -29,8 +29,16 @@ class SimProfile:
     Attributes:
         program: Name of the last program run under this profile.
         machine: Machine the runs executed on.
+        entry: Absolute address of the first microinstruction executed
+            (the CFG root the hot-path analyzer walks from); None until
+            a run records one.
         exec_counts: Absolute control-store address -> times executed.
         cycle_counts: Absolute address -> cycles spent at that address.
+        edge_counts: Dynamic control-flow edge ``(from, to)`` -> times
+            taken between consecutively executed microinstructions.
+            Trap restarts break the chain (the restart is not a
+            sequenced edge), so the graph is exactly what the
+            terminators produced.
         field_util: Control-word field name -> number of executed
             microinstructions that drive the field (utilisation of the
             horizontal word, per §2.1.4's encoding discussion).
@@ -50,8 +58,10 @@ class SimProfile:
 
     program: str = ""
     machine: str = ""
+    entry: int | None = None
     exec_counts: Counters = field(default_factory=Counters)
     cycle_counts: Counters = field(default_factory=Counters)
+    edge_counts: Counters = field(default_factory=Counters)
     field_util: Counters = field(default_factory=Counters)
     mi_text: dict[int, str] = field(default_factory=dict)
     instructions: int = 0
@@ -64,15 +74,93 @@ class SimProfile:
     decodes: int = 0
 
     def hotspots(self, top: int = 10) -> list[tuple[int, int, int, str]]:
-        """Top addresses by cycles: (address, cycles, count, text)."""
+        """Top addresses by cycles: (address, cycles, count, text).
+
+        Deterministically ordered: cycles descending, then address
+        ascending — equal-cycle addresses cannot reorder across runs
+        or shard merges.
+        """
+        ranked = sorted(
+            self.cycle_counts.data.items(), key=lambda kv: (-kv[1], kv[0])
+        )
         return [
             (address, int(cycles), int(self.exec_counts.get(address)),
              self.mi_text.get(address, "?"))
-            for address, cycles in self.cycle_counts.top(top)
+            for address, cycles in ranked[:top]
         ]
 
     def total_cycles(self) -> int:
         return self.busy_cycles + self.trap_cycles + self.interrupt_cycles
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Deterministic, replayable dict form (sorted keys throughout).
+
+        Address keys are rendered as decimal strings (JSON object keys
+        must be strings) and edges as ``"from->to"``;
+        :meth:`from_json` inverts both.
+        """
+        return {
+            "program": self.program,
+            "machine": self.machine,
+            "entry": self.entry,
+            "exec_counts": {
+                str(a): int(c) for a, c in sorted(self.exec_counts.items())
+            },
+            "cycle_counts": {
+                str(a): int(c) for a, c in sorted(self.cycle_counts.items())
+            },
+            "edge_counts": {
+                f"{a}->{b}": int(c)
+                for (a, b), c in sorted(self.edge_counts.items())
+            },
+            "field_util": {
+                name: int(c) for name, c in sorted(self.field_util.items())
+            },
+            "mi_text": {str(a): t for a, t in sorted(self.mi_text.items())},
+            "instructions": self.instructions,
+            "busy_cycles": self.busy_cycles,
+            "trap_cycles": self.trap_cycles,
+            "interrupt_cycles": self.interrupt_cycles,
+            "polls": self.polls,
+            "traps": self.traps,
+            "interrupts": self.interrupts,
+            "decodes": self.decodes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SimProfile":
+        """Inverse of :meth:`to_json`."""
+        def edge(key: str) -> tuple[int, int]:
+            a, _, b = key.partition("->")
+            return (int(a), int(b))
+
+        return cls(
+            program=payload.get("program", ""),
+            machine=payload.get("machine", ""),
+            entry=payload.get("entry"),
+            exec_counts=Counters(
+                {int(a): c for a, c in payload.get("exec_counts", {}).items()}
+            ),
+            cycle_counts=Counters(
+                {int(a): c for a, c in payload.get("cycle_counts", {}).items()}
+            ),
+            edge_counts=Counters(
+                {edge(k): c for k, c in payload.get("edge_counts", {}).items()}
+            ),
+            field_util=Counters(dict(payload.get("field_util", {}))),
+            mi_text={
+                int(a): t for a, t in payload.get("mi_text", {}).items()
+            },
+            instructions=payload.get("instructions", 0),
+            busy_cycles=payload.get("busy_cycles", 0),
+            trap_cycles=payload.get("trap_cycles", 0),
+            interrupt_cycles=payload.get("interrupt_cycles", 0),
+            polls=payload.get("polls", 0),
+            traps=payload.get("traps", 0),
+            interrupts=payload.get("interrupts", 0),
+            decodes=payload.get("decodes", 0),
+        )
 
 
 class TraceRecorder:
@@ -89,6 +177,9 @@ class TraceRecorder:
         self.profile = profile if profile is not None else SimProfile()
         #: address -> (text, field names, has_poll) — computed once.
         self._word_info: dict[int, tuple[str, tuple[str, ...], bool]] = {}
+        #: previously executed address (dynamic-edge tracking); None at
+        #: run entry and after a trap restart.
+        self._last_address: int | None = None
 
     # ------------------------------------------------------------------
     def _info(self, address: int, loaded) -> tuple[str, tuple[str, ...], bool]:
@@ -107,6 +198,7 @@ class TraceRecorder:
     def begin_run(self, program: str, machine: str, cycle: int) -> None:
         self.profile.program = program
         self.profile.machine = machine
+        self._last_address = None
         if self.tracer.enabled:
             self.tracer.emit(
                 Event(name=f"run {program}", cat="sim", ph=PH_INSTANT,
@@ -120,6 +212,11 @@ class TraceRecorder:
         text, fields, has_poll = self._info(address, loaded)
         profile.exec_counts.inc(address)
         profile.cycle_counts.inc(address, mi_cycles)
+        if profile.entry is None:
+            profile.entry = address
+        if self._last_address is not None:
+            profile.edge_counts.inc((self._last_address, address))
+        self._last_address = address
         profile.instructions += 1
         profile.busy_cycles += mi_cycles
         for name in fields:
@@ -147,6 +244,9 @@ class TraceRecorder:
         """A microtrap aborted the microprogram at ``address``."""
         self.profile.traps += 1
         self.profile.trap_cycles += service_cycles
+        # The §2.1.5 restart is not a sequenced edge; break the chain
+        # so the CFG only contains terminator-produced transitions.
+        self._last_address = None
         if self.tracer.enabled:
             self.tracer.emit(
                 Event(name=f"trap {type(trap).__name__}", cat="sim",

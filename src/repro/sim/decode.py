@@ -40,6 +40,7 @@ state dynamically (banked register windows, the swappable
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.asm.assembler import LoadedWord
@@ -125,6 +126,28 @@ class ExecutionPlan:
         return serviced
 
 
+@dataclass
+class PlanCacheStats:
+    """Lifetime counters of one :class:`PlanCache`.
+
+    Both counters are maintained on cold paths only (a decode, a
+    wholesale invalidation), so the hot fetch-plan-execute loop never
+    pays for them; per-run hit counts are derived in
+    :meth:`repro.sim.simulator.Simulator.run` as executed instructions
+    minus decodes — under the decoded engine every executed
+    microinstruction runs exactly one plan.
+
+    Attributes:
+        decodes: Plans decoded and inserted (cache misses — including
+            re-decodes forced by a fault injector substituting a
+            mutated word, previously invisible).
+        invalidations: Wholesale :meth:`PlanCache.invalidate` calls.
+    """
+
+    decodes: int = 0
+    invalidations: int = 0
+
+
 class PlanCache:
     """Per-simulator plan store with bit-flip-safe keying.
 
@@ -140,11 +163,12 @@ class PlanCache:
       one; skips the control-store fetch entirely.
     """
 
-    __slots__ = ("_by_word", "_by_addr")
+    __slots__ = ("_by_word", "_by_addr", "stats")
 
     def __init__(self) -> None:
         self._by_word: dict[tuple[int, int, int], ExecutionPlan] = {}
         self._by_addr: dict[int, dict[int, ExecutionPlan]] = {}
+        self.stats = PlanCacheStats()
 
     def __len__(self) -> int:
         return len(self._by_word)
@@ -170,12 +194,14 @@ class PlanCache:
         """Store a plan; ``direct=True`` additionally registers it on
         the fetch-free path (only legal when no injector can substitute
         words for this simulator)."""
+        self.stats.decodes += 1
         self._by_word[(resident.base, address, loaded.word)] = plan
         if direct:
             self.addr_plans(resident)[address] = plan
 
     def invalidate(self) -> None:
         """Drop every cached plan (e.g. after reloading the store)."""
+        self.stats.invalidations += 1
         self._by_word.clear()
         self._by_addr.clear()
 

@@ -36,6 +36,7 @@ from repro.mir.block import (
     Ret,
 )
 from repro.mir.operands import Reg
+from repro.obs.events import PH_INSTANT, TRACK_SIM, Event
 from repro.obs.timeline import SimProfile, TraceRecorder
 from repro.sim.decode import PlanCache, decode_word
 from repro.sim.semantics import STATEFUL_OPS, condition_holds, evaluate
@@ -55,6 +56,12 @@ class RunResult:
     :class:`~repro.obs.timeline.TraceRecorder` attached; it holds the
     per-address execution counts and field utilisation behind the
     hot-spot report.
+
+    ``plan_cache`` holds this run's pre-decoded plan-cache counters
+    (``hits``/``misses``/``invalidations``) under the decoded engine
+    and is None under the interpretive one.  Misses include re-decodes
+    forced by fault injectors substituting mutated words — previously
+    invisible work.
     """
 
     cycles: int
@@ -64,6 +71,7 @@ class RunResult:
     interrupt_wait_cycles: int
     exit_value: int | None
     profile: SimProfile | None = None
+    plan_cache: dict[str, int] | None = None
 
     def __str__(self) -> str:
         return (
@@ -168,10 +176,14 @@ class Simulator:
         decoded = self.engine == "decoded"
         plans = None
         fast_plans = None
+        plan_stats_before = None
         if decoded:
             if self._plan_cache is None:
                 self._plan_cache = PlanCache()
             plans = self._plan_cache
+            plan_stats_before = (
+                plans.stats.decodes, plans.stats.invalidations,
+            )
             # With no injector, trace sink, or recorder attached the
             # fetched word cannot differ from the stored one and nobody
             # needs to see it, so plans are reachable directly by
@@ -293,6 +305,17 @@ class Simulator:
                 if override is not None:
                     state.upc = override
 
+        plan_counters = None
+        if decoded:
+            plan_counters = self.plan_cache_counters(
+                instructions, plan_stats_before
+            )
+            if recorder is not None and recorder.tracer.enabled:
+                recorder.tracer.emit(
+                    Event(name="sim.plan_cache", cat="sim", ph=PH_INSTANT,
+                          ts=state.cycles, track=TRACK_SIM,
+                          args=dict(plan_counters))
+                )
         return RunResult(
             cycles=state.cycles - start_cycles,
             instructions=instructions,
@@ -301,7 +324,31 @@ class Simulator:
             interrupt_wait_cycles=wait_cycles,
             exit_value=state.exit_value,
             profile=recorder.profile if recorder is not None else None,
+            plan_cache=plan_counters,
         )
+
+    # ------------------------------------------------------------------
+    def plan_cache_counters(
+        self, instructions: int, before: tuple[int, int] | None
+    ) -> dict[str, int]:
+        """This run's plan-cache counters from the lifetime stats.
+
+        Under the decoded engine every executed microinstruction runs
+        exactly one plan, so per-run hits are executed instructions
+        minus the decodes the run added — derived on the cold path
+        instead of counted in the hot loop.
+        """
+        stats = self._plan_cache.stats if self._plan_cache else None
+        decodes_before, invalidations_before = before or (0, 0)
+        misses = (stats.decodes - decodes_before) if stats else 0
+        invalidations = (
+            (stats.invalidations - invalidations_before) if stats else 0
+        )
+        return {
+            "hits": max(0, instructions - misses),
+            "misses": misses,
+            "invalidations": invalidations,
+        }
 
     # ------------------------------------------------------------------
     def _service_trap(

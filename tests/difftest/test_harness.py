@@ -35,6 +35,17 @@ class TestRunDifftest:
         assert report.langs == ("yalll",)
         assert report.machines == ("VM1",)
 
+    def test_metrics_tally_cases_and_pairs(self):
+        report = run_difftest(seed=0, budget=6, size=6)
+        tallies = report.metrics.difftest
+        assert int(tallies.get("cases")) == report.cases_run
+        for axis, pairs in report.pairs_run.items():
+            assert int(tallies.get(f"pairs.{axis}")) == pairs
+        assert not any(str(k).startswith("divergences.")
+                       for k in tallies.data)
+        payload = report.to_json()
+        assert payload["metrics"]["difftest"]["cases"] == report.cases_run
+
     def test_case_events_are_traced(self):
         tracer = Tracer()
         run_difftest(seed=0, budget=2, size=6, axes=("engine",),

@@ -3,18 +3,40 @@
 import json
 
 from repro.obs import (
+    CampaignMetrics,
+    Counters,
     Event,
     SimProfile,
     Tracer,
     dump_chrome_trace,
+    dump_flamegraph,
     dump_jsonl,
     load_jsonl,
     render_compile_report,
+    render_heat,
     render_hotspots,
     to_chrome_trace,
+    to_collapsed_stacks,
+    to_prometheus,
     write_trace,
 )
 from repro.obs.events import PH_COMPLETE, PH_INSTANT, TRACK_SIM
+
+
+def loop_profile() -> SimProfile:
+    """Entry 0, loop {1,2} x5, exit 3."""
+    return SimProfile(
+        program="mul",
+        machine="HM1",
+        entry=0,
+        exec_counts=Counters({0: 1, 1: 6, 2: 5, 3: 1}),
+        cycle_counts=Counters({0: 2, 1: 6, 2: 10, 3: 1}),
+        edge_counts=Counters({(0, 1): 1, (1, 2): 5, (2, 1): 5, (1, 3): 1}),
+        mi_text={0: "init", 1: "test; br", 2: "add ; jump", 3: "exit"},
+        instructions=13,
+        busy_cycles=19,
+        decodes=4,
+    )
 
 
 def sample_events():
@@ -106,3 +128,87 @@ class TestTextReports:
 
     def test_compile_report_without_spans(self):
         assert render_compile_report([]) == "no compile spans recorded"
+
+    def test_hotspots_tie_break_is_numeric_address_order(self):
+        profile = SimProfile()
+        # Equal cycles at addresses 2 and 10: numeric order, not the
+        # lexicographic "10" < "2".
+        for address in (10, 2):
+            profile.exec_counts.inc(address)
+            profile.cycle_counts.inc(address, 7)
+        spots = profile.hotspots()
+        assert [s[0] for s in spots] == [2, 10]
+
+
+class TestPrometheus:
+    def test_profile_counter_families(self):
+        text = to_prometheus(loop_profile())
+        assert "# TYPE repro_sim_instructions_total counter" in text
+        assert ('repro_sim_instructions_total'
+                '{machine="HM1",program="mul"} 13') in text
+        assert ('repro_sim_address_cycles_total'
+                '{address="2",machine="HM1",program="mul"} 10') in text
+        assert text.endswith("\n")
+
+    def test_rollup_families(self):
+        rollup = CampaignMetrics(runs=3, profile=loop_profile())
+        rollup.classifications.inc("masked", 2)
+        rollup.difftest.inc("cases", 5)
+        rollup.plan_cache.inc("hits", 9)
+        text = to_prometheus(rollup)
+        assert "repro_campaign_runs_total 3" in text
+        assert ('repro_campaign_outcomes_total'
+                '{classification="masked"} 2') in text
+        assert 'repro_difftest_total{kind="cases"} 5' in text
+        assert 'repro_plan_cache_total{event="hits"} 9' in text
+        assert 'repro_compile_cache_total{event="hits"} 0' in text
+        assert "hit_rate" not in text
+
+    def test_deterministic_output(self):
+        assert to_prometheus(loop_profile()) == to_prometheus(loop_profile())
+
+    def test_label_escaping(self):
+        profile = loop_profile()
+        profile.program = 'a"b\\c'
+        text = to_prometheus(profile)
+        assert 'program="a\\"b\\\\c"' in text
+
+
+class TestCollapsedStacks:
+    def test_loop_nesting_becomes_stack(self):
+        text = to_collapsed_stacks(loop_profile())
+        lines = text.strip().splitlines()
+        # Loop members stack under the loop@ frame, others under root.
+        assert "mul;loop@0001;0002 add , jump 10" in lines
+        assert "mul;0000 init 2" in lines
+        # Semicolons in mi text are escaped (frame separator).
+        assert any("test, br" in line for line in lines)
+        assert lines == sorted(lines)
+
+    def test_exec_count_values(self):
+        text = to_collapsed_stacks(loop_profile(), cycles=False)
+        assert "mul;loop@0001;0002 add , jump 5" in text
+
+    def test_dump_writes_file(self, tmp_path):
+        path = tmp_path / "stacks.txt"
+        dump_flamegraph(loop_profile(), path)
+        assert path.read_text() == to_collapsed_stacks(loop_profile())
+
+    def test_empty_profile_collapses_to_nothing(self):
+        assert to_collapsed_stacks(SimProfile()) == ""
+
+
+class TestHeatReport:
+    def test_rows_markers_and_bars(self):
+        text = render_heat(loop_profile())
+        lines = text.splitlines()
+        assert "mul on HM1" in lines[0]
+        row2 = next(line for line in lines if line.strip().startswith("2 "))
+        assert "·" in row2       # inside the loop
+        assert "#" in row2       # heat bar
+        assert "add ; jump" in row2
+        row0 = next(line for line in lines if line.strip().startswith("0 "))
+        assert "·" not in row0   # outside every loop
+
+    def test_deterministic(self):
+        assert render_heat(loop_profile()) == render_heat(loop_profile())

@@ -1,0 +1,191 @@
+"""Hot-path analysis: CFG reconstruction, loops, traces, rendering."""
+
+from repro.asm import ControlStore
+from repro.lang.yalll import compile_yalll
+from repro.obs import (
+    Counters,
+    SimProfile,
+    TraceRecorder,
+    analyze_profile,
+    render_hot_traces,
+)
+from repro.sim import Simulator
+
+YALLL_MUL = """
+    put p,0
+loop:
+    jump out if n = 0
+    add p,p,a
+    sub n,n,1
+    jump loop
+out:
+    exit p
+"""
+
+YALLL_NESTED = """
+    put total,0
+outer:
+    jump done if rows = 0
+    put n,3
+inner:
+    jump next if n = 0
+    add total,total,rows
+    sub n,n,1
+    jump inner
+next:
+    sub rows,rows,1
+    jump outer
+done:
+    exit total
+"""
+
+
+def profiled_run(machine, source, *, registers, name="prog"):
+    result = compile_yalll(source, machine, name=name)
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    recorder = TraceRecorder()
+    simulator = Simulator(machine, store, recorder=recorder,
+                          engine="decoded")
+    mapping = result.allocation.mapping
+    for var, value in registers.items():
+        simulator.state.write_reg(mapping.get(var, var), value)
+    simulator.run(name)
+    return recorder.profile
+
+
+def synthetic_loop_profile() -> SimProfile:
+    """Entry 0 -> loop {1,2,3} x10 -> exit 4, by hand."""
+    return SimProfile(
+        program="toy",
+        machine="HM1",
+        entry=0,
+        exec_counts=Counters({0: 1, 1: 11, 2: 10, 3: 10, 4: 1}),
+        cycle_counts=Counters({0: 1, 1: 11, 2: 20, 3: 10, 4: 1}),
+        edge_counts=Counters({
+            (0, 1): 1, (1, 2): 10, (2, 3): 10, (3, 1): 10, (1, 4): 1,
+        }),
+        mi_text={0: "init", 1: "test", 2: "work", 3: "step", 4: "exit"},
+        instructions=33,
+        busy_cycles=43,
+    )
+
+
+class TestSyntheticCfg:
+    def test_loop_detected_with_back_edge(self):
+        analysis = analyze_profile(synthetic_loop_profile())
+        assert len(analysis.loops) == 1
+        loop = analysis.loops[0]
+        assert loop.header == 1
+        assert loop.body == frozenset({1, 2, 3})
+        assert loop.back_edges == ((3, 1),)
+        assert loop.iterations == 10
+        assert loop.depth == 0
+
+    def test_trace_path_follows_hot_successors(self):
+        analysis = analyze_profile(synthetic_loop_profile())
+        trace = analysis.hottest()
+        assert trace.path == (1, 2, 3)
+        assert trace.cycles == 41
+        assert 0.95 < trace.cycle_share < 0.96
+        assert trace.coverage == trace.cycle_share
+
+    def test_basic_blocks_split_at_join_and_branch(self):
+        analysis = analyze_profile(synthetic_loop_profile())
+        starts = {b.start: b for b in analysis.blocks}
+        # 1 is a join (preds 0 and 3) and a branch (succs 2 and 4).
+        assert set(starts) == {0, 1, 2, 4}
+        assert starts[2].addresses == (2, 3)
+        assert starts[2].cycles == 30
+        assert starts[0].addresses == (0,)
+
+    def test_straight_line_profile_has_no_loops(self):
+        profile = SimProfile(
+            entry=0,
+            exec_counts=Counters({0: 1, 1: 1}),
+            cycle_counts=Counters({0: 1, 1: 1}),
+            edge_counts=Counters({(0, 1): 1}),
+            instructions=2, busy_cycles=2,
+        )
+        analysis = analyze_profile(profile)
+        assert analysis.loops == []
+        assert analysis.hottest() is None
+        assert "no loops detected" in render_hot_traces(analysis)
+
+    def test_empty_profile_analyzes_to_nothing(self):
+        analysis = analyze_profile(SimProfile())
+        assert analysis.blocks == [] and analysis.traces == []
+
+
+class TestRealRuns:
+    def test_mul_loop_dominates_cycles(self, hm1):
+        profile = profiled_run(
+            hm1, YALLL_MUL, registers={"a": 3, "n": 50}, name="mul"
+        )
+        analysis = analyze_profile(profile)
+        trace = analysis.hottest()
+        assert trace is not None
+        assert trace.iterations == 50
+        # The acceptance bar: the inner loop owns >=80% of the run.
+        assert trace.cycle_share >= 0.8
+        assert trace.header in trace.body
+        for a, b in zip(trace.path, trace.path[1:]):
+            assert profile.edge_counts.get((a, b)) > 0
+
+    def test_nested_loops_get_depths(self, hm1):
+        profile = profiled_run(
+            hm1, YALLL_NESTED, registers={"rows": 4}, name="nested"
+        )
+        analysis = analyze_profile(profile)
+        depths = sorted(loop.depth for loop in analysis.loops)
+        assert depths == [0, 1]
+        inner = next(l for l in analysis.loops if l.depth == 1)
+        outer = next(l for l in analysis.loops if l.depth == 0)
+        assert inner.body < outer.body
+        assert inner.iterations == 12  # 4 rows x 3 inner steps
+        assert outer.iterations == 4
+        # Trace cycles cover the whole body (nested loops included),
+        # so the outer region ranks first: compiling it captures more.
+        assert analysis.traces[0].header == outer.header
+        assert analysis.traces[0].cycles >= analysis.traces[1].cycles
+
+    def test_analysis_is_pure_function_of_profile(self, hm1):
+        profile = profiled_run(
+            hm1, YALLL_MUL, registers={"a": 3, "n": 20}, name="mul"
+        )
+        replayed = SimProfile.from_json(profile.to_json())
+        assert analyze_profile(profile).to_json() == \
+            analyze_profile(replayed).to_json()
+
+    def test_interpretive_and_decoded_profiles_agree(self, hm1):
+        result = compile_yalll(YALLL_MUL, hm1, name="mul")
+        analyses = []
+        for engine in ("interpretive", "decoded"):
+            store = ControlStore(hm1)
+            store.load(result.loaded)
+            recorder = TraceRecorder()
+            simulator = Simulator(hm1, store, recorder=recorder,
+                                  engine=engine)
+            mapping = result.allocation.mapping
+            simulator.state.write_reg(mapping["a"], 3)
+            simulator.state.write_reg(mapping["n"], 25)
+            simulator.run("mul")
+            analyses.append(analyze_profile(recorder.profile).to_json())
+        assert analyses[0] == analyses[1]
+
+
+class TestRendering:
+    def test_render_lists_ranked_traces(self):
+        analysis = analyze_profile(synthetic_loop_profile())
+        text = render_hot_traces(analysis, loops=True)
+        assert "#1 loop@0001" in text
+        assert "10 iterations" in text
+        assert "path: 0001 -> 0002 -> 0003 -> 0001" in text
+        assert "loop forest:" in text
+        assert "work" in text  # mi_text shown per path address
+
+    def test_to_json_is_deterministic(self):
+        a = analyze_profile(synthetic_loop_profile()).to_json()
+        b = analyze_profile(synthetic_loop_profile()).to_json()
+        assert a == b
+        assert a["traces"][0]["header"] == 1

@@ -346,6 +346,77 @@ class TestPlanCache:
             Simulator(machine, store, engine="jit")
 
 
+class TestPlanCacheCounters:
+    def _runner(self, *, recorder=None, engine="decoded"):
+        machine = get_machine("HM1")
+        result = compile_yalll(YALLL_MUL, machine, name="mul")
+        store = ControlStore(machine)
+        store.load(result.loaded)
+        simulator = Simulator(
+            machine, store, engine=engine, recorder=recorder
+        )
+        mapping = result.allocation.mapping
+
+        def run(a, n):
+            simulator.state.write_reg(mapping["a"], a)
+            simulator.state.write_reg(mapping["n"], n)
+            return simulator.run("mul")
+
+        return simulator, run
+
+    def test_cold_run_misses_then_warm_run_all_hits(self):
+        _, run = self._runner()
+        cold = run(3, 10)
+        assert cold.plan_cache is not None
+        assert cold.plan_cache["misses"] > 0
+        assert cold.plan_cache["hits"] == (
+            cold.instructions - cold.plan_cache["misses"]
+        )
+        warm = run(4, 10)
+        assert warm.plan_cache["misses"] == 0
+        assert warm.plan_cache["hits"] == warm.instructions
+        assert warm.plan_cache["invalidations"] == 0
+
+    def test_interpretive_engine_has_no_plan_counters(self):
+        _, run = self._runner(engine="interpretive")
+        assert run(3, 5).plan_cache is None
+
+    def test_stats_track_decodes_and_invalidations(self):
+        cache = PlanCache()
+        machine = get_machine("HM1")
+        result = compile_yalll(YALLL_MUL, machine, name="mul")
+        store = ControlStore(machine)
+        store.load(result.loaded)
+        simulator = Simulator(machine, store, engine="decoded")
+        resident = store.find("mul")
+        loaded = store.fetch(resident.entry)
+        plan = decode_word(simulator, loaded, resident, resident.entry)
+        cache.insert(resident, resident.entry, loaded, plan, direct=True)
+        assert cache.stats.decodes == 1
+        cache.invalidate()
+        assert cache.stats.invalidations == 1
+        # Lifetime stats survive invalidation (they are campaign-level
+        # tallies, not cache contents).
+        assert cache.stats.decodes == 1
+
+    def test_plan_cache_event_emitted_when_tracing(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        recorder = TraceRecorder(tracer)
+        _, run = self._runner(recorder=recorder)
+        outcome = run(3, 4)
+        events = [e for e in tracer.events if e.name == "sim.plan_cache"]
+        assert len(events) == 1
+        assert events[0].args == outcome.plan_cache
+
+    def test_no_event_with_null_tracer(self):
+        recorder = TraceRecorder()
+        _, run = self._runner(recorder=recorder)
+        outcome = run(3, 4)
+        assert outcome.plan_cache["misses"] == recorder.profile.decodes
+
+
 class TestRecorderParity:
     def test_profile_counts_match_interpretive(self):
         machine = get_machine("HM1")

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -120,6 +122,75 @@ class TestLanguages:
         assert "parse -> " in out and "-> assemble" in out
         assert "symbolic_variables" in out
         assert "programmer_binding" in out
+
+
+class TestProfile:
+    def run_profile(self, yalll_file, *extra):
+        return main([
+            "profile", yalll_file, "--lang", "yalll", "--machine", "HM1",
+            "--set", "a=3", "--set", "n=50", *extra,
+        ])
+
+    def test_hot_trace_report(self, yalll_file, capsys):
+        assert self.run_profile(yalll_file) == 0
+        out = capsys.readouterr().out
+        assert "#1 loop@" in out
+        assert "50 iterations" in out
+        # Heat report rides along.
+        assert "#" in out
+
+    def test_json_output(self, yalll_file, capsys):
+        assert self.run_profile(yalll_file, "--json") == 0
+        analysis = json.loads(capsys.readouterr().out)
+        assert analysis["traces"][0]["iterations"] == 50
+
+    def test_save_and_replay_round_trip(self, yalll_file, tmp_path, capsys):
+        saved = tmp_path / "profile.json"
+        assert self.run_profile(yalll_file, "--save", str(saved),
+                                "--json") == 0
+        # Drop the "profile written to ..." notice; keep the JSON.
+        live = capsys.readouterr().out.split("\n", 1)[1]
+        assert main(["profile", "--replay", str(saved), "--json"]) == 0
+        assert capsys.readouterr().out == live
+
+    def test_artifact_exports(self, yalll_file, tmp_path, capsys):
+        stacks = tmp_path / "stacks.txt"
+        prom = tmp_path / "metrics.prom"
+        assert self.run_profile(
+            yalll_file, "--flamegraph", str(stacks),
+            "--prometheus", str(prom),
+        ) == 0
+        assert "loop@" in stacks.read_text()
+        assert "repro_sim_instructions_total" in prom.read_text()
+
+    def test_requires_file_or_replay(self, capsys):
+        assert main(["profile"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_lang_with_file(self, yalll_file, capsys):
+        assert main(["profile", yalll_file]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_missing_file_is_clean_failure(self, tmp_path, capsys):
+        assert main(["profile", "--replay",
+                     str(tmp_path / "absent.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCampaignMetrics:
+    def test_metrics_flag_renders_rollup(self, tmp_path, capsys):
+        source = tmp_path / "load.yalll"
+        source.write_text(
+            "put addr,100\nload v,addr\nadd v,v,1\nexit v\n"
+        )
+        code = main([
+            "campaign", str(source), "--lang", "yalll", "-n", "3",
+            "--seed", "0", "--mem", "100=41", "--metrics",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign metrics:" in out
+        assert "4 runs" in out  # 3 scenarios + the golden run
 
 
 class TestDumpAfter:
