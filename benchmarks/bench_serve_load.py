@@ -1,0 +1,216 @@
+"""Service backpressure under flood: throughput, latency, shed rate.
+
+Floods a live ``repro.serve`` instance with 4x its admission capacity
+and measures what the robustness issue demands of admission control:
+
+* every request gets a terminal structured answer (200/4xx/5xx —
+  never a hang, never a dropped connection);
+* shed requests learn their fate *immediately* (typed 429, measured
+  p99 in milliseconds, not queue-timeout seconds);
+* the p99 latency of *accepted* requests stays bounded, because the
+  per-class admission caps keep the queue short.
+
+Writes the machine-readable trajectory file ``BENCH_serve.json``.
+
+Run standalone (the CI serve-smoke job does)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py \
+        --json BENCH_serve.json
+
+or under pytest with the rest of the bench suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.serve import ServeConfig, ServiceRunner
+
+ADD_SRC = """
+    put a,2
+    add a,a,3
+    exit a
+"""
+
+#: Small admission caps so a modest thread count is a genuine 4x flood.
+CLASS_LIMITS = {"compile": 4, "run": 4, "campaign": 2}
+
+FLOOD_FACTOR = 4
+WAVES = 3
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _request_mix() -> list[tuple[str, dict]]:
+    """One flood wave: 4x capacity, spread across request classes."""
+    capacity = sum(CLASS_LIMITS.values())
+    flood = capacity * FLOOD_FACTOR
+    mix = []
+    for index in range(flood):
+        if index % 5 == 0:
+            mix.append(("/campaign", {
+                "source": ADD_SRC, "lang": "yalll",
+                "n": 4, "seed": index, "deadline_s": 60,
+            }))
+        elif index % 2 == 0:
+            mix.append(("/run", {
+                "source": ADD_SRC, "lang": "yalll", "deadline_s": 60,
+            }))
+        else:
+            mix.append(("/compile", {
+                "source": ADD_SRC, "lang": "yalll", "deadline_s": 60,
+            }))
+    return mix
+
+
+def run_suite(waves: int = WAVES) -> dict:
+    """Flood a fresh service ``waves`` times; aggregate the answers."""
+    with tempfile.TemporaryDirectory() as scratch:
+        config = ServeConfig(
+            workers=2,
+            class_limits=dict(CLASS_LIMITS),
+            cache_dir=scratch,
+            seed=1980,
+        )
+        samples: list[tuple[int, float]] = []
+        with ServiceRunner(config) as runner:
+            def one(item):
+                path, payload = item
+                start = time.perf_counter()
+                status, _body = runner.request(
+                    "POST", path, payload, timeout=120
+                )
+                return status, time.perf_counter() - start
+
+            start = time.perf_counter()
+            for _ in range(waves):
+                mix = _request_mix()
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=len(mix)
+                ) as threads:
+                    samples.extend(threads.map(one, mix))
+            wall = time.perf_counter() - start
+            health = runner.request("GET", "/healthz")[1]
+
+    accepted = [lat for status, lat in samples if status != 429]
+    shed = [lat for status, lat in samples if status == 429]
+    return {
+        "benchmark": "serve_load",
+        "workers": 2,
+        "class_limits": dict(CLASS_LIMITS),
+        "capacity": sum(CLASS_LIMITS.values()),
+        "flood_factor": FLOOD_FACTOR,
+        "waves": waves,
+        "requests": len(samples),
+        "wall_s": round(wall, 3),
+        "requests_per_s": round(len(samples) / wall, 1),
+        "accepted": {
+            "count": len(accepted),
+            "p50_s": round(_percentile(accepted, 0.50), 4),
+            "p99_s": round(_percentile(accepted, 0.99), 4),
+        },
+        "shed": {
+            "count": len(shed),
+            "rate": round(len(shed) / len(samples), 3),
+            "p50_s": round(_percentile(shed, 0.50), 4),
+            "p99_s": round(_percentile(shed, 0.99), 4),
+        },
+        "pool": {
+            key: health["pool"][key]
+            for key in ("submitted", "completed", "crashes", "restarts")
+        },
+    }
+
+
+def render(payload: dict) -> str:
+    from repro.bench import render_table
+
+    accepted, shed = payload["accepted"], payload["shed"]
+    return render_table(
+        ["class", "count", "p50 (s)", "p99 (s)"],
+        [
+            ["accepted", accepted["count"],
+             f"{accepted['p50_s']:.4f}", f"{accepted['p99_s']:.4f}"],
+            ["shed (429)", shed["count"],
+             f"{shed['p50_s']:.4f}", f"{shed['p99_s']:.4f}"],
+        ],
+        title=(
+            f"Serve flood at {payload['flood_factor']}x capacity "
+            f"({payload['requests']} requests, "
+            f"{payload['requests_per_s']}/s, "
+            f"shed rate {shed['rate']:.0%})"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (collected with the rest of the bench suite)
+# ----------------------------------------------------------------------
+def test_backpressure_bounds_p99(report, benchmark):
+    payload = run_suite(waves=2)
+    report(render(payload))
+    # Admission control must actually shed at 4x capacity...
+    assert payload["shed"]["count"] > 0
+    # ...and a shed request learns its fate immediately, not after a
+    # queue timeout (generous bound for noisy CI hosts).
+    assert payload["shed"]["p99_s"] < 2.0
+    # Accepted work is bounded by the short admission queue, not by
+    # the full flood backlog.
+    assert payload["accepted"]["p99_s"] < 60.0
+    # Every request got a terminal answer.
+    assert payload["requests"] == (
+        payload["accepted"]["count"] + payload["shed"]["count"]
+    )
+    benchmark(lambda: _percentile(list(range(1000)), 0.99))
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Flood the serve subsystem and measure backpressure"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the machine-readable results to PATH",
+    )
+    parser.add_argument(
+        "--waves", type=int, default=WAVES,
+        help=f"flood waves to run (default {WAVES})",
+    )
+    parser.add_argument(
+        "--max-shed-p99", type=float, default=None, metavar="SECONDS",
+        help="exit 1 when the shed-request p99 exceeds this bound",
+    )
+    args = parser.parse_args(argv)
+    payload = run_suite(waves=args.waves)
+    print(render(payload))
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if (
+        args.max_shed_p99 is not None
+        and payload["shed"]["p99_s"] > args.max_shed_p99
+    ):
+        print(
+            f"FAIL: shed p99 {payload['shed']['p99_s']}s "
+            f"> bound {args.max_shed_p99}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

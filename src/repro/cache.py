@@ -32,7 +32,9 @@ instant event on the supplied tracer and counts into
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -263,10 +265,57 @@ class CompileCache:
         self._remember(key, result)
         path = self._disk_path(key)
         if path is not None:
-            tmp = path.with_suffix(".tmp")
-            with tmp.open("wb") as handle:
-                pickle.dump(result, handle)
-            tmp.replace(path)  # atomic under concurrent writers
+            self._write_atomic(path, result)
+
+    @staticmethod
+    def _write_atomic(path: Path, result) -> None:
+        """Crash-safe disk write: serialize, temp file, ``os.replace``.
+
+        A ``.pkl`` either exists complete or not at all — a worker
+        SIGKILLed mid-write (the serve pool's normal chaos diet) can
+        never leave a truncated entry for ``cache.corrupt`` to clean
+        up later.  Three guarantees stacked:
+
+        * pickling happens fully in memory first, so a serialization
+          failure touches no file at all;
+        * the temp file is uniquely named (``mkstemp``), so two
+          concurrent writers of one key never interleave into the
+          same buffer — last ``os.replace`` wins whole;
+        * the payload is flushed and fsynced before the rename, so a
+          crash between write and replace leaves only a stray temp
+          file (swept by the next writer), never a partial target.
+
+        The sweep can race a *live* concurrent writer of the same key
+        and unlink its temp mid-write; because the cache is
+        content-addressed, both writers carry equivalent payloads, so
+        the loser just yields (its ``os.replace`` finds no source and
+        the winner's complete entry lands instead).
+        """
+        blob = pickle.dumps(result)
+        for stale in path.parent.glob(f".{path.stem[:16]}*.tmp"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # another writer swept it first
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{path.stem[:16]}",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            try:
+                os.replace(tmp_name, path)
+            except FileNotFoundError:
+                return  # swept by a concurrent writer of the same key
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def _remember(self, key: str, result) -> None:
         self._memory[key] = result

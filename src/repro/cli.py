@@ -20,6 +20,10 @@ Commands:
   Prometheus text format.
 * ``languages`` — list every registered language and machine with
   its pipeline stages and capabilities (see ``repro.registry``).
+* ``serve`` — the long-running batch compile-and-run service
+  (``repro.serve``): POST ``/compile`` / ``/run`` / ``/campaign``,
+  GET ``/healthz`` / ``/metrics``, with admission control, deadline
+  propagation and a crash-safe worker pool.
 
 ``compile`` and ``run`` take ``--trace FILE`` (Chrome trace-event
 JSON, or JSON-lines when the file ends in ``.jsonl``) and ``--stats``
@@ -40,7 +44,7 @@ import sys
 from pathlib import Path
 
 from repro.asm.loader import ControlStore
-from repro.errors import ReproError
+from repro.errors import ReproError, SimulationLimitError
 from repro.lang.sstar import parse_sstar, verify_sstar
 from repro.obs import (
     NULL_TRACER,
@@ -135,13 +139,24 @@ def cmd_run(args) -> int:
     store.load(result.loaded)
     recorder = TraceRecorder(tracer) if tracer.enabled else None
     simulator = Simulator(machine, store, recorder=recorder,
-                          engine=args.engine)
+                          engine=args.engine,
+                          deadline_s=args.deadline_s)
     mapping = result.allocation.mapping
     for name, value in _parse_assignments(args.set or []).items():
         simulator.state.write_reg(mapping.get(name, name), value)
     for address, value in _parse_assignments(args.mem or []).items():
         simulator.state.memory.load_words(int(address, 0), [value])
-    outcome = simulator.run(result.loaded.name, max_cycles=args.max_cycles)
+    try:
+        outcome = simulator.run(result.loaded.name,
+                                max_cycles=args.max_cycles)
+    except SimulationLimitError as error:
+        # The structured exit path: a typed budget overrun is not a
+        # toolkit failure (exit 2), it is a bounded run — report which
+        # budget tripped and exit 3 so scripts can branch on it.
+        print(f"simulation limit: kind={error.kind} "
+              f"limit={error.limit}", file=sys.stderr)
+        print(f"  {error}", file=sys.stderr)
+        return 3
     print(outcome)
     if outcome.exit_value is not None:
         print(f"exit value: {outcome.exit_value} ({outcome.exit_value:#x})")
@@ -225,6 +240,7 @@ def cmd_faultsim(args) -> int:
         restart_hazards=result.restart_hazards,
         tracer=tracer,
         engine=args.engine,
+        deadline_s=args.deadline_s,
     )
     if args.json:
         print(campaign_json([campaign]))
@@ -379,6 +395,56 @@ def cmd_difftest(args) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ReproService, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        class_limits={
+            "compile": args.limit_compile,
+            "run": args.limit_run,
+            "campaign": args.limit_campaign,
+        },
+        default_deadline_s=args.default_deadline_s,
+        max_deadline_s=args.max_deadline_s,
+        seed=args.seed,
+        breaker_strikes=args.breaker_strikes,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        cache_dir=args.cache_dir,
+        drain_timeout_s=args.drain_timeout_s,
+        enable_chaos=args.enable_chaos,
+    )
+
+    async def main() -> None:
+        service = ReproService(config)
+        await service.start()
+        print(f"repro serve listening on "
+              f"http://{config.host}:{service.port}  "
+              f"(workers={config.workers}, "
+              f"limits={config.class_limits}); SIGTERM drains",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        import signal as signal_module
+
+        for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(service.shutdown()),
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
+        await service._stopped.wait()
+        print("repro serve drained, exiting", flush=True)
+
+    asyncio.run(main())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -417,6 +483,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--show", action="append", metavar="VAR",
                             help="print a variable's final value")
     run_parser.add_argument("--max-cycles", type=int, default=1_000_000)
+    run_parser.add_argument(
+        "--deadline-s", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the run (Simulator.deadline_s); "
+             "overrunning it exits 3 with a structured "
+             "'simulation limit: kind=deadline' report instead of "
+             "hanging")
     run_parser.add_argument(
         "--engine", choices=("interpretive", "decoded"), default="decoded",
         help="simulator execution engine (decoded pre-lowers each "
@@ -473,6 +545,11 @@ def build_parser() -> argparse.ArgumentParser:
     faultsim_parser.add_argument(
         "--engine", choices=("interpretive", "decoded"), default="decoded",
         help="simulator execution engine for golden and fault runs")
+    faultsim_parser.add_argument(
+        "--deadline-s", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per simulated run; a scenario that "
+             "overruns it classifies as 'hang' via the typed "
+             "SimulationLimitError(kind='deadline') path")
     faultsim_parser.add_argument("--json", action="store_true",
                                  help="machine-readable report")
     faultsim_parser.add_argument("--trace", metavar="FILE",
@@ -610,6 +687,59 @@ def build_parser() -> argparse.ArgumentParser:
                                       "events as Chrome trace-event JSON")
     difftest_parser.add_argument("--stats", action="store_true")
     difftest_parser.set_defaults(handler=cmd_difftest)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant batch compile-and-run service "
+             "(POST /compile /run /campaign, GET /healthz /metrics)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8750,
+        help="bind port; 0 picks an ephemeral port (default 8750)")
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="crash-safe worker processes (default 2)")
+    serve_parser.add_argument(
+        "--limit-compile", type=int, default=32, metavar="N",
+        help="max queued-or-running compile requests (default 32)")
+    serve_parser.add_argument(
+        "--limit-run", type=int, default=32, metavar="N",
+        help="max queued-or-running run requests (default 32)")
+    serve_parser.add_argument(
+        "--limit-campaign", type=int, default=8, metavar="N",
+        help="max queued-or-running campaigns — the first class shed "
+             "under overload (default 8)")
+    serve_parser.add_argument(
+        "--default-deadline-s", type=float, default=30.0,
+        metavar="SECONDS",
+        help="per-request wall-clock budget when the client names "
+             "none (default 30)")
+    serve_parser.add_argument(
+        "--max-deadline-s", type=float, default=120.0, metavar="SECONDS",
+        help="cap on client-requested deadlines (default 120)")
+    serve_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the deterministic retry-backoff jitter")
+    serve_parser.add_argument(
+        "--breaker-strikes", type=int, default=2, metavar="N",
+        help="worker deaths before a request key is quarantined "
+             "(default 2)")
+    serve_parser.add_argument(
+        "--breaker-cooldown-s", type=float, default=30.0,
+        metavar="SECONDS",
+        help="quarantine time before one half-open probe (default 30)")
+    serve_parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="shared on-disk compile cache for all workers")
+    serve_parser.add_argument(
+        "--drain-timeout-s", type=float, default=30.0, metavar="SECONDS",
+        help="SIGTERM drain bound before in-flight work is aborted")
+    serve_parser.add_argument(
+        "--enable-chaos", action="store_true",
+        help="accept 'chaos' request fields (worker self-kill "
+             "schedules) — tests and CI smoke only")
+    serve_parser.set_defaults(handler=cmd_serve)
     return parser
 
 

@@ -67,6 +67,29 @@ class FaultPlanError(ReproError):
     """A fault-injection spec or plan could not be parsed or applied."""
 
 
+class CampaignWorkerError(ReproError):
+    """A campaign shard's worker process died and retries ran out.
+
+    Raised by the ``--jobs`` fan-out instead of hanging on the pool
+    (the historical ``multiprocessing.Pool`` failure mode) when a
+    shard's process is killed — segfault, OOM-kill, a ``kill:``
+    chaos injector — and re-running the shard keeps dying.
+
+    Attributes:
+        shard_index: Which shard could not be completed.
+        requeues: How many times the shard was re-run before
+            giving up.
+        exitcode: The dead process's exit code (negative = signal).
+    """
+
+    def __init__(self, message: str, *, shard_index: int,
+                 requeues: int, exitcode: int | None = None):
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.requeues = requeues
+        self.exitcode = exitcode
+
+
 class MicroTrap(SimulationError):
     """A microtrap (e.g. pagefault) occurred during simulation.
 

@@ -24,6 +24,7 @@ from repro.faults.injectors import (
     ControlStoreBitFlip,
     FaultInjector,
     InterruptStorm,
+    ProcessKill,
     StuckAtRegister,
     TransientMemoryFault,
     build_injector,
@@ -51,6 +52,7 @@ __all__ = [
     "FaultSpec",
     "GoldenRun",
     "InterruptStorm",
+    "ProcessKill",
     "ScenarioOutcome",
     "StuckAtRegister",
     "TransientMemoryFault",

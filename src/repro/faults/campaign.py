@@ -35,7 +35,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.asm.loader import ControlStore
-from repro.errors import FaultPlanError, ReproError, SimulationLimitError
+from repro.errors import (
+    CampaignWorkerError,
+    FaultPlanError,
+    ReproError,
+    SimulationLimitError,
+)
 from repro.faults.injectors import build_injector
 from repro.faults.plan import FaultPlan, FaultSpace, FaultSpec
 from repro.obs.aggregate import CampaignMetrics
@@ -51,6 +56,13 @@ CLASSIFICATIONS = ("masked", "recovered", "sdc", "detected", "hang")
 #: charges service cycles at every poll), so the factor is generous;
 #: it only exists to bound genuinely wedged runs.
 DEFAULT_CYCLE_FACTOR = 64
+
+#: How many times a ``--jobs`` shard whose worker process *died* is
+#: re-run before the campaign gives up with a typed
+#: :class:`~repro.errors.CampaignWorkerError`.  Scenario execution is
+#: pure, so a re-run is byte-identical — retries only ever turn a
+#: transient host failure (OOM kill, stray signal) into a result.
+DEFAULT_SHARD_REQUEUES = 2
 
 
 def default_trap_service(state, trap) -> None:
@@ -200,6 +212,7 @@ class CampaignResult:
 def _fresh_simulator(
     machine, loaded, *, registers, memory, mapping, tracer,
     engine: str = "interpretive", collect_profile: bool = False,
+    deadline_s: float | None = None,
 ) -> Simulator:
     store = ControlStore(machine)
     store.load(loaded)
@@ -213,6 +226,7 @@ def _fresh_simulator(
         interrupt_handler=_ignore_interrupt,
         recorder=recorder,
         engine=engine,
+        deadline_s=deadline_s,
     )
     for name, value in (registers or {}).items():
         simulator.state.write_reg(mapping.get(name, name), value)
@@ -283,6 +297,7 @@ def run_campaign_loaded(
     engine: str = "decoded",
     compile_each=None,
     collect_metrics: bool = False,
+    deadline_s: float | None = None,
 ) -> CampaignResult:
     """Run a campaign over an already-assembled program.
 
@@ -311,6 +326,15 @@ def run_campaign_loaded(
     associative/commutative laws of :mod:`repro.obs.aggregate`, so
     the metrics block is byte-identical between serial and ``--jobs``
     runs of the same campaign.
+
+    ``deadline_s`` is a per-run wall-clock budget handed to
+    ``Simulator.deadline_s`` for the golden run and every scenario; a
+    run that overruns it raises the typed
+    :class:`~repro.errors.SimulationLimitError` (``kind="deadline"``)
+    — scenarios classify it as ``hang``, a golden-run overrun
+    propagates to the caller.  The simulated-cycle watchdog stays the
+    deterministic bound; the deadline is the wall-clock backstop the
+    serve worker pool leans on.
     """
     mapping = mapping or {}
     metrics = CampaignMetrics() if collect_metrics else None
@@ -320,7 +344,7 @@ def run_campaign_loaded(
         simulator = _fresh_simulator(
             machine, loaded, registers=registers, memory=memory,
             mapping=mapping, tracer=NULL_TRACER, engine=engine,
-            collect_profile=collect_metrics,
+            collect_profile=collect_metrics, deadline_s=deadline_s,
         )
         result = simulator.run(loaded.name)
         golden = GoldenRun(
@@ -356,7 +380,7 @@ def run_campaign_loaded(
             indexed, machine, loaded, golden,
             registers=registers, memory=memory, mapping=mapping,
             watchdog=watchdog, jobs=jobs, engine=engine,
-            collect_metrics=collect_metrics,
+            collect_metrics=collect_metrics, deadline_s=deadline_s,
         )
         if metrics is not None:
             campaign.metrics = CampaignMetrics.merged(
@@ -370,7 +394,7 @@ def run_campaign_loaded(
                 index, fault_spec, machine, scenario_loaded, golden,
                 registers=registers, memory=memory, mapping=mapping,
                 watchdog=watchdog, tracer=tracer, engine=engine,
-                metrics=metrics,
+                metrics=metrics, deadline_s=deadline_s,
             )
         )
     campaign.metrics = metrics
@@ -378,52 +402,156 @@ def run_campaign_loaded(
 
 
 def _shard_worker(args) -> tuple:
-    """Top-level pool target: run one shard of scenarios.
+    """Top-level worker target: run one shard of scenarios.
 
     Receives everything by value (machines, programs and golden runs
     all pickle); returns the shard's outcomes plus its local metrics
     rollup (or ``None`` when metrics are off).  Classification uses no
     randomness and no wall-clock quantities, so outcomes are identical
-    to what the serial loop would have produced for the same indices.
+    to what the serial loop would have produced for the same indices —
+    which is also why a *re-run* of a crashed shard is byte-identical
+    to the run that died.
     """
     (shard, machine, loaded, golden, registers, memory, mapping,
-     watchdog, engine, collect_metrics) = args
+     watchdog, engine, collect_metrics, deadline_s) = args
     metrics = CampaignMetrics() if collect_metrics else None
     outcomes = [
         _run_scenario(
             index, fault_spec, machine, loaded, golden,
             registers=registers, memory=memory, mapping=mapping,
             watchdog=watchdog, tracer=NULL_TRACER, engine=engine,
-            metrics=metrics,
+            metrics=metrics, deadline_s=deadline_s,
         )
         for index, fault_spec in shard
     ]
     return outcomes, metrics
 
 
+def _shard_entry(conn, args) -> None:
+    """Process entry: run the shard, ship the result, exit."""
+    result = _shard_worker(args)
+    conn.send(result)
+    conn.close()
+
+
 def _run_scenarios_parallel(
     indexed, machine, loaded, golden, *,
     registers, memory, mapping, watchdog, jobs, engine,
     collect_metrics: bool = False,
+    deadline_s: float | None = None,
+    max_requeues: int = DEFAULT_SHARD_REQUEUES,
 ) -> tuple[list[ScenarioOutcome], list[CampaignMetrics]]:
-    """Shard scenarios over a process pool, merge back to index order."""
+    """Shard scenarios over supervised processes, merge to index order.
+
+    Unlike the ``multiprocessing.Pool.map`` this replaced, worker
+    death is an *observed event*: each shard runs in its own process
+    whose sentinel is multiplexed alongside its result pipe, so a
+    SIGKILLed worker (OOM, segfault, a ``kill:`` chaos injector) is
+    detected immediately, the shard is re-run up to ``max_requeues``
+    times, and persistent death surfaces as a typed
+    :class:`~repro.errors.CampaignWorkerError` naming the shard and
+    its re-queue count — never a hang on a result that cannot come.
+    """
     import multiprocessing
+    from multiprocessing.connection import wait as mp_wait
 
     jobs = min(jobs, len(indexed))
     shards = [indexed[offset::jobs] for offset in range(jobs)]
     tasks = [
         (shard, machine, loaded, golden, registers, memory, mapping,
-         watchdog, engine, collect_metrics)
+         watchdog, engine, collect_metrics, deadline_s)
         for shard in shards
     ]
-    with multiprocessing.Pool(processes=jobs) as pool:
-        shard_results = pool.map(_shard_worker, tasks)
+    ctx = multiprocessing.get_context()
+    results: list[tuple | None] = [None] * len(shards)
+    requeues = [0] * len(shards)
+    running: dict[int, tuple] = {}
+
+    def spawn(shard_index: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_shard_entry, args=(child_conn, tasks[shard_index]),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        running[shard_index] = (process, parent_conn)
+
+    def reap(shard_index: int) -> int | None:
+        process, conn = running.pop(shard_index)
+        exitcode = process.exitcode
+        try:
+            conn.close()
+        except OSError:
+            pass
+        process.join(timeout=5)
+        return exitcode if exitcode is not None else process.exitcode
+
+    try:
+        for shard_index in range(len(shards)):
+            spawn(shard_index)
+        while running:
+            conn_index = {
+                conn: i for i, (_, conn) in running.items()
+            }
+            sentinel_index = {
+                process.sentinel: i
+                for i, (process, _) in running.items()
+            }
+            ready = mp_wait([*conn_index, *sentinel_index])
+            done: set[int] = set()
+            crashed: set[int] = set()
+            for item in ready:
+                shard_index = conn_index.get(item)
+                if shard_index is not None:
+                    if shard_index in done or shard_index in crashed:
+                        continue
+                    try:
+                        results[shard_index] = item.recv()
+                        done.add(shard_index)
+                    except (EOFError, OSError):
+                        crashed.add(shard_index)
+                    continue
+                shard_index = sentinel_index[item]
+                if shard_index not in done:
+                    crashed.add(shard_index)
+            for shard_index in done:
+                reap(shard_index)
+                crashed.discard(shard_index)
+            for shard_index in crashed:
+                if shard_index not in running:
+                    continue
+                exitcode = reap(shard_index)
+                requeues[shard_index] += 1
+                if requeues[shard_index] > max_requeues:
+                    raise CampaignWorkerError(
+                        f"campaign shard {shard_index} worker died "
+                        f"(exit code {exitcode}) and stayed dead "
+                        f"through {max_requeues} re-queues",
+                        shard_index=shard_index,
+                        requeues=requeues[shard_index] - 1,
+                        exitcode=exitcode,
+                    )
+                spawn(shard_index)
+    finally:
+        for shard_index in list(running):
+            process, conn = running.pop(shard_index)
+            process.kill()
+            try:
+                conn.close()
+            except OSError:
+                pass
+            process.join(timeout=5)
+
     merged = [
-        outcome for outcomes, _ in shard_results for outcome in outcomes
+        outcome
+        for shard_result in results if shard_result is not None
+        for outcome in shard_result[0]
     ]
     merged.sort(key=lambda outcome: outcome.index)
     shard_metrics = [
-        metrics for _, metrics in shard_results if metrics is not None
+        shard_result[1] for shard_result in results
+        if shard_result is not None and shard_result[1] is not None
     ]
     return merged, shard_metrics
 
@@ -442,6 +570,7 @@ def _run_scenario(
     tracer,
     engine: str = "interpretive",
     metrics: CampaignMetrics | None = None,
+    deadline_s: float | None = None,
 ) -> ScenarioOutcome:
     rendered = fault_spec.render()
     with tracer.span(f"scenario {index:03d}", cat="fault",
@@ -449,7 +578,7 @@ def _run_scenario(
         simulator = _fresh_simulator(
             machine, loaded, registers=registers, memory=memory,
             mapping=mapping, tracer=tracer, engine=engine,
-            collect_profile=metrics is not None,
+            collect_profile=metrics is not None, deadline_s=deadline_s,
         )
         injector = build_injector(fault_spec).attach(simulator)
         outcome = ScenarioOutcome(index=index, spec=rendered,
@@ -506,6 +635,7 @@ def run_campaign(
     engine: str = "decoded",
     cache=None,
     collect_metrics: bool = False,
+    deadline_s: float | None = None,
 ) -> CampaignResult:
     """Compile ``source`` in ``lang`` for ``machine`` and campaign it.
 
@@ -565,7 +695,7 @@ def run_campaign(
         restart_hazards=result.restart_hazards,
         cycle_factor=cycle_factor, tracer=tracer,
         jobs=jobs, engine=engine, compile_each=compile_each,
-        collect_metrics=collect_metrics,
+        collect_metrics=collect_metrics, deadline_s=deadline_s,
     )
     if golden_cache_delta is not None and campaign.metrics is not None:
         campaign.metrics.add_cache(golden_cache_delta)

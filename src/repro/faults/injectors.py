@@ -437,6 +437,39 @@ def _reword(
     return LoadedWord(loaded.address, instruction, settings, mutated_word)
 
 
+class ProcessKill(FaultInjector):
+    """Chaos injector: SIGKILL the simulating process mid-run.
+
+    This models the failure the other injectors cannot — the *host*
+    process dying under a scenario (segfault, OOM-kill) — and is the
+    deterministic trigger behind the crash-safety tests of the
+    ``--jobs`` shard supervisor and the serve worker pool.  At the
+    ``nth`` executed microinstruction the process SIGKILLs itself:
+    no exception, no cleanup, exactly like the real thing.
+
+    Never drawn by seeded plan generation; only explicit
+    ``kill:nth=N`` specs build it.  Attaching it in the parent
+    process of a test suite would kill the suite, which is the
+    point — use it inside sacrificial worker processes.
+    """
+
+    def __init__(self, nth: int = 1):
+        super().__init__()
+        if nth < 1:
+            raise FaultPlanError(f"kill nth must be >= 1, got {nth}")
+        self.nth = nth
+        self._seen = 0
+
+    def on_instruction(self, simulator, loaded: LoadedWord) -> LoadedWord:
+        self._seen += 1
+        if self._seen >= self.nth:
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+        return loaded
+
+
 class ControlStoreBitFlip(FaultInjector):
     """Flip one encoded control-store bit at an absolute address.
 
@@ -527,4 +560,6 @@ def build_injector(fault_spec) -> FaultInjector:
             period=int(fault_spec.require("period")),
             from_cycle=int(fault_spec.get("cycle", 0)),
         )
+    if kind == "kill":
+        return ProcessKill(nth=int(fault_spec.get("nth", 1)))
     raise FaultPlanError(f"unknown fault kind {kind!r}")

@@ -27,7 +27,12 @@ from dataclasses import dataclass
 from repro.errors import FaultPlanError
 
 #: Fault kinds the toolkit knows how to build injectors for.
-FAULT_KINDS = ("bitflip", "memfault", "stuck", "storm")
+#: ``kill`` is the chaos-testing kind: it SIGKILLs the *simulating
+#: process* at the Nth microinstruction.  Never drawn by seeded plan
+#: generation (``FaultSpace.kinds_available`` excludes it); it exists
+#: for explicit specs that exercise crash-safety — the ``--jobs``
+#: shard supervisor, the serve worker pool, CI chaos smoke.
+FAULT_KINDS = ("bitflip", "memfault", "stuck", "storm", "kill")
 
 #: Spec parameters that stay strings (everything else parses as int).
 _STRING_PARAMS = frozenset({"reg", "op"})

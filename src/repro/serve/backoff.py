@@ -1,0 +1,174 @@
+"""Deterministic retry backoff and the poison-pill circuit breaker.
+
+Both halves of the service's crash story live here, wall-clock-free
+and fully seeded so the chaos suite can assert exact behaviour:
+
+* :class:`BackoffPolicy` — capped exponential backoff whose jitter is
+  a pure function of ``(seed, key, attempt)``: the same crashed job
+  re-queues on the identical schedule in every run of the service.
+  Jitter spreads a thundering herd of re-queued shards without
+  sacrificing reproducibility (the classic trade randomized backoff
+  makes, made deterministic by hashing instead of sampling).
+* :class:`CircuitBreakers` — a per-key strike counter with the usual
+  three states.  A request key that kills workers ``strikes`` times
+  is *quarantined* (open): further submissions are rejected
+  immediately instead of being fed to fresh workers.  After
+  ``cooldown_s`` the breaker lets exactly one probe through
+  (half-open); a clean probe closes the breaker, another crash
+  re-opens it.  The clock is injectable so tests drive the state
+  machine without sleeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped, seeded-jittered exponential backoff.
+
+    ``delay(key, attempt)`` for attempts 0, 1, 2, … grows as
+    ``base_s * 2**attempt``, stretched by a deterministic jitter in
+    ``[0, jitter)`` derived from SHA-256 of ``(seed, key, attempt)``,
+    and clamped to ``cap_s``.  Properties the tests pin:
+
+    * reproducible — equal inputs, equal schedule, across processes;
+    * capped — no delay ever exceeds ``cap_s``;
+    * monotone in expectation — the un-jittered base doubles.
+    """
+
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ValueError("backoff base_s must be > 0")
+        if self.cap_s < self.base_s:
+            raise ValueError("backoff cap_s must be >= base_s")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("backoff jitter must be in [0, 1]")
+
+    def unit(self, key: str, attempt: int) -> float:
+        """The deterministic jitter draw in [0, 1) for one retry."""
+        blob = f"{self.seed}:{key}:{attempt}".encode()
+        digest = hashlib.sha256(blob).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before re-queueing retry ``attempt``."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        base = self.base_s * (2.0 ** attempt)
+        stretched = base * (1.0 + self.jitter * self.unit(key, attempt))
+        return min(self.cap_s, stretched)
+
+    def schedule(self, key: str, attempts: int) -> list[float]:
+        """The full delay schedule for ``attempts`` retries of ``key``."""
+        return [self.delay(key, attempt) for attempt in range(attempts)]
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class _Breaker:
+    """One key's strike record."""
+
+    strikes: int = 0
+    state: str = "closed"  # closed | open | half_open
+    opened_at: float = 0.0
+    probing: bool = False
+
+
+@dataclass
+class CircuitBreakers:
+    """Per-request-key poison-pill quarantine.
+
+    A *strike* is a worker death attributable to the key (crash while
+    the key's job was in flight, or a deadline kill of a wedged
+    worker).  ``strikes`` deaths open the breaker; while open,
+    :meth:`admit` rejects the key without spending a worker on it.
+    ``cooldown_s`` after opening, one submission is admitted as a
+    half-open probe; its success closes the breaker and resets the
+    count, another strike re-opens it for a fresh cooldown.
+    """
+
+    strikes: int = 2
+    cooldown_s: float = 30.0
+    clock: object = time.monotonic
+    _keys: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.strikes < 1:
+            raise ValueError("breaker strikes must be >= 1")
+
+    def _get(self, key: str) -> _Breaker:
+        breaker = self._keys.get(key)
+        if breaker is None:
+            breaker = self._keys[key] = _Breaker()
+        return breaker
+
+    # ------------------------------------------------------------------
+    def admit(self, key: str) -> str:
+        """Gate one submission: ``"allow"``, ``"probe"`` or ``"reject"``.
+
+        ``"probe"`` admissions must be reported back through
+        :meth:`record_success` / :meth:`record_strike` to resolve the
+        half-open state; while a probe is outstanding every other
+        submission of the key is rejected.
+        """
+        breaker = self._keys.get(key)
+        if breaker is None or breaker.state == "closed":
+            return "allow"
+        if breaker.state == "open":
+            if self.clock() - breaker.opened_at < self.cooldown_s:
+                return "reject"
+            breaker.state = "half_open"
+            breaker.probing = True
+            return "probe"
+        # half_open: one probe at a time.
+        if breaker.probing:
+            return "reject"
+        breaker.probing = True
+        return "probe"
+
+    def record_strike(self, key: str) -> bool:
+        """Count one worker death against ``key``; True if now open."""
+        breaker = self._get(key)
+        breaker.strikes += 1
+        breaker.probing = False
+        if breaker.state == "half_open" or breaker.strikes >= self.strikes:
+            breaker.state = "open"
+            breaker.opened_at = self.clock()
+        return breaker.state == "open"
+
+    def record_success(self, key: str) -> None:
+        """A completed job for ``key``: close a probe, clear strikes."""
+        breaker = self._keys.get(key)
+        if breaker is None:
+            return
+        breaker.strikes = 0
+        breaker.state = "closed"
+        breaker.probing = False
+
+    # ------------------------------------------------------------------
+    def is_open(self, key: str) -> bool:
+        breaker = self._keys.get(key)
+        return breaker is not None and breaker.state == "open"
+
+    def states(self) -> dict[str, dict]:
+        """Snapshot for ``/healthz``: every non-closed breaker."""
+        return {
+            key: {"state": b.state, "strikes": b.strikes}
+            for key, b in sorted(self._keys.items())
+            if b.state != "closed" or b.strikes
+        }
+
+    def counts(self) -> dict[str, int]:
+        tally = {"closed": 0, "open": 0, "half_open": 0}
+        for breaker in self._keys.values():
+            tally[breaker.state] += 1
+        return tally

@@ -1,0 +1,186 @@
+"""Minimal HTTP/1.1 over asyncio streams — requests in, JSON out.
+
+Hand-rolled on purpose: the service needs exactly one request shape
+(a request line, headers, an optional JSON body) and one response
+shape (a JSON document with a status code), and the stdlib's
+``http.server`` is threaded/blocking where the service is asyncio.
+The parser is strict and bounded — oversized bodies, missing lengths
+and malformed framing are typed :class:`HttpError`\\ s that the
+service turns into 4xx responses, never exceptions that kill the
+connection handler.
+
+Connections are one-shot (``Connection: close``): the service's unit
+of admission is the request, and keep-alive would only let one slow
+client pin connection state through a drain.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Hard cap on request bodies; a survey microprogram is a few KB, so
+#: anything near this is either abuse or a mistake.
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADER_BYTES = 16 << 10
+
+STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A malformed or inadmissible request, with its response code."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise HttpError(
+                400, "bad_json", f"request body is not JSON: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400, "bad_json", "request body must be a JSON object"
+            )
+        return payload
+
+
+def _parse_query(raw: str) -> dict[str, str]:
+    query: dict[str, str] = {}
+    for part in raw.split("&"):
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        query[name] = value
+    return query
+
+
+async def read_request(reader) -> Request | None:
+    """Parse one request off the stream; None on clean EOF.
+
+    Framing violations raise :class:`HttpError`; the caller answers
+    with the error's status and closes.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_HEADER_BYTES:
+        raise HttpError(400, "bad_request", "request line too long")
+    try:
+        method, target, _version = line.decode("ascii").split(None, 2)
+    except (UnicodeDecodeError, ValueError):
+        raise HttpError(400, "bad_request", "malformed request line") \
+            from None
+    path, _, raw_query = target.partition("?")
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(431, "bad_request", "headers too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "bad_request",
+                            "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "bad_request", "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(
+                413, "too_large",
+                f"body of {length} bytes exceeds {MAX_BODY_BYTES}",
+            )
+        try:
+            body = await reader.readexactly(length)
+        except Exception:
+            raise HttpError(400, "bad_request", "truncated body") from None
+    return Request(
+        method=method.upper(),
+        path=path,
+        query=_parse_query(raw_query),
+        headers=headers,
+        body=body,
+    )
+
+
+async def write_json(writer, status: int, payload: dict, *,
+                     headers: dict[str, str] | None = None) -> None:
+    """One JSON response, deterministically serialized, and close.
+
+    ``sort_keys`` matters: the chaos suite asserts byte-identical
+    response bodies across crash-driven retries, which requires the
+    serialization itself to be canonical.
+    """
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    reason = STATUS_TEXT.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+    try:
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass
+
+
+async def write_text(writer, status: int, text: str, *,
+                     content_type: str = "text/plain; version=0.0.4"
+                     ) -> None:
+    """A plain-text response (the Prometheus exposition endpoint)."""
+    body = text.encode()
+    reason = STATUS_TEXT.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode() + body)
+    try:
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass

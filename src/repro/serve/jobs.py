@@ -1,0 +1,253 @@
+"""Job payloads and their in-worker execution.
+
+A *job* is the picklable request a worker process executes: a plain
+dict with an ``"op"`` (``compile`` / ``run`` / ``campaign``) plus the
+operation's parameters.  :func:`execute_job` runs one job to a
+*terminal structured response* — a JSON-ready dict whose ``status``
+is ``ok``, ``timeout`` or ``error`` — and never lets an exception
+escape (the pool treats an escaping worker as dead).  The ``result``
+field of a response is a pure function of the job payload, which is
+what lets the chaos suite assert byte-identical results across
+crash-driven retries.
+
+Deadline propagation ends here: the worker receives the request's
+*remaining* wall-clock budget and hands it to
+``Simulator.deadline_s``, so a microprogram that wedges produces a
+typed ``SimulationLimitError`` and a structured ``timeout`` response
+instead of holding the worker hostage.  (A worker stuck outside the
+simulator — e.g. in a pathological compile — is the supervisor's
+problem: it kills and respawns past the grace period.)
+
+Chaos hooks: a job may carry ``{"chaos": {"kill_on_attempts": [...]}}``.
+When the current dispatch attempt is listed, the worker SIGKILLs
+itself *before* doing any work — a deterministic stand-in for
+segfault/OOM death that the pool must detect, respawn and re-queue
+around.  ``{"chaos": {"sleep_s": N}}`` wedges the worker outside the
+simulator instead, exercising the supervisor's deadline kill.  The service only forwards the ``chaos`` field when booted
+with ``enable_chaos`` (tests, CI smoke); production configs reject it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.cache import CompileCache, compile_key
+from repro.errors import ReproError, SimulationLimitError
+
+#: Request classes, in shed order: under overload the service drops
+#: campaign-class admissions first, compile-class last.
+JOB_CLASSES = ("campaign", "run", "compile")
+
+
+def job_key(job: dict) -> str:
+    """The quarantine/backoff identity of a job.
+
+    Two submissions of the same work share a key, so a poison request
+    re-submitted verbatim hits its own open breaker.  For compile/run
+    jobs this is the compile cache's content address (plus the run's
+    input state); campaigns add their scenario envelope.  Jobs with
+    unknown machines/languages fail later with a structured error, so
+    the key falls back to a stable render of the payload.
+    """
+    import hashlib
+
+    from repro.registry import build_machine
+
+    try:
+        machine = build_machine(job.get("machine", "HM1"))
+        base = compile_key(
+            job.get("source", ""), job.get("lang", ""), machine,
+            job.get("options") or None,
+        )
+    except Exception:
+        rendered = repr(sorted(job.items(), key=lambda kv: kv[0]))
+        base = hashlib.sha256(rendered.encode()).hexdigest()
+    extras = [job.get("op", "")]
+    for fld in ("set", "mem", "n", "seed", "restart_safe", "max_cycles",
+                "engine", "chaos"):
+        if job.get(fld) is not None:
+            extras.append(f"{fld}={job[fld]!r}")
+    return f"{base[:32]}:{'+'.join(extras)}"
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+_WORKER_CACHE: CompileCache | None = None
+
+
+def _worker_cache(cache_dir: str | None) -> CompileCache:
+    """One compile cache per worker process, disk tier shared by all."""
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = CompileCache(disk_dir=cache_dir)
+    return _WORKER_CACHE
+
+
+def _int_map(raw: dict | None) -> dict[str, int]:
+    return {str(k): int(v) for k, v in (raw or {}).items()}
+
+
+def _chaos_kill(job: dict, attempt: int) -> None:
+    chaos = job.get("chaos") or {}
+    if attempt in (chaos.get("kill_on_attempts") or []):
+        os.kill(os.getpid(), signal.SIGKILL)
+    # A wedge *outside* the simulator: the in-run deadline cannot fire,
+    # so only the supervisor's deadline kill can reclaim the worker.
+    sleep_s = chaos.get("sleep_s")
+    if sleep_s:
+        time.sleep(float(sleep_s))
+
+
+def _compile(job: dict, cache: CompileCache):
+    from repro.registry import build_machine, get_language
+
+    machine = build_machine(job.get("machine", "HM1"))
+    options = dict(job.get("options") or {})
+    result = get_language(job["lang"]).compile(
+        job["source"], machine, cache=cache, **options
+    )
+    return machine, result
+
+
+def _compile_response(job: dict, cache: CompileCache) -> dict:
+    machine, result = _compile(job, cache)
+    return {
+        "machine": machine.name,
+        "lang": job["lang"],
+        "n_words": len(result.loaded),
+        "word_bits": machine.control.width,
+        "words": [
+            {"address": w.address, "word": f"{w.word:x}"}
+            for w in result.loaded.words
+        ],
+        "n_ops": result.composed.n_ops(),
+        "compaction": round(result.composed.compaction_ratio(), 4),
+        "mapping": dict(sorted(result.allocation.mapping.items())),
+        "restart_hazards": [str(h) for h in result.restart_hazards],
+        "warnings": [str(d) for d in result.warnings()],
+    }
+
+
+def _run_response(job: dict, cache: CompileCache, budget_s) -> dict:
+    from repro.asm.loader import ControlStore
+    from repro.sim.simulator import Simulator
+
+    machine, result = _compile(job, cache)
+    store = ControlStore(machine)
+    store.load(result.loaded)
+    simulator = Simulator(
+        machine, store,
+        engine=job.get("engine", "decoded"),
+        deadline_s=budget_s,
+    )
+    mapping = result.allocation.mapping
+    for name, value in _int_map(job.get("set")).items():
+        simulator.state.write_reg(mapping.get(name, name), value)
+    for address, value in _int_map(job.get("mem")).items():
+        simulator.state.memory.load_words(int(address, 0)
+                                          if isinstance(address, str)
+                                          else int(address), [value])
+    outcome = simulator.run(
+        result.loaded.name, max_cycles=int(job.get("max_cycles", 1_000_000))
+    )
+    registers = {
+        name: simulator.state.read_reg(mapping.get(name, name))
+        for name in (job.get("show") or [])
+    }
+    return {
+        "machine": machine.name,
+        "lang": job["lang"],
+        "exit_value": outcome.exit_value,
+        "cycles": outcome.cycles,
+        "instructions": outcome.instructions,
+        "traps": outcome.traps,
+        "interrupts": outcome.interrupts_serviced,
+        "registers": dict(sorted(registers.items())),
+    }
+
+
+def _campaign_response(job: dict, cache: CompileCache, budget_s) -> dict:
+    from repro.faults.campaign import run_campaign
+    from repro.registry import build_machine
+
+    machine = build_machine(job.get("machine", "HM1"))
+    campaign = run_campaign(
+        job["source"], job["lang"], machine,
+        n=int(job.get("n", 25)),
+        seed=int(job.get("seed", 7)),
+        restart_safe=bool(job.get("restart_safe", False)),
+        registers=_int_map(job.get("set")),
+        memory={int(a): v for a, v in _int_map(job.get("mem")).items()},
+        cache=cache,
+        deadline_s=budget_s,
+        collect_metrics=bool(job.get("metrics", False)),
+    )
+    payload = campaign.to_json()
+    # The compile-cache telemetry family depends on how warm *this*
+    # worker's cache happens to be — a crash-driven retry on a fresh
+    # worker would legitimately differ.  The served result must be a
+    # pure function of the request (the chaos suite asserts the bytes),
+    # so the environment-dependent family is dropped; the worker's
+    # cumulative cache stats still ride in the response's ``cache``
+    # field.
+    if isinstance(payload.get("metrics"), dict):
+        payload["metrics"].pop("cache", None)
+    return payload
+
+
+def execute_job(job: dict, *, attempt: int = 0,
+                budget_s: float | None = None,
+                cache_dir: str | None = None) -> dict:
+    """Run one job to a terminal structured response.
+
+    ``budget_s`` is the request's remaining wall-clock allowance; it
+    becomes ``Simulator.deadline_s`` for run/campaign work.  All
+    toolkit errors come back as ``status="error"`` with the error's
+    type and message; only genuine process death (which
+    :func:`_chaos_kill` models) is left for the pool to observe.
+    """
+    _chaos_kill(job, attempt)
+    cache = _worker_cache(cache_dir)
+    op = job.get("op")
+    try:
+        if op == "compile":
+            result = _compile_response(job, cache)
+        elif op == "run":
+            result = _run_response(job, cache, budget_s)
+        elif op == "campaign":
+            result = _campaign_response(job, cache, budget_s)
+        else:
+            return {
+                "status": "error",
+                "error": {"type": "BadRequest",
+                          "message": f"unknown op {op!r}"},
+            }
+    except SimulationLimitError as error:
+        if error.kind == "deadline":
+            return {
+                "status": "timeout",
+                "where": "simulator",
+                "error": {"type": type(error).__name__,
+                          "kind": error.kind,
+                          "limit": error.limit,
+                          "message": str(error)},
+            }
+        return {
+            "status": "error",
+            "error": {"type": type(error).__name__, "kind": error.kind,
+                      "limit": error.limit, "message": str(error)},
+        }
+    except ReproError as error:
+        return {
+            "status": "error",
+            "error": {"type": type(error).__name__, "message": str(error)},
+        }
+    except Exception as error:  # defense: never crash the worker loop
+        return {
+            "status": "error",
+            "error": {"type": type(error).__name__, "message": str(error)},
+        }
+    return {"status": "ok", "result": result, "cache": cache.stats.to_json()}

@@ -1,0 +1,112 @@
+"""In-process service runner + tiny blocking client.
+
+Tests, the chaos suite and ``bench_serve_load.py`` all need the same
+thing: a real service on a real socket, owned by the current process
+so its pool, breakers and counters are inspectable — and torn down
+deterministically.  :class:`ServiceRunner` runs the asyncio service
+on a background thread and exposes a blocking ``http.client``-based
+:meth:`request` helper, so callers stay plain synchronous code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+from repro.serve.config import ServeConfig
+from repro.serve.service import ReproService
+
+
+class ServiceRunner:
+    """Context manager: a live service on an ephemeral port."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.service: ReproService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceRunner":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        if self._error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._error}"
+            ) from self._error
+        return self
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as error:  # surface startup failures
+            self._error = error
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.service = ReproService(self.config)
+        await self.service.start()
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.service._stopped.wait()
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        assert self.service is not None
+        return self.service.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.config.host, self.port)
+
+    def stop(self, *, drain: bool = True, timeout: float = 60.0) -> None:
+        if self._loop is None or self.service is None:
+            return
+        if not self._loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.shutdown(drain=drain), self._loop
+            )
+            try:
+                future.result(timeout=timeout)
+            except Exception:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceRunner":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, payload: dict | None = None,
+                *, timeout: float = 60.0) -> tuple[int, object]:
+        """One blocking request; returns ``(status, decoded body)``."""
+        connection = http.client.HTTPConnection(
+            self.config.host, self.port, timeout=timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            return response.status, json.loads(raw)
+        return response.status, raw.decode()

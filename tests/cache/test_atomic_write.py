@@ -1,0 +1,87 @@
+"""Crash-safe disk-tier writes: temp file + ``os.replace``.
+
+The regression being pinned: a writer interrupted mid-write (the
+serve pool's workers die by SIGKILL as a matter of course) must never
+leave a truncated ``.pkl`` behind for ``cache.corrupt`` to trip on —
+the target either exists complete or not at all, and stray temp files
+are swept by the next writer of the same key.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.cache import CompileCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CompileCache(disk_dir=tmp_path / "disk")
+
+
+KEY = "a" * 64
+
+
+class TestAtomicWrite:
+    def test_put_leaves_complete_entry_and_no_temp(self, cache):
+        cache.put(KEY, {"payload": list(range(100))})
+        path = cache._disk_path(KEY)
+        with path.open("rb") as handle:
+            assert pickle.load(handle) == {"payload": list(range(100))}
+        assert not list(path.parent.glob("*.tmp"))
+
+    def test_interrupted_write_leaves_no_partial_target(
+        self, cache, monkeypatch
+    ):
+        # Simulate death between writing the temp file and the rename.
+        real_replace = os.replace
+
+        def die(src, dst):
+            raise KeyboardInterrupt("killed mid-write")
+
+        monkeypatch.setattr(os, "replace", die)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put(KEY, {"x": 1})
+        monkeypatch.setattr(os, "replace", real_replace)
+        path = cache._disk_path(KEY)
+        assert not path.exists()  # no truncated/partial target
+        assert not list(path.parent.glob("*.tmp"))  # cleanup ran
+        # A cold reader sees a clean miss, not a corrupt entry.
+        fresh = CompileCache(disk_dir=cache.disk_dir)
+        assert fresh.get(KEY) is None
+        assert fresh.stats.corrupt == 0
+
+    def test_serialization_failure_touches_no_file(self, cache):
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        with pytest.raises(Exception):
+            cache.put(KEY, Unpicklable())
+        path = cache._disk_path(KEY)
+        assert not path.exists()
+        assert not list(path.parent.glob("*.tmp"))
+
+    def test_stray_temp_from_a_crash_is_swept(self, cache):
+        path = cache._disk_path(KEY)
+        stray = path.parent / f".{path.stem[:16]}deadbeef.tmp"
+        stray.write_bytes(b"half a pickle")
+        cache.put(KEY, {"fresh": True})
+        assert not stray.exists()
+        with path.open("rb") as handle:
+            assert pickle.load(handle) == {"fresh": True}
+
+    def test_rewrite_of_existing_key_is_atomic(self, cache):
+        cache.put(KEY, {"generation": 1})
+        cache.put(KEY, {"generation": 2})
+        path = cache._disk_path(KEY)
+        with path.open("rb") as handle:
+            assert pickle.load(handle) == {"generation": 2}
+        assert not list(path.parent.glob("*.tmp"))
+
+    def test_cross_process_read_back(self, cache):
+        cache.put(KEY, {"shared": 42})
+        other = CompileCache(disk_dir=cache.disk_dir)
+        assert other.get(KEY) == {"shared": 42}
+        assert other.stats.disk_hits == 1

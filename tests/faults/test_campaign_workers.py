@@ -1,0 +1,103 @@
+"""Worker death in the ``--jobs`` campaign fan-out is typed, not a hang.
+
+The ``kill`` fault kind SIGKILLs the simulating process at the Nth
+microinstruction — the deterministic stand-in for a shard worker
+dying of segfault/OOM.  The supervisor must observe the death via the
+process sentinel, re-queue the shard, and surface persistent death as
+:class:`~repro.errors.CampaignWorkerError` naming the shard and its
+re-queue count.  (Recoverable crashes — death on attempt 0, success
+on retry — are exercised at the serve pool level, where chaos is
+attempt-scoped; the injector kills deterministically every run.)
+"""
+
+import pytest
+
+from repro.errors import CampaignWorkerError, FaultPlanError
+from repro.faults.campaign import fault_space_for, run_campaign_loaded
+from repro.faults.injectors import ProcessKill, build_injector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, parse_fault_spec, spec
+from repro.lang.yalll import compile_yalll
+from repro.machine.machines import get_machine
+
+LOOP_SRC = """
+    put total,0
+    put counter,6
+loop:
+    add total,total,counter
+    sub counter,counter,1
+    jump loop if nonzero
+    exit total
+"""
+
+
+def compiled():
+    machine = get_machine("HM1")
+    result = compile_yalll(LOOP_SRC, machine, name="mul")
+    return machine, result
+
+
+class TestKillFaultKind:
+    def test_kill_is_a_known_kind(self):
+        assert "kill" in FAULT_KINDS
+
+    def test_spec_round_trip(self):
+        parsed = parse_fault_spec("kill:nth=3")
+        assert parsed.kind == "kill"
+        assert parsed.require("nth") == 3
+        injector = build_injector(parsed)
+        assert isinstance(injector, ProcessKill)
+        assert injector.nth == 3
+
+    def test_nth_must_be_positive(self):
+        with pytest.raises(FaultPlanError):
+            ProcessKill(nth=0)
+
+    def test_seeded_generation_never_draws_kill(self):
+        # Campaign plans must stay survivable: ``kill`` is an explicit
+        # chaos opt-in, never a seeded draw.
+        machine, result = compiled()
+        golden = run_campaign_loaded(
+            result.loaded, machine, n=0, lang="yalll",
+            mapping=result.allocation.mapping,
+        ).golden
+        space = fault_space_for(machine, result.loaded, golden)
+        assert "kill" not in space.kinds_available()
+        for seed in range(20):
+            plan = FaultPlan.generate(seed, space, 25)
+            assert all(s.kind != "kill" for s in plan.specs)
+
+
+class TestWorkerDeathSurfaces:
+    def test_persistent_shard_death_raises_typed_error(self):
+        machine, result = compiled()
+        plan = FaultPlan(
+            seed=0, specs=tuple(spec("kill", nth=1) for _ in range(4))
+        )
+        with pytest.raises(CampaignWorkerError) as info:
+            run_campaign_loaded(
+                result.loaded, machine,
+                lang="yalll",
+                plan=plan,
+                mapping=result.allocation.mapping,
+                jobs=2,
+            )
+        error = info.value
+        assert error.shard_index in (0, 1)
+        assert error.requeues == 2  # DEFAULT_SHARD_REQUEUES
+        assert error.exitcode is not None and error.exitcode < 0
+        assert "stayed dead" in str(error)
+
+    def test_healthy_shards_unaffected_by_kill_kind_existing(self):
+        # A plan without kill specs still round-trips byte-identically
+        # through the rewritten supervised fan-out.
+        from repro.faults.campaign import run_campaign
+        from repro.faults.report import campaign_json
+
+        machine = get_machine("HM1")
+        serial = run_campaign(
+            LOOP_SRC, "yalll", machine, n=16, seed=11, jobs=1
+        )
+        sharded = run_campaign(
+            LOOP_SRC, "yalll", machine, n=16, seed=11, jobs=3
+        )
+        assert campaign_json([sharded]) == campaign_json([serial])

@@ -1,0 +1,46 @@
+"""Shared serve-suite fixtures: one chaos-enabled live service.
+
+Booting a service costs worker processes, so the expensive fixture is
+module-scoped per test module that wants it; tests that only need the
+pool, the breaker state machine or the HTTP parser construct those
+directly and never pay for a socket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeConfig, ServiceRunner
+
+#: A program every machine in the registry can run.
+ADD_SRC = """
+    put a,2
+    add a,a,3
+    exit a
+"""
+
+#: Spins forever; only a deadline (or the watchdog) ends it.
+WEDGE_SRC = """
+    put a,1
+loop:
+    add a,a,1
+    jump loop
+"""
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """A live chaos-enabled service with fast retries and breakers."""
+    config = ServeConfig(
+        workers=2,
+        enable_chaos=True,
+        cache_dir=str(tmp_path_factory.mktemp("serve-cache")),
+        retry_base_s=0.01,
+        retry_cap_s=0.2,
+        breaker_strikes=2,
+        breaker_cooldown_s=0.2,
+        kill_grace_s=0.5,
+        seed=1980,
+    )
+    with ServiceRunner(config) as runner:
+        yield runner

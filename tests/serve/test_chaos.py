@@ -1,0 +1,178 @@
+"""The seeded chaos suite: worker kills, corrupt cache, floods.
+
+The acceptance bar from the robustness issue, verbatim: every
+accepted request reaches a terminal structured response (success,
+timeout or quarantine — never a hang, never a dropped connection),
+and re-queued work after a worker kill produces byte-identical
+results to an undisturbed run.  Everything here runs on fixed seeds;
+there is no wall-clock randomness to flake on.
+"""
+
+import concurrent.futures
+import json
+
+from repro.registry import build_machine
+from repro.serve import ServeConfig, ServiceRunner
+from tests.serve.conftest import ADD_SRC
+
+CAMPAIGN = {
+    "source": ADD_SRC,
+    "lang": "yalll",
+    "n": 8,
+    "seed": 1980,
+    "deadline_s": 60,
+}
+
+TERMINAL_STATUSES = {
+    "ok", "error", "timeout", "quarantined", "crashed", "shutdown",
+}
+
+
+def result_bytes(body: dict) -> bytes:
+    """The canonical bytes of a response's result payload.
+
+    The ``cache`` field is worker-lifetime cumulative (a retry on a
+    fresh worker legitimately reports different hit counts), so byte
+    identity is asserted over ``result`` — the part that is a pure
+    function of the request.
+    """
+    return json.dumps(body["result"], sort_keys=True).encode()
+
+
+class TestWorkerKillRecovery:
+    def test_killed_campaign_classifies_byte_identically(self, service):
+        undisturbed = service.request("POST", "/campaign", CAMPAIGN)
+        killed = service.request(
+            "POST", "/campaign",
+            {**CAMPAIGN, "chaos": {"kill_on_attempts": [0]}},
+        )
+        assert undisturbed[0] == 200
+        assert killed[0] == 200
+        assert killed[1]["status"] == "ok"
+        assert result_bytes(killed[1]) == result_bytes(undisturbed[1])
+
+    def test_kill_mid_sequence_leaves_service_healthy(self, service):
+        before = service.request("GET", "/healthz")[1]["pool"]
+        status, body = service.request(
+            "POST", "/run",
+            {
+                "source": ADD_SRC,
+                "lang": "yalll",
+                "chaos": {"kill_on_attempts": [0]},
+            },
+        )
+        assert status == 200
+        assert body["result"]["exit_value"] == 5
+        after = service.request("GET", "/healthz")[1]["pool"]
+        assert after["crashes"] >= before["crashes"] + 1
+        assert after["restarts"] >= before["restarts"] + 1
+        # The respawned worker serves the next request normally.
+        status, body = service.request(
+            "POST", "/run", {"source": ADD_SRC, "lang": "yalll"}
+        )
+        assert status == 200
+
+    def test_poison_request_quarantined_then_rejected(self, service):
+        poison = {
+            "source": ADD_SRC,
+            "lang": "yalll",
+            "seed": 13,  # distinct key from other tests' requests
+            "chaos": {"kill_on_attempts": list(range(12))},
+        }
+        first = service.request("POST", "/campaign", poison)
+        assert first[0] == 503
+        assert first[1]["status"] == "quarantined"
+        assert first[1]["attempts"] == 2  # breaker_strikes in conftest
+        second = service.request("POST", "/campaign", poison)
+        assert second[0] == 503
+        assert second[1]["status"] == "quarantined"
+        health = service.request("GET", "/healthz")[1]
+        assert any(
+            entry["state"] in ("open", "half_open")
+            for entry in health["breakers"].values()
+        )
+
+
+class TestCorruptCache:
+    def test_corrupt_disk_entry_is_evicted_not_fatal(self, service):
+        # A source no other test compiles, so the worker's memory tier
+        # is cold and the corrupt disk entry is actually probed.  The
+        # cache key includes the pipeline's resolved default options,
+        # so derive it by compiling into a throwaway disk tier.
+        import tempfile
+        from pathlib import Path
+
+        from repro.cache import CompileCache
+        from repro.registry import get_language
+
+        source = "    put a,4\n    add a,a,9\n    exit a\n"
+        cache_dir = service.config.cache_dir
+        with tempfile.TemporaryDirectory() as scratch:
+            probe = CompileCache(disk_dir=scratch)
+            get_language("yalll").compile(
+                source, build_machine("HM1"), cache=probe
+            )
+            key = next(Path(scratch).glob("*.pkl")).stem
+        corrupt = f"{cache_dir}/{key}.pkl"
+        with open(corrupt, "wb") as handle:
+            handle.write(b"\x80\x04 this is not a pickle")
+        status, body = service.request(
+            "POST", "/compile", {"source": source, "lang": "yalll"}
+        )
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["cache"]["corrupt"] >= 1  # evicted, counted
+        # The poisoned entry was replaced by a valid one.
+        import pickle
+
+        with open(corrupt, "rb") as handle:
+            pickle.load(handle)
+
+
+class TestFlood:
+    def test_flood_gets_terminal_answers_and_sheds(self, tmp_path):
+        config = ServeConfig(
+            workers=2,
+            class_limits={"compile": 2, "run": 2, "campaign": 1},
+            shed_campaigns_at=0.75,
+            cache_dir=str(tmp_path / "cache"),
+            seed=1980,
+        )
+        requests = [
+            ("/campaign", {**CAMPAIGN, "n": 12, "seed": i})
+            for i in range(8)
+        ] + [
+            ("/compile", {"source": ADD_SRC, "lang": "yalll"})
+            for _ in range(8)
+        ]
+        with ServiceRunner(config) as runner:
+            with concurrent.futures.ThreadPoolExecutor(16) as pool:
+                answers = list(pool.map(
+                    lambda item: runner.request(
+                        "POST", item[0], item[1], timeout=120
+                    ),
+                    requests,
+                ))
+            health = runner.request("GET", "/healthz")[1]
+        assert len(answers) == len(requests)  # nothing hung or dropped
+        shed = [a for a in answers if a[0] == 429]
+        accepted = [a for a in answers if a[0] != 429]
+        for status, body in accepted:
+            assert body["status"] in TERMINAL_STATUSES
+        for status, body in shed:
+            assert body["error"] == "overloaded"
+            assert body["retry_after_s"] == 1
+        # 4x the campaign capacity guarantees shedding kicked in.
+        assert shed
+        assert health["requests"]["shed"]["campaign"] >= 1
+
+    def test_shed_campaigns_byte_identical_when_resubmitted(
+        self, service
+    ):
+        # A request that was shed and retried later must classify the
+        # same as one that was never shed: admission is stateless with
+        # respect to results.
+        first = service.request("POST", "/campaign", CAMPAIGN)
+        again = service.request("POST", "/campaign", CAMPAIGN)
+        assert first[0] == again[0] == 200
+        assert result_bytes(first[1]) == result_bytes(again[1])

@@ -1,0 +1,151 @@
+"""The hand-rolled HTTP layer: strict parsing, canonical output."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    Request,
+    read_request,
+    write_json,
+)
+
+
+def parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class FakeWriter:
+    def __init__(self):
+        self.data = b""
+
+    def write(self, chunk):
+        self.data += chunk
+
+    async def drain(self):
+        pass
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        body = b'{"lang": "yalll"}'
+        raw = (
+            b"POST /compile HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.json() == {"lang": "yalll"}
+
+    def test_query_string(self):
+        request = parse(b"GET /healthz?full=1&x HTTP/1.1\r\n\r\n")
+        assert request.path == "/healthz"
+        assert request.query == {"full": "1", "x": ""}
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"GARBAGE\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        raw = (
+            b"POST /compile HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(HttpError) as info:
+            parse(raw)
+        assert info.value.status == 413
+
+    def test_negative_content_length(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+        with pytest.raises(HttpError) as info:
+            parse(raw)
+        assert info.value.status == 400
+
+    def test_bad_content_length(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+        with pytest.raises(HttpError) as info:
+            parse(raw)
+        assert info.value.status == 400
+
+    def test_truncated_body(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"
+        with pytest.raises(HttpError) as info:
+            parse(raw)
+        assert info.value.status == 400
+
+    def test_oversized_headers_431(self):
+        filler = b"X-Pad: " + b"a" * 1024 + b"\r\n"
+        raw = b"GET / HTTP/1.1\r\n" + filler * 32 + b"\r\n"
+        with pytest.raises(HttpError) as info:
+            parse(raw)
+        assert info.value.status == 431
+
+
+class TestRequestJson:
+    def test_empty_body_is_empty_object(self):
+        assert Request(method="POST", path="/x").json() == {}
+
+    def test_non_json_body(self):
+        request = Request(method="POST", path="/x", body=b"not json")
+        with pytest.raises(HttpError) as info:
+            request.json()
+        assert info.value.code == "bad_json"
+
+    def test_non_object_body(self):
+        request = Request(method="POST", path="/x", body=b"[1, 2]")
+        with pytest.raises(HttpError) as info:
+            request.json()
+        assert info.value.code == "bad_json"
+
+
+class TestWriteJson:
+    def _render(self, payload) -> bytes:
+        writer = FakeWriter()
+        asyncio.run(write_json(writer, 200, payload))
+        return writer.data
+
+    def test_canonical_serialization(self):
+        # Key order in the payload dict must not leak into the bytes:
+        # chaos retries rebuild responses in arbitrary construction
+        # order and still have to be byte-identical.
+        a = self._render({"b": 1, "a": {"y": 2, "x": 3}})
+        b = self._render({"a": {"x": 3, "y": 2}, "b": 1})
+        assert a == b
+
+    def test_framing(self):
+        data = self._render({"ok": True})
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Connection: close" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_extra_headers(self):
+        writer = FakeWriter()
+        asyncio.run(write_json(
+            writer, 429, {"error": "overloaded"},
+            headers={"Retry-After": "1"},
+        ))
+        assert b"HTTP/1.1 429 Too Many Requests" in writer.data
+        assert b"Retry-After: 1" in writer.data

@@ -212,3 +212,44 @@ class TestDumpAfter:
         assert main(["compile", yalll_file, "--lang", "yalll",
                      "--dump-after", "linking"]) == 2
         assert "no stage named" in capsys.readouterr().err
+
+
+class TestDeadline:
+    """``--deadline-s`` plumbs to ``Simulator.deadline_s`` (serve S21)."""
+
+    WEDGE = """
+    put a,1
+loop:
+    add a,a,1
+    jump loop
+"""
+
+    def test_run_deadline_is_structured_exit(self, tmp_path, capsys):
+        wedge = tmp_path / "wedge.yalll"
+        wedge.write_text(self.WEDGE)
+        code = main([
+            "run", str(wedge), "--lang", "yalll",
+            "--deadline-s", "0.2", "--max-cycles", "2000000000",
+        ])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "simulation limit: kind=deadline" in err
+
+    def test_run_without_deadline_unchanged(self, yalll_file, capsys):
+        code = main([
+            "run", yalll_file, "--lang", "yalll",
+            "--set", "a=6", "--set", "n=7",
+        ])
+        assert code == 0
+        assert "exit value: 42" in capsys.readouterr().out
+
+    def test_faultsim_accepts_deadline(self, tmp_path, capsys):
+        source = tmp_path / "load.yalll"
+        source.write_text("put addr,100\nload v,addr\nexit v\n")
+        code = main([
+            "faultsim", str(source), "--lang", "yalll",
+            "--fault", "memfault:op=read,nth=1",
+            "--mem", "100=1234", "--deadline-s", "30",
+        ])
+        assert code in (0, 1)  # classified, not a usage error
+        assert "memfault" in capsys.readouterr().out
