@@ -152,6 +152,58 @@ def compile_key(
 
 
 # ----------------------------------------------------------------------
+def write_atomic(path: Path, result) -> None:
+    """Crash-safe disk write: serialize, temp file, ``os.replace``.
+
+    Shared by the compile cache and the trace JIT's disk tier
+    (:mod:`repro.sim.trace`).  A ``.pkl`` either exists complete or
+    not at all — a worker SIGKILLed mid-write (the serve pool's
+    normal chaos diet) can never leave a truncated entry for
+    ``cache.corrupt`` to clean up later.  Three guarantees stacked:
+
+    * pickling happens fully in memory first, so a serialization
+      failure touches no file at all;
+    * the temp file is uniquely named (``mkstemp``), so two
+      concurrent writers of one key never interleave into the
+      same buffer — last ``os.replace`` wins whole;
+    * the payload is flushed and fsynced before the rename, so a
+      crash between write and replace leaves only a stray temp
+      file (swept by the next writer), never a partial target.
+
+    The sweep can race a *live* concurrent writer of the same key
+    and unlink its temp mid-write; because the cache is
+    content-addressed, both writers carry equivalent payloads, so
+    the loser just yields (its ``os.replace`` finds no source and
+    the winner's complete entry lands instead).
+    """
+    blob = pickle.dumps(result)
+    for stale in path.parent.glob(f".{path.stem[:16]}*.tmp"):
+        try:
+            stale.unlink()
+        except OSError:
+            pass  # another writer swept it first
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.stem[:16]}",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            os.replace(tmp_name, path)
+        except FileNotFoundError:
+            return  # swept by a concurrent writer of the same key
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
 @dataclass
 class CacheStats:
     """Probe counters for one :class:`CompileCache`."""
@@ -267,55 +319,9 @@ class CompileCache:
         if path is not None:
             self._write_atomic(path, result)
 
-    @staticmethod
-    def _write_atomic(path: Path, result) -> None:
-        """Crash-safe disk write: serialize, temp file, ``os.replace``.
-
-        A ``.pkl`` either exists complete or not at all — a worker
-        SIGKILLed mid-write (the serve pool's normal chaos diet) can
-        never leave a truncated entry for ``cache.corrupt`` to clean
-        up later.  Three guarantees stacked:
-
-        * pickling happens fully in memory first, so a serialization
-          failure touches no file at all;
-        * the temp file is uniquely named (``mkstemp``), so two
-          concurrent writers of one key never interleave into the
-          same buffer — last ``os.replace`` wins whole;
-        * the payload is flushed and fsynced before the rename, so a
-          crash between write and replace leaves only a stray temp
-          file (swept by the next writer), never a partial target.
-
-        The sweep can race a *live* concurrent writer of the same key
-        and unlink its temp mid-write; because the cache is
-        content-addressed, both writers carry equivalent payloads, so
-        the loser just yields (its ``os.replace`` finds no source and
-        the winner's complete entry lands instead).
-        """
-        blob = pickle.dumps(result)
-        for stale in path.parent.glob(f".{path.stem[:16]}*.tmp"):
-            try:
-                stale.unlink()
-            except OSError:
-                pass  # another writer swept it first
-        descriptor, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=f".{path.stem[:16]}",
-            suffix=".tmp",
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                handle.write(blob)
-                handle.flush()
-                os.fsync(handle.fileno())
-            try:
-                os.replace(tmp_name, path)
-            except FileNotFoundError:
-                return  # swept by a concurrent writer of the same key
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+    #: Back-compat alias — the crash-atomic writer now lives at module
+    #: level so the trace JIT's disk tier can share it.
+    _write_atomic = staticmethod(write_atomic)
 
     def _remember(self, key: str, result) -> None:
         self._memory[key] = result

@@ -311,6 +311,10 @@ def cmd_profile(args) -> int:
         to_prometheus,
     )
 
+    # Cache counters exist only on the live-run path: a replayed
+    # profile carries none, which keeps --replay output byte-identical
+    # to what the original run saved (CI diffs exactly that).
+    plan_cache = trace_cache = None
     if args.replay:
         try:
             payload = json.loads(Path(args.replay).read_text())
@@ -338,7 +342,8 @@ def cmd_profile(args) -> int:
             simulator.state.write_reg(mapping.get(name, name), value)
         for address, value in _parse_assignments(args.mem or []).items():
             simulator.state.memory.load_words(int(address, 0), [value])
-        simulator.run(result.loaded.name, max_cycles=args.max_cycles)
+        run = simulator.run(result.loaded.name, max_cycles=args.max_cycles)
+        plan_cache, trace_cache = run.plan_cache, run.trace_cache
         profile = recorder.profile
     analysis = analyze_profile(profile)
     if args.save:
@@ -350,14 +355,30 @@ def cmd_profile(args) -> int:
         dump_flamegraph(analysis, args.flamegraph)
         print(f"flamegraph written to {args.flamegraph}")
     if args.prometheus:
-        Path(args.prometheus).write_text(to_prometheus(profile))
+        Path(args.prometheus).write_text(to_prometheus(
+            profile, plan_cache=plan_cache, trace_cache=trace_cache,
+        ))
         print(f"prometheus metrics written to {args.prometheus}")
     if args.json:
-        print(json.dumps(analysis.to_json(), indent=2, sort_keys=True))
+        payload = analysis.to_json()
+        if plan_cache is not None:
+            payload["plan_cache"] = plan_cache
+        if trace_cache is not None:
+            payload["trace_cache"] = trace_cache
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(render_hot_traces(analysis, top=args.top, loops=args.loops))
         print()
         print(render_heat(analysis))
+        for label, counters in (
+            ("plan cache", plan_cache), ("trace cache", trace_cache),
+        ):
+            if counters:
+                tally = ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(counters.items())
+                )
+                print(f"{label}: {tally}")
     return 0
 
 
@@ -369,8 +390,8 @@ def cmd_difftest(args) -> int:
         report = self_check(
             seed=args.seed, budget=min(args.budget, 10), tracer=tracer,
         )
-        print("self-check passed: planted engine bug found and shrunk "
-              f"({len(report.divergences)} divergence(s))")
+        print("self-check passed: planted engine and trace-stitcher "
+              f"bugs found ({len(report.divergences)} divergence(s))")
         return 0
     report = run_difftest(
         seed=args.seed,
@@ -490,9 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
              "'simulation limit: kind=deadline' report instead of "
              "hanging")
     run_parser.add_argument(
-        "--engine", choices=("interpretive", "decoded"), default="decoded",
+        "--engine", choices=("interpretive", "decoded", "traced"),
+        default="decoded",
         help="simulator execution engine (decoded pre-lowers each "
-             "control-store word once; observably identical, faster)")
+             "control-store word once; traced additionally compiles hot "
+             "loops to superinstructions; all observably identical)")
     run_parser.add_argument("--trace", metavar="FILE",
                             help="write compile spans + simulator cycle "
                                  "events as Chrome trace-event JSON "
@@ -543,7 +566,8 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="apply the 2.1.5 idempotence "
                                       "transform before injecting")
     faultsim_parser.add_argument(
-        "--engine", choices=("interpretive", "decoded"), default="decoded",
+        "--engine", choices=("interpretive", "decoded", "traced"),
+        default="decoded",
         help="simulator execution engine for golden and fault runs")
     faultsim_parser.add_argument(
         "--deadline-s", type=float, default=None, metavar="SECONDS",
@@ -584,7 +608,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard scenarios across N worker processes; reports stay "
              "byte-identical to --jobs 1 (default 1)")
     campaign_parser.add_argument(
-        "--engine", choices=("interpretive", "decoded"), default="decoded",
+        "--engine", choices=("interpretive", "decoded", "traced"),
+        default="decoded",
         help="simulator execution engine for golden and fault runs")
     campaign_parser.add_argument(
         "--cache-dir", metavar="DIR",
@@ -628,7 +653,8 @@ def build_parser() -> argparse.ArgumentParser:
                                 metavar="ADDR=VALUE")
     profile_parser.add_argument("--max-cycles", type=int, default=1_000_000)
     profile_parser.add_argument(
-        "--engine", choices=("interpretive", "decoded"), default="decoded")
+        "--engine", choices=("interpretive", "decoded", "traced"),
+        default="decoded")
     profile_parser.add_argument(
         "--top", type=int, default=5, metavar="N",
         help="hot traces to list (default 5)")
@@ -665,9 +691,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=machine_names(), metavar="MACHINE",
         help="target machines (default: HM1 CM1 VM1)")
     difftest_parser.add_argument(
-        "--axes", nargs="+", default=["engine", "cache", "restart", "shards"],
-        choices=("engine", "cache", "restart", "shards"), metavar="AXIS",
-        help="axis pairs to diff (default: all four)")
+        "--axes", nargs="+",
+        default=["engine", "traced", "cache", "restart", "shards"],
+        choices=("engine", "traced", "cache", "restart", "shards"),
+        metavar="AXIS",
+        help="axis pairs to diff (default: all five)")
     difftest_parser.add_argument(
         "--corpus-dir", metavar="DIR",
         help="write self-contained JSON reproducers for divergences here")
@@ -679,7 +707,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip shrinking diverging programs")
     difftest_parser.add_argument(
         "--self-check", action="store_true",
-        help="plant a decoded-engine bug and prove it is found + shrunk")
+        help="plant decoded-engine and trace-stitcher bugs and prove "
+             "the campaign finds (and shrinks) them")
     difftest_parser.add_argument("--json", action="store_true",
                                  help="machine-readable report")
     difftest_parser.add_argument("--trace", metavar="FILE",

@@ -7,10 +7,10 @@ machine ``machines[(i // L) % M]`` and per-case seed
 the campaign seed and its index alone, and every (language, machine)
 cell is visited evenly regardless of budget.
 
-Axis thinning keeps the budget meaningful: ``engine`` and ``restart``
-run on every case (they are one extra execution each), ``cache`` on
-every 4th (disk round trips) and ``shards`` on every 16th (each one
-is two full fault campaigns).  The schedule is a pure function of the
+Axis thinning keeps the budget meaningful: ``engine``, ``traced``
+and ``restart`` run on every case (they are one extra execution
+each), ``cache`` on every 4th (disk round trips) and ``shards`` on
+every 16th (each one is two full fault campaigns).  The schedule is a pure function of the
 case index, so two runs with the same seed and budget check exactly
 the same pairs.
 
@@ -23,8 +23,11 @@ self-contained JSON repro file.
 :func:`self_check` closes the loop on the harness itself: it plants a
 semantic bug into the pre-decoded engine (monkeypatching one entry of
 ``repro.sim.decode._LOGIC``) and asserts the campaign both *finds*
-and *shrinks* it.  A difftest harness that cannot detect a planted
-miscompile is worse than none — it manufactures confidence.
+and *shrinks* it, then plants a one-bit miscompile into the trace
+stitcher (``repro.sim.trace.PLANT_RESULT_XOR``) and asserts the
+``traced`` axis catches that too.  A difftest harness that cannot
+detect a planted miscompile is worse than none — it manufactures
+confidence.
 """
 
 from __future__ import annotations
@@ -42,9 +45,11 @@ from repro.obs.tracer import NULL_TRACER
 from repro.registry import build_machine, generator_names
 
 DEFAULT_MACHINES = ("HM1", "CM1", "VM1")
-DEFAULT_AXES = ("engine", "cache", "restart", "shards")
+DEFAULT_AXES = ("engine", "traced", "cache", "restart", "shards")
 #: axis -> run it on every Nth case.
-_AXIS_EVERY = {"engine": 1, "restart": 1, "cache": 4, "shards": 16}
+_AXIS_EVERY = {
+    "engine": 1, "traced": 1, "restart": 1, "cache": 4, "shards": 16,
+}
 
 
 @dataclass
@@ -248,19 +253,26 @@ def self_check(
     size: int | None = None,
     tracer=NULL_TRACER,
 ) -> DifftestReport:
-    """Prove the harness detects and shrinks a planted engine bug.
+    """Prove the harness detects and shrinks planted engine bugs.
 
-    Plants ``xor -> xor-then-flip-bit-0`` into the pre-decoded
-    engine's operator table (the interpretive engine is untouched) and
-    runs an engine-axis campaign.  Every generated program ends in an
-    xor fold, so the bug is reachable from every case; the campaign
-    must come back with at least one divergence, and the *first* one
-    is then shrunk (reducing every planted hit would prove nothing
-    more and cost minutes) — the reduced program must still diverge.
-    Raises ``AssertionError`` otherwise.  Also reachable as
-    ``python -m repro difftest --self-check``.
+    Two plants, two phases.  Phase one plants ``xor ->
+    xor-then-flip-bit-0`` into the pre-decoded engine's operator
+    table (the interpretive engine is untouched) and runs an
+    engine-axis campaign.  Every generated program ends in an xor
+    fold, so the bug is reachable from every case; the campaign must
+    come back with at least one divergence, and the *first* one is
+    then shrunk (reducing every planted hit would prove nothing more
+    and cost minutes) — the reduced program must still diverge.
+    Phase two plants a one-bit miscompile into the trace *stitcher*
+    (``repro.sim.trace.PLANT_RESULT_XOR``: every inlined ALU result
+    is XORed with 1 at stitch time) and runs a ``traced``-axis
+    campaign — the decoded reference is untouched, so only the
+    stitched superinstructions are wrong, and the axis must report a
+    divergence.  Raises ``AssertionError`` otherwise.  Also reachable
+    as ``python -m repro difftest --self-check``.
     """
     import repro.sim.decode as decode
+    import repro.sim.trace as trace
 
     # Small fixed-size programs: the plant is reachable from any case
     # (every program ends in an xor fold), and shrinking a full-size
@@ -298,4 +310,30 @@ def self_check(
             "self-check: reduced program still diverges on the pristine "
             "engine — a real engine bug is masquerading as the plant"
         )
+    # Phase two: miscompile the trace stitcher by one bit.  No shrink
+    # pass here — a planted trace bug derails loop control, so each
+    # diverging run burns its whole cycle budget and re-running the
+    # oracle dozens of times per reduction step buys no new evidence.
+    trace.PLANT_RESULT_XOR = 1
+    try:
+        traced_report = run_difftest(
+            seed=seed, budget=budget, axes=("traced",),
+            reduce=False, size=size, tracer=tracer,
+        )
+        if not traced_report.divergences:
+            raise AssertionError(
+                "self-check: planted trace-stitcher bug was not detected"
+            )
+        planted = traced_report.divergences[0]
+    finally:
+        trace.PLANT_RESULT_XOR = 0
+    if run_axis("traced", planted.case) is not None:
+        raise AssertionError(
+            "self-check: planted-trace case still diverges with the "
+            "pristine stitcher — a real trace-JIT bug is masquerading "
+            "as the plant"
+        )
+    report.divergences.extend(traced_report.divergences)
+    for axis, pairs in traced_report.pairs_run.items():
+        report.pairs_run[axis] = report.pairs_run.get(axis, 0) + pairs
     return report

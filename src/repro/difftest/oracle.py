@@ -13,6 +13,15 @@ must be observably identical:
     trap service, so §2.1.5 microtrap boundaries are part of the
     compared behaviour, not an untested corner.
 
+``traced``
+    The pre-decoded engine against the trace JIT (``engine=traced``,
+    :mod:`repro.sim.trace`) with the hot threshold dropped to 1 so
+    the short bounded loops difftest generates actually compile and
+    dispatch.  The comparison is as strict as ``engine``: a stitched
+    superinstruction that drifts from the decoded engine in *any*
+    observable — cycles, traps, registers, memory, even the recorded
+    profile — is a miscompile.
+
 ``cache``
     A fresh compile against a disk-tier pickle round trip (two cache
     instances sharing one directory, so the second probe *must* come
@@ -170,6 +179,7 @@ def execute_case(
     *,
     engine: str = "interpretive",
     paging: bool = False,
+    trace_hot_threshold: int | None = None,
 ) -> Observation:
     """Run one compiled case to completion and observe everything."""
     machine = build_machine(case.machine) if machine is None else machine
@@ -180,9 +190,13 @@ def execute_case(
         memory.load_words(address, [value])
     state = MachineState(machine, memory=memory)
     recorder = TraceRecorder()
+    extra = {}
+    if trace_hot_threshold is not None:
+        extra["trace_hot_threshold"] = trace_hot_threshold
     simulator = Simulator(
         machine, store, state=state, recorder=recorder, engine=engine,
         trap_service=_paging_service if paging else None,
+        **extra,
     )
     run = simulator.run(result.loaded.name, max_cycles=MAX_CYCLES)
     return Observation(
@@ -211,6 +225,7 @@ def observe(
     restart_safe: bool = False,
     paging: bool = False,
     cache=None,
+    trace_hot_threshold: int | None = None,
 ) -> Observation:
     """Fresh machine, compile, run — errors become observations."""
     try:
@@ -220,6 +235,7 @@ def observe(
         )
         return execute_case(
             case, result, machine, engine=engine, paging=paging,
+            trace_hot_threshold=trace_hot_threshold,
         )
     except Exception as error:
         return Observation(error=f"{type(error).__name__}: {error}")
@@ -274,6 +290,18 @@ def _axis_engine(case: GeneratedCase, workdir) -> list[str]:
     paging = case.uses_memory
     left = observe(case, engine="interpretive", paging=paging)
     right = observe(case, engine="decoded", paging=paging)
+    return diff_observations(left, right, _FULL)
+
+
+def _axis_traced(case: GeneratedCase, workdir) -> list[str]:
+    paging = case.uses_memory
+    left = observe(case, engine="decoded", paging=paging)
+    # Threshold 1: the first back edge arms recording, so even the
+    # 2-3-trip bounded loops the generators emit get stitched and
+    # dispatched instead of never reaching the production default.
+    right = observe(
+        case, engine="traced", paging=paging, trace_hot_threshold=1,
+    )
     return diff_observations(left, right, _FULL)
 
 
@@ -335,6 +363,7 @@ def _axis_shards(case: GeneratedCase, workdir) -> list[str]:
 #: axis name -> callable ``(case, workdir) -> list of mismatches``.
 AXES = {
     "engine": _axis_engine,
+    "traced": _axis_traced,
     "cache": _axis_cache,
     "restart": _axis_restart,
     "shards": _axis_shards,

@@ -248,12 +248,19 @@ def _harvest_run(
     """
     profile = simulator.recorder.profile
     plan_counters = None
-    if simulator.engine == "decoded":
+    trace_counters = None
+    if simulator.engine in ("decoded", "traced"):
         plan_counters = simulator.plan_cache_counters(
             profile.instructions, None
         )
+    if simulator.engine == "traced":
+        # Scenario runs carry injectors, so their JITs never engage
+        # and harvest all-zero counters; the golden run's compiles,
+        # dispatches and bailouts land here.
+        trace_counters = simulator.trace_cache_counters(None)
     metrics.add_run(
-        profile, classification=classification, plan_cache=plan_counters
+        profile, classification=classification,
+        plan_cache=plan_counters, trace_cache=trace_counters,
     )
 
 

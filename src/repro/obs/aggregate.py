@@ -107,6 +107,8 @@ class CampaignMetrics:
         cache: Compile-cache probe totals.
         plan_cache: Decoded-engine plan-cache totals
             (``hits``/``misses``/``invalidations``).
+        trace_cache: Traced-engine trace-cache totals (``hits``/
+            ``misses``/``invalidations``/``bailouts``).
     """
 
     runs: int = 0
@@ -115,6 +117,7 @@ class CampaignMetrics:
     difftest: Counters = field(default_factory=Counters)
     cache: CacheStats = field(default_factory=CacheStats)
     plan_cache: Counters = field(default_factory=Counters)
+    trace_cache: Counters = field(default_factory=Counters)
 
     # ------------------------------------------------------------------
     def merge(self, other: "CampaignMetrics") -> "CampaignMetrics":
@@ -126,10 +129,12 @@ class CampaignMetrics:
             difftest=Counters(self.difftest.data),
             cache=merge_cache_stats(self.cache, other.cache),
             plan_cache=Counters(self.plan_cache.data),
+            trace_cache=Counters(self.trace_cache.data),
         )
         merged.classifications.merge(other.classifications)
         merged.difftest.merge(other.difftest)
         merged.plan_cache.merge(other.plan_cache)
+        merged.trace_cache.merge(other.trace_cache)
         return merged
 
     @classmethod
@@ -147,6 +152,7 @@ class CampaignMetrics:
         *,
         classification: str | None = None,
         plan_cache: dict | None = None,
+        trace_cache: dict | None = None,
     ) -> None:
         """Accumulate one simulated run in place (serial hot path)."""
         self.runs += 1
@@ -157,6 +163,9 @@ class CampaignMetrics:
         if plan_cache:
             for key, value in plan_cache.items():
                 self.plan_cache.inc(key, value)
+        if trace_cache:
+            for key, value in trace_cache.items():
+                self.trace_cache.inc(key, value)
 
     def add_cache(self, stats: CacheStats) -> None:
         """Fold one compile-cache stats block in place."""
@@ -177,6 +186,9 @@ class CampaignMetrics:
             "cache": self.cache.to_json(),
             "plan_cache": {
                 str(k): int(v) for k, v in sorted(self.plan_cache.items())
+            },
+            "trace_cache": {
+                str(k): int(v) for k, v in sorted(self.trace_cache.items())
             },
         }
 
@@ -199,6 +211,7 @@ class CampaignMetrics:
                 corrupt=cache.get("corrupt", 0),
             ),
             plan_cache=Counters(dict(payload.get("plan_cache", {}))),
+            trace_cache=Counters(dict(payload.get("trace_cache", {}))),
         )
 
     def render(self) -> str:
@@ -228,6 +241,12 @@ class CampaignMetrics:
                 for name, count in sorted(self.plan_cache.items())
             )
             lines.append(f"  plan cache: {tally}")
+        if self.trace_cache:
+            tally = ", ".join(
+                f"{name}={int(count)}"
+                for name, count in sorted(self.trace_cache.items())
+            )
+            lines.append(f"  trace cache: {tally}")
         if self.cache.probes():
             lines.append(
                 f"  compile cache: {self.cache.hits} hits / "

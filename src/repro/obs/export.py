@@ -170,15 +170,25 @@ def _prom_series(
                else f"{name} {value}")
 
 
-def to_prometheus(source, *, namespace: str = "repro") -> str:
+def to_prometheus(
+    source,
+    *,
+    namespace: str = "repro",
+    plan_cache: dict | None = None,
+    trace_cache: dict | None = None,
+) -> str:
     """Prometheus text format for a profile or a metrics rollup.
 
     ``source`` is a :class:`SimProfile` or a
     :class:`~repro.obs.aggregate.CampaignMetrics`; the rollup form
-    additionally exposes classification, difftest, compile-cache and
-    plan-cache counter families.  Output is deterministically ordered
-    (sorted labels and series), so scrapes of merged shard rollups are
-    byte-identical to serial ones.
+    additionally exposes classification, difftest, compile-cache,
+    plan-cache and trace-cache counter families.  For a bare profile,
+    ``plan_cache=`` / ``trace_cache=`` attach one run's cache
+    counters (``RunResult.plan_cache`` / ``RunResult.trace_cache``) —
+    a replayed profile carries none, so passing nothing keeps replay
+    exports byte-identical to their original files.  Output is
+    deterministically ordered (sorted labels and series), so scrapes
+    of merged shard rollups are byte-identical to serial ones.
     """
     from repro.obs.aggregate import CampaignMetrics
 
@@ -237,11 +247,25 @@ def to_prometheus(source, *, namespace: str = "repro") -> str:
                       "Decoded-engine plan cache events")
         for key, count in sorted(metrics.plan_cache.items()):
             _prom_series(name, {"event": key}, int(count), out=lines)
+        name = family("trace_cache_total", "counter",
+                      "Traced-engine trace cache events")
+        for key, count in sorted(metrics.trace_cache.items()):
+            _prom_series(name, {"event": key}, int(count), out=lines)
         name = family("compile_cache_total", "counter",
                       "Compile cache events")
         for key, count in sorted(metrics.cache.to_json().items()):
             if key == "hit_rate":
                 continue
+            _prom_series(name, {"event": key}, int(count), out=lines)
+    if plan_cache:
+        name = family("plan_cache_total", "counter",
+                      "Decoded-engine plan cache events")
+        for key, count in sorted(plan_cache.items()):
+            _prom_series(name, {"event": key}, int(count), out=lines)
+    if trace_cache:
+        name = family("trace_cache_total", "counter",
+                      "Traced-engine trace cache events")
+        for key, count in sorted(trace_cache.items()):
             _prom_series(name, {"event": key}, int(count), out=lines)
     return "\n".join(lines) + "\n"
 

@@ -4,6 +4,7 @@ from repro.sim.memory import MainMemory, Scratchpad
 from repro.sim.semantics import STATEFUL_OPS, condition_holds, evaluate
 from repro.sim.simulator import RunResult, Simulator
 from repro.sim.state import MachineState
+from repro.sim.trace import TraceJIT, TraceStats
 
 __all__ = [
     "MachineState",
@@ -12,6 +13,8 @@ __all__ = [
     "STATEFUL_OPS",
     "Scratchpad",
     "Simulator",
+    "TraceJIT",
+    "TraceStats",
     "condition_holds",
     "evaluate",
 ]

@@ -574,6 +574,46 @@ def _decode_terminator(
 
 
 # ----------------------------------------------------------------------
+def terminator_metadata(
+    terminator, address: int, resident: ResidentProgram
+) -> dict:
+    """Static sequencing facts about one word's terminator.
+
+    Plan metadata for the trace stitcher (:mod:`repro.sim.trace`):
+    instead of re-deriving label resolution, the stitcher compiles its
+    guards from this, with targets resolved to absolute control-store
+    addresses exactly as :func:`_decode_terminator` resolves them —
+    one source of truth for sequencing.
+    """
+    base = resident.base
+    labels = resident.program.labels
+    if terminator is None:
+        return {"kind": "jump", "target": address + 1}
+    if isinstance(terminator, (Fallthrough, Jump)):
+        return {"kind": "jump", "target": base + labels[terminator.target]}
+    if isinstance(terminator, Branch):
+        return {
+            "kind": "branch",
+            "cond": terminator.cond,
+            "taken": base + labels[terminator.target],
+            "not_taken": base + labels[terminator.otherwise],
+        }
+    if isinstance(terminator, Multiway):
+        return {"kind": "multiway"}
+    if isinstance(terminator, Call):
+        return {
+            "kind": "call",
+            "target": base + resident.program.procedures[terminator.proc],
+            "return_to": base + labels[terminator.next],
+        }
+    if isinstance(terminator, Ret):
+        return {"kind": "ret"}
+    if isinstance(terminator, Exit):
+        return {"kind": "exit"}
+    raise SimulationError(f"unknown terminator {terminator!r}")
+
+
+# ----------------------------------------------------------------------
 def decode_word(
     simulator, loaded: LoadedWord, resident: ResidentProgram, address: int
 ) -> ExecutionPlan:

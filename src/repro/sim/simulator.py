@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from repro.asm.loader import ControlStore, ResidentProgram
@@ -39,6 +40,7 @@ from repro.mir.operands import Reg
 from repro.obs.events import PH_INSTANT, TRACK_SIM, Event
 from repro.obs.timeline import SimProfile, TraceRecorder
 from repro.sim.decode import PlanCache, decode_word
+from repro.sim.trace import TraceJIT
 from repro.sim.semantics import STATEFUL_OPS, condition_holds, evaluate
 from repro.sim.state import MachineState
 
@@ -58,10 +60,17 @@ class RunResult:
     hot-spot report.
 
     ``plan_cache`` holds this run's pre-decoded plan-cache counters
-    (``hits``/``misses``/``invalidations``) under the decoded engine
-    and is None under the interpretive one.  Misses include re-decodes
-    forced by fault injectors substituting mutated words — previously
-    invisible work.
+    (``hits``/``misses``/``invalidations``) under the decoded and
+    traced engines and is None under the interpretive one.  Misses
+    include re-decodes forced by fault injectors substituting mutated
+    words — previously invisible work.
+
+    ``trace_cache`` holds this run's trace-JIT counters under the
+    traced engine (``hits``/``misses``/``invalidations``/
+    ``bailouts`` — dispatches that made progress, traces stitched,
+    wholesale drops, guard bailouts) and is None otherwise.  All
+    zeros when the JIT stayed disengaged (fault injector, trace
+    sink or ``interrupt_every`` attached).
     """
 
     cycles: int
@@ -72,6 +81,7 @@ class RunResult:
     exit_value: int | None
     profile: SimProfile | None = None
     plan_cache: dict[str, int] | None = None
+    trace_cache: dict[str, int] | None = None
 
     def __str__(self) -> str:
         return (
@@ -118,23 +128,38 @@ class Simulator:
     #: Execution engine: ``"interpretive"`` walks each microinstruction
     #: structurally every time; ``"decoded"`` lowers each control-store
     #: word once into an execution plan (:mod:`repro.sim.decode`) and
-    #: runs the plan thereafter.  Both engines are observably identical
-    #: (the parity suite in ``tests/sim/test_decode.py`` enforces it);
-    #: decoded is several times faster on hot loops.
+    #: runs the plan thereafter.  ``"traced"`` layers a profile-guided
+    #: trace JIT on the decoded engine (:mod:`repro.sim.trace`): hot
+    #: loop bodies are stitched into single compiled
+    #: superinstructions, with guards bailing out to the decoded path
+    #: mid-loop with exact architectural state.  All engines are
+    #: observably identical (the parity suites in
+    #: ``tests/sim/test_decode.py`` / ``tests/sim/test_trace.py``
+    #: enforce it); decoded is several times faster on hot loops and
+    #: traced another several times beyond that.
     engine: str = "interpretive"
+    #: Back-edge executions of one loop head before the traced engine
+    #: records and stitches a trace for it.
+    trace_hot_threshold: int = 8
+    #: Optional content-addressed disk tier for stitched trace
+    #: sources (``engine="traced"`` only), written crash-atomically
+    #: like :mod:`repro.cache`'s compile cache.
+    trace_dir: str | Path | None = None
 
     def __post_init__(self) -> None:
         if self.state is None:
             self.state = MachineState(self.machine)
-        if self.engine not in ("interpretive", "decoded"):
+        if self.engine not in ("interpretive", "decoded", "traced"):
             raise SimulationError(
                 f"unknown engine {self.engine!r} "
-                f"(expected 'interpretive' or 'decoded')"
+                f"(expected 'interpretive', 'decoded' or 'traced')"
             )
         #: Lazily built plan store for the decoded engine; plans are
         #: keyed per encoded word so fault injectors that substitute
         #: mutated words can never hit a stale plan.
         self._plan_cache = None
+        #: Lazily built trace JIT for the traced engine.
+        self._trace_jit = None
 
     # ------------------------------------------------------------------
     def load_constants(self, resident: ResidentProgram) -> None:
@@ -173,10 +198,33 @@ class Simulator:
             time.monotonic() + self.deadline_s
             if self.deadline_s is not None else None
         )
-        decoded = self.engine == "decoded"
+        decoded = self.engine in ("decoded", "traced")
         plans = None
         fast_plans = None
         plan_stats_before = None
+        jit = None
+        trace_stats_before = None
+        if self.engine == "traced":
+            # The JIT only engages when nothing needs per-MI
+            # visibility: an injector can substitute mutated words at
+            # fetch, the trace sink wants every executed line, and
+            # interrupt_every must observe every cycle crossing.  With
+            # any of them attached the traced engine degrades to the
+            # exact decoded path.
+            # Snapshot before begin_run: a store swap detected there
+            # invalidates on behalf of *this* run, so the drop belongs
+            # in this run's trace_cache delta.
+            if self._trace_jit is not None:
+                trace_stats_before = self._trace_jit.stats.snapshot()
+            if (
+                injector is None
+                and self.trace is None
+                and not self.interrupt_every
+            ):
+                if self._trace_jit is None:
+                    self._trace_jit = TraceJIT(self)
+                jit = self._trace_jit
+                jit.begin_run(resident)
         if decoded:
             if self._plan_cache is None:
                 self._plan_cache = PlanCache()
@@ -235,6 +283,17 @@ class Simulator:
                         f"{state.cycles:6d} {state.upc:04d} {instruction}"
                     )
             try:
+                if jit is not None and not state.interrupt_pending:
+                    compiled = jit.traces.get(state.upc)
+                    if compiled is not None and jit.recording is None:
+                        executed = jit.execute(
+                            compiled, state, start_cycles + max_cycles
+                        )
+                        if executed:
+                            instructions += executed
+                            continue
+                        # A guard refused the very first MI: fall
+                        # through to the decoded path for progress.
                 if injector is not None:
                     loaded = injector.on_instruction(self, loaded)
                     instruction = loaded.instruction
@@ -258,6 +317,12 @@ class Simulator:
                     serviced = self._execute_instruction(instruction)
             except MicroTrap as trap:
                 traps += 1
+                if jit is not None:
+                    # A trap inside a trace already flushed cycles and
+                    # upc; account its completed MIs and abandon any
+                    # in-progress recording (the path just diverged).
+                    instructions += jit.consume_completed()
+                    jit.abort_recording()
                 if traps > self.max_traps:
                     raise SimulationLimitError(
                         f"{program_name}: more than {self.max_traps} traps"
@@ -304,6 +369,14 @@ class Simulator:
                 override = injector.after_sequence(self, current, resident)
                 if override is not None:
                     state.upc = override
+            if jit is not None:
+                if jit.recording is not None:
+                    jit.record_step(current, loaded, state)
+                elif state.upc <= current and not state.halted:
+                    # A back edge: the candidate loop head is the
+                    # sequencing target.  Heat it; at threshold the
+                    # JIT arms recording for the next iteration.
+                    jit.note_back_edge(state.upc)
 
         plan_counters = None
         if decoded:
@@ -316,6 +389,15 @@ class Simulator:
                           ts=state.cycles, track=TRACK_SIM,
                           args=dict(plan_counters))
                 )
+        trace_counters = None
+        if self.engine == "traced":
+            trace_counters = self.trace_cache_counters(trace_stats_before)
+            if recorder is not None and recorder.tracer.enabled:
+                recorder.tracer.emit(
+                    Event(name="sim.trace_cache", cat="sim", ph=PH_INSTANT,
+                          ts=state.cycles, track=TRACK_SIM,
+                          args=dict(trace_counters))
+                )
         return RunResult(
             cycles=state.cycles - start_cycles,
             instructions=instructions,
@@ -325,6 +407,7 @@ class Simulator:
             exit_value=state.exit_value,
             profile=recorder.profile if recorder is not None else None,
             plan_cache=plan_counters,
+            trace_cache=trace_counters,
         )
 
     # ------------------------------------------------------------------
@@ -348,6 +431,32 @@ class Simulator:
             "hits": max(0, instructions - misses),
             "misses": misses,
             "invalidations": invalidations,
+        }
+
+    # ------------------------------------------------------------------
+    def trace_cache_counters(
+        self, before: tuple[int, int, int, int] | None
+    ) -> dict[str, int]:
+        """This run's trace-JIT counters from the lifetime stats.
+
+        Plan-cache style: ``hits`` are trace dispatches that made
+        progress, ``misses`` are traces stitched (compiles),
+        ``invalidations`` wholesale drops, ``bailouts`` guard exits
+        that abandoned a loop body mid-iteration.  All zeros when the
+        JIT never engaged (injector, trace sink or ``interrupt_every``
+        attached).
+        """
+        jit = self._trace_jit
+        if jit is None:
+            return {"hits": 0, "misses": 0, "invalidations": 0,
+                    "bailouts": 0}
+        compiles, enters, bailouts, invalidations = before or (0, 0, 0, 0)
+        stats = jit.stats
+        return {
+            "hits": stats.enters - enters,
+            "misses": stats.compiles - compiles,
+            "invalidations": stats.invalidations - invalidations,
+            "bailouts": stats.bailouts - bailouts,
         }
 
     # ------------------------------------------------------------------

@@ -61,7 +61,9 @@ class TestDiffing:
 
 class TestAxes:
     def test_all_axes_registered(self):
-        assert set(AXES) == {"engine", "cache", "restart", "shards"}
+        assert set(AXES) == {
+            "engine", "traced", "cache", "restart", "shards",
+        }
 
     @pytest.mark.parametrize("axis", ("engine", "restart"))
     @pytest.mark.parametrize("lang", ("yalll", "simpl", "empl"))
