@@ -276,7 +276,7 @@ def cmd_campaign(args) -> int:
             n=args.n, seed=args.seed, restart_safe=args.restart_safe,
             registers=registers, memory=memory, tracer=tracer,
             jobs=args.jobs, engine=args.engine, cache=cache,
-            collect_metrics=args.metrics,
+            collect_metrics=args.metrics, batch=args.batch,
         )
         for name in (args.machine or ["HM1"])
     ]
@@ -390,8 +390,9 @@ def cmd_difftest(args) -> int:
         report = self_check(
             seed=args.seed, budget=min(args.budget, 10), tracer=tracer,
         )
-        print("self-check passed: planted engine and trace-stitcher "
-              f"bugs found ({len(report.divergences)} divergence(s))")
+        print("self-check passed: planted engine, trace-stitcher and "
+              f"batch-lane bugs found ({len(report.divergences)} "
+              "divergence(s))")
         return 0
     report = run_difftest(
         seed=args.seed,
@@ -403,6 +404,7 @@ def cmd_difftest(args) -> int:
         reduce=not args.no_reduce,
         size=args.size,
         tracer=tracer,
+        batch=args.batch,
     )
     if args.json:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
@@ -612,6 +614,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="decoded",
         help="simulator execution engine for golden and fault runs")
     campaign_parser.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help="group N scenarios per lockstep dispatch; reports stay "
+             "byte-identical to --batch 1 (default 1)")
+    campaign_parser.add_argument(
         "--cache-dir", metavar="DIR",
         help="on-disk compile cache shared across invocations")
     campaign_parser.add_argument(
@@ -692,10 +698,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="target machines (default: HM1 CM1 VM1)")
     difftest_parser.add_argument(
         "--axes", nargs="+",
-        default=["engine", "traced", "cache", "restart", "shards"],
-        choices=("engine", "traced", "cache", "restart", "shards"),
+        default=["engine", "traced", "batched", "cache", "restart",
+                 "shards"],
+        choices=("engine", "traced", "batched", "cache", "restart",
+                 "shards"),
         metavar="AXIS",
-        help="axis pairs to diff (default: all five)")
+        help="axis pairs to diff (default: all six)")
+    difftest_parser.add_argument(
+        "--batch", type=int, default=64, metavar="N",
+        help="lane count for the batched axis (default 64); divergence "
+             "reports stay identical for any N")
     difftest_parser.add_argument(
         "--corpus-dir", metavar="DIR",
         help="write self-contained JSON reproducers for divergences here")
@@ -707,8 +719,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip shrinking diverging programs")
     difftest_parser.add_argument(
         "--self-check", action="store_true",
-        help="plant decoded-engine and trace-stitcher bugs and prove "
-             "the campaign finds (and shrinks) them")
+        help="plant decoded-engine, trace-stitcher and batch-lane bugs "
+             "and prove the campaign finds (and shrinks) them")
     difftest_parser.add_argument("--json", action="store_true",
                                  help="machine-readable report")
     difftest_parser.add_argument("--trace", metavar="FILE",

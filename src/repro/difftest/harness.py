@@ -25,9 +25,11 @@ semantic bug into the pre-decoded engine (monkeypatching one entry of
 ``repro.sim.decode._LOGIC``) and asserts the campaign both *finds*
 and *shrinks* it, then plants a one-bit miscompile into the trace
 stitcher (``repro.sim.trace.PLANT_RESULT_XOR``) and asserts the
-``traced`` axis catches that too.  A difftest harness that cannot
-detect a planted miscompile is worse than none — it manufactures
-confidence.
+``traced`` axis catches that too, then corrupts one lane of the
+batched lockstep driver (``repro.sim.batch.PLANT_LANE_XOR``) and
+asserts the ``batched`` axis reports it.  A difftest harness that
+cannot detect a planted miscompile is worse than none — it
+manufactures confidence.
 """
 
 from __future__ import annotations
@@ -45,10 +47,11 @@ from repro.obs.tracer import NULL_TRACER
 from repro.registry import build_machine, generator_names
 
 DEFAULT_MACHINES = ("HM1", "CM1", "VM1")
-DEFAULT_AXES = ("engine", "traced", "cache", "restart", "shards")
+DEFAULT_AXES = ("engine", "traced", "batched", "cache", "restart", "shards")
 #: axis -> run it on every Nth case.
 _AXIS_EVERY = {
-    "engine": 1, "traced": 1, "restart": 1, "cache": 4, "shards": 16,
+    "engine": 1, "traced": 1, "restart": 1, "batched": 2, "cache": 4,
+    "shards": 16,
 }
 
 
@@ -184,6 +187,7 @@ def run_difftest(
     corpus_dir: str | Path | None = None,
     reduce: bool = True,
     size: int | None = None,
+    batch: int = 64,
     tracer=NULL_TRACER,
 ) -> DifftestReport:
     """Run one differential-testing campaign.
@@ -193,6 +197,11 @@ def run_difftest(
     Divergent cases are shrunk (``reduce=False`` skips it, for speed
     in self-tests) and, when ``corpus_dir`` is given, written out as
     self-contained JSON reproducers.
+
+    ``batch`` sizes the ``batched`` axis's lockstep side (lanes per
+    dispatch); it does not enter the report, so reports stay
+    byte-identical across batch sizes — that identity is the axis's
+    promise.
     """
     langs = tuple(langs) if langs else tuple(generator_names())
     machines = tuple(machines)
@@ -225,7 +234,9 @@ def run_difftest(
             for axis in case_axes:
                 report.pairs_run[axis] = report.pairs_run.get(axis, 0) + 1
                 report.metrics.difftest.inc(f"pairs.{axis}")
-                divergence = run_axis(axis, case, workdir=workdir)
+                divergence = run_axis(
+                    axis, case, workdir=workdir, batch=batch,
+                )
                 if divergence is None:
                     continue
                 report.metrics.difftest.inc(f"divergences.{axis}")
@@ -268,9 +279,16 @@ def self_check(
     is XORed with 1 at stitch time) and runs a ``traced``-axis
     campaign — the decoded reference is untouched, so only the
     stitched superinstructions are wrong, and the axis must report a
-    divergence.  Raises ``AssertionError`` otherwise.  Also reachable
-    as ``python -m repro difftest --self-check``.
+    divergence.  Phase three corrupts *one lane* of the batched
+    lockstep driver (``repro.sim.batch.PLANT_LANE_XOR``: lane 0's
+    value is XORed at every batched register commit) and runs a
+    ``batched``-axis campaign — lanes that peel to the scalar engine
+    are immune by construction, so a detection here proves the axis
+    really compares the lockstep data path, not just the peel path.
+    Raises ``AssertionError`` otherwise.  Also reachable as ``python
+    -m repro difftest --self-check``.
     """
+    import repro.sim.batch as batch_mod
     import repro.sim.decode as decode
     import repro.sim.trace as trace
 
@@ -335,5 +353,46 @@ def self_check(
         )
     report.divergences.extend(traced_report.divergences)
     for axis, pairs in traced_report.pairs_run.items():
+        report.pairs_run[axis] = report.pairs_run.get(axis, 0) + pairs
+    # Phase three: corrupt one lane of the batched lockstep driver.
+    # No shrink pass, same economics as phase two.  The budget floor
+    # is higher than the other phases': a corrupted lane often derails
+    # its own control flow (a wrong branch, a runaway loop) and peels
+    # the batch to the scalar engine, where the plant cannot reach —
+    # only cases whose corruption stays data-only can detect it, so
+    # the phase needs more shots on goal.
+    # Detection needs only the corrupt leader plus one surviving
+    # follower, so a small lane count proves the same property while
+    # a derailed batch peels 4 scalar replays instead of 64.  A
+    # corrupted loop counter often spins until the cycle budget, so
+    # the budget is cut for the phase — both sides of every pair see
+    # the same cut, which keeps non-planted comparisons clean.
+    import repro.difftest.oracle as oracle_mod
+
+    batch_mod.PLANT_LANE_XOR = 1
+    saved_max_cycles = oracle_mod.MAX_CYCLES
+    oracle_mod.MAX_CYCLES = 50_000
+    try:
+        batched_report = run_difftest(
+            seed=seed, budget=max(budget, 30), axes=("batched",),
+            reduce=False, size=size, tracer=tracer, batch=4,
+        )
+        if not batched_report.divergences:
+            raise AssertionError(
+                "self-check: planted batch-lane corruption was not "
+                "detected"
+            )
+        lane_planted = batched_report.divergences[0]
+    finally:
+        batch_mod.PLANT_LANE_XOR = 0
+        oracle_mod.MAX_CYCLES = saved_max_cycles
+    if run_axis("batched", lane_planted.case) is not None:
+        raise AssertionError(
+            "self-check: planted-lane case still diverges with the "
+            "pristine batched driver — a real lockstep bug is "
+            "masquerading as the plant"
+        )
+    report.divergences.extend(batched_report.divergences)
+    for axis, pairs in batched_report.pairs_run.items():
         report.pairs_run[axis] = report.pairs_run.get(axis, 0) + pairs
     return report

@@ -57,6 +57,7 @@ from repro.obs.timeline import TraceRecorder
 from repro.obs.tracer import NULL_TRACER
 from repro.registry import build_machine, get_language
 from repro.sim import Simulator
+from repro.sim.batch import DEFAULT_LANES, BatchCase, run_cases
 from repro.sim.memory import MainMemory
 from repro.sim.state import MachineState
 
@@ -241,6 +242,66 @@ def observe(
         return Observation(error=f"{type(error).__name__}: {error}")
 
 
+def observe_batch(
+    case: GeneratedCase,
+    *,
+    lanes: int = DEFAULT_LANES,
+    paging: bool = False,
+    backend: str = "auto",
+) -> list[Observation]:
+    """One observation per lane of a lockstep batch of the case.
+
+    Every lane starts from the same initial state, so all lanes must
+    observe exactly what the scalar decoded run observes — including
+    lanes the driver peeled (traps, per-lane errors), whose scalar
+    replay is the comparison's whole point.  Errors are captured per
+    lane in the same ``TypeName: message`` rendering as
+    :func:`observe`, so crash parity diffs cleanly too.
+    """
+    try:
+        machine = build_machine(case.machine)
+        result = compile_case(case, machine)
+        outcomes = run_cases(
+            machine, result.loaded,
+            [BatchCase(memory=dict(case.memory)) for _ in range(lanes)],
+            batch=lanes, paging=paging,
+            trap_service=_paging_service if paging else None,
+            max_cycles=MAX_CYCLES, backend=backend,
+        )
+    except Exception as error:
+        return [Observation(error=f"{type(error).__name__}: {error}")] * lanes
+    observations = []
+    for outcome in outcomes:
+        if outcome.error is not None:
+            observations.append(Observation(
+                error=f"{type(outcome.error).__name__}: {outcome.error}"
+            ))
+            continue
+        try:
+            run = outcome.result
+            observations.append(Observation(
+                words=tuple(word.word for word in result.loaded.words),
+                entry=result.loaded.entry,
+                mapping=tuple(sorted(result.allocation.mapping.items())),
+                cycles=run.cycles,
+                instructions=run.instructions,
+                traps=run.traps,
+                interrupts=run.interrupts_serviced,
+                exit_value=run.exit_value,
+                registers=tuple(_resolve_observed(case, result, outcome)),
+                flags=tuple(sorted(outcome.flags.items())),
+                memory=(
+                    tuple(outcome.memory.dump_words(*case.mem_region))
+                    if case.mem_region else None
+                ),
+            ))
+        except Exception as error:
+            observations.append(
+                Observation(error=f"{type(error).__name__}: {error}")
+            )
+    return observations
+
+
 # ----------------------------------------------------------------------
 # Diffing
 # ----------------------------------------------------------------------
@@ -281,6 +342,10 @@ _FULL = (
 #: Trap-free semantics only: the restart transform may legitimately
 #: change schedules, words and therefore cycle counts.
 _SEMANTIC = ("exit_value", "traps", "memory")
+#: The batched driver replays peeled lanes on a fresh scalar simulator
+#: with no recorder attached, so everything except the profile must
+#: match the scalar decoded run observable for observable.
+_BATCH_FIELDS = tuple(name for name in _FULL if name != "profile")
 
 
 # ----------------------------------------------------------------------
@@ -360,6 +425,20 @@ def _axis_shards(case: GeneratedCase, workdir) -> list[str]:
     return []
 
 
+def _axis_batched(
+    case: GeneratedCase, workdir, lanes: int = DEFAULT_LANES
+) -> list[str]:
+    paging = case.uses_memory
+    left = observe(case, engine="decoded", paging=paging)
+    mismatches = []
+    for lane, right in enumerate(
+        observe_batch(case, lanes=lanes, paging=paging)
+    ):
+        for line in diff_observations(left, right, _BATCH_FIELDS):
+            mismatches.append(f"lane {lane} {line}")
+    return mismatches
+
+
 #: axis name -> callable ``(case, workdir) -> list of mismatches``.
 AXES = {
     "engine": _axis_engine,
@@ -367,14 +446,23 @@ AXES = {
     "cache": _axis_cache,
     "restart": _axis_restart,
     "shards": _axis_shards,
+    "batched": _axis_batched,
 }
 
 
 def run_axis(
-    axis: str, case: GeneratedCase, *, workdir=None
+    axis: str, case: GeneratedCase, *, workdir=None,
+    batch: int = DEFAULT_LANES,
 ) -> Divergence | None:
-    """Run one case under one axis; None when both sides agree."""
-    mismatches = AXES[axis](case, workdir)
+    """Run one case under one axis; None when both sides agree.
+
+    ``batch`` sizes the ``batched`` axis's lockstep side and is
+    ignored by every other axis.
+    """
+    if axis == "batched":
+        mismatches = _axis_batched(case, workdir, batch)
+    else:
+        mismatches = AXES[axis](case, workdir)
     if not mismatches:
         return None
     return Divergence(case=case, axis=axis, mismatches=mismatches)

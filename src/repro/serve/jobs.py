@@ -72,6 +72,23 @@ def job_key(job: dict) -> str:
     return f"{base[:32]}:{'+'.join(extras)}"
 
 
+def dedup_key(job: dict) -> str:
+    """The in-flight coalescing identity of a job.
+
+    Stricter than :func:`job_key`: *every* result-affecting field
+    participates (``show`` changes the response's ``registers`` block,
+    so two jobs may share a :func:`job_key` yet not a dedup key).
+    Only ``deadline_s`` is excluded — a follower that tolerates a
+    longer wait than the leader still gets the identical result.
+    """
+    import hashlib
+
+    rendered = repr(sorted(
+        (str(k), repr(v)) for k, v in job.items() if k != "deadline_s"
+    ))
+    return hashlib.sha256(rendered.encode()).hexdigest()
+
+
 # ----------------------------------------------------------------------
 # Worker-side execution
 # ----------------------------------------------------------------------

@@ -23,6 +23,10 @@ class ServiceMetrics:
     accepted: dict[str, int] = field(default_factory=dict)
     completed: dict[str, int] = field(default_factory=dict)
     shed: dict[str, int] = field(default_factory=dict)
+    #: Requests coalesced onto an identical in-flight execution; they
+    #: never reach admission control or the pool, so ``completed`` can
+    #: exceed ``accepted`` by exactly this count.
+    dedup: dict[str, int] = field(default_factory=dict)
     statuses: dict[str, int] = field(default_factory=dict)
     bad_requests: int = 0
     drained_rejects: int = 0
@@ -38,6 +42,9 @@ class ServiceMetrics:
 
     def record_shed(self, job_class: str) -> None:
         self._bump(self.shed, job_class)
+
+    def record_dedup(self, job_class: str) -> None:
+        self._bump(self.dedup, job_class)
 
     def record_outcome(self, job_class: str, status: str) -> None:
         self._bump(self.completed, job_class)
@@ -59,6 +66,7 @@ class ServiceMetrics:
             "accepted": dict(sorted(self.accepted.items())),
             "completed": dict(sorted(self.completed.items())),
             "shed": dict(sorted(self.shed.items())),
+            "dedup": dict(sorted(self.dedup.items())),
             "statuses": dict(sorted(self.statuses.items())),
             "bad_requests": self.bad_requests,
             "drained_rejects": self.drained_rejects,
@@ -83,6 +91,11 @@ class ServiceMetrics:
         name = family("shed_total", "counter",
                       "Requests shed by admission control (429)")
         for cls, count in sorted(self.shed.items()):
+            _prom_series(name, {"class": cls}, count, out=lines)
+        name = family("dedup_total", "counter",
+                      "Requests coalesced onto an identical "
+                      "in-flight execution")
+        for cls, count in sorted(self.dedup.items()):
             _prom_series(name, {"class": cls}, count, out=lines)
         name = family("outcomes_total", "counter",
                       "Terminal response statuses")

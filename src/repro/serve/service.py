@@ -15,6 +15,13 @@ total load crosses ``shed_campaigns_at`` of capacity, campaign-class
 requests shed even though their own bound has room, so cheap compile
 traffic survives a campaign flood.
 
+In-flight dedup rides just ahead of admission: a ``/run`` submission
+whose content address (:func:`repro.serve.jobs.dedup_key`) matches an
+execution already in flight awaits that execution instead of queueing
+its own — no admission slot, no worker, one result fanned out to every
+waiter.  The ``serve.dedup`` counter on ``/metrics`` counts coalesced
+requests.
+
 Deadlines are end-to-end: the request's budget is stamped at
 admission, spent by queueing, enforced inside the worker by
 ``Simulator.deadline_s``, and backstopped by the supervisor's
@@ -41,7 +48,7 @@ from repro.serve.http import (
     write_json,
     write_text,
 )
-from repro.serve.jobs import job_key
+from repro.serve.jobs import dedup_key, job_key
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.pool import WorkerPool
 
@@ -83,6 +90,10 @@ class ReproService:
         self._active: dict[str, int] = {
             name: 0 for name in self.config.class_limits
         }
+        #: In-flight /run executions by content address: a duplicate
+        #: submission awaits the leader's task instead of consuming an
+        #: admission slot and a worker.
+        self._inflight: dict[str, asyncio.Future] = {}
         self._draining = False
         self._server: asyncio.base_events.Server | None = None
         self._stopped = asyncio.Event()
@@ -207,23 +218,44 @@ class ReproService:
         payload = request.json()
         self._validate(payload, job_class)
         deadline_s = self._deadline_for(payload)
-        shed = self._admit(job_class)
-        if shed is not None:
-            return 429, shed, {"Retry-After": "1"}
         job = dict(payload)
         job["op"] = job_class
         if job_class == "campaign" and self.config.collect_metrics:
             job["metrics"] = True
+        # In-flight dedup (run only: its result is a pure function of
+        # the payload, and runs are the expensive repeat offenders).  A
+        # duplicate awaits the leader's execution *before* admission —
+        # it consumes no class slot and no worker, and cannot be shed.
+        # The shield keeps one impatient client's disconnect from
+        # cancelling the execution everyone else is waiting on.
+        coalesce = dedup_key(job) if job_class == "run" else None
+        shared = (
+            self._inflight.get(coalesce) if coalesce is not None else None
+        )
+        if shared is not None:
+            self.metrics.record_dedup(job_class)
+            outcome = await asyncio.shield(shared)
+            return self._respond(job_class, deadline_s, outcome)
+        shed = self._admit(job_class)
+        if shed is not None:
+            return 429, shed, {"Retry-After": "1"}
         self.metrics.record_accept(job_class)
         self._active[job_class] += 1
+        task = asyncio.ensure_future(asyncio.wrap_future(
+            self.pool.submit(job, key=job_key(job), deadline_s=deadline_s)
+        ))
+        if coalesce is not None:
+            self._inflight[coalesce] = task
         try:
-            outcome = await asyncio.wrap_future(
-                self.pool.submit(
-                    job, key=job_key(job), deadline_s=deadline_s
-                )
-            )
+            outcome = await asyncio.shield(task)
         finally:
+            if coalesce is not None:
+                self._inflight.pop(coalesce, None)
             self._active[job_class] -= 1
+        return self._respond(job_class, deadline_s, outcome)
+
+    def _respond(self, job_class: str, deadline_s: float,
+                 outcome: dict) -> tuple:
         status = outcome.get("status", "error")
         self.metrics.record_outcome(job_class, status)
         if job_class == "campaign" and status == "ok":

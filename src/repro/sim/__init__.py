@@ -1,20 +1,33 @@
 """Microarchitecture simulator (survey substrate S7)."""
 
+from repro.sim.batch import (
+    BatchCase,
+    BatchedState,
+    LaneOutcome,
+    batch_refusal,
+    run_cases,
+)
 from repro.sim.memory import MainMemory, Scratchpad
 from repro.sim.semantics import STATEFUL_OPS, condition_holds, evaluate
 from repro.sim.simulator import RunResult, Simulator
-from repro.sim.state import MachineState
+from repro.sim.state import MachineState, StateBackend
 from repro.sim.trace import TraceJIT, TraceStats
 
 __all__ = [
+    "BatchCase",
+    "BatchedState",
+    "LaneOutcome",
     "MachineState",
     "MainMemory",
     "RunResult",
     "STATEFUL_OPS",
     "Scratchpad",
     "Simulator",
+    "StateBackend",
     "TraceJIT",
     "TraceStats",
+    "batch_refusal",
     "condition_holds",
     "evaluate",
+    "run_cases",
 ]

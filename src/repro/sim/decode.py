@@ -57,7 +57,7 @@ from repro.mir.block import (
 )
 from repro.mir.operands import Reg
 from repro.sim.semantics import condition_holds, evaluate
-from repro.sim.state import MachineState
+from repro.sim.state import StateBackend
 
 #: A step runs one placed op against the live state.  It may append
 #: pending commits to ``reg_writes`` / ``memory_ops``, update
@@ -91,13 +91,13 @@ class ExecutionPlan:
         self,
         phases: tuple[tuple[Step, ...], ...],
         cycles: int,
-        sequence: Callable[[MachineState], None],
+        sequence: Callable[[StateBackend], None],
     ):
         self.phases = phases
         self.cycles = cycles
         self.sequence = sequence
 
-    def execute(self, state: MachineState) -> bool:
+    def execute(self, state: StateBackend) -> bool:
         """Run all phases; same commit discipline as the interpreter:
         within a phase all reads see phase-entry state, then register
         writes commit, then memory actions, then flag updates.
@@ -209,7 +209,7 @@ class PlanCache:
 # ----------------------------------------------------------------------
 # Operand pre-resolution
 # ----------------------------------------------------------------------
-def _src_reader(files, operand) -> Callable[[MachineState], int]:
+def _src_reader(files, operand) -> Callable[[StateBackend], int]:
     """A reader closure for one source operand.
 
     Immediates become constants; plain registers become direct slot
@@ -472,7 +472,7 @@ def _decode_op(simulator, placed) -> Step | None:
 # ----------------------------------------------------------------------
 def _decode_terminator(
     simulator, terminator, address: int, resident: ResidentProgram
-) -> Callable[[MachineState], None]:
+) -> Callable[[StateBackend], None]:
     """Compile sequencing to one closure with absolute targets."""
     base = resident.base
     labels = resident.program.labels

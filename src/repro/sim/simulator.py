@@ -42,12 +42,14 @@ from repro.obs.timeline import SimProfile, TraceRecorder
 from repro.sim.decode import PlanCache, decode_word
 from repro.sim.trace import TraceJIT
 from repro.sim.semantics import STATEFUL_OPS, condition_holds, evaluate
-from repro.sim.state import MachineState
+from repro.sim.state import MachineState, StateBackend
 
 #: Signature of an interrupt handler: receives the machine state.
-InterruptHandler = Callable[[MachineState], None]
+#: Handlers are written against the :class:`StateBackend` protocol, so
+#: the same handler serves scalar and (peeled) batched executions.
+InterruptHandler = Callable[[StateBackend], None]
 #: Signature of a trap service routine: receives state and the trap.
-TrapService = Callable[[MachineState, MicroTrap], None]
+TrapService = Callable[[StateBackend, MicroTrap], None]
 
 
 @dataclass

@@ -1,17 +1,72 @@
-"""Machine state: registers, flags, memories, microsequencer."""
+"""Machine state: registers, flags, memories, microsequencer.
+
+Two layers live here.  :class:`StateBackend` is the *protocol* the
+execution engines consume — the register/flag/memory surface plus the
+trap and interrupt bookkeeping that :mod:`repro.sim.simulator` and
+:mod:`repro.sim.decode` read and write.  :class:`MachineState` is the
+scalar implementation (one case, plain dicts); the batched
+struct-of-arrays state in :mod:`repro.sim.batch` drives N cases in
+lockstep behind the same step semantics and peels divergent lanes
+back onto a scalar :class:`MachineState`.  The protocol is
+structural — implementations never subclass it, so the scalar hot
+loop keeps its plain-dataclass attribute access.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.errors import SimulationError
 from repro.machine.machine import MicroArchitecture
 from repro.sim.memory import MainMemory, Scratchpad
 
 
+@runtime_checkable
+class StateBackend(Protocol):
+    """What an execution engine needs from a machine state.
+
+    Attribute surface: ``machine``, a swappable ``memory``, the
+    ``registers``/``flags`` stores, the ``scratchpad`` spill target,
+    the microsequencer (``upc``, ``micro_stack``, ``halted``,
+    ``exit_value``, ``cycles``) and the ``interrupt_pending`` latch.
+    Methods cover banked register access and the §2.1.5 trap
+    bookkeeping (entry snapshots, restart restore, return stack).
+    """
+
+    machine: MicroArchitecture
+    memory: MainMemory
+    registers: dict[str, int]
+    flags: dict[str, int]
+    scratchpad: Scratchpad | None
+    upc: int
+    micro_stack: list[int]
+    interrupt_pending: bool
+    halted: bool
+    exit_value: int | None
+    cycles: int
+
+    def read_reg(self, name: str) -> int: ...
+
+    def write_reg(self, name: str, value: int) -> None: ...
+
+    def poke_reg(self, name: str, value: int) -> None: ...
+
+    def snapshot_registers(self) -> dict[str, int]: ...
+
+    def restore_registers(self, snapshot: dict[str, int]) -> None: ...
+
+    def push_return(self, address: int) -> None: ...
+
+    def pop_return(self) -> int: ...
+
+
 @dataclass
 class MachineState:
-    """The complete dynamic state of a simulated machine."""
+    """The complete dynamic state of a simulated machine.
+
+    The scalar :class:`StateBackend`: one case, plain dict stores.
+    """
 
     machine: MicroArchitecture
     memory: MainMemory = field(default_factory=MainMemory)

@@ -15,6 +15,7 @@ class TestRunDifftest:
         assert report.cases_run == 6
         assert report.pairs_run["engine"] == 6
         # Thinned axes ran on their schedule, not on every case.
+        assert report.pairs_run["batched"] == 3
         assert report.pairs_run["cache"] == 2
         assert report.pairs_run["shards"] == 1
 

@@ -62,7 +62,7 @@ class TestDiffing:
 class TestAxes:
     def test_all_axes_registered(self):
         assert set(AXES) == {
-            "engine", "traced", "cache", "restart", "shards",
+            "engine", "traced", "batched", "cache", "restart", "shards",
         }
 
     @pytest.mark.parametrize("axis", ("engine", "restart"))
@@ -94,6 +94,46 @@ class TestAxes:
         assert divergence.axis == "engine"
         assert any("registers" in m or "exit_value" in m
                    for m in divergence.mismatches)
+
+    def test_batched_axis_clean_and_lane_count_honoured(self):
+        from repro.difftest.oracle import observe_batch
+
+        case = generate_case("yalll", build_machine("HM1"), 3)
+        assert run_axis("batched", case) is None
+        lanes = observe_batch(case, lanes=4)
+        assert len(lanes) == 4
+        scalar = observe(case, engine="decoded")
+        for seen in lanes:
+            assert seen.error is None
+            assert seen.exit_value == scalar.exit_value
+            assert seen.cycles == scalar.cycles
+            assert seen.registers == scalar.registers
+
+    def test_batched_axis_sees_planted_lane_corruption(self):
+        import repro.sim.batch as batch
+
+        # Memory-free cases keep their lanes batched (a paging trap
+        # would peel them out of the plant's reach), but a corrupted
+        # leader can still derail its own control flow into a full
+        # peel — so sweep seeds until one corruption stays data-only.
+        divergence = caught = None
+        batch.PLANT_LANE_XOR = 1
+        try:
+            for seed in range(40):
+                case = generate_case("yalll", build_machine("HM1"), seed)
+                if case.uses_memory:
+                    continue
+                divergence = run_axis("batched", case, batch=4)
+                if divergence is not None:
+                    caught = case
+                    break
+        finally:
+            batch.PLANT_LANE_XOR = 0
+        assert divergence is not None, "no seed exposed the plant"
+        assert divergence.axis == "batched"
+        assert any(m.startswith("lane ") for m in divergence.mismatches)
+        # The pristine toolkit re-verifies clean on the same case.
+        assert run_axis("batched", caught, batch=4) is None
 
     def test_planted_bug_does_not_fool_interpretive_pair(self):
         """The plant only reroutes the decoded engine: the restart

@@ -1,0 +1,69 @@
+"""``--batch N`` is a pure throughput knob for campaigns.
+
+Scenario runs always carry injectors, so admission
+(:func:`repro.sim.batch.batch_refusal`) routes every lane to the
+scalar engine — which is exactly why the report (text, JSON and the
+shard-mergeable metrics rollup) must be byte-identical to serial at
+every batch size, alone and combined with ``--jobs``.
+"""
+
+import pytest
+
+from repro.faults.campaign import run_campaign
+from repro.faults.report import campaign_json, render_campaign
+from repro.machine.machines import get_machine
+
+LOOP_SRC = """
+    put total,0
+    put counter,6
+loop:
+    add total,total,counter
+    sub counter,counter,1
+    jump loop if nonzero
+    exit total
+"""
+
+
+def campaign_bytes(*, batch, jobs=1, collect_metrics=False):
+    machine = get_machine("HM1")
+    result = run_campaign(
+        LOOP_SRC, "yalll", machine, n=18, seed=1980,
+        jobs=jobs, batch=batch, collect_metrics=collect_metrics,
+    )
+    return (
+        render_campaign(result, scenarios=True),
+        campaign_json([result]),
+    )
+
+
+class TestBatchByteIdentity:
+    @pytest.mark.parametrize("batch", (4, 64))
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_batched_report_identical_to_serial(self, batch, jobs):
+        text_serial, json_serial = campaign_bytes(batch=1)
+        text_batched, json_batched = campaign_bytes(batch=batch, jobs=jobs)
+        assert text_batched == text_serial
+        assert json_batched == json_serial
+
+    def test_metrics_rollup_identical_too(self):
+        _, json_serial = campaign_bytes(batch=1, collect_metrics=True)
+        _, json_batched = campaign_bytes(batch=64, jobs=2,
+                                         collect_metrics=True)
+        assert json_batched == json_serial
+        assert '"metrics"' in json_batched
+
+    def test_cli_batch_flag_round_trips(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "loop.yalll"
+        source.write_text(LOOP_SRC)
+        outputs = {}
+        for batch in ("1", "64"):
+            code = main([
+                "campaign", str(source), "--lang", "yalll",
+                "--machine", "HM1", "-n", "8", "--seed", "3",
+                "--batch", batch, "--json",
+            ])
+            assert code == 0
+            outputs[batch] = capsys.readouterr().out
+        assert outputs["64"] == outputs["1"]

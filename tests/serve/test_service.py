@@ -241,6 +241,64 @@ class TestAdmission:
         assert compile_body["status"] == "ok"
 
 
+class TestDedup:
+    def test_dedup_key_tracks_every_result_field(self):
+        from repro.serve.jobs import dedup_key
+
+        base = {"op": "run", "source": ADD_SRC, "lang": "yalll"}
+        assert dedup_key(dict(base)) == dedup_key(dict(base))
+        # show changes the response's registers block -> new identity.
+        assert dedup_key({**base, "show": ["a"]}) != dedup_key(base)
+        # deadline tolerance is the one excluded field: a follower may
+        # wait longer than the leader yet share the result.
+        assert dedup_key({**base, "deadline_s": 9}) == dedup_key(base)
+
+    def test_identical_inflight_runs_share_one_execution(self, tmp_path):
+        from repro.serve import ServiceRunner
+
+        config = ServeConfig(
+            workers=1,
+            enable_chaos=True,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        payload = {
+            "source": ADD_SRC, "lang": "yalll", "show": ["a"],
+            "chaos": {"sleep_s": 1.5}, "deadline_s": 10,
+        }
+        with ServiceRunner(config) as runner:
+            results = []
+            leader = threading.Thread(
+                target=lambda: results.append(
+                    runner.request("POST", "/run", payload)
+                )
+            )
+            leader.start()
+            try:
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    _, health = runner.request("GET", "/healthz")
+                    if health["queue"]["run"]["active"] >= 1:
+                        break
+                    time.sleep(0.02)
+                follower_status, follower_body = runner.request(
+                    "POST", "/run", dict(payload)
+                )
+            finally:
+                leader.join(timeout=30)
+            _, health = runner.request("GET", "/healthz")
+            _, exposition = runner.request("GET", "/metrics")
+        leader_status, leader_body = results[0]
+        assert leader_status == follower_status == 200
+        assert leader_body["result"] == follower_body["result"]
+        assert leader_body["result"]["registers"]["a"] == 5
+        # One admission, two terminal responses, one coalesced.
+        requests = health["requests"]
+        assert requests["accepted"]["run"] == 1
+        assert requests["completed"]["run"] == 2
+        assert requests["dedup"]["run"] == 1
+        assert 'repro_serve_dedup_total{class="run"} 1' in exposition
+
+
 class TestDrain:
     def test_draining_route_answers_503(self):
         # The drain branch guards connections accepted before the
