@@ -10,6 +10,12 @@ and measures what the robustness issue demands of admission control:
 * the p99 latency of *accepted* requests stays bounded, because the
   per-class admission caps keep the queue short.
 
+A second scenario floods the service with *homogeneous* ``/run``
+traffic (one program, per-request register pokes) twice — batching
+disabled, then enabled — and records the cross-request micro-batching
+win: lockstep lane occupancy, throughput speedup, and that both modes
+answer with byte-identical result blocks.
+
 Writes the machine-readable trajectory file ``BENCH_serve.json``.
 
 Run standalone (the CI serve-smoke job does)::
@@ -38,11 +44,34 @@ ADD_SRC = """
     exit a
 """
 
+#: The homogeneous workload: one program, per-request ``set`` pokes —
+#: exactly the shape cross-request micro-batching gathers into
+#: lockstep lanes (every lane branches identically because ``n`` is
+#: uniform; only the summand ``a`` differs).
+LOOP_SRC = """
+    put p,0
+loop:
+    jump out if n = 0
+    add p,p,a
+    sub n,n,1
+    jump loop
+out:
+    exit p
+"""
+
 #: Small admission caps so a modest thread count is a genuine 4x flood.
 CLASS_LIMITS = {"compile": 4, "run": 4, "campaign": 2}
 
 FLOOD_FACTOR = 4
 WAVES = 3
+
+#: Homogeneous-flood scenario: enough per-run work that simulation
+#: (not HTTP plumbing) dominates, and enough lanes that the lockstep
+#: driver's fixed per-step cost amortises.
+HOMOGENEOUS_REQUESTS = 64
+HOMOGENEOUS_TRIPS = 5000
+HOMOGENEOUS_LANES = 32
+HOMOGENEOUS_WINDOW_MS = 80.0
 
 
 def _percentile(samples: list[float], q: float) -> float:
@@ -134,6 +163,95 @@ def run_suite(waves: int = WAVES) -> dict:
     }
 
 
+def _homogeneous_payload(index: int) -> dict:
+    return {
+        "source": LOOP_SRC, "lang": "yalll",
+        "set": {"a": index, "n": HOMOGENEOUS_TRIPS}, "show": ["p"],
+    }
+
+
+def _run_homogeneous_mode(
+    batch_max_lanes: int, requests: int
+) -> tuple[dict, list]:
+    """One homogeneous flood against a fresh service; returns
+    ``(measurements, per-request result blocks)``."""
+    with tempfile.TemporaryDirectory() as scratch:
+        config = ServeConfig(
+            workers=2,
+            class_limits={"compile": 4, "run": requests + 8,
+                          "campaign": 2},
+            cache_dir=scratch,
+            seed=1980,
+            batch_max_lanes=batch_max_lanes,
+            batch_window_ms=(
+                HOMOGENEOUS_WINDOW_MS if batch_max_lanes > 1 else 0.0
+            ),
+        )
+        with ServiceRunner(config) as runner:
+            # Warm the compile cache so the measured wave is pure run
+            # traffic in both modes.
+            runner.request(
+                "POST", "/run",
+                {"source": LOOP_SRC, "lang": "yalll",
+                 "set": {"n": 1}, "show": ["p"]},
+                timeout=120,
+            )
+
+            def one(index):
+                return runner.request(
+                    "POST", "/run", _homogeneous_payload(index),
+                    timeout=300,
+                )
+
+            start = time.perf_counter()
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=requests
+            ) as threads:
+                responses = list(threads.map(one, range(requests)))
+            wall = time.perf_counter() - start
+            health = runner.request("GET", "/healthz")[1]
+    statuses = [status for status, _ in responses]
+    assert statuses == [200] * requests, statuses
+    pool = health["pool"]
+    flushes = pool["batch_flushes"]
+    return {
+        "batch_max_lanes": batch_max_lanes,
+        "wall_s": round(wall, 3),
+        "runs_per_s": round(requests / wall, 1),
+        "batch_flushes": flushes,
+        "batch_lanes": pool["batch_lanes"],
+        "lane_occupancy": (
+            round(pool["batch_lanes"] / flushes, 1) if flushes else 0.0
+        ),
+    }, [body["result"] for _, body in responses]
+
+
+def run_homogeneous_suite(
+    requests: int = HOMOGENEOUS_REQUESTS,
+) -> dict:
+    """Same homogeneous flood, scalar vs batched; byte-identity checked."""
+    scalar, scalar_results = _run_homogeneous_mode(1, requests)
+    batched, batched_results = _run_homogeneous_mode(
+        HOMOGENEOUS_LANES, requests
+    )
+    if batched_results != scalar_results:
+        raise AssertionError(
+            "batched flood produced different result bytes than scalar"
+        )
+    return {
+        "benchmark": "serve_homogeneous_flood",
+        "requests": requests,
+        "loop_trips": HOMOGENEOUS_TRIPS,
+        "batch_window_ms": HOMOGENEOUS_WINDOW_MS,
+        "scalar": scalar,
+        "batched": batched,
+        "speedup": round(
+            batched["runs_per_s"] / scalar["runs_per_s"], 2
+        ),
+        "results_identical": True,
+    }
+
+
 def render(payload: dict) -> str:
     from repro.bench import render_table
 
@@ -151,6 +269,27 @@ def render(payload: dict) -> str:
             f"({payload['requests']} requests, "
             f"{payload['requests_per_s']}/s, "
             f"shed rate {shed['rate']:.0%})"
+        ),
+    )
+
+
+def render_homogeneous(payload: dict) -> str:
+    from repro.bench import render_table
+
+    scalar, batched = payload["scalar"], payload["batched"]
+    return render_table(
+        ["mode", "runs/s", "wall (s)", "flushes", "occupancy"],
+        [
+            ["scalar", scalar["runs_per_s"], scalar["wall_s"],
+             scalar["batch_flushes"], scalar["lane_occupancy"]],
+            [f"batched ({batched['batch_max_lanes']} lanes)",
+             batched["runs_per_s"], batched["wall_s"],
+             batched["batch_flushes"], batched["lane_occupancy"]],
+        ],
+        title=(
+            f"Homogeneous /run flood ({payload['requests']} requests, "
+            f"{payload['loop_trips']} loop trips each): "
+            f"{payload['speedup']}x throughput, identical bytes"
         ),
     )
 
@@ -176,6 +315,25 @@ def test_backpressure_bounds_p99(report, benchmark):
     benchmark(lambda: _percentile(list(range(1000)), 0.99))
 
 
+def test_homogeneous_flood_batches_with_identical_bytes(
+    report, benchmark
+):
+    payload = run_homogeneous_suite(requests=32)
+    report(render_homogeneous(payload))
+    # The flood must actually have batched (lanes carried in lockstep
+    # dispatches of >= 2)...
+    assert payload["batched"]["batch_lanes"] >= 2
+    assert payload["batched"]["batch_flushes"] >= 1
+    # ...with responses byte-identical to scalar mode (checked inside
+    # the suite; re-asserted here so a refactor cannot drop it)...
+    assert payload["results_identical"]
+    # ...and a real throughput win.  The committed BENCH_serve.json
+    # records >= 2x on a quiet host; under pytest alongside the rest
+    # of the suite we only insist batching never loses.
+    assert payload["speedup"] >= 1.2
+    benchmark(lambda: _homogeneous_payload(7))
+
+
 # ----------------------------------------------------------------------
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -196,6 +354,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     payload = run_suite(waves=args.waves)
     print(render(payload))
+    payload["homogeneous"] = run_homogeneous_suite()
+    print(render_homogeneous(payload["homogeneous"]))
     if args.json:
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")

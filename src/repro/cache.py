@@ -104,27 +104,35 @@ def machine_fingerprint(machine) -> str:
     return digest[:16]
 
 
-def _canonical_value(value) -> str:
-    """Render one option value insertion-order-independently.
+def canonical_value(value) -> str:
+    """Render one value insertion-order-independently.
 
     ``repr()`` of a dict (or of a list holding one) bakes insertion
     order into the cache key, so two equal option dicts built in
     different orders silently keyed different entries.  Canonicalize
     recursively: mappings sort by key at every level, sequences keep
     their order but canonicalize elements, sets sort.
+
+    Public because every content identity in the toolkit wants the
+    same property: compile keys here, and the serve layer's in-flight
+    ``dedup_key`` / ``batch_group_key`` over request payloads.
     """
     if isinstance(value, dict):
         items = ",".join(
-            f"{k!r}:{_canonical_value(v)}" for k, v in sorted(value.items())
+            f"{k!r}:{canonical_value(v)}" for k, v in sorted(value.items())
         )
         return "{" + items + "}"
     if isinstance(value, (list, tuple)):
-        rendered = ",".join(_canonical_value(v) for v in value)
+        rendered = ",".join(canonical_value(v) for v in value)
         return ("[" if isinstance(value, list) else "(") + rendered + \
             ("]" if isinstance(value, list) else ")")
     if isinstance(value, (set, frozenset)):
-        return "{" + ",".join(sorted(_canonical_value(v) for v in value)) + "}"
+        return "{" + ",".join(sorted(canonical_value(v) for v in value)) + "}"
     return repr(value)
+
+
+#: Backwards-compatible private alias (pre-S24 internal name).
+_canonical_value = canonical_value
 
 
 def _canonical_options(options: dict | None) -> str:

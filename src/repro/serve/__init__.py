@@ -22,6 +22,12 @@ built robustness-first:
   seeded-jittered exponential backoff.  A request that kills workers
   repeatedly is quarantined by a per-key circuit breaker with
   half-open probes.
+* **Cross-request micro-batching** — compatible queued ``/run`` jobs
+  gather (``batch_window_ms`` / ``batch_max_lanes``) and execute as
+  one lockstep struct-of-arrays batch (:mod:`repro.sim.batch`) inside
+  a single worker, with results demultiplexed back per request —
+  byte-identical to scalar execution, admission mirroring
+  ``batch_refusal``.
 * **Graceful drain** — ``SIGTERM`` stops admission, finishes
   in-flight work, then exits; ``/healthz`` and ``/metrics`` report
   queue depths, breaker states, worker restarts and the campaign
@@ -38,7 +44,14 @@ workers at fixed seeds.
 from repro.serve.backoff import BackoffPolicy, CircuitBreakers
 from repro.serve.config import ServeConfig
 from repro.serve.http import HttpError, Request, read_request, write_json
-from repro.serve.jobs import execute_job, job_key
+from repro.serve.jobs import (
+    batch_group_key,
+    batch_refused,
+    dedup_key,
+    execute_batch,
+    execute_job,
+    job_key,
+)
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.pool import PoolStats, WorkerPool
 from repro.serve.runner import ServiceRunner
@@ -55,6 +68,10 @@ __all__ = [
     "ServiceMetrics",
     "ServiceRunner",
     "WorkerPool",
+    "batch_group_key",
+    "batch_refused",
+    "dedup_key",
+    "execute_batch",
     "execute_job",
     "job_key",
     "read_request",

@@ -78,15 +78,74 @@ def dedup_key(job: dict) -> str:
     Stricter than :func:`job_key`: *every* result-affecting field
     participates (``show`` changes the response's ``registers`` block,
     so two jobs may share a :func:`job_key` yet not a dedup key).
-    Only ``deadline_s`` is excluded — a follower that tolerates a
-    longer wait than the leader still gets the identical result.
+    Only ``deadline_s`` is excluded — it never changes the pure
+    result, and the service separately refuses to attach a follower
+    whose budget the leader's remaining deadline cannot honour.
+
+    Values render through :func:`repro.cache.canonical_value` (the
+    same recursive canonicalisation compile keys use), so nested
+    ``options``/``mem`` dicts that differ only in insertion order
+    coalesce instead of silently missing each other.
     """
     import hashlib
 
-    rendered = repr(sorted(
-        (str(k), repr(v)) for k, v in job.items() if k != "deadline_s"
-    ))
+    from repro.cache import canonical_value
+
+    rendered = canonical_value({
+        str(k): v for k, v in job.items() if k != "deadline_s"
+    })
     return hashlib.sha256(rendered.encode()).hexdigest()
+
+
+#: ``/run`` fields that may vary between the lanes of one batch: the
+#: initial pokes become per-lane :class:`~repro.sim.batch.BatchCase`
+#: state and ``show`` only shapes that lane's response rendering.
+BATCH_LANE_FIELDS = ("set", "mem", "show")
+
+
+def batch_refused(job: dict) -> str | None:
+    """Why a job must run scalar in the pool — None when batchable.
+
+    The serve-side mirror of :func:`repro.sim.batch.batch_refusal`'s
+    admission discipline: anything that cannot share a lockstep lane
+    without changing its response runs scalar, so batched responses
+    stay byte-identical to serial execution.  An *explicit*
+    ``deadline_s`` refuses batching because the lockstep driver does
+    no per-lane wall-clock accounting — such a request keeps today's
+    precise in-simulator deadline semantics; default-deadline traffic
+    batches under the ``max_cycles`` budget with the supervisor's
+    deadline kill as the backstop.
+    """
+    if job.get("op") != "run":
+        return "op"
+    if job.get("chaos"):
+        return "chaos"
+    if "deadline_s" in job:
+        return "deadline"
+    if job.get("engine", "decoded") != "decoded":
+        return f"engine={job.get('engine')}"
+    return None
+
+
+def batch_group_key(job: dict) -> str:
+    """The gather identity: lanes sharing it may run in lockstep.
+
+    Everything that must be uniform across a batch participates —
+    compile identity (source, lang, machine, options), engine and
+    ``max_cycles`` — while the per-lane fields in
+    :data:`BATCH_LANE_FIELDS` (and ``deadline_s``) are excluded, so a
+    homogeneous-program flood with differing register pokes gathers
+    into one lockstep dispatch.
+    """
+    import hashlib
+
+    from repro.cache import canonical_value
+
+    shared = {
+        str(k): v for k, v in job.items()
+        if k not in BATCH_LANE_FIELDS and k != "deadline_s"
+    }
+    return hashlib.sha256(canonical_value(shared).encode()).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -101,6 +160,19 @@ def _worker_cache(cache_dir: str | None) -> CompileCache:
     if _WORKER_CACHE is None:
         _WORKER_CACHE = CompileCache(disk_dir=cache_dir)
     return _WORKER_CACHE
+
+
+def reset_worker_cache() -> None:
+    """Drop the per-process compile cache so the next job rebuilds it.
+
+    Worker processes call this on startup: under the fork start method
+    they inherit the parent's module globals, and if the parent ever ran
+    :func:`execute_job` in-process (tests, embedding applications) the
+    inherited cache would silently pin the parent's ``cache_dir`` instead
+    of the pool's own.
+    """
+    global _WORKER_CACHE
+    _WORKER_CACHE = None
 
 
 def _int_map(raw: dict | None) -> dict[str, int]:
@@ -215,6 +287,39 @@ def _campaign_response(job: dict, cache: CompileCache, budget_s) -> dict:
     return payload
 
 
+def _error_response(error: BaseException) -> dict:
+    """Map one toolkit exception to its terminal structured response.
+
+    The single source of truth for scalar *and* batched execution —
+    a lane whose scalar replay raises renders byte-identically to the
+    same request executed alone.
+    """
+    if isinstance(error, SimulationLimitError):
+        if error.kind == "deadline":
+            return {
+                "status": "timeout",
+                "where": "simulator",
+                "error": {"type": type(error).__name__,
+                          "kind": error.kind,
+                          "limit": error.limit,
+                          "message": str(error)},
+            }
+        return {
+            "status": "error",
+            "error": {"type": type(error).__name__, "kind": error.kind,
+                      "limit": error.limit, "message": str(error)},
+        }
+    if isinstance(error, ReproError):
+        return {
+            "status": "error",
+            "error": {"type": type(error).__name__, "message": str(error)},
+        }
+    return {
+        "status": "error",
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }
+
+
 def execute_job(job: dict, *, attempt: int = 0,
                 budget_s: float | None = None,
                 cache_dir: str | None = None) -> dict:
@@ -242,29 +347,98 @@ def execute_job(job: dict, *, attempt: int = 0,
                 "error": {"type": "BadRequest",
                           "message": f"unknown op {op!r}"},
             }
-    except SimulationLimitError as error:
-        if error.kind == "deadline":
-            return {
-                "status": "timeout",
-                "where": "simulator",
-                "error": {"type": type(error).__name__,
-                          "kind": error.kind,
-                          "limit": error.limit,
-                          "message": str(error)},
-            }
-        return {
-            "status": "error",
-            "error": {"type": type(error).__name__, "kind": error.kind,
-                      "limit": error.limit, "message": str(error)},
-        }
-    except ReproError as error:
-        return {
-            "status": "error",
-            "error": {"type": type(error).__name__, "message": str(error)},
-        }
     except Exception as error:  # defense: never crash the worker loop
-        return {
-            "status": "error",
-            "error": {"type": type(error).__name__, "message": str(error)},
-        }
+        return _error_response(error)
     return {"status": "ok", "result": result, "cache": cache.stats.to_json()}
+
+
+# ----------------------------------------------------------------------
+# Batched execution: one gathered lane group per lockstep dispatch
+# ----------------------------------------------------------------------
+def _lane_case(job: dict, mapping: dict):
+    """One lane's initial state, mirroring :func:`_run_response`'s pokes."""
+    from repro.sim.batch import BatchCase
+
+    registers = {
+        mapping.get(name, name): value
+        for name, value in _int_map(job.get("set")).items()
+    }
+    memory = {
+        (int(address, 0) if isinstance(address, str) else int(address)): value
+        for address, value in _int_map(job.get("mem")).items()
+    }
+    return BatchCase(registers=registers, memory=memory)
+
+
+def _lane_response(job: dict, machine, mapping, outcome, cache) -> dict:
+    """Render one lane's outcome as :func:`_run_response` would."""
+    from repro.errors import SimulationError
+
+    if outcome.error is not None:
+        return _error_response(outcome.error)
+    run = outcome.result
+    try:
+        registers = {
+            name: outcome.read_reg(mapping.get(name, name))
+            for name in (job.get("show") or [])
+        }
+    except SimulationError as error:
+        return _error_response(error)
+    return {
+        "status": "ok",
+        "result": {
+            "machine": machine.name,
+            "lang": job["lang"],
+            "exit_value": run.exit_value,
+            "cycles": run.cycles,
+            "instructions": run.instructions,
+            "traps": run.traps,
+            "interrupts": run.interrupts_serviced,
+            "registers": dict(sorted(registers.items())),
+        },
+        "cache": cache.stats.to_json(),
+    }
+
+
+def execute_batch(entries, *, cache_dir: str | None = None
+                  ) -> list[tuple[int, dict]]:
+    """Run one gathered lane group; returns ``(ticket_id, response)``
+    pairs aligned with ``entries`` (``(ticket_id, job, attempt,
+    budget_s)`` tuples).
+
+    All lanes share a :func:`batch_group_key`, so one compile serves
+    the whole group and the lanes run through
+    :func:`repro.sim.batch.run_cases` in lockstep — the S23 driver's
+    divergence peel-off replays any lane the batch cannot carry on
+    the scalar decoded engine, which is what keeps every response
+    byte-identical to scalar execution, error text included.  If the
+    batched path itself fails (a refused machine, an unexpected
+    decode error), every lane falls back to scalar
+    :func:`execute_job` — batching is an optimisation, never a new
+    failure mode.
+    """
+    cache = _worker_cache(cache_dir)
+    lead = entries[0][1]
+    try:
+        from repro.sim.batch import run_cases
+
+        machine, result = _compile(lead, cache)
+        mapping = result.allocation.mapping
+        cases = [_lane_case(job, mapping) for _, job, _, _ in entries]
+        outcomes = run_cases(
+            machine, result.loaded, cases,
+            batch=len(cases),
+            engine=lead.get("engine", "decoded"),
+            max_cycles=int(lead.get("max_cycles", 1_000_000)),
+        )
+    except Exception:
+        return [
+            (ticket_id,
+             execute_job(job, attempt=attempt, budget_s=budget_s,
+                         cache_dir=cache_dir))
+            for ticket_id, job, attempt, budget_s in entries
+        ]
+    return [
+        (ticket_id, _lane_response(job, machine, mapping, outcome, cache))
+        for (ticket_id, job, _, _), outcome in zip(entries, outcomes)
+    ]

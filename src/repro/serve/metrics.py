@@ -28,8 +28,14 @@ class ServiceMetrics:
     #: exceed ``accepted`` by exactly this count.
     dedup: dict[str, int] = field(default_factory=dict)
     statuses: dict[str, int] = field(default_factory=dict)
+    #: Runs that could not join a lockstep batch, by refusal reason
+    #: (explicit deadline, chaos hooks, non-decoded engine, …).
+    batch_refused: dict[str, int] = field(default_factory=dict)
     bad_requests: int = 0
     drained_rejects: int = 0
+    #: Campaign responses whose rollup was folded service-wide — one
+    #: fold per executed campaign, never per dedup follower.
+    campaign_folds: int = 0
     #: Campaign rollups folded service-wide (collect_metrics only).
     campaigns: CampaignMetrics = field(default_factory=CampaignMetrics)
     _have_campaigns: bool = False
@@ -46,6 +52,9 @@ class ServiceMetrics:
     def record_dedup(self, job_class: str) -> None:
         self._bump(self.dedup, job_class)
 
+    def record_batch_refusal(self, reason: str) -> None:
+        self._bump(self.batch_refused, reason)
+
     def record_outcome(self, job_class: str, status: str) -> None:
         self._bump(self.completed, job_class)
         self._bump(self.statuses, status)
@@ -55,6 +64,7 @@ class ServiceMetrics:
         block = payload.get("metrics")
         if not block:
             return
+        self.campaign_folds += 1
         self.campaigns = self.campaigns.merge(
             CampaignMetrics.from_json(block)
         )
@@ -68,8 +78,10 @@ class ServiceMetrics:
             "shed": dict(sorted(self.shed.items())),
             "dedup": dict(sorted(self.dedup.items())),
             "statuses": dict(sorted(self.statuses.items())),
+            "batch_refused": dict(sorted(self.batch_refused.items())),
             "bad_requests": self.bad_requests,
             "drained_rejects": self.drained_rejects,
+            "campaign_folds": self.campaign_folds,
         }
 
     def to_prometheus(self, *, pool_stats: dict, depth: dict,
@@ -97,6 +109,19 @@ class ServiceMetrics:
                       "in-flight execution")
         for cls, count in sorted(self.dedup.items()):
             _prom_series(name, {"class": cls}, count, out=lines)
+        name = family("batch_total", "counter",
+                      "Cross-request micro-batching: lockstep flushes, "
+                      "lanes they carried, and refused runs")
+        _prom_series(name, {"kind": "flushes"},
+                     pool_stats.get("batch_flushes", 0), out=lines)
+        _prom_series(name, {"kind": "lanes"},
+                     pool_stats.get("batch_lanes", 0), out=lines)
+        _prom_series(name, {"kind": "refused"},
+                     sum(self.batch_refused.values()), out=lines)
+        name = family("batch_refused_total", "counter",
+                      "Runs refused a lockstep lane, by reason")
+        for reason, count in sorted(self.batch_refused.items()):
+            _prom_series(name, {"reason": reason}, count, out=lines)
         name = family("outcomes_total", "counter",
                       "Terminal response statuses")
         for status, count in sorted(self.statuses.items()):

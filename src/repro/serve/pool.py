@@ -46,18 +46,27 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as mp_wait
 
+from repro.obs.events import PH_COMPLETE, Event
+from repro.obs.tracer import NULL_TRACER
 from repro.serve.backoff import BackoffPolicy, CircuitBreakers
-from repro.serve.jobs import execute_job
+from repro.serve.jobs import execute_batch, execute_job, reset_worker_cache
 
 
 def _worker_main(conn, cache_dir) -> None:
-    """Worker process body: recv job, execute, send response, repeat.
+    """Worker process body: recv lanes, execute, send responses, repeat.
 
-    ``execute_job`` guarantees a structured response for every input,
-    so the only way out of this loop is a shutdown sentinel (``None``)
-    or process death — which is exactly the contract the supervisor's
-    crash detection relies on.
+    A message is a list of ``(ticket_id, job, attempt, budget_s)``
+    lanes: one lane executes through ``execute_job``, several through
+    ``execute_batch`` (the lockstep path).  Both guarantee a
+    structured response for every lane, so the only way out of this
+    loop is a shutdown sentinel (``None``) or process death — which
+    is exactly the contract the supervisor's crash detection relies
+    on.
     """
+    # Under fork the parent's compile cache (if it ever executed jobs
+    # in-process) arrives via inherited globals pinned to the wrong
+    # cache_dir; start from a clean slate.
+    reset_worker_cache()
     while True:
         try:
             message = conn.recv()
@@ -65,12 +74,16 @@ def _worker_main(conn, cache_dir) -> None:
             return
         if message is None:
             return
-        ticket_id, job, attempt, budget_s = message
-        response = execute_job(
-            job, attempt=attempt, budget_s=budget_s, cache_dir=cache_dir
-        )
+        if len(message) == 1:
+            ticket_id, job, attempt, budget_s = message[0]
+            responses = [(ticket_id, execute_job(
+                job, attempt=attempt, budget_s=budget_s,
+                cache_dir=cache_dir,
+            ))]
+        else:
+            responses = execute_batch(message, cache_dir=cache_dir)
         try:
-            conn.send((ticket_id, response))
+            conn.send(responses)
         except (BrokenPipeError, OSError):
             return
 
@@ -88,6 +101,7 @@ class _Ticket:
     attempt: int = 0        # dispatch attempts so far (crashes bump it)
     not_before: float = 0.0  # backoff gate for re-queued tickets
     probe: bool = False      # half-open breaker probe
+    batch_key: str | None = None  # gather identity; None = always scalar
 
     def budget(self, now: float) -> float | None:
         if self.deadline is None:
@@ -105,7 +119,9 @@ class _Worker:
         )
         self.process.start()
         child_conn.close()
-        self.inflight: _Ticket | None = None
+        #: The lanes dispatched to this worker (empty = idle): one
+        #: ticket for scalar work, several for a lockstep batch.
+        self.inflight: list[_Ticket] = []
         self.dispatched_at = 0.0
 
     @property
@@ -140,6 +156,10 @@ class PoolStats:
     deadline_kills: int = 0
     crashed_out: int = 0
     rejected_open: int = 0
+    #: Lockstep dispatches of >= 2 lanes, and the lanes they carried
+    #: (lanes / flushes = mean batch occupancy).
+    batch_flushes: int = 0
+    batch_lanes: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -153,6 +173,8 @@ class PoolStats:
             "deadline_kills": self.deadline_kills,
             "crashed_out": self.crashed_out,
             "rejected_open": self.rejected_open,
+            "batch_flushes": self.batch_flushes,
+            "batch_lanes": self.batch_lanes,
         }
 
 
@@ -173,16 +195,24 @@ class WorkerPool:
         breakers: CircuitBreakers | None = None,
         max_requeues: int = 4,
         kill_grace_s: float = 2.0,
+        batch_window_s: float = 0.0,
+        batch_max_lanes: int = 1,
+        tracer=NULL_TRACER,
         clock=time.monotonic,
     ) -> None:
         if n_workers < 1:
             raise ValueError("pool needs at least one worker")
+        if batch_max_lanes < 1:
+            raise ValueError("batch_max_lanes must be >= 1")
         self.n_workers = n_workers
         self.cache_dir = cache_dir
         self.backoff = backoff or BackoffPolicy()
         self.breakers = breakers or CircuitBreakers()
         self.max_requeues = max_requeues
         self.kill_grace_s = kill_grace_s
+        self.batch_window_s = batch_window_s
+        self.batch_max_lanes = batch_max_lanes
+        self.tracer = tracer
         self.clock = clock
         self.stats = PoolStats()
         self._ctx = multiprocessing.get_context()
@@ -219,8 +249,17 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def submit(self, job: dict, *, key: str,
-               deadline_s: float | None = None) -> Future:
-        """Queue one job; resolves to a terminal structured outcome."""
+               deadline_s: float | None = None,
+               batch_key: str | None = None) -> Future:
+        """Queue one job; resolves to a terminal structured outcome.
+
+        ``batch_key`` marks the job gatherable: queued jobs sharing a
+        key may dispatch together as one lockstep batch (bounded by
+        ``batch_max_lanes``, after at most ``batch_window_s`` of
+        gathering).  Half-open breaker probes always run scalar — a
+        probe's strike semantics must not be chargeable to innocent
+        lane-mates.
+        """
         future: Future = Future()
         now = self.clock()
         with self._lock:
@@ -246,6 +285,10 @@ class WorkerPool:
                 else None,
                 submitted=now,
                 probe=(verdict == "probe"),
+                batch_key=(
+                    batch_key if self.batch_max_lanes > 1
+                    and verdict != "probe" else None
+                ),
             )
             self._next_id += 1
             self._pending.append(ticket)
@@ -254,9 +297,7 @@ class WorkerPool:
 
     def depth(self) -> dict[str, int]:
         with self._lock:
-            inflight = sum(
-                1 for w in self._workers if w.inflight is not None
-            )
+            inflight = sum(len(w.inflight) for w in self._workers)
             return {"pending": len(self._pending), "inflight": inflight,
                     "workers": len(self._workers)}
 
@@ -286,14 +327,46 @@ class WorkerPool:
         if not ticket.future.done():
             ticket.future.set_result(outcome)
 
+    def _send_lanes_locked(self, worker: _Worker, lanes: list[_Ticket],
+                           now: float) -> None:
+        for ticket in lanes:
+            self._pending.remove(ticket)
+        worker.inflight = list(lanes)
+        worker.dispatched_at = now
+        if len(lanes) > 1:
+            self.stats.batch_flushes += 1
+            self.stats.batch_lanes += len(lanes)
+            if self.tracer.enabled:
+                gathered = now - min(t.submitted for t in lanes)
+                end = self.tracer.now()
+                self.tracer.emit(Event(
+                    name="serve.batch.gather", cat="serve",
+                    ph=PH_COMPLETE, ts=end - gathered * 1e6,
+                    dur=gathered * 1e6,
+                    args={"lanes": len(lanes),
+                          "batch_key": lanes[0].batch_key},
+                ))
+        try:
+            worker.conn.send([
+                (t.ticket_id, t.job, t.attempt, t.budget(now))
+                for t in lanes
+            ])
+        except (BrokenPipeError, OSError):
+            # The worker died between waits; the sentinel event
+            # will re-queue these lanes through the crash path.
+            pass
+
     def _dispatch_locked(self, now: float) -> None:
-        idle = [w for w in self._workers if w.inflight is None]
+        idle = [w for w in self._workers if not w.inflight]
         if not idle:
             return
         admissible = [
             t for t in self._pending if t.not_before <= now
         ]
+        held: set[str] = set()
         for ticket in admissible:
+            if ticket not in self._pending:
+                continue  # dispatched as a lane-mate earlier this pass
             # Queue-stage deadline: never dispatch dead-on-arrival work.
             if ticket.deadline is not None and now >= ticket.deadline:
                 self._pending.remove(ticket)
@@ -306,19 +379,29 @@ class WorkerPool:
                 continue
             if not idle:
                 break
-            worker = idle.pop()
-            self._pending.remove(ticket)
-            worker.inflight = ticket
-            worker.dispatched_at = now
-            try:
-                worker.conn.send((
-                    ticket.ticket_id, ticket.job, ticket.attempt,
-                    ticket.budget(now),
-                ))
-            except (BrokenPipeError, OSError):
-                # The worker died between waits; the sentinel event
-                # will re-queue this ticket through the crash path.
-                pass
+            if ticket.batch_key is None:
+                self._send_lanes_locked(idle.pop(), [ticket], now)
+                continue
+            if ticket.batch_key in held:
+                continue
+            group = [
+                t for t in admissible
+                if t.batch_key == ticket.batch_key and t in self._pending
+                and not (t.deadline is not None and now >= t.deadline)
+            ]
+            # Gather: hold an under-full group while its window is
+            # open and the pool is not draining — the whole point of
+            # the window is to let lane-mates arrive.
+            if (
+                len(group) < self.batch_max_lanes
+                and now - group[0].submitted < self.batch_window_s
+                and not self._closing
+            ):
+                held.add(ticket.batch_key)
+                continue
+            self._send_lanes_locked(
+                idle.pop(), group[:self.batch_max_lanes], now
+            )
 
     def _next_wait_locked(self, now: float) -> float:
         """Seconds until the earliest timer the supervisor must honor."""
@@ -328,11 +411,15 @@ class WorkerPool:
                 horizon = min(horizon, ticket.not_before - now)
             if ticket.deadline is not None and ticket.deadline > now:
                 horizon = min(horizon, ticket.deadline - now)
+            if ticket.batch_key is not None:
+                flush_at = ticket.submitted + self.batch_window_s
+                if flush_at > now:
+                    horizon = min(horizon, flush_at - now)
         for worker in self._workers:
-            ticket = worker.inflight
-            if ticket is not None and ticket.deadline is not None:
-                kill_at = ticket.deadline + self.kill_grace_s
-                horizon = min(horizon, max(0.0, kill_at - now))
+            for ticket in worker.inflight:
+                if ticket.deadline is not None:
+                    kill_at = ticket.deadline + self.kill_grace_s
+                    horizon = min(horizon, max(0.0, kill_at - now))
         return max(0.01, horizon)
 
     def _respawn_locked(self, worker: _Worker) -> None:
@@ -382,9 +469,9 @@ class WorkerPool:
 
     def _handle_crash_locked(self, worker: _Worker, now: float) -> None:
         self.stats.crashes += 1
-        ticket, worker.inflight = worker.inflight, None
+        tickets, worker.inflight = worker.inflight, []
         self._respawn_locked(worker)
-        if ticket is not None:
+        for ticket in tickets:
             self._strike_locked(ticket, now, cause="crash")
 
     def _check_deadlines_locked(self, now: float) -> None:
@@ -398,28 +485,32 @@ class WorkerPool:
                     "detail": "deadline expired before dispatch",
                 })
         for worker in self._workers:
-            ticket = worker.inflight
-            if (
-                ticket is not None
-                and ticket.deadline is not None
-                and now >= ticket.deadline + self.kill_grace_s
-            ):
+            expired = [
+                t for t in worker.inflight
+                if t.deadline is not None
+                and now >= t.deadline + self.kill_grace_s
+            ]
+            if expired:
                 # The in-simulator deadline should have fired long ago;
                 # the worker is wedged outside simulated code.  Kill it.
+                # Lane-mates pay the crash price (a retry), not the
+                # expired lane's timeout verdict.
                 self.stats.deadline_kills += 1
                 self.stats.crashes += 1
-                worker.inflight = None
+                tickets, worker.inflight = worker.inflight, []
                 worker.kill()
                 self._respawn_locked(worker)
-                self._strike_locked(ticket, now, cause="deadline")
+                for ticket in tickets:
+                    cause = "deadline" if ticket in expired else "crash"
+                    self._strike_locked(ticket, now, cause=cause)
 
     def _abort_pending_locked(self) -> None:
         for ticket in self._pending:
             self._complete_locked(ticket, {"status": "shutdown"})
         self._pending.clear()
         for worker in self._workers:
-            ticket, worker.inflight = worker.inflight, None
-            if ticket is not None:
+            tickets, worker.inflight = worker.inflight, []
+            for ticket in tickets:
                 self._complete_locked(ticket, {"status": "shutdown"})
             worker.kill()
 
@@ -431,7 +522,7 @@ class WorkerPool:
                     self._abort_pending_locked()
                 self._check_deadlines_locked(now)
                 self._dispatch_locked(now)
-                idle = all(w.inflight is None for w in self._workers)
+                idle = all(not w.inflight for w in self._workers)
                 if self._closing and idle and (
                     not self._pending or not self._drain
                 ):
@@ -464,16 +555,39 @@ class WorkerPool:
                         if worker not in self._workers:
                             continue  # already respawned this round
                         try:
-                            ticket_id, response = worker.conn.recv()
+                            pairs = worker.conn.recv()
                         except (EOFError, OSError):
                             if worker not in crashed:
                                 crashed.append(worker)
                             continue
-                        ticket, worker.inflight = worker.inflight, None
-                        if ticket is not None \
-                                and ticket.ticket_id == ticket_id:
+                        tickets, worker.inflight = worker.inflight, []
+                        if len(tickets) > 1 and self.tracer.enabled:
+                            dur = (now - worker.dispatched_at) * 1e6
+                            self.tracer.emit(Event(
+                                name="serve.batch.execute", cat="serve",
+                                ph=PH_COMPLETE,
+                                ts=self.tracer.now() - dur, dur=dur,
+                                args={"lanes": len(tickets)},
+                            ))
+                        by_id = {t.ticket_id: t for t in tickets}
+                        for ticket_id, response in pairs:
+                            ticket = by_id.pop(ticket_id, None)
+                            if ticket is None:
+                                continue  # stale lane (already struck)
                             self.breakers.record_success(ticket.key)
                             self._complete_locked(ticket, response)
+                        for ticket in by_id.values():
+                            # A worker must answer every lane it was
+                            # sent; a missing one is a protocol fault,
+                            # surfaced as a typed terminal error.
+                            self._complete_locked(ticket, {
+                                "status": "error",
+                                "error": {
+                                    "type": "PoolProtocolError",
+                                    "message": "worker response missing"
+                                               " this lane",
+                                },
+                            })
                         continue
                     worker = sentinel_map.get(item)
                     if (

@@ -19,8 +19,23 @@ In-flight dedup rides just ahead of admission: a ``/run`` submission
 whose content address (:func:`repro.serve.jobs.dedup_key`) matches an
 execution already in flight awaits that execution instead of queueing
 its own — no admission slot, no worker, one result fanned out to every
-waiter.  The ``serve.dedup`` counter on ``/metrics`` counts coalesced
-requests.
+waiter.  Attachment is deadline-safe: a follower only coalesces when
+the leader's outcome cannot be worse than its own run would have been
+(follower budget ≤ leader's requested budget, or leader's remaining
+time covers the follower's whole budget); otherwise it admits
+normally.  The ``serve.dedup`` counter on ``/metrics`` counts
+coalesced requests.
+
+Past admission, compatible ``/run`` jobs micro-batch: the pool
+gathers queued runs sharing a batch group key (same program, machine,
+engine and options — only ``set``/``mem``/``show`` may differ) for up
+to ``batch_window_ms`` and dispatches them as one lockstep
+struct-of-arrays execution of up to ``batch_max_lanes`` lanes
+(:mod:`repro.sim.batch`).  Admission mirrors ``batch_refusal``:
+anything that cannot share a lane without observable divergence —
+chaos hooks, non-decoded engines, an *explicit* client deadline —
+runs scalar, so per-request responses stay byte-identical to serial
+execution.  Refusals count into the ``serve.batch`` metrics family.
 
 Deadlines are end-to-end: the request's budget is stamped at
 admission, spent by queueing, enforced inside the worker by
@@ -39,6 +54,7 @@ from __future__ import annotations
 import asyncio
 import signal
 
+from repro.obs.tracer import NULL_TRACER
 from repro.serve.backoff import BackoffPolicy, CircuitBreakers
 from repro.serve.config import ServeConfig
 from repro.serve.http import (
@@ -48,7 +64,12 @@ from repro.serve.http import (
     write_json,
     write_text,
 )
-from repro.serve.jobs import dedup_key, job_key
+from repro.serve.jobs import (
+    batch_group_key,
+    batch_refused,
+    dedup_key,
+    job_key,
+)
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.pool import WorkerPool
 
@@ -68,7 +89,8 @@ _CLASS_OF = {"/compile": "compile", "/run": "run", "/campaign": "campaign"}
 class ReproService:
     """One service instance: a listener plus a crash-safe pool."""
 
-    def __init__(self, config: ServeConfig | None = None) -> None:
+    def __init__(self, config: ServeConfig | None = None, *,
+                 tracer=NULL_TRACER) -> None:
         self.config = config or ServeConfig()
         self.metrics = ServiceMetrics()
         self.pool = WorkerPool(
@@ -86,14 +108,20 @@ class ReproService:
             ),
             max_requeues=self.config.max_requeues,
             kill_grace_s=self.config.kill_grace_s,
+            batch_window_s=self.config.batch_window_ms / 1000.0,
+            batch_max_lanes=self.config.batch_max_lanes,
+            tracer=tracer,
         )
         self._active: dict[str, int] = {
             name: 0 for name in self.config.class_limits
         }
-        #: In-flight /run executions by content address: a duplicate
-        #: submission awaits the leader's task instead of consuming an
-        #: admission slot and a worker.
-        self._inflight: dict[str, asyncio.Future] = {}
+        #: In-flight /run executions by content address, as
+        #: ``(task, requested_budget_s, absolute_deadline)`` — the
+        #: deadline fields gate follower attachment (a follower must
+        #: never inherit a timeout its own budget would have avoided).
+        self._inflight: dict[
+            str, tuple[asyncio.Future, float, float]
+        ] = {}
         self._draining = False
         self._server: asyncio.base_events.Server | None = None
         self._stopped = asyncio.Event()
@@ -228,28 +256,55 @@ class ReproService:
         # it consumes no class slot and no worker, and cannot be shed.
         # The shield keeps one impatient client's disconnect from
         # cancelling the execution everyone else is waiting on.
+        #
+        # Deadline safety: a follower may only attach when the leader's
+        # outcome is guaranteed no worse than the follower's own run
+        # would have been — either the follower asked for no more
+        # budget than the leader requested (leader timeout ⟹ follower
+        # would have timed out too), or the leader's *remaining* time
+        # still covers the follower's whole budget.  A patient follower
+        # behind a tight leader falls through to normal admission.
+        loop = asyncio.get_running_loop()
         coalesce = dedup_key(job) if job_class == "run" else None
-        shared = (
+        entry = (
             self._inflight.get(coalesce) if coalesce is not None else None
         )
-        if shared is not None:
-            self.metrics.record_dedup(job_class)
-            outcome = await asyncio.shield(shared)
-            return self._respond(job_class, deadline_s, outcome)
+        if entry is not None:
+            leader, leader_requested_s, leader_deadline = entry
+            if (
+                deadline_s <= leader_requested_s
+                or leader_deadline - loop.time() >= deadline_s
+            ):
+                self.metrics.record_dedup(job_class)
+                outcome = await asyncio.shield(leader)
+                return self._respond(job_class, deadline_s, outcome)
         shed = self._admit(job_class)
         if shed is not None:
             return 429, shed, {"Retry-After": "1"}
         self.metrics.record_accept(job_class)
         self._active[job_class] += 1
+        batch_key = None
+        if job_class == "run" and self.config.batch_max_lanes > 1:
+            refusal = batch_refused(job)
+            if refusal is None:
+                batch_key = batch_group_key(job)
+            else:
+                self.metrics.record_batch_refusal(refusal)
         task = asyncio.ensure_future(asyncio.wrap_future(
-            self.pool.submit(job, key=job_key(job), deadline_s=deadline_s)
+            self.pool.submit(job, key=job_key(job), deadline_s=deadline_s,
+                             batch_key=batch_key)
         ))
         if coalesce is not None:
-            self._inflight[coalesce] = task
+            # A patient follower that fell through replaces the tight
+            # leader as the attachment target for later duplicates.
+            self._inflight[coalesce] = (
+                task, deadline_s, loop.time() + deadline_s,
+            )
         try:
             outcome = await asyncio.shield(task)
         finally:
-            if coalesce is not None:
+            if coalesce is not None \
+                    and self._inflight.get(coalesce, (None,))[0] is task:
                 self._inflight.pop(coalesce, None)
             self._active[job_class] -= 1
         return self._respond(job_class, deadline_s, outcome)

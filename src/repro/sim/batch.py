@@ -958,10 +958,18 @@ def _run_lockstep(
     n = len(cases)
     b = BatchedState(machine, n, ops, paging=paging)
     for lane, case in enumerate(cases):
-        for name, value in case.registers.items():
-            b.init_register(lane, name, value)
-        for address, value in case.memory.items():
-            b.memory.load(lane, address, [value])
+        # A lane whose initial pokes are invalid (unknown register,
+        # windowed name, out-of-range load) peels to the scalar path,
+        # which raises the identical error for that case alone —
+        # live-traffic batches must never let one bad lane take down
+        # its neighbours.
+        try:
+            for name, value in case.registers.items():
+                b.init_register(lane, name, value)
+            for address, value in case.memory.items():
+                b.memory.load(lane, address, [value])
+        except (MicroTrap, SimulationError):
+            b.peel(lane, "init")
     for name, value in resident.program.constants.items():
         b.poke_constant(name, value)
     b.upc = resident.entry
@@ -1048,15 +1056,18 @@ def _run_scalar(
         machine, store, state=state, engine=engine,
         trap_service=trap_service, interrupt_handler=interrupt_handler,
     )
-    for name, value in case.registers.items():
-        state.write_reg(name, value)
-    for address, value in case.memory.items():
-        memory.load_words(address, [value])
     result = None
     error = None
     try:
+        for name, value in case.registers.items():
+            state.write_reg(name, value)
+        for address, value in case.memory.items():
+            memory.load_words(address, [value])
         result = simulator.run(loaded.name, max_cycles=max_cycles)
     except Exception as exc:
+        # Invalid pokes are captured per lane too, so a batch caller
+        # (e.g. a serve worker) observes them in ``LaneOutcome.error``
+        # exactly like any other per-case failure.
         error = exc
     return LaneOutcome(
         machine,
